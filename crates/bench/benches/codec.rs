@@ -1,0 +1,24 @@
+//! Criterion: wire codec throughput — every federated message pays this
+//! encode/decode cost in the metered channel.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rfl_tensor::{decode_f32_slice, encode_f32_slice};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for &n in &[64usize, 30_000, 500_000] {
+        let payload = vec![0.5f32; n];
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| encode_f32_slice(black_box(&payload)))
+        });
+        let encoded = encode_f32_slice(&payload);
+        g.bench_with_input(BenchmarkId::new("decode", n), &n, |b, _| {
+            b.iter(|| decode_f32_slice(black_box(encoded.clone())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion: forward/backward cost of the model layers — the compute side
+//! of Fig. 10c/d (training time per round is dominated by these kernels).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_nn::{
+    cross_entropy, CnnClassifier, CnnConfig, Conv2d, Input, Layer, Linear, LstmClassifier,
+    LstmConfig, Model,
+};
+use rfl_tensor::{Initializer, Tensor};
+
+fn bench_layers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let mut g = c.benchmark_group("layers");
+    // Linear 256→64 on batch 32.
+    let mut lin = Linear::new(256, 64, &mut rng);
+    let x = Initializer::Normal(1.0).init(&[32, 256], &mut rng);
+    g.bench_function("linear_fwd", |b| b.iter(|| lin.forward(black_box(&x), true)));
+    let y = lin.forward(&x, true);
+    let dy = Tensor::ones(y.dims());
+    g.bench_function("linear_bwd", |b| b.iter(|| lin.backward(black_box(&dy))));
+
+    // Conv 3×3, 8→16 channels on 8×8, batch 32.
+    let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut rng);
+    let xc = Initializer::Normal(1.0).init(&[32, 8, 8, 8], &mut rng);
+    g.bench_function("conv_fwd", |b| b.iter(|| conv.forward(black_box(&xc), true)));
+    let yc = conv.forward(&xc, true);
+    let dyc = Tensor::ones(yc.dims());
+    g.bench_function("conv_bwd", |b| b.iter(|| conv.backward(black_box(&dyc))));
+    g.finish();
+
+    let mut g = c.benchmark_group("models");
+    g.sample_size(20);
+    // Full CNN training step (the inner loop of every image experiment).
+    let mut cnn = CnnClassifier::new(CnnConfig::cifar_like(), &mut rng);
+    let imgs = Initializer::Normal(1.0).init(&[20, 3, 16, 16], &mut rng);
+    let labels: Vec<usize> = (0..20).map(|i| i % 10).collect();
+    g.bench_function("cnn_train_step", |b| {
+        b.iter(|| {
+            cnn.zero_grads();
+            let out = cnn.forward(&Input::Images(imgs.clone()), true);
+            let (_, d) = cross_entropy(&out.logits, &labels);
+            cnn.backward(black_box(&d), None);
+        })
+    });
+
+    // Full LSTM training step (the Sent140 inner loop).
+    let mut lstm = LstmClassifier::new(LstmConfig::sent140_like(), &mut rng);
+    let tokens: Vec<Vec<u32>> = (0..16).map(|i| vec![(i % 100) as u32; 16]).collect();
+    let labels2: Vec<usize> = (0..16).map(|i| i % 2).collect();
+    g.bench_function("lstm_train_step", |b| {
+        b.iter(|| {
+            lstm.zero_grads();
+            let out = lstm.forward(&Input::Tokens(tokens.clone()), true);
+            let (_, d) = cross_entropy(&out.logits, &labels2);
+            lstm.backward(black_box(&d), None);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

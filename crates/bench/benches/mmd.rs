@@ -1,0 +1,41 @@
+//! Criterion: cost of the MMD regularizer kernels vs feature dimension and
+//! federation size — the per-step overhead rFedAvg/rFedAvg+ add to local
+//! SGD and the per-round server cost of the δ table.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfl_core::mmd;
+use rfl_tensor::Tensor;
+
+fn bench_mmd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmd");
+    for &dim in &[64usize, 256, 512] {
+        let features = Tensor::full(&[32, dim], 0.5);
+        let target = vec![0.25f32; dim];
+        g.bench_with_input(BenchmarkId::new("delta_of", dim), &dim, |b, _| {
+            b.iter(|| mmd::delta_of(black_box(&features)))
+        });
+        g.bench_with_input(BenchmarkId::new("feature_gradient", dim), &dim, |b, _| {
+            b.iter(|| mmd::feature_gradient(black_box(&features), black_box(&target), 1e-4))
+        });
+        g.bench_with_input(BenchmarkId::new("mmd_sq", dim), &dim, |b, _| {
+            let a = vec![0.1f32; dim];
+            b.iter(|| mmd::mmd_sq(black_box(&a), black_box(&target)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("delta_table");
+    for &n in &[20usize, 100, 500] {
+        let deltas: Vec<Vec<f32>> = (0..n).map(|k| vec![k as f32; 64]).collect();
+        g.bench_with_input(BenchmarkId::new("mean_excluding", n), &n, |b, _| {
+            b.iter(|| mmd::mean_excluding(black_box(3), black_box(&deltas)))
+        });
+        g.bench_with_input(BenchmarkId::new("regularizer_value", n), &n, |b, _| {
+            b.iter(|| mmd::regularizer_value(black_box(3), black_box(&deltas)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mmd);
+criterion_main!(benches);

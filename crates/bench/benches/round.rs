@@ -1,0 +1,67 @@
+//! Criterion: full communication-round cost per algorithm — the measured
+//! counterpart of Fig. 10c/d (rFedAvg+ ≈ FedAvg, rFedAvg pays the table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_core::prelude::*;
+use rfl_core::{Federation, FlConfig, ModelFactory, OptimizerFactory};
+use rfl_data::synth::gaussian::GaussianMixtureSpec;
+use rfl_data::FederatedData;
+
+fn make_fed(seed: u64, cfg: &FlConfig) -> Federation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = GaussianMixtureSpec::default_spec();
+    let pool = spec.generate(400, None, &mut rng);
+    let parts = rfl_data::partition::similarity(pool.labels(), 8, 0.0, &mut rng);
+    let test = spec.generate(50, None, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    Federation::new(
+        &data,
+        ModelFactory::linear_net(10, 16, 4, 1e-3),
+        OptimizerFactory::sgd(0.1),
+        cfg,
+        seed,
+    )
+}
+
+fn bench_round(c: &mut Criterion) {
+    let cfg = FlConfig {
+        rounds: 1,
+        local_steps: 5,
+        batch_size: 16,
+        sample_ratio: 1.0,
+        eval_every: 100, // no eval inside the measured round
+        parallel: false,
+        clip_grad_norm: Some(10.0),
+        seed: 0,
+    };
+    let mut g = c.benchmark_group("round");
+    g.sample_size(20);
+
+    macro_rules! bench_algo {
+        ($name:literal, $make:expr) => {
+            g.bench_function($name, |b| {
+                b.iter_batched(
+                    || (make_fed(0, &cfg), $make),
+                    |(mut fed, mut algo)| {
+                        let mut t = Trainer::new(cfg);
+                        t.run(&mut algo, &mut fed)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        };
+    }
+
+    bench_algo!("fedavg", FedAvg::new());
+    bench_algo!("fedprox", FedProx::new(1.0));
+    bench_algo!("scaffold", Scaffold::new(1.0));
+    bench_algo!("qfedavg", QFedAvg::new(1.0));
+    bench_algo!("rfedavg", RFedAvg::new(1e-3));
+    bench_algo!("rfedavg_plus", RFedAvgPlus::new(1e-3));
+    g.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small federations, few rounds — seconds per experiment (CI-friendly).
+    Quick,
+    /// Larger federations and round counts closer to the paper's setup.
+    Full,
+}
+
+/// Parsed experiment arguments.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    pub scale: Scale,
+    /// Number of repeated runs (seeds) for mean ± std cells.
+    pub seeds: usize,
+    /// Directory for CSV output (created if missing); `None` disables CSV.
+    pub out_dir: Option<String>,
+    /// Free-form `--study <name>` selector (Fig. 9).
+    pub study: Option<String>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            scale: Scale::Quick,
+            seeds: 2,
+            out_dir: Some("results".to_string()),
+            study: None,
+        }
+    }
+}
+
+/// Parses `--scale quick|full`, `--seeds N`, `--out DIR|none`,
+/// `--study NAME` from an iterator of arguments (typically `std::env::args`
+/// minus the binary name).
+///
+/// # Panics
+/// Panics with a usage message on malformed arguments.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> ExpArgs {
+    let mut out = ExpArgs::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                out.scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" | "paper" => Scale::Full,
+                    other => panic!("unknown scale '{other}' (quick|full)"),
+                };
+            }
+            "--seeds" => {
+                let v = it.next().expect("--seeds needs a value");
+                out.seeds = v.parse().expect("--seeds must be an integer");
+                assert!(out.seeds > 0, "--seeds must be positive");
+            }
+            "--out" => {
+                let v = it.next().expect("--out needs a value");
+                out.out_dir = if v == "none" { None } else { Some(v) };
+            }
+            "--study" => {
+                out.study = Some(it.next().expect("--study needs a value"));
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    out
+}
+
+/// Writes `content` to `<out_dir>/<name>` when CSV output is enabled.
+pub fn write_output(args: &ExpArgs, name: &str, content: &str) {
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir).expect("cannot create output dir");
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, content).expect("cannot write output file");
+        println!("  wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ExpArgs {
+        parse_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seeds, 2);
+        assert!(a.study.is_none());
+    }
+
+    #[test]
+    fn parses_everything() {
+        let a = parse(&[
+            "--scale", "full", "--seeds", "3", "--out", "none", "--study", "lambda",
+        ]);
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.seeds, 3);
+        assert!(a.out_dir.is_none());
+        assert_eq!(a.study.as_deref(), Some("lambda"));
+    }
+
+    #[test]
+    fn paper_is_alias_for_full() {
+        assert_eq!(parse(&["--scale", "paper"]).scale, Scale::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        parse(&["--frobnicate"]);
+    }
+}

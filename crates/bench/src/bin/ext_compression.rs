@@ -1,0 +1,82 @@
+//! Extension: compressed uploads — the accuracy/bytes trade-off of
+//! composing FedAvg with the compression strategies surveyed in the
+//! paper's related work (quantization, top-k sparsification, sketching).
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin ext_compression --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::runner::AlgoFactory;
+use rfl_bench::setup::silo_config;
+use rfl_bench::{mnist_scenario, parse_args, run_suite};
+use rfl_core::compress::{CountSketch, TopK, UniformQuantizer};
+use rfl_core::prelude::*;
+use rfl_core::algorithms::CompressedFedAvg;
+use rfl_metrics::{mean_std, TextTable};
+use std::sync::Arc;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Extension: compressed uploads ({:?}) ==\n", args.scale);
+
+    let sc = mnist_scenario(args.scale, true, 0.1);
+    let cfg = silo_config(args.scale, 0);
+
+    let algos: Vec<AlgoFactory> = vec![
+        ("dense (FedAvg)", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "8-bit quantized",
+            Box::new(|| {
+                Box::new(CompressedFedAvg::new(Arc::new(UniformQuantizer::new(8))))
+                    as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "4-bit quantized",
+            Box::new(|| {
+                Box::new(CompressedFedAvg::new(Arc::new(UniformQuantizer::new(4))))
+                    as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "top-10%",
+            Box::new(|| {
+                Box::new(CompressedFedAvg::new(Arc::new(TopK::new(3200))))
+                    as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "count-sketch 5x401",
+            Box::new(|| {
+                Box::new(CompressedFedAvg::new(Arc::new(CountSketch::new(5, 401, 1))))
+                    as Box<dyn Algorithm>
+            }),
+        ),
+    ];
+
+    eprintln!("running {} with compressed uploads ...", sc.name);
+    let results = run_suite(&sc, &cfg, args.seeds, &algos);
+    let mut t = TextTable::new(&["Upload codec", "final acc", "upload KiB/run", "vs dense"]);
+    let dense_up: f64 = results[0]
+        .histories
+        .iter()
+        .map(|h| h.records().iter().map(|r| r.up_bytes).sum::<u64>() as f64)
+        .sum::<f64>()
+        / results[0].histories.len() as f64;
+    for r in &results {
+        let up: f64 = r
+            .histories
+            .iter()
+            .map(|h| h.records().iter().map(|rec| rec.up_bytes).sum::<u64>() as f64)
+            .sum::<f64>()
+            / r.histories.len() as f64;
+        t.row(&[
+            r.name.to_string(),
+            mean_std(&r.final_accuracies()).fmt_pm(true),
+            format!("{:.0}", up / 1024.0),
+            format!("{:.1}%", 100.0 * up / dense_up),
+        ]);
+    }
+    println!("{}", t.render());
+    write_output(&args, "ext_compression.csv", &t.to_csv());
+}

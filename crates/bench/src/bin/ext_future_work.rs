@@ -1,0 +1,93 @@
+//! Extensions along the paper's future-work directions (Sec. VII):
+//!
+//! 1. **Personalization** — fine-tune the final global model locally and
+//!    compare global vs personalized per-client accuracy, for FedAvg vs
+//!    rFedAvg+ (does the regularized global model personalize better?);
+//! 2. **Adaptive participant selection** — Power-of-Choice (loss-biased)
+//!    selection with and without the distribution regularizer, vs uniform
+//!    sampling, on non-IID data with partial participation;
+//! 3. **Server momentum** — FedAvgM as an extra stabilized baseline.
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin ext_future_work --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::runner::AlgoFactory;
+use rfl_bench::setup::{device_config, silo_config};
+use rfl_bench::{cifar_scenario, parse_args, run_suite};
+use rfl_core::personalization::{mean_gain, personalize_all};
+use rfl_core::prelude::*;
+use rfl_core::Federation;
+use rfl_metrics::{mean_std, TextTable};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Extensions: future-work directions ({:?}) ==\n", args.scale);
+
+    // --- 1. Personalization. ---
+    println!("-- personalization: global vs locally fine-tuned accuracy --");
+    let sc = cifar_scenario(args.scale, true, 0.0);
+    let cfg = silo_config(args.scale, 0);
+    let mut t = TextTable::new(&["Base algorithm", "global local-acc", "personalized", "gain"]);
+    for (name, plus) in [("FedAvg", false), ("rFedAvg+", true)] {
+        let data = sc.build_data(23);
+        let run_cfg = rfl_core::FlConfig { seed: 23, ..cfg };
+        let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, 23);
+        if plus {
+            Trainer::new(run_cfg).run(&mut RFedAvgPlus::new(sc.lambda), &mut fed);
+        } else {
+            Trainer::new(run_cfg).run(&mut FedAvg::new(), &mut fed);
+        }
+        let results = personalize_all(&mut fed, 20, 32);
+        let global_mean = results.iter().map(|r| r.global.accuracy as f64).sum::<f64>()
+            / results.len() as f64;
+        let pers_mean = results
+            .iter()
+            .map(|r| r.personalized.accuracy as f64)
+            .sum::<f64>()
+            / results.len() as f64;
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}%", global_mean * 100.0),
+            format!("{:.1}%", pers_mean * 100.0),
+            format!("{:+.1}%", mean_gain(&results) * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    write_output(&args, "ext_personalization.csv", &t.to_csv());
+
+    // --- 2 & 3. Selection strategies + server momentum. ---
+    println!("-- adaptive selection & server momentum (cifar-like, device, sim 0%) --");
+    let sc = cifar_scenario(args.scale, false, 0.0);
+    let dcfg = device_config(args.scale, 0);
+    let lambda = sc.lambda;
+    let algos: Vec<AlgoFactory> = vec![
+        ("FedAvg (uniform)", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "FedAvgM β=0.7",
+            Box::new(|| Box::new(FedAvgM::new(0.7)) as Box<dyn Algorithm>),
+        ),
+        (
+            "rFedAvg+ (uniform)",
+            Box::new(move || Box::new(RFedAvgPlus::new(lambda)) as Box<dyn Algorithm>),
+        ),
+        (
+            "PoC-FedAvg (loss-biased)",
+            Box::new(|| Box::new(PowerOfChoice::new(2.0, 0.0)) as Box<dyn Algorithm>),
+        ),
+        (
+            "PoC-rFedAvg+ (loss-biased + reg)",
+            Box::new(move || Box::new(PowerOfChoice::new(2.0, lambda)) as Box<dyn Algorithm>),
+        ),
+    ];
+    let results = run_suite(&sc, &dcfg, args.seeds, &algos);
+    let mut t = TextTable::new(&["Strategy", "final acc"]);
+    for r in &results {
+        t.row(&[
+            r.name.to_string(),
+            mean_std(&r.final_accuracies()).fmt_pm(true),
+        ]);
+    }
+    println!("{}", t.render());
+    write_output(&args, "ext_selection.csv", &t.to_csv());
+}

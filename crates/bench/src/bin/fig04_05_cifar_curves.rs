@@ -1,0 +1,44 @@
+//! Figs. 4 & 5: accuracy and training-loss curves on the CIFAR10-like
+//! benchmark — cross-device and cross-silo, similarity 0% and 10%
+//! (the paper omits sim 100% because it matches sim 10%).
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin fig04_05_cifar_curves --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::runner::run_curves;
+use rfl_bench::setup::{device_config, silo_config};
+use rfl_bench::{cifar_scenario, parse_args};
+use rfl_metrics::ascii::render_chart;
+use rfl_metrics::curve::series_to_csv;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Figs. 4–5: CIFAR10-like curves ({:?}) ==\n", args.scale);
+    let panels = [
+        ("a_device_sim0", false, 0.0),
+        ("b_device_sim10", false, 0.1),
+        ("c_silo_sim0", true, 0.0),
+        ("d_silo_sim10", true, 0.1),
+    ];
+    for (tag, silo, sim) in panels {
+        let sc = cifar_scenario(args.scale, silo, sim);
+        let cfg = if silo {
+            silo_config(args.scale, 0)
+        } else {
+            device_config(args.scale, 0)
+        };
+        eprintln!("running {} ...", sc.name);
+        let (acc, loss) = run_curves(&sc, &cfg, args.seeds);
+        println!(
+            "{}",
+            render_chart(&acc, 60, 14, &format!("Fig. 4{}: accuracy — {}", &tag[..1], sc.name))
+        );
+        println!(
+            "{}",
+            render_chart(&loss, 60, 14, &format!("Fig. 5{}: train loss — {}", &tag[..1], sc.name))
+        );
+        write_output(&args, &format!("fig04{tag}_acc.csv"), &series_to_csv(&acc));
+        write_output(&args, &format!("fig05{tag}_loss.csv"), &series_to_csv(&loss));
+    }
+}

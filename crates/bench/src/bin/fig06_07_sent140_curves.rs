@@ -1,0 +1,44 @@
+//! Figs. 6 & 7: accuracy and training-loss curves on the Sent140-like
+//! benchmark (2-layer LSTM + RMSProp) — cross-device and cross-silo,
+//! natural non-IID and IID partitions.
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin fig06_07_sent140_curves --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::runner::run_curves;
+use rfl_bench::setup::{device_config, silo_config};
+use rfl_bench::{parse_args, sent140_scenario};
+use rfl_metrics::ascii::render_chart;
+use rfl_metrics::curve::series_to_csv;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Figs. 6–7: Sent140-like curves ({:?}) ==\n", args.scale);
+    let panels = [
+        ("a_device_noniid", false, false),
+        ("b_device_iid", false, true),
+        ("c_silo_noniid", true, false),
+        ("d_silo_iid", true, true),
+    ];
+    for (tag, silo, iid) in panels {
+        let sc = sent140_scenario(args.scale, silo, iid);
+        let cfg = if silo {
+            silo_config(args.scale, 0)
+        } else {
+            device_config(args.scale, 0)
+        };
+        eprintln!("running {} ...", sc.name);
+        let (acc, loss) = run_curves(&sc, &cfg, args.seeds);
+        println!(
+            "{}",
+            render_chart(&acc, 60, 14, &format!("Fig. 6{}: accuracy — {}", &tag[..1], sc.name))
+        );
+        println!(
+            "{}",
+            render_chart(&loss, 60, 14, &format!("Fig. 7{}: train loss — {}", &tag[..1], sc.name))
+        );
+        write_output(&args, &format!("fig06{tag}_acc.csv"), &series_to_csv(&acc));
+        write_output(&args, &format!("fig07{tag}_loss.csv"), &series_to_csv(&loss));
+    }
+}

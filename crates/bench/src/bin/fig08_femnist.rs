@@ -1,0 +1,41 @@
+//! Fig. 8: accuracy curves on the FEMNIST-like benchmark with two
+//! federation sizes and two cost profiles:
+//! low cost = `SR = 0.1, E = 10`; high cost = `SR = 0.2, E = 20`.
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin fig08_femnist --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::runner::run_curves;
+use rfl_bench::setup::device_config;
+use rfl_bench::{femnist_scenario, parse_args, Scale};
+use rfl_metrics::ascii::render_chart;
+use rfl_metrics::curve::series_to_csv;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Fig. 8: FEMNIST-like curves ({:?}) ==\n", args.scale);
+    // The paper uses 100 and 500 clients; scaled geometries here.
+    let sizes: [usize; 2] = match args.scale {
+        Scale::Quick => [12, 24],
+        Scale::Full => [50, 100],
+    };
+    let costs = [("low", 0.1f32, 10usize), ("high", 0.2, 20)];
+    for n in sizes {
+        for (cost_tag, sr, e) in costs {
+            let sc = femnist_scenario(args.scale, n);
+            let mut cfg = device_config(args.scale, 0);
+            cfg.sample_ratio = sr;
+            cfg.local_steps = e;
+            eprintln!("running {} ({cost_tag} cost) ...", sc.name);
+            let (acc, _) = run_curves(&sc, &cfg, args.seeds);
+            let title = format!("Fig. 8: accuracy — {} / {cost_tag} cost (SR={sr}, E={e})", sc.name);
+            println!("{}", render_chart(&acc, 60, 14, &title));
+            write_output(
+                &args,
+                &format!("fig08_{n}clients_{cost_tag}_acc.csv"),
+                &series_to_csv(&acc),
+            );
+        }
+    }
+}

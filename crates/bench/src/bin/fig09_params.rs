@@ -1,0 +1,128 @@
+//! Fig. 9: parameter study on the CIFAR10-like benchmark with non-IID
+//! division (similarity 0%), cross-device setting.
+//!
+//! * `--study lambda` — Fig. 9a: impact of the regularization weight λ;
+//! * `--study n`      — Fig. 9b: impact of the number of clients N;
+//! * `--study e`      — Fig. 9c: impact of the local steps E;
+//! * `--study sr`     — Fig. 9d: impact of the sample ratio SR;
+//! * `--study all`    — run all four (default).
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin fig09_params --
+//!         [--study lambda|n|e|sr|all] [--scale quick|full] [--seeds N]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::runner::make_proposed;
+use rfl_bench::setup::device_config;
+use rfl_bench::{cifar_scenario, parse_args, run_suite, ExpArgs};
+use rfl_metrics::{mean_std, TextTable};
+
+fn study_lambda(args: &ExpArgs) {
+    println!("-- Fig. 9a: impact of λ (cifar-like, sim 0%, cross-device) --");
+    let mut t = TextTable::new(&["lambda", "rFedAvg acc", "rFedAvg+ acc", "FedAvg acc"]);
+    for lambda in [0.0f32, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
+        let mut sc = cifar_scenario(args.scale, false, 0.0);
+        sc.lambda = lambda;
+        let cfg = device_config(args.scale, 0);
+        let results = run_suite(&sc, &cfg, args.seeds, &make_proposed(lambda));
+        let acc = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| mean_std(&r.final_accuracies()).fmt_pm(true))
+                .unwrap_or_default()
+        };
+        t.row(&[
+            format!("{lambda:.0e}"),
+            acc("rFedAvg"),
+            acc("rFedAvg+"),
+            acc("FedAvg"),
+        ]);
+    }
+    println!("{}", t.render());
+    write_output(args, "fig09a_lambda.csv", &t.to_csv());
+}
+
+fn study_n(args: &ExpArgs) {
+    println!("-- Fig. 9b: impact of N (cifar-like, sim 0%, SR fixed) --");
+    let ns: &[usize] = match args.scale {
+        rfl_bench::Scale::Quick => &[8, 16, 24, 40],
+        rfl_bench::Scale::Full => &[50, 100, 200, 400],
+    };
+    let mut t = TextTable::new(&["N", "rFedAvg+ acc", "FedAvg acc"]);
+    for &n in ns {
+        let mut sc = cifar_scenario(args.scale, false, 0.0);
+        sc.n_clients = n;
+        let cfg = device_config(args.scale, 0);
+        let results = run_suite(&sc, &cfg, args.seeds, &make_proposed(sc.lambda));
+        let acc = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| mean_std(&r.final_accuracies()).fmt_pm(true))
+                .unwrap_or_default()
+        };
+        t.row(&[n.to_string(), acc("rFedAvg+"), acc("FedAvg")]);
+    }
+    println!("{}", t.render());
+    write_output(args, "fig09b_n.csv", &t.to_csv());
+}
+
+fn study_e(args: &ExpArgs) {
+    println!("-- Fig. 9c: impact of E (cifar-like, sim 0%, same round count) --");
+    let mut t = TextTable::new(&["E", "rFedAvg+ acc", "FedAvg acc"]);
+    for e in [1usize, 2, 5, 10] {
+        let sc = cifar_scenario(args.scale, false, 0.0);
+        let mut cfg = device_config(args.scale, 0);
+        cfg.local_steps = e;
+        let results = run_suite(&sc, &cfg, args.seeds, &make_proposed(sc.lambda));
+        let acc = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| mean_std(&r.final_accuracies()).fmt_pm(true))
+                .unwrap_or_default()
+        };
+        t.row(&[e.to_string(), acc("rFedAvg+"), acc("FedAvg")]);
+    }
+    println!("{}", t.render());
+    write_output(args, "fig09c_e.csv", &t.to_csv());
+}
+
+fn study_sr(args: &ExpArgs) {
+    println!("-- Fig. 9d: impact of SR (cifar-like, sim 0%, N fixed) --");
+    let mut t = TextTable::new(&["SR", "rFedAvg+ acc", "FedAvg acc"]);
+    for sr in [0.1f32, 0.2, 0.5, 1.0] {
+        let sc = cifar_scenario(args.scale, false, 0.0);
+        let mut cfg = device_config(args.scale, 0);
+        cfg.sample_ratio = sr;
+        let results = run_suite(&sc, &cfg, args.seeds, &make_proposed(sc.lambda));
+        let acc = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| mean_std(&r.final_accuracies()).fmt_pm(true))
+                .unwrap_or_default()
+        };
+        t.row(&[format!("{sr}"), acc("rFedAvg+"), acc("FedAvg")]);
+    }
+    println!("{}", t.render());
+    write_output(args, "fig09d_sr.csv", &t.to_csv());
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Fig. 9: parameter study ({:?}) ==\n", args.scale);
+    match args.study.as_deref().unwrap_or("all") {
+        "lambda" => study_lambda(&args),
+        "n" => study_n(&args),
+        "e" => study_e(&args),
+        "sr" => study_sr(&args),
+        "all" => {
+            study_lambda(&args);
+            study_n(&args);
+            study_e(&args);
+            study_sr(&args);
+        }
+        other => panic!("unknown study '{other}' (lambda|n|e|sr|all)"),
+    }
+}

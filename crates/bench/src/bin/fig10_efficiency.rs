@@ -1,0 +1,96 @@
+//! Fig. 10: efficiency evaluation.
+//!
+//! * (a)/(b) minimal communication rounds needed to reach accuracy levels
+//!   on the MNIST-like and CIFAR10-like benchmarks (cross-device, non-IID);
+//! * (c)/(d) wall-clock training time per round for FedAvg, rFedAvg, and
+//!   rFedAvg+ at similarity 0% and 10%.
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin fig10_efficiency --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::runner::{make_baselines, run_suite};
+use rfl_bench::setup::device_config;
+use rfl_bench::{cifar_scenario, mnist_scenario, parse_args, Scenario};
+use rfl_core::FlConfig;
+use rfl_metrics::TextTable;
+
+fn rounds_table(sc: &Scenario, cfg: &FlConfig, seeds: usize, levels: &[f32]) -> TextTable {
+    let mut header = vec!["Method".to_string()];
+    header.extend(levels.iter().map(|l| format!("→{:.0}%", l * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = TextTable::new(&header_refs);
+    let results = run_suite(sc, cfg, seeds, &make_baselines(sc));
+    for r in &results {
+        let mut row = vec![r.name.to_string()];
+        for &level in levels {
+            // Mean over seeds of rounds-to-level; '-' when never reached.
+            let hits: Vec<f64> = r
+                .histories
+                .iter()
+                .filter_map(|h| h.rounds_to_accuracy(level).map(|v| v as f64))
+                .collect();
+            row.push(if hits.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.1}", hits.iter().sum::<f64>() / hits.len() as f64)
+            });
+        }
+        t.row(&row);
+    }
+    t
+}
+
+fn time_table(sc: &Scenario, cfg: &FlConfig, seeds: usize) -> TextTable {
+    let mut t = TextTable::new(&["Method", "sec/round", "relative"]);
+    let results = run_suite(sc, cfg, seeds, &make_baselines(sc));
+    let base = results
+        .iter()
+        .find(|r| r.name == "FedAvg")
+        .map(mean_round_secs)
+        .unwrap_or(1.0);
+    for r in &results {
+        let s = mean_round_secs(r);
+        t.row(&[
+            r.name.to_string(),
+            format!("{s:.4}"),
+            format!("{:.2}x", s / base),
+        ]);
+    }
+    t
+}
+
+fn mean_round_secs(r: &rfl_bench::SuiteResult) -> f64 {
+    let total: f64 = r.histories.iter().map(|h| h.mean_round_seconds()).sum();
+    total / r.histories.len() as f64
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Fig. 10: efficiency evaluation ({:?}) ==\n", args.scale);
+
+    let cfg = device_config(args.scale, 0);
+
+    let mnist = mnist_scenario(args.scale, false, 0.0);
+    println!("-- Fig. 10a: minimal rounds to accuracy (mnist-like, device, sim 0%) --");
+    let t = rounds_table(&mnist, &cfg, args.seeds, &[0.5, 0.7, 0.8, 0.9]);
+    println!("{}", t.render());
+    write_output(&args, "fig10a_rounds_mnist.csv", &t.to_csv());
+
+    let cifar = cifar_scenario(args.scale, false, 0.0);
+    println!("-- Fig. 10b: minimal rounds to accuracy (cifar-like, device, sim 0%) --");
+    let t = rounds_table(&cifar, &cfg, args.seeds, &[0.25, 0.35, 0.45]);
+    println!("{}", t.render());
+    write_output(&args, "fig10b_rounds_cifar.csv", &t.to_csv());
+
+    println!("-- Fig. 10c: training time per round (cifar-like, device, sim 0%) --");
+    let t = time_table(&cifar, &cfg, args.seeds);
+    println!("{}", t.render());
+    write_output(&args, "fig10c_time_sim0.csv", &t.to_csv());
+
+    println!("-- Fig. 10d: training time per round (cifar-like, device, sim 10%) --");
+    let cifar10 = cifar_scenario(args.scale, false, 0.1);
+    let t = time_table(&cifar10, &cfg, args.seeds);
+    println!("{}", t.render());
+    write_output(&args, "fig10d_time_sim10.csv", &t.to_csv());
+}

@@ -1,0 +1,65 @@
+//! Fig. 11: fairness evaluation — per-client accuracy of the final global
+//! model under FedAvg vs rFedAvg+ on the MNIST-like and CIFAR10-like
+//! benchmarks (cross-silo, sim 0%). The paper's claim: the regularized
+//! method lifts the *worst* clients, not just the average.
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin fig11_fairness --
+//!         [--scale quick|full] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::setup::silo_config;
+use rfl_bench::{cifar_scenario, mnist_scenario, parse_args, Scenario};
+use rfl_core::prelude::*;
+use rfl_core::Federation;
+use rfl_metrics::{FairnessStats, TextTable};
+
+fn per_client_accuracies(
+    sc: &Scenario,
+    cfg: &rfl_core::FlConfig,
+    algo: &mut dyn Algorithm,
+    seed: u64,
+) -> Vec<f64> {
+    let data = sc.build_data(seed);
+    let run_cfg = rfl_core::FlConfig { seed, ..*cfg };
+    let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+    Trainer::new(run_cfg).run(algo, &mut fed);
+    fed.evaluate_per_client()
+        .iter()
+        .map(|e| e.accuracy as f64)
+        .collect()
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Fig. 11: fairness evaluation ({:?}) ==\n", args.scale);
+    for (tag, sc) in [
+        ("mnist", mnist_scenario(args.scale, true, 0.0)),
+        ("cifar", cifar_scenario(args.scale, true, 0.0)),
+    ] {
+        eprintln!("running {} ...", sc.name);
+        let cfg = silo_config(args.scale, 0);
+        let fed_acc = per_client_accuracies(&sc, &cfg, &mut FedAvg::new(), 17);
+        let reg_acc =
+            per_client_accuracies(&sc, &cfg, &mut RFedAvgPlus::new(sc.lambda), 17);
+
+        let mut t = TextTable::new(&["Method", "mean", "std", "worst", "p10", "worst-decile"]);
+        let mut csv = String::from("client,fedavg,rfedavg_plus\n");
+        for (method, acc) in [("FedAvg", &fed_acc), ("rFedAvg+", &reg_acc)] {
+            let s = FairnessStats::from_accuracies(acc);
+            t.row(&[
+                method.to_string(),
+                format!("{:.4}", s.mean),
+                format!("{:.4}", s.std),
+                format!("{:.4}", s.worst),
+                format!("{:.4}", s.p10),
+                format!("{:.4}", s.worst_decile_mean),
+            ]);
+        }
+        for (i, (a, b)) in fed_acc.iter().zip(&reg_acc).enumerate() {
+            csv.push_str(&format!("{i},{a:.4},{b:.4}\n"));
+        }
+        println!("-- Fig. 11 ({tag}-like, cross-silo sim 0%) per-client accuracy --");
+        println!("{}", t.render());
+        write_output(&args, &format!("fig11_{tag}_fairness.csv"), &csv);
+    }
+}

@@ -1,0 +1,70 @@
+//! Table I: test accuracy in the cross-silo setting (N clients, E = 5,
+//! SR = 1.0) on the MNIST-like / CIFAR10-like benchmarks at similarity
+//! 0% / 10% / 100% and the Sent140-like benchmark (non-IID / IID).
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin tab1_cross_silo --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::setup::silo_config;
+use rfl_bench::{
+    cifar_scenario, mnist_scenario, parse_args, run_suite, sent140_scenario, Scenario,
+};
+use rfl_metrics::{mean_std, TextTable};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Table I: cross-silo test accuracy ({:?}) ==\n", args.scale);
+
+    let scenarios: Vec<Scenario> = vec![
+        mnist_scenario(args.scale, true, 0.0),
+        mnist_scenario(args.scale, true, 0.1),
+        mnist_scenario(args.scale, true, 1.0),
+        cifar_scenario(args.scale, true, 0.0),
+        cifar_scenario(args.scale, true, 0.1),
+        cifar_scenario(args.scale, true, 1.0),
+        sent140_scenario(args.scale, true, false),
+        sent140_scenario(args.scale, true, true),
+    ];
+
+    let mut table = TextTable::new(&[
+        "Method",
+        "mnist 0%",
+        "mnist 10%",
+        "mnist 100%",
+        "cifar 0%",
+        "cifar 10%",
+        "cifar 100%",
+        "sent noniid",
+        "sent iid",
+    ]);
+
+    // results[scenario][method]
+    let mut cells: Vec<Vec<String>> = Vec::new();
+    let mut method_names: Vec<&'static str> = Vec::new();
+    for sc in &scenarios {
+        eprintln!("running {} ...", sc.name);
+        let cfg = silo_config(args.scale, 0);
+        let algos = rfl_bench::make_baselines(sc);
+        let results = run_suite(sc, &cfg, args.seeds, &algos);
+        if method_names.is_empty() {
+            method_names = results.iter().map(|r| r.name).collect();
+        }
+        cells.push(
+            results
+                .iter()
+                .map(|r| mean_std(&r.final_accuracies()).fmt_pm(true))
+                .collect(),
+        );
+    }
+
+    for (mi, name) in method_names.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for col in &cells {
+            row.push(col[mi].clone());
+        }
+        table.row(&row);
+    }
+    println!("{}", table.render());
+    write_output(&args, "tab1_cross_silo.csv", &table.to_csv());
+}

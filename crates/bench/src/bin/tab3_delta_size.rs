@@ -1,0 +1,114 @@
+//! Table III: size of the δ messages (bytes) for rFedAvg vs rFedAvg+, with
+//! the CNN and the RNN (LSTM) models, in the cross-silo and cross-device
+//! settings. Numbers are **measured** from the metered channel, not
+//! estimated: the table reports the per-round δ *download* volume per
+//! participating client — `participants·d·4` B for rFedAvg (the full table
+//! broadcast) vs `d·4` B for rFedAvg+ (the leave-one-out average).
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin tab3_delta_size --
+//!         [--scale quick|full] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::setup::{device_config, silo_config};
+use rfl_bench::{cifar_scenario, parse_args, sent140_scenario, Scenario};
+use rfl_core::prelude::*;
+use rfl_core::Federation;
+use rfl_metrics::TextTable;
+
+/// Measured per-client, per-round δ download bytes in steady state.
+fn measure_delta_download(
+    sc: &Scenario,
+    cfg: &rfl_core::FlConfig,
+    plus: bool,
+) -> (u64, usize) {
+    let seed = 3u64;
+    let data = sc.build_data(seed);
+    let run_cfg = rfl_core::FlConfig {
+        rounds: 3,
+        eval_every: 3,
+        seed,
+        ..*cfg
+    };
+    let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+    let mut a: Box<dyn Algorithm> = if plus {
+        Box::new(RFedAvgPlus::new(sc.lambda))
+    } else {
+        Box::new(RFedAvg::new(sc.lambda))
+    };
+    let h = Trainer::new(run_cfg).run(a.as_mut(), &mut fed);
+    // Steady-state round (targets exist from round 1 on).
+    let last = h.records().last().unwrap();
+    let participants = last.participants;
+    let d = fed.feature_dim();
+    // Download share of the δ traffic: subtract the uploads (d scalars + 4B
+    // header each, per participant).
+    let upload = participants as u64 * (4 + 4 * d as u64);
+    let down = last.delta_bytes.saturating_sub(upload);
+    (down / participants as u64, participants)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Table III: size of δ (bytes) ==\n");
+
+    let mut t = TextTable::new(&[
+        "Model",
+        "Setting",
+        "participants",
+        "rFedAvg (B)",
+        "rFedAvg+ (B)",
+        "ratio",
+    ]);
+    let mut rows = Vec::new();
+    for (model_tag, make_sc) in [
+        (
+            "CNN",
+            Box::new(|silo: bool| {
+                if silo {
+                    cifar_scenario(args.scale, true, 0.0)
+                } else {
+                    cifar_scenario(args.scale, false, 0.0)
+                }
+            }) as Box<dyn Fn(bool) -> Scenario>,
+        ),
+        (
+            "RNN",
+            Box::new(|silo: bool| {
+                if silo {
+                    sent140_scenario(args.scale, true, false)
+                } else {
+                    sent140_scenario(args.scale, false, false)
+                }
+            }),
+        ),
+    ] {
+        for (setting, silo) in [("cross-silo", true), ("cross-device", false)] {
+            let sc = make_sc(silo);
+            let cfg = if silo {
+                silo_config(args.scale, 0)
+            } else {
+                device_config(args.scale, 0)
+            };
+            eprintln!("measuring {model_tag} / {setting} ...");
+            let (r_bytes, parts) = measure_delta_download(&sc, &cfg, false);
+            let (p_bytes, _) = measure_delta_download(&sc, &cfg, true);
+            let ratio = r_bytes as f64 / p_bytes.max(1) as f64;
+            rows.push((model_tag, setting, parts, r_bytes, p_bytes, ratio));
+            t.row(&[
+                model_tag.to_string(),
+                setting.to_string(),
+                parts.to_string(),
+                r_bytes.to_string(),
+                p_bytes.to_string(),
+                format!("{ratio:.1}x"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "(paper's shape: rFedAvg's δ grows with the participant count — \
+         56160/2808 = 20x cross-silo, 280800/2808 = 100x cross-device — \
+         while rFedAvg+'s stays constant)"
+    );
+    write_output(&args, "tab3_delta_size.csv", &t.to_csv());
+}

@@ -1,0 +1,21 @@
+//! # rfl-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Sec. VI). Each `src/bin/*` binary reproduces one table or
+//! figure and prints the corresponding rows/series (ASCII chart + CSV);
+//! `benches/*` hold Criterion micro-benchmarks of the hot kernels.
+//!
+//! All experiments run on the synthetic benchmark families documented in
+//! `DESIGN.md` §3 and accept `--scale quick|full` (quick is the default and
+//! finishes in seconds; full uses larger federations closer to the paper's
+//! sizes — see EXPERIMENTS.md).
+
+pub mod args;
+pub mod runner;
+pub mod setup;
+
+pub use args::{parse_args, ExpArgs, Scale};
+pub use runner::{make_baselines, run_suite, suite_table, SuiteResult};
+pub use setup::{
+    cifar_scenario, femnist_scenario, mnist_scenario, sent140_scenario, Scenario,
+};

@@ -1,0 +1,183 @@
+//! Suite execution: run a set of algorithms over repeated seeds and render
+//! the paper-style outputs.
+
+use crate::setup::Scenario;
+use rfl_core::prelude::*;
+use rfl_core::Federation;
+use rfl_metrics::{mean_std, Series, TextTable};
+
+/// A named algorithm constructor (fresh state per repetition).
+pub type AlgoFactory = (&'static str, Box<dyn Fn() -> Box<dyn Algorithm>>);
+
+/// All histories of one algorithm across seeds.
+pub struct SuiteResult {
+    pub name: &'static str,
+    pub histories: Vec<History>,
+}
+
+impl SuiteResult {
+    /// Final test accuracies across seeds.
+    pub fn final_accuracies(&self) -> Vec<f64> {
+        self.histories
+            .iter()
+            .map(|h| h.final_accuracy().unwrap_or(0.0) as f64)
+            .collect()
+    }
+
+    /// Mean accuracy curve across seeds (x = round).
+    pub fn mean_accuracy_series(&self) -> Series {
+        self.mean_series(|r| r.test_acc.map(|a| a as f64))
+    }
+
+    /// Mean train-loss curve across seeds.
+    pub fn mean_loss_series(&self) -> Series {
+        self.mean_series(|r| Some(r.train_loss as f64))
+    }
+
+    fn mean_series(
+        &self,
+        get: impl Fn(&rfl_core::RoundRecord) -> Option<f64>,
+    ) -> Series {
+        let mut s = Series::new(self.name);
+        if self.histories.is_empty() {
+            return s;
+        }
+        let rounds = self.histories[0].len();
+        for r in 0..rounds {
+            let vals: Vec<f64> = self
+                .histories
+                .iter()
+                .filter_map(|h| h.records().get(r).and_then(&get))
+                .collect();
+            if !vals.is_empty() {
+                s.push(r as f64, vals.iter().sum::<f64>() / vals.len() as f64);
+            }
+        }
+        s
+    }
+}
+
+/// The paper's six compared methods with the scenario's hyper-parameters.
+pub fn make_baselines(sc: &Scenario) -> Vec<AlgoFactory> {
+    let lambda = sc.lambda;
+    let mu = sc.prox_mu;
+    let q = sc.qfed_q;
+    vec![
+        ("FedAvg", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "FedProx",
+            Box::new(move || Box::new(FedProx::new(mu)) as Box<dyn Algorithm>),
+        ),
+        (
+            "Scaffold",
+            Box::new(|| Box::new(Scaffold::new(1.0)) as Box<dyn Algorithm>),
+        ),
+        (
+            "q-FedAvg",
+            Box::new(move || Box::new(QFedAvg::new(q)) as Box<dyn Algorithm>),
+        ),
+        (
+            "rFedAvg",
+            Box::new(move || Box::new(RFedAvg::new(lambda)) as Box<dyn Algorithm>),
+        ),
+        (
+            "rFedAvg+",
+            Box::new(move || Box::new(RFedAvgPlus::new(lambda)) as Box<dyn Algorithm>),
+        ),
+    ]
+}
+
+/// Only the proposed methods (for parameter studies).
+pub fn make_proposed(lambda: f32) -> Vec<AlgoFactory> {
+    vec![
+        ("FedAvg", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "rFedAvg",
+            Box::new(move || Box::new(RFedAvg::new(lambda)) as Box<dyn Algorithm>),
+        ),
+        (
+            "rFedAvg+",
+            Box::new(move || Box::new(RFedAvgPlus::new(lambda)) as Box<dyn Algorithm>),
+        ),
+    ]
+}
+
+/// Runs every algorithm for `seeds` repetitions on freshly built data.
+pub fn run_suite(
+    sc: &Scenario,
+    cfg: &FlConfig,
+    seeds: usize,
+    algos: &[AlgoFactory],
+) -> Vec<SuiteResult> {
+    algos
+        .iter()
+        .map(|(name, make)| {
+            let histories = (0..seeds)
+                .map(|rep| {
+                    let seed = cfg.seed + rep as u64 * 1000 + 17;
+                    let data = sc.build_data(seed);
+                    let run_cfg = FlConfig { seed, ..*cfg };
+                    let mut fed =
+                        Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+                    let mut algo = make();
+                    Trainer::new(run_cfg).run(algo.as_mut(), &mut fed)
+                })
+                .collect();
+            SuiteResult {
+                name,
+                histories,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full baseline suite and returns `(accuracy curves, loss curves)`
+/// — the contents of one accuracy/loss figure pair (Figs. 2–7).
+pub fn run_curves(
+    sc: &Scenario,
+    cfg: &FlConfig,
+    seeds: usize,
+) -> (Vec<Series>, Vec<Series>) {
+    let algos = make_baselines(sc);
+    let results = run_suite(sc, cfg, seeds, &algos);
+    let acc = results.iter().map(|r| r.mean_accuracy_series()).collect();
+    let loss = results.iter().map(|r| r.mean_loss_series()).collect();
+    (acc, loss)
+}
+
+/// Renders the Tables I/II style `method × final accuracy` table.
+pub fn suite_table(results: &[SuiteResult], column: &str) -> TextTable {
+    let mut t = TextTable::new(&["Method", column]);
+    for r in results {
+        let m = mean_std(&r.final_accuracies());
+        t.row(&[r.name.to_string(), m.fmt_pm(true)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Scale;
+    use crate::setup::{mnist_scenario, silo_config};
+
+    #[test]
+    fn run_suite_produces_one_result_per_algorithm() {
+        let sc = mnist_scenario(Scale::Quick, true, 1.0);
+        let mut cfg = silo_config(Scale::Quick, 0);
+        cfg.rounds = 2;
+        cfg.eval_every = 2;
+        let algos = make_proposed(sc.lambda);
+        let results = run_suite(&sc, &cfg, 1, &algos);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.histories.len(), 1);
+            assert_eq!(r.histories[0].len(), 2);
+            assert!(r.final_accuracies()[0] > 0.0);
+        }
+        let table = suite_table(&results, "Acc");
+        assert_eq!(table.num_rows(), 3);
+        let series = results[0].mean_accuracy_series();
+        assert!(!series.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Scenario construction: benchmark family × federation geometry.
+
+use rfl_core::{FlConfig, ModelFactory, OptimizerFactory};
+use rfl_data::synth::femnist::FemnistSpec;
+use rfl_data::synth::image::SynthImageSpec;
+use rfl_data::synth::text::SynthTextSpec;
+use rfl_data::{partition, FederatedData};
+use rfl_nn::{CnnConfig, LstmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::Scale;
+
+/// Which benchmark family a scenario draws from.
+#[derive(Clone, Copy, Debug)]
+pub enum ScenarioKind {
+    MnistLike,
+    CifarLike,
+    /// `iid = true` reshuffles the user data over the clients.
+    Sent140 { iid: bool },
+    Femnist,
+}
+
+/// A fully specified experiment scenario. `build_data(seed)` regenerates
+/// the federated dataset for one repetition; model/optimizer factories and
+/// the algorithm-specific hyper-parameters ride along.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub name: String,
+    pub kind: ScenarioKind,
+    pub n_clients: usize,
+    pub samples_per_client: usize,
+    pub test_samples: usize,
+    /// Label-skew similarity `s` for the image benchmarks (ignored by the
+    /// naturally partitioned families).
+    pub similarity: f64,
+    pub model: ModelFactory,
+    pub optimizer: OptimizerFactory,
+    /// rFedAvg / rFedAvg+ regularization weight λ.
+    pub lambda: f32,
+    /// FedProx proximal coefficient μ.
+    pub prox_mu: f32,
+    /// q-FedAvg fairness parameter q.
+    pub qfed_q: f32,
+}
+
+impl Scenario {
+    /// Regenerates the federated dataset for one repetition.
+    pub fn build_data(&self, seed: u64) -> FederatedData {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407));
+        let total = self.n_clients * self.samples_per_client;
+        match self.kind {
+            ScenarioKind::MnistLike | ScenarioKind::CifarLike => {
+                let spec = match self.kind {
+                    ScenarioKind::MnistLike => SynthImageSpec::mnist_like(),
+                    _ => SynthImageSpec::cifar_like(),
+                };
+                let pool = spec.generate(total, &mut rng);
+                let parts = partition::similarity(
+                    pool.labels(),
+                    self.n_clients,
+                    self.similarity,
+                    &mut rng,
+                );
+                let test = spec.generate(self.test_samples, &mut rng);
+                FederatedData::from_partition(&pool, &parts, test)
+            }
+            ScenarioKind::Sent140 { iid } => {
+                let spec = SynthTextSpec::sent140_like();
+                let (pool, users) = spec.generate_users(self.n_clients, total, &mut rng);
+                let parts = if iid {
+                    partition::iid(pool.len(), self.n_clients, &mut rng)
+                } else {
+                    partition::by_user(&users)
+                };
+                // Held-out users form the test set.
+                let (test, _) = spec.generate_users(
+                    self.n_clients.max(4) / 4,
+                    self.test_samples,
+                    &mut rng,
+                );
+                FederatedData::from_partition(&pool, &parts, test)
+            }
+            ScenarioKind::Femnist => {
+                let spec = FemnistSpec::default_spec();
+                let (pool, users) = spec.generate_writers(self.n_clients, total, &mut rng);
+                let parts = partition::by_user(&users);
+                let (test, _) =
+                    spec.generate_writers(self.n_clients.max(4) / 4, self.test_samples, &mut rng);
+                FederatedData::from_partition(&pool, &parts, test)
+            }
+        }
+    }
+}
+
+/// Geometry presets per scale: `(silo N, device N, samples/client, rounds)`.
+fn geometry(scale: Scale) -> (usize, usize, usize, usize) {
+    match scale {
+        Scale::Quick => (8, 24, 32, 12),
+        Scale::Full => (20, 100, 80, 40),
+    }
+}
+
+/// Test-set size per scale (evaluation dominates single-core runtime).
+fn test_samples(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 200,
+        Scale::Full => 500,
+    }
+}
+
+/// The paper's cross-silo configuration (`E = 5`, `SR = 1.0`) at `scale`.
+pub fn silo_config(scale: Scale, seed: u64) -> FlConfig {
+    let (_, _, _, rounds) = geometry(scale);
+    FlConfig {
+        rounds,
+        local_steps: 5,
+        batch_size: 20,
+        sample_ratio: 1.0,
+        eval_every: 1,
+        parallel: true,
+        clip_grad_norm: Some(10.0),
+        seed,
+    }
+}
+
+/// The paper's cross-device configuration (`E = 10`, `SR = 0.2`) at `scale`.
+pub fn device_config(scale: Scale, seed: u64) -> FlConfig {
+    let (_, _, _, rounds) = geometry(scale);
+    FlConfig {
+        rounds,
+        local_steps: 10,
+        batch_size: 16,
+        sample_ratio: 0.2,
+        eval_every: 1,
+        parallel: true,
+        clip_grad_norm: Some(10.0),
+        seed,
+    }
+}
+
+/// MNIST-like scenario (`cross_silo = false` gives the cross-device
+/// geometry).
+pub fn mnist_scenario(scale: Scale, cross_silo: bool, similarity: f64) -> Scenario {
+    let (silo_n, device_n, spc, _) = geometry(scale);
+    Scenario {
+        name: format!(
+            "mnist-like/{}/sim{:.0}%",
+            if cross_silo { "silo" } else { "device" },
+            similarity * 100.0
+        ),
+        kind: ScenarioKind::MnistLike,
+        n_clients: if cross_silo { silo_n } else { device_n },
+        samples_per_client: spc,
+        test_samples: test_samples(scale),
+        similarity,
+        model: ModelFactory::cnn(CnnConfig::mnist_like()),
+        optimizer: OptimizerFactory::sgd(0.1),
+        lambda: 1e-4,
+        prox_mu: 1.0,
+        qfed_q: 1.0,
+    }
+}
+
+/// CIFAR10-like scenario.
+pub fn cifar_scenario(scale: Scale, cross_silo: bool, similarity: f64) -> Scenario {
+    let (silo_n, device_n, spc, _) = geometry(scale);
+    Scenario {
+        name: format!(
+            "cifar-like/{}/sim{:.0}%",
+            if cross_silo { "silo" } else { "device" },
+            similarity * 100.0
+        ),
+        kind: ScenarioKind::CifarLike,
+        n_clients: if cross_silo { silo_n } else { device_n },
+        samples_per_client: spc,
+        test_samples: test_samples(scale),
+        similarity,
+        model: ModelFactory::cnn(CnnConfig::cifar_like()),
+        optimizer: OptimizerFactory::sgd(0.1),
+        lambda: 1e-4,
+        prox_mu: 1.0,
+        qfed_q: 1.0,
+    }
+}
+
+/// Sent140-like scenario (LSTM + RMSProp, natural or IID partition).
+pub fn sent140_scenario(scale: Scale, cross_silo: bool, iid: bool) -> Scenario {
+    let (silo_n, device_n, spc, _) = geometry(scale);
+    Scenario {
+        name: format!(
+            "sent140-like/{}/{}",
+            if cross_silo { "silo" } else { "device" },
+            if iid { "iid" } else { "noniid" }
+        ),
+        kind: ScenarioKind::Sent140 { iid },
+        n_clients: if cross_silo { silo_n } else { device_n },
+        samples_per_client: spc,
+        test_samples: test_samples(scale),
+        similarity: 1.0,
+        model: ModelFactory::lstm(LstmConfig::sent140_like()),
+        optimizer: OptimizerFactory::rmsprop(0.01),
+        lambda: 0.1,
+        prox_mu: 0.01,
+        qfed_q: 1e-4,
+    }
+}
+
+/// FEMNIST-like scenario with `n_clients` writers.
+pub fn femnist_scenario(scale: Scale, n_clients: usize) -> Scenario {
+    let (_, _, spc, _) = geometry(scale);
+    Scenario {
+        name: format!("femnist-like/{n_clients}clients"),
+        kind: ScenarioKind::Femnist,
+        n_clients,
+        samples_per_client: spc,
+        test_samples: test_samples(scale),
+        similarity: 0.0,
+        model: ModelFactory::cnn(CnnConfig::femnist_like()),
+        optimizer: OptimizerFactory::sgd(0.1),
+        lambda: 1e-4,
+        prox_mu: 1.0,
+        qfed_q: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_scenario_builds_expected_federation() {
+        let sc = mnist_scenario(Scale::Quick, true, 0.0);
+        let data = sc.build_data(0);
+        assert_eq!(data.num_clients(), 8);
+        assert_eq!(data.test.len(), 200);
+        let total: usize = data.clients.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 8 * 32);
+    }
+
+    #[test]
+    fn sent140_noniid_has_quantity_skew_but_iid_does_not() {
+        let non = sent140_scenario(Scale::Quick, true, false).build_data(1);
+        let iid = sent140_scenario(Scale::Quick, true, true).build_data(1);
+        let spread = |d: &FederatedData| {
+            let sizes: Vec<usize> = d.clients.iter().map(|c| c.len()).collect();
+            *sizes.iter().max().unwrap() - *sizes.iter().min().unwrap()
+        };
+        assert!(spread(&non) > spread(&iid));
+    }
+
+    #[test]
+    fn data_is_seed_deterministic() {
+        let sc = cifar_scenario(Scale::Quick, true, 0.1);
+        let a = sc.build_data(7);
+        let b = sc.build_data(7);
+        assert_eq!(a.clients[0].labels(), b.clients[0].labels());
+        let c = sc.build_data(8);
+        assert_ne!(a.clients[0].labels(), c.clients[0].labels());
+    }
+
+    #[test]
+    fn femnist_builds_with_requested_writers() {
+        let sc = femnist_scenario(Scale::Quick, 10);
+        let data = sc.build_data(2);
+        assert_eq!(data.num_clients(), 10);
+    }
+}

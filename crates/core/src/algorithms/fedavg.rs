@@ -1,0 +1,95 @@
+//! Vanilla Federated Averaging (McMahan et al., AISTATS 2017).
+
+use super::mean_losses;
+use crate::federation::{Federation, FlConfig};
+use crate::rules::LocalRule;
+use crate::sampling::{renormalized_weights, sample_clients};
+use crate::trainer::{Algorithm, RoundOutcome};
+use rand::rngs::StdRng;
+
+/// FedAvg: sample clients, run `E` local SGD steps, average the parameters
+/// weighted by client data sizes.
+#[derive(Default)]
+pub struct FedAvg;
+
+impl FedAvg {
+    pub fn new() -> Self {
+        FedAvg
+    }
+}
+
+impl Algorithm for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn round(
+        &mut self,
+        fed: &mut Federation,
+        cfg: &FlConfig,
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> RoundOutcome {
+        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        fed.broadcast_params(&selected);
+        let rules = vec![LocalRule::Plain; selected.len()];
+        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let params = fed.collect_params(&selected);
+        let w = renormalized_weights(fed.weights(), &selected);
+        fed.set_global(Federation::weighted_average(&params, &w));
+        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        RoundOutcome {
+            train_loss,
+            reg_loss,
+            selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{convex_fed, run_rounds};
+
+    #[test]
+    fn improves_test_accuracy_on_iid_data() {
+        let (mut fed, cfg) = convex_fed(1.0, 0, 8);
+        let before = fed.evaluate_global().accuracy;
+        let h = run_rounds(&mut FedAvg::new(), &mut fed, &cfg, 15);
+        let after = h.final_accuracy().unwrap();
+        assert!(after > before.max(0.5), "{before} → {after}");
+    }
+
+    #[test]
+    fn partial_participation_still_learns() {
+        let (mut fed, mut cfg) = convex_fed(1.0, 1, 8);
+        cfg.sample_ratio = 0.25;
+        let h = run_rounds(&mut FedAvg::new(), &mut fed, &cfg, 20);
+        assert!(h.final_accuracy().unwrap() > 0.5);
+        // Only a quarter of clients participate each round.
+        assert!(h.records().iter().all(|r| r.participants == 2));
+    }
+
+    #[test]
+    fn communication_is_two_model_transfers_per_participant() {
+        let (mut fed, cfg) = convex_fed(1.0, 2, 8);
+        let n_params = fed.num_params() as u64;
+        let h = run_rounds(&mut FedAvg::new(), &mut fed, &cfg, 1);
+        let r = &h.records()[0];
+        let per_msg = 4 + 4 * n_params;
+        assert_eq!(r.down_bytes, 8 * per_msg);
+        assert_eq!(r.up_bytes, 8 * per_msg);
+        assert_eq!(r.delta_bytes, 0);
+    }
+
+    #[test]
+    fn is_deterministic_across_runs() {
+        let run = || {
+            let (mut fed, cfg) = convex_fed(0.0, 3, 8);
+            run_rounds(&mut FedAvg::new(), &mut fed, &cfg, 5)
+                .final_accuracy()
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,147 @@
+//! FedPer-style partial aggregation (Arivazhagan et al., 2019): only the
+//! feature extractor `φ` (the paper's `w̃`) is federated; each client keeps
+//! its classification head (`w̿`) personal.
+//!
+//! This reuses the same `w = (w̃, w̿)` decomposition the paper's analysis
+//! rests on (`Model::phi_param_range`), and is the algorithmic form of the
+//! personalization future-work direction: a shared representation with
+//! per-client decision layers.
+
+use super::mean_losses;
+use crate::federation::{Federation, FlConfig};
+use crate::rules::LocalRule;
+use crate::sampling::{renormalized_weights, sample_clients};
+use crate::trainer::{Algorithm, RoundOutcome};
+use rand::rngs::StdRng;
+
+/// Federated body, personal head. Evaluation caveat: the server-side
+/// "global model" mixes the averaged body with the initial head, so global
+/// test accuracy understates this method — judge it by per-client
+/// (personalized) accuracy, as the original paper does.
+pub struct FedPer {
+    phi_range: Option<std::ops::Range<usize>>,
+}
+
+impl FedPer {
+    pub fn new() -> Self {
+        FedPer { phi_range: None }
+    }
+
+    /// The federated parameter range (known after the first round).
+    pub fn phi_range(&self) -> Option<&std::ops::Range<usize>> {
+        self.phi_range.as_ref()
+    }
+}
+
+impl Default for FedPer {
+    fn default() -> Self {
+        FedPer::new()
+    }
+}
+
+impl Algorithm for FedPer {
+    fn name(&self) -> &'static str {
+        "FedPer"
+    }
+
+    fn round(
+        &mut self,
+        fed: &mut Federation,
+        cfg: &FlConfig,
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> RoundOutcome {
+        let phi = fed.phi_param_range();
+        assert!(
+            !phi.is_empty(),
+            "FedPer requires a model with a non-trivial feature extractor"
+        );
+        self.phi_range = Some(phi.clone());
+        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+
+        // Broadcast only φ: each client keeps its own head. (The channel
+        // charge is the φ slice, which is what would cross the wire.)
+        let global_phi = fed.global()[phi.clone()].to_vec();
+        let received = fed.channel_mut().broadcast(selected.len(), &global_phi);
+        let mut buf = Vec::new();
+        for &k in &selected {
+            fed.client(k).read_params(&mut buf);
+            buf[phi.clone()].copy_from_slice(&received);
+            fed.client_mut(k).write_params(&buf);
+        }
+
+        let rules = vec![LocalRule::Plain; selected.len()];
+        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+
+        // Upload only φ; average it into the global body.
+        let w = renormalized_weights(fed.weights(), &selected);
+        let mut phi_avg = vec![0.0f32; phi.len()];
+        for (&k, &wk) in selected.iter().zip(&w) {
+            fed.client(k).read_params(&mut buf);
+            let sent = fed
+                .channel_mut()
+                .transfer(crate::comm::Direction::Upload, &buf[phi.clone()]);
+            rfl_tensor::axpy_slices(&mut phi_avg, wk, &sent);
+        }
+        let mut new_global = fed.global().to_vec();
+        new_global[phi].copy_from_slice(&phi_avg);
+        fed.set_global(new_global);
+
+        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        RoundOutcome {
+            train_loss,
+            reg_loss,
+            selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{convex_fed, run_rounds};
+
+    #[test]
+    fn personal_heads_diverge_while_bodies_agree() {
+        let (mut fed, cfg) = convex_fed(0.0, 110, 4);
+        let mut algo = FedPer::new();
+        run_rounds(&mut algo, &mut fed, &cfg, 5);
+        let phi = algo.phi_range().unwrap().clone();
+        // After the round, broadcast puts the shared body everywhere; train
+        // once more and inspect.
+        let (mut b0, mut b1) = (Vec::new(), Vec::new());
+        fed.client(0).read_params(&mut b0);
+        fed.client(1).read_params(&mut b1);
+        // Heads must differ (they were never averaged).
+        assert_ne!(&b0[phi.end..], &b1[phi.end..], "heads should be personal");
+    }
+
+    #[test]
+    fn per_client_accuracy_is_good_on_noniid() {
+        // The FedPer value proposition: local (personalized) accuracy on
+        // skewed clients.
+        let (mut fed, cfg) = convex_fed(0.0, 111, 4);
+        run_rounds(&mut FedPer::new(), &mut fed, &cfg, 15);
+        // Evaluate each client's personal model on its own data.
+        let accs: Vec<f32> = (0..4)
+            .map(|k| fed.client_mut(k).evaluate_local(32).accuracy)
+            .collect();
+        let mean = accs.iter().sum::<f32>() / 4.0;
+        assert!(mean > 0.6, "personalized accuracies {accs:?}");
+    }
+
+    #[test]
+    fn communication_is_smaller_than_fedavg() {
+        use crate::algorithms::FedAvg;
+        let (mut fed_a, cfg) = convex_fed(0.0, 112, 4);
+        let (mut fed_b, _) = convex_fed(0.0, 112, 4);
+        let ha = run_rounds(&mut FedAvg::new(), &mut fed_a, &cfg, 2);
+        let hb = run_rounds(&mut FedPer::new(), &mut fed_b, &cfg, 2);
+        assert!(
+            hb.total_bytes() < ha.total_bytes(),
+            "FedPer ships only φ: {} vs {}",
+            hb.total_bytes(),
+            ha.total_bytes()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! The federated optimization algorithms compared in the paper's evaluation.
+
+mod compressed;
+mod fedavg;
+mod fedavgm;
+mod fedper;
+mod fedprox;
+mod poc;
+mod qfedavg;
+mod rfedavg;
+mod rfedavg_plus;
+mod scaffold;
+
+pub use compressed::CompressedFedAvg;
+pub use fedavg::FedAvg;
+pub use fedavgm::FedAvgM;
+pub use fedper::FedPer;
+pub use fedprox::FedProx;
+pub use poc::PowerOfChoice;
+pub use qfedavg::QFedAvg;
+pub use rfedavg::RFedAvg;
+pub use rfedavg_plus::RFedAvgPlus;
+pub use scaffold::Scaffold;
+
+use crate::client::LocalReport;
+
+/// Participant-weighted means of the local data loss and regularizer loss.
+pub(crate) fn mean_losses(reports: &[LocalReport], weights: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(reports.len(), weights.len());
+    let mut loss = 0.0f32;
+    let mut reg = 0.0f32;
+    for (r, &w) in reports.iter().zip(weights) {
+        loss += w * r.loss;
+        reg += w * r.reg_loss;
+    }
+    (loss, reg)
+}

@@ -1,0 +1,158 @@
+//! Power-of-Choice client selection (Cho et al., 2020) combined with the
+//! distribution regularizer — the paper's "adaptive participant selection"
+//! future-work direction.
+//!
+//! Instead of uniform sampling, the server samples a *candidate set* of
+//! `d ≥ m` clients, asks them for their current local loss at the global
+//! model, and keeps the `m` highest-loss candidates. Biasing participation
+//! toward struggling clients speeds convergence on heterogeneous data.
+
+use super::mean_losses;
+use crate::federation::{Federation, FlConfig};
+use crate::rules::LocalRule;
+use crate::sampling::{renormalized_weights, sample_clients};
+use crate::trainer::{Algorithm, RoundOutcome};
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// FedAvg (optionally with the rFedAvg+ regularizer) under Power-of-Choice
+/// selection with a candidate pool `d = oversample · m`.
+pub struct PowerOfChoice {
+    oversample: f32,
+    /// λ = 0 disables the regularizer (plain PoC-FedAvg).
+    lambda: f32,
+    table: Option<crate::delta::DeltaTable>,
+}
+
+impl PowerOfChoice {
+    pub fn new(oversample: f32, lambda: f32) -> Self {
+        assert!(oversample >= 1.0, "oversample factor must be ≥ 1");
+        assert!(lambda >= 0.0);
+        PowerOfChoice {
+            oversample,
+            lambda,
+            table: None,
+        }
+    }
+}
+
+impl Algorithm for PowerOfChoice {
+    fn name(&self) -> &'static str {
+        "PoC-rFedAvg+"
+    }
+
+    fn round(
+        &mut self,
+        fed: &mut Federation,
+        cfg: &FlConfig,
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> RoundOutcome {
+        let n = fed.num_clients();
+        let d_dim = fed.feature_dim();
+        let table = self
+            .table
+            .get_or_insert_with(|| crate::delta::DeltaTable::new(n, d_dim));
+
+        // Candidate pool, then keep the highest-loss m.
+        let m = ((n as f32 * cfg.sample_ratio).ceil() as usize).clamp(1, n);
+        let pool_sr = (cfg.sample_ratio * self.oversample).min(1.0);
+        let candidates = sample_clients(n, pool_sr, rng);
+        fed.broadcast_params(&candidates);
+        let losses = fed.local_losses_at_global(&candidates);
+        let mut ranked: Vec<(usize, f32)> =
+            candidates.iter().copied().zip(losses).collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut selected: Vec<usize> = ranked.iter().take(m).map(|(k, _)| *k).collect();
+        selected.sort_unstable();
+
+        // rFedAvg+ style regularized local training on the selection.
+        let rules: Vec<LocalRule> = selected
+            .iter()
+            .map(|&k| {
+                if self.lambda == 0.0 {
+                    return LocalRule::Plain;
+                }
+                match table.mean_excluding_initialized(k) {
+                    Some(target) => LocalRule::Mmd {
+                        lambda: self.lambda,
+                        target: Arc::new(target),
+                    },
+                    None => LocalRule::Plain,
+                }
+            })
+            .collect();
+        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let params = fed.collect_params(&selected);
+        let w = renormalized_weights(fed.weights(), &selected);
+        fed.set_global(Federation::weighted_average(&params, &w));
+
+        if self.lambda > 0.0 {
+            fed.broadcast_params(&selected);
+            for &k in &selected {
+                let delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
+                table.set(k, delta);
+            }
+        }
+
+        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        RoundOutcome {
+            train_loss,
+            reg_loss,
+            selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{convex_fed, run_rounds};
+
+    #[test]
+    fn learns_with_partial_participation() {
+        let (mut fed, mut cfg) = convex_fed(0.0, 80, 8);
+        cfg.sample_ratio = 0.25;
+        let h = run_rounds(&mut PowerOfChoice::new(2.0, 1e-3), &mut fed, &cfg, 20);
+        assert!(h.final_accuracy().unwrap() > 0.4);
+        assert!(h.records().iter().all(|r| r.participants == 2));
+    }
+
+    #[test]
+    fn selects_high_loss_clients() {
+        // With oversample = N/m (full pool) the selection must equal the
+        // top-m clients by loss at the global model.
+        let (mut fed, mut cfg) = convex_fed(0.0, 81, 8);
+        cfg.sample_ratio = 0.25; // m = 2
+        let mut algo = PowerOfChoice::new(4.0, 0.0); // pool = all 8
+        let all: Vec<usize> = (0..8).collect();
+        fed.broadcast_params(&all);
+        let mut losses: Vec<(usize, f32)> = fed
+            .local_losses_at_global(&all)
+            .into_iter()
+            .enumerate()
+            .collect();
+        losses.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let expected: Vec<usize> = {
+            let mut v: Vec<usize> = losses.iter().take(2).map(|(k, _)| *k).collect();
+            v.sort_unstable();
+            v
+        };
+        let h = run_rounds(&mut algo, &mut fed, &cfg, 1);
+        // The first round's pool covers all clients, so selection is exact.
+        let rec = &h.records()[0];
+        assert_eq!(rec.participants, 2);
+        // We can't read the selection from the history, so re-derive it via
+        // the outcome: check by rerunning with the same seeds.
+        let (mut fed2, _) = convex_fed(0.0, 81, 8);
+        let mut rng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);
+        let out = PowerOfChoice::new(4.0, 0.0).round(&mut fed2, &cfg, 0, &mut rng);
+        assert_eq!(out.selected, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversample")]
+    fn rejects_bad_oversample() {
+        PowerOfChoice::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! q-FedAvg (Li et al., ICLR 2020): fair resource allocation in federated
+//! learning via the q-fair objective `Σ p_k F_k^{q+1}/(q+1)`.
+
+use super::mean_losses;
+use crate::federation::{Federation, FlConfig};
+use crate::rules::LocalRule;
+use crate::sampling::sample_clients;
+use crate::trainer::{Algorithm, RoundOutcome};
+use rand::rngs::StdRng;
+
+/// q-FedAvg with fairness parameter `q` (q = 0 recovers FedAvg-style
+/// updates; the paper uses q = 1.0 on images, 1e-4 on Sent140).
+///
+/// Per the reference implementation, the Lipschitz estimate is `L = 1/η_l`
+/// and the aggregation is
+/// `w⁺ = w − Σ_k Δ_k / Σ_k h_k` with
+/// `Δ_k = F_k^q · L·(w − w_k)` and `h_k = q·F_k^{q−1}·‖L(w − w_k)‖² + L·F_k^q`.
+pub struct QFedAvg {
+    q: f32,
+}
+
+impl QFedAvg {
+    pub fn new(q: f32) -> Self {
+        assert!(q >= 0.0, "q must be non-negative");
+        QFedAvg { q }
+    }
+
+    pub fn q(&self) -> f32 {
+        self.q
+    }
+}
+
+impl Algorithm for QFedAvg {
+    fn name(&self) -> &'static str {
+        "q-FedAvg"
+    }
+
+    fn round(
+        &mut self,
+        fed: &mut Federation,
+        cfg: &FlConfig,
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> RoundOutcome {
+        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        fed.broadcast_params(&selected);
+        // Loss of the global model on each participant's data (the F_k in
+        // the q-fair weights) — computed client-side after the download.
+        let losses = fed.local_losses_at_global(&selected);
+
+        let rules = vec![LocalRule::Plain; selected.len()];
+        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let params = fed.collect_params(&selected);
+
+        let global = fed.global().to_vec();
+        let n_params = global.len();
+        let mut delta_sum = vec![0.0f32; n_params];
+        let mut h_sum = 0.0f32;
+        for (i, &k) in selected.iter().enumerate() {
+            let lipschitz = 1.0 / fed.client(k).lr();
+            let f_k = losses[i].max(1e-10);
+            let fq = f_k.powf(self.q);
+            let mut grad_sq = 0.0f32;
+            for (j, d) in delta_sum.iter_mut().enumerate() {
+                let g = lipschitz * (global[j] - params[i][j]);
+                *d += fq * g;
+                grad_sq += g * g;
+            }
+            h_sum += self.q * f_k.powf(self.q - 1.0) * grad_sq + lipschitz * fq;
+        }
+        assert!(h_sum > 0.0, "degenerate q-FedAvg denominator");
+        let mut new_global = global;
+        for (g, d) in new_global.iter_mut().zip(&delta_sum) {
+            *g -= d / h_sum;
+        }
+        fed.set_global(new_global);
+
+        let uniform = vec![1.0 / selected.len() as f32; selected.len()];
+        let (train_loss, reg_loss) = mean_losses(&reports, &uniform);
+        RoundOutcome {
+            train_loss,
+            reg_loss,
+            selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{convex_fed, run_rounds};
+
+    #[test]
+    fn learns_with_small_q() {
+        let (mut fed, cfg) = convex_fed(1.0, 30, 8);
+        let h = run_rounds(&mut QFedAvg::new(1e-4), &mut fed, &cfg, 20);
+        assert!(h.final_accuracy().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn learns_with_q_one_on_noniid() {
+        let (mut fed, cfg) = convex_fed(0.0, 31, 8);
+        let h = run_rounds(&mut QFedAvg::new(1.0), &mut fed, &cfg, 25);
+        assert!(h.final_accuracy().unwrap() > 0.4);
+    }
+
+    #[test]
+    fn update_moves_global_toward_clients() {
+        let (mut fed, cfg) = convex_fed(0.0, 32, 4);
+        let w0 = fed.global().to_vec();
+        run_rounds(&mut QFedAvg::new(1.0), &mut fed, &cfg, 1);
+        assert_ne!(fed.global(), w0.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_q() {
+        QFedAvg::new(-0.5);
+    }
+}

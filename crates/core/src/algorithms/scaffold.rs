@@ -1,0 +1,189 @@
+//! SCAFFOLD (Karimireddy et al., ICML 2020): stochastic controlled averaging
+//! with server/client control variates correcting client drift.
+
+use super::mean_losses;
+use crate::comm::Direction;
+use crate::federation::{Federation, FlConfig};
+use crate::rules::LocalRule;
+use crate::sampling::sample_clients;
+use crate::trainer::{Algorithm, RoundOutcome};
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// SCAFFOLD with server step size `η_g` (the paper sets η_g = 1.0).
+///
+/// Uses "option II" for the client control-variate update:
+/// `c_k⁺ = c_k − c + (w_global − w_k)/(E·η_l)`.
+pub struct Scaffold {
+    eta_g: f32,
+    c: Vec<f32>,
+    c_k: Vec<Vec<f32>>,
+}
+
+impl Scaffold {
+    pub fn new(eta_g: f32) -> Self {
+        assert!(eta_g > 0.0, "η_g must be positive");
+        Scaffold {
+            eta_g,
+            c: Vec::new(),
+            c_k: Vec::new(),
+        }
+    }
+
+    fn ensure_init(&mut self, n_clients: usize, n_params: usize) {
+        if self.c.len() != n_params {
+            self.c = vec![0.0; n_params];
+            self.c_k = vec![vec![0.0; n_params]; n_clients];
+        }
+    }
+
+    /// The server control variate (diagnostics / tests).
+    pub fn server_control(&self) -> &[f32] {
+        &self.c
+    }
+
+    /// A client's control variate (diagnostics / tests).
+    pub fn client_control(&self, k: usize) -> &[f32] {
+        &self.c_k[k]
+    }
+}
+
+impl Algorithm for Scaffold {
+    fn name(&self) -> &'static str {
+        "Scaffold"
+    }
+
+    fn round(
+        &mut self,
+        fed: &mut Federation,
+        cfg: &FlConfig,
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> RoundOutcome {
+        let n = fed.num_clients();
+        self.ensure_init(n, fed.num_params());
+        let selected = sample_clients(n, cfg.sample_ratio, rng);
+
+        // Download: model parameters AND the server control variate.
+        fed.broadcast_params(&selected);
+        let c_received = fed.channel_mut().broadcast(selected.len(), &self.c);
+
+        let rules: Vec<LocalRule> = selected
+            .iter()
+            .map(|&k| {
+                let correction: Vec<f32> = c_received
+                    .iter()
+                    .zip(&self.c_k[k])
+                    .map(|(c, ck)| c - ck)
+                    .collect();
+                LocalRule::Scaffold {
+                    correction: Arc::new(correction),
+                }
+            })
+            .collect();
+        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+
+        let global_before = fed.global().to_vec();
+        let params = fed.collect_params(&selected);
+
+        // Control-variate updates (option II) + uploads.
+        let mut c_delta_sum = vec![0.0f32; fed.num_params()];
+        for (i, &k) in selected.iter().enumerate() {
+            let eta_l = fed.client(k).lr();
+            let scale = 1.0 / (cfg.local_steps as f32 * eta_l);
+            let c_k_new: Vec<f32> = self.c_k[k]
+                .iter()
+                .zip(&self.c)
+                .zip(global_before.iter().zip(&params[i]))
+                .map(|((ck, c), (g, w))| ck - c + scale * (g - w))
+                .collect();
+            // Client uploads its control-variate update alongside the model.
+            let received = fed.channel_mut().transfer(Direction::Upload, &c_k_new);
+            for ((s, new), old) in c_delta_sum.iter_mut().zip(&received).zip(&self.c_k[k]) {
+                *s += new - old;
+            }
+            self.c_k[k] = received;
+        }
+        // c ← c + (|S|/N)·mean_S(c_k⁺ − c_k)  ==  c + (1/N)·Σ_S(c_k⁺ − c_k)
+        for (c, d) in self.c.iter_mut().zip(&c_delta_sum) {
+            *c += d / n as f32;
+        }
+
+        // Server update: w ← w + η_g · mean_S (w_k − w).
+        let m = selected.len() as f32;
+        let mut new_global = global_before.clone();
+        for p in &params {
+            for ((g, w), base) in new_global.iter_mut().zip(p).zip(&global_before) {
+                *g += self.eta_g / m * (w - base);
+            }
+        }
+        fed.set_global(new_global);
+
+        let uniform = vec![1.0 / m; selected.len()];
+        let (train_loss, reg_loss) = mean_losses(&reports, &uniform);
+        RoundOutcome {
+            train_loss,
+            reg_loss,
+            selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{convex_fed, run_rounds};
+
+    #[test]
+    fn learns_on_noniid_data() {
+        let (mut fed, cfg) = convex_fed(0.0, 20, 8);
+        let h = run_rounds(&mut Scaffold::new(1.0), &mut fed, &cfg, 20);
+        assert!(h.final_accuracy().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn control_variates_become_nonzero_after_a_round() {
+        let (mut fed, cfg) = convex_fed(0.0, 21, 4);
+        let mut algo = Scaffold::new(1.0);
+        run_rounds(&mut algo, &mut fed, &cfg, 2);
+        assert!(algo.server_control().iter().any(|&v| v != 0.0));
+        assert!(algo.client_control(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn server_control_stays_mean_of_clients_under_full_participation() {
+        // Invariant of SCAFFOLD with SR = 1: c = (1/N) Σ c_k after every round.
+        let (mut fed, cfg) = convex_fed(0.0, 22, 4);
+        let mut algo = Scaffold::new(1.0);
+        run_rounds(&mut algo, &mut fed, &cfg, 3);
+        let n = 4;
+        for i in 0..fed.num_params() {
+            let mean: f32 = (0..n).map(|k| algo.client_control(k)[i]).sum::<f32>() / n as f32;
+            assert!(
+                (algo.server_control()[i] - mean).abs() < 1e-4,
+                "c[{i}] = {} vs mean {mean}",
+                algo.server_control()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn doubles_communication_vs_fedavg() {
+        let (mut fed, cfg) = convex_fed(0.0, 23, 4);
+        let h = run_rounds(&mut Scaffold::new(1.0), &mut fed, &cfg, 1);
+        let n_params = fed.num_params() as u64;
+        let per_msg = 4 + 4 * n_params;
+        // params + control variate in each direction, per participant.
+        assert_eq!(h.records()[0].down_bytes, 4 * 2 * per_msg);
+        assert_eq!(h.records()[0].up_bytes, 4 * 2 * per_msg);
+    }
+
+    #[test]
+    fn partial_participation_works() {
+        let (mut fed, mut cfg) = convex_fed(0.0, 24, 8);
+        cfg.sample_ratio = 0.5;
+        let h = run_rounds(&mut Scaffold::new(1.0), &mut fed, &cfg, 10);
+        assert!(h.records().iter().all(|r| r.participants == 4));
+        assert!(h.final_accuracy().unwrap() > 0.4);
+    }
+}

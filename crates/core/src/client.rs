@@ -1,0 +1,348 @@
+//! A federated client: private data, a model replica, persistent local
+//! optimizer state, and a private RNG.
+
+use crate::eval::{evaluate, to_input, EvalResult};
+use crate::mmd;
+use crate::rules::LocalRule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_data::{BatchSampler, Dataset};
+use rfl_nn::{cross_entropy, Model, Optimizer};
+use rfl_tensor::Tensor;
+
+/// Result of one local training phase.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalReport {
+    /// Mean data loss (`f_k`) over the local steps.
+    pub loss: f32,
+    /// Mean regularizer loss (`λ·r̃_k` estimate) over the local steps;
+    /// zero unless an MMD rule was active.
+    pub reg_loss: f32,
+    /// Steps actually performed.
+    pub steps: usize,
+}
+
+/// One client in the federation.
+pub struct Client {
+    id: usize,
+    model: Box<dyn Model>,
+    data: Dataset,
+    optimizer: Box<dyn Optimizer>,
+    sampler: BatchSampler,
+    rng: StdRng,
+    clip_grad_norm: Option<f32>,
+    flat: Vec<f32>,
+    grads: Vec<f32>,
+}
+
+impl Client {
+    pub fn new(
+        id: usize,
+        model: Box<dyn Model>,
+        data: Dataset,
+        optimizer: Box<dyn Optimizer>,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!data.is_empty(), "client {id} has no data");
+        let sampler = BatchSampler::new(data.len(), batch_size);
+        Client {
+            id,
+            model,
+            data,
+            optimizer,
+            sampler,
+            // Offset the stream so clients never share a sequence.
+            rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            clip_grad_norm: None,
+            flat: Vec::new(),
+            grads: Vec::new(),
+        }
+    }
+
+    /// Enables global-norm gradient clipping on the assembled local
+    /// gradient (data gradient plus algorithm corrections).
+    pub fn set_clip_grad_norm(&mut self, clip: Option<f32>) {
+        assert!(clip.is_none_or(|c| c > 0.0), "clip must be positive");
+        self.clip_grad_norm = clip;
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    pub fn feature_dim(&self) -> usize {
+        self.model.feature_dim()
+    }
+
+    pub fn num_params(&mut self) -> usize {
+        self.model.num_params()
+    }
+
+    /// Installs parameters received from the server.
+    pub fn write_params(&mut self, params: &[f32]) {
+        self.model.write_params(params);
+    }
+
+    /// Reads the client's current parameters.
+    pub fn read_params(&self, out: &mut Vec<f32>) {
+        self.model.read_params(out);
+    }
+
+    /// Learning rate of the local optimizer.
+    pub fn lr(&self) -> f32 {
+        self.optimizer.lr()
+    }
+
+    /// Overrides the local learning rate (decaying schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.optimizer.set_lr(lr);
+    }
+
+    /// Runs `steps` mini-batch SGD steps under `rule` (Algorithm 1/2 inner
+    /// loop, lines 6–10).
+    pub fn train_local(&mut self, steps: usize, rule: &LocalRule) -> LocalReport {
+        let mut loss_sum = 0.0f32;
+        let mut reg_sum = 0.0f32;
+        for _ in 0..steps {
+            let idx = self.sampler.next_batch(&mut self.rng);
+            let batch = self.data.select(&idx);
+            let input = to_input(batch.examples());
+            self.model.zero_grads();
+            let out = self.model.forward(&input, true);
+            let (loss, dlogits) = cross_entropy(&out.logits, batch.labels());
+            loss_sum += loss;
+
+            let dfeatures = match rule {
+                LocalRule::Mmd { lambda, target } => {
+                    reg_sum += mmd::regularizer_loss(&out.features, target, *lambda);
+                    Some(mmd::feature_gradient(&out.features, target, *lambda))
+                }
+                _ => None,
+            };
+            self.model.backward(&dlogits, dfeatures.as_ref());
+
+            self.model.read_params(&mut self.flat);
+            self.model.read_grads(&mut self.grads);
+            match rule {
+                LocalRule::Prox { mu, anchor } => {
+                    debug_assert_eq!(anchor.len(), self.flat.len());
+                    for ((g, w), a) in self.grads.iter_mut().zip(&self.flat).zip(anchor.iter()) {
+                        *g += mu * (w - a);
+                    }
+                }
+                LocalRule::Scaffold { correction } => {
+                    debug_assert_eq!(correction.len(), self.grads.len());
+                    for (g, c) in self.grads.iter_mut().zip(correction.iter()) {
+                        *g += c;
+                    }
+                }
+                _ => {}
+            }
+            if let Some(clip) = self.clip_grad_norm {
+                let norm = self.grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+                if norm > clip {
+                    let s = clip / norm;
+                    for g in &mut self.grads {
+                        *g *= s;
+                    }
+                }
+            }
+            self.optimizer.step(&mut self.flat, &self.grads);
+            self.model.write_params(&self.flat);
+        }
+        LocalReport {
+            loss: loss_sum / steps.max(1) as f32,
+            reg_loss: reg_sum / steps.max(1) as f32,
+            steps,
+        }
+    }
+
+    /// Computes the local mapping `δ_k = (1/n_k) Σ φ(x)` over the *full*
+    /// local dataset with the client's current parameters (Algorithm 1
+    /// line 10 / Algorithm 2 line 15), batched to bound memory.
+    pub fn compute_delta(&mut self, batch: usize) -> Vec<f32> {
+        let n = self.data.len();
+        let d = self.model.feature_dim();
+        let mut sum = vec![0.0f32; d];
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + batch).min(n);
+            let idx: Vec<usize> = (lo..hi).collect();
+            let sub = self.data.select(&idx);
+            let out = self.model.forward(&to_input(sub.examples()), false);
+            let part = out.features.sum_axis0();
+            for (s, &v) in sum.iter_mut().zip(part.data()) {
+                *s += v;
+            }
+            lo = hi;
+        }
+        let inv = 1.0 / n as f32;
+        for s in &mut sum {
+            *s *= inv;
+        }
+        sum
+    }
+
+    /// Feature embeddings of up to `max_n` local samples (visualization).
+    pub fn compute_features(&mut self, max_n: usize) -> (Tensor, Vec<usize>) {
+        let n = self.data.len().min(max_n);
+        let idx: Vec<usize> = (0..n).collect();
+        let sub = self.data.select(&idx);
+        let out = self.model.forward(&to_input(sub.examples()), false);
+        (out.features, sub.labels().to_vec())
+    }
+
+    /// Loss/accuracy of the current model on the client's own data
+    /// (used by q-FedAvg and the fairness evaluation).
+    pub fn evaluate_local(&mut self, batch: usize) -> EvalResult {
+        evaluate(self.model.as_mut(), &self.data, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rfl_data::Examples;
+    use rfl_nn::{LinearNet, LogisticRegression, Sgd};
+    use rfl_tensor::Initializer;
+    use std::sync::Arc;
+
+    fn dense_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Initializer::Normal(1.0).init(&[n, 4], &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        // Make it learnable: shift coordinate 0 by the label.
+        for (i, &y) in labels.iter().enumerate() {
+            x.data_mut()[i * 4] += if y == 1 { 2.0 } else { -2.0 };
+        }
+        Dataset::new(Examples::Dense(x), labels, 2)
+    }
+
+    fn make_client(seed: u64) -> Client {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = Box::new(LogisticRegression::new(4, 2, 0.0, &mut rng));
+        Client::new(0, model, dense_data(32, seed), Box::new(Sgd::new(0.2)), 8, seed)
+    }
+
+    #[test]
+    fn plain_training_reduces_loss() {
+        let mut c = make_client(0);
+        let before = c.evaluate_local(16).loss;
+        c.train_local(30, &LocalRule::Plain);
+        let after = c.evaluate_local(16).loss;
+        assert!(after < before, "{before} → {after}");
+    }
+
+    #[test]
+    fn prox_rule_pulls_toward_anchor() {
+        // With an enormous μ the parameters barely move from the anchor.
+        let mut c_free = make_client(1);
+        let mut c_prox = make_client(1);
+        let mut anchor = Vec::new();
+        c_prox.read_params(&mut anchor);
+        let anchor = Arc::new(anchor);
+        c_free.train_local(20, &LocalRule::Plain);
+        // μ must keep lr·μ < 1 or plain SGD on the proximal term diverges
+        // (lr = 0.2 here, so μ = 4 gives a per-step pull factor of 0.8).
+        c_prox.train_local(
+            20,
+            &LocalRule::Prox {
+                mu: 4.0,
+                anchor: anchor.clone(),
+            },
+        );
+        let mut w_free = Vec::new();
+        let mut w_prox = Vec::new();
+        c_free.read_params(&mut w_free);
+        c_prox.read_params(&mut w_prox);
+        let drift = |w: &[f32]| -> f32 {
+            w.iter()
+                .zip(anchor.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        assert!(drift(&w_prox) < drift(&w_free) * 0.5);
+    }
+
+    #[test]
+    fn scaffold_correction_shifts_update() {
+        // A constant correction acts like an extra gradient: params move
+        // opposite to it.
+        let mut c = make_client(2);
+        let n = c.num_params();
+        let mut before = Vec::new();
+        c.read_params(&mut before);
+        let correction = Arc::new(vec![1000.0f32; n]);
+        c.train_local(1, &LocalRule::Scaffold { correction });
+        let mut after = Vec::new();
+        c.read_params(&mut after);
+        // lr 0.2 × correction 1000 dominates: every param decreased by ~200.
+        for (b, a) in before.iter().zip(&after) {
+            assert!(b - a > 100.0, "param did not move: {b} → {a}");
+        }
+    }
+
+    #[test]
+    fn mmd_rule_shrinks_distance_to_target() {
+        // LinearNet has a trainable feature map, so the MMD pull must reduce
+        // ‖δ − target‖ when λ is large.
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Box::new(LinearNet::new(4, 3, 2, 0.0, &mut rng));
+        let mut c = Client::new(0, model, dense_data(32, 3), Box::new(Sgd::new(0.05)), 8, 3);
+        let target = Arc::new(vec![0.0f32; 3]);
+        let d0 = c.compute_delta(16);
+        let dist0: f32 = d0.iter().map(|v| v * v).sum();
+        // λ sized so lr·λ stays contractive on this linear feature map.
+        c.train_local(
+            100,
+            &LocalRule::Mmd {
+                lambda: 0.5,
+                target: target.clone(),
+            },
+        );
+        let d1 = c.compute_delta(16);
+        let dist1: f32 = d1.iter().map(|v| v * v).sum();
+        assert!(dist1 < dist0, "{dist0} → {dist1}");
+    }
+
+    #[test]
+    fn compute_delta_matches_manual_mean() {
+        let mut c = make_client(4);
+        let d_batched = c.compute_delta(5); // odd batch to exercise the loop
+        let d_full = c.compute_delta(1000);
+        for (a, b) in d_batched.iter().zip(&d_full) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn report_counts_steps_and_losses() {
+        let mut c = make_client(5);
+        let r = c.train_local(7, &LocalRule::Plain);
+        assert_eq!(r.steps, 7);
+        assert!(r.loss > 0.0);
+        assert_eq!(r.reg_loss, 0.0);
+    }
+
+    #[test]
+    fn clients_with_same_seed_and_id_are_deterministic() {
+        let mut a = make_client(6);
+        let mut b = make_client(6);
+        a.train_local(5, &LocalRule::Plain);
+        b.train_local(5, &LocalRule::Plain);
+        let (mut wa, mut wb) = (Vec::new(), Vec::new());
+        a.read_params(&mut wa);
+        b.read_params(&mut wb);
+        assert_eq!(wa, wb);
+    }
+}

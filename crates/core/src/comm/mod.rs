@@ -1,0 +1,7 @@
+//! Byte-accurate communication simulation.
+
+mod channel;
+mod stats;
+
+pub use channel::Channel;
+pub use stats::{CommStats, Direction};

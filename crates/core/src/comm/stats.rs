@@ -1,0 +1,127 @@
+//! Communication accounting.
+
+/// Transfer direction, from the clients' perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Server → client (broadcast).
+    Download,
+    /// Client → server (upload).
+    Upload,
+}
+
+/// Byte counters for one training run. Every scalar that crosses the
+/// simulated network is counted through [`crate::comm::Channel`], so these
+/// numbers are the ground truth behind Table III and the efficiency figures.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    down_bytes: u64,
+    up_bytes: u64,
+    /// Bytes attributable to δ maps only (regularizer state).
+    delta_down_bytes: u64,
+    delta_up_bytes: u64,
+    messages: u64,
+}
+
+impl CommStats {
+    pub fn new() -> Self {
+        CommStats::default()
+    }
+
+    /// Records a model-plane transfer of `bytes`.
+    pub fn record(&mut self, dir: Direction, bytes: u64) {
+        match dir {
+            Direction::Download => self.down_bytes += bytes,
+            Direction::Upload => self.up_bytes += bytes,
+        }
+        self.messages += 1;
+    }
+
+    /// Records a δ-plane transfer of `bytes` (also counted in the totals).
+    pub fn record_delta(&mut self, dir: Direction, bytes: u64) {
+        match dir {
+            Direction::Download => self.delta_down_bytes += bytes,
+            Direction::Upload => self.delta_up_bytes += bytes,
+        }
+        self.record(dir, bytes);
+    }
+
+    pub fn download_bytes(&self) -> u64 {
+        self.down_bytes
+    }
+
+    pub fn upload_bytes(&self) -> u64 {
+        self.up_bytes
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.down_bytes + self.up_bytes
+    }
+
+    /// δ-map bytes (both directions) — the quantity of Table III.
+    pub fn delta_bytes(&self) -> u64 {
+        self.delta_down_bytes + self.delta_up_bytes
+    }
+
+    pub fn delta_download_bytes(&self) -> u64 {
+        self.delta_down_bytes
+    }
+
+    pub fn delta_upload_bytes(&self) -> u64 {
+        self.delta_up_bytes
+    }
+
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Difference against an earlier snapshot (per-round accounting).
+    pub fn since(&self, snapshot: &CommStats) -> CommStats {
+        CommStats {
+            down_bytes: self.down_bytes - snapshot.down_bytes,
+            up_bytes: self.up_bytes - snapshot.up_bytes,
+            delta_down_bytes: self.delta_down_bytes - snapshot.delta_down_bytes,
+            delta_up_bytes: self.delta_up_bytes - snapshot.delta_up_bytes,
+            messages: self.messages - snapshot.messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_direction() {
+        let mut s = CommStats::new();
+        s.record(Direction::Download, 100);
+        s.record(Direction::Upload, 40);
+        s.record(Direction::Download, 1);
+        assert_eq!(s.download_bytes(), 101);
+        assert_eq!(s.upload_bytes(), 40);
+        assert_eq!(s.total_bytes(), 141);
+        assert_eq!(s.messages(), 3);
+    }
+
+    #[test]
+    fn delta_bytes_tracked_separately_but_included_in_total() {
+        let mut s = CommStats::new();
+        s.record_delta(Direction::Download, 50);
+        s.record(Direction::Upload, 10);
+        assert_eq!(s.delta_bytes(), 50);
+        assert_eq!(s.total_bytes(), 60);
+    }
+
+    #[test]
+    fn since_computes_differences() {
+        let mut s = CommStats::new();
+        s.record(Direction::Download, 10);
+        let snap = s.clone();
+        s.record(Direction::Upload, 5);
+        s.record_delta(Direction::Upload, 7);
+        let d = s.since(&snap);
+        assert_eq!(d.download_bytes(), 0);
+        assert_eq!(d.upload_bytes(), 12);
+        assert_eq!(d.delta_bytes(), 7);
+        assert_eq!(d.messages(), 2);
+    }
+}

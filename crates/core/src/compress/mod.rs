@@ -1,0 +1,91 @@
+//! Gradient/model compression — the orthogonal communication-efficiency
+//! axis the paper's related work surveys (Konečný et al.'s quantization and
+//! sub-sampling, sketching à la FetchSGD).
+//!
+//! A [`Compressor`] maps a parameter vector to a compact wire form and
+//! back. Compressors are *lossy*; the round-trip error is the price paid
+//! for fewer bytes. They compose with any algorithm whose uploads are
+//! parameter vectors (see the `ext_compression` experiment).
+
+mod quantize;
+mod sketch;
+mod topk;
+
+pub use quantize::UniformQuantizer;
+pub use sketch::CountSketch;
+pub use topk::TopK;
+
+/// A lossy vector codec with an accountable wire size.
+pub trait Compressor: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Compresses `values`; returns the wire payload.
+    fn compress(&self, values: &[f32]) -> CompressedVec;
+
+    /// Reconstructs a length-`len` vector from a payload.
+    fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32>;
+
+    /// Round-trips a vector, returning the reconstruction and its wire cost
+    /// in bytes.
+    fn round_trip(&self, values: &[f32]) -> (Vec<f32>, usize) {
+        let payload = self.compress(values);
+        let bytes = payload.wire_bytes();
+        (self.decompress(&payload, values.len()), bytes)
+    }
+}
+
+/// A compressed payload: opaque scalar words plus structural metadata.
+/// Wire cost = 4 bytes per `u32` word + 4 bytes per `f32` word + header.
+#[derive(Clone, Debug)]
+pub struct CompressedVec {
+    pub words_u32: Vec<u32>,
+    pub words_f32: Vec<f32>,
+    /// Payloads that pack sub-word data (e.g. 8-bit quantization codes).
+    pub bytes: Vec<u8>,
+}
+
+impl CompressedVec {
+    /// Total bytes on the wire (header of 12 bytes: three section lengths).
+    pub fn wire_bytes(&self) -> usize {
+        12 + self.words_u32.len() * 4 + self.words_f32.len() * 4 + self.bytes.len()
+    }
+}
+
+/// Relative L2 reconstruction error `‖x − x̂‖ / ‖x‖`.
+pub fn relative_error(original: &[f32], reconstructed: &[f32]) -> f32 {
+    assert_eq!(original.len(), reconstructed.len());
+    let num: f32 = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    let den: f32 = original.iter().map(|v| v * v).sum();
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f32::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        let x = vec![3.0, 4.0];
+        assert_eq!(relative_error(&x, &x), 0.0);
+        let y = vec![0.0, 0.0];
+        assert!((relative_error(&x, &y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wire_bytes_counts_all_sections() {
+        let c = CompressedVec {
+            words_u32: vec![1, 2],
+            words_f32: vec![0.5],
+            bytes: vec![0; 10],
+        };
+        assert_eq!(c.wire_bytes(), 12 + 8 + 4 + 10);
+    }
+}

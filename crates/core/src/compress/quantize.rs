@@ -1,0 +1,152 @@
+//! Uniform b-bit quantization (Konečný et al.'s baseline compressor).
+
+use super::{CompressedVec, Compressor};
+
+/// Linear quantization into `2^bits` levels over the vector's `[min, max]`
+/// range. `bits ≤ 8`; for `bits ≤ 4` two codes are packed per byte.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformQuantizer {
+    bits: u8,
+}
+
+impl UniformQuantizer {
+    /// # Panics
+    /// Panics unless `1 ≤ bits ≤ 8`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+        UniformQuantizer { bits }
+    }
+
+    fn levels(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+}
+
+impl Compressor for UniformQuantizer {
+    fn name(&self) -> &'static str {
+        "uniform-quantizer"
+    }
+
+    fn compress(&self, values: &[f32]) -> CompressedVec {
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let range = (max - min).max(1e-12);
+        let levels = self.levels() as f32;
+        let codes: Vec<u8> = values
+            .iter()
+            .map(|&v| (((v - min) / range) * levels).round() as u8)
+            .collect();
+        let bytes = if self.bits <= 4 {
+            // Two codes per byte: low nibble first.
+            codes
+                .chunks(2)
+                .map(|pair| pair[0] | (pair.get(1).copied().unwrap_or(0) << 4))
+                .collect()
+        } else {
+            codes
+        };
+        CompressedVec {
+            words_u32: Vec::new(),
+            words_f32: vec![min, max],
+            bytes,
+        }
+    }
+
+    fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32> {
+        let codes: Vec<u8> = if self.bits <= 4 {
+            assert_eq!(payload.bytes.len(), len.div_ceil(2), "code length mismatch");
+            let mut out = Vec::with_capacity(len);
+            for &b in &payload.bytes {
+                out.push(b & 0x0F);
+                if out.len() < len {
+                    out.push(b >> 4);
+                }
+            }
+            out
+        } else {
+            assert_eq!(payload.bytes.len(), len, "code length mismatch");
+            payload.bytes.clone()
+        };
+        let min = payload.words_f32[0];
+        let max = payload.words_f32[1];
+        let range = (max - min).max(1e-12);
+        let levels = self.levels() as f32;
+        codes
+            .iter()
+            .map(|&c| min + (c as f32 / levels) * range)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::relative_error;
+
+    #[test]
+    fn eight_bit_error_is_small() {
+        let x: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let q = UniformQuantizer::new(8);
+        let (rec, bytes) = q.round_trip(&x);
+        assert!(relative_error(&x, &rec) < 0.01);
+        // 1 byte/code + 2 range floats + header ≪ 4 bytes/f32.
+        assert!(bytes < 1000 * 4 / 3);
+    }
+
+    #[test]
+    fn four_bit_packs_two_codes_per_byte() {
+        let x: Vec<f32> = (0..101).map(|i| i as f32).collect();
+        let q4 = UniformQuantizer::new(4).compress(&x);
+        assert_eq!(q4.bytes.len(), 51);
+        let rec = UniformQuantizer::new(4).decompress(&q4, 101);
+        assert_eq!(rec.len(), 101);
+        // Endpoints still exact.
+        assert!((rec[0] - 0.0).abs() < 1e-4);
+        assert!((rec[100] - 100.0).abs() < 1e-4);
+        // Code payload is half the 8-bit variant's (headers aside).
+        let q8 = UniformQuantizer::new(8).compress(&x);
+        assert_eq!(q8.bytes.len(), 101);
+        assert!(q4.wire_bytes() < q8.wire_bytes());
+    }
+
+    #[test]
+    fn odd_length_round_trips_at_low_bits() {
+        let x = vec![-1.0f32, 0.5, 2.0];
+        let (rec, _) = UniformQuantizer::new(2).round_trip(&x);
+        assert_eq!(rec.len(), 3);
+        assert!((rec[0] + 1.0).abs() < 1e-4);
+        assert!((rec[2] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fewer_bits_more_error() {
+        let x: Vec<f32> = (0..500).map(|i| (i as f32 * 0.11).cos()).collect();
+        let e8 = relative_error(&x, &UniformQuantizer::new(8).round_trip(&x).0);
+        let e4 = relative_error(&x, &UniformQuantizer::new(4).round_trip(&x).0);
+        let e1 = relative_error(&x, &UniformQuantizer::new(1).round_trip(&x).0);
+        assert!(e8 < e4 && e4 < e1, "{e8} {e4} {e1}");
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let x = vec![-2.0f32, 0.0, 5.0];
+        let (rec, _) = UniformQuantizer::new(8).round_trip(&x);
+        assert!((rec[0] + 2.0).abs() < 1e-5);
+        assert!((rec[2] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_vector_is_exact() {
+        let x = vec![1.5f32; 64];
+        let (rec, _) = UniformQuantizer::new(2).round_trip(&x);
+        for v in rec {
+            assert!((v - 1.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn rejects_zero_bits() {
+        UniformQuantizer::new(0);
+    }
+}

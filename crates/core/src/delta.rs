@@ -1,0 +1,175 @@
+//! Server-side storage of the clients' δ maps.
+
+use crate::mmd;
+
+/// The table of per-client mean feature embeddings held by the server.
+///
+/// * **rFedAvg** broadcasts the *entire table* to every client each round —
+///   `O(dN²)` bytes — and each client averages the others' entries locally.
+/// * **rFedAvg+** stores the same table but broadcasts only the per-client
+///   leave-one-out average `δ̄^{−k}` — `O(dN)` bytes total.
+#[derive(Clone, Debug)]
+pub struct DeltaTable {
+    deltas: Vec<Vec<f32>>,
+    dim: usize,
+    /// Which entries have been written at least once.
+    initialized: Vec<bool>,
+}
+
+impl DeltaTable {
+    /// A zero-initialized table for `n` clients with `dim`-dimensional maps
+    /// (the paper's server initializes `δ_0` arbitrarily; zeros make the
+    /// first-round regularizer a pull toward the origin, which λ keeps tiny).
+    pub fn new(n: usize, dim: usize) -> Self {
+        DeltaTable {
+            deltas: vec![vec![0.0; dim]; n],
+            dim,
+            initialized: vec![false; n],
+        }
+    }
+
+    pub fn num_clients(&self) -> usize {
+        self.deltas.len()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Updates client `k`'s entry.
+    pub fn set(&mut self, k: usize, delta: Vec<f32>) {
+        assert_eq!(delta.len(), self.dim, "δ dim mismatch");
+        self.deltas[k] = delta;
+        self.initialized[k] = true;
+    }
+
+    pub fn get(&self, k: usize) -> &[f32] {
+        &self.deltas[k]
+    }
+
+    /// True once every client has reported a δ at least once.
+    pub fn fully_initialized(&self) -> bool {
+        self.initialized.iter().all(|&b| b)
+    }
+
+    /// The full table flattened (what rFedAvg broadcasts): `N·d` scalars.
+    pub fn flattened(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.deltas.len() * self.dim);
+        for d in &self.deltas {
+            out.extend_from_slice(d);
+        }
+        out
+    }
+
+    /// Leave-one-out average `δ̄^{−k}` (what rFedAvg+ sends to client `k`):
+    /// `d` scalars.
+    pub fn mean_excluding(&self, k: usize) -> Vec<f32> {
+        mmd::mean_excluding(k, &self.deltas)
+    }
+
+    /// Leave-one-out average over the *initialized* entries only, or `None`
+    /// when no other client has reported a δ yet. With partial participation
+    /// some clients may never have been selected; their zero placeholders
+    /// must not drag the regularization target toward the origin.
+    pub fn mean_excluding_initialized(&self, k: usize) -> Option<Vec<f32>> {
+        let mut out = vec![0.0f32; self.dim];
+        let mut count = 0usize;
+        for (j, d) in self.deltas.iter().enumerate() {
+            if j == k || !self.initialized[j] {
+                continue;
+            }
+            for (o, &v) in out.iter_mut().zip(d) {
+                *o += v;
+            }
+            count += 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        let inv = 1.0 / count as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        Some(out)
+    }
+
+    /// The exact pairwise regularizer value for client `k` (diagnostics).
+    pub fn regularizer_value(&self, k: usize) -> f32 {
+        mmd::regularizer_value(k, &self.deltas)
+    }
+
+    /// Mean pairwise regularizer across all clients — the global
+    /// `Σ p_k r_k` proxy logged as `reg_value` in training curves.
+    pub fn mean_regularizer(&self) -> f32 {
+        let n = self.deltas.len();
+        (0..n).map(|k| self.regularizer_value(k)).sum::<f32>() / n as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed_and_uninitialized() {
+        let t = DeltaTable::new(3, 2);
+        assert!(!t.fully_initialized());
+        assert_eq!(t.get(1), &[0.0, 0.0]);
+        assert_eq!(t.flattened().len(), 6);
+    }
+
+    #[test]
+    fn set_then_fully_initialized() {
+        let mut t = DeltaTable::new(2, 1);
+        t.set(0, vec![1.0]);
+        assert!(!t.fully_initialized());
+        t.set(1, vec![3.0]);
+        assert!(t.fully_initialized());
+        assert_eq!(t.mean_excluding(0), vec![3.0]);
+        assert_eq!(t.mean_excluding(1), vec![1.0]);
+    }
+
+    #[test]
+    fn flattened_concatenates_in_client_order() {
+        let mut t = DeltaTable::new(2, 2);
+        t.set(0, vec![1.0, 2.0]);
+        t.set(1, vec![3.0, 4.0]);
+        assert_eq!(t.flattened(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn regularizer_decreases_as_deltas_align() {
+        let mut t = DeltaTable::new(3, 2);
+        t.set(0, vec![0.0, 0.0]);
+        t.set(1, vec![2.0, 0.0]);
+        t.set(2, vec![0.0, 2.0]);
+        let far = t.mean_regularizer();
+        t.set(1, vec![0.1, 0.0]);
+        t.set(2, vec![0.0, 0.1]);
+        assert!(t.mean_regularizer() < far);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn rejects_wrong_dim() {
+        DeltaTable::new(2, 3).set(0, vec![1.0]);
+    }
+}
+
+#[cfg(test)]
+mod partial_tests {
+    use super::*;
+
+    #[test]
+    fn mean_excluding_initialized_skips_unreported_clients() {
+        let mut t = DeltaTable::new(4, 1);
+        assert!(t.mean_excluding_initialized(0).is_none());
+        t.set(1, vec![2.0]);
+        assert_eq!(t.mean_excluding_initialized(0), Some(vec![2.0]));
+        t.set(3, vec![4.0]);
+        assert_eq!(t.mean_excluding_initialized(0), Some(vec![3.0]));
+        // Excludes self even when initialized.
+        t.set(0, vec![100.0]);
+        assert_eq!(t.mean_excluding_initialized(0), Some(vec![3.0]));
+    }
+}

@@ -1,0 +1,97 @@
+//! Model evaluation on datasets.
+
+use rfl_data::{Dataset, Examples};
+use rfl_nn::{cross_entropy, Input, Model};
+
+/// Evaluation outcome on one dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalResult {
+    pub loss: f32,
+    pub accuracy: f32,
+    pub n: usize,
+}
+
+/// Converts a data payload into a model input (borrows where possible).
+pub fn to_input(ex: &Examples) -> Input {
+    match ex {
+        Examples::Images(t) => Input::Images(t.clone()),
+        Examples::Dense(t) => Input::Dense(t.clone()),
+        Examples::Tokens(s) => Input::Tokens(s.clone()),
+    }
+}
+
+/// Evaluates `model` (eval mode) on `data` in mini-batches of `batch`.
+pub fn evaluate(model: &mut dyn Model, data: &Dataset, batch: usize) -> EvalResult {
+    assert!(batch > 0);
+    let n = data.len();
+    assert!(n > 0, "empty evaluation set");
+    let mut correct = 0usize;
+    let mut loss_sum = 0.0f64;
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + batch).min(n);
+        let idx: Vec<usize> = (lo..hi).collect();
+        let sub = data.select(&idx);
+        let out = model.forward(&to_input(sub.examples()), false);
+        let (loss, _) = cross_entropy(&out.logits, sub.labels());
+        loss_sum += loss as f64 * (hi - lo) as f64;
+        let pred = out.logits.argmax_rows();
+        correct += pred
+            .iter()
+            .zip(sub.labels())
+            .filter(|(p, y)| p == y)
+            .count();
+        lo = hi;
+    }
+    EvalResult {
+        loss: (loss_sum / n as f64) as f32,
+        accuracy: correct as f32 / n as f32,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfl_nn::LogisticRegression;
+    use rfl_tensor::Tensor;
+
+    fn toy_data() -> Dataset {
+        // Perfectly separable on the first coordinate.
+        let x = Tensor::from_vec(vec![5.0, 0.0, -5.0, 0.0, 4.0, 0.0, -4.0, 0.0], &[4, 2]);
+        Dataset::new(Examples::Dense(x), vec![1, 0, 1, 0], 2)
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = LogisticRegression::new(2, 2, 0.0, &mut rng);
+        // Set W = [[-3, 3], [0, 0]], b = 0: logit_1 − logit_0 = 6·x0.
+        m.write_params(&[-3.0, 3.0, 0.0, 0.0, 0.0, 0.0]);
+        let r = evaluate(&mut m, &toy_data(), 2);
+        assert_eq!(r.accuracy, 1.0);
+        assert!(r.loss < 0.01);
+        assert_eq!(r.n, 4);
+    }
+
+    #[test]
+    fn anti_classifier_scores_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = LogisticRegression::new(2, 2, 0.0, &mut rng);
+        m.write_params(&[3.0, -3.0, 0.0, 0.0, 0.0, 0.0]);
+        let r = evaluate(&mut m, &toy_data(), 10);
+        assert_eq!(r.accuracy, 0.0);
+    }
+
+    #[test]
+    fn batching_does_not_change_result() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = LogisticRegression::new(2, 2, 0.0, &mut rng);
+        let a = evaluate(&mut m, &toy_data(), 1);
+        let b = evaluate(&mut m, &toy_data(), 4);
+        assert!((a.loss - b.loss).abs() < 1e-5);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+}

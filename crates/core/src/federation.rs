@@ -1,0 +1,660 @@
+//! The federation: clients, global parameters, metered channel, and the
+//! shared round plumbing used by every algorithm.
+
+use crate::client::{Client, LocalReport};
+use crate::comm::{Channel, Direction};
+use crate::eval::{evaluate, EvalResult};
+use crate::rules::LocalRule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_data::{Dataset, FederatedData};
+use rfl_nn::{
+    Adam, CnnClassifier, CnnConfig, LinearNet, LogisticRegression, LstmClassifier, LstmConfig,
+    MlpClassifier, Model, Optimizer, RmsProp, Sgd,
+};
+
+/// Run-level hyper-parameters shared by all algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct FlConfig {
+    /// Communication rounds `C`.
+    pub rounds: usize,
+    /// Local steps per round `E`.
+    pub local_steps: usize,
+    /// Local mini-batch size `B`.
+    pub batch_size: usize,
+    /// Client sample ratio `SR` (1.0 = full participation).
+    pub sample_ratio: f32,
+    /// Evaluate the global model on the test set every `eval_every` rounds.
+    pub eval_every: usize,
+    /// Run selected clients' local training on worker threads.
+    pub parallel: bool,
+    /// Global-norm gradient clip applied to the assembled local gradient
+    /// (data gradient + algorithm corrections). Standard stabilization for
+    /// control-variate methods; `None` disables. Rarely binds at the paper's
+    /// learning rates, but prevents SCAFFOLD's runaway feedback loop on
+    /// high-variance synthetic data.
+    pub clip_grad_norm: Option<f32>,
+    /// Server RNG seed (client RNGs derive from the federation seed).
+    pub seed: u64,
+}
+
+impl FlConfig {
+    /// The paper's cross-silo setting (N = 20, E = 5, SR = 1.0).
+    pub fn cross_silo() -> Self {
+        FlConfig {
+            rounds: 60,
+            local_steps: 5,
+            batch_size: 32,
+            sample_ratio: 1.0,
+            eval_every: 1,
+            parallel: true,
+            clip_grad_norm: Some(10.0),
+            seed: 0,
+        }
+    }
+
+    /// The paper's cross-device setting (N = 500, E = 10, SR = 0.2).
+    pub fn cross_device() -> Self {
+        FlConfig {
+            rounds: 60,
+            local_steps: 10,
+            batch_size: 32,
+            sample_ratio: 0.2,
+            eval_every: 1,
+            parallel: true,
+            clip_grad_norm: Some(10.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Model constructors — pure data so federations can be rebuilt per seed.
+#[derive(Clone, Copy, Debug)]
+pub enum ModelFactory {
+    Cnn(CnnConfig),
+    Lstm(LstmConfig),
+    Logistic {
+        dim: usize,
+        classes: usize,
+        l2: f32,
+    },
+    LinearNet {
+        dim: usize,
+        feature_dim: usize,
+        classes: usize,
+        l2: f32,
+    },
+    Mlp {
+        dim: usize,
+        hidden1: usize,
+        hidden2: usize,
+        classes: usize,
+    },
+}
+
+impl ModelFactory {
+    pub fn cnn(cfg: CnnConfig) -> Self {
+        ModelFactory::Cnn(cfg)
+    }
+
+    pub fn lstm(cfg: LstmConfig) -> Self {
+        ModelFactory::Lstm(cfg)
+    }
+
+    pub fn logistic(dim: usize, classes: usize, l2: f32) -> Self {
+        ModelFactory::Logistic { dim, classes, l2 }
+    }
+
+    pub fn linear_net(dim: usize, feature_dim: usize, classes: usize, l2: f32) -> Self {
+        ModelFactory::LinearNet {
+            dim,
+            feature_dim,
+            classes,
+            l2,
+        }
+    }
+
+    /// Two-hidden-layer MLP over dense inputs (feature hook at `hidden2`).
+    pub fn mlp(dim: usize, hidden1: usize, hidden2: usize, classes: usize) -> Self {
+        ModelFactory::Mlp {
+            dim,
+            hidden1,
+            hidden2,
+            classes,
+        }
+    }
+
+    /// Builds a model with weights derived from `seed`.
+    pub fn build(&self, seed: u64) -> Box<dyn Model> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            ModelFactory::Cnn(cfg) => Box::new(CnnClassifier::new(cfg, &mut rng)),
+            ModelFactory::Lstm(cfg) => Box::new(LstmClassifier::new(cfg, &mut rng)),
+            ModelFactory::Logistic { dim, classes, l2 } => {
+                Box::new(LogisticRegression::new(dim, classes, l2, &mut rng))
+            }
+            ModelFactory::LinearNet {
+                dim,
+                feature_dim,
+                classes,
+                l2,
+            } => Box::new(LinearNet::new(dim, feature_dim, classes, l2, &mut rng)),
+            ModelFactory::Mlp {
+                dim,
+                hidden1,
+                hidden2,
+                classes,
+            } => Box::new(MlpClassifier::new(dim, &[hidden1, hidden2], classes, &mut rng)),
+        }
+    }
+}
+
+/// Local-optimizer constructors.
+#[derive(Clone, Copy, Debug)]
+pub enum OptimizerFactory {
+    Sgd { lr: f32 },
+    SgdMomentum { lr: f32, momentum: f32 },
+    RmsProp { lr: f32 },
+    Adam { lr: f32 },
+}
+
+impl OptimizerFactory {
+    pub fn sgd(lr: f32) -> Self {
+        OptimizerFactory::Sgd { lr }
+    }
+
+    pub fn sgd_momentum(lr: f32, momentum: f32) -> Self {
+        OptimizerFactory::SgdMomentum { lr, momentum }
+    }
+
+    pub fn rmsprop(lr: f32) -> Self {
+        OptimizerFactory::RmsProp { lr }
+    }
+
+    pub fn adam(lr: f32) -> Self {
+        OptimizerFactory::Adam { lr }
+    }
+
+    pub fn build(&self) -> Box<dyn Optimizer> {
+        match *self {
+            OptimizerFactory::Sgd { lr } => Box::new(Sgd::new(lr)),
+            OptimizerFactory::SgdMomentum { lr, momentum } => {
+                Box::new(Sgd::with_momentum(lr, momentum))
+            }
+            OptimizerFactory::RmsProp { lr } => Box::new(RmsProp::new(lr)),
+            OptimizerFactory::Adam { lr } => Box::new(Adam::new(lr)),
+        }
+    }
+}
+
+/// The simulated federated system.
+pub struct Federation {
+    clients: Vec<Client>,
+    weights: Vec<f32>,
+    global: Vec<f32>,
+    channel: Channel,
+    test: Dataset,
+    eval_model: Box<dyn Model>,
+    parallel: bool,
+    eval_batch: usize,
+}
+
+impl Federation {
+    /// Builds the federation: every client starts from the same global
+    /// initialization (derived from `seed`), with its own optimizer state
+    /// and RNG stream.
+    pub fn new(
+        data: &FederatedData,
+        model: ModelFactory,
+        optimizer: OptimizerFactory,
+        cfg: &FlConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(data.num_clients() >= 2, "need at least two clients");
+        let eval_model = model.build(seed);
+        let mut global = Vec::new();
+        eval_model.read_params(&mut global);
+        let clients = data
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(k, d)| {
+                let mut m = model.build(seed);
+                m.write_params(&global);
+                let mut c = Client::new(k, m, d.clone(), optimizer.build(), cfg.batch_size, seed);
+                c.set_clip_grad_norm(cfg.clip_grad_norm);
+                c
+            })
+            .collect();
+        Federation {
+            clients,
+            weights: data.client_weights(),
+            global,
+            channel: Channel::new(),
+            test: data.test.clone(),
+            eval_model,
+            parallel: cfg.parallel,
+            eval_batch: 64,
+        }
+    }
+
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.global.len()
+    }
+
+    pub fn feature_dim(&self) -> usize {
+        self.eval_model.feature_dim()
+    }
+
+    /// The flat-parameter range of the feature extractor `φ` (the paper's
+    /// `w̃`); everything after it is the output layer `w̿`.
+    pub fn phi_param_range(&self) -> std::ops::Range<usize> {
+        self.eval_model.phi_param_range()
+    }
+
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    pub fn global(&self) -> &[f32] {
+        &self.global
+    }
+
+    pub fn set_global(&mut self, params: Vec<f32>) {
+        assert_eq!(params.len(), self.global.len());
+        self.global = params;
+    }
+
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    pub fn channel_mut(&mut self) -> &mut Channel {
+        &mut self.channel
+    }
+
+    pub fn client(&self, k: usize) -> &Client {
+        &self.clients[k]
+    }
+
+    pub fn client_mut(&mut self, k: usize) -> &mut Client {
+        &mut self.clients[k]
+    }
+
+    /// Sends the current global parameters to every selected client
+    /// (metered broadcast), installing them into the client models.
+    pub fn broadcast_params(&mut self, selected: &[usize]) {
+        let received = self.channel.broadcast(selected.len(), &self.global);
+        for &k in selected {
+            self.clients[k].write_params(&received);
+        }
+    }
+
+    /// Uploads the selected clients' parameters to the server (metered).
+    pub fn collect_params(&mut self, selected: &[usize]) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(selected.len());
+        let mut buf = Vec::new();
+        for &k in selected {
+            self.clients[k].read_params(&mut buf);
+            out.push(self.channel.transfer(Direction::Upload, &buf));
+        }
+        out
+    }
+
+    /// Runs local training on the selected clients (in parallel when
+    /// configured); `rules[i]` applies to `selected[i]`.
+    pub fn train_selected(
+        &mut self,
+        selected: &[usize],
+        rules: &[LocalRule],
+        steps: usize,
+    ) -> Vec<LocalReport> {
+        let per_client = vec![steps; selected.len()];
+        self.train_selected_steps(selected, rules, &per_client)
+    }
+
+    /// Like [`Federation::train_selected`] but with a per-client step
+    /// count — models *system heterogeneity* (stragglers doing less local
+    /// work), the scenario FedProx's proximal term is designed for.
+    pub fn train_selected_steps(
+        &mut self,
+        selected: &[usize],
+        rules: &[LocalRule],
+        steps: &[usize],
+    ) -> Vec<LocalReport> {
+        assert_eq!(selected.len(), rules.len(), "one rule per selected client");
+        assert_eq!(selected.len(), steps.len(), "one step count per client");
+        if !self.parallel || selected.len() == 1 {
+            return selected
+                .iter()
+                .zip(rules)
+                .zip(steps)
+                .map(|((&k, rule), &e)| self.clients[k].train_local(e, rule))
+                .collect();
+        }
+        // Parallel path: take disjoint &mut Client views of the selected
+        // subset (selected indices are sorted and unique).
+        debug_assert!(selected.windows(2).all(|w| w[0] < w[1]));
+        let mut refs: Vec<&mut Client> = Vec::with_capacity(selected.len());
+        {
+            let mut rest: &mut [Client] = &mut self.clients;
+            let mut offset = 0usize;
+            for &k in selected {
+                let (_, tail) = rest.split_at_mut(k - offset);
+                let (head, tail) = tail.split_at_mut(1);
+                refs.push(&mut head[0]);
+                rest = tail;
+                offset = k + 1;
+            }
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(refs.len());
+        let chunk = refs.len().div_ceil(threads);
+        let mut reports = vec![
+            LocalReport {
+                loss: 0.0,
+                reg_loss: 0.0,
+                steps: 0
+            };
+            selected.len()
+        ];
+        crossbeam::thread::scope(|s| {
+            let mut report_slices: Vec<&mut [LocalReport]> = reports.chunks_mut(chunk).collect();
+            let mut rule_slices: Vec<&[LocalRule]> = rules.chunks(chunk).collect();
+            let mut step_slices: Vec<&[usize]> = steps.chunks(chunk).collect();
+            let mut client_chunks: Vec<Vec<&mut Client>> = Vec::new();
+            let mut it = refs.into_iter();
+            loop {
+                let c: Vec<&mut Client> = it.by_ref().take(chunk).collect();
+                if c.is_empty() {
+                    break;
+                }
+                client_chunks.push(c);
+            }
+            for (((clients, rules), steps), reports) in client_chunks
+                .into_iter()
+                .zip(rule_slices.drain(..))
+                .zip(step_slices.drain(..))
+                .zip(report_slices.drain(..))
+            {
+                s.spawn(move |_| {
+                    for (((c, rule), &e), slot) in clients
+                        .into_iter()
+                        .zip(rules.iter())
+                        .zip(steps.iter())
+                        .zip(reports.iter_mut())
+                    {
+                        *slot = c.train_local(e, rule);
+                    }
+                });
+            }
+        })
+        .expect("client training thread panicked");
+        reports
+    }
+
+    /// Weighted average of parameter vectors (`Σ w_i θ_i`).
+    pub fn weighted_average(params: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        assert_eq!(params.len(), weights.len());
+        assert!(!params.is_empty());
+        let n = params[0].len();
+        let mut out = vec![0.0f32; n];
+        for (p, &w) in params.iter().zip(weights) {
+            assert_eq!(p.len(), n);
+            rfl_tensor::axpy_slices(&mut out, w, p);
+        }
+        out
+    }
+
+    /// Evaluates the global model on the held-out test set.
+    pub fn evaluate_global(&mut self) -> EvalResult {
+        self.eval_model.write_params(&self.global);
+        evaluate(self.eval_model.as_mut(), &self.test, self.eval_batch)
+    }
+
+    /// Evaluates the global model on each client's local data
+    /// (fairness evaluation, Fig. 11).
+    pub fn evaluate_per_client(&mut self) -> Vec<EvalResult> {
+        self.eval_model.write_params(&self.global);
+        let model = self.eval_model.as_mut();
+        let batch = self.eval_batch;
+        self.clients
+            .iter()
+            .map(|c| evaluate(model, c.data(), batch))
+            .collect()
+    }
+
+    /// Mean data loss of the *global* model over selected clients' local
+    /// data (used by q-FedAvg's fair aggregation).
+    pub fn local_losses_at_global(&mut self, selected: &[usize]) -> Vec<f32> {
+        // Clients already hold the broadcast global parameters.
+        selected
+            .iter()
+            .map(|&k| self.clients[k].evaluate_local(self.eval_batch).loss)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rfl_data::synth::gaussian::GaussianMixtureSpec;
+
+    fn small_fed(parallel: bool, seed: u64) -> Federation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = GaussianMixtureSpec::default_spec();
+        let pool = spec.generate(80, None, &mut rng);
+        let parts = rfl_data::partition::iid(80, 4, &mut rng);
+        let test = spec.generate(40, None, &mut rng);
+        let data = FederatedData::from_partition(&pool, &parts, test);
+        let mut cfg = FlConfig::cross_silo();
+        cfg.parallel = parallel;
+        cfg.batch_size = 10;
+        Federation::new(
+            &data,
+            ModelFactory::logistic(10, 4, 0.0),
+            OptimizerFactory::sgd(0.1),
+            &cfg,
+            seed,
+        )
+    }
+
+    #[test]
+    fn all_clients_start_at_global() {
+        let fed = small_fed(false, 0);
+        let mut buf = Vec::new();
+        for k in 0..fed.num_clients() {
+            fed.client(k).read_params(&mut buf);
+            assert_eq!(buf, fed.global());
+        }
+    }
+
+    #[test]
+    fn weighted_average_of_identical_is_identity() {
+        let p = vec![vec![1.0, 2.0], vec![1.0, 2.0]];
+        let avg = Federation::weighted_average(&p, &[0.3, 0.7]);
+        assert_eq!(avg, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_average_weights_matter() {
+        let p = vec![vec![0.0], vec![10.0]];
+        assert_eq!(Federation::weighted_average(&p, &[0.9, 0.1]), vec![1.0]);
+    }
+
+    #[test]
+    fn broadcast_meters_per_receiver() {
+        let mut fed = small_fed(false, 1);
+        let n_params = fed.num_params();
+        fed.broadcast_params(&[0, 2]);
+        assert_eq!(
+            fed.channel().stats().download_bytes(),
+            2 * (4 + 4 * n_params as u64)
+        );
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut fed_s = small_fed(false, 2);
+        let mut fed_p = small_fed(true, 2);
+        let selected = vec![0, 1, 2, 3];
+        let rules = vec![LocalRule::Plain; 4];
+        fed_s.broadcast_params(&selected);
+        fed_p.broadcast_params(&selected);
+        let rs = fed_s.train_selected(&selected, &rules, 5);
+        let rp = fed_p.train_selected(&selected, &rules, 5);
+        for (a, b) in rs.iter().zip(&rp) {
+            assert_eq!(a.loss, b.loss);
+        }
+        let ps = fed_s.collect_params(&selected);
+        let pp = fed_p.collect_params(&selected);
+        assert_eq!(ps, pp);
+    }
+
+    #[test]
+    fn parallel_handles_sparse_selection() {
+        let mut fed = small_fed(true, 3);
+        let selected = vec![1, 3];
+        let rules = vec![LocalRule::Plain; 2];
+        let reports = fed.train_selected(&selected, &rules, 3);
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.steps == 3));
+    }
+
+    #[test]
+    fn evaluate_per_client_returns_one_result_each() {
+        let mut fed = small_fed(false, 4);
+        let results = fed.evaluate_per_client();
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.n > 0));
+    }
+
+    #[test]
+    fn train_changes_params_and_reduces_global_loss_after_aggregate() {
+        let mut fed = small_fed(false, 5);
+        let before = fed.evaluate_global().loss;
+        for _ in 0..10 {
+            let selected: Vec<usize> = (0..4).collect();
+            fed.broadcast_params(&selected);
+            let rules = vec![LocalRule::Plain; 4];
+            fed.train_selected(&selected, &rules, 5);
+            let params = fed.collect_params(&selected);
+            let w = crate::sampling::renormalized_weights(fed.weights(), &selected);
+            let avg = Federation::weighted_average(&params, &w);
+            fed.set_global(avg);
+        }
+        let after = fed.evaluate_global().loss;
+        assert!(after < before, "{before} → {after}");
+    }
+
+    #[test]
+    fn rng_streams_do_not_collide() {
+        // Two distinct clients with identical data must still take different
+        // batch sequences.
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = GaussianMixtureSpec::default_spec();
+        let pool = spec.generate(40, None, &mut rng);
+        let parts = [(0..40).collect::<Vec<_>>(), (0..40).collect::<Vec<_>>()];
+        let test = spec.generate(8, None, &mut rng);
+        let data = FederatedData {
+            clients: parts.iter().map(|p| pool.select(p)).collect(),
+            test,
+        };
+        let cfg = FlConfig {
+            parallel: false,
+            batch_size: 4,
+            ..FlConfig::cross_silo()
+        };
+        let mut fed = Federation::new(
+            &data,
+            ModelFactory::logistic(10, 4, 0.0),
+            OptimizerFactory::sgd(0.5),
+            &cfg,
+            9,
+        );
+        fed.broadcast_params(&[0, 1]);
+        fed.train_selected(&[0, 1], &[LocalRule::Plain, LocalRule::Plain], 1);
+        let params = fed.collect_params(&[0, 1]);
+        assert_ne!(params[0], params[1], "clients sampled identical batches");
+        let _ = rng.gen::<f32>();
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+    use crate::rules::LocalRule;
+    use rfl_data::synth::gaussian::GaussianMixtureSpec;
+
+    #[test]
+    fn per_client_steps_are_respected() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let spec = GaussianMixtureSpec::default_spec();
+        let pool = spec.generate(80, None, &mut rng);
+        let parts = rfl_data::partition::iid(80, 4, &mut rng);
+        let test = spec.generate(20, None, &mut rng);
+        let data = rfl_data::FederatedData::from_partition(&pool, &parts, test);
+        let cfg = FlConfig {
+            parallel: false,
+            batch_size: 10,
+            ..FlConfig::cross_silo()
+        };
+        let mut fed = Federation::new(
+            &data,
+            ModelFactory::logistic(10, 4, 0.0),
+            OptimizerFactory::sgd(0.1),
+            &cfg,
+            30,
+        );
+        let selected = vec![0, 1, 2, 3];
+        fed.broadcast_params(&selected);
+        let rules = vec![LocalRule::Plain; 4];
+        let reports = fed.train_selected_steps(&selected, &rules, &[1, 3, 5, 7]);
+        let got: Vec<usize> = reports.iter().map(|r| r.steps).collect();
+        assert_eq!(got, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn parallel_straggler_training_matches_serial() {
+        let make = |parallel: bool| {
+            let mut rng = StdRng::seed_from_u64(31);
+            let spec = GaussianMixtureSpec::default_spec();
+            let pool = spec.generate(80, None, &mut rng);
+            let parts = rfl_data::partition::iid(80, 4, &mut rng);
+            let test = spec.generate(20, None, &mut rng);
+            let data = rfl_data::FederatedData::from_partition(&pool, &parts, test);
+            let cfg = FlConfig {
+                parallel,
+                batch_size: 10,
+                ..FlConfig::cross_silo()
+            };
+            Federation::new(
+                &data,
+                ModelFactory::logistic(10, 4, 0.0),
+                OptimizerFactory::sgd(0.1),
+                &cfg,
+                31,
+            )
+        };
+        let selected = vec![0, 1, 2, 3];
+        let rules = vec![LocalRule::Plain; 4];
+        let steps = [2usize, 4, 1, 6];
+        let mut fed_s = make(false);
+        let mut fed_p = make(true);
+        fed_s.broadcast_params(&selected);
+        fed_p.broadcast_params(&selected);
+        fed_s.train_selected_steps(&selected, &rules, &steps);
+        fed_p.train_selected_steps(&selected, &rules, &steps);
+        assert_eq!(
+            fed_s.collect_params(&selected),
+            fed_p.collect_params(&selected)
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Training history: the per-round record behind every curve and table.
+
+use std::fmt::Write as _;
+
+/// One row of a training run.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    pub round: usize,
+    /// Mean local data loss over the participating clients.
+    pub train_loss: f32,
+    /// Mean regularizer loss (0 for non-regularized algorithms).
+    pub reg_loss: f32,
+    /// Test loss, when evaluated this round.
+    pub test_loss: Option<f32>,
+    /// Test accuracy, when evaluated this round.
+    pub test_acc: Option<f32>,
+    /// Wall-clock seconds spent in the round (local training + aggregation).
+    pub seconds: f64,
+    /// Bytes downloaded by clients this round.
+    pub down_bytes: u64,
+    /// Bytes uploaded by clients this round.
+    pub up_bytes: u64,
+    /// δ-plane bytes this round (Table III).
+    pub delta_bytes: u64,
+    /// Number of participating clients.
+    pub participants: usize,
+}
+
+/// A completed run.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    records: Vec<RoundRecord>,
+}
+
+impl History {
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    pub fn push(&mut self, r: RoundRecord) {
+        self.records.push(r);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Last evaluated test accuracy.
+    pub fn final_accuracy(&self) -> Option<f32> {
+        self.records.iter().rev().find_map(|r| r.test_acc)
+    }
+
+    /// Best evaluated test accuracy.
+    pub fn best_accuracy(&self) -> Option<f32> {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_acc)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f32| a.max(v))))
+    }
+
+    /// `(round, accuracy)` points of the test-accuracy curve.
+    pub fn accuracy_curve(&self) -> Vec<(usize, f32)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_acc.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// `(round, loss)` points of the train-loss curve.
+    pub fn loss_curve(&self) -> Vec<(usize, f32)> {
+        self.records.iter().map(|r| (r.round, r.train_loss)).collect()
+    }
+
+    /// First round (1-based count) at which test accuracy reached `target`,
+    /// or `None` (Fig. 10a/b "minimal rounds needed").
+    pub fn rounds_to_accuracy(&self, target: f32) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.test_acc.is_some_and(|a| a >= target))
+            .map(|r| r.round + 1)
+    }
+
+    /// Total bytes communicated.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.down_bytes + r.up_bytes).sum()
+    }
+
+    /// Total δ-plane bytes.
+    pub fn total_delta_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.delta_bytes).sum()
+    }
+
+    /// Mean wall-clock seconds per round.
+    pub fn mean_round_seconds(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.seconds).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// CSV dump: one row per round.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "round,train_loss,reg_loss,test_loss,test_acc,seconds,down_bytes,up_bytes,delta_bytes,participants\n",
+        );
+        for r in &self.records {
+            let tl = r.test_loss.map_or(String::new(), |v| format!("{v:.6}"));
+            let ta = r.test_acc.map_or(String::new(), |v| format!("{v:.6}"));
+            let _ = writeln!(
+                s,
+                "{},{:.6},{:.6},{},{},{:.4},{},{},{},{}",
+                r.round,
+                r.train_loss,
+                r.reg_loss,
+                tl,
+                ta,
+                r.seconds,
+                r.down_bytes,
+                r.up_bytes,
+                r.delta_bytes,
+                r.participants
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: usize, acc: Option<f32>) -> RoundRecord {
+        RoundRecord {
+            round,
+            train_loss: 1.0 / (round + 1) as f32,
+            reg_loss: 0.0,
+            test_loss: acc.map(|a| 1.0 - a),
+            test_acc: acc,
+            seconds: 0.5,
+            down_bytes: 100,
+            up_bytes: 50,
+            delta_bytes: 10,
+            participants: 4,
+        }
+    }
+
+    #[test]
+    fn accuracy_accessors() {
+        let mut h = History::new();
+        h.push(rec(0, Some(0.3)));
+        h.push(rec(1, None));
+        h.push(rec(2, Some(0.8)));
+        h.push(rec(3, Some(0.7)));
+        assert_eq!(h.final_accuracy(), Some(0.7));
+        assert_eq!(h.best_accuracy(), Some(0.8));
+        assert_eq!(h.accuracy_curve().len(), 3);
+    }
+
+    #[test]
+    fn rounds_to_accuracy_finds_first_crossing() {
+        let mut h = History::new();
+        h.push(rec(0, Some(0.3)));
+        h.push(rec(1, Some(0.6)));
+        h.push(rec(2, Some(0.9)));
+        assert_eq!(h.rounds_to_accuracy(0.5), Some(2));
+        assert_eq!(h.rounds_to_accuracy(0.95), None);
+    }
+
+    #[test]
+    fn byte_totals() {
+        let mut h = History::new();
+        h.push(rec(0, None));
+        h.push(rec(1, None));
+        assert_eq!(h.total_bytes(), 300);
+        assert_eq!(h.total_delta_bytes(), 20);
+        assert!((h.mean_round_seconds() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut h = History::new();
+        h.push(rec(0, Some(0.5)));
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("round,"));
+        assert!(csv.contains("0.500000"));
+    }
+}

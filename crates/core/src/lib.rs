@@ -1,0 +1,84 @@
+//! # rfl-core
+//!
+//! Federated-learning framework and the algorithms of *Distribution-
+//! Regularized Federated Learning on Non-IID Data* (ICDE 2023).
+//!
+//! The crate simulates a synchronous FL system: a [`Federation`] of clients
+//! (each with a private [`rfl_data::Dataset`], its own model replica, local
+//! optimizer state, and seeded RNG), a flat-parameter server, and a
+//! byte-accurate communication [`comm::Channel`].
+//!
+//! ## Algorithms
+//!
+//! | Algorithm | Paper | Key mechanism |
+//! |---|---|---|
+//! | [`algorithms::FedAvg`] | McMahan et al. | local SGD + weighted averaging |
+//! | [`algorithms::FedProx`] | Li et al. | proximal term `μ‖w − w_global‖²/2` |
+//! | [`algorithms::Scaffold`] | Karimireddy et al. | control variates `c, c_k` |
+//! | [`algorithms::QFedAvg`] | Li et al. | q-fair aggregation |
+//! | [`algorithms::RFedAvg`] | **this paper, Alg. 1** | delayed per-client δ maps, `O(dN²)` broadcast |
+//! | [`algorithms::RFedAvgPlus`] | **this paper, Alg. 2** | double sync + averaged δ, `O(dN)` broadcast |
+//!
+//! ## The distribution regularizer
+//!
+//! [`mmd`] implements the empirical (linear-kernel) maximum mean discrepancy
+//! between clients' mean feature embeddings `δ_k = (1/n_k) Σ φ(x)`. During
+//! local SGD the regularizer's gradient `2λ(μ_B − δ_target)/B` is injected
+//! at the feature layer through the model's feature hook (Eq. 3–5).
+//!
+//! ```
+//! use rfl_core::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = rfl_data::synth::gaussian::GaussianMixtureSpec::default_spec();
+//! let pool = data.generate(120, None, &mut rng);
+//! let parts = rfl_data::partition::similarity(pool.labels(), 4, 0.0, &mut rng);
+//! let test = data.generate(40, None, &mut rng);
+//! let fed_data = rfl_data::FederatedData::from_partition(&pool, &parts, test);
+//!
+//! let cfg = FlConfig { rounds: 3, ..FlConfig::cross_silo() };
+//! let factory = ModelFactory::logistic(10, 4, 1e-3);
+//! let mut fed = Federation::new(&fed_data, factory, OptimizerFactory::sgd(0.1), &cfg, 7);
+//! let mut algo = RFedAvgPlus::new(1e-2);
+//! let history = Trainer::new(cfg).run(&mut algo, &mut fed);
+//! assert_eq!(history.len(), 3);
+//! ```
+
+pub mod algorithms;
+pub mod client;
+pub mod comm;
+pub mod convex;
+pub mod delta;
+pub mod dp;
+pub mod eval;
+pub mod federation;
+pub mod history;
+pub mod compress;
+pub mod mmd;
+pub mod mmd_rbf;
+pub mod personalization;
+pub mod secagg;
+pub mod rules;
+pub mod sampling;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod trainer;
+
+pub use client::Client;
+pub use federation::{Federation, FlConfig, ModelFactory, OptimizerFactory};
+pub use history::{History, RoundRecord};
+pub use rules::LocalRule;
+pub use trainer::{Algorithm, RoundOutcome, Trainer};
+
+/// Convenient glob import for examples and binaries.
+pub mod prelude {
+    pub use crate::algorithms::{
+        FedAvg, FedAvgM, FedPer, FedProx, PowerOfChoice, QFedAvg, RFedAvg, RFedAvgPlus, Scaffold,
+    };
+    pub use crate::client::Client;
+    pub use crate::comm::CommStats;
+    pub use crate::federation::{Federation, FlConfig, ModelFactory, OptimizerFactory};
+    pub use crate::history::{History, RoundRecord};
+    pub use crate::trainer::{Algorithm, Trainer};
+}

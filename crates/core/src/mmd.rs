@@ -1,0 +1,189 @@
+//! Empirical maximum mean discrepancy (MMD) between client feature
+//! distributions — the distribution regularizer of Sec. III-B.
+//!
+//! Following the paper's proof-of-concept instantiation, `φ` is the network's
+//! feature extractor (everything up to the last FC layer) and the kernel is
+//! linear, so the squared MMD between clients `i` and `j` reduces to
+//! `‖δ_i − δ_j‖²` with `δ_k = (1/n_k) Σ φ(x_{k,·})` (Eq. 2).
+
+use rfl_tensor::{sq_dist_slices, Tensor};
+
+/// The local mapping operator `δ = (1/n) Σ_r φ(x_r)`: the column mean of a
+/// feature matrix `[n, d]`.
+pub fn delta_of(features: &Tensor) -> Vec<f32> {
+    assert_eq!(features.ndim(), 2, "expected a feature matrix");
+    features.mean_axis0().into_vec()
+}
+
+/// Squared MMD (linear kernel) between two mean embeddings.
+pub fn mmd_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "embedding dims differ");
+    sq_dist_slices(a, b)
+}
+
+/// The paper's regularizer value for client `k` (Eq. 5):
+/// `r_k = (1/(N−1)) Σ_{j≠k} ‖δ_k − δ_j‖²`.
+pub fn regularizer_value(k: usize, deltas: &[Vec<f32>]) -> f32 {
+    let n = deltas.len();
+    assert!(n >= 2, "need at least two clients");
+    assert!(k < n);
+    let mut sum = 0.0f32;
+    for (j, d) in deltas.iter().enumerate() {
+        if j != k {
+            sum += mmd_sq(&deltas[k], d);
+        }
+    }
+    sum / (n - 1) as f32
+}
+
+/// rFedAvg+'s surrogate `r̃_k = ‖δ_k − δ̄^{−k}‖²` where `δ̄^{−k}` is the mean
+/// of the other clients' embeddings. A lower bound of [`regularizer_value`]
+/// (Jensen), with the same gradient w.r.t. `δ_k`.
+pub fn surrogate_value(delta_k: &[f32], mean_others: &[f32]) -> f32 {
+    mmd_sq(delta_k, mean_others)
+}
+
+/// Mean of the other clients' embeddings `δ̄^{−k} = (1/(N−1)) Σ_{j≠k} δ_j`.
+pub fn mean_excluding(k: usize, deltas: &[Vec<f32>]) -> Vec<f32> {
+    let n = deltas.len();
+    assert!(n >= 2, "need at least two clients");
+    assert!(k < n);
+    let d = deltas[0].len();
+    let mut out = vec![0.0f32; d];
+    for (j, dj) in deltas.iter().enumerate() {
+        if j == k {
+            continue;
+        }
+        assert_eq!(dj.len(), d, "embedding dims differ");
+        for (o, &v) in out.iter_mut().zip(dj) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / (n - 1) as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    out
+}
+
+/// Gradient of `λ·‖μ_B − δ_target‖²` w.r.t. each row of the batch feature
+/// matrix, where `μ_B` is the batch mean: every row receives
+/// `2λ(μ_B − δ_target)/B`. This is the `dfeatures` tensor injected into the
+/// model's backward pass during regularized local SGD.
+pub fn feature_gradient(batch_features: &Tensor, target: &[f32], lambda: f32) -> Tensor {
+    assert_eq!(batch_features.ndim(), 2);
+    let (b, d) = (batch_features.dims()[0], batch_features.dims()[1]);
+    assert_eq!(target.len(), d, "target dim mismatch");
+    let mu = batch_features.mean_axis0();
+    let scale = 2.0 * lambda / b as f32;
+    let row: Vec<f32> = mu
+        .data()
+        .iter()
+        .zip(target)
+        .map(|(&m, &t)| scale * (m - t))
+        .collect();
+    let mut out = Tensor::zeros(&[b, d]);
+    for r in out.data_mut().chunks_exact_mut(d) {
+        r.copy_from_slice(&row);
+    }
+    out
+}
+
+/// The regularizer loss `λ·‖μ_B − δ_target‖²` for monitoring.
+pub fn regularizer_loss(batch_features: &Tensor, target: &[f32], lambda: f32) -> f32 {
+    let mu = delta_of(batch_features);
+    lambda * mmd_sq(&mu, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_column_mean() {
+        let f = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(delta_of(&f), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn mmd_metric_properties() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        // identity
+        assert_eq!(mmd_sq(&a, &a), 0.0);
+        // symmetry
+        assert_eq!(mmd_sq(&a, &b), mmd_sq(&b, &a));
+        // positivity
+        assert!(mmd_sq(&a, &b) > 0.0);
+        assert_eq!(mmd_sq(&a, &b), 8.0);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_regularizer() {
+        let deltas = vec![vec![1.0, 1.0]; 5];
+        for k in 0..5 {
+            assert_eq!(regularizer_value(k, &deltas), 0.0);
+        }
+    }
+
+    #[test]
+    fn surrogate_is_lower_bound_of_regularizer() {
+        // Jensen: ‖δ_k − mean_j δ_j‖² ≤ (1/(N−1)) Σ_j ‖δ_k − δ_j‖².
+        let deltas = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 2.0],
+            vec![-1.0, 3.0],
+            vec![0.5, -0.5],
+        ];
+        for k in 0..4 {
+            let mean = mean_excluding(k, &deltas);
+            let surrogate = surrogate_value(&deltas[k], &mean);
+            let exact = regularizer_value(k, &deltas);
+            assert!(
+                surrogate <= exact + 1e-6,
+                "k={k}: {surrogate} > {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_excluding_excludes_self() {
+        let deltas = vec![vec![100.0], vec![1.0], vec![3.0]];
+        assert_eq!(mean_excluding(0, &deltas), vec![2.0]);
+        assert_eq!(mean_excluding(1, &deltas), vec![51.5]);
+    }
+
+    #[test]
+    fn feature_gradient_matches_finite_difference() {
+        let f = Tensor::from_vec(vec![0.5, 1.5, 2.5, -0.5], &[2, 2]);
+        let target = vec![1.0, -1.0];
+        let lambda = 0.3;
+        let g = feature_gradient(&f, &target, lambda);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut fp = f.clone();
+            fp.data_mut()[i] += eps;
+            let fd = (regularizer_loss(&fp, &target, lambda)
+                - regularizer_loss(&f, &target, lambda))
+                / eps;
+            assert!((fd - g.data()[i]).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    fn gradient_is_zero_at_target() {
+        let f = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0], &[2, 2]);
+        let g = feature_gradient(&f, &[1.0, 2.0], 1.0);
+        assert!(g.data().iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn gradient_scales_linearly_with_lambda() {
+        let f = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let g1 = feature_gradient(&f, &[0.0, 0.0], 1.0);
+        let g2 = feature_gradient(&f, &[0.0, 0.0], 2.0);
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Gaussian-kernel (RBF) MMD — the general RKHS estimator of Eq. (2).
+//!
+//! The paper instantiates `φ` with the network feature extractor and a
+//! linear kernel (so MMD² reduces to `‖δ_i − δ_j‖²`); this module provides
+//! the full biased V-statistic estimator with an RBF kernel
+//! `k(x, y) = exp(−γ‖x − y‖²)` for diagnostics and the kernel ablation:
+//! it detects distribution differences beyond the first moment.
+
+use rfl_tensor::{sq_dist_slices, Tensor};
+
+/// `k(x, y) = exp(−γ‖x − y‖²)` summed over all pairs of rows of `a`, `b`.
+fn mean_kernel(a: &Tensor, b: &Tensor, gamma: f32) -> f64 {
+    let (na, d) = (a.dims()[0], a.dims()[1]);
+    let nb = b.dims()[0];
+    let ad = a.data();
+    let bd = b.data();
+    let mut sum = 0.0f64;
+    for i in 0..na {
+        let ai = &ad[i * d..(i + 1) * d];
+        for j in 0..nb {
+            let bj = &bd[j * d..(j + 1) * d];
+            sum += (-gamma * sq_dist_slices(ai, bj)).exp() as f64;
+        }
+    }
+    sum / (na as f64 * nb as f64)
+}
+
+/// Biased (V-statistic) squared MMD with an RBF kernel between two sample
+/// matrices `[n, d]` and `[m, d]`.
+pub fn rbf_mmd_sq(x: &Tensor, y: &Tensor, gamma: f32) -> f64 {
+    assert_eq!(x.ndim(), 2);
+    assert_eq!(y.ndim(), 2);
+    assert_eq!(x.dims()[1], y.dims()[1], "feature dims differ");
+    assert!(gamma > 0.0, "γ must be positive");
+    mean_kernel(x, x, gamma) + mean_kernel(y, y, gamma) - 2.0 * mean_kernel(x, y, gamma)
+}
+
+/// Median-heuristic bandwidth: `γ = 1 / median(‖x_i − x_j‖²)` over the
+/// pooled samples (a standard automatic choice).
+pub fn median_heuristic_gamma(x: &Tensor, y: &Tensor) -> f32 {
+    let d = x.dims()[1];
+    assert_eq!(y.dims()[1], d);
+    let mut pooled: Vec<&[f32]> = Vec::new();
+    for i in 0..x.dims()[0] {
+        pooled.push(&x.data()[i * d..(i + 1) * d]);
+    }
+    for i in 0..y.dims()[0] {
+        pooled.push(&y.data()[i * d..(i + 1) * d]);
+    }
+    let mut dists = Vec::new();
+    for i in 0..pooled.len() {
+        for j in (i + 1)..pooled.len() {
+            let v = sq_dist_slices(pooled[i], pooled[j]);
+            if v > 0.0 {
+                dists.push(v);
+            }
+        }
+    }
+    if dists.is_empty() {
+        return 1.0;
+    }
+    dists.sort_by(|a, b| a.total_cmp(b));
+    let median = dists[dists.len() / 2];
+    1.0 / median.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfl_tensor::{normal_sample, Initializer};
+
+    fn gaussian(n: usize, d: usize, mean: f32, std: f32, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tensor::zeros(&[n, d]);
+        for v in t.data_mut() {
+            *v = mean + std * normal_sample(&mut rng);
+        }
+        t
+    }
+
+    #[test]
+    fn identical_samples_give_zero() {
+        let x = gaussian(20, 3, 0.0, 1.0, 0);
+        let m = rbf_mmd_sq(&x, &x, 0.5);
+        assert!(m.abs() < 1e-6, "{m}");
+    }
+
+    #[test]
+    fn shifted_distributions_are_detected() {
+        let x = gaussian(40, 3, 0.0, 1.0, 1);
+        let y = gaussian(40, 3, 3.0, 1.0, 2);
+        let same = gaussian(40, 3, 0.0, 1.0, 3);
+        let gamma = median_heuristic_gamma(&x, &y);
+        let far = rbf_mmd_sq(&x, &y, gamma);
+        let near = rbf_mmd_sq(&x, &same, gamma);
+        assert!(far > 5.0 * near.max(1e-4), "far {far} near {near}");
+    }
+
+    /// The property linear MMD misses: equal means, different variances.
+    #[test]
+    fn detects_variance_difference_that_linear_mmd_misses() {
+        let x = gaussian(150, 2, 0.0, 0.3, 4);
+        let y = gaussian(150, 2, 0.0, 2.0, 5);
+        // Linear MMD (distance of means) shrinks with n (both means → 0).
+        let mu_x = x.mean_axis0().into_vec();
+        let mu_y = y.mean_axis0().into_vec();
+        let linear = crate::mmd::mmd_sq(&mu_x, &mu_y);
+        // RBF MMD stays clearly positive: it sees the variance gap.
+        let gamma = median_heuristic_gamma(&x, &y);
+        let rbf = rbf_mmd_sq(&x, &y, gamma);
+        assert!(linear < 0.2, "linear MMD should be small: {linear}");
+        assert!(rbf > 0.1, "RBF MMD should detect the variance gap: {rbf}");
+        assert!(rbf > 4.0 * linear as f64, "rbf {rbf} vs linear {linear}");
+    }
+
+    #[test]
+    fn symmetric_and_nonnegative() {
+        let x = gaussian(15, 4, 0.0, 1.0, 6);
+        let y = gaussian(17, 4, 1.0, 1.5, 7);
+        let a = rbf_mmd_sq(&x, &y, 0.3);
+        let b = rbf_mmd_sq(&y, &x, 0.3);
+        assert!((a - b).abs() < 1e-9);
+        assert!(a >= -1e-9);
+    }
+
+    #[test]
+    fn median_heuristic_is_scale_aware() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let small = Initializer::Normal(0.1).init(&[20, 3], &mut rng);
+        let big = Initializer::Normal(10.0).init(&[20, 3], &mut rng);
+        let g_small = median_heuristic_gamma(&small, &small);
+        let g_big = median_heuristic_gamma(&big, &big);
+        assert!(g_small > 100.0 * g_big, "{g_small} vs {g_big}");
+    }
+}

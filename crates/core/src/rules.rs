@@ -1,0 +1,79 @@
+//! Local-update rules: how each algorithm modifies vanilla local SGD.
+//!
+//! A [`LocalRule`] is pure data (no closures) so that client training can be
+//! dispatched across worker threads; the client interprets the rule inside
+//! its step loop.
+
+use std::sync::Arc;
+
+/// The per-round local-update modification for one client.
+#[derive(Clone, Debug)]
+pub enum LocalRule {
+    /// Vanilla local SGD (FedAvg, q-FedAvg local phase).
+    Plain,
+    /// FedProx: add `μ(w − w_anchor)` to the gradient (the gradient of the
+    /// proximal term `μ/2·‖w − w_global‖²`).
+    Prox { mu: f32, anchor: Arc<Vec<f32>> },
+    /// SCAFFOLD: add the control-variate correction `c − c_k` to the
+    /// gradient.
+    Scaffold { correction: Arc<Vec<f32>> },
+    /// rFedAvg / rFedAvg+: inject the distribution-regularizer gradient
+    /// `2λ(μ_B − δ_target)/B` at the feature layer (Eq. 5 with the delayed
+    /// target `δ_target`).
+    Mmd { lambda: f32, target: Arc<Vec<f32>> },
+}
+
+impl LocalRule {
+    /// Human-readable tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LocalRule::Plain => "plain",
+            LocalRule::Prox { .. } => "prox",
+            LocalRule::Scaffold { .. } => "scaffold",
+            LocalRule::Mmd { .. } => "mmd",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_eq!(LocalRule::Plain.kind(), "plain");
+        assert_eq!(
+            LocalRule::Prox {
+                mu: 1.0,
+                anchor: Arc::new(vec![])
+            }
+            .kind(),
+            "prox"
+        );
+        assert_eq!(
+            LocalRule::Mmd {
+                lambda: 0.1,
+                target: Arc::new(vec![])
+            }
+            .kind(),
+            "mmd"
+        );
+    }
+
+    #[test]
+    fn rules_are_cheaply_cloneable() {
+        let big = Arc::new(vec![0.0f32; 1_000]);
+        let r = LocalRule::Mmd {
+            lambda: 0.5,
+            target: big.clone(),
+        };
+        let r2 = r.clone();
+        // The Arc is shared, not deep-copied.
+        if let (LocalRule::Mmd { target: a, .. }, LocalRule::Mmd { target: b, .. }) = (&r, &r2) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            unreachable!();
+        }
+        assert_eq!(Arc::strong_count(&big), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Client sampling (the `SR` knob of FedAvg).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples `⌈SR·N⌉` distinct clients uniformly without replacement.
+/// `sr = 1.0` is full participation. The returned indices are sorted so the
+/// downstream iteration order is deterministic.
+pub fn sample_clients<R: Rng>(n: usize, sr: f32, rng: &mut R) -> Vec<usize> {
+    assert!(n > 0, "no clients");
+    assert!((0.0..=1.0).contains(&sr), "sample ratio in [0, 1]");
+    let m = ((n as f32 * sr).ceil() as usize).clamp(1, n);
+    if m == n {
+        return (0..n).collect();
+    }
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(rng);
+    let mut selected = all[..m].to_vec();
+    selected.sort_unstable();
+    selected
+}
+
+/// Renormalized aggregation weights over the selected clients:
+/// `p_k / Σ_{j∈S} p_j`.
+pub fn renormalized_weights(weights: &[f32], selected: &[usize]) -> Vec<f32> {
+    let total: f32 = selected.iter().map(|&k| weights[k]).sum();
+    assert!(total > 0.0, "selected clients have zero weight");
+    selected.iter().map(|&k| weights[k] / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_participation_returns_all() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_clients(5, 1.0, &mut rng), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn partial_participation_size_and_uniqueness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_clients(100, 0.2, &mut rng);
+        assert_eq!(s.len(), 20);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn at_least_one_client() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_clients(10, 0.0, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn coverage_over_many_rounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 20];
+        for _ in 0..100 {
+            for i in sample_clients(20, 0.2, &mut rng) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every client eventually sampled");
+    }
+
+    #[test]
+    fn renormalized_weights_sum_to_one() {
+        let w = vec![0.1, 0.2, 0.3, 0.4];
+        let r = renormalized_weights(&w, &[1, 3]);
+        assert!((r.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((r[0] - 0.2 / 0.6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the algorithm unit tests.
+
+use crate::federation::{Federation, FlConfig, ModelFactory, OptimizerFactory};
+use crate::history::History;
+use crate::trainer::{Algorithm, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_data::synth::gaussian::GaussianMixtureSpec;
+use rfl_data::FederatedData;
+
+/// A small strongly convex federation on a Gaussian mixture with the
+/// similarity-`s` partition, suitable for fast algorithm unit tests.
+pub(crate) fn convex_fed(similarity: f64, seed: u64, n_clients: usize) -> (Federation, FlConfig) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = GaussianMixtureSpec::default_spec();
+    let pool = spec.generate(40 * n_clients, None, &mut rng);
+    let parts = rfl_data::partition::similarity(pool.labels(), n_clients, similarity, &mut rng);
+    let test = spec.generate(200, None, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    let cfg = FlConfig {
+        rounds: 10,
+        local_steps: 5,
+        batch_size: 10,
+        sample_ratio: 1.0,
+        eval_every: 1,
+        parallel: false,
+        clip_grad_norm: Some(10.0),
+        seed,
+    };
+    let fed = Federation::new(
+        &data,
+        ModelFactory::linear_net(10, 6, 4, 1e-3),
+        OptimizerFactory::sgd(0.1),
+        &cfg,
+        seed,
+    );
+    (fed, cfg)
+}
+
+/// Runs `rounds` rounds of `algo` and returns the history.
+pub(crate) fn run_rounds(
+    algo: &mut dyn Algorithm,
+    fed: &mut Federation,
+    cfg: &FlConfig,
+    rounds: usize,
+) -> History {
+    let cfg = FlConfig { rounds, ..*cfg };
+    Trainer::new(cfg).run(algo, fed)
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the FL-core primitives.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_core::dp::{clip_l2, privatize_delta, DpConfig};
+use rfl_core::mmd;
+use rfl_core::sampling::{renormalized_weights, sample_clients};
+use rfl_core::Federation;
+use rfl_tensor::Tensor;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    /// MMD is a squared metric on embeddings: symmetric, zero iff equal
+    /// inputs, and non-negative.
+    #[test]
+    fn mmd_squared_metric_properties(a in finite_vec(8), b in finite_vec(8)) {
+        prop_assert_eq!(mmd::mmd_sq(&a, &a), 0.0);
+        prop_assert_eq!(mmd::mmd_sq(&a, &b), mmd::mmd_sq(&b, &a));
+        prop_assert!(mmd::mmd_sq(&a, &b) >= 0.0);
+    }
+
+    /// √MMD satisfies the triangle inequality (it is the Euclidean norm).
+    #[test]
+    fn mmd_triangle_inequality(
+        a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)
+    ) {
+        let ab = mmd::mmd_sq(&a, &b).sqrt() as f64;
+        let bc = mmd::mmd_sq(&b, &c).sqrt() as f64;
+        let ac = mmd::mmd_sq(&a, &c).sqrt() as f64;
+        prop_assert!(ac <= ab + bc + 1e-4);
+    }
+
+    /// The surrogate r̃_k is always a lower bound of the exact r_k (Jensen).
+    #[test]
+    fn surrogate_never_exceeds_exact(
+        d0 in finite_vec(4), d1 in finite_vec(4), d2 in finite_vec(4), d3 in finite_vec(4)
+    ) {
+        let deltas = vec![d0, d1, d2, d3];
+        for k in 0..4 {
+            let exact = mmd::regularizer_value(k, &deltas);
+            let mean = mmd::mean_excluding(k, &deltas);
+            let surrogate = mmd::surrogate_value(&deltas[k], &mean);
+            prop_assert!(surrogate <= exact + 1e-3, "k={}: {} > {}", k, surrogate, exact);
+        }
+    }
+
+    /// The feature gradient vanishes exactly when the batch mean hits the
+    /// target, and is anti-symmetric around it.
+    #[test]
+    fn feature_gradient_antisymmetry(mu in finite_vec(5), lambda in 0.001f32..1.0) {
+        let b = 3usize;
+        let mut rows = Vec::new();
+        for _ in 0..b {
+            rows.extend_from_slice(&mu);
+        }
+        let feats = Tensor::from_vec(rows, &[b, 5]);
+        // target above vs below the mean by the same offset.
+        let above: Vec<f32> = mu.iter().map(|v| v + 1.0).collect();
+        let below: Vec<f32> = mu.iter().map(|v| v - 1.0).collect();
+        let g_above = mmd::feature_gradient(&feats, &above, lambda);
+        let g_below = mmd::feature_gradient(&feats, &below, lambda);
+        for (x, y) in g_above.data().iter().zip(g_below.data()) {
+            prop_assert!((x + y).abs() < 1e-4);
+        }
+        let g_center = mmd::feature_gradient(&feats, &mu, lambda);
+        prop_assert!(g_center.data().iter().all(|v| v.abs() < 1e-5));
+    }
+
+    /// Clipping puts every vector inside the ball and never changes vectors
+    /// already inside it.
+    #[test]
+    fn clip_projects_onto_ball(v in finite_vec(6), clip in 0.1f32..20.0) {
+        let mut w = v.clone();
+        clip_l2(&mut w, clip);
+        let norm: f32 = w.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm <= clip * (1.0 + 1e-5));
+        let orig: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if orig <= clip {
+            prop_assert_eq!(w, v);
+        }
+    }
+
+    /// The Gaussian mechanism is deterministic per seed and bounded in
+    /// expectation by clip + noise.
+    #[test]
+    fn dp_deterministic_per_seed(v in finite_vec(8), sigma in 0.0f32..5.0) {
+        let cfg = DpConfig::new(sigma, 1.0, 10);
+        let mut a = v.clone();
+        let mut b = v.clone();
+        privatize_delta(&mut a, cfg, &mut StdRng::seed_from_u64(3));
+        privatize_delta(&mut b, cfg, &mut StdRng::seed_from_u64(3));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Sampling always returns sorted, unique, in-range indices of the
+    /// expected count.
+    #[test]
+    fn sampling_invariants(n in 2usize..50, sr in 0.01f32..1.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_clients(n, sr, &mut rng);
+        let expected = (((n as f32) * sr).ceil() as usize).clamp(1, n);
+        prop_assert_eq!(s.len(), expected);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// Renormalized weights always form a distribution over the selection.
+    #[test]
+    fn renormalized_weights_are_distribution(
+        w in prop::collection::vec(0.01f32..1.0, 6)
+    ) {
+        let r = renormalized_weights(&w, &[0, 2, 5]);
+        prop_assert!((r.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        prop_assert!(r.iter().all(|&v| v > 0.0));
+    }
+
+    /// A weighted average of parameter vectors stays inside their
+    /// coordinate-wise convex hull.
+    #[test]
+    fn weighted_average_in_convex_hull(
+        a in finite_vec(5), b in finite_vec(5), t in 0.0f32..1.0
+    ) {
+        let avg = Federation::weighted_average(
+            &[a.clone(), b.clone()],
+            &[t, 1.0 - t],
+        );
+        for i in 0..5 {
+            let lo = a[i].min(b[i]) - 1e-4;
+            let hi = a[i].max(b[i]) + 1e-4;
+            prop_assert!(avg[i] >= lo && avg[i] <= hi);
+        }
+    }
+}

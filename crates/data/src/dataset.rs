@@ -1,0 +1,298 @@
+//! Dataset containers shared by all benchmarks.
+
+use rfl_tensor::Tensor;
+
+/// The example payload of a dataset.
+#[derive(Clone, Debug)]
+pub enum Examples {
+    /// Image batch `[N, C, H, W]`.
+    Images(Tensor),
+    /// Fixed-length token sequences.
+    Tokens(Vec<Vec<u32>>),
+    /// Dense feature batch `[N, D]`.
+    Dense(Tensor),
+}
+
+impl Examples {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        match self {
+            Examples::Images(t) | Examples::Dense(t) => t.dims()[0],
+            Examples::Tokens(s) => s.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Gathers the examples at `indices` into a new payload.
+    pub fn select(&self, indices: &[usize]) -> Examples {
+        assert!(!indices.is_empty(), "cannot select an empty subset");
+        match self {
+            Examples::Images(t) => Examples::Images(gather_rows(t, indices)),
+            Examples::Dense(t) => Examples::Dense(gather_rows(t, indices)),
+            Examples::Tokens(s) => {
+                Examples::Tokens(indices.iter().map(|&i| s[i].clone()).collect())
+            }
+        }
+    }
+}
+
+/// Concatenates two tensors along dim 0 (all other dims must match).
+fn concat_rows(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dims()[1..], b.dims()[1..], "trailing dims mismatch");
+    let mut dims = a.dims().to_vec();
+    dims[0] += b.dims()[0];
+    let mut data = Vec::with_capacity(a.numel() + b.numel());
+    data.extend_from_slice(a.data());
+    data.extend_from_slice(b.data());
+    Tensor::from_vec(data, &dims)
+}
+
+/// Gathers rows (dim-0 slices) of a tensor.
+fn gather_rows(t: &Tensor, indices: &[usize]) -> Tensor {
+    let row = t.numel() / t.dims()[0];
+    let mut dims = t.dims().to_vec();
+    dims[0] = indices.len();
+    let mut out = Tensor::zeros(&dims);
+    let src = t.data();
+    let dst = out.data_mut();
+    for (o, &i) in indices.iter().enumerate() {
+        dst[o * row..(o + 1) * row].copy_from_slice(&src[i * row..(i + 1) * row]);
+    }
+    out
+}
+
+/// A labelled dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    examples: Examples,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// # Panics
+    /// Panics if lengths disagree or any label is out of range.
+    pub fn new(examples: Examples, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(examples.len(), labels.len(), "examples/labels length");
+        assert!(
+            labels.iter().all(|&y| y < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            examples,
+            labels,
+            num_classes,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    pub fn examples(&self) -> &Examples {
+        &self.examples
+    }
+
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Subset at `indices` (copies the data).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            examples: self.examples.select(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits into `(train, held_out)` with `frac` of samples in train,
+    /// after a seeded shuffle. Both halves must be non-empty.
+    ///
+    /// # Panics
+    /// Panics if `frac` leaves either side empty.
+    pub fn split<R: rand::Rng>(&self, frac: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&frac));
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let cut = ((self.len() as f64) * frac).round() as usize;
+        assert!(cut > 0 && cut < self.len(), "split leaves an empty side");
+        (self.select(&order[..cut]), self.select(&order[cut..]))
+    }
+
+    /// Concatenates two datasets with identical payload kind and class
+    /// count.
+    ///
+    /// # Panics
+    /// Panics on mismatched kinds or class counts.
+    pub fn merge(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.num_classes, other.num_classes, "class count mismatch");
+        let examples = match (&self.examples, &other.examples) {
+            (Examples::Images(a), Examples::Images(b)) => {
+                Examples::Images(concat_rows(a, b))
+            }
+            (Examples::Dense(a), Examples::Dense(b)) => Examples::Dense(concat_rows(a, b)),
+            (Examples::Tokens(a), Examples::Tokens(b)) => {
+                let mut v = a.clone();
+                v.extend(b.iter().cloned());
+                Examples::Tokens(v)
+            }
+            _ => panic!("cannot merge datasets of different payload kinds"),
+        };
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset::new(examples, labels, self.num_classes)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+}
+
+/// A federated view: one dataset per client plus a held-out test set.
+#[derive(Clone, Debug)]
+pub struct FederatedData {
+    pub clients: Vec<Dataset>,
+    pub test: Dataset,
+}
+
+impl FederatedData {
+    /// Builds a federated split from a pooled train set and index partition.
+    pub fn from_partition(train: &Dataset, parts: &[Vec<usize>], test: Dataset) -> Self {
+        let clients = parts.iter().map(|idx| train.select(idx)).collect();
+        FederatedData { clients, test }
+    }
+
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// FedAvg aggregation weights `p_k = n_k / Σ n_j`.
+    pub fn client_weights(&self) -> Vec<f32> {
+        let total: usize = self.clients.iter().map(|c| c.len()).sum();
+        assert!(total > 0, "no training data");
+        self.clients
+            .iter()
+            .map(|c| c.len() as f32 / total as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_dataset(n: usize) -> Dataset {
+        let x = Tensor::from_vec((0..n * 4).map(|v| v as f32).collect(), &[n, 1, 2, 2]);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(Examples::Images(x), labels, 3)
+    }
+
+    #[test]
+    fn select_copies_the_right_rows() {
+        let ds = image_dataset(5);
+        let sub = ds.select(&[0, 3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[0, 0]);
+        match sub.examples() {
+            Examples::Images(t) => {
+                assert_eq!(t.dims(), &[2, 1, 2, 2]);
+                assert_eq!(&t.data()[0..4], &[0.0, 1.0, 2.0, 3.0]);
+                assert_eq!(&t.data()[4..8], &[12.0, 13.0, 14.0, 15.0]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tokens_select() {
+        let ds = Dataset::new(
+            Examples::Tokens(vec![vec![1, 2], vec![3, 4], vec![5, 6]]),
+            vec![0, 1, 0],
+            2,
+        );
+        let sub = ds.select(&[2]);
+        match sub.examples() {
+            Examples::Tokens(s) => assert_eq!(s, &vec![vec![5, 6]]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn class_counts() {
+        let ds = image_dataset(7);
+        assert_eq!(ds.class_counts(), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn client_weights_sum_to_one() {
+        let ds = image_dataset(6);
+        let parts = vec![vec![0, 1, 2], vec![3], vec![4, 5]];
+        let fed = FederatedData::from_partition(&ds, &parts, image_dataset(2));
+        let w = fed.client_weights();
+        assert_eq!(w.len(), 3);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((w[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        use rand::SeedableRng;
+        let ds = image_dataset(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let (a, b) = ds.split(0.7, &mut rng);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        let mut counts = a.class_counts();
+        for (c, v) in b.class_counts().iter().enumerate() {
+            counts[c] += v;
+        }
+        assert_eq!(counts, ds.class_counts());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = image_dataset(3);
+        let b = image_dataset(2);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 5);
+        assert_eq!(&m.labels()[..3], a.labels());
+        assert_eq!(&m.labels()[3..], b.labels());
+        match m.examples() {
+            Examples::Images(t) => assert_eq!(t.dims(), &[5, 1, 2, 2]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty side")]
+    fn split_rejects_degenerate_fraction() {
+        use rand::SeedableRng;
+        let ds = image_dataset(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        ds.split(0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        Dataset::new(Examples::Dense(Tensor::zeros(&[1, 2])), vec![5], 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! IDX file format (the MNIST/EMNIST container): reader and writer.
+//!
+//! The synthetic benchmarks stand in for the real corpora, but a downstream
+//! user with `train-images-idx3-ubyte` on disk can load it directly:
+//!
+//! ```no_run
+//! use rfl_data::io::load_idx_images;
+//! let ds = load_idx_images("train-images-idx3-ubyte", "train-labels-idx1-ubyte", 10).unwrap();
+//! ```
+//!
+//! Format: big-endian magic `0x0000_08dd` (dd = #dims), one u32 per
+//! dimension, then raw u8 payload. Pixels are normalized to `[0, 1]`.
+
+use crate::dataset::{Dataset, Examples};
+use rfl_tensor::Tensor;
+use std::io::Read;
+use std::path::Path;
+
+/// Errors from IDX parsing.
+#[derive(Debug)]
+pub enum IdxError {
+    Io(std::io::Error),
+    BadMagic(u32),
+    WrongRank { expected: u8, got: u8 },
+    Truncated,
+    LabelOutOfRange { label: u8, classes: usize },
+    CountMismatch { images: usize, labels: usize },
+}
+
+impl std::fmt::Display for IdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "io error: {e}"),
+            IdxError::BadMagic(m) => write!(f, "bad IDX magic 0x{m:08x}"),
+            IdxError::WrongRank { expected, got } => {
+                write!(f, "expected rank {expected}, got {got}")
+            }
+            IdxError::Truncated => write!(f, "truncated IDX payload"),
+            IdxError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+impl From<std::io::Error> for IdxError {
+    fn from(e: std::io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+fn read_u32_be(r: &mut impl Read) -> Result<u32, IdxError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(|_| IdxError::Truncated)?;
+    Ok(u32::from_be_bytes(b))
+}
+
+/// Parses an IDX byte stream; returns `(dims, payload)`.
+pub fn parse_idx(mut r: impl Read) -> Result<(Vec<usize>, Vec<u8>), IdxError> {
+    let magic = read_u32_be(&mut r)?;
+    if magic >> 8 != 0x08 {
+        // type byte must be 0x08 (unsigned byte data)
+        return Err(IdxError::BadMagic(magic));
+    }
+    let rank = (magic & 0xFF) as u8;
+    let mut dims = Vec::with_capacity(rank as usize);
+    for _ in 0..rank {
+        dims.push(read_u32_be(&mut r)? as usize);
+    }
+    let total: usize = dims.iter().product();
+    let mut payload = vec![0u8; total];
+    r.read_exact(&mut payload).map_err(|_| IdxError::Truncated)?;
+    Ok((dims, payload))
+}
+
+/// Serializes dims + payload into IDX bytes.
+pub fn write_idx(dims: &[usize], payload: &[u8]) -> Vec<u8> {
+    assert_eq!(dims.iter().product::<usize>(), payload.len());
+    assert!(dims.len() <= 255);
+    let mut out = Vec::with_capacity(4 + dims.len() * 4 + payload.len());
+    out.extend_from_slice(&(0x0800u32 | dims.len() as u32).to_be_bytes());
+    for &d in dims {
+        out.extend_from_slice(&(d as u32).to_be_bytes());
+    }
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Builds an image [`Dataset`] from in-memory IDX images (rank 3:
+/// `[n, h, w]`) and labels (rank 1: `[n]`).
+pub fn dataset_from_idx(
+    images: (Vec<usize>, Vec<u8>),
+    labels: (Vec<usize>, Vec<u8>),
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
+    let (idims, ipix) = images;
+    let (ldims, lab) = labels;
+    if idims.len() != 3 {
+        return Err(IdxError::WrongRank {
+            expected: 3,
+            got: idims.len() as u8,
+        });
+    }
+    if ldims.len() != 1 {
+        return Err(IdxError::WrongRank {
+            expected: 1,
+            got: ldims.len() as u8,
+        });
+    }
+    let (n, h, w) = (idims[0], idims[1], idims[2]);
+    if n != ldims[0] {
+        return Err(IdxError::CountMismatch {
+            images: n,
+            labels: ldims[0],
+        });
+    }
+    let mut y = Vec::with_capacity(n);
+    for &l in &lab {
+        if (l as usize) >= num_classes {
+            return Err(IdxError::LabelOutOfRange {
+                label: l,
+                classes: num_classes,
+            });
+        }
+        y.push(l as usize);
+    }
+    let x: Vec<f32> = ipix.iter().map(|&p| p as f32 / 255.0).collect();
+    Ok(Dataset::new(
+        Examples::Images(Tensor::from_vec(x, &[n, 1, h, w])),
+        y,
+        num_classes,
+    ))
+}
+
+/// Loads an image dataset from IDX files on disk.
+pub fn load_idx_images(
+    images_path: impl AsRef<Path>,
+    labels_path: impl AsRef<Path>,
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
+    let img = parse_idx(std::fs::File::open(images_path)?)?;
+    let lab = parse_idx(std::fs::File::open(labels_path)?)?;
+    dataset_from_idx(img, lab, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_writer() {
+        let dims = vec![2usize, 3, 3];
+        let payload: Vec<u8> = (0..18).collect();
+        let bytes = write_idx(&dims, &payload);
+        let (d2, p2) = parse_idx(&bytes[..]).unwrap();
+        assert_eq!(d2, dims);
+        assert_eq!(p2, payload);
+    }
+
+    #[test]
+    fn builds_a_dataset() {
+        let images = write_idx(&[2, 2, 2], &[0, 255, 128, 0, 10, 20, 30, 40]);
+        let labels = write_idx(&[2], &[1, 0]);
+        let img = parse_idx(&images[..]).unwrap();
+        let lab = parse_idx(&labels[..]).unwrap();
+        let ds = dataset_from_idx(img, lab, 2).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.labels(), &[1, 0]);
+        match ds.examples() {
+            Examples::Images(t) => {
+                assert_eq!(t.dims(), &[2, 1, 2, 2]);
+                assert!((t.data()[1] - 1.0).abs() < 1e-6); // 255 → 1.0
+                assert!((t.data()[2] - 128.0 / 255.0).abs() < 1e-6);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let bytes = [0xFFu8, 0, 0, 3];
+        assert!(matches!(parse_idx(&bytes[..]), Err(IdxError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut bytes = write_idx(&[2, 2], &[1, 2, 3, 4]);
+        bytes.truncate(bytes.len() - 2);
+        assert!(matches!(parse_idx(&bytes[..]), Err(IdxError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        let img = parse_idx(&write_idx(&[1, 1, 1], &[0])[..]).unwrap();
+        let lab = parse_idx(&write_idx(&[1], &[7])[..]).unwrap();
+        assert!(matches!(
+            dataset_from_idx(img, lab, 3),
+            Err(IdxError::LabelOutOfRange { label: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let img = parse_idx(&write_idx(&[2, 1, 1], &[0, 0])[..]).unwrap();
+        let lab = parse_idx(&write_idx(&[3], &[0, 1, 0])[..]).unwrap();
+        assert!(matches!(
+            dataset_from_idx(img, lab, 2),
+            Err(IdxError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rfl_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ipath = dir.join("imgs.idx");
+        let lpath = dir.join("labels.idx");
+        std::fs::write(&ipath, write_idx(&[3, 2, 2], &[10; 12])).unwrap();
+        std::fs::write(&lpath, write_idx(&[3], &[0, 1, 2])).unwrap();
+        let ds = load_idx_images(&ipath, &lpath, 3).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.class_counts(), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Label-Dirichlet partition (Hsu et al. style), used by ablation studies as
+//! an alternative non-IID model to the paper's similarity scheme.
+
+use rand::Rng;
+
+/// Samples from `Gamma(alpha, 1)` via Marsaglia–Tsang (with the boosting
+/// trick for `alpha < 1`).
+fn gamma_sample<R: Rng>(alpha: f64, rng: &mut R) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^(1/a)
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Samples a probability vector from `Dirichlet(alpha · 1)`.
+pub fn dirichlet_vector<R: Rng>(k: usize, alpha: f64, rng: &mut R) -> Vec<f64> {
+    assert!(k > 0 && alpha > 0.0);
+    let mut v: Vec<f64> = (0..k).map(|_| gamma_sample(alpha, rng)).collect();
+    let s: f64 = v.iter().sum();
+    if s <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    for x in &mut v {
+        *x /= s;
+    }
+    v
+}
+
+/// Label-Dirichlet partition: for each class, split its samples over clients
+/// according to a `Dirichlet(alpha)` draw. Small `alpha` ⇒ extreme skew.
+pub fn dirichlet<R: Rng>(
+    labels: &[usize],
+    n_clients: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0);
+    assert!(alpha > 0.0, "alpha must be positive");
+    let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut parts = vec![Vec::new(); n_clients];
+    for c in 0..classes {
+        let idx: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let probs = dirichlet_vector(n_clients, alpha, rng);
+        // Convert to cumulative cut points over this class's samples.
+        let mut cum = 0.0f64;
+        let mut cuts = Vec::with_capacity(n_clients);
+        for p in &probs {
+            cum += p;
+            cuts.push((cum * idx.len() as f64).round() as usize);
+        }
+        *cuts.last_mut().unwrap() = idx.len();
+        let mut lo = 0usize;
+        for (k, &hi) in cuts.iter().enumerate() {
+            let hi = hi.max(lo);
+            parts[k].extend_from_slice(&idx[lo..hi]);
+            lo = hi;
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dirichlet_vector_is_a_distribution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for alpha in [0.1, 1.0, 10.0] {
+            let v = dirichlet_vector(8, alpha, &mut rng);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut max_sum = 0.0;
+        for _ in 0..50 {
+            let v = dirichlet_vector(10, 0.05, &mut rng);
+            max_sum += v.iter().cloned().fold(0.0, f64::max);
+        }
+        assert!(max_sum / 50.0 > 0.6, "avg max {}", max_sum / 50.0);
+    }
+
+    #[test]
+    fn large_alpha_is_nearly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut max_sum = 0.0;
+        for _ in 0..50 {
+            let v = dirichlet_vector(10, 100.0, &mut rng);
+            max_sum += v.iter().cloned().fold(0.0, f64::max);
+        }
+        assert!(max_sum / 50.0 < 0.2, "avg max {}", max_sum / 50.0);
+    }
+
+    #[test]
+    fn partition_conserves_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels: Vec<usize> = (0..500).map(|i| i % 10).collect();
+        for alpha in [0.1, 1.0, 10.0] {
+            let parts = dirichlet(&labels, 8, alpha, &mut rng);
+            assert!(is_valid_partition(&parts, 500), "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn small_alpha_skews_labels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels: Vec<usize> = (0..2000).map(|i| i % 10).collect();
+        let parts = dirichlet(&labels, 10, 0.05, &mut rng);
+        // At least one client should be dominated by few classes.
+        let mut any_skewed = false;
+        for part in parts.iter().filter(|p| p.len() >= 20) {
+            let mut counts = [0usize; 10];
+            for &i in part {
+                counts[labels[i]] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            if (max as f64) / (part.len() as f64) > 0.5 {
+                any_skewed = true;
+            }
+        }
+        assert!(any_skewed);
+    }
+}

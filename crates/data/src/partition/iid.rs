@@ -1,0 +1,48 @@
+//! Uniform IID partition.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffles and deals samples round-robin to `n_clients`.
+pub fn iid<R: Rng>(n_samples: usize, n_clients: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(n_samples >= n_clients, "fewer samples than clients");
+    let mut order: Vec<usize> = (0..n_samples).collect();
+    order.shuffle(rng);
+    let mut parts = vec![Vec::with_capacity(n_samples / n_clients + 1); n_clients];
+    for (slot, idx) in order.into_iter().enumerate() {
+        parts[slot % n_clients].push(idx);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conserves_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(is_valid_partition(&iid(101, 7, &mut rng), 101));
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let parts = iid(100, 7, &mut rng);
+        let (min, max) = parts
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), p| (lo.min(p.len()), hi.max(p.len())));
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = iid(50, 5, &mut StdRng::seed_from_u64(2));
+        let b = iid(50, 5, &mut StdRng::seed_from_u64(3));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Partitioning schemes turning a pooled dataset into per-client index sets.
+//!
+//! Every function returns `Vec<Vec<usize>>` — one index list per client.
+//! All schemes conserve samples: every index appears in exactly one client
+//! (property-tested in `tests/`).
+
+mod dirichlet;
+mod iid;
+mod natural;
+mod quantity;
+mod similarity;
+
+pub use dirichlet::dirichlet;
+pub use iid::iid;
+pub use natural::by_user;
+pub use quantity::quantity_skew;
+pub use similarity::similarity;
+
+/// Validates a partition: each index in `0..n` appears exactly once.
+///
+/// Used in debug assertions and tests.
+pub fn is_valid_partition(parts: &[Vec<usize>], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    let mut count = 0usize;
+    for part in parts {
+        for &i in part {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+            count += 1;
+        }
+    }
+    count == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_partition_check() {
+        assert!(is_valid_partition(&[vec![0, 2], vec![1]], 3));
+        assert!(!is_valid_partition(&[vec![0], vec![0]], 2)); // duplicate
+        assert!(!is_valid_partition(&[vec![0]], 2)); // missing
+        assert!(!is_valid_partition(&[vec![5]], 2)); // out of range
+    }
+}

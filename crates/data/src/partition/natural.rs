@@ -1,0 +1,44 @@
+//! Natural partition: group samples by their generating user.
+//!
+//! This is how Sent140 and FEMNIST are federated in the paper — each client
+//! is one user, which yields natural feature- and quantity-skew.
+
+/// Groups sample indices by `user_ids[i]`. Clients are ordered by user id;
+/// users with no samples produce no client.
+pub fn by_user(user_ids: &[usize]) -> Vec<Vec<usize>> {
+    let max_user = match user_ids.iter().max() {
+        Some(&m) => m,
+        None => return Vec::new(),
+    };
+    let mut parts = vec![Vec::new(); max_user + 1];
+    for (i, &u) in user_ids.iter().enumerate() {
+        parts[u].push(i);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_partition;
+
+    #[test]
+    fn groups_by_user() {
+        let parts = by_user(&[0, 1, 0, 2, 1]);
+        assert_eq!(parts, vec![vec![0, 2], vec![1, 4], vec![3]]);
+        assert!(is_valid_partition(&parts, 5));
+    }
+
+    #[test]
+    fn skips_empty_users() {
+        let parts = by_user(&[0, 3, 3]);
+        assert_eq!(parts.len(), 2);
+        assert!(is_valid_partition(&parts, 3));
+    }
+
+    #[test]
+    fn empty_input_gives_no_clients() {
+        assert!(by_user(&[]).is_empty());
+    }
+}

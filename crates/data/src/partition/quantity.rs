@@ -1,0 +1,99 @@
+//! Quantity-skew partition: client sizes follow a power law, as observed in
+//! naturally federated corpora (Sent140/FEMNIST users hold wildly different
+//! sample counts).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Partitions `n_samples` over `n_clients` with sizes ∝ `(k+1)^(-gamma)`
+/// (client order is shuffled so the skew is not correlated with client id).
+/// Every client receives at least one sample.
+pub fn quantity_skew<R: Rng>(
+    n_samples: usize,
+    n_clients: usize,
+    gamma: f64,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0);
+    assert!(n_samples >= n_clients, "fewer samples than clients");
+    assert!(gamma >= 0.0);
+
+    // Power-law weights, shuffled.
+    let mut weights: Vec<f64> = (0..n_clients).map(|k| ((k + 1) as f64).powf(-gamma)).collect();
+    weights.shuffle(rng);
+    let total: f64 = weights.iter().sum();
+
+    // Target sizes: floor allocation + largest-remainder for the slack,
+    // with a 1-sample floor per client.
+    let spare = n_samples - n_clients;
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| (w / total * spare as f64).floor() as usize)
+        .collect();
+    let assigned: usize = sizes.iter().sum();
+    let mut rema: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(k, w)| (k, w / total * spare as f64 - sizes[k] as f64))
+        .collect();
+    rema.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for &(k, _) in rema.iter().take(spare - assigned) {
+        sizes[k] += 1;
+    }
+    for s in &mut sizes {
+        *s += 1; // the floor
+    }
+
+    let mut order: Vec<usize> = (0..n_samples).collect();
+    order.shuffle(rng);
+    let mut parts = Vec::with_capacity(n_clients);
+    let mut lo = 0usize;
+    for s in sizes {
+        parts.push(order[lo..lo + s].to_vec());
+        lo += s;
+    }
+    debug_assert_eq!(lo, n_samples);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conserves_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for gamma in [0.0, 0.8, 2.0] {
+            let parts = quantity_skew(257, 13, gamma, &mut rng);
+            assert!(is_valid_partition(&parts, 257), "gamma {gamma}");
+        }
+    }
+
+    #[test]
+    fn every_client_nonempty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let parts = quantity_skew(100, 50, 3.0, &mut rng);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn gamma_zero_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let parts = quantity_skew(100, 10, 0.0, &mut rng);
+        for p in &parts {
+            assert!((9..=11).contains(&p.len()), "size {}", p.len());
+        }
+    }
+
+    #[test]
+    fn large_gamma_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let parts = quantity_skew(1000, 10, 2.0, &mut rng);
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        assert!(max > 10 * min, "max {max} min {min}");
+    }
+}

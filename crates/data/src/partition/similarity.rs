@@ -1,0 +1,132 @@
+//! The paper's similarity-`s%` label-skew partitioner.
+//!
+//! Following the SCAFFOLD/paper protocol (Sec. VI-A): first allocate `s%` of
+//! the data IID to the clients; sort the remaining `(100 − s)%` by label and
+//! deal contiguous shards evenly. `s = 0` is "totally non-IID" (each client
+//! sees a narrow label slice), `s = 1` is IID.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Partitions `labels.len()` samples over `n_clients` with IID fraction `s`.
+///
+/// # Panics
+/// Panics if `s ∉ [0, 1]`, `n_clients == 0`, or there are fewer samples than
+/// clients.
+pub fn similarity<R: Rng>(
+    labels: &[usize],
+    n_clients: usize,
+    s: f64,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!((0.0..=1.0).contains(&s), "similarity s must be in [0, 1]");
+    assert!(n_clients > 0, "need at least one client");
+    let n = labels.len();
+    assert!(n >= n_clients, "fewer samples than clients");
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let n_iid = ((n as f64) * s).round() as usize;
+    let (iid_part, skew_part) = order.split_at(n_iid);
+
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+
+    // IID fraction: deal round-robin.
+    for (slot, &idx) in iid_part.iter().enumerate() {
+        parts[slot % n_clients].push(idx);
+    }
+
+    // Remaining fraction: sort by label, deal contiguous shards.
+    let mut sorted: Vec<usize> = skew_part.to_vec();
+    sorted.sort_by_key(|&i| labels[i]);
+    let m = sorted.len();
+    for (k, part) in parts.iter_mut().enumerate() {
+        let lo = k * m / n_clients;
+        let hi = (k + 1) * m / n_clients;
+        part.extend_from_slice(&sorted[lo..hi]);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labels(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn conserves_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for s in [0.0, 0.1, 0.5, 1.0] {
+            let parts = similarity(&labels(100, 10), 7, s, &mut rng);
+            assert!(is_valid_partition(&parts, 100), "s = {s}");
+        }
+    }
+
+    #[test]
+    fn s_zero_gives_narrow_label_slices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 1000 samples, 10 classes, 10 clients → each client should see at
+        // most ~2 distinct labels (contiguous shard of the sorted order).
+        let parts = similarity(&labels(1000, 10), 10, 0.0, &mut rng);
+        let lab = labels(1000, 10);
+        for part in &parts {
+            let mut classes: Vec<usize> = part.iter().map(|&i| lab[i]).collect();
+            classes.sort_unstable();
+            classes.dedup();
+            assert!(classes.len() <= 2, "client saw {} classes", classes.len());
+        }
+    }
+
+    #[test]
+    fn s_one_gives_balanced_label_mix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lab = labels(1000, 10);
+        let parts = similarity(&lab, 10, 1.0, &mut rng);
+        for part in &parts {
+            let mut counts = vec![0usize; 10];
+            for &i in part {
+                counts[lab[i]] += 1;
+            }
+            // Each class should appear roughly 10 times per client
+            // (hypergeometric spread allows a wide band).
+            assert!(counts.iter().all(|&c| (2..=25).contains(&c)), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn intermediate_s_mixes_proportionally() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lab = labels(1000, 10);
+        let parts = similarity(&lab, 10, 0.1, &mut rng);
+        // Every client should still hold some samples from outside its shard.
+        for part in &parts {
+            let mut classes: Vec<usize> = part.iter().map(|&i| lab[i]).collect();
+            classes.sort_unstable();
+            classes.dedup();
+            assert!(classes.len() >= 3, "client only saw {classes:?}");
+        }
+    }
+
+    #[test]
+    fn sizes_are_near_equal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let parts = similarity(&labels(103, 5), 10, 0.3, &mut rng);
+        for part in &parts {
+            assert!((9..=12).contains(&part.len()), "size {}", part.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity s")]
+    fn rejects_bad_s() {
+        let mut rng = StdRng::seed_from_u64(5);
+        similarity(&labels(10, 2), 2, 1.5, &mut rng);
+    }
+}

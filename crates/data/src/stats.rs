@@ -1,0 +1,110 @@
+//! Statistics quantifying how non-IID a federated partition is.
+
+/// Per-client label distributions: `[clients][classes]`, each row summing
+/// to 1 (empty clients yield all-zero rows).
+pub fn label_histograms(
+    parts: &[Vec<usize>],
+    labels: &[usize],
+    classes: usize,
+) -> Vec<Vec<f64>> {
+    parts
+        .iter()
+        .map(|part| {
+            let mut h = vec![0.0f64; classes];
+            for &i in part {
+                h[labels[i]] += 1.0;
+            }
+            let n = part.len() as f64;
+            if n > 0.0 {
+                for v in &mut h {
+                    *v /= n;
+                }
+            }
+            h
+        })
+        .collect()
+}
+
+/// Average total-variation distance between each client's label distribution
+/// and the global one. 0 = perfectly IID labels; approaches
+/// `1 − 1/classes` under total label skew.
+pub fn label_skewness(parts: &[Vec<usize>], labels: &[usize], classes: usize) -> f64 {
+    assert!(!parts.is_empty());
+    let hists = label_histograms(parts, labels, classes);
+    let mut global = vec![0.0f64; classes];
+    for &y in labels {
+        global[y] += 1.0;
+    }
+    let n = labels.len() as f64;
+    for v in &mut global {
+        *v /= n;
+    }
+    let mut total = 0.0;
+    for h in &hists {
+        let tv: f64 = h
+            .iter()
+            .zip(&global)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0;
+        total += tv;
+    }
+    total / hists.len() as f64
+}
+
+/// Coefficient of variation of client sizes (quantity-skew measure).
+pub fn size_cv(parts: &[Vec<usize>]) -> f64 {
+    assert!(!parts.is_empty());
+    let sizes: Vec<f64> = parts.iter().map(|p| p.len() as f64).collect();
+    let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = sizes.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sizes.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labels(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn histograms_are_distributions() {
+        let lab = labels(100, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let parts = partition::iid(100, 4, &mut rng);
+        for h in label_histograms(&parts, &lab, 5) {
+            assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skewness_orders_partitions_correctly() {
+        let lab = labels(1000, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let iid = partition::similarity(&lab, 10, 1.0, &mut rng);
+        let mid = partition::similarity(&lab, 10, 0.1, &mut rng);
+        let skew = partition::similarity(&lab, 10, 0.0, &mut rng);
+        let (a, b, c) = (
+            label_skewness(&iid, &lab, 10),
+            label_skewness(&mid, &lab, 10),
+            label_skewness(&skew, &lab, 10),
+        );
+        assert!(a < b && b < c, "expected {a} < {b} < {c}");
+        assert!(a < 0.15, "IID skewness {a}");
+        assert!(c > 0.7, "non-IID skewness {c}");
+    }
+
+    #[test]
+    fn size_cv_zero_for_equal_sizes() {
+        assert!(size_cv(&[vec![0, 1], vec![2, 3]]) < 1e-12);
+        assert!(size_cv(&[vec![0], vec![1, 2, 3, 4]]) > 0.5);
+    }
+}

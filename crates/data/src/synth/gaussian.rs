@@ -1,0 +1,121 @@
+//! Gaussian-mixture dense datasets for the strongly convex convergence
+//! experiments (Theorems 1 and 2).
+
+use crate::dataset::{Dataset, Examples};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfl_tensor::{normal_sample, Tensor};
+
+/// Specification of a Gaussian-mixture classification problem.
+#[derive(Clone, Copy, Debug)]
+pub struct GaussianMixtureSpec {
+    pub dim: usize,
+    pub classes: usize,
+    /// Distance scale between class means.
+    pub sep: f32,
+    /// Within-class standard deviation.
+    pub noise: f32,
+    /// Seed for the class means.
+    pub mean_seed: u64,
+}
+
+impl GaussianMixtureSpec {
+    pub fn default_spec() -> Self {
+        GaussianMixtureSpec {
+            dim: 10,
+            classes: 4,
+            sep: 2.0,
+            noise: 1.0,
+            mean_seed: 45,
+        }
+    }
+
+    /// The class means `[classes, dim]` implied by `mean_seed`.
+    pub fn means(&self) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(self.mean_seed);
+        let mut m = Tensor::zeros(&[self.classes, self.dim]);
+        for v in m.data_mut() {
+            *v = self.sep * normal_sample(&mut rng) / (self.dim as f32).sqrt();
+        }
+        m
+    }
+
+    /// Generates `n` balanced samples, optionally with a per-client feature
+    /// shift (`shift` added to every sample — the non-IID mechanism for the
+    /// convex experiments; pass `None` for the IID pool / test set).
+    pub fn generate<R: Rng>(&self, n: usize, shift: Option<&[f32]>, rng: &mut R) -> Dataset {
+        if let Some(s) = shift {
+            assert_eq!(s.len(), self.dim, "shift dimension mismatch");
+        }
+        let means = self.means();
+        let mut x = Tensor::zeros(&[n, self.dim]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let y = i % self.classes;
+            labels.push(y);
+            let mu = means.row(y);
+            let dst = &mut x.data_mut()[i * self.dim..(i + 1) * self.dim];
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = mu[j] + self.noise * normal_sample(rng) + shift.map_or(0.0, |s| s[j]);
+            }
+        }
+        Dataset::new(Examples::Dense(x), labels, self.classes)
+    }
+
+    /// A random feature-shift vector of norm `magnitude`.
+    pub fn random_shift<R: Rng>(&self, magnitude: f32, rng: &mut R) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..self.dim).map(|_| normal_sample(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        for x in &mut v {
+            *x *= magnitude / norm;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_dense_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = GaussianMixtureSpec::default_spec();
+        let ds = spec.generate(40, None, &mut rng);
+        assert_eq!(ds.len(), 40);
+        assert_eq!(ds.class_counts(), vec![10, 10, 10, 10]);
+        match ds.examples() {
+            Examples::Dense(t) => assert_eq!(t.dims(), &[40, 10]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn shift_translates_the_cloud() {
+        let spec = GaussianMixtureSpec::default_spec();
+        let shift = vec![10.0; 10];
+        let a = spec.generate(100, None, &mut StdRng::seed_from_u64(1));
+        let b = spec.generate(100, Some(&shift), &mut StdRng::seed_from_u64(1));
+        let (ta, tb) = match (a.examples(), b.examples()) {
+            (Examples::Dense(ta), Examples::Dense(tb)) => (ta, tb),
+            _ => unreachable!(),
+        };
+        let diff = tb.sub(ta);
+        assert!((diff.mean() - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn random_shift_has_requested_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = GaussianMixtureSpec::default_spec();
+        let s = spec.random_shift(3.0, &mut rng);
+        let norm = s.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn means_are_deterministic() {
+        let spec = GaussianMixtureSpec::default_spec();
+        assert_eq!(spec.means(), spec.means());
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic dataset generators.
+//!
+//! Each generator is a statistically analogous stand-in for one of the
+//! paper's benchmarks (DESIGN.md §3 documents the substitution arguments):
+//!
+//! * [`image`] — prototype-mixture images for the MNIST-like and
+//!   CIFAR10-like benchmarks;
+//! * [`femnist`] — 62-class images with per-writer style distortion and
+//!   quantity skew (FEMNIST-like);
+//! * [`text`] — per-user token sequences with lexicon-driven sentiment
+//!   labels (Sent140-like);
+//! * [`gaussian`] — dense Gaussian mixtures for the strongly convex
+//!   convergence experiments.
+
+pub mod femnist;
+pub mod gaussian;
+pub mod image;
+pub mod text;

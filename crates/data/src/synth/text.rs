@@ -1,0 +1,249 @@
+//! Sent140-like generator: per-user token sequences with lexicon-driven
+//! sentiment labels.
+//!
+//! Sent140 is naturally non-IID by Twitter user: users differ in vocabulary
+//! (feature skew), tweet volume (quantity skew), and sentiment base rate
+//! (label skew). We reproduce all three:
+//!
+//! * the vocabulary is split into a positive lexicon, a negative lexicon,
+//!   and filler tokens;
+//! * each user has a preferred *window* into the lexicons and fillers
+//!   (feature skew), a sentiment base rate (label skew), and a power-law
+//!   sample count (quantity skew);
+//! * the label is decided first; tokens are then drawn from the label's
+//!   lexicon with probability `sentiment_rate`, else from the user's
+//!   filler window.
+
+use crate::dataset::{Dataset, Examples};
+use rand::Rng;
+
+/// Specification of the Sent140-like benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthTextSpec {
+    pub vocab: usize,
+    pub seq_len: usize,
+    /// Number of tokens in each sentiment lexicon.
+    pub lexicon_size: usize,
+    /// Probability that a token is drawn from the label's lexicon.
+    pub sentiment_rate: f64,
+    /// Width of a user's preferred lexicon/filler window.
+    pub user_window: usize,
+    /// Power-law exponent for user sample counts.
+    pub quantity_gamma: f64,
+}
+
+impl SynthTextSpec {
+    pub fn sent140_like() -> Self {
+        SynthTextSpec {
+            vocab: 128,
+            seq_len: 16,
+            lexicon_size: 40,
+            sentiment_rate: 0.18,
+            user_window: 12,
+            quantity_gamma: 0.8,
+        }
+    }
+
+    fn positive_range(&self) -> std::ops::Range<u32> {
+        1..(1 + self.lexicon_size as u32)
+    }
+
+    fn negative_range(&self) -> std::ops::Range<u32> {
+        let lo = 1 + self.lexicon_size as u32;
+        lo..lo + self.lexicon_size as u32
+    }
+
+    fn filler_range(&self) -> std::ops::Range<u32> {
+        (1 + 2 * self.lexicon_size as u32)..self.vocab as u32
+    }
+
+    /// Generates `total` tweets over `users` users. Returns the pooled
+    /// dataset (binary labels: 0 = negative, 1 = positive) and per-sample
+    /// user ids for [`crate::partition::by_user`].
+    pub fn generate_users<R: Rng>(
+        &self,
+        users: usize,
+        total: usize,
+        rng: &mut R,
+    ) -> (Dataset, Vec<usize>) {
+        assert!(users > 0 && total >= users);
+        assert!(self.vocab > 1 + 2 * self.lexicon_size, "vocab too small");
+
+        // Power-law user sizes with a 1-sample floor.
+        let weights: Vec<f64> = (0..users)
+            .map(|k| ((k + 1) as f64).powf(-self.quantity_gamma))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        let spare = total - users;
+        let mut sizes: Vec<usize> = weights
+            .iter()
+            .map(|w| (w / wsum * spare as f64).floor() as usize + 1)
+            .collect();
+        let mut assigned: usize = sizes.iter().sum();
+        let mut k = 0;
+        while assigned < total {
+            sizes[k % users] += 1;
+            assigned += 1;
+            k += 1;
+        }
+        while assigned > total {
+            let i = sizes.iter().position(|&s| s > 1).expect("shrinkable user");
+            sizes[i] -= 1;
+            assigned -= 1;
+        }
+
+        let mut tokens: Vec<Vec<u32>> = Vec::with_capacity(total);
+        let mut labels = Vec::with_capacity(total);
+        let mut user_ids = Vec::with_capacity(total);
+
+        for (user, &count) in sizes.iter().enumerate() {
+            // User style: window offsets and sentiment base rate.
+            let pos = self.positive_range();
+            let neg = self.negative_range();
+            let fil = self.filler_range();
+            let w = self.user_window as u32;
+            let pos_off = rng.gen_range(0..(pos.end - pos.start).saturating_sub(w).max(1));
+            let neg_off = rng.gen_range(0..(neg.end - neg.start).saturating_sub(w).max(1));
+            let fil_off = rng.gen_range(0..(fil.end - fil.start).saturating_sub(w).max(1));
+            let base_rate: f64 = rng.gen_range(0.25..0.75);
+
+            for _ in 0..count {
+                let label = usize::from(rng.gen_bool(base_rate));
+                let lex = if label == 1 {
+                    (pos.start + pos_off, w.min(pos.end - pos.start - pos_off))
+                } else {
+                    (neg.start + neg_off, w.min(neg.end - neg.start - neg_off))
+                };
+                let filler = (fil.start + fil_off, w.min(fil.end - fil.start - fil_off));
+                let seq: Vec<u32> = (0..self.seq_len)
+                    .map(|_| {
+                        let (lo, width) = if rng.gen_bool(self.sentiment_rate) {
+                            lex
+                        } else {
+                            filler
+                        };
+                        lo + rng.gen_range(0..width.max(1))
+                    })
+                    .collect();
+                tokens.push(seq);
+                labels.push(label);
+                user_ids.push(user);
+            }
+        }
+        (
+            Dataset::new(Examples::Tokens(tokens), labels, 2),
+            user_ids,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_fixed_length_sequences() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = SynthTextSpec::sent140_like();
+        let (ds, users) = spec.generate_users(10, 200, &mut rng);
+        assert_eq!(ds.len(), 200);
+        assert_eq!(users.len(), 200);
+        match ds.examples() {
+            Examples::Tokens(seqs) => {
+                assert!(seqs.iter().all(|s| s.len() == 16));
+                assert!(seqs.iter().flatten().all(|&t| (t as usize) < spec.vocab));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn labels_are_binary_and_both_present() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (ds, _) = SynthTextSpec::sent140_like().generate_users(10, 500, &mut rng);
+        let counts = ds.class_counts();
+        assert_eq!(counts.len(), 2);
+        assert!(counts.iter().all(|&c| c > 100), "{counts:?}");
+    }
+
+    #[test]
+    fn sentiment_tokens_correlate_with_label() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = SynthTextSpec::sent140_like();
+        let (ds, _) = spec.generate_users(5, 400, &mut rng);
+        let seqs = match ds.examples() {
+            Examples::Tokens(s) => s,
+            _ => unreachable!(),
+        };
+        // Count positive-lexicon tokens per class.
+        let pos = spec.positive_range();
+        let mut pos_in_pos = 0usize;
+        let mut pos_in_neg = 0usize;
+        let mut n_pos = 0usize;
+        let mut n_neg = 0usize;
+        for (seq, &y) in seqs.iter().zip(ds.labels()) {
+            let c = seq.iter().filter(|&&t| pos.contains(&t)).count();
+            if y == 1 {
+                pos_in_pos += c;
+                n_pos += 1;
+            } else {
+                pos_in_neg += c;
+                n_neg += 1;
+            }
+        }
+        let rate_pos = pos_in_pos as f64 / n_pos as f64;
+        let rate_neg = pos_in_neg as f64 / n_neg as f64;
+        assert!(
+            rate_pos > rate_neg + 2.0,
+            "positive-token rates: {rate_pos} vs {rate_neg}"
+        );
+    }
+
+    #[test]
+    fn user_partition_is_valid_with_quantity_skew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, users) = SynthTextSpec::sent140_like().generate_users(30, 900, &mut rng);
+        let parts = partition::by_user(&users);
+        assert_eq!(parts.len(), 30);
+        assert!(partition::is_valid_partition(&parts, 900));
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        assert!(max > min, "expected quantity skew");
+    }
+
+    #[test]
+    fn users_have_distinct_token_distributions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = SynthTextSpec::sent140_like();
+        let (ds, users) = spec.generate_users(8, 800, &mut rng);
+        let seqs = match ds.examples() {
+            Examples::Tokens(s) => s,
+            _ => unreachable!(),
+        };
+        // Mean filler token id differs across users (window feature skew).
+        let fil = spec.filler_range();
+        let mut means = Vec::new();
+        for u in 0..8 {
+            let mut sum = 0f64;
+            let mut cnt = 0usize;
+            for (seq, &uid) in seqs.iter().zip(users.iter()) {
+                if uid != u {
+                    continue;
+                }
+                for &t in seq.iter().filter(|&&t| fil.contains(&t)) {
+                    sum += t as f64;
+                    cnt += 1;
+                }
+            }
+            if cnt > 0 {
+                means.push(sum / cnt as f64);
+            }
+        }
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 3.0, "user windows not distinct: spread {spread}");
+    }
+}

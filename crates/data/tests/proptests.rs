@@ -1,0 +1,99 @@
+//! Property-based tests of the partitioners: sample conservation, size
+//! bounds, and skew ordering across random label vectors and parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_data::{partition, stats};
+
+fn labels_strategy() -> impl Strategy<Value = Vec<usize>> {
+    (20usize..200, 2usize..10).prop_flat_map(|(n, classes)| {
+        prop::collection::vec(0usize..classes, n)
+    })
+}
+
+proptest! {
+    /// Similarity partitions conserve samples for every s.
+    #[test]
+    fn similarity_conserves_samples(
+        labels in labels_strategy(), s in 0.0f64..1.0, seed in 0u64..50
+    ) {
+        let n_clients = 4usize;
+        prop_assume!(labels.len() >= n_clients);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = partition::similarity(&labels, n_clients, s, &mut rng);
+        prop_assert!(partition::is_valid_partition(&parts, labels.len()));
+        prop_assert_eq!(parts.len(), n_clients);
+    }
+
+    /// Similarity partition sizes never differ by more than the shard
+    /// rounding slack.
+    #[test]
+    fn similarity_sizes_balanced(labels in labels_strategy(), seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = partition::similarity(&labels, 5, 0.3, &mut rng);
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        prop_assert!(max - min <= 3, "sizes {min}..{max}");
+    }
+
+    /// IID partitions conserve samples and balance sizes to within one.
+    #[test]
+    fn iid_invariants(n in 10usize..300, k in 2usize..8, seed in 0u64..50) {
+        prop_assume!(n >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = partition::iid(n, k, &mut rng);
+        prop_assert!(partition::is_valid_partition(&parts, n));
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Dirichlet partitions conserve samples for any α.
+    #[test]
+    fn dirichlet_conserves_samples(
+        labels in labels_strategy(), alpha in 0.05f64..20.0, seed in 0u64..50
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = partition::dirichlet(&labels, 5, alpha, &mut rng);
+        prop_assert!(partition::is_valid_partition(&parts, labels.len()));
+    }
+
+    /// Quantity skew conserves samples and never creates empty clients.
+    #[test]
+    fn quantity_skew_invariants(
+        n in 20usize..300, gamma in 0.0f64..3.0, seed in 0u64..50
+    ) {
+        let k = 7usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = partition::quantity_skew(n, k, gamma, &mut rng);
+        prop_assert!(partition::is_valid_partition(&parts, n));
+        prop_assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    /// by_user inverts a user-id assignment exactly.
+    #[test]
+    fn by_user_inverts_assignment(users in prop::collection::vec(0usize..6, 1..120)) {
+        let parts = partition::by_user(&users);
+        prop_assert!(partition::is_valid_partition(&parts, users.len()));
+        for part in &parts {
+            // All samples in one part share one user id.
+            let u = users[part[0]];
+            prop_assert!(part.iter().all(|&i| users[i] == u));
+        }
+    }
+
+    /// Lower similarity never yields (meaningfully) lower label skewness.
+    #[test]
+    fn similarity_orders_skewness(seed in 0u64..30) {
+        let labels: Vec<usize> = (0..400).map(|i| i % 8).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let skew_at = |s: f64, rng: &mut StdRng| {
+            let parts = partition::similarity(&labels, 8, s, rng);
+            stats::label_skewness(&parts, &labels, 8)
+        };
+        let high = skew_at(0.0, &mut rng);
+        let low = skew_at(1.0, &mut rng);
+        prop_assert!(high > low + 0.2, "skew(s=0)={high} vs skew(s=1)={low}");
+    }
+}

@@ -1,0 +1,103 @@
+//! ASCII rendering of curves — the experiment binaries print their figures
+//! directly to the terminal (plus CSV for external plotting).
+
+use crate::curve::Series;
+
+/// Renders several series into a fixed-size character grid. Each series is
+/// drawn with its own glyph; the legend maps glyphs to names.
+pub fn render_chart(series: &[Series], width: usize, height: usize, title: &str) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+    }
+    if !min_x.is_finite() {
+        return format!("{title}\n(no data)\n");
+    }
+    if (max_x - min_x).abs() < 1e-12 {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < 1e-12 {
+        max_y = min_y + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
+            let cy = ((y - min_y) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{max_y:>9.3} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("          │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{min_y:>9.3} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!(
+        "          └{}\n           {:<10.1}{:>width$.1}\n",
+        "─".repeat(width),
+        min_x,
+        max_x,
+        width = width - 10
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_legend_and_bounds() {
+        let s = Series::from_points("acc", vec![(0.0, 0.0), (10.0, 1.0)]);
+        let chart = render_chart(&[s], 20, 6, "Fig X");
+        assert!(chart.starts_with("Fig X\n"));
+        assert!(chart.contains("* acc"));
+        assert!(chart.contains("1.000"));
+        assert!(chart.contains("0.000"));
+    }
+
+    #[test]
+    fn handles_empty_series() {
+        let chart = render_chart(&[Series::new("e")], 20, 6, "Empty");
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn distinct_glyphs_per_series() {
+        let a = Series::from_points("a", vec![(0.0, 0.0)]);
+        let b = Series::from_points("b", vec![(1.0, 1.0)]);
+        let chart = render_chart(&[a, b], 20, 6, "T");
+        assert!(chart.contains("* a"));
+        assert!(chart.contains("o b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::from_points("c", vec![(0.0, 5.0), (1.0, 5.0)]);
+        let chart = render_chart(&[s], 20, 6, "C");
+        assert!(chart.contains('*'));
+    }
+}

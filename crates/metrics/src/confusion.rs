@@ -1,0 +1,129 @@
+//! Confusion matrices and per-class metrics.
+
+/// A `K × K` confusion matrix: `m[true][pred]` counts.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+    classes: usize,
+}
+
+impl ConfusionMatrix {
+    pub fn new(classes: usize) -> Self {
+        assert!(classes >= 2);
+        ConfusionMatrix {
+            counts: vec![vec![0; classes]; classes],
+            classes,
+        }
+    }
+
+    /// Builds from parallel truth/prediction slices.
+    pub fn from_predictions(truth: &[usize], pred: &[usize], classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len());
+        let mut m = ConfusionMatrix::new(classes);
+        for (&t, &p) in truth.iter().zip(pred) {
+            m.record(t, p);
+        }
+        m
+    }
+
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        self.counts[truth][pred] += 1;
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes).map(|c| self.counts[c][c]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Recall of class `c` (`None` when the class has no samples).
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let row: usize = self.counts[c].iter().sum();
+        (row > 0).then(|| self.counts[c][c] as f64 / row as f64)
+    }
+
+    /// Precision of class `c` (`None` when the class is never predicted).
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let col: usize = (0..self.classes).map(|t| self.counts[t][c]).sum();
+        (col > 0).then(|| self.counts[c][c] as f64 / col as f64)
+    }
+
+    /// Macro-averaged recall over classes that appear.
+    pub fn macro_recall(&self) -> f64 {
+        let recalls: Vec<f64> = (0..self.classes).filter_map(|c| self.recall(c)).collect();
+        if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        }
+    }
+
+    /// The most confused (true, predicted) off-diagonal pair.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t != p && self.counts[t][p] > 0 {
+                    let cand = (t, p, self.counts[t][p]);
+                    if best.is_none_or(|b| cand.2 > b.2) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.recall(1), Some(1.0));
+        assert_eq!(m.precision(1), Some(1.0));
+        assert!(m.worst_confusion().is_none());
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        // truth: 0 0 1 1 ; pred: 0 1 1 1
+        let m = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(m.accuracy(), 0.75);
+        assert_eq!(m.recall(0), Some(0.5));
+        assert_eq!(m.precision(1), Some(2.0 / 3.0));
+        assert_eq!(m.worst_confusion(), Some((0, 1, 1)));
+    }
+
+    #[test]
+    fn absent_class_yields_none() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.recall(2), None);
+        assert_eq!(m.precision(2), None);
+        assert_eq!(m.macro_recall(), 1.0); // only class 0 counted
+    }
+
+    #[test]
+    fn macro_recall_weights_classes_equally() {
+        // Class 0: 10/10 right; class 1: 0/2 right → macro = 0.5.
+        let mut truth = vec![0usize; 10];
+        truth.extend([1, 1]);
+        let mut pred = vec![0usize; 10];
+        pred.extend([0, 0]);
+        let m = ConfusionMatrix::from_predictions(&truth, &pred, 2);
+        assert!((m.macro_recall() - 0.5).abs() < 1e-12);
+        assert!(m.accuracy() > 0.8); // micro differs from macro
+    }
+}

@@ -1,0 +1,80 @@
+//! Fairness statistics over per-client accuracies (Fig. 11).
+
+use crate::aggregate::percentile;
+
+/// Summary of how evenly a global model serves the clients.
+#[derive(Clone, Copy, Debug)]
+pub struct FairnessStats {
+    pub mean: f64,
+    pub std: f64,
+    /// 10th percentile of client accuracies.
+    pub p10: f64,
+    /// Minimum (single worst client).
+    pub worst: f64,
+    /// Mean of the worst 10% of clients (the paper's "worst clients").
+    pub worst_decile_mean: f64,
+}
+
+impl FairnessStats {
+    /// Computes fairness statistics from per-client accuracies.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_accuracies(acc: &[f64]) -> Self {
+        assert!(!acc.is_empty(), "no clients");
+        let n = acc.len() as f64;
+        let mean = acc.iter().sum::<f64>() / n;
+        let var = acc.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let mut sorted = acc.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let decile = acc.len().div_ceil(10).max(1);
+        let worst_decile_mean = sorted[..decile].iter().sum::<f64>() / decile as f64;
+        FairnessStats {
+            mean,
+            std: var.sqrt(),
+            p10: percentile(acc, 10.0),
+            worst: sorted[0],
+            worst_decile_mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_accuracies_have_zero_spread() {
+        let s = FairnessStats::from_accuracies(&[0.9; 20]);
+        assert_eq!(s.mean, 0.9);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.worst, 0.9);
+        assert_eq!(s.worst_decile_mean, 0.9);
+    }
+
+    #[test]
+    fn worst_decile_picks_the_bottom() {
+        let mut acc = vec![0.9; 18];
+        acc.push(0.1);
+        acc.push(0.2);
+        let s = FairnessStats::from_accuracies(&acc);
+        assert_eq!(s.worst, 0.1);
+        // 20 clients → decile of 2 → mean of {0.1, 0.2}.
+        assert!((s.worst_decile_mean - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairer_model_has_higher_worst_decile() {
+        let unfair = FairnessStats::from_accuracies(&[1.0, 1.0, 1.0, 0.0]);
+        let fair = FairnessStats::from_accuracies(&[0.75, 0.75, 0.75, 0.75]);
+        assert!(fair.worst_decile_mean > unfair.worst_decile_mean);
+        assert!((fair.mean - unfair.mean).abs() < 1e-12, "same mean");
+    }
+
+    #[test]
+    fn single_client() {
+        let s = FairnessStats::from_accuracies(&[0.5]);
+        assert_eq!(s.worst, 0.5);
+        assert_eq!(s.p10, 0.5);
+    }
+}

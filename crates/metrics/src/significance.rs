@@ -1,0 +1,127 @@
+//! Significance testing for method comparisons: Welch's t-test with a
+//! normal approximation of the p-value — enough to annotate "A beats B"
+//! claims in the experiment tables with an honest uncertainty estimate.
+
+/// Result of comparing two samples.
+#[derive(Clone, Copy, Debug)]
+pub struct WelchResult {
+    /// Welch's t statistic (positive when sample A's mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value (normal approximation of the t distribution —
+    /// slightly anti-conservative at very small df).
+    pub p_two_sided: f64,
+}
+
+impl WelchResult {
+    /// Significance at level α (two-sided).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Welch's unequal-variance t-test between two samples.
+///
+/// # Panics
+/// Panics unless both samples have ≥ 2 values.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 samples per side");
+    let mean = |x: &[f64]| x.iter().sum::<f64>() / x.len() as f64;
+    let var = |x: &[f64], m: f64| {
+        x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        // Degenerate: identical constant samples.
+        let equal = (ma - mb).abs() < 1e-15;
+        return WelchResult {
+            t: if equal { 0.0 } else { f64::INFINITY * (ma - mb).signum() },
+            df: na + nb - 2.0,
+            p_two_sided: if equal { 1.0 } else { 0.0 },
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    WelchResult {
+        t,
+        df,
+        p_two_sided: 2.0 * (1.0 - normal_cdf(t.abs())),
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (|error| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let b = [5.0, 5.2, 4.8, 5.1, 4.9];
+        let r = welch_t_test(&a, &b);
+        assert!(r.t > 10.0);
+        assert!(r.significant(0.01));
+    }
+
+    #[test]
+    fn identical_distributions_are_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 1.9, 3.1, 3.9, 5.1];
+        let r = welch_t_test(&a, &b);
+        assert!(!r.significant(0.05), "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn sign_follows_mean_difference() {
+        let a = [2.0, 2.1, 1.9];
+        let b = [1.0, 1.1, 0.9];
+        assert!(welch_t_test(&a, &b).t > 0.0);
+        assert!(welch_t_test(&b, &a).t < 0.0);
+    }
+
+    #[test]
+    fn degenerate_constant_samples() {
+        let r = welch_t_test(&[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(r.p_two_sided, 1.0);
+        let r = welch_t_test(&[2.0, 2.0], &[1.0, 1.0]);
+        assert_eq!(r.p_two_sided, 0.0);
+    }
+
+    #[test]
+    fn unequal_variances_handled() {
+        // Welch df should be well below the pooled df when variances differ
+        // wildly.
+        let a = [0.0, 20.0, -20.0, 10.0, -10.0];
+        let b = [1.0, 1.001, 0.999, 1.0005, 0.9995];
+        let r = welch_t_test(&a, &b);
+        assert!(r.df < 5.0, "df {}", r.df);
+    }
+}

@@ -1,0 +1,106 @@
+//! Aligned plain-text tables (the Tables I–III output format).
+
+/// A simple column-aligned text table with a header row.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with padded columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i] - cell.chars().count()));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering of the same table.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(&["Method", "Acc"]);
+        t.row(&["FedAvg".into(), "97.07 ± 0.34".into()]);
+        t.row(&["rFedAvg+".into(), "98.02 ± 0.03".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset in both data rows.
+        let off1 = lines[2].find("97.07").unwrap();
+        let off2 = lines[3].find("98.02").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

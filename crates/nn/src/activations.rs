@@ -1,0 +1,185 @@
+//! Parameter-free activation layers.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rfl_tensor::Tensor;
+
+/// Rectified linear unit: `max(0, x)`.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mask: Vec<bool> = input.data().iter().map(|&v| v > 0.0).collect();
+        let out = input.map(|v| v.max(0.0));
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        assert_eq!(mask.len(), dout.numel());
+        let data = dout
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, dout.dims())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(|v| v.tanh());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("Tanh::backward before forward");
+        dout.zip_map(y, |g, yv| g * (1.0 - yv * yv))
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+/// Numerically stable scalar sigmoid; shared with the LSTM gates.
+#[inline]
+pub fn sigmoid(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(sigmoid);
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("Sigmoid::backward before forward");
+        dout.zip_map(y, |g, yv| g * yv * (1.0 - yv))
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let dx = r.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_identity() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_slice(&[0.5]);
+        let y = t.forward(&x, true);
+        let dx = t.backward(&Tensor::from_slice(&[1.0]));
+        let expected = 1.0 - y.data()[0] * y.data()[0];
+        assert!((dx.data()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(-100.0).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_layer_gradient() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_slice(&[0.0]);
+        s.forward(&x, true);
+        let dx = s.backward(&Tensor::from_slice(&[4.0]));
+        assert!((dx.data()[0] - 1.0).abs() < 1e-6); // 4 * 0.5 * 0.5
+    }
+
+    #[test]
+    fn finite_difference_tanh() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_slice(&[0.3, -0.7, 1.2]);
+        let _ = t.forward(&x, true);
+        let dx = t.backward(&Tensor::ones(&[3]));
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let fd = (xp.data()[i].tanh() - x.data()[i].tanh()) / eps;
+            assert!((dx.data()[i] - fd).abs() < 1e-2);
+        }
+    }
+}

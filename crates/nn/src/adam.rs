@@ -1,0 +1,124 @@
+//! Adam optimizer (Kingma & Ba) — an extension beyond the paper's SGD /
+//! RMSProp, useful for downstream users of the library.
+
+use crate::optim::Optimizer;
+
+/// Adam with bias-corrected first/second moment estimates.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Standard defaults: β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_params(lr, 0.9, 0.999, 1e-8)
+    }
+
+    pub fn with_params(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        assert!(eps > 0.0);
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, &g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // Bias correction makes the very first Adam step ≈ lr·sign(g).
+        let mut o = Adam::new(0.1);
+        let mut p = vec![0.0f32];
+        o.step(&mut p, &[3.7]);
+        assert!((p[0] + 0.1).abs() < 1e-3, "{}", p[0]);
+    }
+
+    #[test]
+    fn descends_quadratic() {
+        let mut o = Adam::new(0.05);
+        let mut p = vec![5.0f32];
+        for _ in 0..500 {
+            let g = vec![2.0 * p[0]];
+            o.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 0.05, "{}", p[0]);
+    }
+
+    #[test]
+    fn per_coordinate_adaptivity() {
+        // Like RMSProp: very different gradient scales → comparable motion.
+        let mut o = Adam::new(0.01);
+        let mut p = vec![0.0f32, 0.0];
+        for _ in 0..200 {
+            o.step(&mut p, &[100.0, 0.01]);
+        }
+        let ratio = p[0] / p[1];
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut o = Adam::new(0.1);
+        let mut p = vec![0.0f32];
+        o.step(&mut p, &[1.0]);
+        o.reset();
+        let mut q = vec![0.0f32];
+        o.step(&mut q, &[1.0]);
+        assert!((q[0] - p[0]).abs() < 1e-7);
+    }
+}

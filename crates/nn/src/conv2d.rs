@@ -1,0 +1,112 @@
+//! Convolutional layer wrapping the tensor-level kernels.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rand::Rng;
+use rfl_tensor::{conv2d, conv2d_backward, ConvSpec, Initializer, Tensor};
+
+/// 2-D convolution over NCHW inputs with Kaiming-initialized weights.
+pub struct Conv2d {
+    pub weight: Param, // [out_ch, in_ch, k, k]
+    pub bias: Param,   // [out_ch]
+    spec: ConvSpec,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    pub fn new<R: Rng>(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_ch * kernel * kernel;
+        let weight = Initializer::KaimingNormal { fan_in }.init(&[out_ch, in_ch, kernel, kernel], rng);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_ch])),
+            spec: ConvSpec {
+                kernel,
+                stride,
+                pad,
+            },
+            cached_input: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> ConvSpec {
+        self.spec
+    }
+
+    /// Output spatial size for a square input of extent `n`.
+    pub fn out_size(&self, n: usize) -> usize {
+        self.spec.out_size(n)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = conv2d(input, &self.weight.value, &self.bias.value, self.spec);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
+        let grads = conv2d_backward(x, &self.weight.value, dout, self.spec);
+        self.weight.grad.add_assign(&grads.dweight);
+        self.bias.grad.add_assign(&grads.dbias);
+        grads.dinput
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+        let y = c.forward(&Tensor::zeros(&[2, 1, 8, 8]), true);
+        assert_eq!(y.dims(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        check_layer_gradients(&mut c, &[2, 2, 5, 5], &mut rng);
+    }
+
+    #[test]
+    fn strided_gradients_pass_finite_difference_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv2d::new(1, 2, 3, 2, 0, &mut rng);
+        check_layer_gradients(&mut c, &[1, 1, 7, 7], &mut rng);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        assert_eq!(c.num_params(), 8 * 3 * 3 * 3 + 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfl_tensor::Tensor;
+
+/// Inverted dropout: at train time each activation is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)` so the expected activation is
+/// unchanged; at eval time it is the identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.numel())
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = input
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, input.dims())
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        match &self.mask {
+            None => dout.clone(),
+            Some(mask) => {
+                let data = dout
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, dout.dims())
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true);
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true);
+        let dx = d.backward(&Tensor::ones(&[100]));
+        // Gradient passes exactly where the forward passed.
+        for (yv, gv) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn rejects_p_one() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Flatten layer: `[N, ...] → [N, prod(...)]`.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rfl_tensor::Tensor;
+
+/// Collapses all non-batch dimensions into one.
+#[derive(Default)]
+pub struct Flatten {
+    input_dims: Vec<usize>,
+}
+
+impl Flatten {
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.input_dims = input.dims().to_vec();
+        let n = input.dims()[0];
+        input.reshape(&[n, input.numel() / n])
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        assert!(!self.input_dims.is_empty(), "Flatten::backward before forward");
+        dout.reshape(&self.input_dims)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 48]);
+        let dx = f.backward(&Tensor::ones(&[2, 48]));
+        assert_eq!(dx.dims(), &[2, 3, 4, 4]);
+    }
+}

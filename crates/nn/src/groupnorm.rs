@@ -1,0 +1,228 @@
+//! Group normalization (Wu & He) — the FL-standard replacement for batch
+//! norm: batch statistics leak across clients and break aggregation, while
+//! GroupNorm normalizes per sample, so it federates cleanly.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rfl_tensor::Tensor;
+
+/// GroupNorm over NCHW inputs: channels are split into `groups`, each
+/// normalized to zero mean / unit variance per sample, then scaled by the
+/// learned per-channel `gamma` and shifted by `beta`.
+pub struct GroupNorm {
+    pub gamma: Param, // [C]
+    pub beta: Param,  // [C]
+    groups: usize,
+    eps: f32,
+    cache: Option<GnCache>,
+}
+
+struct GnCache {
+    normalized: Tensor,   // x̂ (pre-scale)
+    inv_std: Vec<f32>,    // per (sample, group)
+    dims: Vec<usize>,
+}
+
+impl GroupNorm {
+    /// # Panics
+    /// Panics if `channels` is not divisible by `groups`.
+    pub fn new(channels: usize, groups: usize) -> Self {
+        assert!(groups > 0 && channels.is_multiple_of(groups), "channels % groups != 0");
+        GroupNorm {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            groups,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for GroupNorm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "GroupNorm expects NCHW");
+        let d = input.dims().to_vec();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let cg = c / self.groups;
+        let group_size = cg * h * w;
+        let x = input.data();
+        let mut normalized = Tensor::zeros(&d);
+        let mut inv_std = Vec::with_capacity(n * self.groups);
+        {
+            let nd = normalized.data_mut();
+            for img in 0..n {
+                for g in 0..self.groups {
+                    let base = img * c * h * w + g * group_size;
+                    let slice = &x[base..base + group_size];
+                    let mean = slice.iter().sum::<f32>() / group_size as f32;
+                    let var = slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                        / group_size as f32;
+                    let istd = 1.0 / (var + self.eps).sqrt();
+                    inv_std.push(istd);
+                    for (o, &v) in nd[base..base + group_size].iter_mut().zip(slice) {
+                        *o = (v - mean) * istd;
+                    }
+                }
+            }
+        }
+        // y = γ_c · x̂ + β_c
+        let mut out = normalized.clone();
+        {
+            let od = out.data_mut();
+            let gm = self.gamma.value.data();
+            let bt = self.beta.value.data();
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    for v in &mut od[base..base + h * w] {
+                        *v = gm[ch] * *v + bt[ch];
+                    }
+                }
+            }
+        }
+        self.cache = Some(GnCache {
+            normalized,
+            inv_std,
+            dims: d,
+        });
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("GroupNorm::backward before forward");
+        let d = &cache.dims;
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let cg = c / self.groups;
+        let group_size = cg * h * w;
+        let xhat = cache.normalized.data();
+        let dy = dout.data();
+        let gm = self.gamma.value.data();
+
+        // Parameter grads: dγ_c = Σ dy·x̂ over (n, h, w); dβ_c = Σ dy.
+        {
+            let dgamma = self.gamma.grad.data_mut();
+            let dbeta = self.beta.grad.data_mut();
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    let mut dg = 0.0f32;
+                    let mut db = 0.0f32;
+                    for i in base..base + h * w {
+                        dg += dy[i] * xhat[i];
+                        db += dy[i];
+                    }
+                    dgamma[ch] += dg;
+                    dbeta[ch] += db;
+                }
+            }
+        }
+
+        // Input grad per group (standard normalization backward):
+        // dx = (istd/m)·(m·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂)) with dx̂ = dy·γ.
+        let mut dinput = Tensor::zeros(d);
+        let dx = dinput.data_mut();
+        let m = group_size as f32;
+        for img in 0..n {
+            for g in 0..self.groups {
+                let base = img * c * h * w + g * group_size;
+                let istd = cache.inv_std[img * self.groups + g];
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                for (off, i) in (base..base + group_size).enumerate() {
+                    let ch = g * cg + off / (h * w);
+                    let dxh = dy[i] * gm[ch];
+                    sum_dxhat += dxh;
+                    sum_dxhat_xhat += dxh * xhat[i];
+                }
+                for (off, i) in (base..base + group_size).enumerate() {
+                    let ch = g * cg + off / (h * w);
+                    let dxh = dy[i] * gm[ch];
+                    dx[i] = istd / m * (m * dxh - sum_dxhat - xhat[i] * sum_dxhat_xhat);
+                }
+            }
+        }
+        dinput
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfl_tensor::Initializer;
+
+    #[test]
+    fn output_is_normalized_per_group() {
+        let mut gn = GroupNorm::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Initializer::Normal(3.0).init(&[2, 4, 3, 3], &mut rng);
+        let y = gn.forward(&x, true);
+        // With γ=1, β=0 each (sample, group) slab has mean≈0 and var≈1.
+        let group_size = 2 * 9;
+        for img in 0..2 {
+            for g in 0..2 {
+                let base = img * 4 * 9 + g * group_size;
+                let slab = &y.data()[base..base + group_size];
+                let mean = slab.iter().sum::<f32>() / group_size as f32;
+                let var = slab.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                    / group_size as f32;
+                assert!(mean.abs() < 1e-4, "mean {mean}");
+                assert!((var - 1.0).abs() < 1e-2, "var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_beta_scale_and_shift() {
+        let mut gn = GroupNorm::new(2, 1);
+        gn.gamma.value = Tensor::from_slice(&[2.0, 2.0]);
+        gn.beta.value = Tensor::from_slice(&[5.0, 5.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Initializer::Normal(1.0).init(&[1, 2, 4, 4], &mut rng);
+        let y = gn.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 5.0).abs() < 1e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gn = GroupNorm::new(4, 2);
+        // Perturb γ/β away from the identity so grads are non-trivial.
+        gn.gamma.value = Initializer::Normal(1.0).init(&[4], &mut rng).map(|v| 1.0 + 0.3 * v);
+        gn.beta.value = Initializer::Normal(0.3).init(&[4], &mut rng);
+        check_layer_gradients(&mut gn, &[2, 4, 3, 3], &mut rng);
+    }
+
+    #[test]
+    fn invariant_to_input_shift_and_scale() {
+        // GroupNorm(ax + b) == GroupNorm(x): the property that makes it
+        // robust to per-client feature shifts.
+        let mut gn1 = GroupNorm::new(2, 2);
+        let mut gn2 = GroupNorm::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Initializer::Normal(1.0).init(&[1, 2, 4, 4], &mut rng);
+        let shifted = x.scale(3.0).add_scalar(7.0);
+        let y1 = gn1.forward(&x, true);
+        let y2 = gn2.forward(&shifted, true);
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channels % groups")]
+    fn rejects_indivisible_groups() {
+        GroupNorm::new(5, 2);
+    }
+}

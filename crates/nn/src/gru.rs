@@ -1,0 +1,350 @@
+//! A single-layer GRU with full backpropagation through time — the lighter
+//! recurrent alternative to [`crate::Lstm`] (PyTorch gate conventions).
+//!
+//! Time-major like the LSTM: `[T, N, D] → [T, N, H]`. Gate order in the
+//! packed matrices is `z, r, n` (update, reset, candidate):
+//!
+//! ```text
+//! z = σ(x·Wxz + bxz + h·Whz + bhz)
+//! r = σ(x·Wxr + bxr + h·Whr + bhr)
+//! n = tanh(x·Wxn + bxn + r ⊙ (h·Whn + bhn))
+//! h' = (1 − z) ⊙ n + z ⊙ h
+//! ```
+
+use crate::activations::sigmoid;
+use crate::param::Param;
+use rand::Rng;
+use rfl_tensor::{Initializer, Tensor};
+
+struct StepCache {
+    h_prev: Tensor, // [N, H]
+    z: Tensor,      // [N, H]
+    r: Tensor,      // [N, H]
+    n: Tensor,      // [N, H]
+    hn_pre: Tensor, // h·Whn + bhn, [N, H]
+}
+
+/// One GRU layer; hidden state starts at zero per batch.
+pub struct Gru {
+    pub wx: Param, // [D, 3H]
+    pub wh: Param, // [H, 3H]
+    pub bx: Param, // [3H]
+    pub bh: Param, // [3H]
+    in_dim: usize,
+    hidden: usize,
+    cache: Vec<StepCache>,
+    cached_input: Option<Tensor>,
+}
+
+impl Gru {
+    pub fn new<R: Rng>(in_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        let wx = Initializer::XavierUniform {
+            fan_in: in_dim,
+            fan_out: 3 * hidden,
+        }
+        .init(&[in_dim, 3 * hidden], rng);
+        let wh = Initializer::XavierUniform {
+            fan_in: hidden,
+            fan_out: 3 * hidden,
+        }
+        .init(&[hidden, 3 * hidden], rng);
+        Gru {
+            wx: Param::new(wx),
+            wh: Param::new(wh),
+            bx: Param::new(Tensor::zeros(&[3 * hidden])),
+            bh: Param::new(Tensor::zeros(&[3 * hidden])),
+            in_dim,
+            hidden,
+            cache: Vec::new(),
+            cached_input: None,
+        }
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the sequence, returning all hidden states `[T, N, H]`.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 3, "Gru expects [T, N, D]");
+        let (t_len, batch, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        assert_eq!(d, self.in_dim, "Gru input dim mismatch");
+        let hd = self.hidden;
+
+        let mut out = Tensor::zeros(&[t_len, batch, hd]);
+        let mut h = Tensor::zeros(&[batch, hd]);
+        self.cache.clear();
+        for t in 0..t_len {
+            let x_t = Tensor::from_vec(
+                input.data()[t * batch * d..(t + 1) * batch * d].to_vec(),
+                &[batch, d],
+            );
+            let xg = x_t.matmul(&self.wx.value).add_row_bias(&self.bx.value); // [N, 3H]
+            let hg = h.matmul(&self.wh.value).add_row_bias(&self.bh.value); // [N, 3H]
+
+            let mut z = Tensor::zeros(&[batch, hd]);
+            let mut r = Tensor::zeros(&[batch, hd]);
+            let mut n = Tensor::zeros(&[batch, hd]);
+            let mut hn_pre = Tensor::zeros(&[batch, hd]);
+            {
+                let (xd, hdta) = (xg.data(), hg.data());
+                let (zd, rd, nd, hnp) =
+                    (z.data_mut(), r.data_mut(), n.data_mut(), hn_pre.data_mut());
+                for b in 0..batch {
+                    let (xrow, hrow) = (&xd[b * 3 * hd..(b + 1) * 3 * hd], &hdta[b * 3 * hd..(b + 1) * 3 * hd]);
+                    for j in 0..hd {
+                        let zv = sigmoid(xrow[j] + hrow[j]);
+                        let rv = sigmoid(xrow[hd + j] + hrow[hd + j]);
+                        let hn = hrow[2 * hd + j];
+                        let nv = (xrow[2 * hd + j] + rv * hn).tanh();
+                        zd[b * hd + j] = zv;
+                        rd[b * hd + j] = rv;
+                        nd[b * hd + j] = nv;
+                        hnp[b * hd + j] = hn;
+                    }
+                }
+            }
+            let h_prev = h.clone();
+            {
+                let (zd, nd, hp) = (z.data(), n.data(), h_prev.data());
+                for (i, hv) in h.data_mut().iter_mut().enumerate() {
+                    *hv = (1.0 - zd[i]) * nd[i] + zd[i] * hp[i];
+                }
+            }
+            out.data_mut()[t * batch * hd..(t + 1) * batch * hd].copy_from_slice(h.data());
+            self.cache.push(StepCache {
+                h_prev,
+                z,
+                r,
+                n,
+                hn_pre,
+            });
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    /// BPTT; `dout` is `[T, N, H]`, returns `d input` `[T, N, D]`.
+    pub fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Gru::backward before forward")
+            .clone();
+        let (t_len, batch, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let hd = self.hidden;
+        assert_eq!(dout.dims(), &[t_len, batch, hd]);
+
+        let mut dinput = Tensor::zeros(&[t_len, batch, d]);
+        let mut dh_next = Tensor::zeros(&[batch, hd]);
+
+        for t in (0..t_len).rev() {
+            let c = &self.cache[t];
+            let mut dh = Tensor::from_vec(
+                dout.data()[t * batch * hd..(t + 1) * batch * hd].to_vec(),
+                &[batch, hd],
+            );
+            dh.add_assign(&dh_next);
+
+            // Gate pre-activation grads packed as [N, 3H] for x-side and
+            // h-side separately.
+            let mut dxg = Tensor::zeros(&[batch, 3 * hd]);
+            let mut dhg = Tensor::zeros(&[batch, 3 * hd]);
+            let mut dh_prev = Tensor::zeros(&[batch, hd]);
+            {
+                let (zd, rd, nd, hnp, hp) = (
+                    c.z.data(),
+                    c.r.data(),
+                    c.n.data(),
+                    c.hn_pre.data(),
+                    c.h_prev.data(),
+                );
+                let dhd = dh.data();
+                let (dxd, dhgd, dhp) = (dxg.data_mut(), dhg.data_mut(), dh_prev.data_mut());
+                for b in 0..batch {
+                    for j in 0..hd {
+                        let i = b * hd + j;
+                        let (z, r, n, hn, h0) = (zd[i], rd[i], nd[i], hnp[i], hp[i]);
+                        let g = dhd[i];
+                        // h' = (1−z)n + z·h0
+                        let dz = g * (h0 - n);
+                        let dn = g * (1.0 - z);
+                        dhp[i] += g * z;
+                        // n = tanh(xn + r·hn)
+                        let dn_pre = dn * (1.0 - n * n);
+                        let dr = dn_pre * hn;
+                        let dhn = dn_pre * r;
+                        // pre-activation grads
+                        let dz_pre = dz * z * (1.0 - z);
+                        let dr_pre = dr * r * (1.0 - r);
+                        let row = b * 3 * hd;
+                        dxd[row + j] = dz_pre;
+                        dxd[row + hd + j] = dr_pre;
+                        dxd[row + 2 * hd + j] = dn_pre;
+                        dhgd[row + j] = dz_pre;
+                        dhgd[row + hd + j] = dr_pre;
+                        dhgd[row + 2 * hd + j] = dhn;
+                    }
+                }
+            }
+
+            let x_t = Tensor::from_vec(
+                input.data()[t * batch * d..(t + 1) * batch * d].to_vec(),
+                &[batch, d],
+            );
+            self.wx.grad.add_assign(&x_t.matmul_transa(&dxg));
+            self.wh.grad.add_assign(&c.h_prev.matmul_transa(&dhg));
+            self.bx.grad.add_assign(&dxg.sum_axis0());
+            self.bh.grad.add_assign(&dhg.sum_axis0());
+
+            let dx_t = dxg.matmul_transb(&self.wx.value);
+            dinput.data_mut()[t * batch * d..(t + 1) * batch * d].copy_from_slice(dx_t.data());
+            dh_prev.add_assign(&dhg.matmul_transb(&self.wh.value));
+            dh_next = dh_prev;
+        }
+        dinput
+    }
+
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.bx, &self.bh]
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.bx, &mut self.bh]
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = Gru::new(3, 5, &mut rng);
+        let x = Initializer::Normal(2.0).init(&[4, 2, 3], &mut rng);
+        let y = g.forward(&x);
+        assert_eq!(y.dims(), &[4, 2, 5]);
+        // h is a convex combination of tanh values and prior h ⇒ |h| ≤ 1.
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn zero_input_keeps_zero_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Gru::new(2, 3, &mut rng);
+        let y = g.forward(&Tensor::zeros(&[3, 1, 2]));
+        // n = tanh(0 + r·0) = 0, h' = (1−z)·0 + z·0 = 0.
+        assert!(y.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    /// Full finite-difference check of all parameter and input gradients.
+    #[test]
+    fn bptt_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Gru::new(2, 3, &mut rng);
+        let x = Initializer::Normal(0.5).init(&[3, 2, 2], &mut rng);
+
+        let loss = |g: &mut Gru, x: &Tensor| -> f32 { g.forward(x).sum() };
+        let base = loss(&mut g, &x);
+        for p in g.params_mut() {
+            p.zero_grad();
+        }
+        g.forward(&x);
+        let dout = Tensor::ones(&[3, 2, 3]);
+        let dx = g.backward(&dout);
+
+        let eps = 1e-3;
+        let analytic: Vec<Vec<f32>> = g.params().iter().map(|p| p.grad.data().to_vec()).collect();
+        for (pi, picks) in [
+            (0usize, vec![0usize, 7, 15]),
+            (1, vec![0, 11, 20]),
+            (2, vec![0, 4, 8]),
+            (3, vec![1, 5, 7]),
+        ] {
+            for &i in &picks {
+                let orig = g.params()[pi].value.data()[i];
+                g.params_mut()[pi].value.data_mut()[i] = orig + eps;
+                let plus = loss(&mut g, &x);
+                g.params_mut()[pi].value.data_mut()[i] = orig;
+                let fd = (plus - base) / eps;
+                let an = analytic[pi][i];
+                assert!(
+                    (fd - an).abs() < 2e-2,
+                    "param {pi}[{i}]: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+        for &i in &[0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let fd = (loss(&mut g, &xp) - base) / eps;
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: fd {fd} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_a_simple_sequence_rule() {
+        // Classify whether the sum of a 4-step scalar sequence is positive,
+        // via GRU → last h → fixed readout (sum of h): trainable end-to-end.
+        use crate::optim::{Optimizer, Sgd};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = Gru::new(1, 4, &mut rng);
+        let mut opt = Sgd::new(0.2);
+        let seqs: Vec<(Vec<f32>, f32)> = (0..16)
+            .map(|i| {
+                let vals: Vec<f32> = (0..4)
+                    .map(|t| ((i * 7 + t * 3) % 11) as f32 / 5.0 - 1.0)
+                    .collect();
+                let label = if vals.iter().sum::<f32>() > 0.0 { 1.0 } else { -1.0 };
+                (vals, label)
+            })
+            .collect();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let mut total = 0.0f32;
+            for (vals, label) in &seqs {
+                for p in g.params_mut() {
+                    p.zero_grad();
+                }
+                let x = Tensor::from_vec(vals.clone(), &[4, 1, 1]);
+                let y = g.forward(&x);
+                // Readout: mean of last hidden state.
+                let hlast = &y.data()[3 * 4..4 * 4];
+                let pred: f32 = hlast.iter().sum::<f32>() / 4.0;
+                let err = pred - label;
+                total += err * err;
+                // d pred / d h_j = 1/4 at the last step only.
+                let mut dout = Tensor::zeros(&[4, 1, 4]);
+                for v in &mut dout.data_mut()[12..16] {
+                    *v = 2.0 * err / 4.0;
+                }
+                g.backward(&dout);
+                let mut flat = Vec::new();
+                let mut grads = Vec::new();
+                crate::param::read_params_flat(&g.params(), &mut flat);
+                crate::param::read_grads_flat(&g.params(), &mut grads);
+                opt.step(&mut flat, &grads);
+                crate::param::write_params_flat(&mut g.params_mut(), &flat);
+            }
+            first.get_or_insert(total);
+            last = total;
+        }
+        assert!(
+            last < first.unwrap() * 0.5,
+            "GRU did not learn: {:?} → {last}",
+            first
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! The [`Layer`] trait: tensor-in / tensor-out modules with cached state.
+
+use crate::param::Param;
+use rfl_tensor::Tensor;
+
+/// A differentiable module mapping one tensor to another.
+///
+/// `forward` caches whatever it needs for `backward`; `backward` consumes the
+/// gradient w.r.t. the output and returns the gradient w.r.t. the input while
+/// *accumulating* parameter gradients. Layers are stateful, so a layer
+/// instance must see matching forward/backward pairs (standard for manual
+/// backprop engines).
+pub trait Layer {
+    /// Forward pass. `train` toggles train-time behaviour (e.g. dropout).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass for the most recent `forward` call.
+    fn backward(&mut self, dout: &Tensor) -> Tensor;
+
+    /// Immutable views of this layer's parameters (possibly empty).
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable views of this layer's parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+}

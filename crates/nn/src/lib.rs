@@ -1,0 +1,78 @@
+//! # rfl-nn
+//!
+//! A compact neural-network library with *manual backpropagation*, built on
+//! [`rfl_tensor`]. It implements exactly what the rFedAvg reproduction needs:
+//!
+//! * layers: [`Linear`], [`Conv2d`], [`MaxPool2d`], [`Relu`], [`Tanh`],
+//!   [`Flatten`], [`Dropout`], [`Embedding`], [`Lstm`];
+//! * losses: softmax [`cross_entropy`] and [`mse`];
+//! * optimizers over flat parameter vectors: [`Sgd`] (with optional momentum)
+//!   and [`RmsProp`] — the paper trains image models with SGD and the
+//!   Sent140 LSTM with RMSProp;
+//! * models exposing the *feature hook* needed by the distribution
+//!   regularizer: [`CnnClassifier`], [`LstmClassifier`],
+//!   [`LogisticRegression`] (the strongly convex objective used for the
+//!   convergence theory).
+//!
+//! ## The feature hook
+//!
+//! The paper's regularizer `r_k` (Eq. 5) is the MMD distance between clients'
+//! mean feature embeddings `δ = (1/n) Σ φ(x)` where `φ` is the network up to
+//! (and including) the last fully-connected layer before the classifier.
+//! Every [`Model`] therefore returns `(features, logits)` from its forward
+//! pass, and `backward` accepts an extra gradient `dfeatures` that is summed
+//! into the feature layer — this is how `∇r_k` enters local SGD.
+//!
+//! ```
+//! use rfl_nn::{LogisticRegression, Model, Input, cross_entropy};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = LogisticRegression::new(4, 3, 0.0, &mut rng);
+//! let x = rfl_tensor::Tensor::zeros(&[2, 4]);
+//! let out = model.forward(&Input::Dense(x), true);
+//! let (loss, dlogits) = cross_entropy(&out.logits, &[0, 2]);
+//! model.backward(&dlogits, None);
+//! assert!(loss > 0.0);
+//! ```
+
+mod activations;
+mod adam;
+mod conv2d;
+mod dropout;
+mod embedding;
+mod flatten;
+pub mod gradcheck;
+mod groupnorm;
+mod gru;
+mod layer;
+mod linear;
+mod loss;
+mod lstm;
+mod models;
+mod optim;
+mod param;
+mod pooling;
+mod schedule;
+mod sequential;
+
+pub use activations::{Relu, Sigmoid, Tanh};
+pub use adam::Adam;
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use flatten::Flatten;
+pub use groupnorm::GroupNorm;
+pub use gru::Gru;
+pub use layer::Layer;
+pub use linear::Linear;
+pub use loss::{cross_entropy, mse, nll_from_log_softmax};
+pub use lstm::Lstm;
+pub use models::{
+    CnnClassifier, CnnConfig, Input, LinearNet, LogisticRegression, LstmClassifier, LstmConfig,
+    MlpClassifier, Model, ModelOutput,
+};
+pub use optim::{Optimizer, RmsProp, Sgd};
+pub use param::Param;
+pub use pooling::MaxPool2d;
+pub use schedule::LrSchedule;
+pub use sequential::Sequential;

@@ -1,0 +1,125 @@
+//! Fully-connected layer: `y = x·W + b`.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rand::Rng;
+use rfl_tensor::{Initializer, Tensor};
+
+/// A dense layer with weight `[in, out]` and bias `[out]`.
+pub struct Linear {
+    pub weight: Param,
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Xavier-initialized dense layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let weight = Initializer::XavierUniform {
+            fan_in: in_dim,
+            fan_out: out_dim,
+        }
+        .init(&[in_dim, out_dim], rng);
+        Linear {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_dim])),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Linear expects [batch, in] input");
+        assert_eq!(input.dims()[1], self.in_dim(), "Linear input dim mismatch");
+        let out = input.matmul(&self.weight.value).add_row_bias(&self.bias.value);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward called before forward");
+        // dW += xᵀ·dY ; db += column-sums of dY ; dX = dY·Wᵀ
+        self.weight.grad.add_assign(&x.matmul_transa(dout));
+        self.bias.grad.add_assign(&dout.sum_axis0());
+        dout.matmul_transb(&self.weight.value)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        l.bias.value = Tensor::from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(3, 4, &mut rng);
+        check_layer_gradients(&mut l, &[5, 3], &mut rng);
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let d = Tensor::ones(&[1, 2]);
+        l.forward(&x, true);
+        l.backward(&d);
+        let g1 = l.weight.grad.clone();
+        l.forward(&x, true);
+        l.backward(&d);
+        for (a, b) in l.weight.grad.data().iter().zip(g1.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Linear::new(5, 7, &mut rng);
+        assert_eq!(l.num_params(), 5 * 7 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn rejects_wrong_input_width() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new(3, 2, &mut rng);
+        l.forward(&Tensor::zeros(&[1, 4]), true);
+    }
+}

@@ -1,0 +1,116 @@
+//! Loss functions returning `(mean loss, gradient w.r.t. logits)`.
+
+use rfl_tensor::Tensor;
+
+/// Softmax cross-entropy over `[N, K]` logits with integer labels.
+///
+/// Returns the batch-mean loss and `dL/dlogits` (already divided by `N`).
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "cross_entropy expects [N, K] logits");
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let log_p = logits.log_softmax_rows();
+    let mut loss = 0.0f32;
+    let mut dlogits = log_p.map(|v| v.exp()); // softmax probabilities
+    let inv_n = 1.0 / n as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        loss -= log_p.at(&[r, y]);
+        let row = dlogits.row_mut(r);
+        row[y] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    (loss * inv_n, dlogits)
+}
+
+/// Negative log-likelihood when log-probabilities are already available.
+pub fn nll_from_log_softmax(log_p: &Tensor, labels: &[usize]) -> f32 {
+    let n = log_p.dims()[0];
+    assert_eq!(labels.len(), n);
+    let mut loss = 0.0f32;
+    for (r, &y) in labels.iter().enumerate() {
+        loss -= log_p.at(&[r, y]);
+    }
+    loss / n as f32
+}
+
+/// Mean squared error between predictions and targets of equal shape.
+///
+/// Returns the mean loss and `dL/dpred`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.numel() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, 0.0, 100.0], &[2, 2]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot_over_n() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let (_, d) = cross_entropy(&logits, &[1]);
+        assert!((d.at(&[0, 0]) - 0.5).abs() < 1e-6);
+        assert!((d.at(&[0, 1]) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]);
+        let (_, d) = cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = d.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 0.9, 0.1], &[2, 2]);
+        let labels = [1usize, 0];
+        let (base, d) = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (plus, _) = cross_entropy(&lp, &labels);
+            let fd = (plus - base) / eps;
+            assert!((fd - d.data()[i]).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        cross_entropy(&Tensor::zeros(&[1, 2]), &[2]);
+    }
+}

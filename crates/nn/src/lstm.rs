@@ -1,0 +1,332 @@
+//! A single-layer LSTM with full backpropagation through time.
+//!
+//! Input and output are time-major: `[T, N, D] → [T, N, H]`, so stacking two
+//! `Lstm`s reproduces the paper's 2-layer Sent140 model. Gate order in the
+//! packed weight matrices is `i, f, g, o`.
+
+use crate::activations::sigmoid;
+use crate::param::Param;
+use rand::Rng;
+use rfl_tensor::{Initializer, Tensor};
+
+/// Per-timestep cache for BPTT.
+struct StepCache {
+    h_prev: Tensor,  // [N, H]
+    c_prev: Tensor,  // [N, H]
+    gates: Tensor,   // [N, 4H] post-activation (i, f, g, o)
+    tanh_c: Tensor,  // [N, H]
+}
+
+/// One LSTM layer. Hidden and cell states start at zero each sequence batch.
+pub struct Lstm {
+    pub wx: Param, // [D, 4H]
+    pub wh: Param, // [H, 4H]
+    pub b: Param,  // [4H]
+    in_dim: usize,
+    hidden: usize,
+    cache: Vec<StepCache>,
+    cached_input: Option<Tensor>,
+}
+
+impl Lstm {
+    pub fn new<R: Rng>(in_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        let wx = Initializer::XavierUniform {
+            fan_in: in_dim,
+            fan_out: 4 * hidden,
+        }
+        .init(&[in_dim, 4 * hidden], rng);
+        let wh = Initializer::XavierUniform {
+            fan_in: hidden,
+            fan_out: 4 * hidden,
+        }
+        .init(&[hidden, 4 * hidden], rng);
+        // Forget-gate bias starts at 1 so early training does not forget
+        // everything (standard LSTM initialization).
+        let mut b = Tensor::zeros(&[4 * hidden]);
+        for v in &mut b.data_mut()[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Lstm {
+            wx: Param::new(wx),
+            wh: Param::new(wh),
+            b: Param::new(b),
+            in_dim,
+            hidden,
+            cache: Vec::new(),
+            cached_input: None,
+        }
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Runs the whole sequence, returning all hidden states `[T, N, H]`.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 3, "Lstm expects [T, N, D]");
+        let (t_len, n, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        assert_eq!(d, self.in_dim, "Lstm input dim mismatch");
+        let h_dim = self.hidden;
+
+        let mut out = Tensor::zeros(&[t_len, n, h_dim]);
+        let mut h = Tensor::zeros(&[n, h_dim]);
+        let mut c = Tensor::zeros(&[n, h_dim]);
+        self.cache.clear();
+        self.cache.reserve(t_len);
+
+        for t in 0..t_len {
+            let x_t = Tensor::from_vec(
+                input.data()[t * n * d..(t + 1) * n * d].to_vec(),
+                &[n, d],
+            );
+            // Pre-activations for all four gates at once: [N, 4H].
+            let mut z = x_t
+                .matmul(&self.wx.value)
+                .add(&h.matmul(&self.wh.value))
+                .add_row_bias(&self.b.value);
+            // Apply gate nonlinearities in place.
+            for row in z.data_mut().chunks_exact_mut(4 * h_dim) {
+                for v in &mut row[0..h_dim] {
+                    *v = sigmoid(*v); // i
+                }
+                for v in &mut row[h_dim..2 * h_dim] {
+                    *v = sigmoid(*v); // f
+                }
+                for v in &mut row[2 * h_dim..3 * h_dim] {
+                    *v = v.tanh(); // g
+                }
+                for v in &mut row[3 * h_dim..4 * h_dim] {
+                    *v = sigmoid(*v); // o
+                }
+            }
+            let c_prev = c.clone();
+            let h_prev = h.clone();
+            // c = f ⊙ c_prev + i ⊙ g ;  h = o ⊙ tanh(c)
+            let mut tanh_c = Tensor::zeros(&[n, h_dim]);
+            {
+                let zd = z.data();
+                let cd = c.data_mut();
+                for r in 0..n {
+                    let g_row = &zd[r * 4 * h_dim..(r + 1) * 4 * h_dim];
+                    for j in 0..h_dim {
+                        let i_g = g_row[j];
+                        let f_g = g_row[h_dim + j];
+                        let g_g = g_row[2 * h_dim + j];
+                        cd[r * h_dim + j] = f_g * cd[r * h_dim + j] + i_g * g_g;
+                    }
+                }
+                let cdr = &*cd;
+                let tc = tanh_c.data_mut();
+                for (tv, &cv) in tc.iter_mut().zip(cdr.iter()) {
+                    *tv = cv.tanh();
+                }
+                let hd = h.data_mut();
+                for r in 0..n {
+                    let g_row = &zd[r * 4 * h_dim..(r + 1) * 4 * h_dim];
+                    for j in 0..h_dim {
+                        hd[r * h_dim + j] = g_row[3 * h_dim + j] * tc[r * h_dim + j];
+                    }
+                }
+            }
+            out.data_mut()[t * n * h_dim..(t + 1) * n * h_dim].copy_from_slice(h.data());
+            self.cache.push(StepCache {
+                h_prev,
+                c_prev,
+                gates: z,
+                tanh_c,
+            });
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    /// BPTT: `dout` is the gradient w.r.t. every hidden state `[T, N, H]`;
+    /// returns the gradient w.r.t. the input `[T, N, D]`.
+    pub fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Lstm::backward before forward")
+            .clone();
+        let (t_len, n, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let h_dim = self.hidden;
+        assert_eq!(dout.dims(), &[t_len, n, h_dim], "Lstm dout shape mismatch");
+
+        let mut dinput = Tensor::zeros(&[t_len, n, d]);
+        let mut dh_next = Tensor::zeros(&[n, h_dim]);
+        let mut dc_next = Tensor::zeros(&[n, h_dim]);
+
+        for t in (0..t_len).rev() {
+            let cache = &self.cache[t];
+            // dh = upstream for this step + carry from step t+1.
+            let mut dh = Tensor::from_vec(
+                dout.data()[t * n * h_dim..(t + 1) * n * h_dim].to_vec(),
+                &[n, h_dim],
+            );
+            dh.add_assign(&dh_next);
+
+            let mut dz = Tensor::zeros(&[n, 4 * h_dim]);
+            let mut dc_prev = Tensor::zeros(&[n, h_dim]);
+            {
+                let gd = cache.gates.data();
+                let tc = cache.tanh_c.data();
+                let cp = cache.c_prev.data();
+                let dhd = dh.data();
+                let dcn = dc_next.data();
+                let dzd = dz.data_mut();
+                let dcp = dc_prev.data_mut();
+                for r in 0..n {
+                    let g_row = &gd[r * 4 * h_dim..(r + 1) * 4 * h_dim];
+                    for j in 0..h_dim {
+                        let idx = r * h_dim + j;
+                        let i_g = g_row[j];
+                        let f_g = g_row[h_dim + j];
+                        let g_g = g_row[2 * h_dim + j];
+                        let o_g = g_row[3 * h_dim + j];
+                        let tch = tc[idx];
+                        // dc = dh·o·(1−tanh²c) + carried dc
+                        let dc = dhd[idx] * o_g * (1.0 - tch * tch) + dcn[idx];
+                        let d_o = dhd[idx] * tch;
+                        let d_i = dc * g_g;
+                        let d_f = dc * cp[idx];
+                        let d_g = dc * i_g;
+                        dcp[idx] = dc * f_g;
+                        let zr = r * 4 * h_dim;
+                        dzd[zr + j] = d_i * i_g * (1.0 - i_g);
+                        dzd[zr + h_dim + j] = d_f * f_g * (1.0 - f_g);
+                        dzd[zr + 2 * h_dim + j] = d_g * (1.0 - g_g * g_g);
+                        dzd[zr + 3 * h_dim + j] = d_o * o_g * (1.0 - o_g);
+                    }
+                }
+            }
+
+            let x_t = Tensor::from_vec(
+                input.data()[t * n * d..(t + 1) * n * d].to_vec(),
+                &[n, d],
+            );
+            self.wx.grad.add_assign(&x_t.matmul_transa(&dz));
+            self.wh.grad.add_assign(&cache.h_prev.matmul_transa(&dz));
+            self.b.grad.add_assign(&dz.sum_axis0());
+
+            let dx_t = dz.matmul_transb(&self.wx.value);
+            dinput.data_mut()[t * n * d..(t + 1) * n * d].copy_from_slice(dx_t.data());
+            dh_next = dz.matmul_transb(&self.wh.value);
+            dc_next = dc_prev;
+        }
+        dinput
+    }
+
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.wx.numel() + self.wh.numel() + self.b.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Lstm::new(3, 5, &mut rng);
+        let x = Initializer::Normal(1.0).init(&[4, 2, 3], &mut rng);
+        let y = l.forward(&x);
+        assert_eq!(y.dims(), &[4, 2, 5]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn hidden_states_are_bounded_by_one() {
+        // h = o·tanh(c) with o ∈ (0,1) ⇒ |h| < 1.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Lstm::new(2, 4, &mut rng);
+        let x = Initializer::Normal(5.0).init(&[6, 3, 2], &mut rng);
+        let y = l.forward(&x);
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_initial_state_gives_small_outputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Lstm::new(2, 3, &mut rng);
+        let x = Tensor::zeros(&[3, 1, 2]);
+        let y = l.forward(&x);
+        // With zero input, h stays at o(b)·tanh(c) where c grows only from
+        // i(b)·g(b) = σ(0)·tanh(0) = 0 ⇒ all outputs are exactly 0.
+        assert!(y.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    /// Full finite-difference check of every LSTM parameter gradient.
+    #[test]
+    fn bptt_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Lstm::new(2, 3, &mut rng);
+        let x = Initializer::Normal(0.5).init(&[3, 2, 2], &mut rng);
+
+        let loss = |l: &mut Lstm, x: &Tensor| -> f32 { l.forward(x).sum() };
+        let base = loss(&mut l, &x);
+        let dout = Tensor::ones(&[3, 2, 3]);
+        for p in l.params_mut() {
+            p.zero_grad();
+        }
+        l.forward(&x);
+        let dx = l.backward(&dout);
+
+        let eps = 1e-3;
+        // Parameter gradients: spot-check several coordinates in each matrix.
+        let analytic: Vec<Vec<f32>> = l
+            .params()
+            .iter()
+            .map(|p| p.grad.data().to_vec())
+            .collect();
+        for (pi, picks) in [(0usize, vec![0usize, 5, 11]), (1, vec![0, 7]), (2, vec![0, 4, 9])] {
+            for &i in &picks {
+                let orig = l.params()[pi].value.data()[i];
+                l.params_mut()[pi].value.data_mut()[i] = orig + eps;
+                let plus = loss(&mut l, &x);
+                l.params_mut()[pi].value.data_mut()[i] = orig;
+                let fd = (plus - base) / eps;
+                let an = analytic[pi][i];
+                assert!(
+                    (fd - an).abs() < 2e-2,
+                    "param {pi}[{i}]: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+        // Input gradient.
+        for &i in &[0usize, 4, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let fd = (loss(&mut l, &xp) - base) / eps;
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: fd {fd} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = Lstm::new(2, 3, &mut rng);
+        let b = l.b.value.data();
+        assert!(b[0..3].iter().all(|&v| v == 0.0)); // i
+        assert!(b[3..6].iter().all(|&v| v == 1.0)); // f
+        assert!(b[6..12].iter().all(|&v| v == 0.0)); // g, o
+    }
+}

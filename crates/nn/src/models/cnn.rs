@@ -1,0 +1,403 @@
+//! The CNN classifier used for the image benchmarks.
+//!
+//! Architecture (scaled-down version of the McMahan et al. CNN, see
+//! DESIGN.md §3): `conv3×3(c1) → ReLU → pool2 → conv3×3(c2) → ReLU → pool2 →
+//! flatten → FC(feature_dim) → ReLU → FC(classes)`. The post-ReLU output of
+//! the first FC layer is the feature embedding `φ(x)`.
+
+use super::{Input, Model, ModelOutput};
+use crate::activations::Relu;
+use crate::conv2d::Conv2d;
+use crate::flatten::Flatten;
+use crate::groupnorm::GroupNorm;
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::param::Param;
+use crate::pooling::MaxPool2d;
+use rand::Rng;
+use rfl_tensor::Tensor;
+
+/// Hyper-parameters of [`CnnClassifier`].
+#[derive(Clone, Copy, Debug)]
+pub struct CnnConfig {
+    pub in_channels: usize,
+    pub image_size: usize,
+    pub conv1_channels: usize,
+    pub conv2_channels: usize,
+    pub feature_dim: usize,
+    pub num_classes: usize,
+    /// Insert GroupNorm (the FL-safe normalization) after each conv layer.
+    pub group_norm: bool,
+}
+
+impl CnnConfig {
+    /// Model for the MNIST-like benchmark (1×16×16, 10 classes).
+    pub fn mnist_like() -> Self {
+        CnnConfig {
+            in_channels: 1,
+            image_size: 16,
+            conv1_channels: 8,
+            conv2_channels: 16,
+            feature_dim: 64,
+            num_classes: 10,
+            group_norm: false,
+        }
+    }
+
+    /// Model for the CIFAR10-like benchmark (3×16×16, 10 classes).
+    pub fn cifar_like() -> Self {
+        CnnConfig {
+            in_channels: 3,
+            image_size: 16,
+            conv1_channels: 8,
+            conv2_channels: 16,
+            feature_dim: 64,
+            num_classes: 10,
+            group_norm: false,
+        }
+    }
+
+    /// Model for the FEMNIST-like benchmark (1×16×16, 62 classes).
+    pub fn femnist_like() -> Self {
+        CnnConfig {
+            in_channels: 1,
+            image_size: 16,
+            conv1_channels: 8,
+            conv2_channels: 16,
+            feature_dim: 64,
+            num_classes: 62,
+            group_norm: false,
+        }
+    }
+
+    /// Enables GroupNorm after each convolution (builder style).
+    pub fn with_group_norm(mut self) -> Self {
+        self.group_norm = true;
+        self
+    }
+}
+
+/// CNN with the feature hook at the penultimate FC layer.
+pub struct CnnClassifier {
+    cfg: CnnConfig,
+    conv1: Conv2d,
+    norm1: Option<GroupNorm>,
+    relu1: Relu,
+    pool1: MaxPool2d,
+    conv2: Conv2d,
+    norm2: Option<GroupNorm>,
+    relu2: Relu,
+    pool2: MaxPool2d,
+    flatten: Flatten,
+    fc1: Linear,
+    relu3: Relu,
+    fc2: Linear,
+}
+
+impl CnnClassifier {
+    pub fn new<R: Rng>(cfg: CnnConfig, rng: &mut R) -> Self {
+        let after_pool1 = cfg.image_size / 2;
+        let after_pool2 = after_pool1 / 2;
+        let flat = cfg.conv2_channels * after_pool2 * after_pool2;
+        CnnClassifier {
+            cfg,
+            conv1: Conv2d::new(cfg.in_channels, cfg.conv1_channels, 3, 1, 1, rng),
+            norm1: cfg
+                .group_norm
+                .then(|| GroupNorm::new(cfg.conv1_channels, (cfg.conv1_channels / 4).max(1))),
+            relu1: Relu::new(),
+            pool1: MaxPool2d::new(2),
+            conv2: Conv2d::new(cfg.conv1_channels, cfg.conv2_channels, 3, 1, 1, rng),
+            norm2: cfg
+                .group_norm
+                .then(|| GroupNorm::new(cfg.conv2_channels, (cfg.conv2_channels / 4).max(1))),
+            relu2: Relu::new(),
+            pool2: MaxPool2d::new(2),
+            flatten: Flatten::new(),
+            fc1: Linear::new(flat, cfg.feature_dim, rng),
+            relu3: Relu::new(),
+            fc2: Linear::new(cfg.feature_dim, cfg.num_classes, rng),
+        }
+    }
+
+    pub fn config(&self) -> CnnConfig {
+        self.cfg
+    }
+}
+
+impl Model for CnnClassifier {
+    fn forward(&mut self, input: &Input, train: bool) -> ModelOutput {
+        let x = match input {
+            Input::Images(t) => t,
+            _ => panic!("CnnClassifier expects Input::Images"),
+        };
+        assert_eq!(x.dims()[1], self.cfg.in_channels, "channel mismatch");
+        assert_eq!(x.dims()[2], self.cfg.image_size, "image size mismatch");
+        let mut h = self.conv1.forward(x, train);
+        if let Some(n) = &mut self.norm1 {
+            h = n.forward(&h, train);
+        }
+        let h = self.relu1.forward(&h, train);
+        let h = self.pool1.forward(&h, train);
+        let mut h = self.conv2.forward(&h, train);
+        if let Some(n) = &mut self.norm2 {
+            h = n.forward(&h, train);
+        }
+        let h = self.relu2.forward(&h, train);
+        let h = self.pool2.forward(&h, train);
+        let h = self.flatten.forward(&h, train);
+        let h = self.fc1.forward(&h, train);
+        let features = self.relu3.forward(&h, train);
+        let logits = self.fc2.forward(&features, train);
+        ModelOutput { features, logits }
+    }
+
+    fn backward(&mut self, dlogits: &Tensor, dfeatures: Option<&Tensor>) {
+        let mut d = self.fc2.backward(dlogits);
+        if let Some(df) = dfeatures {
+            d.add_assign(df);
+        }
+        let d = self.relu3.backward(&d);
+        let d = self.fc1.backward(&d);
+        let d = self.flatten.backward(&d);
+        let d = self.pool2.backward(&d);
+        let mut d = self.relu2.backward(&d);
+        if let Some(n) = &mut self.norm2 {
+            d = n.backward(&d);
+        }
+        let d = self.conv2.backward(&d);
+        let d = self.pool1.backward(&d);
+        let mut d = self.relu1.backward(&d);
+        if let Some(n) = &mut self.norm1 {
+            d = n.backward(&d);
+        }
+        let _ = self.conv1.backward(&d);
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = Vec::with_capacity(12);
+        v.extend(self.conv1.params());
+        if let Some(n) = &self.norm1 {
+            v.extend(n.params());
+        }
+        v.extend(self.conv2.params());
+        if let Some(n) = &self.norm2 {
+            v.extend(n.params());
+        }
+        v.extend(self.fc1.params());
+        v.extend(self.fc2.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = Vec::with_capacity(12);
+        v.extend(self.conv1.params_mut());
+        if let Some(n) = &mut self.norm1 {
+            v.extend(n.params_mut());
+        }
+        v.extend(self.conv2.params_mut());
+        if let Some(n) = &mut self.norm2 {
+            v.extend(n.params_mut());
+        }
+        v.extend(self.fc1.params_mut());
+        v.extend(self.fc2.params_mut());
+        v
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.cfg.feature_dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.cfg.num_classes
+    }
+
+    fn phi_param_range(&self) -> std::ops::Range<usize> {
+        // Everything except fc2 (the output layer).
+        let total = self.num_params();
+        let head = self.fc2.num_params();
+        0..total - head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfl_tensor::Initializer;
+
+    fn model(seed: u64) -> CnnClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CnnClassifier::new(CnnConfig::mnist_like(), &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = model(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Initializer::Normal(1.0).init(&[4, 1, 16, 16], &mut rng);
+        let out = m.forward(&Input::Images(x), true);
+        assert_eq!(out.features.dims(), &[4, 64]);
+        assert_eq!(out.logits.dims(), &[4, 10]);
+        assert!(out.logits.is_finite());
+    }
+
+    #[test]
+    fn features_are_non_negative_post_relu() {
+        let mut m = model(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Initializer::Normal(1.0).init(&[2, 1, 16, 16], &mut rng);
+        let out = m.forward(&Input::Images(x), true);
+        assert!(out.features.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn flat_param_round_trip_preserves_output() {
+        let mut m = model(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Initializer::Normal(1.0).init(&[1, 1, 16, 16], &mut rng);
+        let before = m.forward(&Input::Images(x.clone()), false).logits;
+        let mut flat = Vec::new();
+        m.read_params(&mut flat);
+        assert_eq!(flat.len(), m.num_params());
+        m.write_params(&flat);
+        let after = m.forward(&Input::Images(x), false).logits;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn phi_range_excludes_head() {
+        let m = model(5);
+        let range = m.phi_param_range();
+        assert_eq!(range.start, 0);
+        assert_eq!(m.num_params() - range.end, 64 * 10 + 10);
+    }
+
+    #[test]
+    fn backward_fills_gradients() {
+        let mut m = model(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Initializer::Normal(1.0).init(&[2, 1, 16, 16], &mut rng);
+        let out = m.forward(&Input::Images(x), true);
+        let (_, d) = cross_entropy(&out.logits, &[1, 2]);
+        m.backward(&d, None);
+        let mut g = Vec::new();
+        m.read_grads(&mut g);
+        assert!(g.iter().any(|&v| v != 0.0));
+        m.zero_grads();
+        m.read_grads(&mut g);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn feature_gradient_injection_changes_grads() {
+        let mut m = model(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Initializer::Normal(1.0).init(&[2, 1, 16, 16], &mut rng);
+        let out = m.forward(&Input::Images(x.clone()), true);
+        let (_, d) = cross_entropy(&out.logits, &[0, 1]);
+        m.backward(&d, None);
+        let mut g_plain = Vec::new();
+        m.read_grads(&mut g_plain);
+
+        m.zero_grads();
+        let out = m.forward(&Input::Images(x), true);
+        let (_, d) = cross_entropy(&out.logits, &[0, 1]);
+        let df = Tensor::ones(&[2, 64]);
+        m.backward(&d, Some(&df));
+        let mut g_inject = Vec::new();
+        m.read_grads(&mut g_inject);
+        assert_ne!(g_plain, g_inject);
+        // The head (fc2) gradient must be identical — injection happens
+        // strictly below the classifier.
+        let head_start = m.phi_param_range().end;
+        assert_eq!(&g_plain[head_start..], &g_inject[head_start..]);
+    }
+
+    #[test]
+    fn group_norm_variant_trains() {
+        use crate::optim::{Optimizer, Sgd};
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut m = CnnClassifier::new(CnnConfig::mnist_like().with_group_norm(), &mut rng);
+        // 4 extra norm params groups: γ/β for each conv.
+        assert_eq!(m.params().len(), 12);
+        let x = Initializer::Normal(1.0).init(&[6, 1, 16, 16], &mut rng);
+        let labels: Vec<usize> = (0..6).map(|i| i % 10).collect();
+        let mut opt = Sgd::new(0.05);
+        let (mut flat, mut grads) = (Vec::new(), Vec::new());
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            m.zero_grads();
+            let out = m.forward(&Input::Images(x.clone()), true);
+            let (loss, d) = cross_entropy(&out.logits, &labels);
+            m.backward(&d, None);
+            m.read_params(&mut flat);
+            m.read_grads(&mut grads);
+            opt.step(&mut flat, &grads);
+            m.write_params(&flat);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap(), "{:?} → {last}", first);
+    }
+
+    #[test]
+    fn group_norm_reduces_shift_sensitivity() {
+        // GroupNorm can't remove a brightness shift exactly (conv turns it
+        // into channel-dependent offsets that cross group boundaries), but
+        // it must damp it substantially relative to the plain CNN — the
+        // per-client shift robustness that motivates GroupNorm in FL.
+        let sensitivity = |group_norm: bool| -> f32 {
+            let mut rng = StdRng::seed_from_u64(21);
+            let cfg = if group_norm {
+                CnnConfig::mnist_like().with_group_norm()
+            } else {
+                CnnConfig::mnist_like()
+            };
+            let mut m = CnnClassifier::new(cfg, &mut rng);
+            let x = Initializer::Normal(1.0).init(&[2, 1, 16, 16], &mut rng);
+            let shifted = x.add_scalar(5.0);
+            let a = m.forward(&Input::Images(x), false).logits;
+            let b = m.forward(&Input::Images(shifted), false).logits;
+            a.sub(&b).norm()
+        };
+        let plain = sensitivity(false);
+        let gn = sensitivity(true);
+        assert!(gn < plain * 0.5, "GroupNorm {gn} vs plain {plain}");
+    }
+
+    /// End-to-end training sanity: loss decreases on a tiny fixed batch.
+    #[test]
+    fn overfits_tiny_batch() {
+        use crate::optim::{Optimizer, Sgd};
+        let mut m = model(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Initializer::Normal(1.0).init(&[8, 1, 16, 16], &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+        let mut opt = Sgd::new(0.05);
+        let mut flat = Vec::new();
+        let mut grads = Vec::new();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            m.zero_grads();
+            let out = m.forward(&Input::Images(x.clone()), true);
+            let (loss, d) = cross_entropy(&out.logits, &labels);
+            m.backward(&d, None);
+            m.read_params(&mut flat);
+            m.read_grads(&mut grads);
+            opt.step(&mut flat, &grads);
+            m.write_params(&flat);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.7,
+            "loss {} → {last} did not drop",
+            first.unwrap()
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! A configurable multi-layer perceptron over dense inputs, with the
+//! feature hook at the last hidden layer — the general-purpose model for
+//! users whose data is neither images nor token sequences.
+
+use super::{Input, Model, ModelOutput};
+use crate::activations::Relu;
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::param::Param;
+use rand::Rng;
+use rfl_tensor::Tensor;
+
+/// MLP: `in → hidden[0] → … → hidden[last] (= φ) → classes`, with ReLU
+/// between layers. The post-ReLU output of the last hidden layer is the
+/// feature embedding.
+pub struct MlpClassifier {
+    layers: Vec<(Linear, Relu)>,
+    head: Linear,
+    feature_dim: usize,
+    classes: usize,
+}
+
+impl MlpClassifier {
+    /// # Panics
+    /// Panics if `hidden` is empty.
+    pub fn new<R: Rng>(in_dim: usize, hidden: &[usize], classes: usize, rng: &mut R) -> Self {
+        assert!(!hidden.is_empty(), "need at least one hidden layer");
+        let mut layers = Vec::with_capacity(hidden.len());
+        let mut prev = in_dim;
+        for &h in hidden {
+            layers.push((Linear::new(prev, h, rng), Relu::new()));
+            prev = h;
+        }
+        MlpClassifier {
+            head: Linear::new(prev, classes, rng),
+            feature_dim: prev,
+            classes,
+            layers,
+        }
+    }
+}
+
+impl Model for MlpClassifier {
+    fn forward(&mut self, input: &Input, train: bool) -> ModelOutput {
+        let x = match input {
+            Input::Dense(t) => t,
+            _ => panic!("MlpClassifier expects Input::Dense"),
+        };
+        let mut h = x.clone();
+        for (lin, relu) in &mut self.layers {
+            h = lin.forward(&h, train);
+            h = relu.forward(&h, train);
+        }
+        let logits = self.head.forward(&h, train);
+        ModelOutput {
+            features: h,
+            logits,
+        }
+    }
+
+    fn backward(&mut self, dlogits: &Tensor, dfeatures: Option<&Tensor>) {
+        let mut d = self.head.backward(dlogits);
+        if let Some(df) = dfeatures {
+            d.add_assign(df);
+        }
+        for (lin, relu) in self.layers.iter_mut().rev() {
+            d = relu.backward(&d);
+            d = lin.backward(&d);
+        }
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = Vec::new();
+        for (lin, _) in &self.layers {
+            v.extend(lin.params());
+        }
+        v.extend(self.head.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = Vec::new();
+        for (lin, _) in &mut self.layers {
+            v.extend(lin.params_mut());
+        }
+        v.extend(self.head.params_mut());
+        v
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn phi_param_range(&self) -> std::ops::Range<usize> {
+        0..self.num_params() - self.head.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+    use crate::optim::{Optimizer, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfl_tensor::Initializer;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = MlpClassifier::new(8, &[16, 12], 3, &mut rng);
+        let x = Initializer::Normal(1.0).init(&[4, 8], &mut rng);
+        let out = m.forward(&Input::Dense(x), true);
+        assert_eq!(out.features.dims(), &[4, 12]);
+        assert_eq!(out.logits.dims(), &[4, 3]);
+        assert_eq!(
+            m.num_params(),
+            (8 * 16 + 16) + (16 * 12 + 12) + (12 * 3 + 3)
+        );
+        assert_eq!(m.feature_dim(), 12);
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR is the canonical not-linearly-separable task an MLP must solve.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = MlpClassifier::new(2, &[8], 2, &mut rng);
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+            &[4, 2],
+        );
+        let y = [0usize, 1, 1, 0];
+        let mut opt = Sgd::new(0.5);
+        let (mut flat, mut grads) = (Vec::new(), Vec::new());
+        for _ in 0..800 {
+            m.zero_grads();
+            let out = m.forward(&Input::Dense(x.clone()), true);
+            let (_, d) = cross_entropy(&out.logits, &y);
+            m.backward(&d, None);
+            m.read_params(&mut flat);
+            m.read_grads(&mut grads);
+            opt.step(&mut flat, &grads);
+            m.write_params(&flat);
+        }
+        let out = m.forward(&Input::Dense(x), false);
+        assert_eq!(out.logits.argmax_rows(), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn feature_hook_reaches_hidden_layers_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = MlpClassifier::new(4, &[6], 2, &mut rng);
+        let x = Initializer::Normal(1.0).init(&[2, 4], &mut rng);
+        let out = m.forward(&Input::Dense(x.clone()), true);
+        let (_, d) = cross_entropy(&out.logits, &[0, 1]);
+        m.backward(&d, Some(&Tensor::ones(&[2, 6])));
+        let mut with = Vec::new();
+        m.read_grads(&mut with);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m2 = MlpClassifier::new(4, &[6], 2, &mut rng);
+        let out = m2.forward(&Input::Dense(x), true);
+        let (_, d) = cross_entropy(&out.logits, &[0, 1]);
+        m2.backward(&d, None);
+        let mut without = Vec::new();
+        m2.read_grads(&mut without);
+        let head_start = m.phi_param_range().end;
+        assert_ne!(&with[..head_start], &without[..head_start]);
+        assert_eq!(&with[head_start..], &without[head_start..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden layer")]
+    fn rejects_empty_hidden() {
+        let mut rng = StdRng::seed_from_u64(3);
+        MlpClassifier::new(2, &[], 2, &mut rng);
+    }
+}

@@ -1,0 +1,116 @@
+//! Models with the *feature hook* required by the distribution regularizer.
+//!
+//! Every model's forward pass returns both the feature embedding `φ(x)`
+//! (the output of the last fully-connected layer before the classifier, per
+//! the paper's Sec. III-B) and the classification logits. The backward pass
+//! accepts an optional extra gradient w.r.t. the features, which is how the
+//! MMD regularizer's gradient is injected during local SGD.
+
+mod cnn;
+mod linear;
+mod lstm_classifier;
+mod mlp;
+
+pub use cnn::{CnnClassifier, CnnConfig};
+pub use linear::{LinearNet, LogisticRegression};
+pub use lstm_classifier::{LstmClassifier, LstmConfig};
+pub use mlp::MlpClassifier;
+
+use crate::param::{self, Param};
+use rfl_tensor::Tensor;
+
+/// A batch of model inputs.
+#[derive(Clone, Debug)]
+pub enum Input {
+    /// Image batch `[N, C, H, W]`.
+    Images(Tensor),
+    /// Fixed-length token sequences (one `Vec` per example).
+    Tokens(Vec<Vec<u32>>),
+    /// Dense feature batch `[N, D]`.
+    Dense(Tensor),
+}
+
+impl Input {
+    /// Number of examples in the batch.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            Input::Images(t) | Input::Dense(t) => t.dims()[0],
+            Input::Tokens(seqs) => seqs.len(),
+        }
+    }
+}
+
+/// Forward-pass result: feature embeddings `[N, F]` and logits `[N, K]`.
+pub struct ModelOutput {
+    pub features: Tensor,
+    pub logits: Tensor,
+}
+
+/// A trainable classifier exposing flat-parameter I/O and the feature hook.
+pub trait Model: Send {
+    /// Forward pass.
+    fn forward(&mut self, input: &Input, train: bool) -> ModelOutput;
+
+    /// Backward pass for the most recent forward.
+    ///
+    /// * `dlogits` — gradient of the loss w.r.t. the logits.
+    /// * `dfeatures` — optional extra gradient w.r.t. the features (the MMD
+    ///   regularizer term); summed into the classifier-input gradient.
+    fn backward(&mut self, dlogits: &Tensor, dfeatures: Option<&Tensor>);
+
+    /// Canonically ordered parameter views.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Canonically ordered mutable parameter views.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Dimension of the feature embedding `φ(x)`.
+    fn feature_dim(&self) -> usize;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Scalar indices (into the flat parameter vector) that belong to `φ`,
+    /// i.e. every parameter *except* the output layer. Exposed so the δ map
+    /// size and the theory checks can reason about `w̃` vs `w̿`.
+    fn phi_param_range(&self) -> std::ops::Range<usize>;
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Copies all parameters, flattened, into `out`.
+    fn read_params(&self, out: &mut Vec<f32>) {
+        param::read_params_flat(&self.params(), out);
+    }
+
+    /// Writes a flat parameter vector into the model.
+    fn write_params(&mut self, src: &[f32]) {
+        param::write_params_flat(&mut self.params_mut(), src);
+    }
+
+    /// Copies all gradients, flattened, into `out`.
+    fn read_grads(&self, out: &mut Vec<f32>) {
+        param::read_grads_flat(&self.params(), out);
+    }
+
+    /// Zeroes all gradient accumulators.
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_batch_size() {
+        assert_eq!(Input::Dense(Tensor::zeros(&[3, 2])).batch_size(), 3);
+        assert_eq!(Input::Images(Tensor::zeros(&[5, 1, 2, 2])).batch_size(), 5);
+        assert_eq!(Input::Tokens(vec![vec![0], vec![1]]).batch_size(), 2);
+    }
+}

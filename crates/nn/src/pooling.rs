@@ -1,0 +1,73 @@
+//! Max-pooling layer.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rfl_tensor::{maxpool2d, maxpool2d_backward, PoolSpec, Tensor};
+
+/// Non-overlapping (by default) 2-D max pooling over NCHW inputs.
+pub struct MaxPool2d {
+    spec: PoolSpec,
+    input_dims: Vec<usize>,
+    argmax: Vec<u32>,
+}
+
+impl MaxPool2d {
+    /// Square window with `stride == window`.
+    pub fn new(window: usize) -> Self {
+        MaxPool2d {
+            spec: PoolSpec::square(window),
+            input_dims: Vec::new(),
+            argmax: Vec::new(),
+        }
+    }
+
+    /// Output spatial size for an input of extent `n`.
+    pub fn out_size(&self, n: usize) -> usize {
+        self.spec.out_size(n)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (out, argmax) = maxpool2d(input, self.spec);
+        self.input_dims = input.dims().to_vec();
+        self.argmax = argmax;
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        assert!(
+            !self.argmax.is_empty(),
+            "MaxPool2d::backward before forward"
+        );
+        maxpool2d_backward(&self.input_dims, dout, &self.argmax)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_round_trip() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let dx = p.backward(&Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn has_no_params() {
+        assert_eq!(MaxPool2d::new(2).num_params(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Learning-rate schedules: reusable `round → lr` policies.
+
+/// A learning-rate schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant { lr: f32 },
+    /// Multiply by `gamma` every `every` rounds.
+    StepDecay { lr0: f32, gamma: f32, every: usize },
+    /// `lr0 / (1 + k·t)` — the classical inverse-time decay; with
+    /// `k = μ/2·E` this is the paper's `η_t = 2/(μ(γ+t))` up to the offset.
+    InverseTime { lr0: f32, k: f32 },
+    /// Cosine annealing from `lr0` to `lr_min` over `total` rounds.
+    Cosine { lr0: f32, lr_min: f32, total: usize },
+}
+
+impl LrSchedule {
+    /// Learning rate at (0-based) round `t`.
+    pub fn at(&self, t: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay { lr0, gamma, every } => {
+                lr0 * gamma.powi((t / every.max(1)) as i32)
+            }
+            LrSchedule::InverseTime { lr0, k } => lr0 / (1.0 + k * t as f32),
+            LrSchedule::Cosine { lr0, lr_min, total } => {
+                let p = (t.min(total) as f32) / total.max(1) as f32;
+                lr_min + 0.5 * (lr0 - lr_min) * (1.0 + (std::f32::consts::PI * p).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(999), 0.1);
+    }
+
+    #[test]
+    fn step_decay_multiplies_on_boundaries() {
+        let s = LrSchedule::StepDecay {
+            lr0: 1.0,
+            gamma: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn inverse_time_halves_at_one_over_k() {
+        let s = LrSchedule::InverseTime { lr0: 0.2, k: 0.1 };
+        assert_eq!(s.at(0), 0.2);
+        assert!((s.at(10) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine {
+            lr0: 1.0,
+            lr_min: 0.1,
+            total: 100,
+        };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        assert!((s.at(100) - 0.1).abs() < 1e-6);
+        assert!((s.at(50) - 0.55).abs() < 1e-6);
+        // Past the horizon it clamps at lr_min.
+        assert!((s.at(500) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_schedules_are_nonincreasing() {
+        for s in [
+            LrSchedule::StepDecay {
+                lr0: 1.0,
+                gamma: 0.9,
+                every: 3,
+            },
+            LrSchedule::InverseTime { lr0: 1.0, k: 0.05 },
+            LrSchedule::Cosine {
+                lr0: 1.0,
+                lr_min: 0.0,
+                total: 50,
+            },
+        ] {
+            for t in 1..60 {
+                assert!(s.at(t) <= s.at(t - 1) + 1e-7, "{s:?} at {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A container chaining [`Layer`]s.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rfl_tensor::Tensor;
+
+/// Runs layers in order on forward, in reverse on backward.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl Sequential {
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + Send + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut g = dout.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chains_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(8, 2, &mut rng));
+        assert_eq!(seq.len(), 3);
+        let y = seq.forward(&Tensor::zeros(&[3, 4]), true);
+        assert_eq!(y.dims(), &[3, 2]);
+        let dx = seq.backward(&Tensor::ones(&[3, 2]));
+        assert_eq!(dx.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn collects_all_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq = Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(8, 2, &mut rng));
+        assert_eq!(seq.num_params(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    #[test]
+    fn zero_grads_applies_to_all() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seq = Sequential::new().push(Linear::new(2, 2, &mut rng));
+        seq.forward(&Tensor::ones(&[1, 2]), true);
+        seq.backward(&Tensor::ones(&[1, 2]));
+        assert!(seq.params()[0].grad.data().iter().any(|&v| v != 0.0));
+        seq.zero_grads();
+        assert!(seq.params()[0].grad.data().iter().all(|&v| v == 0.0));
+    }
+}

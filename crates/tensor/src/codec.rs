@@ -1,0 +1,113 @@
+//! Binary encoding of `f32` buffers.
+//!
+//! All federated messages (model parameters, δ maps, control variates) are
+//! serialized through these two functions so the byte counts reported in the
+//! communication statistics (and Table III) reflect the actual wire format:
+//! a little-endian `u32` length prefix followed by raw little-endian `f32`s —
+//! 4 bytes per scalar, matching the paper's accounting.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors from [`decode_f32_slice`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the header demands.
+    Truncated { expected: usize, got: usize },
+    /// Buffer too short to even hold the length prefix.
+    MissingHeader,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { expected, got } => {
+                write!(f, "truncated payload: expected {expected} bytes, got {got}")
+            }
+            CodecError::MissingHeader => write!(f, "missing length header"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes a slice of `f32`s: `u32` little-endian count + raw values.
+pub fn encode_f32_slice(values: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + values.len() * 4);
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_f32_slice`].
+pub fn decode_f32_slice(mut bytes: Bytes) -> Result<Vec<f32>, CodecError> {
+    if bytes.remaining() < 4 {
+        return Err(CodecError::MissingHeader);
+    }
+    let n = bytes.get_u32_le() as usize;
+    if bytes.remaining() < n * 4 {
+        return Err(CodecError::Truncated {
+            expected: n * 4,
+            got: bytes.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(bytes.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Wire size in bytes of a message carrying `n` scalars.
+#[inline]
+pub fn wire_size(n: usize) -> usize {
+    4 + n * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let v = vec![1.0f32, -2.5, f32::MIN_POSITIVE, 1e30];
+        let enc = encode_f32_slice(&v);
+        assert_eq!(enc.len(), wire_size(v.len()));
+        assert_eq!(decode_f32_slice(enc).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let enc = encode_f32_slice(&[]);
+        assert_eq!(enc.len(), 4);
+        assert_eq!(decode_f32_slice(enc).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let enc = encode_f32_slice(&[1.0, 2.0]);
+        let cut = enc.slice(0..enc.len() - 3);
+        assert_eq!(
+            decode_f32_slice(cut),
+            Err(CodecError::Truncated {
+                expected: 8,
+                got: 5
+            })
+        );
+    }
+
+    #[test]
+    fn detects_missing_header() {
+        assert_eq!(
+            decode_f32_slice(Bytes::from_static(&[1, 2])),
+            Err(CodecError::MissingHeader)
+        );
+    }
+
+    #[test]
+    fn nan_survives_round_trip() {
+        let enc = encode_f32_slice(&[f32::NAN]);
+        assert!(decode_f32_slice(enc).unwrap()[0].is_nan());
+    }
+}

@@ -1,0 +1,314 @@
+//! Direct 2-D convolution, forward and backward.
+//!
+//! Inputs are NCHW; weights are `[out_ch, in_ch, kh, kw]`. Images in this
+//! codebase are small (≤ 32×32) so a cache-friendly direct convolution beats
+//! im2col on both memory and speed.
+
+use crate::tensor::Tensor;
+
+/// Static description of a convolution (kernel size, stride, padding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvSpec {
+    pub kernel: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// Spatial output size for input extent `n`.
+    #[inline]
+    pub fn out_size(&self, n: usize) -> usize {
+        assert!(
+            n + 2 * self.pad >= self.kernel,
+            "kernel {} larger than padded input {}",
+            self.kernel,
+            n + 2 * self.pad
+        );
+        (n + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+pub struct Conv2dGrads {
+    pub dinput: Tensor,
+    pub dweight: Tensor,
+    pub dbias: Tensor,
+}
+
+/// Forward convolution: `input [N,C,H,W]`, `weight [O,C,kh,kw]`, `bias [O]`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
+    let (n, c, h, w) = nchw(input);
+    let (o, c2, kh, kw) = nchw(weight);
+    assert_eq!(c, c2, "conv2d channel mismatch");
+    assert_eq!(kh, spec.kernel);
+    assert_eq!(kw, spec.kernel);
+    assert_eq!(bias.numel(), o, "conv2d bias mismatch");
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+
+    let x = input.data();
+    let wt = weight.data();
+    let b = bias.data();
+    let y = out.data_mut();
+    let (s, p) = (spec.stride as isize, spec.pad as isize);
+
+    for img in 0..n {
+        for oc in 0..o {
+            let bias_v = b[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias_v;
+                    let iy0 = oy as isize * s - p;
+                    let ix0 = ox as isize * s - p;
+                    for ic in 0..c {
+                        let xbase = ((img * c + ic) * h) as isize;
+                        let wbase = ((oc * c + ic) * kh) as isize;
+                        for ky in 0..kh as isize {
+                            let iy = iy0 + ky;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = ((xbase + iy) * w as isize) as usize;
+                            let wrow = ((wbase + ky) * kw as isize) as usize;
+                            for kx in 0..kw as isize {
+                                let ix = ix0 + kx;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += x[xrow + ix as usize] * wt[wrow + kx as usize];
+                            }
+                        }
+                    }
+                    y[((img * o + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward convolution: given `dout = dL/dy`, produce gradients w.r.t.
+/// input, weight, and bias.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    spec: ConvSpec,
+) -> Conv2dGrads {
+    let (n, c, h, w) = nchw(input);
+    let (o, _, kh, kw) = nchw(weight);
+    let (n2, o2, oh, ow) = nchw(dout);
+    assert_eq!(n, n2);
+    assert_eq!(o, o2);
+
+    let mut dinput = Tensor::zeros(&[n, c, h, w]);
+    let mut dweight = Tensor::zeros(weight.dims());
+    let mut dbias = Tensor::zeros(&[o]);
+
+    let x = input.data();
+    let wt = weight.data();
+    let dy = dout.data();
+    let (s, p) = (spec.stride as isize, spec.pad as isize);
+
+    {
+        let db = dbias.data_mut();
+        #[allow(clippy::needless_range_loop)]
+        for img in 0..n {
+            for oc in 0..o {
+                let base = (img * o + oc) * oh * ow;
+                db[oc] += dy[base..base + oh * ow].iter().sum::<f32>();
+            }
+        }
+    }
+
+    let dx = dinput.data_mut();
+    let dw = dweight.data_mut();
+    for img in 0..n {
+        for oc in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dy[((img * o + oc) * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let iy0 = oy as isize * s - p;
+                    let ix0 = ox as isize * s - p;
+                    for ic in 0..c {
+                        let xbase = (img * c + ic) * h;
+                        let wbase = (oc * c + ic) * kh;
+                        for ky in 0..kh as isize {
+                            let iy = iy0 + ky;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = (xbase + iy as usize) * w;
+                            let wrow = (wbase + ky as usize) * kw;
+                            for kx in 0..kw as isize {
+                                let ix = ix0 + kx;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = xrow + ix as usize;
+                                let wi = wrow + kx as usize;
+                                dx[xi] += g * wt[wi];
+                                dw[wi] += g * x[xi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Conv2dGrads {
+        dinput,
+        dweight,
+        dbias,
+    }
+}
+
+#[inline]
+fn nchw(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.ndim(), 4, "expected NCHW tensor, got {}", t.shape());
+    let d = t.dims();
+    (d[0], d[1], d[2], d[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|v| (v as f32) * 0.01 - 0.3).collect(), dims)
+    }
+
+    #[test]
+    fn output_shape_matches_spec() {
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let y = conv2d(&seq(&[2, 3, 8, 8]), &seq(&[4, 3, 3, 3]), &seq(&[4]), spec);
+        assert_eq!(y.dims(), &[2, 4, 8, 8]);
+        let spec2 = ConvSpec {
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+        };
+        let y2 = conv2d(&seq(&[1, 1, 7, 7]), &seq(&[1, 1, 3, 3]), &seq(&[1]), spec2);
+        assert_eq!(y2.dims(), &[1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 and bias 0 is the identity.
+        let x = seq(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let spec = ConvSpec {
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        assert_eq!(conv2d(&x, &w, &b, spec).data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 input, all-ones 3x3 kernel, pad 1: center = 9, corner = 4.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let b = Tensor::zeros(&[1]);
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let y = conv2d(&x, &w, &b, spec);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+        assert_eq!(y.at(&[0, 0, 0, 1]), 6.0);
+    }
+
+    #[test]
+    fn bias_shifts_all_outputs() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::from_slice(&[1.5, -2.0]);
+        let spec = ConvSpec {
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let y = conv2d(&x, &w, &b, spec);
+        assert!(y.data()[..4].iter().all(|&v| v == 1.5));
+        assert!(y.data()[4..].iter().all(|&v| v == -2.0));
+    }
+
+    /// Finite-difference check of all three gradients.
+    #[test]
+    fn backward_matches_finite_difference() {
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x = seq(&[1, 2, 5, 5]);
+        let w = seq(&[3, 2, 3, 3]);
+        let b = seq(&[3]);
+        // Loss = sum(conv(x)) so dL/dy = 1 everywhere.
+        let y = conv2d(&x, &w, &b, spec);
+        let dout = Tensor::ones(y.dims());
+        let grads = conv2d_backward(&x, &w, &dout, spec);
+
+        let eps = 1e-2;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d(x, w, b, spec).data().iter().sum()
+        };
+        // Spot-check a few coordinates of each gradient.
+        for &i in &[0usize, 7, 24] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let num = (loss(&xp, &w, &b) - loss(&x, &w, &b)) / eps;
+            assert!(
+                (num - grads.dinput.data()[i]).abs() < 0.05,
+                "dinput[{i}]: fd {num} vs {}",
+                grads.dinput.data()[i]
+            );
+        }
+        for &i in &[0usize, 10, 30] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &w, &b)) / eps;
+            assert!(
+                (num - grads.dweight.data()[i]).abs() < 0.05,
+                "dweight[{i}]: fd {num} vs {}",
+                grads.dweight.data()[i]
+            );
+        }
+        for i in 0..3 {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &b)) / eps;
+            assert!((num - grads.dbias.data()[i]).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_channel_mismatch() {
+        let spec = ConvSpec {
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        conv2d(
+            &seq(&[1, 2, 3, 3]),
+            &seq(&[1, 3, 1, 1]),
+            &seq(&[1]),
+            spec,
+        );
+    }
+}

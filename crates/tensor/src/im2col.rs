@@ -1,0 +1,163 @@
+//! im2col-based convolution — the GEMM-backed alternative to the direct
+//! kernels in [`crate::conv`]. Exposed so users (and the ablation bench)
+//! can pick the faster path for their shapes; both implementations are
+//! equivalence-tested against each other.
+
+use crate::conv::ConvSpec;
+use crate::tensor::Tensor;
+
+/// Unfolds NCHW input into the im2col matrix `[N·OH·OW, C·K·K]`.
+pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.ndim(), 4, "expected NCHW");
+    let d = input.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let k = spec.kernel;
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let cols = c * k * k;
+    let mut out = Tensor::zeros(&[n * oh * ow, cols]);
+    let x = input.data();
+    let o = out.data_mut();
+    let (s, p) = (spec.stride as isize, spec.pad as isize);
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let iy0 = oy as isize * s - p;
+                let ix0 = ox as isize * s - p;
+                let base = row * cols;
+                for ic in 0..c {
+                    for ky in 0..k as isize {
+                        let iy = iy0 + ky;
+                        for kx in 0..k as isize {
+                            let ix = ix0 + kx;
+                            let col = ic * k * k + (ky * k as isize + kx) as usize;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                o[base + col] = x[((img * c + ic) * h + iy as usize) * w
+                                    + ix as usize];
+                            }
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + GEMM. Same contract as [`crate::conv2d`].
+pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
+    let d = input.dims();
+    let (n, h, w) = (d[0], d[2], d[3]);
+    let o_ch = weight.dims()[0];
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let cols = im2col(input, spec); // [N·OH·OW, C·K·K]
+    let wmat = weight.reshape(&[o_ch, weight.numel() / o_ch]); // [O, C·K·K]
+    let prod = cols.matmul_transb(&wmat); // [N·OH·OW, O]
+    // Rearrange [N·OH·OW, O] → [N, O, OH, OW] and add bias.
+    let mut out = Tensor::zeros(&[n, o_ch, oh, ow]);
+    let pd = prod.data();
+    let b = bias.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for pos in 0..oh * ow {
+            let row = (img * oh * ow + pos) * o_ch;
+            for oc in 0..o_ch {
+                od[(img * o_ch + oc) * oh * ow + pos] = pd[row + oc] + b[oc];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d;
+
+    fn seq(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|v| (v as f32) * 0.013 - 0.4).collect(), dims)
+    }
+
+    #[test]
+    fn im2col_shape() {
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let m = im2col(&seq(&[2, 3, 5, 5]), spec);
+        assert_eq!(m.dims(), &[2 * 25, 27]);
+    }
+
+    #[test]
+    fn im2col_center_patch_is_contiguous_window() {
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            pad: 0,
+        };
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let m = im2col(&x, spec);
+        // first output position = top-left 3x3 window
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn matches_direct_convolution() {
+        for (spec, idims, wdims) in [
+            (
+                ConvSpec {
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                [2usize, 3, 8, 8],
+                [4usize, 3, 3, 3],
+            ),
+            (
+                ConvSpec {
+                    kernel: 3,
+                    stride: 2,
+                    pad: 0,
+                },
+                [1, 2, 7, 7],
+                [3, 2, 3, 3],
+            ),
+            (
+                ConvSpec {
+                    kernel: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                [2, 4, 5, 5],
+                [2, 4, 1, 1],
+            ),
+        ] {
+            let x = seq(&idims);
+            let w = seq(&wdims);
+            let b = seq(&[wdims[0]]);
+            let direct = conv2d(&x, &w, &b, spec);
+            let gemm = conv2d_im2col(&x, &w, &b, spec);
+            assert_eq!(direct.dims(), gemm.dims());
+            for (a, c) in direct.data().iter().zip(gemm.data()) {
+                assert!((a - c).abs() < 1e-3, "{a} vs {c} at spec {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_region_is_zero() {
+        let spec = ConvSpec {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let m = im2col(&x, spec);
+        // Top-left output position: the first patch row/col fall in padding.
+        assert_eq!(m.row(0)[0], 0.0);
+        assert_eq!(m.row(0)[4], 1.0); // center of the patch is real data
+    }
+}

@@ -1,0 +1,42 @@
+//! # rfl-tensor
+//!
+//! A small, dependency-light dense tensor library used as the numerical
+//! substrate for the rFedAvg reproduction. Tensors are row-major, contiguous,
+//! `f32` buffers with an explicit shape.
+//!
+//! The library intentionally covers exactly the operations needed to train
+//! the paper's models (CNNs and LSTMs) with manual backpropagation:
+//! element-wise arithmetic, matrix products (including the transposed
+//! variants required by backward passes), 2-D convolution and max-pooling
+//! (forward and backward), row-wise softmax / log-softmax, reductions, and
+//! random initialization.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rfl_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod codec;
+mod conv;
+mod im2col;
+mod init;
+mod matmul;
+mod ops;
+mod pool;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use codec::{decode_f32_slice, encode_f32_slice, wire_size, CodecError};
+pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
+pub use im2col::{conv2d_im2col, im2col};
+pub use init::{normal_sample, Initializer};
+pub use ops::{axpy_slices, dot_slices, sq_dist_slices};
+pub use pool::{maxpool2d, maxpool2d_backward, PoolSpec};
+pub use shape::Shape;
+pub use tensor::Tensor;

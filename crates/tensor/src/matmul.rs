@@ -1,0 +1,169 @@
+//! Matrix products, including the transposed variants needed for backprop.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// `self (m×k) × other (k×n) → (m×n)`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = mat_dims(self);
+        let (k2, n) = mat_dims(other);
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm(self.data(), other.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `self (m×k) × otherᵀ (n×k) → (m×n)`; avoids materializing a transpose.
+    pub fn matmul_transb(&self, other: &Tensor) -> Tensor {
+        let (m, k) = mat_dims(self);
+        let (n, k2) = mat_dims(other);
+        assert_eq!(k, k2, "matmul_transb inner dims: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let o = out.data_mut();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            for (j, ov) in orow.iter_mut().enumerate() {
+                *ov = crate::ops::dot_slices(arow, &b[j * k..(j + 1) * k]);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ (k×m viewed as m-major) × other (k×n) → (m×n)` where
+    /// `self` is stored as (k×m). Used for weight gradients `Xᵀ·dY`.
+    pub fn matmul_transa(&self, other: &Tensor) -> Tensor {
+        let (k, m) = mat_dims(self);
+        let (k2, n) = mat_dims(other);
+        assert_eq!(k, k2, "matmul_transa inner dims: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let o = out.data_mut();
+        // Accumulate rank-1 updates row-by-row of the shared k dimension;
+        // keeps both A and B accesses sequential.
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                crate::ops::axpy_slices(&mut o[i * n..(i + 1) * n], av, brow);
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product: `self (m×n) × v (n) → (m)`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        let (m, n) = mat_dims(self);
+        assert_eq!(v.numel(), n, "matvec length mismatch");
+        let mut out = Tensor::zeros(&[m]);
+        let a = self.data();
+        let x = v.data();
+        for (i, ov) in out.data_mut().iter_mut().enumerate() {
+            *ov = crate::ops::dot_slices(&a[i * n..(i + 1) * n], x);
+        }
+        out
+    }
+}
+
+#[inline]
+fn mat_dims(t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.ndim(), 2, "expected a matrix, got shape {}", t.shape());
+    (t.dims()[0], t.dims()[1])
+}
+
+/// `C += A(m×k) × B(k×n)` with C pre-zeroed; i-k-j loop order keeps the inner
+/// loop a sequential axpy over rows of B, which LLVM vectorizes.
+fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            crate::ops::axpy_slices(crow, av, &b[p * n..(p + 1) * n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = s;
+            }
+        }
+        out
+    }
+
+    fn seq(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|v| (v as f32) * 0.1 - 1.0).collect(), dims)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = seq(&[3, 5]);
+        let b = seq(&[5, 4]);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = seq(&[4, 4]);
+        assert_close(&a.matmul(&Tensor::eye(4)), &a);
+        assert_close(&Tensor::eye(4).matmul(&a), &a);
+    }
+
+    #[test]
+    fn transb_equals_explicit_transpose() {
+        let a = seq(&[3, 5]);
+        let b = seq(&[4, 5]);
+        assert_close(&a.matmul_transb(&b), &a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transa_equals_explicit_transpose() {
+        let a = seq(&[5, 3]);
+        let b = seq(&[5, 4]);
+        assert_close(&a.matmul_transa(&b), &a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = seq(&[3, 5]);
+        let v = seq(&[5]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshape(&[5, 1]));
+        assert_close(&mv.reshape(&[3, 1]), &mm);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_checks_inner_dims() {
+        seq(&[2, 3]).matmul(&seq(&[4, 2]));
+    }
+}

@@ -1,0 +1,224 @@
+//! Element-wise arithmetic and BLAS-1 style helpers.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Element-wise sum (shapes must match).
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// `self + scalar`.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// `self * scalar`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// In-place `self *= s`.
+    pub fn scale_in_place(&mut self, s: f32) {
+        for v in self.data_mut() {
+            *v *= s;
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        let src = other.data();
+        for (d, s) in self.data_mut().iter_mut().zip(src) {
+            *d += *s;
+        }
+    }
+
+    /// In-place `self += a * other` (axpy).
+    pub fn axpy(&mut self, a: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        let src = other.data();
+        for (d, s) in self.data_mut().iter_mut().zip(src) {
+            *d += a * *s;
+        }
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&v| f(v)).collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.data_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Applies `f` pairwise with `other` (shapes must match).
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.numel(), other.numel(), "dot length mismatch");
+        dot_slices(self.data(), other.data())
+    }
+
+    /// Squared Euclidean norm of the flattened tensor.
+    pub fn norm_sq(&self) -> f32 {
+        dot_slices(self.data(), self.data())
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Adds `bias` (length = last dim) to every row of a 2-D tensor.
+    pub fn add_row_bias(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "add_row_bias requires a matrix");
+        let cols = self.dims()[1];
+        assert_eq!(bias.numel(), cols, "bias length mismatch");
+        let mut out = self.clone();
+        let b = bias.data();
+        for row in out.data_mut().chunks_exact_mut(cols) {
+            for (v, bv) in row.iter_mut().zip(b) {
+                *v += *bv;
+            }
+        }
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// Written with an explicit 4-way unroll so LLVM vectorizes it reliably; this
+/// is on the hot path of MMD and aggregation computations.
+#[inline]
+pub fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// `y += a * x` over raw slices (used by the flattened FL parameter plane).
+#[inline]
+pub fn axpy_slices(y: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += a * *xv;
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist_slices(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for (av, bv) in a.iter().zip(b) {
+        let d = av - bv;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = t(&[1.0, 2.0]);
+        a.add_assign(&t(&[3.0, 4.0]));
+        assert_eq!(a.data(), &[4.0, 6.0]);
+        a.axpy(0.5, &t(&[2.0, 2.0]));
+        assert_eq!(a.data(), &[5.0, 7.0]);
+        a.scale_in_place(2.0);
+        assert_eq!(a.data(), &[10.0, 14.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = t(&[3.0, 4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_slices_matches_naive_on_odd_lengths() {
+        let a: Vec<f32> = (0..13).map(|v| v as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|v| (v as f32).sin()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot_slices(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sq_dist_is_zero_on_self() {
+        let a: Vec<f32> = (0..7).map(|v| v as f32).collect();
+        assert_eq!(sq_dist_slices(&a, &a), 0.0);
+        let b = vec![0.0; 7];
+        let expected: f32 = a.iter().map(|v| v * v).sum();
+        assert!((sq_dist_slices(&a, &b) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn row_bias_broadcasts() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0]);
+        assert_eq!(m.add_row_bias(&b).data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_checks_shapes() {
+        t(&[1.0]).add(&t(&[1.0, 2.0]));
+    }
+}

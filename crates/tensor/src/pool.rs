@@ -1,0 +1,142 @@
+//! 2-D max pooling with argmax bookkeeping for the backward pass.
+
+use crate::tensor::Tensor;
+
+/// Static description of a pooling window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolSpec {
+    pub window: usize,
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Non-overlapping square pooling (`window == stride`).
+    pub fn square(window: usize) -> Self {
+        PoolSpec {
+            window,
+            stride: window,
+        }
+    }
+
+    #[inline]
+    pub fn out_size(&self, n: usize) -> usize {
+        assert!(n >= self.window, "pool window {} > input {n}", self.window);
+        (n - self.window) / self.stride + 1
+    }
+}
+
+/// Max-pools an NCHW tensor. Returns the pooled tensor and the flat indices
+/// (into the input buffer) of each selected maximum, used by the backward pass.
+pub fn maxpool2d(input: &Tensor, spec: PoolSpec) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.ndim(), 4, "maxpool2d expects NCHW");
+    let d = input.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0u32; n * c * oh * ow];
+
+    let x = input.data();
+    let y = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let row = base + iy * w + ox * spec.stride;
+                        for kx in 0..spec.window {
+                            let i = row + kx;
+                            if x[i] > best {
+                                best = x[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    let oi = ((img * c + ch) * oh + oy) * ow + ox;
+                    y[oi] = best;
+                    argmax[oi] = best_i as u32;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Scatters `dout` back through the argmax indices recorded by [`maxpool2d`].
+pub fn maxpool2d_backward(input_dims: &[usize], dout: &Tensor, argmax: &[u32]) -> Tensor {
+    assert_eq!(dout.numel(), argmax.len(), "argmax length mismatch");
+    let mut dinput = Tensor::zeros(input_dims);
+    let dx = dinput.data_mut();
+    for (g, &i) in dout.data().iter().zip(argmax) {
+        dx[i as usize] += g;
+    }
+    dinput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_known_values() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (y, arg) = maxpool2d(&x, PoolSpec::square(2));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 0.75]);
+        assert_eq!(arg, vec![5, 7, 8, 15]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]);
+        let (_, arg) = maxpool2d(&x, PoolSpec::square(2));
+        let dout = Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]);
+        let dx = maxpool2d_backward(&[1, 1, 2, 2], &dout, &arg);
+        assert_eq!(dx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate() {
+        // stride 1 window 2 on a 3-wide row: middle max can win twice.
+        let x = Tensor::from_vec(vec![0.0, 5.0, 0.0], &[1, 1, 1, 3]);
+        let spec = PoolSpec { window: 2, stride: 1 };
+        let (y, arg) = maxpool2d(
+            &x.reshape(&[1, 1, 1, 3]),
+            PoolSpec {
+                window: 1,
+                stride: 1,
+            },
+        );
+        assert_eq!(y.numel(), 3); // sanity for 1x1 window
+        let x2 = Tensor::from_vec(vec![0.0, 5.0, 0.0, 0.0], &[1, 1, 2, 2]);
+        let (_, arg2) = maxpool2d(&x2, spec);
+        let dout = Tensor::ones(&[1, 1, 1, 1]);
+        let dx = maxpool2d_backward(&[1, 1, 2, 2], &dout, &arg2);
+        assert_eq!(dx.data()[1], 1.0);
+        let _ = (arg, y);
+    }
+
+    #[test]
+    fn negative_inputs_are_pooled_correctly() {
+        let x = Tensor::from_vec(vec![-5.0, -1.0, -3.0, -2.0], &[1, 1, 2, 2]);
+        let (y, _) = maxpool2d(&x, PoolSpec::square(2));
+        assert_eq!(y.data(), &[-1.0]);
+    }
+
+    #[test]
+    fn out_size_math() {
+        assert_eq!(PoolSpec::square(2).out_size(8), 4);
+        assert_eq!(PoolSpec { window: 3, stride: 2 }.out_size(7), 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Reductions, row-wise softmax, and argmax helpers.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column sums of a 2-D tensor: `[m, n] → [n]`. Used for bias gradients.
+    pub fn sum_axis0(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "sum_axis0 requires a matrix");
+        let n = self.dims()[1];
+        let mut out = Tensor::zeros(&[n]);
+        let o = out.data_mut();
+        for row in self.data().chunks_exact(n) {
+            for (ov, &v) in o.iter_mut().zip(row) {
+                *ov += v;
+            }
+        }
+        out
+    }
+
+    /// Column means of a 2-D tensor: `[m, n] → [n]`.
+    ///
+    /// This is the local mapping operator `δ = (1/n) Σ φ(x)` of the paper
+    /// when applied to a feature matrix.
+    pub fn mean_axis0(&self) -> Tensor {
+        let m = self.dims()[0] as f32;
+        let mut s = self.sum_axis0();
+        s.scale_in_place(1.0 / m);
+        s
+    }
+
+    /// Index of the maximum in each row of a 2-D tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2, "argmax_rows requires a matrix");
+        let n = self.dims()[1];
+        self.data()
+            .chunks_exact(n)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Numerically stable row-wise softmax of a 2-D tensor.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "softmax_rows requires a matrix");
+        let n = self.dims()[1];
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_exact_mut(n) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            let inv = 1.0 / z;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+
+    /// Numerically stable row-wise log-softmax of a 2-D tensor.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "log_softmax_rows requires a matrix");
+        let n = self.dims()[1];
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_exact_mut(n) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+            let lz = m + z.ln();
+            for v in row.iter_mut() {
+                *v -= lz;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+    }
+
+    #[test]
+    fn axis0_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        assert_eq!(t.sum_axis0().data(), &[9.0, 12.0]);
+        assert_eq!(t.mean_axis0().data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_per_row_maximum() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 100.0, 100.0, 100.0], &[2, 3]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Uniform logits → uniform probabilities.
+        for &v in s.row(1) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1e4, 1e4 - 1.0], &[1, 2]);
+        let s = t.softmax_rows();
+        assert!(s.is_finite());
+        assert!(s.at(&[0, 0]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -1.5, 2.0], &[1, 3]);
+        let a = t.log_softmax_rows();
+        let b = t.softmax_rows().map(|v| v.ln());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

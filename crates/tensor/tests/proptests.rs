@@ -1,0 +1,108 @@
+//! Property-based tests of tensor algebra invariants.
+
+use proptest::prelude::*;
+use rfl_tensor::{decode_f32_slice, encode_f32_slice, Tensor};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in finite_vec(16), b in finite_vec(16)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        prop_assert_eq!(ta.add(&tb), tb.add(&ta));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in finite_vec(12), b in finite_vec(12)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let back = ta.sub(&tb).add(&tb);
+        for (x, y) in back.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in finite_vec(8), b in finite_vec(8), s in -5.0f32..5.0) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let lhs = ta.add(&tb).scale(s);
+        let rhs = ta.scale(s).add(&tb.scale(s));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in finite_vec(24)) {
+        let t = Tensor::from_vec(a, &[4, 6]);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)
+    ) {
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3, 2]);
+        let tc = Tensor::from_vec(c, &[3, 2]);
+        let lhs = ta.matmul(&tb.add(&tc));
+        let rhs = ta.matmul(&tb).add(&ta.matmul(&tc));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 0.5, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in finite_vec(6), b in finite_vec(6)) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3, 2]);
+        let lhs = ta.matmul(&tb).transpose();
+        let rhs = tb.transpose().matmul(&ta.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_cauchy_schwarz(a in finite_vec(10), b in finite_vec(10)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        prop_assert!((ta.dot(&tb) - tb.dot(&ta)).abs() < 1e-2);
+        let lhs = ta.dot(&tb).abs() as f64;
+        let rhs = (ta.norm() as f64) * (tb.norm() as f64);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-3) + 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in finite_vec(15)) {
+        let t = Tensor::from_vec(a, &[3, 5]).softmax_rows();
+        for r in 0..3 {
+            let s: f32 = t.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(t.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn codec_round_trips(a in finite_vec(33)) {
+        let enc = encode_f32_slice(&a);
+        prop_assert_eq!(decode_f32_slice(enc).unwrap(), a);
+    }
+
+    #[test]
+    fn mean_axis0_is_between_min_and_max(a in finite_vec(20)) {
+        let t = Tensor::from_vec(a, &[4, 5]);
+        let m = t.mean_axis0();
+        for c in 0..5 {
+            let col: Vec<f32> = (0..4).map(|r| t.at(&[r, c])).collect();
+            let lo = col.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(m.data()[c] >= lo - 1e-4 && m.data()[c] <= hi + 1e-4);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! PCA projection (power iteration) — the cheap companion to t-SNE for
+//! feature visualization and a sanity baseline in the Fig. 1 pipeline.
+
+use rfl_tensor::Tensor;
+
+/// Projects rows of `x` (`[n, d]`) onto their top `k` principal components.
+/// Returns `[n, k]` scores. Deterministic (fixed-seed power iteration with
+/// deflation).
+pub fn pca_project(x: &Tensor, k: usize) -> Tensor {
+    assert_eq!(x.ndim(), 2, "expected [n, d]");
+    let (n, d) = (x.dims()[0], x.dims()[1]);
+    assert!(k >= 1 && k <= d, "1 ≤ k ≤ d required");
+
+    // Center.
+    let mean = x.mean_axis0();
+    let mut centered = x.clone();
+    for row in centered.data_mut().chunks_exact_mut(d) {
+        for (v, m) in row.iter_mut().zip(mean.data()) {
+            *v -= m;
+        }
+    }
+    // Covariance (d × d), scaled by 1/n.
+    let cov = centered.matmul_transa(&centered).scale(1.0 / n as f32);
+
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+    let mut cov_work = cov;
+    for comp in 0..k {
+        // Deterministic start vector.
+        let mut v: Vec<f32> = (0..d)
+            .map(|i| (((i + comp * 7 + 1) as f32) * 0.123).sin())
+            .collect();
+        normalize(&mut v);
+        for _ in 0..100 {
+            let mut next = vec![0.0f32; d];
+            for (r, nv) in next.iter_mut().enumerate() {
+                *nv = rfl_tensor::dot_slices(cov_work.row(r), &v);
+            }
+            normalize(&mut next);
+            let diff: f32 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            if diff < 1e-7 {
+                break;
+            }
+        }
+        // Deflate: cov ← cov − λ v vᵀ with λ = vᵀ C v.
+        let cv: Vec<f32> = (0..d)
+            .map(|r| rfl_tensor::dot_slices(cov_work.row(r), &v))
+            .collect();
+        let lambda = rfl_tensor::dot_slices(&cv, &v);
+        for r in 0..d {
+            for c in 0..d {
+                *cov_work.at_mut(&[r, c]) -= lambda * v[r] * v[c];
+            }
+        }
+        components.push(v);
+    }
+
+    let mut out = Tensor::zeros(&[n, k]);
+    for i in 0..n {
+        let row = &centered.data()[i * d..(i + 1) * d];
+        for (j, comp) in components.iter().enumerate() {
+            *out.at_mut(&[i, j]) = rfl_tensor::dot_slices(row, comp);
+        }
+    }
+    out
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+    for x in v {
+        *x /= norm;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfl_tensor::normal_sample;
+
+    #[test]
+    fn finds_the_dominant_direction() {
+        // Data stretched along (1, 1)/√2: PC1 scores must carry almost all
+        // the variance.
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 200;
+        let mut x = Tensor::zeros(&[n, 2]);
+        for i in 0..n {
+            let t = 5.0 * normal_sample(&mut rng);
+            let noise = 0.1 * normal_sample(&mut rng);
+            *x.at_mut(&[i, 0]) = t + noise;
+            *x.at_mut(&[i, 1]) = t - noise;
+        }
+        let p = pca_project(&x, 2);
+        let var = |col: usize| -> f32 {
+            let m: f32 = (0..n).map(|i| p.at(&[i, col])).sum::<f32>() / n as f32;
+            (0..n).map(|i| (p.at(&[i, col]) - m).powi(2)).sum::<f32>() / n as f32
+        };
+        assert!(var(0) > 50.0 * var(1), "{} vs {}", var(0), var(1));
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let p = pca_project(&x, 1);
+        let mean: f32 = p.data().iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Tensor::zeros(&[40, 5]);
+        for i in 0..40 {
+            let c = if i < 20 { -5.0 } else { 5.0 };
+            for j in 0..5 {
+                *x.at_mut(&[i, j]) = c + normal_sample(&mut rng);
+            }
+        }
+        let p = pca_project(&x, 1);
+        // PC1 must separate the blobs by sign (in one orientation).
+        let a: f32 = (0..20).map(|i| p.at(&[i, 0])).sum::<f32>() / 20.0;
+        let b: f32 = (20..40).map(|i| p.at(&[i, 0])).sum::<f32>() / 20.0;
+        assert!((a - b).abs() > 10.0, "{a} vs {b}");
+        assert!(a.signum() != b.signum());
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = Tensor::from_vec((0..30).map(|v| (v as f32).sin()).collect(), &[10, 3]);
+        assert_eq!(pca_project(&x, 2), pca_project(&x, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ d")]
+    fn rejects_k_too_large() {
+        pca_project(&Tensor::zeros(&[4, 2]), 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! ASCII scatter plots of labelled 2-D embeddings (Fig. 1 rendering).
+
+use rfl_tensor::Tensor;
+
+/// Renders a labelled 2-D point set (`[n, 2]`) as an ASCII scatter.
+/// Each class uses its own glyph (cycled beyond 10 classes).
+pub fn render_scatter(points: &Tensor, labels: &[usize], width: usize, height: usize) -> String {
+    assert_eq!(points.ndim(), 2);
+    assert_eq!(points.dims()[1], 2, "expected [n, 2] points");
+    assert_eq!(points.dims()[0], labels.len(), "label count mismatch");
+    assert!(width >= 8 && height >= 4);
+    const GLYPHS: &[char] = &['o', '^', 's', '*', '+', 'x', 'd', 'v', '#', '@'];
+
+    let n = labels.len();
+    let (mut min_x, mut max_x) = (f32::INFINITY, f32::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f32::INFINITY, f32::NEG_INFINITY);
+    for i in 0..n {
+        min_x = min_x.min(points.at(&[i, 0]));
+        max_x = max_x.max(points.at(&[i, 0]));
+        min_y = min_y.min(points.at(&[i, 1]));
+        max_y = max_y.max(points.at(&[i, 1]));
+    }
+    if (max_x - min_x).abs() < 1e-9 {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < 1e-9 {
+        max_y = min_y + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for i in 0..n {
+        let cx = ((points.at(&[i, 0]) - min_x) / (max_x - min_x) * (width - 1) as f32).round()
+            as usize;
+        let cy = ((points.at(&[i, 1]) - min_y) / (max_y - min_y) * (height - 1) as f32).round()
+            as usize;
+        grid[height - 1 - cy][cx] = GLYPHS[labels[i] % GLYPHS.len()];
+    }
+    let mut out = String::new();
+    out.push('┌');
+    out.push_str(&"─".repeat(width));
+    out.push_str("┐\n");
+    for row in grid {
+        out.push('│');
+        out.extend(row);
+        out.push_str("│\n");
+    }
+    out.push('└');
+    out.push_str(&"─".repeat(width));
+    out.push_str("┘\n");
+    out
+}
+
+/// CSV dump `x,y,label` of an embedding for external plotting.
+pub fn scatter_csv(points: &Tensor, labels: &[usize]) -> String {
+    assert_eq!(points.dims()[0], labels.len());
+    let mut out = String::from("x,y,label\n");
+    for (i, &y) in labels.iter().enumerate() {
+        out.push_str(&format!(
+            "{:.4},{:.4},{y}\n",
+            points.at(&[i, 0]),
+            points.at(&[i, 1])
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_classes() {
+        let pts = Tensor::from_vec(vec![-1.0, -1.0, 1.0, 1.0, 0.0, 0.0], &[3, 2]);
+        let s = render_scatter(&pts, &[0, 1, 2], 16, 8);
+        assert!(s.contains('o'));
+        assert!(s.contains('^'));
+        assert!(s.contains('s'));
+    }
+
+    #[test]
+    fn csv_one_row_per_point() {
+        let pts = Tensor::from_vec(vec![0.5, -0.5, 1.0, 2.0], &[2, 2]);
+        let csv = scatter_csv(&pts, &[3, 7]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("0.5000,-0.5000,3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn rejects_mismatched_labels() {
+        render_scatter(&Tensor::zeros(&[2, 2]), &[0], 16, 8);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: train FedAvg and rFedAvg+ on a totally non-IID image
+//! federation and compare them.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfedavg::data::synth::image::SynthImageSpec;
+use rfedavg::data::{partition, FederatedData};
+use rfedavg::nn::CnnConfig;
+use rfedavg::prelude::*;
+
+fn main() {
+    // --- 1. Build a federation: 24 devices, label-skewed (similarity 0%). ---
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = SynthImageSpec::mnist_like();
+    let pool = spec.generate(24 * 32, &mut rng);
+    let parts = partition::similarity(pool.labels(), 24, 0.0, &mut rng);
+    let test = spec.generate(200, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    println!(
+        "federation: {} devices, label skewness {:.2}",
+        data.num_clients(),
+        rfedavg::data::stats::label_skewness(&parts, pool.labels(), 10),
+    );
+
+    // --- 2. Shared configuration (the paper's cross-device setting:
+    //        E = 10 local steps, 20% of devices per round). ---
+    let cfg = FlConfig {
+        rounds: 15,
+        local_steps: 10,
+        batch_size: 16,
+        eval_every: 3,
+        ..FlConfig::cross_device()
+    };
+
+    // --- 3. Train both algorithms from the same initialization. ---
+    for (name, algo) in [
+        ("FedAvg   ", &mut FedAvg::new() as &mut dyn Algorithm),
+        ("rFedAvg+ ", &mut RFedAvgPlus::new(1e-4)),
+    ] {
+        let mut fed = Federation::new(
+            &data,
+            ModelFactory::cnn(CnnConfig::mnist_like()),
+            OptimizerFactory::sgd(0.1),
+            &cfg,
+            42,
+        );
+        let history = Trainer::new(cfg).run(algo, &mut fed);
+        println!(
+            "{name} final accuracy {:.1}%  (total comm {:.1} KiB, δ traffic {:.1} KiB)",
+            history.final_accuracy().unwrap() * 100.0,
+            history.total_bytes() as f64 / 1024.0,
+            history.total_delta_bytes() as f64 / 1024.0,
+        );
+    }
+    println!("\nOn non-IID data the distribution-regularized rFedAvg+ should match or beat FedAvg.");
+}

@@ -1,0 +1,54 @@
+//! # rfedavg
+//!
+//! Umbrella crate for the reproduction of *Distribution-Regularized
+//! Federated Learning on Non-IID Data* (Wang et al., ICDE 2023).
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`tensor`] — dense f32 tensors ([`rfl_tensor`]);
+//! * [`nn`] — layers, losses, optimizers, models ([`rfl_nn`]);
+//! * [`data`] — synthetic federated datasets & partitioners ([`rfl_data`]);
+//! * [`core`] — the FL framework and the paper's algorithms ([`rfl_core`]);
+//! * [`metrics`] — experiment statistics ([`rfl_metrics`]);
+//! * [`viz`] — t-SNE feature visualization ([`rfl_viz`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rfedavg::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 1. A non-IID federation: Gaussian-mixture data, similarity-0% split.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let spec = rfedavg::data::synth::gaussian::GaussianMixtureSpec::default_spec();
+//! let pool = spec.generate(240, None, &mut rng);
+//! let parts = rfedavg::data::partition::similarity(pool.labels(), 6, 0.0, &mut rng);
+//! let test = spec.generate(100, None, &mut rng);
+//! let data = rfedavg::data::FederatedData::from_partition(&pool, &parts, test);
+//!
+//! // 2. Train with the paper's rFedAvg+ (Algorithm 2).
+//! let cfg = FlConfig { rounds: 5, parallel: false, ..FlConfig::cross_silo() };
+//! let mut fed = Federation::new(
+//!     &data,
+//!     ModelFactory::linear_net(10, 6, 4, 1e-3),
+//!     OptimizerFactory::sgd(0.1),
+//!     &cfg,
+//!     0,
+//! );
+//! let mut algo = RFedAvgPlus::new(1e-3);
+//! let history = Trainer::new(cfg).run(&mut algo, &mut fed);
+//! assert!(history.final_accuracy().unwrap() > 0.25);
+//! ```
+
+pub use rfl_core as core;
+pub use rfl_data as data;
+pub use rfl_metrics as metrics;
+pub use rfl_nn as nn;
+pub use rfl_tensor as tensor;
+pub use rfl_viz as viz;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use rfl_core::prelude::*;
+    pub use rfl_core::{Federation, FlConfig, ModelFactory, OptimizerFactory};
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration tests: every algorithm on every dataset family.
+//!
+//! These exercise the whole stack — synthetic generation, partitioning,
+//! model training with manual backprop, the metered channel, aggregation —
+//! with small geometries so the suite stays fast.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfedavg::data::synth::gaussian::GaussianMixtureSpec;
+use rfedavg::data::synth::image::SynthImageSpec;
+use rfedavg::data::synth::text::SynthTextSpec;
+use rfedavg::data::{partition, FederatedData};
+use rfedavg::nn::{CnnConfig, LstmConfig};
+use rfedavg::prelude::*;
+
+fn quick_cfg(rounds: usize, seed: u64) -> FlConfig {
+    FlConfig {
+        rounds,
+        local_steps: 5,
+        batch_size: 10,
+        sample_ratio: 1.0,
+        eval_every: rounds,
+        parallel: false,
+        clip_grad_norm: Some(10.0),
+        seed,
+    }
+}
+
+fn gaussian_fed(seed: u64, cfg: &FlConfig) -> Federation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = GaussianMixtureSpec::default_spec();
+    let pool = spec.generate(240, None, &mut rng);
+    let parts = partition::similarity(pool.labels(), 6, 0.0, &mut rng);
+    let test = spec.generate(120, None, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    Federation::new(
+        &data,
+        ModelFactory::linear_net(10, 6, 4, 1e-3),
+        OptimizerFactory::sgd(0.1),
+        cfg,
+        seed,
+    )
+}
+
+/// Every algorithm learns above chance (25%) on the 4-class convex task.
+#[test]
+fn all_algorithms_learn_on_convex_noniid() {
+    #[allow(clippy::type_complexity)]
+    let algos: Vec<(&str, Box<dyn Fn() -> Box<dyn Algorithm>>)> = vec![
+        ("fedavg", Box::new(|| Box::new(FedAvg::new()))),
+        ("fedprox", Box::new(|| Box::new(FedProx::new(0.1)))),
+        ("scaffold", Box::new(|| Box::new(Scaffold::new(1.0)))),
+        ("qfedavg", Box::new(|| Box::new(QFedAvg::new(1.0)))),
+        ("rfedavg", Box::new(|| Box::new(RFedAvg::new(1e-3)))),
+        ("rfedavg+", Box::new(|| Box::new(RFedAvgPlus::new(1e-3)))),
+    ];
+    for (name, make) in algos {
+        let cfg = quick_cfg(15, 1);
+        let mut fed = gaussian_fed(1, &cfg);
+        let mut algo = make();
+        let h = Trainer::new(cfg).run(algo.as_mut(), &mut fed);
+        let acc = h.final_accuracy().unwrap();
+        assert!(acc > 0.3, "{name}: accuracy {acc}");
+        assert!(h.total_bytes() > 0, "{name}: no communication recorded");
+    }
+}
+
+/// The CNN pipeline end-to-end on label-skewed image data.
+#[test]
+fn cnn_image_pipeline() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let spec = SynthImageSpec::mnist_like();
+    let pool = spec.generate(4 * 30, &mut rng);
+    let parts = partition::similarity(pool.labels(), 4, 0.1, &mut rng);
+    let test = spec.generate(100, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    let cfg = quick_cfg(8, 2);
+    let mut fed = Federation::new(
+        &data,
+        ModelFactory::cnn(CnnConfig::mnist_like()),
+        OptimizerFactory::sgd(0.1),
+        &cfg,
+        2,
+    );
+    let mut algo = RFedAvgPlus::new(1e-4);
+    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    assert!(
+        h.final_accuracy().unwrap() > 0.3,
+        "acc {:?}",
+        h.final_accuracy()
+    );
+}
+
+/// The LSTM + RMSProp pipeline end-to-end on naturally partitioned text.
+#[test]
+fn lstm_text_pipeline() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let spec = SynthTextSpec::sent140_like();
+    let (pool, users) = spec.generate_users(6, 180, &mut rng);
+    let parts = partition::by_user(&users);
+    let (test, _) = spec.generate_users(2, 80, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    let cfg = quick_cfg(8, 3);
+    let mut fed = Federation::new(
+        &data,
+        ModelFactory::lstm(LstmConfig::sent140_like()),
+        OptimizerFactory::rmsprop(0.01),
+        &cfg,
+        3,
+    );
+    let mut algo = RFedAvg::new(0.1);
+    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    assert!(
+        h.final_accuracy().unwrap() > 0.55,
+        "acc {:?}",
+        h.final_accuracy()
+    );
+}
+
+/// Partial participation works for the regularized algorithms: targets are
+/// built only from initialized δ entries.
+#[test]
+fn partial_participation_regularized() {
+    let cfg = FlConfig {
+        sample_ratio: 0.3, // ⌈0.3·6⌉ = 2 of 6 clients per round
+        ..quick_cfg(12, 4)
+    };
+    let mut fed = gaussian_fed(4, &cfg);
+    let mut algo = RFedAvgPlus::new(1e-3);
+    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    assert!(h.records().iter().all(|r| r.participants == 2));
+    assert!(h.final_accuracy().unwrap() > 0.3);
+}
+
+/// The channel's ledger is consistent with the history records.
+#[test]
+fn history_bytes_match_channel_totals() {
+    let cfg = quick_cfg(5, 5);
+    let mut fed = gaussian_fed(5, &cfg);
+    let mut algo = RFedAvg::new(1e-3);
+    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    let ledger = fed.channel().stats();
+    assert_eq!(
+        h.total_bytes(),
+        ledger.total_bytes(),
+        "per-round sums must equal the channel ledger"
+    );
+    assert_eq!(h.total_delta_bytes(), ledger.delta_bytes());
+}
+
+/// Same seed ⇒ bit-identical runs; different seed ⇒ different runs.
+#[test]
+fn runs_are_seed_deterministic() {
+    let run = |seed: u64| {
+        let cfg = quick_cfg(6, seed);
+        let mut fed = gaussian_fed(seed, &cfg);
+        let mut algo = RFedAvgPlus::new(1e-3);
+        let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+        (h.final_accuracy().unwrap(), fed.global().to_vec())
+    };
+    let (a1, w1) = run(9);
+    let (a2, w2) = run(9);
+    assert_eq!(a1, a2);
+    assert_eq!(w1, w2);
+    let (_, w3) = run(10);
+    assert_ne!(w1, w3);
+}

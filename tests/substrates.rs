@@ -1,0 +1,254 @@
+//! Cross-crate substrate tests: the pieces below the FL framework working
+//! together — models over synthetic data, IDX round-trips into training,
+//! PCA/t-SNE over trained features, confusion matrices over real
+//! predictions, and significance tests over repeated runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfedavg::data::io::{dataset_from_idx, parse_idx, write_idx};
+use rfedavg::data::synth::image::SynthImageSpec;
+use rfedavg::data::{partition, Examples, FederatedData};
+use rfedavg::metrics::confusion::ConfusionMatrix;
+use rfedavg::metrics::significance::welch_t_test;
+use rfedavg::nn::{cross_entropy, CnnConfig, Input};
+use rfedavg::prelude::*;
+use rfedavg::viz::pca_project;
+
+/// A dataset written to IDX bytes, parsed back, and trained on — the full
+/// "real MNIST drop-in" path without real MNIST.
+#[test]
+fn idx_round_trip_feeds_training() {
+    let mut rng = StdRng::seed_from_u64(50);
+    let ds = SynthImageSpec::mnist_like().generate(60, &mut rng);
+    // Serialize to IDX (u8 pixels: rescale [min,max] → [0,255]).
+    let t = match ds.examples() {
+        Examples::Images(t) => t,
+        _ => unreachable!(),
+    };
+    let (lo, hi) = (t.min(), t.max());
+    let pixels: Vec<u8> = t
+        .data()
+        .iter()
+        .map(|&v| (((v - lo) / (hi - lo)) * 255.0).round() as u8)
+        .collect();
+    let img_bytes = write_idx(&[60, 16, 16], &pixels);
+    let lab_bytes = write_idx(&[60], &ds.labels().iter().map(|&y| y as u8).collect::<Vec<_>>());
+
+    let ds2 = dataset_from_idx(
+        parse_idx(&img_bytes[..]).unwrap(),
+        parse_idx(&lab_bytes[..]).unwrap(),
+        10,
+    )
+    .unwrap();
+    assert_eq!(ds2.len(), 60);
+    assert_eq!(ds2.labels(), ds.labels());
+
+    // Train a CNN on the round-tripped data: it must fit the batch.
+    let mut model = CnnConfig::mnist_like();
+    model.num_classes = 10;
+    let mut m = rfedavg::core::ModelFactory::cnn(model).build(50);
+    let mut opt = rfedavg::nn::Sgd::new(0.1);
+    use rfedavg::nn::Optimizer;
+    let (mut flat, mut grads) = (Vec::new(), Vec::new());
+    let input = match ds2.examples() {
+        Examples::Images(t) => Input::Images(t.clone()),
+        _ => unreachable!(),
+    };
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..15 {
+        m.zero_grads();
+        let out = m.forward(&input, true);
+        let (loss, d) = cross_entropy(&out.logits, ds2.labels());
+        m.backward(&d, None);
+        m.read_params(&mut flat);
+        m.read_grads(&mut grads);
+        opt.step(&mut flat, &grads);
+        m.write_params(&flat);
+        first.get_or_insert(loss);
+        last = loss;
+    }
+    assert!(last < first.unwrap(), "{:?} → {last}", first);
+}
+
+/// PCA of trained features separates classes better than PCA of raw pixels
+/// — the features learned something.
+#[test]
+fn trained_features_beat_raw_pixels_under_pca() {
+    let mut rng = StdRng::seed_from_u64(51);
+    let spec = SynthImageSpec::mnist_like();
+    let pool = spec.generate(4 * 30, &mut rng);
+    let parts = partition::iid(120, 4, &mut rng);
+    let test = spec.generate(60, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    let cfg = FlConfig {
+        rounds: 8,
+        local_steps: 5,
+        batch_size: 15,
+        sample_ratio: 1.0,
+        eval_every: 8,
+        parallel: false,
+        clip_grad_norm: Some(10.0),
+        seed: 51,
+    };
+    let mut fed = Federation::new(
+        &data,
+        ModelFactory::cnn(CnnConfig::mnist_like()),
+        OptimizerFactory::sgd(0.1),
+        &cfg,
+        51,
+    );
+    Trainer::new(cfg).run(&mut FedAvg::new(), &mut fed);
+    fed.broadcast_params(&[0]);
+    let (features, labels) = fed.client_mut(0).compute_features(30);
+
+    let separation = |x: &rfedavg::tensor::Tensor, labels: &[usize]| -> f64 {
+        let p = pca_project(x, 2);
+        // Between-class centroid spread over within-class spread (classes
+        // with ≥ 2 samples).
+        let classes: Vec<usize> = {
+            let mut c = labels.to_vec();
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        let mut cents = Vec::new();
+        let mut within = 0.0;
+        let mut wn = 0usize;
+        for &cl in &classes {
+            let idx: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == cl).collect();
+            if idx.len() < 2 {
+                continue;
+            }
+            let cx = idx.iter().map(|&i| p.at(&[i, 0]) as f64).sum::<f64>() / idx.len() as f64;
+            let cy = idx.iter().map(|&i| p.at(&[i, 1]) as f64).sum::<f64>() / idx.len() as f64;
+            for &i in &idx {
+                within += ((p.at(&[i, 0]) as f64 - cx).powi(2)
+                    + (p.at(&[i, 1]) as f64 - cy).powi(2))
+                .sqrt();
+                wn += 1;
+            }
+            cents.push((cx, cy));
+        }
+        let mut between = 0.0;
+        let mut bn = 0usize;
+        for i in 0..cents.len() {
+            for j in (i + 1)..cents.len() {
+                between += ((cents[i].0 - cents[j].0).powi(2)
+                    + (cents[i].1 - cents[j].1).powi(2))
+                .sqrt();
+                bn += 1;
+            }
+        }
+        (between / bn.max(1) as f64) / (within / wn.max(1) as f64)
+    };
+    // Raw pixels of the same samples.
+    let raw = match data.clients[0].examples() {
+        Examples::Images(t) => {
+            let n = 30.min(t.dims()[0]);
+            let idx: Vec<usize> = (0..n).collect();
+            match data.clients[0].select(&idx).examples() {
+                Examples::Images(s) => s.reshape(&[n, 256]),
+                _ => unreachable!(),
+            }
+        }
+        _ => unreachable!(),
+    };
+    let feat_sep = separation(&features, &labels);
+    let raw_sep = separation(&raw, &labels[..raw.dims()[0]]);
+    assert!(
+        feat_sep > raw_sep,
+        "features {feat_sep} should separate better than pixels {raw_sep}"
+    );
+}
+
+/// Confusion matrix over real federated predictions: non-IID training
+/// leaves specific confusions, and accuracy agrees with the evaluator.
+#[test]
+fn confusion_matrix_agrees_with_evaluator() {
+    let mut rng = StdRng::seed_from_u64(52);
+    let spec = SynthImageSpec::cifar_like();
+    let pool = spec.generate(4 * 30, &mut rng);
+    let parts = partition::similarity(pool.labels(), 4, 0.0, &mut rng);
+    let test = spec.generate(80, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test.clone());
+    let cfg = FlConfig {
+        rounds: 6,
+        local_steps: 5,
+        batch_size: 15,
+        sample_ratio: 1.0,
+        eval_every: 6,
+        parallel: false,
+        clip_grad_norm: Some(10.0),
+        seed: 52,
+    };
+    let mut fed = Federation::new(
+        &data,
+        ModelFactory::cnn(CnnConfig::cifar_like()),
+        OptimizerFactory::sgd(0.1),
+        &cfg,
+        52,
+    );
+    let h = Trainer::new(cfg).run(&mut RFedAvgPlus::new(1e-4), &mut fed);
+    let eval_acc = h.final_accuracy().unwrap();
+
+    // Recompute predictions through the public model API.
+    let mut m = ModelFactory::cnn(CnnConfig::cifar_like()).build(52);
+    m.write_params(fed.global());
+    let input = match test.examples() {
+        Examples::Images(t) => Input::Images(t.clone()),
+        _ => unreachable!(),
+    };
+    let out = m.forward(&input, false);
+    let pred = out.logits.argmax_rows();
+    let cm = ConfusionMatrix::from_predictions(test.labels(), &pred, 10);
+    assert!((cm.accuracy() as f32 - eval_acc).abs() < 1e-5);
+    assert_eq!(cm.total(), 80);
+}
+
+/// Welch's t-test on repeated federated runs: a method compared with
+/// itself across seeds is *not* significant.
+#[test]
+fn self_comparison_is_not_significant() {
+    let accs = |offset: u64| -> Vec<f64> {
+        (0..4)
+            .map(|rep| {
+                let mut rng = StdRng::seed_from_u64(offset + rep);
+                let spec = rfedavg::data::synth::gaussian::GaussianMixtureSpec::default_spec();
+                let pool = spec.generate(160, None, &mut rng);
+                let parts = partition::iid(160, 4, &mut rng);
+                let test = spec.generate(80, None, &mut rng);
+                let data = FederatedData::from_partition(&pool, &parts, test);
+                let cfg = FlConfig {
+                    rounds: 8,
+                    local_steps: 5,
+                    batch_size: 10,
+                    sample_ratio: 1.0,
+                    eval_every: 8,
+                    parallel: false,
+                    clip_grad_norm: Some(10.0),
+                    seed: offset + rep,
+                };
+                let mut fed = Federation::new(
+                    &data,
+                    ModelFactory::logistic(10, 4, 1e-3),
+                    OptimizerFactory::sgd(0.1),
+                    &cfg,
+                    offset + rep,
+                );
+                Trainer::new(cfg)
+                    .run(&mut FedAvg::new(), &mut fed)
+                    .final_accuracy()
+                    .unwrap() as f64
+            })
+            .collect()
+    };
+    let a = accs(60);
+    let b = accs(70);
+    let r = welch_t_test(&a, &b);
+    assert!(
+        !r.significant(0.01),
+        "same method, different seeds must not differ at 1%: p = {}",
+        r.p_two_sided
+    );
+}
