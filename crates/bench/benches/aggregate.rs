@@ -15,11 +15,7 @@ fn bench_aggregate(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("weighted_average", clients),
             &clients,
-            |b, _| {
-                b.iter(|| {
-                    Federation::weighted_average(black_box(&params), black_box(&weights))
-                })
-            },
+            |b, _| b.iter(|| Federation::weighted_average(black_box(&params), black_box(&weights))),
         );
     }
     g.finish();

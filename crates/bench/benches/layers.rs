@@ -17,7 +17,9 @@ fn bench_layers(c: &mut Criterion) {
     // Linear 256→64 on batch 32.
     let mut lin = Linear::new(256, 64, &mut rng);
     let x = Initializer::Normal(1.0).init(&[32, 256], &mut rng);
-    g.bench_function("linear_fwd", |b| b.iter(|| lin.forward(black_box(&x), true)));
+    g.bench_function("linear_fwd", |b| {
+        b.iter(|| lin.forward(black_box(&x), true))
+    });
     let y = lin.forward(&x, true);
     let dy = Tensor::ones(y.dims());
     g.bench_function("linear_bwd", |b| b.iter(|| lin.backward(black_box(&dy))));
@@ -25,7 +27,9 @@ fn bench_layers(c: &mut Criterion) {
     // Conv 3×3, 8→16 channels on 8×8, batch 32.
     let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut rng);
     let xc = Initializer::Normal(1.0).init(&[32, 8, 8, 8], &mut rng);
-    g.bench_function("conv_fwd", |b| b.iter(|| conv.forward(black_box(&xc), true)));
+    g.bench_function("conv_fwd", |b| {
+        b.iter(|| conv.forward(black_box(&xc), true))
+    });
     let yc = conv.forward(&xc, true);
     let dyc = Tensor::ones(yc.dims());
     g.bench_function("conv_bwd", |b| b.iter(|| conv.backward(black_box(&dyc))));

@@ -2,10 +2,10 @@
 //! (the cost behind regenerating Fig. 1).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rfl_tensor::{Initializer, Tensor};
-use rfl_viz::{pca_project, Tsne, TsneConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rfl_tensor::{Initializer, Tensor};
+use rfl_viz::{pca_project, Tsne, TsneConfig};
 
 fn features(n: usize, d: usize) -> Tensor {
     let mut rng = StdRng::seed_from_u64(0);

@@ -19,6 +19,9 @@ pub struct ExpArgs {
     pub out_dir: Option<String>,
     /// Free-form `--study <name>` selector (Fig. 9).
     pub study: Option<String>,
+    /// `--trace-out <path>`: write a JSONL span journal of the whole run
+    /// there and print an ASCII phase summary at exit.
+    pub trace_out: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -28,13 +31,14 @@ impl Default for ExpArgs {
             seeds: 2,
             out_dir: Some("results".to_string()),
             study: None,
+            trace_out: None,
         }
     }
 }
 
 /// Parses `--scale quick|full`, `--seeds N`, `--out DIR|none`,
-/// `--study NAME` from an iterator of arguments (typically `std::env::args`
-/// minus the binary name).
+/// `--study NAME`, `--trace-out PATH` from an iterator of arguments
+/// (typically `std::env::args` minus the binary name).
 ///
 /// # Panics
 /// Panics with a usage message on malformed arguments.
@@ -62,6 +66,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> ExpArgs {
             }
             "--study" => {
                 out.study = Some(it.next().expect("--study needs a value"));
+            }
+            "--trace-out" => {
+                out.trace_out = Some(it.next().expect("--trace-out needs a path"));
             }
             other => panic!("unknown argument '{other}'"),
         }
@@ -93,17 +100,28 @@ mod tests {
         assert_eq!(a.scale, Scale::Quick);
         assert_eq!(a.seeds, 2);
         assert!(a.study.is_none());
+        assert!(a.trace_out.is_none());
     }
 
     #[test]
     fn parses_everything() {
         let a = parse(&[
-            "--scale", "full", "--seeds", "3", "--out", "none", "--study", "lambda",
+            "--scale",
+            "full",
+            "--seeds",
+            "3",
+            "--out",
+            "none",
+            "--study",
+            "lambda",
+            "--trace-out",
+            "trace.jsonl",
         ]);
         assert_eq!(a.scale, Scale::Full);
         assert_eq!(a.seeds, 3);
         assert!(a.out_dir.is_none());
         assert_eq!(a.study.as_deref(), Some("lambda"));
+        assert_eq!(a.trace_out.as_deref(), Some("trace.jsonl"));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use rfl_tensor::wire_size;
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Ablation: delayed δ & double synchronization ==\n");
 
     // Part 1: per-round δ communication of the three designs (bytes).
@@ -50,7 +51,10 @@ fn main() {
     // Part 2: accuracy of local-model δ vs global-model δ at equal λ.
     let lambda = sc.lambda;
     let algos: Vec<AlgoFactory> = vec![
-        ("FedAvg (λ=0)", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "FedAvg (λ=0)",
+            Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>),
+        ),
         (
             "rFedAvg (local-model δ)",
             Box::new(move || Box::new(RFedAvg::new(lambda)) as Box<dyn Algorithm>),
@@ -64,7 +68,11 @@ fn main() {
     let results = run_suite(&sc, &cfg, args.seeds, &algos);
     let mut t = TextTable::new(&["Design", "final acc", "mean sec/round"]);
     for r in &results {
-        let secs: f64 = r.histories.iter().map(|h| h.mean_round_seconds()).sum::<f64>()
+        let secs: f64 = r
+            .histories
+            .iter()
+            .map(|h| h.mean_round_seconds())
+            .sum::<f64>()
             / r.histories.len() as f64;
         t.row(&[
             r.name.to_string(),
@@ -75,4 +83,5 @@ fn main() {
     println!("-- accuracy & time at λ = {lambda} (cifar-like, silo, sim 0%) --");
     println!("{}", t.render());
     write_output(&args, "ablation_delta_acc.csv", &t.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

@@ -9,21 +9,25 @@ use rfl_bench::args::write_output;
 use rfl_bench::runner::AlgoFactory;
 use rfl_bench::setup::silo_config;
 use rfl_bench::{mnist_scenario, parse_args, run_suite};
+use rfl_core::algorithms::CompressedFedAvg;
 use rfl_core::compress::{CountSketch, TopK, UniformQuantizer};
 use rfl_core::prelude::*;
-use rfl_core::algorithms::CompressedFedAvg;
 use rfl_metrics::{mean_std, TextTable};
 use std::sync::Arc;
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Extension: compressed uploads ({:?}) ==\n", args.scale);
 
     let sc = mnist_scenario(args.scale, true, 0.1);
     let cfg = silo_config(args.scale, 0);
 
     let algos: Vec<AlgoFactory> = vec![
-        ("dense (FedAvg)", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "dense (FedAvg)",
+            Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>),
+        ),
         (
             "8-bit quantized",
             Box::new(|| {
@@ -41,8 +45,7 @@ fn main() {
         (
             "top-10%",
             Box::new(|| {
-                Box::new(CompressedFedAvg::new(Arc::new(TopK::new(3200))))
-                    as Box<dyn Algorithm>
+                Box::new(CompressedFedAvg::new(Arc::new(TopK::new(3200)))) as Box<dyn Algorithm>
             }),
         ),
         (
@@ -79,4 +82,5 @@ fn main() {
     }
     println!("{}", t.render());
     write_output(&args, "ext_compression.csv", &t.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

@@ -22,7 +22,11 @@ use rfl_metrics::{mean_std, TextTable};
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
-    println!("== Extensions: future-work directions ({:?}) ==\n", args.scale);
+    rfl_bench::init_tracing(&args);
+    println!(
+        "== Extensions: future-work directions ({:?}) ==\n",
+        args.scale
+    );
 
     // --- 1. Personalization. ---
     println!("-- personalization: global vs locally fine-tuned accuracy --");
@@ -33,13 +37,17 @@ fn main() {
         let data = sc.build_data(23);
         let run_cfg = rfl_core::FlConfig { seed: 23, ..cfg };
         let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, 23);
+        fed.set_tracer(rfl_bench::trace::tracer());
         if plus {
             Trainer::new(run_cfg).run(&mut RFedAvgPlus::new(sc.lambda), &mut fed);
         } else {
             Trainer::new(run_cfg).run(&mut FedAvg::new(), &mut fed);
         }
         let results = personalize_all(&mut fed, 20, 32);
-        let global_mean = results.iter().map(|r| r.global.accuracy as f64).sum::<f64>()
+        let global_mean = results
+            .iter()
+            .map(|r| r.global.accuracy as f64)
+            .sum::<f64>()
             / results.len() as f64;
         let pers_mean = results
             .iter()
@@ -62,7 +70,10 @@ fn main() {
     let dcfg = device_config(args.scale, 0);
     let lambda = sc.lambda;
     let algos: Vec<AlgoFactory> = vec![
-        ("FedAvg (uniform)", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "FedAvg (uniform)",
+            Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>),
+        ),
         (
             "FedAvgM β=0.7",
             Box::new(|| Box::new(FedAvgM::new(0.7)) as Box<dyn Algorithm>),
@@ -90,4 +101,5 @@ fn main() {
     }
     println!("{}", t.render());
     write_output(&args, "ext_selection.csv", &t.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

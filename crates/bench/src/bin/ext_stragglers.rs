@@ -6,29 +6,24 @@
 //! Usage: `cargo run --release -p rfl-bench --bin ext_stragglers --
 //!         [--scale quick|full] [--seeds N] [--out DIR|none]`
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rfl_bench::args::write_output;
 use rfl_bench::setup::silo_config;
 use rfl_bench::{cifar_scenario, parse_args, Scenario};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rfl_core::{Federation, FlConfig, LocalRule};
 use rfl_core::sampling::renormalized_weights;
+use rfl_core::{Federation, FlConfig, LocalRule};
 use rfl_metrics::{mean_std, TextTable};
 use std::sync::Arc;
 
 /// Straggler-aware round: FedAvg/FedProx/rFedAvg+ re-implemented on the
 /// per-client-steps API. `drop_rate` controls how much work stragglers lose:
 /// client steps ~ Uniform{⌈(1−drop)·E⌉, …, E}.
-fn run_with_stragglers(
-    sc: &Scenario,
-    cfg: &FlConfig,
-    method: &str,
-    drop: f64,
-    seed: u64,
-) -> f32 {
+fn run_with_stragglers(sc: &Scenario, cfg: &FlConfig, method: &str, drop: f64, seed: u64) -> f32 {
     let data = sc.build_data(seed);
     let run_cfg = FlConfig { seed, ..*cfg };
     let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+    fed.set_tracer(rfl_bench::trace::tracer());
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
     let mut table = rfl_core::delta::DeltaTable::new(fed.num_clients(), fed.feature_dim());
     for _round in 0..cfg.rounds {
@@ -74,6 +69,7 @@ fn run_with_stragglers(
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Extension: stragglers (variable local work) ==\n");
     let sc = cifar_scenario(args.scale, true, 0.0);
     let cfg = silo_config(args.scale, 0);
@@ -84,9 +80,7 @@ fn main() {
         for method in ["FedAvg", "FedProx", "rFedAvg+"] {
             eprintln!("running {method} at drop {drop} ...");
             let accs: Vec<f64> = (0..args.seeds)
-                .map(|rep| {
-                    run_with_stragglers(&sc, &cfg, method, drop, 100 + rep as u64) as f64
-                })
+                .map(|rep| run_with_stragglers(&sc, &cfg, method, drop, 100 + rep as u64) as f64)
                 .collect();
             row.push(mean_std(&accs).fmt_pm(true));
         }
@@ -94,4 +88,5 @@ fn main() {
     }
     println!("{}", t.render());
     write_output(&args, "ext_stragglers.csv", &t.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

@@ -41,6 +41,7 @@ fn joint_features(
     let cfg = silo_config(args.scale, 0);
     let data = sc.build_data(5);
     let mut fed = Federation::new(&data, sc.model, sc.optimizer, &cfg, 5);
+    fed.set_tracer(rfl_bench::trace::tracer());
     Trainer::new(cfg).run(&mut FedAvg::new(), &mut fed);
     // One extra local phase → divergent local models under non-IID.
     let selected: Vec<usize> = (0..fed.num_clients()).collect();
@@ -172,7 +173,11 @@ fn cross_client_divergence(features: &Tensor, panels: &[Panel]) -> f64 {
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
-    println!("== Fig. 1: t-SNE of FedAvg features ({:?}) ==\n", args.scale);
+    rfl_bench::init_tracing(&args);
+    println!(
+        "== Fig. 1: t-SNE of FedAvg features ({:?}) ==\n",
+        args.scale
+    );
     let mut summary = TextTable::new(&[
         "partition",
         "mean pairwise MMD² of client δ (Eq. 2)",
@@ -245,4 +250,5 @@ fn main() {
          distributions; non-IID clients' diverge — here visible as a larger\n\
          pairwise MMD between client δ maps and fewer classes per client)"
     );
+    rfl_bench::finish_tracing(&args);
 }

@@ -14,6 +14,7 @@ use rfl_metrics::curve::series_to_csv;
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Figs. 2–3: MNIST-like curves ({:?}) ==\n", args.scale);
     let panels = [
         ("a_device_sim0", false, 0.0),
@@ -32,13 +33,28 @@ fn main() {
         let (acc, loss) = run_curves(&sc, &cfg, args.seeds);
         println!(
             "{}",
-            render_chart(&acc, 60, 14, &format!("Fig. 2{}: accuracy — {}", &tag[..1], sc.name))
+            render_chart(
+                &acc,
+                60,
+                14,
+                &format!("Fig. 2{}: accuracy — {}", &tag[..1], sc.name)
+            )
         );
         println!(
             "{}",
-            render_chart(&loss, 60, 14, &format!("Fig. 3{}: train loss — {}", &tag[..1], sc.name))
+            render_chart(
+                &loss,
+                60,
+                14,
+                &format!("Fig. 3{}: train loss — {}", &tag[..1], sc.name)
+            )
         );
         write_output(&args, &format!("fig02{tag}_acc.csv"), &series_to_csv(&acc));
-        write_output(&args, &format!("fig03{tag}_loss.csv"), &series_to_csv(&loss));
+        write_output(
+            &args,
+            &format!("fig03{tag}_loss.csv"),
+            &series_to_csv(&loss),
+        );
     }
+    rfl_bench::finish_tracing(&args);
 }

@@ -14,6 +14,7 @@ use rfl_metrics::curve::series_to_csv;
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Fig. 8: FEMNIST-like curves ({:?}) ==\n", args.scale);
     // The paper uses 100 and 500 clients; scaled geometries here.
     let sizes: [usize; 2] = match args.scale {
@@ -29,7 +30,10 @@ fn main() {
             cfg.local_steps = e;
             eprintln!("running {} ({cost_tag} cost) ...", sc.name);
             let (acc, _) = run_curves(&sc, &cfg, args.seeds);
-            let title = format!("Fig. 8: accuracy — {} / {cost_tag} cost (SR={sr}, E={e})", sc.name);
+            let title = format!(
+                "Fig. 8: accuracy — {} / {cost_tag} cost (SR={sr}, E={e})",
+                sc.name
+            );
             println!("{}", render_chart(&acc, 60, 14, &title));
             write_output(
                 &args,
@@ -38,4 +42,5 @@ fn main() {
             );
         }
     }
+    rfl_bench::finish_tracing(&args);
 }

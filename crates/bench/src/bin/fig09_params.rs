@@ -111,6 +111,7 @@ fn study_sr(args: &ExpArgs) {
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Fig. 9: parameter study ({:?}) ==\n", args.scale);
     match args.study.as_deref().unwrap_or("all") {
         "lambda" => study_lambda(&args),
@@ -125,4 +126,5 @@ fn main() {
         }
         other => panic!("unknown study '{other}' (lambda|n|e|sr|all)"),
     }
+    rfl_bench::finish_tracing(&args);
 }

@@ -67,6 +67,7 @@ fn mean_round_secs(r: &rfl_bench::SuiteResult) -> f64 {
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Fig. 10: efficiency evaluation ({:?}) ==\n", args.scale);
 
     let cfg = device_config(args.scale, 0);
@@ -93,4 +94,5 @@ fn main() {
     let t = time_table(&cifar10, &cfg, args.seeds);
     println!("{}", t.render());
     write_output(&args, "fig10d_time_sim10.csv", &t.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

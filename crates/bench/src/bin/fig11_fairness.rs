@@ -22,6 +22,7 @@ fn per_client_accuracies(
     let data = sc.build_data(seed);
     let run_cfg = rfl_core::FlConfig { seed, ..*cfg };
     let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+    fed.set_tracer(rfl_bench::trace::tracer());
     Trainer::new(run_cfg).run(algo, &mut fed);
     fed.evaluate_per_client()
         .iter()
@@ -31,6 +32,7 @@ fn per_client_accuracies(
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Fig. 11: fairness evaluation ({:?}) ==\n", args.scale);
     for (tag, sc) in [
         ("mnist", mnist_scenario(args.scale, true, 0.0)),
@@ -39,8 +41,7 @@ fn main() {
         eprintln!("running {} ...", sc.name);
         let cfg = silo_config(args.scale, 0);
         let fed_acc = per_client_accuracies(&sc, &cfg, &mut FedAvg::new(), 17);
-        let reg_acc =
-            per_client_accuracies(&sc, &cfg, &mut RFedAvgPlus::new(sc.lambda), 17);
+        let reg_acc = per_client_accuracies(&sc, &cfg, &mut RFedAvgPlus::new(sc.lambda), 17);
 
         let mut t = TextTable::new(&["Method", "mean", "std", "worst", "p10", "worst-decile"]);
         let mut csv = String::from("client,fedavg,rfedavg_plus\n");
@@ -62,4 +63,5 @@ fn main() {
         println!("{}", t.render());
         write_output(&args, &format!("fig11_{tag}_fairness.csv"), &csv);
     }
+    rfl_bench::finish_tracing(&args);
 }

@@ -18,6 +18,7 @@ use rfl_metrics::{mean_std, Series, TextTable};
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Fig. 12: privacy evaluation ({:?}) ==\n", args.scale);
 
     let sc = cifar_scenario(args.scale, true, 0.0);
@@ -33,9 +34,7 @@ fn main() {
     let algos: Vec<AlgoFactory> = sigmas
         .iter()
         .map(|&sigma| {
-            let name: &'static str = Box::leak(
-                format!("rFedAvg+ σ₂={sigma}").into_boxed_str(),
-            );
+            let name: &'static str = Box::leak(format!("rFedAvg+ σ₂={sigma}").into_boxed_str());
             let f: Box<dyn Fn() -> Box<dyn Algorithm>> = Box::new(move || {
                 let algo = if sigma == 0.0 {
                     RFedAvgPlus::new(lambda)
@@ -67,4 +66,5 @@ fn main() {
     );
     write_output(&args, "fig12_privacy.csv", &t.to_csv());
     write_output(&args, "fig12_privacy_curves.csv", &series_to_csv(&curves));
+    rfl_bench::finish_tracing(&args);
 }

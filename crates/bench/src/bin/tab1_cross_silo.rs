@@ -14,7 +14,11 @@ use rfl_metrics::{mean_std, TextTable};
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
-    println!("== Table I: cross-silo test accuracy ({:?}) ==\n", args.scale);
+    rfl_bench::init_tracing(&args);
+    println!(
+        "== Table I: cross-silo test accuracy ({:?}) ==\n",
+        args.scale
+    );
 
     let scenarios: Vec<Scenario> = vec![
         mnist_scenario(args.scale, true, 0.0),
@@ -67,4 +71,5 @@ fn main() {
     }
     println!("{}", table.render());
     write_output(&args, "tab1_cross_silo.csv", &table.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

@@ -14,6 +14,7 @@ use rfl_metrics::{mean_std, TextTable};
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!(
         "== Table II: cross-device test accuracy ({:?}) ==\n",
         args.scale
@@ -69,4 +70,5 @@ fn main() {
     }
     println!("{}", table.render());
     write_output(&args, "tab2_cross_device.csv", &table.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

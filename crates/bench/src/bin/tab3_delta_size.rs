@@ -16,11 +16,7 @@ use rfl_core::Federation;
 use rfl_metrics::TextTable;
 
 /// Measured per-client, per-round δ download bytes in steady state.
-fn measure_delta_download(
-    sc: &Scenario,
-    cfg: &rfl_core::FlConfig,
-    plus: bool,
-) -> (u64, usize) {
+fn measure_delta_download(sc: &Scenario, cfg: &rfl_core::FlConfig, plus: bool) -> (u64, usize) {
     let seed = 3u64;
     let data = sc.build_data(seed);
     let run_cfg = rfl_core::FlConfig {
@@ -30,6 +26,7 @@ fn measure_delta_download(
         ..*cfg
     };
     let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+    fed.set_tracer(rfl_bench::trace::tracer());
     let mut a: Box<dyn Algorithm> = if plus {
         Box::new(RFedAvgPlus::new(sc.lambda))
     } else {
@@ -49,6 +46,7 @@ fn measure_delta_download(
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     println!("== Table III: size of δ (bytes) ==\n");
 
     let mut t = TextTable::new(&[
@@ -111,4 +109,5 @@ fn main() {
          while rFedAvg+'s stays constant)"
     );
     write_output(&args, "tab3_delta_size.csv", &t.to_csv());
+    rfl_bench::finish_tracing(&args);
 }

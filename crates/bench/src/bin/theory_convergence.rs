@@ -12,15 +12,15 @@
 //! Usage: `cargo run --release -p rfl-bench --bin theory_convergence --
 //!         [--out DIR|none]`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rfl_bench::parse_args;
 use rfl_core::convex::{global_train_loss, loglog_slope, theory_schedule};
 use rfl_core::prelude::*;
 use rfl_core::{Federation, FlConfig, ModelFactory, OptimizerFactory};
-use rfl_metrics::TextTable;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rfl_data::synth::gaussian::GaussianMixtureSpec;
 use rfl_data::FederatedData;
+use rfl_metrics::TextTable;
 
 /// Strongly convex federation: logistic regression with L2, Gaussian data,
 /// non-IID feature shifts per client.
@@ -36,13 +36,15 @@ fn convex_fed(seed: u64, cfg: &FlConfig) -> Federation {
         .collect();
     let test = spec.generate(200, None, &mut rng);
     let data = FederatedData { clients, test };
-    Federation::new(
+    let mut fed = Federation::new(
         &data,
         ModelFactory::linear_net(10, 6, 4, 1e-2),
         OptimizerFactory::sgd(0.1),
         cfg,
         seed,
-    )
+    );
+    fed.set_tracer(rfl_bench::trace::tracer());
+    fed
 }
 
 fn run_curve(algo: &mut dyn Algorithm, rounds: usize) -> Vec<(f64, f64)> {
@@ -77,6 +79,7 @@ fn run_curve(algo: &mut dyn Algorithm, rounds: usize) -> Vec<(f64, f64)> {
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
     let _ = &args;
     println!("== Theorems 1–2: convergence under η_t = 2/(μ(γ+t)) ==\n");
     let rounds = 60usize;
@@ -117,4 +120,5 @@ fn main() {
     let rp_final = finals[2].1;
     println!("final-loss ordering (expect rFedAvg+ ≤ rFedAvg up to noise):");
     println!("  FedAvg {fed_final:.4} | rFedAvg {r_final:.4} | rFedAvg+ {rp_final:.4}");
+    rfl_bench::finish_tracing(&args);
 }

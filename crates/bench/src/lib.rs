@@ -13,9 +13,9 @@
 pub mod args;
 pub mod runner;
 pub mod setup;
+pub mod trace;
 
 pub use args::{parse_args, ExpArgs, Scale};
 pub use runner::{make_baselines, run_suite, suite_table, SuiteResult};
-pub use setup::{
-    cifar_scenario, femnist_scenario, mnist_scenario, sent140_scenario, Scenario,
-};
+pub use setup::{cifar_scenario, femnist_scenario, mnist_scenario, sent140_scenario, Scenario};
+pub use trace::{finish_tracing, init_tracing};

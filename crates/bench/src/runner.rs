@@ -34,10 +34,7 @@ impl SuiteResult {
         self.mean_series(|r| Some(r.train_loss as f64))
     }
 
-    fn mean_series(
-        &self,
-        get: impl Fn(&rfl_core::RoundRecord) -> Option<f64>,
-    ) -> Series {
+    fn mean_series(&self, get: impl Fn(&rfl_core::RoundRecord) -> Option<f64>) -> Series {
         let mut s = Series::new(self.name);
         if self.histories.is_empty() {
             return s;
@@ -63,7 +60,10 @@ pub fn make_baselines(sc: &Scenario) -> Vec<AlgoFactory> {
     let mu = sc.prox_mu;
     let q = sc.qfed_q;
     vec![
-        ("FedAvg", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "FedAvg",
+            Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>),
+        ),
         (
             "FedProx",
             Box::new(move || Box::new(FedProx::new(mu)) as Box<dyn Algorithm>),
@@ -90,7 +90,10 @@ pub fn make_baselines(sc: &Scenario) -> Vec<AlgoFactory> {
 /// Only the proposed methods (for parameter studies).
 pub fn make_proposed(lambda: f32) -> Vec<AlgoFactory> {
     vec![
-        ("FedAvg", Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>)),
+        (
+            "FedAvg",
+            Box::new(|| Box::new(FedAvg::new()) as Box<dyn Algorithm>),
+        ),
         (
             "rFedAvg",
             Box::new(move || Box::new(RFedAvg::new(lambda)) as Box<dyn Algorithm>),
@@ -117,27 +120,20 @@ pub fn run_suite(
                     let seed = cfg.seed + rep as u64 * 1000 + 17;
                     let data = sc.build_data(seed);
                     let run_cfg = FlConfig { seed, ..*cfg };
-                    let mut fed =
-                        Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+                    let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+                    fed.set_tracer(crate::trace::tracer());
                     let mut algo = make();
                     Trainer::new(run_cfg).run(algo.as_mut(), &mut fed)
                 })
                 .collect();
-            SuiteResult {
-                name,
-                histories,
-            }
+            SuiteResult { name, histories }
         })
         .collect()
 }
 
 /// Runs the full baseline suite and returns `(accuracy curves, loss curves)`
 /// — the contents of one accuracy/loss figure pair (Figs. 2–7).
-pub fn run_curves(
-    sc: &Scenario,
-    cfg: &FlConfig,
-    seeds: usize,
-) -> (Vec<Series>, Vec<Series>) {
+pub fn run_curves(sc: &Scenario, cfg: &FlConfig, seeds: usize) -> (Vec<Series>, Vec<Series>) {
     let algos = make_baselines(sc);
     let results = run_suite(sc, cfg, seeds, &algos);
     let acc = results.iter().map(|r| r.mean_accuracy_series()).collect();

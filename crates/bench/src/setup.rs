@@ -1,13 +1,13 @@
 //! Scenario construction: benchmark family × federation geometry.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rfl_core::{FlConfig, ModelFactory, OptimizerFactory};
 use rfl_data::synth::femnist::FemnistSpec;
 use rfl_data::synth::image::SynthImageSpec;
 use rfl_data::synth::text::SynthTextSpec;
 use rfl_data::{partition, FederatedData};
 use rfl_nn::{CnnConfig, LstmConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::args::Scale;
 
@@ -17,7 +17,9 @@ pub enum ScenarioKind {
     MnistLike,
     CifarLike,
     /// `iid = true` reshuffles the user data over the clients.
-    Sent140 { iid: bool },
+    Sent140 {
+        iid: bool,
+    },
     Femnist,
 }
 
@@ -56,12 +58,8 @@ impl Scenario {
                     _ => SynthImageSpec::cifar_like(),
                 };
                 let pool = spec.generate(total, &mut rng);
-                let parts = partition::similarity(
-                    pool.labels(),
-                    self.n_clients,
-                    self.similarity,
-                    &mut rng,
-                );
+                let parts =
+                    partition::similarity(pool.labels(), self.n_clients, self.similarity, &mut rng);
                 let test = spec.generate(self.test_samples, &mut rng);
                 FederatedData::from_partition(&pool, &parts, test)
             }
@@ -74,11 +72,8 @@ impl Scenario {
                     partition::by_user(&users)
                 };
                 // Held-out users form the test set.
-                let (test, _) = spec.generate_users(
-                    self.n_clients.max(4) / 4,
-                    self.test_samples,
-                    &mut rng,
-                );
+                let (test, _) =
+                    spec.generate_users(self.n_clients.max(4) / 4, self.test_samples, &mut rng);
                 FederatedData::from_partition(&pool, &parts, test)
             }
             ScenarioKind::Femnist => {

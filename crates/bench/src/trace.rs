@@ -1,0 +1,54 @@
+//! Process-wide trace sink for the experiment binaries.
+//!
+//! Every `fig*`/`tab*` binary accepts `--trace-out <path>`; when passed, the
+//! whole run records hierarchical spans (see `rfl-trace`) into one shared
+//! sink. `run_suite` installs this tracer on every federation it builds, so
+//! a single journal covers all algorithms × seeds of the experiment.
+
+use crate::args::ExpArgs;
+use rfl_trace::Tracer;
+use std::sync::OnceLock;
+
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer. Disabled (no-op) unless [`init_tracing`]
+/// enabled it before the first federation was built.
+pub fn tracer() -> Tracer {
+    TRACER.get().cloned().unwrap_or_default()
+}
+
+/// Enables span recording for this process when `--trace-out` was passed.
+/// Call once, right after `parse_args`.
+pub fn init_tracing(args: &ExpArgs) {
+    if args.trace_out.is_some() {
+        let _ = TRACER.set(Tracer::enabled());
+    }
+}
+
+/// Writes the JSONL journal to the `--trace-out` path and prints the
+/// per-phase ASCII summary. Call at the end of `main`; a no-op without
+/// `--trace-out`.
+pub fn finish_tracing(args: &ExpArgs) {
+    if let Some(path) = &args.trace_out {
+        let t = tracer();
+        t.write_jsonl(path).expect("cannot write trace journal");
+        println!("\n-- trace summary --\n{}", t.summary());
+        println!("  wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_is_disabled_by_default() {
+        // init_tracing was never called in this test process with a path.
+        assert!(!tracer().is_enabled() || TRACER.get().is_some());
+    }
+
+    #[test]
+    fn finish_without_trace_out_is_a_noop() {
+        finish_tracing(&ExpArgs::default());
+    }
+}

@@ -3,14 +3,15 @@
 //! FetchSGD). Only the *upload* direction is compressed (the standard
 //! asymmetry: device uplink is the scarce resource).
 
-use super::mean_losses;
+use super::{mean_losses, traced_select};
 use crate::comm::Direction;
 use crate::compress::Compressor;
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 use std::sync::Arc;
 
 /// FedAvg whose clients upload a compressed *update* `w_k − w_global`
@@ -39,31 +40,42 @@ impl Algorithm for CompressedFedAvg {
         _round: usize,
         rng: &mut StdRng,
     ) -> RoundOutcome {
-        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        let tracer = fed.tracer().clone();
+        let selected = traced_select(fed, cfg.sample_ratio, rng);
         fed.broadcast_params(&selected);
         let global = fed.global().to_vec();
         let rules = vec![LocalRule::Plain; selected.len()];
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
 
-        // Compressed upload of each client's update.
-        let mut buf = Vec::new();
+        // Compressed upload of each client's update. This bypasses
+        // `collect_params`, so it carries its own `upload` span.
         let mut updates = Vec::with_capacity(selected.len());
-        for &k in &selected {
-            fed.client(k).read_params(&mut buf);
-            let update: Vec<f32> = buf.iter().zip(&global).map(|(w, g)| w - g).collect();
-            let payload = self.compressor.compress(&update);
-            // Charge the compressed size; reconstruct server-side.
-            fed.channel_mut()
-                .stats_record_upload(payload.wire_bytes() as u64);
-            updates.push(self.compressor.decompress(&payload, update.len()));
+        {
+            let mut span = tracer.span(SpanKind::Upload);
+            let before = fed.channel().snapshot();
+            let mut buf = Vec::new();
+            for &k in &selected {
+                fed.client(k).read_params(&mut buf);
+                let update: Vec<f32> = buf.iter().zip(&global).map(|(w, g)| w - g).collect();
+                let payload = self.compressor.compress(&update);
+                // Charge the compressed size; reconstruct server-side.
+                fed.channel_mut()
+                    .stats_record_upload(payload.wire_bytes() as u64);
+                updates.push(self.compressor.decompress(&payload, update.len()));
+            }
+            span.counter("bytes", fed.channel().stats().since(&before).upload_bytes());
+            span.counter("clients", selected.len() as u64);
         }
         let w = renormalized_weights(fed.weights(), &selected);
+        let mut span = tracer.span(SpanKind::Aggregate);
+        span.counter("clients", selected.len() as u64);
         let mean_update = Federation::weighted_average(&updates, &w);
         let mut new_global = global;
         for (g, u) in new_global.iter_mut().zip(&mean_update) {
             *g += u;
         }
         fed.set_global(new_global);
+        drop(span);
 
         let (train_loss, reg_loss) = mean_losses(&reports, &w);
         RoundOutcome {
@@ -98,10 +110,7 @@ mod tests {
         let ha = run_rounds(&mut FedAvg::new(), &mut fed_a, &cfg, 15);
         let mut algo = CompressedFedAvg::new(Arc::new(UniformQuantizer::new(8)));
         let hb = run_rounds(&mut algo, &mut fed_b, &cfg, 15);
-        let (a, b) = (
-            ha.final_accuracy().unwrap(),
-            hb.final_accuracy().unwrap(),
-        );
+        let (a, b) = (ha.final_accuracy().unwrap(), hb.final_accuracy().unwrap());
         assert!(b > a - 0.1, "8-bit quantization lost too much: {a} vs {b}");
     }
 
@@ -113,9 +122,8 @@ mod tests {
         let n = fed_b.num_params();
         let mut algo = CompressedFedAvg::new(Arc::new(TopK::with_ratio(n, 0.1)));
         let hb = run_rounds(&mut algo, &mut fed_b, &cfg, 2);
-        let up = |h: &crate::history::History| -> u64 {
-            h.records().iter().map(|r| r.up_bytes).sum()
-        };
+        let up =
+            |h: &crate::history::History| -> u64 { h.records().iter().map(|r| r.up_bytes).sum() };
         assert!(
             up(&hb) * 3 < up(&ha),
             "top-10% should cut uploads ≥3x: {} vs {}",

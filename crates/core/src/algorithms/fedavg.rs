@@ -1,9 +1,9 @@
 //! Vanilla Federated Averaging (McMahan et al., AISTATS 2017).
 
-use super::mean_losses;
+use super::{mean_losses, traced_aggregate, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 
@@ -30,13 +30,13 @@ impl Algorithm for FedAvg {
         _round: usize,
         rng: &mut StdRng,
     ) -> RoundOutcome {
-        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        let selected = traced_select(fed, cfg.sample_ratio, rng);
         fed.broadcast_params(&selected);
         let rules = vec![LocalRule::Plain; selected.len()];
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
         let params = fed.collect_params(&selected);
         let w = renormalized_weights(fed.weights(), &selected);
-        fed.set_global(Federation::weighted_average(&params, &w));
+        traced_aggregate(fed, &params, &w);
         let (train_loss, reg_loss) = mean_losses(&reports, &w);
         RoundOutcome {
             train_loss,

@@ -2,12 +2,13 @@
 //! extension baseline beyond the paper's comparison set, often used to
 //! stabilize non-IID training.
 
-use super::mean_losses;
+use super::{mean_losses, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 
 /// FedAvg with heavy-ball momentum applied to the *server* update:
 /// `v ← β·v + Δ̄`, `w ← w + v`, where `Δ̄` is the weighted mean client
@@ -46,14 +47,16 @@ impl Algorithm for FedAvgM {
         if self.velocity.len() != fed.num_params() {
             self.velocity = vec![0.0; fed.num_params()];
         }
-        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        let selected = traced_select(fed, cfg.sample_ratio, rng);
         fed.broadcast_params(&selected);
         let rules = vec![LocalRule::Plain; selected.len()];
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
         let params = fed.collect_params(&selected);
         let w = renormalized_weights(fed.weights(), &selected);
-        let avg = Federation::weighted_average(&params, &w);
 
+        let mut span = fed.tracer().span(SpanKind::Aggregate);
+        span.counter("clients", selected.len() as u64);
+        let avg = Federation::weighted_average(&params, &w);
         let mut new_global = fed.global().to_vec();
         for ((v, g), a) in self.velocity.iter_mut().zip(&mut new_global).zip(&avg) {
             let delta = a - *g;
@@ -61,6 +64,7 @@ impl Algorithm for FedAvgM {
             *g += *v;
         }
         fed.set_global(new_global);
+        drop(span);
 
         let (train_loss, reg_loss) = mean_losses(&reports, &w);
         RoundOutcome {

@@ -7,12 +7,13 @@
 //! personalization future-work direction: a shared representation with
 //! per-client decision layers.
 
-use super::mean_losses;
+use super::{mean_losses, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 
 /// Federated body, personal head. Evaluation caveat: the server-side
 /// "global model" mixes the averaged body with the initial head, so global
@@ -57,17 +58,27 @@ impl Algorithm for FedPer {
             "FedPer requires a model with a non-trivial feature extractor"
         );
         self.phi_range = Some(phi.clone());
-        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        let tracer = fed.tracer().clone();
+        let selected = traced_select(fed, cfg.sample_ratio, rng);
 
         // Broadcast only φ: each client keeps its own head. (The channel
         // charge is the φ slice, which is what would cross the wire.)
-        let global_phi = fed.global()[phi.clone()].to_vec();
-        let received = fed.channel_mut().broadcast(selected.len(), &global_phi);
         let mut buf = Vec::new();
-        for &k in &selected {
-            fed.client(k).read_params(&mut buf);
-            buf[phi.clone()].copy_from_slice(&received);
-            fed.client_mut(k).write_params(&buf);
+        {
+            let mut span = tracer.span(SpanKind::Broadcast);
+            let before = fed.channel().snapshot();
+            let global_phi = fed.global()[phi.clone()].to_vec();
+            let received = fed.channel_mut().broadcast(selected.len(), &global_phi);
+            for &k in &selected {
+                fed.client(k).read_params(&mut buf);
+                buf[phi.clone()].copy_from_slice(&received);
+                fed.client_mut(k).write_params(&buf);
+            }
+            span.counter(
+                "bytes",
+                fed.channel().stats().since(&before).download_bytes(),
+            );
+            span.counter("clients", selected.len() as u64);
         }
 
         let rules = vec![LocalRule::Plain; selected.len()];
@@ -76,16 +87,26 @@ impl Algorithm for FedPer {
         // Upload only φ; average it into the global body.
         let w = renormalized_weights(fed.weights(), &selected);
         let mut phi_avg = vec![0.0f32; phi.len()];
-        for (&k, &wk) in selected.iter().zip(&w) {
-            fed.client(k).read_params(&mut buf);
-            let sent = fed
-                .channel_mut()
-                .transfer(crate::comm::Direction::Upload, &buf[phi.clone()]);
-            rfl_tensor::axpy_slices(&mut phi_avg, wk, &sent);
+        {
+            let mut span = tracer.span(SpanKind::Upload);
+            let before = fed.channel().snapshot();
+            for (&k, &wk) in selected.iter().zip(&w) {
+                fed.client(k).read_params(&mut buf);
+                let sent = fed
+                    .channel_mut()
+                    .transfer(crate::comm::Direction::Upload, &buf[phi.clone()]);
+                rfl_tensor::axpy_slices(&mut phi_avg, wk, &sent);
+            }
+            span.counter("bytes", fed.channel().stats().since(&before).upload_bytes());
+            span.counter("clients", selected.len() as u64);
         }
-        let mut new_global = fed.global().to_vec();
-        new_global[phi].copy_from_slice(&phi_avg);
-        fed.set_global(new_global);
+        {
+            let mut span = tracer.span(SpanKind::Aggregate);
+            span.counter("clients", selected.len() as u64);
+            let mut new_global = fed.global().to_vec();
+            new_global[phi].copy_from_slice(&phi_avg);
+            fed.set_global(new_global);
+        }
 
         let (train_loss, reg_loss) = mean_losses(&reports, &w);
         RoundOutcome {

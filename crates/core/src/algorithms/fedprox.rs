@@ -1,10 +1,10 @@
 //! FedProx (Li et al., MLSys 2020): FedAvg with a proximal term
 //! `μ/2·‖w − w_global‖²` in every local objective.
 
-use super::mean_losses;
+use super::{mean_losses, traced_aggregate, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use std::sync::Arc;
@@ -38,7 +38,7 @@ impl Algorithm for FedProx {
         _round: usize,
         rng: &mut StdRng,
     ) -> RoundOutcome {
-        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        let selected = traced_select(fed, cfg.sample_ratio, rng);
         fed.broadcast_params(&selected);
         let anchor = Arc::new(fed.global().to_vec());
         let rules = vec![
@@ -51,7 +51,7 @@ impl Algorithm for FedProx {
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
         let params = fed.collect_params(&selected);
         let w = renormalized_weights(fed.weights(), &selected);
-        fed.set_global(Federation::weighted_average(&params, &w));
+        traced_aggregate(fed, &params, &w);
         let (train_loss, reg_loss) = mean_losses(&reports, &w);
         RoundOutcome {
             train_loss,

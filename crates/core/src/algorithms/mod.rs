@@ -23,6 +23,10 @@ pub use rfedavg_plus::RFedAvgPlus;
 pub use scaffold::Scaffold;
 
 use crate::client::LocalReport;
+use crate::federation::Federation;
+use crate::sampling::sample_clients;
+use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 
 /// Participant-weighted means of the local data loss and regularizer loss.
 pub(crate) fn mean_losses(reports: &[LocalReport], weights: &[f32]) -> (f32, f32) {
@@ -34,4 +38,20 @@ pub(crate) fn mean_losses(reports: &[LocalReport], weights: &[f32]) -> (f32, f32
         reg += w * r.reg_loss;
     }
     (loss, reg)
+}
+
+/// Uniform client sampling wrapped in a `select` span.
+pub(crate) fn traced_select(fed: &Federation, ratio: f32, rng: &mut StdRng) -> Vec<usize> {
+    let mut span = fed.tracer().span(SpanKind::Select);
+    let selected = sample_clients(fed.num_clients(), ratio, rng);
+    span.counter("clients", selected.len() as u64);
+    selected
+}
+
+/// Weighted-average aggregation into the global model, wrapped in an
+/// `aggregate` span.
+pub(crate) fn traced_aggregate(fed: &mut Federation, params: &[Vec<f32>], weights: &[f32]) {
+    let mut span = fed.tracer().span(SpanKind::Aggregate);
+    span.counter("clients", params.len() as u64);
+    fed.set_global(Federation::weighted_average(params, weights));
 }

@@ -7,12 +7,13 @@
 //! model, and keeps the `m` highest-loss candidates. Biasing participation
 //! toward struggling clients speeds convergence on heterogeneous data.
 
-use super::mean_losses;
+use super::{mean_losses, traced_aggregate};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::sampling::{renormalized_weights, sample_clients};
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 use std::sync::Arc;
 
 /// FedAvg (optionally with the rFedAvg+ regularizer) under Power-of-Choice
@@ -54,17 +55,23 @@ impl Algorithm for PowerOfChoice {
             .table
             .get_or_insert_with(|| crate::delta::DeltaTable::new(n, d_dim));
 
-        // Candidate pool, then keep the highest-loss m.
+        // Candidate pool, then keep the highest-loss m. The whole ranking —
+        // including the candidate broadcast and loss probe — is the
+        // "selection" phase of this algorithm.
+        let tracer = fed.tracer().clone();
+        let mut select_span = tracer.span(SpanKind::Select);
         let m = ((n as f32 * cfg.sample_ratio).ceil() as usize).clamp(1, n);
         let pool_sr = (cfg.sample_ratio * self.oversample).min(1.0);
         let candidates = sample_clients(n, pool_sr, rng);
         fed.broadcast_params(&candidates);
         let losses = fed.local_losses_at_global(&candidates);
-        let mut ranked: Vec<(usize, f32)> =
-            candidates.iter().copied().zip(losses).collect();
+        let mut ranked: Vec<(usize, f32)> = candidates.iter().copied().zip(losses).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut selected: Vec<usize> = ranked.iter().take(m).map(|(k, _)| *k).collect();
         selected.sort_unstable();
+        select_span.counter("candidates", candidates.len() as u64);
+        select_span.counter("clients", selected.len() as u64);
+        drop(select_span);
 
         // rFedAvg+ style regularized local training on the selection.
         let rules: Vec<LocalRule> = selected
@@ -85,10 +92,15 @@ impl Algorithm for PowerOfChoice {
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
         let params = fed.collect_params(&selected);
         let w = renormalized_weights(fed.weights(), &selected);
-        fed.set_global(Federation::weighted_average(&params, &w));
+        traced_aggregate(fed, &params, &w);
 
         if self.lambda > 0.0 {
             fed.broadcast_params(&selected);
+            // δ recomputation is server-simulated here (unmetered), so the
+            // span carries dims but no bytes.
+            let mut span = tracer.span(SpanKind::DeltaSync);
+            span.counter("dims", d_dim as u64);
+            span.counter("clients", selected.len() as u64);
             for &k in &selected {
                 let delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
                 table.set(k, delta);

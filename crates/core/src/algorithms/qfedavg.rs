@@ -1,12 +1,12 @@
 //! q-FedAvg (Li et al., ICLR 2020): fair resource allocation in federated
 //! learning via the q-fair objective `Σ p_k F_k^{q+1}/(q+1)`.
 
-use super::mean_losses;
+use super::{mean_losses, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::sample_clients;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 
 /// q-FedAvg with fairness parameter `q` (q = 0 recovers FedAvg-style
 /// updates; the paper uses q = 1.0 on images, 1e-4 on Sent140).
@@ -42,7 +42,7 @@ impl Algorithm for QFedAvg {
         _round: usize,
         rng: &mut StdRng,
     ) -> RoundOutcome {
-        let selected = sample_clients(fed.num_clients(), cfg.sample_ratio, rng);
+        let selected = traced_select(fed, cfg.sample_ratio, rng);
         fed.broadcast_params(&selected);
         // Loss of the global model on each participant's data (the F_k in
         // the q-fair weights) — computed client-side after the download.
@@ -52,6 +52,8 @@ impl Algorithm for QFedAvg {
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
         let params = fed.collect_params(&selected);
 
+        let mut agg_span = fed.tracer().span(SpanKind::Aggregate);
+        agg_span.counter("clients", selected.len() as u64);
         let global = fed.global().to_vec();
         let n_params = global.len();
         let mut delta_sum = vec![0.0f32; n_params];
@@ -74,6 +76,7 @@ impl Algorithm for QFedAvg {
             *g -= d / h_sum;
         }
         fed.set_global(new_global);
+        drop(agg_span);
 
         let uniform = vec![1.0 / selected.len() as f32; selected.len()];
         let (train_loss, reg_loss) = mean_losses(&reports, &uniform);

@@ -14,9 +14,10 @@ use crate::delta::DeltaTable;
 use crate::dp::{privatize_delta, DpConfig};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 use std::sync::Arc;
 
 /// rFedAvg with regularization weight `λ`.
@@ -66,18 +67,25 @@ impl Algorithm for RFedAvg {
     ) -> RoundOutcome {
         let n = fed.num_clients();
         let d = fed.feature_dim();
-        let table = self
-            .table
-            .get_or_insert_with(|| DeltaTable::new(n, d));
+        let tracer = fed.tracer().clone();
+        let table = self.table.get_or_insert_with(|| DeltaTable::new(n, d));
 
-        let selected = sample_clients(n, cfg.sample_ratio, rng);
+        let selected = super::traced_select(fed, cfg.sample_ratio, rng);
         fed.broadcast_params(&selected);
 
         // Broadcast the FULL delayed table to every participant — the
         // O(dN²) communication of Algorithm 1 (server must ship N·d scalars
         // to each of the participants).
-        let flat = table.flattened();
-        fed.channel_mut().broadcast_delta(selected.len(), &flat);
+        {
+            let mut span = tracer.span(SpanKind::DeltaBroadcast);
+            let before = fed.channel().snapshot();
+            let flat = table.flattened();
+            fed.channel_mut().broadcast_delta(selected.len(), &flat);
+            let diff = fed.channel().stats().since(&before);
+            span.counter("bytes", diff.delta_download_bytes());
+            span.counter("dims", (n * d) as u64);
+            span.counter("clients", selected.len() as u64);
+        }
 
         // Each client's regularization target is the mean of the other
         // (already-reported) delayed maps; until another client has reported,
@@ -96,18 +104,26 @@ impl Algorithm for RFedAvg {
 
         // δ is recomputed with each client's LOCAL (post-training) model —
         // Algorithm 1 line 10 — then uploaded (d scalars per participant).
-        for &k in &selected {
-            let mut delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
-            if let Some(dp) = self.dp {
-                privatize_delta(&mut delta, dp, rng);
+        {
+            let mut span = tracer.span(SpanKind::DeltaSync);
+            let before = fed.channel().snapshot();
+            for &k in &selected {
+                let mut delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
+                if let Some(dp) = self.dp {
+                    privatize_delta(&mut delta, dp, rng);
+                }
+                let received = fed.channel_mut().transfer_delta(Direction::Upload, &delta);
+                table.set(k, received);
             }
-            let received = fed.channel_mut().transfer_delta(Direction::Upload, &delta);
-            table.set(k, received);
+            let diff = fed.channel().stats().since(&before);
+            span.counter("bytes", diff.delta_upload_bytes());
+            span.counter("dims", d as u64);
+            span.counter("clients", selected.len() as u64);
         }
 
         let params = fed.collect_params(&selected);
         let w = renormalized_weights(fed.weights(), &selected);
-        fed.set_global(Federation::weighted_average(&params, &w));
+        super::traced_aggregate(fed, &params, &w);
 
         let (train_loss, reg_loss) = mean_losses(&reports, &w);
         RoundOutcome {

@@ -18,9 +18,10 @@ use crate::delta::DeltaTable;
 use crate::dp::{privatize_delta, DpConfig};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 use std::sync::Arc;
 
 /// rFedAvg+ with regularization weight `λ`.
@@ -69,43 +70,63 @@ impl Algorithm for RFedAvgPlus {
     ) -> RoundOutcome {
         let n = fed.num_clients();
         let d = fed.feature_dim();
+        let tracer = fed.tracer().clone();
         let table = self.table.get_or_insert_with(|| DeltaTable::new(n, d));
 
-        let selected = sample_clients(n, cfg.sample_ratio, rng);
+        let selected = super::traced_select(fed, cfg.sample_ratio, rng);
 
         // First sync: global model down.
         fed.broadcast_params(&selected);
 
         // Per-client averaged δ target — d scalars each (O(dN) total).
-        let rules: Vec<LocalRule> = selected
-            .iter()
-            .map(|&k| match table.mean_excluding_initialized(k) {
-                Some(target) => {
-                    let received = fed.channel_mut().transfer_delta(Direction::Download, &target);
-                    LocalRule::Mmd {
-                        lambda: self.lambda,
-                        target: Arc::new(received),
+        let rules: Vec<LocalRule> = {
+            let mut span = tracer.span(SpanKind::DeltaBroadcast);
+            let before = fed.channel().snapshot();
+            let rules = selected
+                .iter()
+                .map(|&k| match table.mean_excluding_initialized(k) {
+                    Some(target) => {
+                        let received = fed
+                            .channel_mut()
+                            .transfer_delta(Direction::Download, &target);
+                        LocalRule::Mmd {
+                            lambda: self.lambda,
+                            target: Arc::new(received),
+                        }
                     }
-                }
-                None => LocalRule::Plain,
-            })
-            .collect();
+                    None => LocalRule::Plain,
+                })
+                .collect();
+            let diff = fed.channel().stats().since(&before);
+            span.counter("bytes", diff.delta_download_bytes());
+            span.counter("dims", d as u64);
+            span.counter("clients", selected.len() as u64);
+            rules
+        };
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
 
         // Upload local models; aggregate.
         let params = fed.collect_params(&selected);
         let w = renormalized_weights(fed.weights(), &selected);
-        fed.set_global(Federation::weighted_average(&params, &w));
+        super::traced_aggregate(fed, &params, &w);
 
         // Second sync: consistent global model down; δ computed with it.
         fed.broadcast_params(&selected);
-        for &k in &selected {
-            let mut delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
-            if let Some(dp) = self.dp {
-                privatize_delta(&mut delta, dp, rng);
+        {
+            let mut span = tracer.span(SpanKind::DeltaSync);
+            let before = fed.channel().snapshot();
+            for &k in &selected {
+                let mut delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
+                if let Some(dp) = self.dp {
+                    privatize_delta(&mut delta, dp, rng);
+                }
+                let received = fed.channel_mut().transfer_delta(Direction::Upload, &delta);
+                table.set(k, received);
             }
-            let received = fed.channel_mut().transfer_delta(Direction::Upload, &delta);
-            table.set(k, received);
+            let diff = fed.channel().stats().since(&before);
+            span.counter("bytes", diff.delta_upload_bytes());
+            span.counter("dims", d as u64);
+            span.counter("clients", selected.len() as u64);
         }
 
         let (train_loss, reg_loss) = mean_losses(&reports, &w);

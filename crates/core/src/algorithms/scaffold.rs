@@ -1,13 +1,13 @@
 //! SCAFFOLD (Karimireddy et al., ICML 2020): stochastic controlled averaging
 //! with server/client control variates correcting client drift.
 
-use super::mean_losses;
+use super::{mean_losses, traced_select};
 use crate::comm::Direction;
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::sample_clients;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
+use rfl_trace::SpanKind;
 use std::sync::Arc;
 
 /// SCAFFOLD with server step size `η_g` (the paper sets η_g = 1.0).
@@ -62,11 +62,24 @@ impl Algorithm for Scaffold {
     ) -> RoundOutcome {
         let n = fed.num_clients();
         self.ensure_init(n, fed.num_params());
-        let selected = sample_clients(n, cfg.sample_ratio, rng);
+        let tracer = fed.tracer().clone();
+        let selected = traced_select(fed, cfg.sample_ratio, rng);
 
-        // Download: model parameters AND the server control variate.
+        // Download: model parameters AND the server control variate (the
+        // control broadcast gets its own span so downstream byte accounting
+        // still reconciles with `CommStats`).
         fed.broadcast_params(&selected);
-        let c_received = fed.channel_mut().broadcast(selected.len(), &self.c);
+        let c_received = {
+            let mut span = tracer.span(SpanKind::Broadcast);
+            let before = fed.channel().snapshot();
+            let c_received = fed.channel_mut().broadcast(selected.len(), &self.c);
+            span.counter(
+                "bytes",
+                fed.channel().stats().since(&before).download_bytes(),
+            );
+            span.counter("clients", selected.len() as u64);
+            c_received
+        };
 
         let rules: Vec<LocalRule> = selected
             .iter()
@@ -88,21 +101,27 @@ impl Algorithm for Scaffold {
 
         // Control-variate updates (option II) + uploads.
         let mut c_delta_sum = vec![0.0f32; fed.num_params()];
-        for (i, &k) in selected.iter().enumerate() {
-            let eta_l = fed.client(k).lr();
-            let scale = 1.0 / (cfg.local_steps as f32 * eta_l);
-            let c_k_new: Vec<f32> = self.c_k[k]
-                .iter()
-                .zip(&self.c)
-                .zip(global_before.iter().zip(&params[i]))
-                .map(|((ck, c), (g, w))| ck - c + scale * (g - w))
-                .collect();
-            // Client uploads its control-variate update alongside the model.
-            let received = fed.channel_mut().transfer(Direction::Upload, &c_k_new);
-            for ((s, new), old) in c_delta_sum.iter_mut().zip(&received).zip(&self.c_k[k]) {
-                *s += new - old;
+        {
+            let mut span = tracer.span(SpanKind::Upload);
+            let before = fed.channel().snapshot();
+            for (i, &k) in selected.iter().enumerate() {
+                let eta_l = fed.client(k).lr();
+                let scale = 1.0 / (cfg.local_steps as f32 * eta_l);
+                let c_k_new: Vec<f32> = self.c_k[k]
+                    .iter()
+                    .zip(&self.c)
+                    .zip(global_before.iter().zip(&params[i]))
+                    .map(|((ck, c), (g, w))| ck - c + scale * (g - w))
+                    .collect();
+                // Client uploads its control-variate update alongside the model.
+                let received = fed.channel_mut().transfer(Direction::Upload, &c_k_new);
+                for ((s, new), old) in c_delta_sum.iter_mut().zip(&received).zip(&self.c_k[k]) {
+                    *s += new - old;
+                }
+                self.c_k[k] = received;
             }
-            self.c_k[k] = received;
+            span.counter("bytes", fed.channel().stats().since(&before).upload_bytes());
+            span.counter("clients", selected.len() as u64);
         }
         // c ← c + (|S|/N)·mean_S(c_k⁺ − c_k)  ==  c + (1/N)·Σ_S(c_k⁺ − c_k)
         for (c, d) in self.c.iter_mut().zip(&c_delta_sum) {
@@ -111,6 +130,8 @@ impl Algorithm for Scaffold {
 
         // Server update: w ← w + η_g · mean_S (w_k − w).
         let m = selected.len() as f32;
+        let mut span = tracer.span(SpanKind::Aggregate);
+        span.counter("clients", selected.len() as u64);
         let mut new_global = global_before.clone();
         for p in &params {
             for ((g, w), base) in new_global.iter_mut().zip(p).zip(&global_before) {
@@ -118,6 +139,7 @@ impl Algorithm for Scaffold {
             }
         }
         fed.set_global(new_global);
+        drop(span);
 
         let uniform = vec![1.0 / m; selected.len()];
         let (train_loss, reg_loss) = mean_losses(&reports, &uniform);

@@ -20,6 +20,8 @@ pub struct LocalReport {
     pub reg_loss: f32,
     /// Steps actually performed.
     pub steps: usize,
+    /// Total training examples consumed across those steps.
+    pub examples: usize,
 }
 
 /// One client in the federation.
@@ -112,8 +114,10 @@ impl Client {
     pub fn train_local(&mut self, steps: usize, rule: &LocalRule) -> LocalReport {
         let mut loss_sum = 0.0f32;
         let mut reg_sum = 0.0f32;
+        let mut examples = 0usize;
         for _ in 0..steps {
             let idx = self.sampler.next_batch(&mut self.rng);
+            examples += idx.len();
             let batch = self.data.select(&idx);
             let input = to_input(batch.examples());
             self.model.zero_grads();
@@ -163,6 +167,7 @@ impl Client {
             loss: loss_sum / steps.max(1) as f32,
             reg_loss: reg_sum / steps.max(1) as f32,
             steps,
+            examples,
         }
     }
 
@@ -231,7 +236,14 @@ mod tests {
     fn make_client(seed: u64) -> Client {
         let mut rng = StdRng::seed_from_u64(seed);
         let model = Box::new(LogisticRegression::new(4, 2, 0.0, &mut rng));
-        Client::new(0, model, dense_data(32, seed), Box::new(Sgd::new(0.2)), 8, seed)
+        Client::new(
+            0,
+            model,
+            dense_data(32, seed),
+            Box::new(Sgd::new(0.2)),
+            8,
+            seed,
+        )
     }
 
     #[test]
@@ -330,6 +342,7 @@ mod tests {
         let mut c = make_client(5);
         let r = c.train_local(7, &LocalRule::Plain);
         assert_eq!(r.steps, 7);
+        assert_eq!(r.examples, 7 * 8, "32 samples / batch 8 → full batches");
         assert!(r.loss > 0.0);
         assert_eq!(r.reg_loss, 0.0);
     }

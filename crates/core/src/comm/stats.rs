@@ -111,6 +111,48 @@ mod tests {
         assert_eq!(s.total_bytes(), 60);
     }
 
+    /// Pins the double-count invariant: `record_delta` forwards to `record`,
+    /// so δ bytes appear in BOTH the δ counters and the directional totals.
+    /// Table III and the efficiency figures rely on `total_bytes` already
+    /// including the δ plane — if this ever changes, every consumer that
+    /// sums `total_bytes + delta_bytes` would silently double-charge.
+    #[test]
+    fn record_delta_double_counts_into_totals() {
+        let mut s = CommStats::new();
+        s.record_delta(Direction::Download, 30);
+        s.record_delta(Direction::Upload, 12);
+        // δ counters see exactly the δ traffic...
+        assert_eq!(s.delta_download_bytes(), 30);
+        assert_eq!(s.delta_upload_bytes(), 12);
+        assert_eq!(s.delta_bytes(), 42);
+        // ...and the directional totals include it too (the invariant).
+        assert_eq!(s.download_bytes(), 30);
+        assert_eq!(s.upload_bytes(), 12);
+        assert_eq!(s.total_bytes(), 42);
+    }
+
+    /// A δ transfer is one message, not two, even though it increments two
+    /// byte counters.
+    #[test]
+    fn record_delta_counts_one_message() {
+        let mut s = CommStats::new();
+        s.record_delta(Direction::Download, 8);
+        assert_eq!(s.messages(), 1);
+        s.record(Direction::Upload, 8);
+        assert_eq!(s.messages(), 2);
+        s.record_delta(Direction::Upload, 8);
+        assert_eq!(s.messages(), 3);
+    }
+
+    #[test]
+    fn zero_byte_transfers_still_count_as_messages() {
+        let mut s = CommStats::new();
+        s.record(Direction::Download, 0);
+        s.record_delta(Direction::Upload, 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.messages(), 2);
+    }
+
     #[test]
     fn since_computes_differences() {
         let mut s = CommStats::new();

@@ -114,12 +114,7 @@ mod tests {
         let sa = sk.compress(&a);
         let sb = sk.compress(&b);
         let ssum = sk.compress(&sum);
-        for ((x, y), z) in sa
-            .words_f32
-            .iter()
-            .zip(&sb.words_f32)
-            .zip(&ssum.words_f32)
-        {
+        for ((x, y), z) in sa.words_f32.iter().zip(&sb.words_f32).zip(&ssum.words_f32) {
             assert!((x + y - z).abs() < 1e-3);
         }
     }

@@ -76,8 +76,9 @@ mod tests {
     fn loglog_slope_recovers_known_exponents() {
         let one_over_t: Vec<(f64, f64)> = (1..50).map(|t| (t as f64, 5.0 / t as f64)).collect();
         assert!((loglog_slope(&one_over_t) + 1.0).abs() < 1e-6);
-        let one_over_sqrt: Vec<(f64, f64)> =
-            (1..50).map(|t| (t as f64, 2.0 / (t as f64).sqrt())).collect();
+        let one_over_sqrt: Vec<(f64, f64)> = (1..50)
+            .map(|t| (t as f64, 2.0 / (t as f64).sqrt()))
+            .collect();
         assert!((loglog_slope(&one_over_sqrt) + 0.5).abs() < 1e-6);
     }
 

@@ -12,6 +12,7 @@ use rfl_nn::{
     Adam, CnnClassifier, CnnConfig, LinearNet, LogisticRegression, LstmClassifier, LstmConfig,
     MlpClassifier, Model, Optimizer, RmsProp, Sgd,
 };
+use rfl_trace::{SpanKind, Tracer};
 
 /// Run-level hyper-parameters shared by all algorithms.
 #[derive(Clone, Copy, Debug)]
@@ -144,7 +145,12 @@ impl ModelFactory {
                 hidden1,
                 hidden2,
                 classes,
-            } => Box::new(MlpClassifier::new(dim, &[hidden1, hidden2], classes, &mut rng)),
+            } => Box::new(MlpClassifier::new(
+                dim,
+                &[hidden1, hidden2],
+                classes,
+                &mut rng,
+            )),
         }
     }
 }
@@ -197,6 +203,7 @@ pub struct Federation {
     eval_model: Box<dyn Model>,
     parallel: bool,
     eval_batch: usize,
+    tracer: Tracer,
 }
 
 impl Federation {
@@ -235,7 +242,19 @@ impl Federation {
             eval_model,
             parallel: cfg.parallel,
             eval_batch: 64,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs an observability sink; all subsequent channel operations,
+    /// local training, and evaluations emit spans into it. Defaults to the
+    /// disabled (no-op) tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     pub fn num_clients(&self) -> usize {
@@ -288,20 +307,31 @@ impl Federation {
     /// Sends the current global parameters to every selected client
     /// (metered broadcast), installing them into the client models.
     pub fn broadcast_params(&mut self, selected: &[usize]) {
+        let mut span = self.tracer.span(SpanKind::Broadcast);
+        let before = self.channel.snapshot();
         let received = self.channel.broadcast(selected.len(), &self.global);
         for &k in selected {
             self.clients[k].write_params(&received);
         }
+        span.counter(
+            "bytes",
+            self.channel.stats().since(&before).download_bytes(),
+        );
+        span.counter("clients", selected.len() as u64);
     }
 
     /// Uploads the selected clients' parameters to the server (metered).
     pub fn collect_params(&mut self, selected: &[usize]) -> Vec<Vec<f32>> {
+        let mut span = self.tracer.span(SpanKind::Upload);
+        let before = self.channel.snapshot();
         let mut out = Vec::with_capacity(selected.len());
         let mut buf = Vec::new();
         for &k in selected {
             self.clients[k].read_params(&mut buf);
             out.push(self.channel.transfer(Direction::Upload, &buf));
         }
+        span.counter("bytes", self.channel.stats().since(&before).upload_bytes());
+        span.counter("clients", selected.len() as u64);
         out
     }
 
@@ -333,7 +363,13 @@ impl Federation {
                 .iter()
                 .zip(rules)
                 .zip(steps)
-                .map(|((&k, rule), &e)| self.clients[k].train_local(e, rule))
+                .map(|((&k, rule), &e)| {
+                    let mut span = self.tracer.client_span(SpanKind::LocalTrain, k);
+                    let report = self.clients[k].train_local(e, rule);
+                    span.counter("batches", report.steps as u64);
+                    span.counter("examples", report.examples as u64);
+                    report
+                })
                 .collect();
         }
         // Parallel path: take disjoint &mut Client views of the selected
@@ -360,11 +396,12 @@ impl Federation {
             LocalReport {
                 loss: 0.0,
                 reg_loss: 0.0,
-                steps: 0
+                steps: 0,
+                examples: 0,
             };
             selected.len()
         ];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut report_slices: Vec<&mut [LocalReport]> = reports.chunks_mut(chunk).collect();
             let mut rule_slices: Vec<&[LocalRule]> = rules.chunks(chunk).collect();
             let mut step_slices: Vec<&[usize]> = steps.chunks(chunk).collect();
@@ -383,19 +420,23 @@ impl Federation {
                 .zip(step_slices.drain(..))
                 .zip(report_slices.drain(..))
             {
-                s.spawn(move |_| {
+                let tracer = self.tracer.clone();
+                s.spawn(move || {
                     for (((c, rule), &e), slot) in clients
                         .into_iter()
                         .zip(rules.iter())
                         .zip(steps.iter())
                         .zip(reports.iter_mut())
                     {
-                        *slot = c.train_local(e, rule);
+                        let mut span = tracer.client_span(SpanKind::LocalTrain, c.id());
+                        let report = c.train_local(e, rule);
+                        span.counter("batches", report.steps as u64);
+                        span.counter("examples", report.examples as u64);
+                        *slot = report;
                     }
                 });
             }
-        })
-        .expect("client training thread panicked");
+        });
         reports
     }
 
@@ -414,8 +455,11 @@ impl Federation {
 
     /// Evaluates the global model on the held-out test set.
     pub fn evaluate_global(&mut self) -> EvalResult {
+        let mut span = self.tracer.span(SpanKind::Eval);
         self.eval_model.write_params(&self.global);
-        evaluate(self.eval_model.as_mut(), &self.test, self.eval_batch)
+        let result = evaluate(self.eval_model.as_mut(), &self.test, self.eval_batch);
+        span.counter("examples", result.n as u64);
+        result
     }
 
     /// Evaluates the global model on each client's local data
@@ -552,6 +596,55 @@ mod tests {
         }
         let after = fed.evaluate_global().loss;
         assert!(after < before, "{before} → {after}");
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        // The no-op sink is not enough: even an *enabled* tracer must be
+        // invisible to training (it only reads the channel meters and the
+        // clock, never the RNG streams).
+        let run = |trace: bool| {
+            let mut fed = small_fed(true, 7);
+            let tracer = if trace {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            };
+            fed.set_tracer(tracer.clone());
+            let selected = vec![0, 1, 2, 3];
+            for _ in 0..3 {
+                fed.broadcast_params(&selected);
+                fed.train_selected(&selected, &vec![LocalRule::Plain; 4], 5);
+                let params = fed.collect_params(&selected);
+                let w = crate::sampling::renormalized_weights(fed.weights(), &selected);
+                fed.set_global(Federation::weighted_average(&params, &w));
+            }
+            (fed.global().to_vec(), tracer.records().len())
+        };
+        let (off, n_off) = run(false);
+        let (on, n_on) = run(true);
+        assert_eq!(off, on, "tracing changed training results");
+        assert_eq!(n_off, 0);
+        assert!(n_on > 0);
+    }
+
+    #[test]
+    fn span_bytes_match_comm_stats() {
+        let mut fed = small_fed(false, 8);
+        let tracer = Tracer::enabled();
+        fed.set_tracer(tracer.clone());
+        fed.broadcast_params(&[0, 1, 2]);
+        let params = fed.collect_params(&[0, 1, 2]);
+        assert_eq!(params.len(), 3);
+        let recs = tracer.records();
+        let sum = |kind: &str| -> u64 {
+            recs.iter()
+                .filter(|r| r.kind == kind)
+                .filter_map(|r| r.counter("bytes"))
+                .sum()
+        };
+        assert_eq!(sum("broadcast"), fed.channel().stats().download_bytes());
+        assert_eq!(sum("upload"), fed.channel().stats().upload_bytes());
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl History {
 
     /// `(round, loss)` points of the train-loss curve.
     pub fn loss_curve(&self) -> Vec<(usize, f32)> {
-        self.records.iter().map(|r| (r.round, r.train_loss)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.round, r.train_loss))
+            .collect()
     }
 
     /// First round (1-based count) at which test accuracy reached `target`,

@@ -48,19 +48,19 @@
 pub mod algorithms;
 pub mod client;
 pub mod comm;
+pub mod compress;
 pub mod convex;
 pub mod delta;
 pub mod dp;
 pub mod eval;
 pub mod federation;
 pub mod history;
-pub mod compress;
 pub mod mmd;
 pub mod mmd_rbf;
 pub mod personalization;
-pub mod secagg;
 pub mod rules;
 pub mod sampling;
+pub mod secagg;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod trainer;

@@ -139,10 +139,7 @@ mod tests {
             let mean = mean_excluding(k, &deltas);
             let surrogate = surrogate_value(&deltas[k], &mean);
             let exact = regularizer_value(k, &deltas);
-            assert!(
-                surrogate <= exact + 1e-6,
-                "k={k}: {surrogate} > {exact}"
-            );
+            assert!(surrogate <= exact + 1e-6, "k={k}: {surrogate} > {exact}");
         }
     }
 

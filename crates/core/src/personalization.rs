@@ -29,7 +29,11 @@ impl PersonalizationResult {
 /// Uses a held-in evaluation on the client's own data, matching how
 /// personalization is typically scored in cross-device FL. The clients'
 /// models and optimizer state are mutated (call after training finishes).
-pub fn personalize_all(fed: &mut Federation, steps: usize, eval_batch: usize) -> Vec<PersonalizationResult> {
+pub fn personalize_all(
+    fed: &mut Federation,
+    steps: usize,
+    eval_batch: usize,
+) -> Vec<PersonalizationResult> {
     let selected: Vec<usize> = (0..fed.num_clients()).collect();
     fed.broadcast_params(&selected);
     let mut out = Vec::with_capacity(selected.len());

@@ -74,7 +74,11 @@ mod tests {
 
     fn updates(n: usize, len: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|k| (0..len).map(|i| (k * len + i) as f32 * 0.01 - 0.3).collect())
+            .map(|k| {
+                (0..len)
+                    .map(|i| (k * len + i) as f32 * 0.01 - 0.3)
+                    .collect()
+            })
             .collect()
     }
 
@@ -143,11 +147,7 @@ mod tests {
             .collect();
         let agg = aggregate_masked(&masked[..2]); // client 2 dropped
         let plain = aggregate_masked(&ups[..2]);
-        let residual: f32 = agg
-            .iter()
-            .zip(&plain)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let residual: f32 = agg.iter().zip(&plain).map(|(a, b)| (a - b).abs()).sum();
         assert!(residual > 1.0, "expected residual masks, got {residual}");
     }
 }

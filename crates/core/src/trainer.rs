@@ -4,7 +4,7 @@ use crate::federation::{Federation, FlConfig};
 use crate::history::{History, RoundRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use rfl_trace::Stopwatch;
 
 /// Result an algorithm reports for one communication round.
 #[derive(Clone, Debug)]
@@ -75,6 +75,7 @@ impl Trainer {
     pub fn run(&mut self, algo: &mut dyn Algorithm, fed: &mut Federation) -> History {
         let mut history = History::new();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED_5EED);
+        let run_span = fed.tracer().begin_run(algo.name());
         for round in 0..self.cfg.rounds {
             if let Some(schedule) = &self.lr_schedule {
                 let lr = schedule(round);
@@ -82,14 +83,21 @@ impl Trainer {
                     fed.client_mut(k).set_lr(lr);
                 }
             }
+            let mut round_span = fed.tracer().begin_round(round);
             let snap = fed.channel().snapshot();
-            let t0 = Instant::now();
+            let sw = Stopwatch::start();
             let outcome = algo.round(fed, &self.cfg, round, &mut rng);
-            let seconds = t0.elapsed().as_secs_f64();
+            let seconds = sw.elapsed_secs();
             let comm = fed.channel().stats().since(&snap);
 
             let do_eval = (round + 1) % self.cfg.eval_every == 0 || round + 1 == self.cfg.rounds;
             let eval = do_eval.then(|| fed.evaluate_global());
+
+            round_span.counter("bytes_down", comm.download_bytes());
+            round_span.counter("bytes_up", comm.upload_bytes());
+            round_span.counter("bytes_delta", comm.delta_bytes());
+            round_span.counter("participants", outcome.selected.len() as u64);
+            drop(round_span);
 
             let record = RoundRecord {
                 round,
@@ -108,6 +116,7 @@ impl Trainer {
             }
             history.push(record);
         }
+        drop(run_span);
         history
     }
 }

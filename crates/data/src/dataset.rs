@@ -140,9 +140,7 @@ impl Dataset {
     pub fn merge(&self, other: &Dataset) -> Dataset {
         assert_eq!(self.num_classes, other.num_classes, "class count mismatch");
         let examples = match (&self.examples, &other.examples) {
-            (Examples::Images(a), Examples::Images(b)) => {
-                Examples::Images(concat_rows(a, b))
-            }
+            (Examples::Images(a), Examples::Images(b)) => Examples::Images(concat_rows(a, b)),
             (Examples::Dense(a), Examples::Dense(b)) => Examples::Dense(concat_rows(a, b)),
             (Examples::Tokens(a), Examples::Tokens(b)) => {
                 let mut v = a.clone();

@@ -74,7 +74,8 @@ pub fn parse_idx(mut r: impl Read) -> Result<(Vec<usize>, Vec<u8>), IdxError> {
     }
     let total: usize = dims.iter().product();
     let mut payload = vec![0u8; total];
-    r.read_exact(&mut payload).map_err(|_| IdxError::Truncated)?;
+    r.read_exact(&mut payload)
+        .map_err(|_| IdxError::Truncated)?;
     Ok((dims, payload))
 }
 

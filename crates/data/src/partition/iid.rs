@@ -33,9 +33,9 @@ mod tests {
     fn sizes_differ_by_at_most_one() {
         let mut rng = StdRng::seed_from_u64(1);
         let parts = iid(100, 7, &mut rng);
-        let (min, max) = parts
-            .iter()
-            .fold((usize::MAX, 0), |(lo, hi), p| (lo.min(p.len()), hi.max(p.len())));
+        let (min, max) = parts.iter().fold((usize::MAX, 0), |(lo, hi), p| {
+            (lo.min(p.len()), hi.max(p.len()))
+        });
         assert!(max - min <= 1);
     }
 

@@ -19,7 +19,9 @@ pub fn quantity_skew<R: Rng>(
     assert!(gamma >= 0.0);
 
     // Power-law weights, shuffled.
-    let mut weights: Vec<f64> = (0..n_clients).map(|k| ((k + 1) as f64).powf(-gamma)).collect();
+    let mut weights: Vec<f64> = (0..n_clients)
+        .map(|k| ((k + 1) as f64).powf(-gamma))
+        .collect();
     weights.shuffle(rng);
     let total: f64 = weights.iter().sum();
 

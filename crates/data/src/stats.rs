@@ -2,11 +2,7 @@
 
 /// Per-client label distributions: `[clients][classes]`, each row summing
 /// to 1 (empty clients yield all-zero rows).
-pub fn label_histograms(
-    parts: &[Vec<usize>],
-    labels: &[usize],
-    classes: usize,
-) -> Vec<Vec<f64>> {
+pub fn label_histograms(parts: &[Vec<usize>], labels: &[usize], classes: usize) -> Vec<Vec<f64>> {
     parts
         .iter()
         .map(|part| {

@@ -95,7 +95,10 @@ impl FemnistSpec {
             k += 1;
         }
         while assigned > total {
-            let i = sizes.iter().position(|&s| s > 1).expect("shrinkable writer");
+            let i = sizes
+                .iter()
+                .position(|&s| s > 1)
+                .expect("shrinkable writer");
             sizes[i] -= 1;
             assigned -= 1;
         }

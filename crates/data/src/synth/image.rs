@@ -190,9 +190,7 @@ mod tests {
         let easy = SynthImageSpec::mnist_like().generate(60, &mut rng);
         let hard = SynthImageSpec::cifar_like().generate(60, &mut rng);
         // Signal-to-noise proxy: prototype norm over noise std.
-        let snr = |spec: &SynthImageSpec| {
-            spec.class_sep / spec.noise_std
-        };
+        let snr = |spec: &SynthImageSpec| spec.class_sep / spec.noise_std;
         assert!(snr(&SynthImageSpec::cifar_like()) < snr(&SynthImageSpec::mnist_like()));
         let _ = (easy, hard);
     }

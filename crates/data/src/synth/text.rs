@@ -130,10 +130,7 @@ impl SynthTextSpec {
                 user_ids.push(user);
             }
         }
-        (
-            Dataset::new(Examples::Tokens(tokens), labels, 2),
-            user_ids,
-        )
+        (Dataset::new(Examples::Tokens(tokens), labels, 2), user_ids)
     }
 }
 

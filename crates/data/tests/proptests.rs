@@ -7,9 +7,8 @@ use rand::SeedableRng;
 use rfl_data::{partition, stats};
 
 fn labels_strategy() -> impl Strategy<Value = Vec<usize>> {
-    (20usize..200, 2usize..10).prop_flat_map(|(n, classes)| {
-        prop::collection::vec(0usize..classes, n)
-    })
+    (20usize..200, 2usize..10)
+        .prop_flat_map(|(n, classes)| prop::collection::vec(0usize..classes, n))
 }
 
 proptest! {

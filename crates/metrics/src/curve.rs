@@ -113,10 +113,7 @@ mod tests {
 
     #[test]
     fn smoothing_flattens_spikes() {
-        let s = Series::from_points(
-            "x",
-            vec![(0.0, 0.0), (1.0, 10.0), (2.0, 0.0), (3.0, 0.0)],
-        );
+        let s = Series::from_points("x", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 0.0), (3.0, 0.0)]);
         let sm = s.smoothed(1);
         assert!(sm.points[1].1 < 5.0);
         assert_eq!(sm.len(), 4);

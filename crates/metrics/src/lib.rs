@@ -14,8 +14,8 @@ pub mod significance;
 pub mod table;
 
 pub use aggregate::{mean_std, MeanStd};
-pub use curve::Series;
 pub use confusion::ConfusionMatrix;
+pub use curve::Series;
 pub use fairness::FairnessStats;
 pub use significance::{welch_t_test, WelchResult};
 pub use table::TextTable;

@@ -28,9 +28,8 @@ impl WelchResult {
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
     assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 samples per side");
     let mean = |x: &[f64]| x.iter().sum::<f64>() / x.len() as f64;
-    let var = |x: &[f64], m: f64| {
-        x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
-    };
+    let var =
+        |x: &[f64], m: f64| x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64;
     let (ma, mb) = (mean(a), mean(b));
     let (va, vb) = (var(a, ma), var(b, mb));
     let (na, nb) = (a.len() as f64, b.len() as f64);
@@ -39,14 +38,17 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
         // Degenerate: identical constant samples.
         let equal = (ma - mb).abs() < 1e-15;
         return WelchResult {
-            t: if equal { 0.0 } else { f64::INFINITY * (ma - mb).signum() },
+            t: if equal {
+                0.0
+            } else {
+                f64::INFINITY * (ma - mb).signum()
+            },
             df: na + nb - 2.0,
             p_two_sided: if equal { 1.0 } else { 0.0 },
         };
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     WelchResult {
         t,
         df,

@@ -23,7 +23,8 @@ impl Conv2d {
         rng: &mut R,
     ) -> Self {
         let fan_in = in_ch * kernel * kernel;
-        let weight = Initializer::KaimingNormal { fan_in }.init(&[out_ch, in_ch, kernel, kernel], rng);
+        let weight =
+            Initializer::KaimingNormal { fan_in }.init(&[out_ch, in_ch, kernel, kernel], rng);
         Conv2d {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_ch])),

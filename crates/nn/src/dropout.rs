@@ -59,12 +59,7 @@ impl Layer for Dropout {
         match &self.mask {
             None => dout.clone(),
             Some(mask) => {
-                let data = dout
-                    .data()
-                    .iter()
-                    .zip(mask)
-                    .map(|(&g, &m)| g * m)
-                    .collect();
+                let data = dout.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
                 Tensor::from_vec(data, dout.dims())
             }
         }

@@ -24,7 +24,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
-        assert!(!self.input_dims.is_empty(), "Flatten::backward before forward");
+        assert!(
+            !self.input_dims.is_empty(),
+            "Flatten::backward before forward"
+        );
         dout.reshape(&self.input_dims)
     }
 

@@ -43,7 +43,11 @@ pub fn check_layer_gradients<L: Layer, R: Rng>(layer: &mut L, input_dims: &[usiz
     }
 
     // Parameter gradients.
-    let analytic: Vec<Vec<f32>> = layer.params().iter().map(|p| p.grad.data().to_vec()).collect();
+    let analytic: Vec<Vec<f32>> = layer
+        .params()
+        .iter()
+        .map(|p| p.grad.data().to_vec())
+        .collect();
     let param_sizes: Vec<usize> = layer.params().iter().map(|p| p.numel()).collect();
     for (pi, &size) in param_sizes.iter().enumerate() {
         for s in 0..size.min(8) {

@@ -18,8 +18,8 @@ pub struct GroupNorm {
 }
 
 struct GnCache {
-    normalized: Tensor,   // x̂ (pre-scale)
-    inv_std: Vec<f32>,    // per (sample, group)
+    normalized: Tensor, // x̂ (pre-scale)
+    inv_std: Vec<f32>,  // per (sample, group)
     dims: Vec<usize>,
 }
 
@@ -27,7 +27,10 @@ impl GroupNorm {
     /// # Panics
     /// Panics if `channels` is not divisible by `groups`.
     pub fn new(channels: usize, groups: usize) -> Self {
-        assert!(groups > 0 && channels.is_multiple_of(groups), "channels % groups != 0");
+        assert!(
+            groups > 0 && channels.is_multiple_of(groups),
+            "channels % groups != 0"
+        );
         GroupNorm {
             gamma: Param::new(Tensor::ones(&[channels])),
             beta: Param::new(Tensor::zeros(&[channels])),
@@ -89,7 +92,10 @@ impl Layer for GroupNorm {
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("GroupNorm::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("GroupNorm::backward before forward");
         let d = &cache.dims;
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let cg = c / self.groups;
@@ -174,8 +180,8 @@ mod tests {
                 let base = img * 4 * 9 + g * group_size;
                 let slab = &y.data()[base..base + group_size];
                 let mean = slab.iter().sum::<f32>() / group_size as f32;
-                let var = slab.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                    / group_size as f32;
+                let var =
+                    slab.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / group_size as f32;
                 assert!(mean.abs() < 1e-4, "mean {mean}");
                 assert!((var - 1.0).abs() < 1e-2, "var {var}");
             }
@@ -199,7 +205,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut gn = GroupNorm::new(4, 2);
         // Perturb γ/β away from the identity so grads are non-trivial.
-        gn.gamma.value = Initializer::Normal(1.0).init(&[4], &mut rng).map(|v| 1.0 + 0.3 * v);
+        gn.gamma.value = Initializer::Normal(1.0)
+            .init(&[4], &mut rng)
+            .map(|v| 1.0 + 0.3 * v);
         gn.beta.value = Initializer::Normal(0.3).init(&[4], &mut rng);
         check_layer_gradients(&mut gn, &[2, 4, 3, 3], &mut rng);
     }

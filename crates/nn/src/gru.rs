@@ -91,7 +91,10 @@ impl Gru {
                 let (zd, rd, nd, hnp) =
                     (z.data_mut(), r.data_mut(), n.data_mut(), hn_pre.data_mut());
                 for b in 0..batch {
-                    let (xrow, hrow) = (&xd[b * 3 * hd..(b + 1) * 3 * hd], &hdta[b * 3 * hd..(b + 1) * 3 * hd]);
+                    let (xrow, hrow) = (
+                        &xd[b * 3 * hd..(b + 1) * 3 * hd],
+                        &hdta[b * 3 * hd..(b + 1) * 3 * hd],
+                    );
                     for j in 0..hd {
                         let zv = sigmoid(xrow[j] + hrow[j]);
                         let rv = sigmoid(xrow[hd + j] + hrow[hd + j]);
@@ -306,7 +309,11 @@ mod tests {
                 let vals: Vec<f32> = (0..4)
                     .map(|t| ((i * 7 + t * 3) % 11) as f32 / 5.0 - 1.0)
                     .collect();
-                let label = if vals.iter().sum::<f32>() > 0.0 { 1.0 } else { -1.0 };
+                let label = if vals.iter().sum::<f32>() > 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 (vals, label)
             })
             .collect();

@@ -42,7 +42,9 @@ impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.ndim(), 2, "Linear expects [batch, in] input");
         assert_eq!(input.dims()[1], self.in_dim(), "Linear input dim mismatch");
-        let out = input.matmul(&self.weight.value).add_row_bias(&self.bias.value);
+        let out = input
+            .matmul(&self.weight.value)
+            .add_row_bias(&self.bias.value);
         self.cached_input = Some(input.clone());
         out
     }

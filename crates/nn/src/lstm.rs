@@ -11,10 +11,10 @@ use rfl_tensor::{Initializer, Tensor};
 
 /// Per-timestep cache for BPTT.
 struct StepCache {
-    h_prev: Tensor,  // [N, H]
-    c_prev: Tensor,  // [N, H]
-    gates: Tensor,   // [N, 4H] post-activation (i, f, g, o)
-    tanh_c: Tensor,  // [N, H]
+    h_prev: Tensor, // [N, H]
+    c_prev: Tensor, // [N, H]
+    gates: Tensor,  // [N, 4H] post-activation (i, f, g, o)
+    tanh_c: Tensor, // [N, H]
 }
 
 /// One LSTM layer. Hidden and cell states start at zero each sequence batch.
@@ -79,10 +79,7 @@ impl Lstm {
         self.cache.reserve(t_len);
 
         for t in 0..t_len {
-            let x_t = Tensor::from_vec(
-                input.data()[t * n * d..(t + 1) * n * d].to_vec(),
-                &[n, d],
-            );
+            let x_t = Tensor::from_vec(input.data()[t * n * d..(t + 1) * n * d].to_vec(), &[n, d]);
             // Pre-activations for all four gates at once: [N, 4H].
             let mut z = x_t
                 .matmul(&self.wx.value)
@@ -204,10 +201,7 @@ impl Lstm {
                 }
             }
 
-            let x_t = Tensor::from_vec(
-                input.data()[t * n * d..(t + 1) * n * d].to_vec(),
-                &[n, d],
-            );
+            let x_t = Tensor::from_vec(input.data()[t * n * d..(t + 1) * n * d].to_vec(), &[n, d]);
             self.wx.grad.add_assign(&x_t.matmul_transa(&dz));
             self.wh.grad.add_assign(&cache.h_prev.matmul_transa(&dz));
             self.b.grad.add_assign(&dz.sum_axis0());
@@ -288,12 +282,12 @@ mod tests {
 
         let eps = 1e-3;
         // Parameter gradients: spot-check several coordinates in each matrix.
-        let analytic: Vec<Vec<f32>> = l
-            .params()
-            .iter()
-            .map(|p| p.grad.data().to_vec())
-            .collect();
-        for (pi, picks) in [(0usize, vec![0usize, 5, 11]), (1, vec![0, 7]), (2, vec![0, 4, 9])] {
+        let analytic: Vec<Vec<f32>> = l.params().iter().map(|p| p.grad.data().to_vec()).collect();
+        for (pi, picks) in [
+            (0usize, vec![0usize, 5, 11]),
+            (1, vec![0, 7]),
+            (2, vec![0, 4, 9]),
+        ] {
             for &i in &picks {
                 let orig = l.params()[pi].value.data()[i];
                 l.params_mut()[pi].value.data_mut()[i] = orig + eps;

@@ -215,10 +215,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut m = LogisticRegression::new(2, 2, 0.0, &mut rng);
         // Class 0 at (-1,-1), class 1 at (1,1).
-        let x = Tensor::from_vec(
-            vec![-1.0, -1.0, 1.0, 1.0, -0.8, -1.2, 1.1, 0.9],
-            &[4, 2],
-        );
+        let x = Tensor::from_vec(vec![-1.0, -1.0, 1.0, 1.0, -0.8, -1.2, 1.1, 0.9], &[4, 2]);
         let y = [0usize, 1, 0, 1];
         let mut opt = Sgd::new(0.5);
         let (mut flat, mut grads) = (Vec::new(), Vec::new());

@@ -85,10 +85,7 @@ impl Model for LstmClassifier {
         self.cached_steps = t_len;
         self.cached_batch = n;
         // Final hidden state of the top layer.
-        let last = Tensor::from_vec(
-            h2.data()[(t_len - 1) * n * h_dim..].to_vec(),
-            &[n, h_dim],
-        );
+        let last = Tensor::from_vec(h2.data()[(t_len - 1) * n * h_dim..].to_vec(), &[n, h_dim]);
         let f = self.fc_feat.forward(&last, train);
         let features = self.tanh.forward(&f, train);
         let logits = self.fc_out.forward(&features, train);
@@ -102,7 +99,7 @@ impl Model for LstmClassifier {
         }
         let d = self.tanh.backward(&d);
         let d_last = self.fc_feat.backward(&d); // [N, H]
-        // Expand to [T, N, H] with gradient only at the final step.
+                                                // Expand to [T, N, H] with gradient only at the final step.
         let (t_len, n) = (self.cached_steps, self.cached_batch);
         let h_dim = self.lstm2.hidden();
         let mut dh2 = Tensor::zeros(&[t_len, n, h_dim]);

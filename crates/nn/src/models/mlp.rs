@@ -129,10 +129,7 @@ mod tests {
         // XOR is the canonical not-linearly-separable task an MLP must solve.
         let mut rng = StdRng::seed_from_u64(1);
         let mut m = MlpClassifier::new(2, &[8], 2, &mut rng);
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        );
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
         let y = [0usize, 1, 1, 0];
         let mut opt = Sgd::new(0.5);
         let (mut flat, mut grads) = (Vec::new(), Vec::new());

@@ -304,11 +304,6 @@ mod tests {
             stride: 1,
             pad: 0,
         };
-        conv2d(
-            &seq(&[1, 2, 3, 3]),
-            &seq(&[1, 3, 1, 1]),
-            &seq(&[1]),
-            spec,
-        );
+        conv2d(&seq(&[1, 2, 3, 3]), &seq(&[1, 3, 1, 1]), &seq(&[1]), spec);
     }
 }

@@ -32,8 +32,8 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
                             let ix = ix0 + kx;
                             let col = ic * k * k + (ky * k as isize + kx) as usize;
                             if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                o[base + col] = x[((img * c + ic) * h + iy as usize) * w
-                                    + ix as usize];
+                                o[base + col] =
+                                    x[((img * c + ic) * h + iy as usize) * w + ix as usize];
                             }
                         }
                     }
@@ -54,7 +54,7 @@ pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvS
     let cols = im2col(input, spec); // [N·OH·OW, C·K·K]
     let wmat = weight.reshape(&[o_ch, weight.numel() / o_ch]); // [O, C·K·K]
     let prod = cols.matmul_transb(&wmat); // [N·OH·OW, O]
-    // Rearrange [N·OH·OW, O] → [N, O, OH, OW] and add bias.
+                                          // Rearrange [N·OH·OW, O] → [N, O, OH, OW] and add bias.
     let mut out = Tensor::zeros(&[n, o_ch, oh, ow]);
     let pd = prod.data();
     let b = bias.data();

@@ -92,7 +92,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = Initializer::Normal(2.0).init(&[20_000], &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());

@@ -110,7 +110,10 @@ mod tests {
     fn overlapping_windows_accumulate() {
         // stride 1 window 2 on a 3-wide row: middle max can win twice.
         let x = Tensor::from_vec(vec![0.0, 5.0, 0.0], &[1, 1, 1, 3]);
-        let spec = PoolSpec { window: 2, stride: 1 };
+        let spec = PoolSpec {
+            window: 2,
+            stride: 1,
+        };
         let (y, arg) = maxpool2d(
             &x.reshape(&[1, 1, 1, 3]),
             PoolSpec {
@@ -137,6 +140,13 @@ mod tests {
     #[test]
     fn out_size_math() {
         assert_eq!(PoolSpec::square(2).out_size(8), 4);
-        assert_eq!(PoolSpec { window: 3, stride: 2 }.out_size(7), 3);
+        assert_eq!(
+            PoolSpec {
+                window: 3,
+                stride: 2
+            }
+            .out_size(7),
+            3
+        );
     }
 }

@@ -1,0 +1,139 @@
+//! JSONL serialization of the span journal.
+//!
+//! Hand-rolled writer: every value is a `u64`, a span-kind literal, or a
+//! label string, so a serde dependency would buy nothing here.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::span::SpanRecord;
+use crate::tracer::Tracer;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// One span as a single-line JSON object. Optional fields (`label`, `round`,
+/// `client`) are omitted rather than emitted as null; counters nest under
+/// `"ctr"`.
+pub(crate) fn record_to_json(r: &SpanRecord) -> String {
+    let mut s = String::with_capacity(128);
+    s.push_str(&format!(
+        "{{\"id\":{},\"parent\":{},\"span\":\"{}\"",
+        r.id, r.parent, r.kind
+    ));
+    if let Some(label) = &r.label {
+        s.push_str(",\"label\":\"");
+        escape_into(&mut s, label);
+        s.push('"');
+    }
+    if let Some(round) = r.round {
+        s.push_str(&format!(",\"round\":{round}"));
+    }
+    if let Some(client) = r.client {
+        s.push_str(&format!(",\"client\":{client}"));
+    }
+    s.push_str(&format!(
+        ",\"start_ns\":{},\"dur_ns\":{}",
+        r.start_ns, r.dur_ns
+    ));
+    if !r.counters.is_empty() {
+        s.push_str(",\"ctr\":{");
+        for (i, (name, value)) in r.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{value}"));
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+impl Tracer {
+    /// Serialize all finished spans as JSONL (one object per line, in span
+    /// creation order) into `writer`.
+    pub fn write_jsonl_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        for record in self.records() {
+            writeln!(writer, "{}", record_to_json(&record))?;
+        }
+        Ok(())
+    }
+
+    /// Write the JSONL journal to a file at `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_jsonl_to(&mut file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    #[test]
+    fn json_line_shape() {
+        let r = SpanRecord {
+            id: 7,
+            parent: 2,
+            kind: SpanKind::DeltaSync.name(),
+            label: None,
+            round: Some(3),
+            client: Some(1),
+            start_ns: 10,
+            dur_ns: 20,
+            counters: vec![("bytes", 264), ("dims", 64)],
+        };
+        assert_eq!(
+            record_to_json(&r),
+            "{\"id\":7,\"parent\":2,\"span\":\"delta_sync\",\"round\":3,\
+             \"client\":1,\"start_ns\":10,\"dur_ns\":20,\
+             \"ctr\":{\"bytes\":264,\"dims\":64}}"
+        );
+    }
+
+    #[test]
+    fn label_is_escaped_and_optionals_omitted() {
+        let r = SpanRecord {
+            id: 1,
+            parent: 0,
+            kind: SpanKind::Run.name(),
+            label: Some("a\"b\\c".to_string()),
+            round: None,
+            client: None,
+            start_ns: 0,
+            dur_ns: 5,
+            counters: vec![],
+        };
+        let json = record_to_json(&r);
+        assert!(json.contains("\"label\":\"a\\\"b\\\\c\""));
+        assert!(!json.contains("round"));
+        assert!(!json.contains("client"));
+        assert!(!json.contains("ctr"));
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_span() {
+        let t = Tracer::enabled();
+        let run = t.begin_run("x");
+        drop(t.span(SpanKind::Select));
+        drop(run);
+        let mut buf = Vec::new();
+        t.write_jsonl_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().next().unwrap().starts_with("{\"id\":1"));
+    }
+}

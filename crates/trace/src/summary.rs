@@ -1,0 +1,101 @@
+//! End-of-run ASCII summary, grouped by span kind.
+
+use rfl_metrics::TextTable;
+
+use crate::tracer::Tracer;
+
+struct KindAgg {
+    kind: &'static str,
+    count: u64,
+    total_ns: u64,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl Tracer {
+    /// Render a per-span-kind aggregate table: span count, total and mean
+    /// wall-clock, and every counter summed across spans of that kind.
+    ///
+    /// Kinds appear in first-recorded order, so the table reads roughly in
+    /// phase order (`run`, `round`, `select`, `broadcast`, ...).
+    pub fn summary(&self) -> String {
+        let mut aggs: Vec<KindAgg> = Vec::new();
+        for record in self.records() {
+            let agg = match aggs.iter_mut().find(|a| a.kind == record.kind) {
+                Some(a) => a,
+                None => {
+                    aggs.push(KindAgg {
+                        kind: record.kind,
+                        count: 0,
+                        total_ns: 0,
+                        counters: Vec::new(),
+                    });
+                    aggs.last_mut().unwrap()
+                }
+            };
+            agg.count += 1;
+            agg.total_ns += record.dur_ns;
+            for (name, value) in &record.counters {
+                match agg.counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, v)) => *v += value,
+                    None => agg.counters.push((name, *value)),
+                }
+            }
+        }
+
+        let mut table = TextTable::new(&["span", "count", "total ms", "mean ms", "counters"]);
+        for agg in &aggs {
+            let total_ms = agg.total_ns as f64 / 1e6;
+            let mean_ms = total_ms / agg.count.max(1) as f64;
+            let counters = agg
+                .counters
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            table.row(&[
+                agg.kind.to_string(),
+                agg.count.to_string(),
+                format!("{total_ms:.3}"),
+                format!("{mean_ms:.3}"),
+                counters,
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::span::SpanKind;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn summary_aggregates_by_kind() {
+        let t = Tracer::enabled();
+        let run = t.begin_run("demo");
+        for round in 0..2 {
+            let _round = t.begin_round(round);
+            let mut s = t.span(SpanKind::Broadcast);
+            s.counter("bytes", 100);
+        }
+        drop(run);
+        let text = t.summary();
+        assert!(text.contains("broadcast"));
+        assert!(text.contains("bytes=200"));
+        assert!(text.contains("round"));
+        // Two broadcast spans, one per round.
+        let broadcast_line = text
+            .lines()
+            .find(|l| l.contains("broadcast"))
+            .expect("broadcast row");
+        assert!(broadcast_line.contains('2'));
+    }
+
+    #[test]
+    fn summary_of_disabled_tracer_is_headers_only() {
+        let t = Tracer::disabled();
+        let text = t.summary();
+        assert!(text.contains("span"));
+        assert!(!text.contains("broadcast"));
+    }
+}

@@ -29,10 +29,10 @@ pub fn render_scatter(points: &Tensor, labels: &[usize], width: usize, height: u
 
     let mut grid = vec![vec![' '; width]; height];
     for i in 0..n {
-        let cx = ((points.at(&[i, 0]) - min_x) / (max_x - min_x) * (width - 1) as f32).round()
-            as usize;
-        let cy = ((points.at(&[i, 1]) - min_y) / (max_y - min_y) * (height - 1) as f32).round()
-            as usize;
+        let cx =
+            ((points.at(&[i, 0]) - min_x) / (max_x - min_x) * (width - 1) as f32).round() as usize;
+        let cy =
+            ((points.at(&[i, 1]) - min_y) / (max_y - min_y) * (height - 1) as f32).round() as usize;
         grid[height - 1 - cy][cx] = GLYPHS[labels[i] % GLYPHS.len()];
     }
     let mut out = String::new();

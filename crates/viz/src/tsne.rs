@@ -234,15 +234,11 @@ mod tests {
         let between = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
         let mut within = 0.0;
         for i in 0..n_per {
-            within += ((y.at(&[i, 0]) as f64 - ax).powi(2)
-                + (y.at(&[i, 1]) as f64 - ay).powi(2))
-            .sqrt();
+            within +=
+                ((y.at(&[i, 0]) as f64 - ax).powi(2) + (y.at(&[i, 1]) as f64 - ay).powi(2)).sqrt();
         }
         within /= n_per as f64;
-        assert!(
-            between > 2.0 * within,
-            "between {between} within {within}"
-        );
+        assert!(between > 2.0 * within, "between {between} within {within}");
     }
 
     #[test]

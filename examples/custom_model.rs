@@ -98,7 +98,14 @@ fn main() {
         .map(|(k, d)| {
             let mut model_rng = StdRng::seed_from_u64(99); // same init everywhere
             let model = Box::new(SigmoidNet::new(10, 12, 4, &mut model_rng));
-            Client::new(k, model, d.clone(), Box::new(rfedavg::nn::Sgd::new(0.2)), 10, 99)
+            Client::new(
+                k,
+                model,
+                d.clone(),
+                Box::new(rfedavg::nn::Sgd::new(0.2)),
+                10,
+                99,
+            )
         })
         .collect();
 
@@ -163,5 +170,8 @@ fn main() {
         .filter(|(p, y)| p == y)
         .count() as f32
         / data.test.len() as f32;
-    println!("\ncustom SigmoidNet via rFedAvg+: test acc {:.1}%, loss {loss:.3}", acc * 100.0);
+    println!(
+        "\ncustom SigmoidNet via rFedAvg+: test acc {:.1}%, loss {loss:.3}",
+        acc * 100.0
+    );
 }

@@ -29,7 +29,10 @@ fn main() {
         ..FlConfig::cross_silo()
     };
 
-    println!("rFedAvg+ under the Gaussian mechanism on δ (clip C₀ = 5, batch L = {}):", cfg.batch_size);
+    println!(
+        "rFedAvg+ under the Gaussian mechanism on δ (clip C₀ = 5, batch L = {}):",
+        cfg.batch_size
+    );
     for sigma in [0.0f32, 1.0, 5.0, 20.0] {
         // λ raised so the regularizer (and its noise) is load-bearing.
         let mut algo = if sigma == 0.0 {

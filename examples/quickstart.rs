@@ -54,5 +54,7 @@ fn main() {
             history.total_delta_bytes() as f64 / 1024.0,
         );
     }
-    println!("\nOn non-IID data the distribution-regularized rFedAvg+ should match or beat FedAvg.");
+    println!(
+        "\nOn non-IID data the distribution-regularized rFedAvg+ should match or beat FedAvg."
+    );
 }

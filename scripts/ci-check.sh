@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the exact same checks as .github/workflows/ci.yml, locally.
+# Usage: scripts/ci-check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== all CI checks passed"

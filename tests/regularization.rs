@@ -105,7 +105,9 @@ fn delta_traffic_scaling_in_n() {
     let traffic = |n_clients: usize, plus: bool| -> u64 {
         let mut rng = StdRng::seed_from_u64(13);
         let spec = GaussianMixtureSpec::default_spec();
-        let clients = (0..n_clients).map(|_| spec.generate(20, None, &mut rng)).collect();
+        let clients = (0..n_clients)
+            .map(|_| spec.generate(20, None, &mut rng))
+            .collect();
         let test = spec.generate(40, None, &mut rng);
         let data = FederatedData { clients, test };
         let c = cfg(3, 13);
@@ -169,7 +171,10 @@ fn moderate_dp_noise_is_tolerated() {
         } else {
             RFedAvgPlus::new(1e-3).with_dp(DpConfig::new(sigma, 1.0, 10))
         };
-        Trainer::new(c).run(&mut algo, &mut fed).final_accuracy().unwrap()
+        Trainer::new(c)
+            .run(&mut algo, &mut fed)
+            .final_accuracy()
+            .unwrap()
     };
     let clean = run(0.0);
     let noisy = run(2.0);

@@ -1,0 +1,231 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! Implements just the surface the wire codec uses: [`Bytes`] (cheaply
+//! cloneable, sliceable, shared byte buffer), [`BytesMut`] (growable builder),
+//! and the [`Buf`]/[`BufMut`] cursor traits with the little-endian accessors.
+
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer with O(1) clone and slice.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::from_static(&[])
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-range view.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(buf)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(buf)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.start += cnt;
+    }
+}
+
+/// Write cursor over a growable byte buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+/// A growable buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(3);
+        b.put_f32_le(1.5);
+        b.put_f32_le(-2.25);
+        b.put_u8(9);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 13);
+        assert_eq!(bytes.get_u32_le(), 3);
+        assert_eq!(bytes.get_f32_le(), 1.5);
+        assert_eq!(bytes.get_f32_le(), -2.25);
+        assert_eq!(bytes.get_u8(), 9);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_views_share_storage() {
+        let bytes = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = bytes.slice(2..5);
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        assert_eq!(bytes.len(), 6, "parent untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        b.advance(3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Provides the measurement surface the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, throughput annotation) with a simple wall-clock harness:
+//! a short warm-up, then timed batches until a fixed measurement budget is
+//! spent, reporting mean ns/iteration (and MB/s when a byte throughput is
+//! set). No statistics, plots, or saved baselines — run the real criterion
+//! for publication-grade numbers; this exists so `cargo bench` and
+//! `--all-targets` builds work offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// How a batched iteration's setup output is sized (ignored by this harness).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        while t0.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let t1 = Instant::now();
+        while t1.elapsed() < MEASURE {
+            black_box(routine());
+            iters += 1;
+        }
+        self.mean_ns = t1.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        while t0.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters: u64 = 0;
+        let mut measured = Duration::ZERO;
+        let budget = Instant::now();
+        while budget.elapsed() < MEASURE {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = measured.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let time = if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} µs", mean_ns / 1e3)
+    } else {
+        format!("{mean_ns:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Bytes(b)) if mean_ns > 0.0 => {
+            let mbps = b as f64 / mean_ns * 1e9 / 1e6;
+            println!("{name:<48} time: {time:>12}   thrpt: {mbps:.1} MB/s");
+        }
+        Some(Throughput::Elements(e)) if mean_ns > 0.0 => {
+            let eps = e as f64 / mean_ns * 1e9;
+            println!("{name:<48} time: {time:>12}   thrpt: {eps:.0} elem/s");
+        }
+        _ => println!("{name:<48} time: {time:>12}"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(id, b.mean_ns, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| black_box(0));
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("enc", 64).to_string(), "enc/64");
+    }
+}

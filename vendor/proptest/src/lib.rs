@@ -1,0 +1,161 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `name in strategy` bindings,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * range strategies (`0usize..10`, `-1.0f32..1.0`, …), tuples of
+//!   strategies, [`prop::collection::vec`], `Just`, and `prop_flat_map`.
+//!
+//! Unlike full proptest there is no shrinking: a failing case panics with the
+//! generated inputs in the message (every strategy value is `Debug`), which
+//! is enough to reproduce since case generation is deterministic per test
+//! name. The case count defaults to 64 and honours the `PROPTEST_CASES`
+//! environment variable like upstream.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop` namespace (`prop::collection::vec`, …) re-exported by the
+/// prelude, mirroring upstream's layout.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Outcome of one generated case (used by the macro expansion).
+pub enum CaseResult {
+    Pass,
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted = 0u32;
+                let mut drawn = 0u32;
+                while accepted < cases {
+                    drawn += 1;
+                    assert!(
+                        drawn < cases * 20,
+                        "prop_assume! rejected too many inputs ({} draws for {} cases)",
+                        drawn,
+                        cases
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    // The immediately-called closure gives `prop_assume!` a
+                    // `return` target without a `'block` label.
+                    #[allow(clippy::redundant_closure_call)]
+                    let case = (|| -> $crate::CaseResult {
+                        // One generated case; prop_assume! returns Reject early.
+                        $body
+                        $crate::CaseResult::Pass
+                    })();
+                    if let $crate::CaseResult::Pass = case {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y), "y={}", y);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0usize..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_filters(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_chains(v in (1usize..4, 2usize..5).prop_flat_map(|(n, k)| {
+            prop::collection::vec(0usize..k, n)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+
+        #[test]
+        fn just_is_constant(x in Just(42)) {
+            prop_assert_eq!(x, 42);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Sampling distributions: `Standard` and `Uniform`.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: unit-interval floats, full-range
+/// integers, fair booleans.
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 high bits → uniform on [0, 1) with full f32 mantissa coverage.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod uniform {
+    use super::*;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform sample from `[lo, hi)` (`inclusive = false`) or
+        /// `[lo, hi]` (`inclusive = true`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! uniform_float {
+        ($t:ty, $next:ident, $shift:expr, $denom:expr) => {
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    // For floats the closed/half-open distinction is
+                    // immaterial at this precision.
+                    let unit = (rng.$next() >> $shift) as $t / $denom;
+                    lo + (hi - lo) * unit
+                }
+            }
+        };
+    }
+    uniform_float!(f32, next_u32, 8, (1u32 << 24) as f32);
+    uniform_float!(f64, next_u64, 11, (1u64 << 53) as f64);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let lo_w = lo as i128;
+                    let hi_w = hi as i128;
+                    let span = (hi_w - lo_w + if inclusive { 1 } else { 0 }) as u128;
+                    assert!(span > 0, "empty range in gen_range");
+                    if span > u64::MAX as u128 {
+                        // Only reachable for the full u64/i64 domain; a raw
+                        // draw is already uniform there.
+                        return rng.next_u64() as $t;
+                    }
+                    let span = span as u64;
+                    // Rejection sampling kills modulo bias.
+                    let zone = u64::MAX - (u64::MAX % span);
+                    loop {
+                        let v = rng.next_u64();
+                        if v < zone {
+                            return (lo_w + (v % span) as i128) as $t;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Range forms accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "empty range in gen_range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty inclusive range in gen_range");
+            T::sample_uniform(rng, lo, hi, true)
+        }
+    }
+}
+
+/// A reusable uniform distribution over `[lo, hi)` or `[lo, hi]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T: uniform::SampleUniform> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.lo, self.hi, self.inclusive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_inclusive_hits_bounds_eventually() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Uniform::new_inclusive(0u64, 3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_float_symmetric_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Uniform::new_inclusive(-2.0f32, 2.0);
+        let mean: f32 = (0..4000).map(|_| d.sample(&mut rng)).sum::<f32>() / 4000.0;
+        assert!(mean.abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn negative_integer_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let v = i32::sample_uniform(&mut rng, -5, 5, false);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}
