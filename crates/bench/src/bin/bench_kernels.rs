@@ -1,0 +1,264 @@
+//! Kernel benchmark report for the blocked-GEMM / parallel-conv work:
+//! measures the shipped kernels against naive references and across thread
+//! budgets, and emits a JSON report (`BENCH_PR2.json` via
+//! `scripts/bench-report.sh`).
+//!
+//! Usage: `bench_kernels [--smoke] [--out <path>]`
+//!
+//! `--smoke` shrinks repetition counts so CI can verify the harness runs
+//! end-to-end in seconds; timings from a smoke run are not meaningful.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_core::prelude::*;
+use rfl_core::{Federation, FlConfig, ModelFactory, OptimizerFactory, Trainer};
+use rfl_data::synth::image::SynthImageSpec;
+use rfl_data::{partition, FederatedData};
+use rfl_nn::CnnConfig;
+use rfl_tensor::{
+    conv2d, conv2d_backward, set_thread_budget, thread_budget, ConvSpec, Initializer, Tensor,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Seed-commit (14b076e) medians on this container, recorded before the
+/// blocked/parallel kernels landed — the "before" column of the report.
+const SEED_BASELINES: &[(&str, f64)] = &[
+    ("gemm_256", 0.002618),
+    ("gemm_transb_256", 0.004729),
+    ("gemm_transa_256", 0.002004),
+    ("conv_fwd", 0.025081),
+    ("conv_bwd", 0.032118),
+    ("mmd_all_k", 0.001881),
+    ("mmd_mean_excluding_all", 0.000566),
+    ("round_loop", 0.306919),
+];
+
+fn median_secs(mut f: impl FnMut(), reps: usize) -> f64 {
+    let mut ts: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts[ts.len() / 2]
+}
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let (ad, bd) = (a.data(), b.data());
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(c, &[m, n])
+}
+
+/// One small CNN federated run; returns (seconds, final train loss).
+fn round_loop(seed: u64, rounds: usize) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SynthImageSpec::mnist_like();
+    let pool = spec.generate(4 * 40, &mut rng);
+    let parts = partition::similarity(pool.labels(), 4, 0.5, &mut rng);
+    let test = spec.generate(64, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    let cfg = FlConfig {
+        rounds,
+        local_steps: 2,
+        batch_size: 16,
+        sample_ratio: 1.0,
+        eval_every: 100,
+        parallel: true,
+        clip_grad_norm: Some(10.0),
+        seed,
+    };
+    let t0 = Instant::now();
+    let mut fed = Federation::new(
+        &data,
+        ModelFactory::cnn(CnnConfig::mnist_like()),
+        OptimizerFactory::sgd(0.05),
+        &cfg,
+        seed,
+    );
+    let mut algo = RFedAvgPlus::new(1e-3);
+    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    (
+        t0.elapsed().as_secs_f64(),
+        h.records().last().unwrap().train_loss as f64,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let reps = if smoke { 1 } else { 7 };
+    let default_budget = thread_budget();
+    // The multi-thread arm: the machine default, or 2 workers when the
+    // container only exposes one core (oversubscribed, but it still
+    // exercises the cross-budget determinism contract honestly).
+    let multi = default_budget.max(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // GEMM 256³: naive reference, blocked at 1 thread, blocked at default.
+    let a = Initializer::Normal(1.0).init(&[256, 256], &mut rng);
+    let b = Initializer::Normal(1.0).init(&[256, 256], &mut rng);
+    if !smoke {
+        let t = median_secs(
+            || {
+                std::hint::black_box(naive_matmul(&a, &b));
+            },
+            reps,
+        );
+        entries.push(("gemm_256_naive_ref".into(), t));
+    }
+    set_thread_budget(1);
+    let t = median_secs(
+        || {
+            std::hint::black_box(a.matmul(&b));
+        },
+        reps,
+    );
+    entries.push(("gemm_256_blocked_1t".into(), t));
+    set_thread_budget(multi);
+    let t = median_secs(
+        || {
+            std::hint::black_box(a.matmul(&b));
+        },
+        reps,
+    );
+    entries.push((format!("gemm_256_blocked_{multi}t"), t));
+    let c1 = {
+        set_thread_budget(1);
+        a.matmul(&b)
+    };
+    let cn = {
+        set_thread_budget(multi);
+        a.matmul(&b)
+    };
+    let gemm_bit_identical = c1.data() == cn.data();
+
+    // Conv forward/backward, batch 32, 8→16 channels on 16×16.
+    let x = Initializer::Normal(1.0).init(&[32, 8, 16, 16], &mut rng);
+    let w = Initializer::Normal(0.1).init(&[16, 8, 3, 3], &mut rng);
+    let bias = Tensor::zeros(&[16]);
+    let spec = ConvSpec {
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let y = conv2d(&x, &w, &bias, spec);
+    let dy = Tensor::ones(y.dims());
+    for (budget, label) in [(1usize, "1t".to_string()), (multi, format!("{multi}t"))] {
+        set_thread_budget(budget);
+        let t = median_secs(
+            || {
+                std::hint::black_box(conv2d(&x, &w, &bias, spec));
+            },
+            reps,
+        );
+        entries.push((format!("conv_fwd_{label}"), t));
+        let t = median_secs(
+            || {
+                std::hint::black_box(conv2d_backward(&x, &w, &dy, spec));
+            },
+            reps,
+        );
+        entries.push((format!("conv_bwd_{label}"), t));
+    }
+    set_thread_budget(default_budget);
+
+    // MMD: pairwise O(N²·d) vs. batch O(N·d) over N=200 clients, d=64.
+    let deltas: Vec<Vec<f32>> = (0..200)
+        .map(|k| (0..64).map(|i| ((k * 31 + i) as f32).sin()).collect())
+        .collect();
+    let t = median_secs(
+        || {
+            let s: f32 = (0..deltas.len())
+                .map(|k| rfl_core::mmd::regularizer_value(k, &deltas))
+                .sum();
+            std::hint::black_box(s);
+        },
+        reps,
+    );
+    entries.push(("mmd_all_k_pairwise".into(), t));
+    let t = median_secs(
+        || {
+            let stats = rfl_core::mmd::MmdStats::new(&deltas);
+            std::hint::black_box(stats.regularizer_values());
+        },
+        reps,
+    );
+    entries.push(("mmd_all_k_batch".into(), t));
+
+    // Round loop at budget 1 vs. default; losses must be bit-identical.
+    let rounds = if smoke { 1 } else { 2 };
+    set_thread_budget(1);
+    let (t1, loss1) = round_loop(7, rounds);
+    entries.push(("round_loop_1t".into(), t1));
+    set_thread_budget(multi);
+    let (tn, lossn) = round_loop(7, rounds);
+    entries.push((format!("round_loop_{multi}t"), tn));
+    let round_bit_identical = loss1 == lossn;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"machine_cores\": {cores},");
+    let _ = writeln!(json, "  \"default_thread_budget\": {default_budget},");
+    let _ = writeln!(json, "  \"seed_commit\": \"14b076e\",");
+    let _ = writeln!(
+        json,
+        "  \"gemm_bit_identical_across_budgets\": {gemm_bit_identical},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"round_loop_bit_identical_across_budgets\": {round_bit_identical},"
+    );
+    let _ = writeln!(json, "  \"round_loop_final_loss\": {loss1:.9},");
+    json.push_str("  \"seed_baselines_secs\": {\n");
+    for (i, (k, v)) in SEED_BASELINES.iter().enumerate() {
+        let comma = if i + 1 < SEED_BASELINES.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(json, "    \"{k}\": {v:.6}{comma}");
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"measured_secs\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{k}\": {v:.6}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    if !gemm_bit_identical || !round_bit_identical {
+        eprintln!("ERROR: results differ across thread budgets");
+        std::process::exit(1);
+    }
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write report");
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+}

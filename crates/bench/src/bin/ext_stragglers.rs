@@ -30,6 +30,7 @@ fn run_with_stragglers(sc: &Scenario, cfg: &FlConfig, method: &str, drop: f64, s
         let selected: Vec<usize> = (0..fed.num_clients()).collect();
         fed.broadcast_params(&selected);
         let anchor = Arc::new(fed.global().to_vec());
+        let mut targets = table.means_excluding_initialized();
         let rules: Vec<LocalRule> = selected
             .iter()
             .map(|&k| match method {
@@ -37,7 +38,7 @@ fn run_with_stragglers(sc: &Scenario, cfg: &FlConfig, method: &str, drop: f64, s
                     mu: sc.prox_mu,
                     anchor: anchor.clone(),
                 },
-                "rFedAvg+" => match table.mean_excluding_initialized(k) {
+                "rFedAvg+" => match targets[k].take() {
                     Some(target) => LocalRule::Mmd {
                         lambda: sc.lambda,
                         target: Arc::new(target),

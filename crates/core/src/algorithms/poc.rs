@@ -74,13 +74,14 @@ impl Algorithm for PowerOfChoice {
         drop(select_span);
 
         // rFedAvg+ style regularized local training on the selection.
+        let mut targets = table.means_excluding_initialized();
         let rules: Vec<LocalRule> = selected
             .iter()
             .map(|&k| {
                 if self.lambda == 0.0 {
                     return LocalRule::Plain;
                 }
-                match table.mean_excluding_initialized(k) {
+                match targets[k].take() {
                     Some(target) => LocalRule::Mmd {
                         lambda: self.lambda,
                         target: Arc::new(target),

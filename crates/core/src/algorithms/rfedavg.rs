@@ -90,9 +90,10 @@ impl Algorithm for RFedAvg {
         // Each client's regularization target is the mean of the other
         // (already-reported) delayed maps; until another client has reported,
         // the client trains unregularized (δ₀ is uninformative).
+        let mut targets = table.means_excluding_initialized();
         let rules: Vec<LocalRule> = selected
             .iter()
-            .map(|&k| match table.mean_excluding_initialized(k) {
+            .map(|&k| match targets[k].take() {
                 Some(target) => LocalRule::Mmd {
                     lambda: self.lambda,
                     target: Arc::new(target),

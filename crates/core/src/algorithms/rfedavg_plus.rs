@@ -82,9 +82,10 @@ impl Algorithm for RFedAvgPlus {
         let rules: Vec<LocalRule> = {
             let mut span = tracer.span(SpanKind::DeltaBroadcast);
             let before = fed.channel().snapshot();
+            let mut targets = table.means_excluding_initialized();
             let rules = selected
                 .iter()
-                .map(|&k| match table.mean_excluding_initialized(k) {
+                .map(|&k| match targets[k].take() {
                     Some(target) => {
                         let received = fed
                             .channel_mut()

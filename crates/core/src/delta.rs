@@ -93,6 +93,42 @@ impl DeltaTable {
         Some(out)
     }
 
+    /// All `N` leave-one-out averages over initialized entries in one pass:
+    /// `O(N·d)` total instead of `O(N²·d)` for `N` calls of
+    /// [`Self::mean_excluding_initialized`]. The per-`k` result is identical
+    /// up to summation order (`T_init − δ_k` vs. skipping `δ_k` in the sum);
+    /// all algorithm round loops use this batch form so the broadcast
+    /// targets for a round are computed once.
+    pub fn means_excluding_initialized(&self) -> Vec<Option<Vec<f32>>> {
+        let mut total = vec![0.0f32; self.dim];
+        let mut c_init = 0usize;
+        for (j, d) in self.deltas.iter().enumerate() {
+            if self.initialized[j] {
+                for (t, &v) in total.iter_mut().zip(d) {
+                    *t += v;
+                }
+                c_init += 1;
+            }
+        }
+        (0..self.deltas.len())
+            .map(|k| {
+                let (cnt, sub): (usize, Option<&[f32]>) = if self.initialized[k] {
+                    (c_init.saturating_sub(1), Some(&self.deltas[k]))
+                } else {
+                    (c_init, None)
+                };
+                if cnt == 0 {
+                    return None;
+                }
+                let inv = 1.0 / cnt as f32;
+                Some(match sub {
+                    Some(dk) => total.iter().zip(dk).map(|(&t, &v)| (t - v) * inv).collect(),
+                    None => total.iter().map(|&t| t * inv).collect(),
+                })
+            })
+            .collect()
+    }
+
     /// The exact pairwise regularizer value for client `k` (diagnostics).
     pub fn regularizer_value(&self, k: usize) -> f32 {
         mmd::regularizer_value(k, &self.deltas)
@@ -100,9 +136,12 @@ impl DeltaTable {
 
     /// Mean pairwise regularizer across all clients — the global
     /// `Σ p_k r_k` proxy logged as `reg_value` in training curves.
+    /// Uses the `O(N·d)` [`mmd::MmdStats`] expansion rather than the
+    /// `O(N²·d)` pairwise loop.
     pub fn mean_regularizer(&self) -> f32 {
+        let stats = mmd::MmdStats::new(&self.deltas);
         let n = self.deltas.len();
-        (0..n).map(|k| self.regularizer_value(k)).sum::<f32>() / n as f32
+        stats.regularizer_values().iter().sum::<f32>() / n as f32
     }
 }
 
@@ -171,5 +210,43 @@ mod partial_tests {
         // Excludes self even when initialized.
         t.set(0, vec![100.0]);
         assert_eq!(t.mean_excluding_initialized(0), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn batch_means_match_per_client_queries() {
+        let mut t = DeltaTable::new(5, 3);
+        t.set(0, vec![1.0, -2.0, 0.5]);
+        t.set(2, vec![0.25, 4.0, -1.5]);
+        t.set(4, vec![-3.0, 0.0, 2.0]);
+        let batch = t.means_excluding_initialized();
+        assert_eq!(batch.len(), 5);
+        for (k, entry) in batch.iter().enumerate() {
+            match (entry, t.mean_excluding_initialized(k)) {
+                (Some(b), Some(p)) => {
+                    for (a, c) in b.iter().zip(&p) {
+                        assert!((a - c).abs() < 1e-6, "k={k}: {a} vs {c}");
+                    }
+                }
+                (None, None) => {}
+                (b, p) => panic!("k={k}: batch {b:?} vs per-k {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_means_all_none_when_table_empty() {
+        let t = DeltaTable::new(3, 2);
+        assert!(t.means_excluding_initialized().iter().all(|m| m.is_none()));
+    }
+
+    #[test]
+    fn batch_means_single_initialized_client() {
+        let mut t = DeltaTable::new(3, 1);
+        t.set(1, vec![5.0]);
+        let batch = t.means_excluding_initialized();
+        // Client 1 has no *other* initialized peer; the rest see only client 1.
+        assert_eq!(batch[0], Some(vec![5.0]));
+        assert_eq!(batch[1], None);
+        assert_eq!(batch[2], Some(vec![5.0]));
     }
 }

@@ -387,11 +387,15 @@ impl Federation {
                 offset = k + 1;
             }
         }
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(refs.len());
-        let chunk = refs.len().div_ceil(threads);
+        // Work-queue scheduling: an atomic counter hands out one client at a
+        // time, so a straggler (many local steps, big shard) occupies one
+        // worker while the rest drain the remaining queue — unlike static
+        // chunking, where every client unlucky enough to share the
+        // straggler's chunk waits behind it. Reports are written to
+        // index-addressed slots, so the result is independent of which
+        // worker runs which client. The worker count honors the same budget
+        // as the tensor kernels (`RFL_THREADS` / `set_thread_budget`).
+        let threads = rfl_tensor::thread_budget().min(refs.len());
         let mut reports = vec![
             LocalReport {
                 loss: 0.0,
@@ -401,41 +405,39 @@ impl Federation {
             };
             selected.len()
         ];
+        type WorkItem<'a> = (&'a mut Client, &'a LocalRule, usize, &'a mut LocalReport);
+        let work: Vec<std::sync::Mutex<Option<WorkItem>>> = refs
+            .into_iter()
+            .zip(rules)
+            .zip(steps)
+            .zip(reports.iter_mut())
+            .map(|(((c, rule), &e), slot)| std::sync::Mutex::new(Some((c, rule, e, slot))))
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let drain = |tracer: Tracer| loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= work.len() {
+                break;
+            }
+            let (c, rule, e, slot) = work[i]
+                .lock()
+                .expect("work slot poisoned")
+                .take()
+                .expect("work item claimed twice");
+            let mut span = tracer.client_span(SpanKind::LocalTrain, c.id());
+            let report = c.train_local(e, rule);
+            span.counter("batches", report.steps as u64);
+            span.counter("examples", report.examples as u64);
+            *slot = report;
+        };
         std::thread::scope(|s| {
-            let mut report_slices: Vec<&mut [LocalReport]> = reports.chunks_mut(chunk).collect();
-            let mut rule_slices: Vec<&[LocalRule]> = rules.chunks(chunk).collect();
-            let mut step_slices: Vec<&[usize]> = steps.chunks(chunk).collect();
-            let mut client_chunks: Vec<Vec<&mut Client>> = Vec::new();
-            let mut it = refs.into_iter();
-            loop {
-                let c: Vec<&mut Client> = it.by_ref().take(chunk).collect();
-                if c.is_empty() {
-                    break;
-                }
-                client_chunks.push(c);
-            }
-            for (((clients, rules), steps), reports) in client_chunks
-                .into_iter()
-                .zip(rule_slices.drain(..))
-                .zip(step_slices.drain(..))
-                .zip(report_slices.drain(..))
-            {
+            for _ in 1..threads {
                 let tracer = self.tracer.clone();
-                s.spawn(move || {
-                    for (((c, rule), &e), slot) in clients
-                        .into_iter()
-                        .zip(rules.iter())
-                        .zip(steps.iter())
-                        .zip(reports.iter_mut())
-                    {
-                        let mut span = tracer.client_span(SpanKind::LocalTrain, c.id());
-                        let report = c.train_local(e, rule);
-                        span.counter("batches", report.steps as u64);
-                        span.counter("examples", report.examples as u64);
-                        *slot = report;
-                    }
-                });
+                let drain = &drain;
+                s.spawn(move || drain(tracer));
             }
+            // The calling thread is worker 0.
+            drain(self.tracer.clone());
         });
         reports
     }

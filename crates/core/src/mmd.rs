@@ -6,7 +6,7 @@
 //! linear, so the squared MMD between clients `i` and `j` reduces to
 //! `‖δ_i − δ_j‖²` with `δ_k = (1/n_k) Σ φ(x_{k,·})` (Eq. 2).
 
-use rfl_tensor::{sq_dist_slices, Tensor};
+use rfl_tensor::{dot_slices, sq_dist_slices, Tensor};
 
 /// The local mapping operator `δ = (1/n) Σ_r φ(x_r)`: the column mean of a
 /// feature matrix `[n, d]`.
@@ -23,6 +23,11 @@ pub fn mmd_sq(a: &[f32], b: &[f32]) -> f32 {
 
 /// The paper's regularizer value for client `k` (Eq. 5):
 /// `r_k = (1/(N−1)) Σ_{j≠k} ‖δ_k − δ_j‖²`.
+///
+/// This is the direct pairwise form — `O(N·d)` per client, `O(N²·d)` when
+/// evaluated for every client. It is kept as the readable reference (and
+/// test oracle) for [`MmdStats`], which computes all `N` values in `O(N·d)`
+/// total.
 pub fn regularizer_value(k: usize, deltas: &[Vec<f32>]) -> f32 {
     let n = deltas.len();
     assert!(n >= 2, "need at least two clients");
@@ -36,6 +41,75 @@ pub fn regularizer_value(k: usize, deltas: &[Vec<f32>]) -> f32 {
     sum / (n - 1) as f32
 }
 
+/// Precomputed per-client norms and the embedding total, turning the
+/// all-clients regularizer and leave-one-out means from `O(N²·d)` into
+/// `O(N·d)` via
+/// `Σ_{j≠k} ‖δ_k − δ_j‖² = (N−1)‖δ_k‖² + Σ_{j≠k}‖δ_j‖² − 2·δ_k·Σ_{j≠k}δ_j`.
+pub struct MmdStats<'a> {
+    deltas: &'a [Vec<f32>],
+    /// `‖δ_j‖²` per client.
+    norms: Vec<f32>,
+    /// `Σ_j ‖δ_j‖²`.
+    sum_norms: f32,
+    /// `T = Σ_j δ_j` (component-wise).
+    total: Vec<f32>,
+    /// `δ_k · T` per client.
+    dots: Vec<f32>,
+}
+
+impl<'a> MmdStats<'a> {
+    /// `O(N·d)` precomputation over the full delta table.
+    pub fn new(deltas: &'a [Vec<f32>]) -> Self {
+        let n = deltas.len();
+        assert!(n >= 2, "need at least two clients");
+        let d = deltas[0].len();
+        let mut total = vec![0.0f32; d];
+        for dj in deltas {
+            assert_eq!(dj.len(), d, "embedding dims differ");
+            for (t, &v) in total.iter_mut().zip(dj) {
+                *t += v;
+            }
+        }
+        let norms: Vec<f32> = deltas.iter().map(|dj| dot_slices(dj, dj)).collect();
+        let sum_norms = norms.iter().sum();
+        let dots = deltas.iter().map(|dj| dot_slices(dj, &total)).collect();
+        MmdStats {
+            deltas,
+            norms,
+            sum_norms,
+            total,
+            dots,
+        }
+    }
+
+    /// `r_k` in `O(1)` after precomputation. Algebraically identical to
+    /// [`regularizer_value`]; clamped at zero since the expanded form can
+    /// round to a tiny negative where the pairwise sum cannot.
+    pub fn regularizer_value(&self, k: usize) -> f32 {
+        let n = self.deltas.len();
+        let nk = self.norms[k];
+        let sum = (n - 1) as f32 * nk + (self.sum_norms - nk) - 2.0 * (self.dots[k] - nk);
+        (sum / (n - 1) as f32).max(0.0)
+    }
+
+    /// All `N` regularizer values in `O(N)` after the `O(N·d)` precompute.
+    pub fn regularizer_values(&self) -> Vec<f32> {
+        (0..self.deltas.len())
+            .map(|k| self.regularizer_value(k))
+            .collect()
+    }
+
+    /// `δ̄^{−k} = (T − δ_k)/(N−1)` in `O(d)`.
+    pub fn mean_excluding(&self, k: usize) -> Vec<f32> {
+        let inv = 1.0 / (self.deltas.len() - 1) as f32;
+        self.total
+            .iter()
+            .zip(&self.deltas[k])
+            .map(|(&t, &v)| (t - v) * inv)
+            .collect()
+    }
+}
+
 /// rFedAvg+'s surrogate `r̃_k = ‖δ_k − δ̄^{−k}‖²` where `δ̄^{−k}` is the mean
 /// of the other clients' embeddings. A lower bound of [`regularizer_value`]
 /// (Jensen), with the same gradient w.r.t. `δ_k`.
@@ -44,6 +118,10 @@ pub fn surrogate_value(delta_k: &[f32], mean_others: &[f32]) -> f32 {
 }
 
 /// Mean of the other clients' embeddings `δ̄^{−k} = (1/(N−1)) Σ_{j≠k} δ_j`.
+///
+/// Direct summation form — the reference/oracle for
+/// [`MmdStats::mean_excluding`], which answers the same query in `O(d)`
+/// after a shared `O(N·d)` precompute.
 pub fn mean_excluding(k: usize, deltas: &[Vec<f32>]) -> Vec<f32> {
     let n = deltas.len();
     assert!(n >= 2, "need at least two clients");
@@ -148,6 +226,45 @@ mod tests {
         let deltas = vec![vec![100.0], vec![1.0], vec![3.0]];
         assert_eq!(mean_excluding(0, &deltas), vec![2.0]);
         assert_eq!(mean_excluding(1, &deltas), vec![51.5]);
+    }
+
+    #[test]
+    fn stats_match_pairwise_oracle() {
+        let deltas: Vec<Vec<f32>> = (0..7)
+            .map(|k| {
+                (0..5)
+                    .map(|i| ((k * 13 + i * 7) as f32).sin() * 2.0)
+                    .collect()
+            })
+            .collect();
+        let stats = MmdStats::new(&deltas);
+        for k in 0..deltas.len() {
+            let fast = stats.regularizer_value(k);
+            let oracle = regularizer_value(k, &deltas);
+            assert!(
+                (fast - oracle).abs() <= 1e-4 * oracle.abs().max(1.0),
+                "k={k}: {fast} vs {oracle}"
+            );
+            let fast_mean = stats.mean_excluding(k);
+            let oracle_mean = mean_excluding(k, &deltas);
+            for (a, b) in fast_mean.iter().zip(&oracle_mean) {
+                assert!((a - b).abs() < 1e-5, "k={k}: {a} vs {b}");
+            }
+        }
+        assert_eq!(stats.regularizer_values().len(), deltas.len());
+    }
+
+    #[test]
+    fn stats_near_zero_on_identical_embeddings() {
+        // Identical embeddings: the pairwise sum is exactly zero, while the
+        // expanded form only cancels up to rounding. The clamp guarantees the
+        // residual is never negative; it must also stay negligibly small.
+        let deltas = vec![vec![0.3f32, -0.7, 1.9]; 6];
+        let stats = MmdStats::new(&deltas);
+        for k in 0..6 {
+            let r = stats.regularizer_value(k);
+            assert!((0.0..1e-4).contains(&r), "k={k}: {r}");
+        }
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! End-to-end determinism: a federated training run must produce
+//! bit-identical losses and global parameters at any worker-pool thread
+//! budget. This is the contract that makes `RFL_THREADS` a pure performance
+//! knob — experiment results never depend on the machine's core count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_core::prelude::*;
+use rfl_core::{Federation, FlConfig, ModelFactory, OptimizerFactory, Trainer};
+use rfl_data::synth::image::SynthImageSpec;
+use rfl_data::{partition, FederatedData};
+use rfl_nn::CnnConfig;
+
+/// Two rounds of rFedAvg+ on a small CNN federation: convolutions, GEMMs,
+/// the MMD regularizer, and the parallel client work-queue all on the hot
+/// path.
+fn run_cnn_rounds(seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SynthImageSpec::mnist_like();
+    let pool = spec.generate(4 * 24, &mut rng);
+    let parts = partition::similarity(pool.labels(), 4, 0.5, &mut rng);
+    let test = spec.generate(32, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    let cfg = FlConfig {
+        rounds: 2,
+        local_steps: 2,
+        batch_size: 8,
+        sample_ratio: 1.0,
+        eval_every: 100,
+        parallel: true,
+        clip_grad_norm: Some(10.0),
+        seed,
+    };
+    let mut fed = Federation::new(
+        &data,
+        ModelFactory::cnn(CnnConfig::mnist_like()),
+        OptimizerFactory::sgd(0.05),
+        &cfg,
+        seed,
+    );
+    let mut algo = RFedAvgPlus::new(1e-3);
+    let history = Trainer::new(cfg).run(&mut algo, &mut fed);
+    let losses = history.records().iter().map(|r| r.train_loss).collect();
+    (losses, fed.global().to_vec())
+}
+
+#[test]
+fn training_is_bit_identical_across_thread_budgets() {
+    rfl_tensor::set_thread_budget(1);
+    let (losses_1, params_1) = run_cnn_rounds(7);
+    rfl_tensor::set_thread_budget(4);
+    let (losses_4, params_4) = run_cnn_rounds(7);
+    rfl_tensor::set_thread_budget(1);
+
+    assert_eq!(
+        losses_1, losses_4,
+        "per-round losses must not depend on the thread budget"
+    );
+    assert_eq!(
+        params_1, params_4,
+        "global parameters must not depend on the thread budget"
+    );
+    assert!(losses_1.iter().all(|l| l.is_finite()));
+}

@@ -110,4 +110,27 @@ mod tests {
         let c = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
         assert_eq!(c.num_params(), 8 * 3 * 3 * 3 + 8);
     }
+
+    #[test]
+    fn forward_backward_bit_identical_across_thread_budgets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = Conv2d::new(3, 5, 3, 1, 1, &mut rng);
+        let x = Initializer::Normal(1.0).init(&[4, 3, 9, 9], &mut rng);
+        let run = |c: &mut Conv2d, budget: usize| {
+            rfl_tensor::set_thread_budget(budget);
+            let y = c.forward(&x, true);
+            let dx = c.backward(&Tensor::ones(y.dims()));
+            let dw = c.weight.grad.clone();
+            (y, dx, dw)
+        };
+        let prev = rfl_tensor::thread_budget();
+        let (y1, dx1, dw1) = run(&mut c, 1);
+        c.weight.zero_grad();
+        c.bias.zero_grad();
+        let (y4, dx4, dw4) = run(&mut c, 4);
+        rfl_tensor::set_thread_budget(prev);
+        assert_eq!(y1.data(), y4.data());
+        assert_eq!(dx1.data(), dx4.data());
+        assert_eq!(dw1.data(), dw4.data());
+    }
 }

@@ -36,6 +36,9 @@ pub struct Conv2dGrads {
 }
 
 /// Forward convolution: `input [N,C,H,W]`, `weight [O,C,kh,kw]`, `bias [O]`.
+///
+/// Parallel over the batch dimension: each worker-pool task owns one image's
+/// output slab, so results are bit-identical at any thread count.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
     let (n, c, h, w) = nchw(input);
     let (o, c2, kh, kw) = nchw(weight);
@@ -49,10 +52,9 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) ->
     let x = input.data();
     let wt = weight.data();
     let b = bias.data();
-    let y = out.data_mut();
     let (s, p) = (spec.stride as isize, spec.pad as isize);
 
-    for img in 0..n {
+    crate::threads::parallel_for_chunks(out.data_mut(), o * oh * ow, |img, y| {
         for oc in 0..o {
             let bias_v = b[oc];
             for oy in 0..oh {
@@ -79,16 +81,24 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) ->
                             }
                         }
                     }
-                    y[((img * o + oc) * oh + oy) * ow + ox] = acc;
+                    y[(oc * oh + oy) * ow + ox] = acc;
                 }
             }
         }
-    }
+    });
     out
 }
 
 /// Backward convolution: given `dout = dL/dy`, produce gradients w.r.t.
 /// input, weight, and bias.
+///
+/// Parallel over the batch dimension. `dinput` is naturally disjoint per
+/// image; `dweight` is accumulated into per-image partial buffers that are
+/// reduced afterwards in ascending image order, so the floating-point
+/// reduction order — and therefore the result — is fixed at any thread
+/// count. (`dy == 0` entries are skipped: max-pooling backward scatters
+/// mostly-zero gradients into this kernel, and `g·w` / `g·x` contribute
+/// exact zeros for finite operands.)
 pub fn conv2d_backward(
     input: &Tensor,
     weight: &Tensor,
@@ -121,42 +131,56 @@ pub fn conv2d_backward(
         }
     }
 
-    let dx = dinput.data_mut();
-    let dw = dweight.data_mut();
-    for img in 0..n {
-        for oc in 0..o {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = dy[((img * o + oc) * oh + oy) * ow + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    let iy0 = oy as isize * s - p;
-                    let ix0 = ox as isize * s - p;
-                    for ic in 0..c {
-                        let xbase = (img * c + ic) * h;
-                        let wbase = (oc * c + ic) * kh;
-                        for ky in 0..kh as isize {
-                            let iy = iy0 + ky;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let xrow = (xbase + iy as usize) * w;
-                            let wrow = (wbase + ky as usize) * kw;
-                            for kx in 0..kw as isize {
-                                let ix = ix0 + kx;
-                                if ix < 0 || ix >= w as isize {
+    let wlen = o * c * kh * kw;
+    let mut dw_parts = vec![0.0f32; n * wlen];
+    crate::threads::parallel_for_chunks2(
+        dinput.data_mut(),
+        c * h * w,
+        &mut dw_parts,
+        wlen,
+        |img, dx, dw| {
+            for oc in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dy[((img * o + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let iy0 = oy as isize * s - p;
+                        let ix0 = ox as isize * s - p;
+                        for ic in 0..c {
+                            let xbase = (img * c + ic) * h;
+                            let dxbase = ic * h;
+                            let wbase = (oc * c + ic) * kh;
+                            for ky in 0..kh as isize {
+                                let iy = iy0 + ky;
+                                if iy < 0 || iy >= h as isize {
                                     continue;
                                 }
-                                let xi = xrow + ix as usize;
-                                let wi = wrow + kx as usize;
-                                dx[xi] += g * wt[wi];
-                                dw[wi] += g * x[xi];
+                                let xrow = (xbase + iy as usize) * w;
+                                let dxrow = (dxbase + iy as usize) * w;
+                                let wrow = (wbase + ky as usize) * kw;
+                                for kx in 0..kw as isize {
+                                    let ix = ix0 + kx;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = xrow + ix as usize;
+                                    let wi = wrow + kx as usize;
+                                    dx[dxrow + ix as usize] += g * wt[wi];
+                                    dw[wi] += g * x[xi];
+                                }
                             }
                         }
                     }
                 }
             }
+        },
+    );
+    let dw = dweight.data_mut();
+    for part in dw_parts.chunks_exact(wlen) {
+        for (d, s) in dw.iter_mut().zip(part) {
+            *d += *s;
         }
     }
 

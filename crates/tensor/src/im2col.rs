@@ -16,10 +16,11 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
     let cols = c * k * k;
     let mut out = Tensor::zeros(&[n * oh * ow, cols]);
     let x = input.data();
-    let o = out.data_mut();
     let (s, p) = (spec.stride as isize, spec.pad as isize);
-    let mut row = 0usize;
-    for img in 0..n {
+    // One worker-pool task per image: each owns the `oh·ow` unfolded rows of
+    // its own image, so the unfold parallelizes with no shared writes.
+    crate::threads::parallel_for_chunks(out.data_mut(), oh * ow * cols, |img, o| {
+        let mut row = 0usize;
         for oy in 0..oh {
             for ox in 0..ow {
                 let iy0 = oy as isize * s - p;
@@ -41,7 +42,7 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
                 row += 1;
             }
         }
-    }
+    });
     out
 }
 
@@ -54,19 +55,19 @@ pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvS
     let cols = im2col(input, spec); // [N·OH·OW, C·K·K]
     let wmat = weight.reshape(&[o_ch, weight.numel() / o_ch]); // [O, C·K·K]
     let prod = cols.matmul_transb(&wmat); // [N·OH·OW, O]
-                                          // Rearrange [N·OH·OW, O] → [N, O, OH, OW] and add bias.
+                                          // Rearrange [N·OH·OW, O] → [N, O, OH, OW] and add bias,
+                                          // one image slab per pool task.
     let mut out = Tensor::zeros(&[n, o_ch, oh, ow]);
     let pd = prod.data();
     let b = bias.data();
-    let od = out.data_mut();
-    for img in 0..n {
+    crate::threads::parallel_for_chunks(out.data_mut(), o_ch * oh * ow, |img, od| {
         for pos in 0..oh * ow {
             let row = (img * oh * ow + pos) * o_ch;
-            for oc in 0..o_ch {
-                od[(img * o_ch + oc) * oh * ow + pos] = pd[row + oc] + b[oc];
+            for (oc, &bv) in b.iter().enumerate() {
+                od[oc * oh * ow + pos] = pd[row + oc] + bv;
             }
         }
-    }
+    });
     out
 }
 

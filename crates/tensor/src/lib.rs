@@ -31,12 +31,16 @@ mod pool;
 mod reduce;
 mod shape;
 mod tensor;
+mod threads;
 
 pub use codec::{decode_f32_slice, encode_f32_slice, wire_size, CodecError};
 pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
 pub use im2col::{conv2d_im2col, im2col};
 pub use init::{normal_sample, Initializer};
-pub use ops::{axpy_slices, dot_slices, sq_dist_slices};
+pub use ops::{axpy4_slices, axpy_slices, dot4_slices, dot_slices, sq_dist_slices};
 pub use pool::{maxpool2d, maxpool2d_backward, PoolSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use threads::{
+    parallel_for, parallel_for_chunks, parallel_for_chunks2, set_thread_budget, thread_budget,
+};

@@ -1,6 +1,39 @@
 //! Matrix products, including the transposed variants needed for backprop.
+//!
+//! All four products run on the shared worker pool (see [`crate::threads`]):
+//! the task grid depends only on the operand shapes and every task owns a
+//! disjoint block of output rows, so results are bit-identical at any thread
+//! count. Per output element the reduction over the shared dimension is
+//! always ascending — the blocked, packed GEMM tiles only *reorder memory
+//! traffic*, never the accumulation.
+//!
+//! There is deliberately no `a == 0.0` fast path: `0 · NaN` must stay `NaN`
+//! (IEEE semantics the old kernels silently broke), and on the dense
+//! matrices of this workload the branch only cost time.
 
 use crate::tensor::Tensor;
+
+/// Rows of A/C per packed block — one parallel task per `MC`-row block.
+const MC: usize = 64;
+/// Depth of a packed A/B panel; `KC · NC` floats of B stay L2-resident.
+const KC: usize = 256;
+/// Columns of B per packed panel.
+const NC: usize = 256;
+/// Below this many multiply-accumulates the plain loop wins: packing and
+/// pool dispatch cost more than they save. Shape-dependent only, so the
+/// determinism contract is unaffected.
+const SMALL_GEMM: usize = 1 << 15;
+
+/// Row-block height for the non-packed kernels (`transa`/`transb`/`matvec`).
+/// Collapsing to a single block below [`SMALL_GEMM`] makes `parallel_for`
+/// run the identical code inline.
+fn row_block(m: usize, work: usize) -> usize {
+    if work <= SMALL_GEMM {
+        m.max(1)
+    } else {
+        MC
+    }
+}
 
 impl Tensor {
     /// `self (m×k) × other (k×n) → (m×n)`.
@@ -21,14 +54,29 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
-        let o = out.data_mut();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (j, ov) in orow.iter_mut().enumerate() {
-                *ov = crate::ops::dot_slices(arow, &b[j * k..(j + 1) * k]);
+        let rb = row_block(m, m * k * n);
+        crate::threads::parallel_for_chunks(out.data_mut(), rb * n, |blk, ochunk| {
+            let i0 = blk * rb;
+            for (i, orow) in ochunk.chunks_exact_mut(n).enumerate() {
+                let arow = &a[(i0 + i) * k..(i0 + i + 1) * k];
+                // Four B rows share one pass over `arow`.
+                let mut j = 0;
+                while j + 4 <= n {
+                    let d = crate::ops::dot4_slices(
+                        arow,
+                        &b[j * k..(j + 1) * k],
+                        &b[(j + 1) * k..(j + 2) * k],
+                        &b[(j + 2) * k..(j + 3) * k],
+                        &b[(j + 3) * k..(j + 4) * k],
+                    );
+                    orow[j..j + 4].copy_from_slice(&d);
+                    j += 4;
+                }
+                for (jj, ov) in orow.iter_mut().enumerate().skip(j) {
+                    *ov = crate::ops::dot_slices(arow, &b[jj * k..(jj + 1) * k]);
+                }
             }
-        }
+        });
         out
     }
 
@@ -41,19 +89,21 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
-        let o = out.data_mut();
-        // Accumulate rank-1 updates row-by-row of the shared k dimension;
-        // keeps both A and B accesses sequential.
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
+        let rb = row_block(m, m * k * n);
+        // Each task owns an `rb`-row block of C; within it the rank-1
+        // updates run over the shared dimension in ascending order, reading
+        // contiguous sub-rows of A and reusing the B row across the block.
+        crate::threads::parallel_for_chunks(out.data_mut(), rb * n, |blk, ochunk| {
+            let i0 = blk * rb;
+            let rows = ochunk.len() / n;
+            for p in 0..k {
+                let arow = &a[p * m + i0..p * m + i0 + rows];
+                let brow = &b[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    crate::ops::axpy_slices(&mut ochunk[i * n..(i + 1) * n], av, brow);
                 }
-                crate::ops::axpy_slices(&mut o[i * n..(i + 1) * n], av, brow);
             }
-        }
+        });
         out
     }
 
@@ -64,9 +114,13 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m]);
         let a = self.data();
         let x = v.data();
-        for (i, ov) in out.data_mut().iter_mut().enumerate() {
-            *ov = crate::ops::dot_slices(&a[i * n..(i + 1) * n], x);
-        }
+        let rb = row_block(m, m * n);
+        crate::threads::parallel_for_chunks(out.data_mut(), rb, |blk, ochunk| {
+            let i0 = blk * rb;
+            for (i, ov) in ochunk.iter_mut().enumerate() {
+                *ov = crate::ops::dot_slices(&a[(i0 + i) * n..(i0 + i + 1) * n], x);
+            }
+        });
         out
     }
 }
@@ -77,18 +131,101 @@ fn mat_dims(t: &Tensor) -> (usize, usize) {
     (t.dims()[0], t.dims()[1])
 }
 
-/// `C += A(m×k) × B(k×n)` with C pre-zeroed; i-k-j loop order keeps the inner
-/// loop a sequential axpy over rows of B, which LLVM vectorizes.
-fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let crow = &mut c[i * n..(i + 1) * n];
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
+/// `C += A(m×k) × B(k×n)` with C pre-zeroed.
+///
+/// Cache-blocked with packed panels: B is packed per `(KC, NC)` tile, A per
+/// `(MC, KC)` block inside each parallel task, and the 4-row unrolled
+/// micro-kernel streams packed B rows through [`crate::ops::axpy4_slices`].
+/// Every element of C accumulates over `p` in ascending order regardless of
+/// tiling or thread count.
+pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m * k * n <= SMALL_GEMM {
+        // Plain i-k-j: the inner loop is a sequential axpy over rows of B.
+        for (i, crow) in c.chunks_exact_mut(n).enumerate() {
+            for p in 0..k {
+                crate::ops::axpy_slices(crow, a[i * k + p], &b[p * n..(p + 1) * n]);
             }
-            crate::ops::axpy_slices(crow, av, &b[p * n..(p + 1) * n]);
         }
+        return;
+    }
+    let mut bp = vec![0.0f32; KC.min(k) * NC.min(n)];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for (p, dst) in bp.chunks_exact_mut(nc).take(kc).enumerate() {
+                let row = (pc + p) * n + jc;
+                dst.copy_from_slice(&b[row..row + nc]);
+            }
+            let bpanel = &bp[..kc * nc];
+            crate::threads::parallel_for_chunks(c, MC * n, |blk, cchunk| {
+                let i0 = blk * MC;
+                let rows = cchunk.len() / n;
+                let mut ap = vec![0.0f32; rows * kc];
+                for (i, dst) in ap.chunks_exact_mut(kc).enumerate() {
+                    let row = (i0 + i) * k + pc;
+                    dst.copy_from_slice(&a[row..row + kc]);
+                }
+                block_kernel(&ap, bpanel, cchunk, rows, kc, nc, n, jc);
+            });
+        }
+    }
+}
+
+/// Micro-kernel: `C[0..rows, col_off..col_off+nc] += Ap(rows×kc) × Bp(kc×nc)`
+/// where `cblock` holds `rows` full C rows of stride `stride`.
+#[allow(clippy::too_many_arguments)]
+fn block_kernel(
+    ap: &[f32],
+    bp: &[f32],
+    cblock: &mut [f32],
+    rows: usize,
+    kc: usize,
+    nc: usize,
+    stride: usize,
+    col_off: usize,
+) {
+    let mut rest = cblock;
+    let mut r = 0;
+    while r + 4 <= rows {
+        let (quad, tail) = rest.split_at_mut(4 * stride);
+        rest = tail;
+        let (r0, rem) = quad.split_at_mut(stride);
+        let (r1, rem) = rem.split_at_mut(stride);
+        let (r2, r3) = rem.split_at_mut(stride);
+        let c0 = &mut r0[col_off..col_off + nc];
+        let c1 = &mut r1[col_off..col_off + nc];
+        let c2 = &mut r2[col_off..col_off + nc];
+        let c3 = &mut r3[col_off..col_off + nc];
+        for p in 0..kc {
+            let x = &bp[p * nc..(p + 1) * nc];
+            crate::ops::axpy4_slices(
+                c0,
+                c1,
+                c2,
+                c3,
+                [
+                    ap[r * kc + p],
+                    ap[(r + 1) * kc + p],
+                    ap[(r + 2) * kc + p],
+                    ap[(r + 3) * kc + p],
+                ],
+                x,
+            );
+        }
+        r += 4;
+    }
+    while r < rows {
+        let (row, tail) = rest.split_at_mut(stride);
+        rest = tail;
+        let crow = &mut row[col_off..col_off + nc];
+        for p in 0..kc {
+            crate::ops::axpy_slices(crow, ap[r * kc + p], &bp[p * nc..(p + 1) * nc]);
+        }
+        r += 1;
     }
 }
 
@@ -132,6 +269,30 @@ mod tests {
     }
 
     #[test]
+    fn blocked_path_matches_naive_on_ragged_dims() {
+        // Large enough to take the packed path, with m, k, n that are not
+        // multiples of MC/KC/NC.
+        let mk = |dims: &[usize]| {
+            let n: usize = dims.iter().product();
+            Tensor::from_vec(
+                (0..n)
+                    .map(|v| ((v * 2654435761) % 97) as f32 * 0.021 - 1.0)
+                    .collect(),
+                dims,
+            )
+        };
+        let a = mk(&[67, 261]);
+        let b = mk(&[261, 259]);
+        let fast = a.matmul(&b);
+        let reference = naive_matmul(&a, &b);
+        assert_eq!(fast.dims(), reference.dims());
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            let tol = 1e-3 * y.abs().max(1.0);
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
     fn matmul_identity_is_noop() {
         let a = seq(&[4, 4]);
         assert_close(&a.matmul(&Tensor::eye(4)), &a);
@@ -159,6 +320,41 @@ mod tests {
         let mv = a.matvec(&v);
         let mm = a.matmul(&v.reshape(&[5, 1]));
         assert_close(&mv.reshape(&[3, 1]), &mm);
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // The old kernels skipped a == 0.0 entries, silently dropping the
+        // IEEE-mandated 0 · NaN = NaN. Pinned here for all product kernels.
+        let a = Tensor::zeros(&[2, 2]);
+        let mut b = seq(&[2, 2]);
+        b.data_mut()[1] = f32::NAN;
+        assert!(a.matmul(&b).data().iter().any(|v| v.is_nan()));
+        assert!(a.matmul_transa(&b).data().iter().any(|v| v.is_nan()));
+        assert!(a.matmul_transb(&b).data().iter().any(|v| v.is_nan()));
+        let mut v = seq(&[2]);
+        v.data_mut()[0] = f32::NAN;
+        assert!(a.matvec(&v).data().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_budgets() {
+        let a = seq(&[70, 130]);
+        let b = seq(&[130, 66]);
+        let before = crate::threads::thread_budget();
+        crate::threads::set_thread_budget(1);
+        let serial = a.matmul(&b);
+        let serial_tb = a.matmul_transb(&b.transpose());
+        crate::threads::set_thread_budget(4);
+        let parallel = a.matmul(&b);
+        let parallel_tb = a.matmul_transb(&b.transpose());
+        crate::threads::set_thread_budget(before);
+        assert_eq!(serial.data(), parallel.data(), "gemm depends on budget");
+        assert_eq!(
+            serial_tb.data(),
+            parallel_tb.data(),
+            "transb depends on budget"
+        );
     }
 
     #[test]

@@ -142,6 +142,51 @@ pub fn axpy_slices(y: &mut [f32], a: f32, x: &[f32]) {
     }
 }
 
+/// Four simultaneous axpys sharing one pass over `x`: `yᵢ += aᵢ·x`. The
+/// 4-row unrolled micro-kernel of the blocked GEMM — `x` (a packed B row)
+/// is loaded once per four output rows instead of once per row.
+#[inline]
+pub fn axpy4_slices(
+    y0: &mut [f32],
+    y1: &mut [f32],
+    y2: &mut [f32],
+    y3: &mut [f32],
+    a: [f32; 4],
+    x: &[f32],
+) {
+    debug_assert!(y0.len() == x.len() && y1.len() == x.len());
+    debug_assert!(y2.len() == x.len() && y3.len() == x.len());
+    for ((((v0, v1), v2), v3), xv) in y0
+        .iter_mut()
+        .zip(y1.iter_mut())
+        .zip(y2.iter_mut())
+        .zip(y3.iter_mut())
+        .zip(x)
+    {
+        *v0 += a[0] * *xv;
+        *v1 += a[1] * *xv;
+        *v2 += a[2] * *xv;
+        *v3 += a[3] * *xv;
+    }
+}
+
+/// Four simultaneous dot products sharing one pass over `a`: returns
+/// `[a·b0, a·b1, a·b2, a·b3]`. Used by `matmul_transb` so a row of A is
+/// read once per four output columns.
+#[inline]
+pub fn dot4_slices(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    debug_assert!(b0.len() == a.len() && b1.len() == a.len());
+    debug_assert!(b2.len() == a.len() && b3.len() == a.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for ((((av, v0), v1), v2), v3) in a.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+        s0 += *av * *v0;
+        s1 += *av * *v1;
+        s2 += *av * *v2;
+        s3 += *av * *v3;
+    }
+    [s0, s1, s2, s3]
+}
+
 /// Squared Euclidean distance between two equal-length slices.
 #[inline]
 pub fn sq_dist_slices(a: &[f32], b: &[f32]) -> f32 {

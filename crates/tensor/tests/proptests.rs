@@ -106,3 +106,82 @@ proptest! {
         }
     }
 }
+
+/// Textbook triple loop (i, j, p) — the reference the blocked/packed GEMM
+/// must agree with, up to summation-order rounding.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += a[i * k + p] as f64 * b[p * n + j] as f64;
+            }
+            c[i * n + j] = acc as f32;
+        }
+    }
+    c
+}
+
+fn ragged_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    // Mix of sizes around the MC/KC/NC block edges so cases exercise both
+    // the small inline path and the blocked/packed path with partial panels.
+    (1usize..90, 1usize..280, 1usize..280)
+}
+
+proptest! {
+    #[test]
+    fn blocked_gemm_matches_naive_reference(dims in ragged_dims()) {
+        let (m, k, n) = dims;
+        let av: Vec<f32> = (0..m * k).map(|v| ((v * 31 + 7) % 61) as f32 * 0.03 - 0.9).collect();
+        let bv: Vec<f32> = (0..k * n).map(|v| ((v * 17 + 3) % 53) as f32 * 0.04 - 1.0).collect();
+        let ta = Tensor::from_vec(av.clone(), &[m, k]);
+        let tb = Tensor::from_vec(bv.clone(), &[k, n]);
+        let c = ta.matmul(&tb);
+        let reference = naive_matmul(&av, &bv, m, k, n);
+        let scale = k as f32;
+        for (x, y) in c.data().iter().zip(&reference) {
+            prop_assert!((x - y).abs() <= 1e-4 * scale, "{} vs {} (m={m} k={k} n={n})", x, y);
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_plain_gemm(dims in ragged_dims()) {
+        let (m, k, n) = dims;
+        let av: Vec<f32> = (0..m * k).map(|v| ((v * 13 + 11) % 47) as f32 * 0.05 - 1.1).collect();
+        let bv: Vec<f32> = (0..k * n).map(|v| ((v * 29 + 5) % 59) as f32 * 0.03 - 0.8).collect();
+        let ta = Tensor::from_vec(av, &[m, k]);
+        let tb = Tensor::from_vec(bv, &[k, n]);
+        let plain = ta.matmul(&tb);
+        let via_transb = ta.matmul_transb(&tb.transpose());
+        let via_transa = ta.transpose().matmul_transa(&tb);
+        let scale = k as f32;
+        for (x, y) in plain.data().iter().zip(via_transb.data()) {
+            prop_assert!((x - y).abs() <= 1e-4 * scale, "transb: {} vs {}", x, y);
+        }
+        for (x, y) in plain.data().iter().zip(via_transa.data()) {
+            prop_assert!((x - y).abs() <= 1e-4 * scale, "transa: {} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn gemm_bit_identical_across_thread_budgets(dims in ragged_dims()) {
+        let (m, k, n) = dims;
+        let av: Vec<f32> = (0..m * k).map(|v| ((v * 37 + 1) % 71) as f32 * 0.02 - 0.7).collect();
+        let bv: Vec<f32> = (0..k * n).map(|v| ((v * 23 + 9) % 67) as f32 * 0.03 - 0.9).collect();
+        let ta = Tensor::from_vec(av, &[m, k]);
+        let tb = Tensor::from_vec(bv, &[k, n]);
+        let prev = rfl_tensor::thread_budget();
+        rfl_tensor::set_thread_budget(1);
+        let serial = ta.matmul(&tb);
+        let serial_t = ta.matmul_transb(&tb.transpose());
+        rfl_tensor::set_thread_budget(4);
+        let parallel = ta.matmul(&tb);
+        let parallel_t = ta.matmul_transb(&tb.transpose());
+        rfl_tensor::set_thread_budget(prev);
+        // Bit-identical, not approximately equal: the task grid and each
+        // element's accumulation order depend only on the problem shape.
+        prop_assert_eq!(serial.data(), parallel.data());
+        prop_assert_eq!(serial_t.data(), parallel_t.data());
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds the micro-benchmarks and emits the kernel benchmark report
+# (BENCH_PR2.json) via the bench_kernels binary.
+#
+# Usage:
+#   scripts/bench-report.sh            # full run, writes BENCH_PR2.json
+#   scripts/bench-report.sh --smoke    # CI smoke: compile benches + 1-rep run
+#   scripts/bench-report.sh --out F    # full run, write report to F
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT="BENCH_PR2.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "== compiling criterion benches (no run)"
+cargo bench -p rfl-bench --no-run
+
+echo "== building bench_kernels (release)"
+cargo build --release -p rfl-bench --bin bench_kernels
+
+if [[ "$SMOKE" == 1 ]]; then
+  echo "== smoke run (timings not meaningful)"
+  ./target/release/bench_kernels --smoke > /dev/null
+  echo "== bench smoke passed"
+else
+  echo "== full run -> $OUT"
+  ./target/release/bench_kernels --out "$OUT"
+  echo "== report written to $OUT"
+fi
