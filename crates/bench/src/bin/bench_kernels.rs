@@ -80,6 +80,7 @@ fn round_loop(seed: u64, rounds: usize) -> (f64, f64) {
         parallel: true,
         clip_grad_norm: Some(10.0),
         seed,
+        delta_probe_batch: None,
     };
     let t0 = Instant::now();
     let mut fed = Federation::new(

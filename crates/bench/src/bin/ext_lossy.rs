@@ -1,0 +1,86 @@
+//! Extension: lossy networks. Replaces the default perfect transport with
+//! [`FaultyTransport`] at increasing per-link drop probabilities (one retry
+//! per message) and measures how FedAvg and rFedAvg+ degrade when model and
+//! δ messages can vanish: dropped uploads are excluded from aggregation
+//! (weights renormalized over the survivors) and dropped δ messages degrade
+//! clients to unregularized local training for the round.
+//!
+//! Usage: `cargo run --release -p rfl-bench --bin ext_lossy --
+//!         [--scale quick|full] [--seeds N] [--out DIR|none]`
+
+use rfl_bench::args::write_output;
+use rfl_bench::setup::silo_config;
+use rfl_bench::{cifar_scenario, parse_args, Scenario};
+use rfl_core::prelude::*;
+use rfl_core::Algorithm;
+use rfl_metrics::{mean_std, TextTable};
+
+struct LossyRun {
+    accuracy: f32,
+    dropped: u64,
+    retries: u64,
+    delivery_rate: f64,
+}
+
+fn run_lossy(sc: &Scenario, cfg: &FlConfig, method: &str, drop: f64, seed: u64) -> LossyRun {
+    let data = sc.build_data(seed);
+    let run_cfg = FlConfig { seed, ..*cfg };
+    let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
+    fed.set_tracer(rfl_bench::trace::tracer());
+    if drop > 0.0 {
+        let cfg_net = FaultConfig::lossy(seed ^ 0x10557, drop, 1);
+        fed.set_transport(Box::new(FaultyTransport::new(cfg_net)));
+    }
+    let mut algo: Box<dyn Algorithm> = match method {
+        "rFedAvg+" => Box::new(RFedAvgPlus::new(sc.lambda)),
+        _ => Box::new(FedAvg::new()),
+    };
+    let h = Trainer::new(run_cfg).run(algo.as_mut(), &mut fed);
+    let faults = fed.fault_stats();
+    LossyRun {
+        accuracy: fed.evaluate_global().accuracy,
+        dropped: faults.dropped,
+        retries: faults.retries,
+        delivery_rate: h.mean_delivery_rate(),
+    }
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    rfl_bench::init_tracing(&args);
+    println!("== Extension: lossy networks (drops, retries, renormalized aggregation) ==\n");
+    let sc = cifar_scenario(args.scale, true, 0.0);
+    let cfg = silo_config(args.scale, 0);
+
+    let mut t = TextTable::new(&[
+        "drop rate",
+        "method",
+        "accuracy",
+        "delivery",
+        "dropped",
+        "retries",
+    ]);
+    for drop in [0.0f64, 0.1, 0.3] {
+        for method in ["FedAvg", "rFedAvg+"] {
+            eprintln!("running {method} at drop {drop} ...");
+            let runs: Vec<LossyRun> = (0..args.seeds)
+                .map(|rep| run_lossy(&sc, &cfg, method, drop, 200 + rep as u64))
+                .collect();
+            let accs: Vec<f64> = runs.iter().map(|r| r.accuracy as f64).collect();
+            let delivery = runs.iter().map(|r| r.delivery_rate).sum::<f64>() / runs.len() as f64;
+            let dropped = runs.iter().map(|r| r.dropped).sum::<u64>() / runs.len() as u64;
+            let retries = runs.iter().map(|r| r.retries).sum::<u64>() / runs.len() as u64;
+            t.row(&[
+                format!("{:.0}%", drop * 100.0),
+                method.to_string(),
+                mean_std(&accs).fmt_pm(true),
+                format!("{delivery:.3}"),
+                format!("{dropped}"),
+                format!("{retries}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    write_output(&args, "ext_lossy.csv", &t.to_csv());
+    rfl_bench::finish_tracing(&args);
+}

@@ -3,68 +3,38 @@
 //! steps — the scenario FedProx's proximal term targets. Compares FedAvg,
 //! FedProx, and rFedAvg+ under increasing straggler severity.
 //!
+//! Runs entirely on the framework API: a [`StragglerModel`] installed on the
+//! `Federation` draws each participant's per-round step count
+//! `Uniform{⌈(1−drop)·E⌉, …, E}` deterministically, and the unmodified
+//! algorithms run through [`Trainer`].
+//!
 //! Usage: `cargo run --release -p rfl-bench --bin ext_stragglers --
 //!         [--scale quick|full] [--seeds N] [--out DIR|none]`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rfl_bench::args::write_output;
 use rfl_bench::setup::silo_config;
 use rfl_bench::{cifar_scenario, parse_args, Scenario};
-use rfl_core::sampling::renormalized_weights;
-use rfl_core::{Federation, FlConfig, LocalRule};
+use rfl_core::prelude::*;
+use rfl_core::Algorithm;
 use rfl_metrics::{mean_std, TextTable};
-use std::sync::Arc;
 
-/// Straggler-aware round: FedAvg/FedProx/rFedAvg+ re-implemented on the
-/// per-client-steps API. `drop_rate` controls how much work stragglers lose:
-/// client steps ~ Uniform{⌈(1−drop)·E⌉, …, E}.
+fn make_algo(sc: &Scenario, method: &str) -> Box<dyn Algorithm> {
+    match method {
+        "FedProx" => Box::new(FedProx::new(sc.prox_mu)),
+        "rFedAvg+" => Box::new(RFedAvgPlus::new(sc.lambda)),
+        _ => Box::new(FedAvg::new()),
+    }
+}
+
 fn run_with_stragglers(sc: &Scenario, cfg: &FlConfig, method: &str, drop: f64, seed: u64) -> f32 {
     let data = sc.build_data(seed);
     let run_cfg = FlConfig { seed, ..*cfg };
     let mut fed = Federation::new(&data, sc.model, sc.optimizer, &run_cfg, seed);
     fed.set_tracer(rfl_bench::trace::tracer());
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-    let mut table = rfl_core::delta::DeltaTable::new(fed.num_clients(), fed.feature_dim());
-    for _round in 0..cfg.rounds {
-        let selected: Vec<usize> = (0..fed.num_clients()).collect();
-        fed.broadcast_params(&selected);
-        let anchor = Arc::new(fed.global().to_vec());
-        let mut targets = table.means_excluding_initialized();
-        let rules: Vec<LocalRule> = selected
-            .iter()
-            .map(|&k| match method {
-                "FedProx" => LocalRule::Prox {
-                    mu: sc.prox_mu,
-                    anchor: anchor.clone(),
-                },
-                "rFedAvg+" => match targets[k].take() {
-                    Some(target) => LocalRule::Mmd {
-                        lambda: sc.lambda,
-                        target: Arc::new(target),
-                    },
-                    None => LocalRule::Plain,
-                },
-                _ => LocalRule::Plain,
-            })
-            .collect();
-        let min_steps = ((1.0 - drop) * cfg.local_steps as f64).ceil().max(1.0) as usize;
-        let steps: Vec<usize> = selected
-            .iter()
-            .map(|_| rng.gen_range(min_steps..=cfg.local_steps))
-            .collect();
-        fed.train_selected_steps(&selected, &rules, &steps);
-        let params = fed.collect_params(&selected);
-        let w = renormalized_weights(fed.weights(), &selected);
-        fed.set_global(Federation::weighted_average(&params, &w));
-        if method == "rFedAvg+" {
-            fed.broadcast_params(&selected);
-            for &k in &selected {
-                let delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
-                table.set(k, delta);
-            }
-        }
-    }
+    let min_steps = ((1.0 - drop) * cfg.local_steps as f64).ceil().max(1.0) as usize;
+    fed.set_straggler_model(Some(StragglerModel::new(seed ^ 0xABCD, min_steps)));
+    let mut algo = make_algo(sc, method);
+    Trainer::new(run_cfg).run(algo.as_mut(), &mut fed);
     fed.evaluate_global().accuracy
 }
 

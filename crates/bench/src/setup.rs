@@ -116,6 +116,7 @@ pub fn silo_config(scale: Scale, seed: u64) -> FlConfig {
         parallel: true,
         clip_grad_norm: Some(10.0),
         seed,
+        delta_probe_batch: None,
     }
 }
 
@@ -131,6 +132,7 @@ pub fn device_config(scale: Scale, seed: u64) -> FlConfig {
         parallel: true,
         clip_grad_norm: Some(10.0),
         seed,
+        delta_probe_batch: None,
     }
 }
 

@@ -3,10 +3,10 @@
 //! FetchSGD). Only the *upload* direction is compressed (the standard
 //! asymmetry: device uplink is the scarce resource).
 
-use super::{mean_losses, traced_select};
-use crate::comm::Direction;
+use super::{active_mean_losses, traced_select};
+use crate::comm::MsgKind;
 use crate::compress::Compressor;
-use crate::federation::{Federation, FlConfig};
+use crate::federation::{fault_counters, Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
@@ -42,57 +42,58 @@ impl Algorithm for CompressedFedAvg {
     ) -> RoundOutcome {
         let tracer = fed.tracer().clone();
         let selected = traced_select(fed, cfg.sample_ratio, rng);
-        fed.broadcast_params(&selected);
+        let active = fed.broadcast_params(&selected);
         let global = fed.global().to_vec();
-        let rules = vec![LocalRule::Plain; selected.len()];
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let rules = vec![LocalRule::Plain; active.len()];
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
         // Compressed upload of each client's update. This bypasses
-        // `collect_params`, so it carries its own `upload` span.
-        let mut updates = Vec::with_capacity(selected.len());
+        // `collect_params`, so it carries its own `upload` span. The payload
+        // is not a plain f32 slice, so only the wire byte count crosses the
+        // transport (`send_raw`); the server reconstructs from the payload
+        // when the link delivers.
+        let mut delivered = Vec::with_capacity(active.len());
+        let mut updates = Vec::with_capacity(active.len());
         {
             let mut span = tracer.span(SpanKind::Upload);
-            let before = fed.channel().snapshot();
+            let before = fed.comm_snapshot();
+            let fbefore = fed.fault_stats();
             let mut buf = Vec::new();
-            for &k in &selected {
+            for &k in &active {
                 fed.client(k).read_params(&mut buf);
                 let update: Vec<f32> = buf.iter().zip(&global).map(|(w, g)| w - g).collect();
                 let payload = self.compressor.compress(&update);
                 // Charge the compressed size; reconstruct server-side.
-                fed.channel_mut()
-                    .stats_record_upload(payload.wire_bytes() as u64);
-                updates.push(self.compressor.decompress(&payload, update.len()));
+                let out = fed.send_raw(MsgKind::ModelUp, k, payload.wire_bytes() as u64);
+                if out.delivered {
+                    delivered.push(k);
+                    updates.push(self.compressor.decompress(&payload, update.len()));
+                }
             }
-            span.counter("bytes", fed.channel().stats().since(&before).upload_bytes());
-            span.counter("clients", selected.len() as u64);
+            span.counter("bytes", fed.comm_stats().since(&before).upload_bytes());
+            span.counter("clients", active.len() as u64);
+            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
         }
-        let w = renormalized_weights(fed.weights(), &selected);
         let mut span = tracer.span(SpanKind::Aggregate);
-        span.counter("clients", selected.len() as u64);
-        let mean_update = Federation::weighted_average(&updates, &w);
-        let mut new_global = global;
-        for (g, u) in new_global.iter_mut().zip(&mean_update) {
-            *g += u;
+        span.counter("clients", delivered.len() as u64);
+        if !delivered.is_empty() {
+            let w = renormalized_weights(fed.weights(), &delivered);
+            let mean_update = Federation::weighted_average(&updates, &w);
+            let mut new_global = global;
+            for (g, u) in new_global.iter_mut().zip(&mean_update) {
+                *g += u;
+            }
+            fed.set_global(new_global);
         }
-        fed.set_global(new_global);
         drop(span);
 
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
-    }
-}
-
-// A small extension to Channel used only by the compressed algorithm: the
-// payload is not a plain f32 slice, so the byte cost is recorded directly.
-impl crate::comm::Channel {
-    /// Records an upload of `bytes` without a scalar payload (compressed
-    /// messages carry their own wire format).
-    pub fn stats_record_upload(&mut self, bytes: u64) {
-        self.record_raw(Direction::Upload, bytes);
     }
 }
 

@@ -1,9 +1,8 @@
 //! Vanilla Federated Averaging (McMahan et al., AISTATS 2017).
 
-use super::{mean_losses, traced_aggregate, traced_select};
+use super::{active_mean_losses, aggregate_delivered, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 
@@ -31,17 +30,17 @@ impl Algorithm for FedAvg {
         rng: &mut StdRng,
     ) -> RoundOutcome {
         let selected = traced_select(fed, cfg.sample_ratio, rng);
-        fed.broadcast_params(&selected);
-        let rules = vec![LocalRule::Plain; selected.len()];
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
-        let params = fed.collect_params(&selected);
-        let w = renormalized_weights(fed.weights(), &selected);
-        traced_aggregate(fed, &params, &w);
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let active = fed.broadcast_params(&selected);
+        let rules = vec![LocalRule::Plain; active.len()];
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
+        let uploads = fed.collect_params(&active);
+        let delivered = aggregate_delivered(fed, uploads);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

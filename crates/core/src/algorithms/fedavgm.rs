@@ -2,7 +2,7 @@
 //! extension baseline beyond the paper's comparison set, often used to
 //! stabilize non-IID training.
 
-use super::{mean_losses, traced_select};
+use super::{active_mean_losses, split_uploads, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::sampling::renormalized_weights;
@@ -48,29 +48,32 @@ impl Algorithm for FedAvgM {
             self.velocity = vec![0.0; fed.num_params()];
         }
         let selected = traced_select(fed, cfg.sample_ratio, rng);
-        fed.broadcast_params(&selected);
-        let rules = vec![LocalRule::Plain; selected.len()];
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
-        let params = fed.collect_params(&selected);
-        let w = renormalized_weights(fed.weights(), &selected);
+        let active = fed.broadcast_params(&selected);
+        let rules = vec![LocalRule::Plain; active.len()];
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
+        let (delivered, params) = split_uploads(fed.collect_params(&active));
 
         let mut span = fed.tracer().span(SpanKind::Aggregate);
-        span.counter("clients", selected.len() as u64);
-        let avg = Federation::weighted_average(&params, &w);
-        let mut new_global = fed.global().to_vec();
-        for ((v, g), a) in self.velocity.iter_mut().zip(&mut new_global).zip(&avg) {
-            let delta = a - *g;
-            *v = self.beta * *v + delta;
-            *g += *v;
+        span.counter("clients", delivered.len() as u64);
+        if !delivered.is_empty() {
+            let w = renormalized_weights(fed.weights(), &delivered);
+            let avg = Federation::weighted_average(&params, &w);
+            let mut new_global = fed.global().to_vec();
+            for ((v, g), a) in self.velocity.iter_mut().zip(&mut new_global).zip(&avg) {
+                let delta = a - *g;
+                *v = self.beta * *v + delta;
+                *g += *v;
+            }
+            fed.set_global(new_global);
         }
-        fed.set_global(new_global);
         drop(span);
 
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

@@ -7,8 +7,9 @@
 //! personalization future-work direction: a shared representation with
 //! per-client decision layers.
 
-use super::{mean_losses, traced_select};
-use crate::federation::{Federation, FlConfig};
+use super::{active_mean_losses, traced_select};
+use crate::comm::MsgKind;
+use crate::federation::{fault_counters, Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
@@ -61,58 +62,68 @@ impl Algorithm for FedPer {
         let tracer = fed.tracer().clone();
         let selected = traced_select(fed, cfg.sample_ratio, rng);
 
-        // Broadcast only φ: each client keeps its own head. (The channel
+        // Broadcast only φ: each client keeps its own head. (The transport
         // charge is the φ slice, which is what would cross the wire.)
         let mut buf = Vec::new();
-        {
+        let active = {
             let mut span = tracer.span(SpanKind::Broadcast);
-            let before = fed.channel().snapshot();
+            let before = fed.comm_snapshot();
+            let fbefore = fed.fault_stats();
             let global_phi = fed.global()[phi.clone()].to_vec();
-            let received = fed.channel_mut().broadcast(selected.len(), &global_phi);
-            for &k in &selected {
+            let bd = fed.broadcast(MsgKind::ModelDown, &selected, &global_phi);
+            let active = bd.delivered_clients(&selected);
+            for &k in &active {
                 fed.client(k).read_params(&mut buf);
-                buf[phi.clone()].copy_from_slice(&received);
+                buf[phi.clone()].copy_from_slice(&bd.data);
                 fed.client_mut(k).write_params(&buf);
             }
-            span.counter(
-                "bytes",
-                fed.channel().stats().since(&before).download_bytes(),
-            );
+            span.counter("bytes", fed.comm_stats().since(&before).download_bytes());
             span.counter("clients", selected.len() as u64);
-        }
+            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
+            active
+        };
 
-        let rules = vec![LocalRule::Plain; selected.len()];
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let rules = vec![LocalRule::Plain; active.len()];
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
-        // Upload only φ; average it into the global body.
-        let w = renormalized_weights(fed.weights(), &selected);
-        let mut phi_avg = vec![0.0f32; phi.len()];
+        // Upload only φ; average the delivered slices into the global body.
+        let mut phi_uploads: Vec<(usize, Vec<f32>)> = Vec::new();
         {
             let mut span = tracer.span(SpanKind::Upload);
-            let before = fed.channel().snapshot();
-            for (&k, &wk) in selected.iter().zip(&w) {
+            let before = fed.comm_snapshot();
+            let fbefore = fed.fault_stats();
+            for &k in &active {
                 fed.client(k).read_params(&mut buf);
-                let sent = fed
-                    .channel_mut()
-                    .transfer(crate::comm::Direction::Upload, &buf[phi.clone()]);
-                rfl_tensor::axpy_slices(&mut phi_avg, wk, &sent);
+                if let Some(sent) = fed.send(MsgKind::ModelUp, k, &buf[phi.clone()]).data {
+                    phi_uploads.push((k, sent));
+                }
             }
-            span.counter("bytes", fed.channel().stats().since(&before).upload_bytes());
-            span.counter("clients", selected.len() as u64);
+            span.counter("bytes", fed.comm_stats().since(&before).upload_bytes());
+            span.counter("clients", active.len() as u64);
+            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
         }
+        let delivered: Vec<usize> = phi_uploads.iter().map(|(k, _)| *k).collect();
         {
             let mut span = tracer.span(SpanKind::Aggregate);
-            span.counter("clients", selected.len() as u64);
-            let mut new_global = fed.global().to_vec();
-            new_global[phi].copy_from_slice(&phi_avg);
-            fed.set_global(new_global);
+            span.counter("clients", delivered.len() as u64);
+            if !delivered.is_empty() {
+                let w = renormalized_weights(fed.weights(), &delivered);
+                let mut phi_avg = vec![0.0f32; phi.len()];
+                for ((_, sent), &wk) in phi_uploads.iter().zip(&w) {
+                    rfl_tensor::axpy_slices(&mut phi_avg, wk, sent);
+                }
+                let mut new_global = fed.global().to_vec();
+                new_global[phi].copy_from_slice(&phi_avg);
+                fed.set_global(new_global);
+            }
         }
 
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

@@ -1,10 +1,9 @@
 //! FedProx (Li et al., MLSys 2020): FedAvg with a proximal term
 //! `μ/2·‖w − w_global‖²` in every local objective.
 
-use super::{mean_losses, traced_aggregate, traced_select};
+use super::{active_mean_losses, aggregate_delivered, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use std::sync::Arc;
@@ -39,24 +38,24 @@ impl Algorithm for FedProx {
         rng: &mut StdRng,
     ) -> RoundOutcome {
         let selected = traced_select(fed, cfg.sample_ratio, rng);
-        fed.broadcast_params(&selected);
+        let active = fed.broadcast_params(&selected);
         let anchor = Arc::new(fed.global().to_vec());
         let rules = vec![
             LocalRule::Prox {
                 mu: self.mu,
                 anchor: anchor.clone(),
             };
-            selected.len()
+            active.len()
         ];
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
-        let params = fed.collect_params(&selected);
-        let w = renormalized_weights(fed.weights(), &selected);
-        traced_aggregate(fed, &params, &w);
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
+        let uploads = fed.collect_params(&active);
+        let delivered = aggregate_delivered(fed, uploads);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

@@ -24,7 +24,7 @@ pub use scaffold::Scaffold;
 
 use crate::client::LocalReport;
 use crate::federation::Federation;
-use crate::sampling::sample_clients;
+use crate::sampling::{renormalized_weights, sample_clients};
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
 
@@ -49,9 +49,82 @@ pub(crate) fn traced_select(fed: &Federation, ratio: f32, rng: &mut StdRng) -> V
 }
 
 /// Weighted-average aggregation into the global model, wrapped in an
-/// `aggregate` span.
+/// `aggregate` span. With no delivered uploads (`params` empty) the global
+/// model is left unchanged — the round is a no-op for the server.
 pub(crate) fn traced_aggregate(fed: &mut Federation, params: &[Vec<f32>], weights: &[f32]) {
     let mut span = fed.tracer().span(SpanKind::Aggregate);
     span.counter("clients", params.len() as u64);
+    if params.is_empty() {
+        return;
+    }
     fed.set_global(Federation::weighted_average(params, weights));
+}
+
+/// Splits delivered `(client, params)` uploads into parallel id/param lists.
+pub(crate) fn split_uploads(uploads: Vec<(usize, Vec<f32>)>) -> (Vec<usize>, Vec<Vec<f32>>) {
+    uploads.into_iter().unzip()
+}
+
+/// The standard FedAvg-style aggregation over whatever uploads actually
+/// arrived: weights renormalize over the *delivered* clients only, so a
+/// dropped upload redistributes its mass instead of shrinking the update.
+/// Returns the delivered client ids.
+pub(crate) fn aggregate_delivered(
+    fed: &mut Federation,
+    uploads: Vec<(usize, Vec<f32>)>,
+) -> Vec<usize> {
+    let (delivered, params) = split_uploads(uploads);
+    let w = if delivered.is_empty() {
+        Vec::new()
+    } else {
+        renormalized_weights(fed.weights(), &delivered)
+    };
+    traced_aggregate(fed, &params, &w);
+    delivered
+}
+
+/// Participant-weighted mean losses over the clients that actually trained
+/// this round; `(0, 0)` when nobody did.
+pub(crate) fn active_mean_losses(
+    fed: &Federation,
+    reports: &[LocalReport],
+    active: &[usize],
+) -> (f32, f32) {
+    if active.is_empty() {
+        return (0.0, 0.0);
+    }
+    mean_losses(reports, &renormalized_weights(fed.weights(), active))
+}
+
+/// Intersection of two sorted index lists (clients that received *all* of a
+/// round's downloads).
+pub(crate) fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]));
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod helper_tests {
+    use super::intersect_sorted;
+
+    #[test]
+    fn intersection_of_sorted_lists() {
+        assert_eq!(intersect_sorted(&[0, 2, 4, 6], &[1, 2, 3, 6]), vec![2, 6]);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<usize>::new());
+        assert_eq!(intersect_sorted(&[3, 5], &[3, 5]), vec![3, 5]);
+    }
 }

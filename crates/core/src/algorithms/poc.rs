@@ -7,10 +7,10 @@
 //! model, and keeps the `m` highest-loss candidates. Biasing participation
 //! toward struggling clients speeds convergence on heterogeneous data.
 
-use super::{mean_losses, traced_aggregate};
+use super::{active_mean_losses, aggregate_delivered};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::sample_clients;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
@@ -63,11 +63,28 @@ impl Algorithm for PowerOfChoice {
         let m = ((n as f32 * cfg.sample_ratio).ceil() as usize).clamp(1, n);
         let pool_sr = (cfg.sample_ratio * self.oversample).min(1.0);
         let candidates = sample_clients(n, pool_sr, rng);
-        fed.broadcast_params(&candidates);
-        let losses = fed.local_losses_at_global(&candidates);
-        let mut ranked: Vec<(usize, f32)> = candidates.iter().copied().zip(losses).collect();
+        // Only candidates whose model download arrived can report a loss and
+        // therefore be ranked; the rest drop out of the pool.
+        let pool = fed.broadcast_params(&candidates);
+        if pool.is_empty() {
+            select_span.counter("candidates", candidates.len() as u64);
+            select_span.counter("clients", 0);
+            drop(select_span);
+            return RoundOutcome {
+                train_loss: 0.0,
+                reg_loss: 0.0,
+                selected: Vec::new(),
+                delivered: Vec::new(),
+            };
+        }
+        let losses = fed.local_losses_at_global(&pool);
+        let mut ranked: Vec<(usize, f32)> = pool.iter().copied().zip(losses).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let mut selected: Vec<usize> = ranked.iter().take(m).map(|(k, _)| *k).collect();
+        let mut selected: Vec<usize> = ranked
+            .iter()
+            .take(m.min(pool.len()))
+            .map(|(k, _)| *k)
+            .collect();
         selected.sort_unstable();
         select_span.counter("candidates", candidates.len() as u64);
         select_span.counter("clients", selected.len() as u64);
@@ -91,28 +108,28 @@ impl Algorithm for PowerOfChoice {
             })
             .collect();
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
-        let params = fed.collect_params(&selected);
-        let w = renormalized_weights(fed.weights(), &selected);
-        traced_aggregate(fed, &params, &w);
+        let uploads = fed.collect_params(&selected);
+        let delivered = aggregate_delivered(fed, uploads);
 
         if self.lambda > 0.0 {
-            fed.broadcast_params(&selected);
+            let resynced = fed.broadcast_params(&selected);
             // δ recomputation is server-simulated here (unmetered), so the
             // span carries dims but no bytes.
             let mut span = tracer.span(SpanKind::DeltaSync);
             span.counter("dims", d_dim as u64);
-            span.counter("clients", selected.len() as u64);
-            for &k in &selected {
-                let delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
+            span.counter("clients", resynced.len() as u64);
+            for &k in &resynced {
+                let delta = fed.client_mut(k).compute_delta(cfg.probe_batch());
                 table.set(k, delta);
             }
         }
 
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &selected);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

@@ -43,47 +43,58 @@ impl Algorithm for QFedAvg {
         rng: &mut StdRng,
     ) -> RoundOutcome {
         let selected = traced_select(fed, cfg.sample_ratio, rng);
-        fed.broadcast_params(&selected);
+        let active = fed.broadcast_params(&selected);
         // Loss of the global model on each participant's data (the F_k in
         // the q-fair weights) — computed client-side after the download.
-        let losses = fed.local_losses_at_global(&selected);
+        let losses = fed.local_losses_at_global(&active);
 
-        let rules = vec![LocalRule::Plain; selected.len()];
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
-        let params = fed.collect_params(&selected);
+        let rules = vec![LocalRule::Plain; active.len()];
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
+        let uploads = fed.collect_params(&active);
+        let delivered: Vec<usize> = uploads.iter().map(|(k, _)| *k).collect();
 
         let mut agg_span = fed.tracer().span(SpanKind::Aggregate);
-        agg_span.counter("clients", selected.len() as u64);
-        let global = fed.global().to_vec();
-        let n_params = global.len();
-        let mut delta_sum = vec![0.0f32; n_params];
-        let mut h_sum = 0.0f32;
-        for (i, &k) in selected.iter().enumerate() {
-            let lipschitz = 1.0 / fed.client(k).lr();
-            let f_k = losses[i].max(1e-10);
-            let fq = f_k.powf(self.q);
-            let mut grad_sq = 0.0f32;
-            for (j, d) in delta_sum.iter_mut().enumerate() {
-                let g = lipschitz * (global[j] - params[i][j]);
-                *d += fq * g;
-                grad_sq += g * g;
+        agg_span.counter("clients", delivered.len() as u64);
+        if !uploads.is_empty() {
+            let global = fed.global().to_vec();
+            let n_params = global.len();
+            let mut delta_sum = vec![0.0f32; n_params];
+            let mut h_sum = 0.0f32;
+            for (k, params) in &uploads {
+                let i = active
+                    .binary_search(k)
+                    .expect("upload from an active client");
+                let lipschitz = 1.0 / fed.client(*k).lr();
+                let f_k = losses[i].max(1e-10);
+                let fq = f_k.powf(self.q);
+                let mut grad_sq = 0.0f32;
+                for (j, d) in delta_sum.iter_mut().enumerate() {
+                    let g = lipschitz * (global[j] - params[j]);
+                    *d += fq * g;
+                    grad_sq += g * g;
+                }
+                h_sum += self.q * f_k.powf(self.q - 1.0) * grad_sq + lipschitz * fq;
             }
-            h_sum += self.q * f_k.powf(self.q - 1.0) * grad_sq + lipschitz * fq;
+            assert!(h_sum > 0.0, "degenerate q-FedAvg denominator");
+            let mut new_global = global;
+            for (g, d) in new_global.iter_mut().zip(&delta_sum) {
+                *g -= d / h_sum;
+            }
+            fed.set_global(new_global);
         }
-        assert!(h_sum > 0.0, "degenerate q-FedAvg denominator");
-        let mut new_global = global;
-        for (g, d) in new_global.iter_mut().zip(&delta_sum) {
-            *g -= d / h_sum;
-        }
-        fed.set_global(new_global);
         drop(agg_span);
 
-        let uniform = vec![1.0 / selected.len() as f32; selected.len()];
-        let (train_loss, reg_loss) = mean_losses(&reports, &uniform);
+        let (train_loss, reg_loss) = if active.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let uniform = vec![1.0 / active.len() as f32; active.len()];
+            mean_losses(&reports, &uniform)
+        };
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

@@ -8,13 +8,12 @@
 //! local model parameters** (the inconsistency that rFedAvg+ later removes)
 //! and uploads it.
 
-use super::mean_losses;
-use crate::comm::Direction;
+use super::{active_mean_losses, aggregate_delivered};
+use crate::comm::MsgKind;
 use crate::delta::DeltaTable;
-use crate::dp::{privatize_delta, DpConfig};
-use crate::federation::{Federation, FlConfig};
+use crate::dp::DpConfig;
+use crate::federation::{fault_counters, Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
@@ -71,66 +70,62 @@ impl Algorithm for RFedAvg {
         let table = self.table.get_or_insert_with(|| DeltaTable::new(n, d));
 
         let selected = super::traced_select(fed, cfg.sample_ratio, rng);
-        fed.broadcast_params(&selected);
+        let active = fed.broadcast_params(&selected);
 
         // Broadcast the FULL delayed table to every participant — the
         // O(dN²) communication of Algorithm 1 (server must ship N·d scalars
-        // to each of the participants).
-        {
+        // to each of the participants). A client whose table download drops
+        // trains unregularized for the round (it has no targets).
+        let table_ok = {
             let mut span = tracer.span(SpanKind::DeltaBroadcast);
-            let before = fed.channel().snapshot();
+            let before = fed.comm_snapshot();
+            let fbefore = fed.fault_stats();
             let flat = table.flattened();
-            fed.channel_mut().broadcast_delta(selected.len(), &flat);
-            let diff = fed.channel().stats().since(&before);
+            let bd = fed.broadcast(MsgKind::DeltaTableDown, &active, &flat);
+            let diff = fed.comm_stats().since(&before);
             span.counter("bytes", diff.delta_download_bytes());
             span.counter("dims", (n * d) as u64);
-            span.counter("clients", selected.len() as u64);
-        }
+            span.counter("clients", active.len() as u64);
+            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
+            bd.delivered_clients(&active)
+        };
 
         // Each client's regularization target is the mean of the other
         // (already-reported) delayed maps; until another client has reported,
         // the client trains unregularized (δ₀ is uninformative).
         let mut targets = table.means_excluding_initialized();
-        let rules: Vec<LocalRule> = selected
+        let rules: Vec<LocalRule> = active
             .iter()
-            .map(|&k| match targets[k].take() {
-                Some(target) => LocalRule::Mmd {
-                    lambda: self.lambda,
-                    target: Arc::new(target),
-                },
-                None => LocalRule::Plain,
+            .map(|&k| {
+                if table_ok.binary_search(&k).is_err() {
+                    return LocalRule::Plain;
+                }
+                match targets[k].take() {
+                    Some(target) => LocalRule::Mmd {
+                        lambda: self.lambda,
+                        target: Arc::new(target),
+                    },
+                    None => LocalRule::Plain,
+                }
             })
             .collect();
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
         // δ is recomputed with each client's LOCAL (post-training) model —
         // Algorithm 1 line 10 — then uploaded (d scalars per participant).
-        {
-            let mut span = tracer.span(SpanKind::DeltaSync);
-            let before = fed.channel().snapshot();
-            for &k in &selected {
-                let mut delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
-                if let Some(dp) = self.dp {
-                    privatize_delta(&mut delta, dp, rng);
-                }
-                let received = fed.channel_mut().transfer_delta(Direction::Upload, &delta);
-                table.set(k, received);
-            }
-            let diff = fed.channel().stats().since(&before);
-            span.counter("bytes", diff.delta_upload_bytes());
-            span.counter("dims", d as u64);
-            span.counter("clients", selected.len() as u64);
-        }
+        // This stays BEFORE the model upload so the DP noise draws keep their
+        // historical RNG order.
+        fed.sync_deltas(&active, table, cfg.probe_batch(), self.dp, rng);
 
-        let params = fed.collect_params(&selected);
-        let w = renormalized_weights(fed.weights(), &selected);
-        super::traced_aggregate(fed, &params, &w);
+        let uploads = fed.collect_params(&active);
+        let delivered = aggregate_delivered(fed, uploads);
 
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

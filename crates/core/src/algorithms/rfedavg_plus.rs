@@ -12,13 +12,12 @@
 //!    The surrogate `r̃_k = ‖δ_k − δ̄^{−k}‖²` has the same gradient in
 //!    `δ_k` as the exact pairwise regularizer.
 
-use super::mean_losses;
-use crate::comm::Direction;
+use super::{active_mean_losses, aggregate_delivered};
+use crate::comm::MsgKind;
 use crate::delta::DeltaTable;
-use crate::dp::{privatize_delta, DpConfig};
-use crate::federation::{Federation, FlConfig};
+use crate::dp::DpConfig;
+use crate::federation::{fault_counters, Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
@@ -76,65 +75,53 @@ impl Algorithm for RFedAvgPlus {
         let selected = super::traced_select(fed, cfg.sample_ratio, rng);
 
         // First sync: global model down.
-        fed.broadcast_params(&selected);
+        let active = fed.broadcast_params(&selected);
 
-        // Per-client averaged δ target — d scalars each (O(dN) total).
+        // Per-client averaged δ target — d scalars each (O(dN) total). A
+        // dropped target message degrades that client to unregularized
+        // training for the round.
         let rules: Vec<LocalRule> = {
             let mut span = tracer.span(SpanKind::DeltaBroadcast);
-            let before = fed.channel().snapshot();
+            let before = fed.comm_snapshot();
+            let fbefore = fed.fault_stats();
             let mut targets = table.means_excluding_initialized();
-            let rules = selected
+            let rules = active
                 .iter()
                 .map(|&k| match targets[k].take() {
-                    Some(target) => {
-                        let received = fed
-                            .channel_mut()
-                            .transfer_delta(Direction::Download, &target);
-                        LocalRule::Mmd {
+                    Some(target) => match fed.send(MsgKind::DeltaDown, k, &target).data {
+                        Some(received) => LocalRule::Mmd {
                             lambda: self.lambda,
                             target: Arc::new(received),
-                        }
-                    }
+                        },
+                        None => LocalRule::Plain,
+                    },
                     None => LocalRule::Plain,
                 })
                 .collect();
-            let diff = fed.channel().stats().since(&before);
+            let diff = fed.comm_stats().since(&before);
             span.counter("bytes", diff.delta_download_bytes());
             span.counter("dims", d as u64);
-            span.counter("clients", selected.len() as u64);
+            span.counter("clients", active.len() as u64);
+            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
             rules
         };
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
-        // Upload local models; aggregate.
-        let params = fed.collect_params(&selected);
-        let w = renormalized_weights(fed.weights(), &selected);
-        super::traced_aggregate(fed, &params, &w);
+        // Upload local models; aggregate over the delivered ones.
+        let uploads = fed.collect_params(&active);
+        let delivered = aggregate_delivered(fed, uploads);
 
         // Second sync: consistent global model down; δ computed with it.
-        fed.broadcast_params(&selected);
-        {
-            let mut span = tracer.span(SpanKind::DeltaSync);
-            let before = fed.channel().snapshot();
-            for &k in &selected {
-                let mut delta = fed.client_mut(k).compute_delta(cfg.batch_size.max(32));
-                if let Some(dp) = self.dp {
-                    privatize_delta(&mut delta, dp, rng);
-                }
-                let received = fed.channel_mut().transfer_delta(Direction::Upload, &delta);
-                table.set(k, received);
-            }
-            let diff = fed.channel().stats().since(&before);
-            span.counter("bytes", diff.delta_upload_bytes());
-            span.counter("dims", d as u64);
-            span.counter("clients", selected.len() as u64);
-        }
+        // Only clients that receive the re-broadcast report a fresh δ.
+        let resynced = fed.broadcast_params(&active);
+        fed.sync_deltas(&resynced, table, cfg.probe_batch(), self.dp, rng);
 
-        let (train_loss, reg_loss) = mean_losses(&reports, &w);
+        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

@@ -1,9 +1,9 @@
 //! SCAFFOLD (Karimireddy et al., ICML 2020): stochastic controlled averaging
 //! with server/client control variates correcting client drift.
 
-use super::{mean_losses, traced_select};
-use crate::comm::Direction;
-use crate::federation::{Federation, FlConfig};
+use super::{intersect_sorted, mean_losses, traced_select};
+use crate::comm::MsgKind;
+use crate::federation::{fault_counters, Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
@@ -67,21 +67,23 @@ impl Algorithm for Scaffold {
 
         // Download: model parameters AND the server control variate (the
         // control broadcast gets its own span so downstream byte accounting
-        // still reconciles with `CommStats`).
-        fed.broadcast_params(&selected);
-        let c_received = {
+        // still reconciles with `CommStats`). A client participates only if
+        // BOTH downloads arrive.
+        let model_ok = fed.broadcast_params(&selected);
+        let (c_received, ctrl_ok) = {
             let mut span = tracer.span(SpanKind::Broadcast);
-            let before = fed.channel().snapshot();
-            let c_received = fed.channel_mut().broadcast(selected.len(), &self.c);
-            span.counter(
-                "bytes",
-                fed.channel().stats().since(&before).download_bytes(),
-            );
+            let before = fed.comm_snapshot();
+            let fbefore = fed.fault_stats();
+            let bd = fed.broadcast(MsgKind::ControlDown, &selected, &self.c);
+            span.counter("bytes", fed.comm_stats().since(&before).download_bytes());
             span.counter("clients", selected.len() as u64);
-            c_received
+            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
+            let ctrl_ok = bd.delivered_clients(&selected);
+            (bd.data, ctrl_ok)
         };
+        let active = intersect_sorted(&model_ok, &ctrl_ok);
 
-        let rules: Vec<LocalRule> = selected
+        let rules: Vec<LocalRule> = active
             .iter()
             .map(|&k| {
                 let correction: Vec<f32> = c_received
@@ -94,59 +96,74 @@ impl Algorithm for Scaffold {
                 }
             })
             .collect();
-        let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
+        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
         let global_before = fed.global().to_vec();
-        let params = fed.collect_params(&selected);
+        let uploads = fed.collect_params(&active);
+        let delivered: Vec<usize> = uploads.iter().map(|(k, _)| *k).collect();
 
-        // Control-variate updates (option II) + uploads.
+        // Control-variate updates (option II) + uploads. A client whose
+        // model upload dropped skips its control upload too (the link is
+        // dead for the round), so `c` only absorbs delivered updates.
         let mut c_delta_sum = vec![0.0f32; fed.num_params()];
         {
             let mut span = tracer.span(SpanKind::Upload);
-            let before = fed.channel().snapshot();
-            for (i, &k) in selected.iter().enumerate() {
-                let eta_l = fed.client(k).lr();
+            let before = fed.comm_snapshot();
+            let fbefore = fed.fault_stats();
+            for (k, params) in &uploads {
+                let eta_l = fed.client(*k).lr();
                 let scale = 1.0 / (cfg.local_steps as f32 * eta_l);
-                let c_k_new: Vec<f32> = self.c_k[k]
+                let c_k_new: Vec<f32> = self.c_k[*k]
                     .iter()
                     .zip(&self.c)
-                    .zip(global_before.iter().zip(&params[i]))
+                    .zip(global_before.iter().zip(params))
                     .map(|((ck, c), (g, w))| ck - c + scale * (g - w))
                     .collect();
                 // Client uploads its control-variate update alongside the model.
-                let received = fed.channel_mut().transfer(Direction::Upload, &c_k_new);
-                for ((s, new), old) in c_delta_sum.iter_mut().zip(&received).zip(&self.c_k[k]) {
-                    *s += new - old;
+                if let Some(received) = fed.send(MsgKind::ControlUp, *k, &c_k_new).data {
+                    for ((s, new), old) in c_delta_sum.iter_mut().zip(&received).zip(&self.c_k[*k])
+                    {
+                        *s += new - old;
+                    }
+                    self.c_k[*k] = received;
                 }
-                self.c_k[k] = received;
             }
-            span.counter("bytes", fed.channel().stats().since(&before).upload_bytes());
-            span.counter("clients", selected.len() as u64);
+            span.counter("bytes", fed.comm_stats().since(&before).upload_bytes());
+            span.counter("clients", uploads.len() as u64);
+            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
         }
         // c ← c + (|S|/N)·mean_S(c_k⁺ − c_k)  ==  c + (1/N)·Σ_S(c_k⁺ − c_k)
         for (c, d) in self.c.iter_mut().zip(&c_delta_sum) {
             *c += d / n as f32;
         }
 
-        // Server update: w ← w + η_g · mean_S (w_k − w).
-        let m = selected.len() as f32;
+        // Server update: w ← w + η_g · mean_D (w_k − w) over the delivered
+        // uploads.
         let mut span = tracer.span(SpanKind::Aggregate);
-        span.counter("clients", selected.len() as u64);
-        let mut new_global = global_before.clone();
-        for p in &params {
-            for ((g, w), base) in new_global.iter_mut().zip(p).zip(&global_before) {
-                *g += self.eta_g / m * (w - base);
+        span.counter("clients", delivered.len() as u64);
+        if !uploads.is_empty() {
+            let m = uploads.len() as f32;
+            let mut new_global = global_before.clone();
+            for (_, p) in &uploads {
+                for ((g, w), base) in new_global.iter_mut().zip(p).zip(&global_before) {
+                    *g += self.eta_g / m * (w - base);
+                }
             }
+            fed.set_global(new_global);
         }
-        fed.set_global(new_global);
         drop(span);
 
-        let uniform = vec![1.0 / m; selected.len()];
-        let (train_loss, reg_loss) = mean_losses(&reports, &uniform);
+        let (train_loss, reg_loss) = if active.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let uniform = vec![1.0 / active.len() as f32; active.len()];
+            mean_losses(&reports, &uniform)
+        };
         RoundOutcome {
             train_loss,
             reg_loss,
             selected,
+            delivered,
         }
     }
 }

@@ -1,0 +1,234 @@
+//! Typed message envelopes and delivery outcomes.
+//!
+//! Every payload that crosses the simulated network is tagged with a
+//! [`MsgKind`] naming *what* the bytes are (model parameters, δ maps,
+//! control state), which fixes the transfer direction and the accounting
+//! plane (model vs δ) once, at the type level — algorithm code no longer
+//! reaches into channel internals to pick counters.
+
+use super::stats::Direction;
+
+/// The fixed vocabulary of messages the FL protocols exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Global model parameters, server → client.
+    ModelDown,
+    /// Locally trained model parameters, client → server.
+    ModelUp,
+    /// The full δ table `(δ¹, …, δᴺ)`, server → client — rFedAvg's
+    /// `O(dN²)` broadcast.
+    DeltaTableDown,
+    /// A single averaged δ target `δ̄^{−k}`, server → client — rFedAvg+'s
+    /// `O(dN)` alternative.
+    DeltaDown,
+    /// A client's recomputed δ map, client → server.
+    DeltaUp,
+    /// Algorithm control state (e.g. SCAFFOLD's variate `c`, FedPer's φ
+    /// slice), server → client. Model-plane accounting.
+    ControlDown,
+    /// Algorithm control state (e.g. SCAFFOLD's `c_k⁺`), client → server.
+    ControlUp,
+}
+
+impl MsgKind {
+    /// Transfer direction, from the clients' perspective.
+    pub fn direction(self) -> Direction {
+        match self {
+            MsgKind::ModelDown
+            | MsgKind::DeltaTableDown
+            | MsgKind::DeltaDown
+            | MsgKind::ControlDown => Direction::Download,
+            MsgKind::ModelUp | MsgKind::DeltaUp | MsgKind::ControlUp => Direction::Upload,
+        }
+    }
+
+    /// Whether the message belongs to the δ accounting plane (the Table III
+    /// byte counters).
+    pub fn is_delta(self) -> bool {
+        matches!(
+            self,
+            MsgKind::DeltaTableDown | MsgKind::DeltaDown | MsgKind::DeltaUp
+        )
+    }
+
+    /// Stable wire name (trace labels, debugging).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::ModelDown => "model_down",
+            MsgKind::ModelUp => "model_up",
+            MsgKind::DeltaTableDown => "delta_table_down",
+            MsgKind::DeltaDown => "delta_down",
+            MsgKind::DeltaUp => "delta_up",
+            MsgKind::ControlDown => "control_down",
+            MsgKind::ControlUp => "control_up",
+        }
+    }
+}
+
+/// Why a message did not arrive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Every transmission attempt was lost on the link.
+    Loss,
+    /// The message would have arrived after the round deadline; the sender
+    /// is treated as a dropout for this round.
+    Deadline,
+}
+
+/// Outcome of one logical message on one link (no payload).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkOutcome {
+    /// Whether the message arrived.
+    pub delivered: bool,
+    /// Transmission attempts made (≥ 1); `attempts − 1` are retries.
+    pub attempts: u32,
+    /// Set when `delivered` is false.
+    pub reason: Option<DropReason>,
+}
+
+impl LinkOutcome {
+    /// The always-delivered, single-attempt outcome of a perfect link.
+    pub fn perfect() -> Self {
+        LinkOutcome {
+            delivered: true,
+            attempts: 1,
+            reason: None,
+        }
+    }
+
+    /// Retransmissions beyond the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// Outcome of a point-to-point send: the received payload (codec
+/// round-tripped, exactly as it left the wire) when delivered.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// The received copy; `None` when the message was dropped.
+    pub data: Option<Vec<f32>>,
+    /// Transmission attempts made (≥ 1).
+    pub attempts: u32,
+    /// Set when the message was dropped.
+    pub reason: Option<DropReason>,
+}
+
+impl Delivery {
+    pub fn is_delivered(&self) -> bool {
+        self.data.is_some()
+    }
+
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// Outcome of a one-to-many send: the payload is decoded once (identical
+/// content for every receiver) with a per-link outcome vector parallel to
+/// the destination list.
+#[derive(Clone, Debug)]
+pub struct BroadcastDelivery {
+    /// The received copy shared by every delivered link.
+    pub data: Vec<f32>,
+    /// One outcome per destination, in destination order.
+    pub links: Vec<LinkOutcome>,
+}
+
+impl BroadcastDelivery {
+    /// The subset of `clients` whose link delivered, in order.
+    pub fn delivered_clients(&self, clients: &[usize]) -> Vec<usize> {
+        debug_assert_eq!(clients.len(), self.links.len());
+        clients
+            .iter()
+            .zip(&self.links)
+            .filter(|(_, l)| l.delivered)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Number of links that dropped.
+    pub fn dropped(&self) -> u64 {
+        self.links.iter().filter(|l| !l.delivered).count() as u64
+    }
+}
+
+/// Message-level fault counters, accumulated over a transport's lifetime.
+/// All zeros on a perfect transport.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages that never arrived (all attempts lost, or deadline).
+    pub dropped: u64,
+    /// Retransmissions (attempts beyond the first, delivered or not).
+    pub retries: u64,
+    /// Subset of `dropped` caused by the round deadline.
+    pub deadline_drops: u64,
+}
+
+impl FaultStats {
+    /// Difference against an earlier snapshot (per-round accounting).
+    pub fn since(&self, snapshot: &FaultStats) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped - snapshot.dropped,
+            retries: self.retries - snapshot.retries,
+            deadline_drops: self.deadline_drops - snapshot.deadline_drops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_direction_and_plane() {
+        assert_eq!(MsgKind::ModelDown.direction(), Direction::Download);
+        assert_eq!(MsgKind::DeltaUp.direction(), Direction::Upload);
+        assert_eq!(MsgKind::ControlUp.direction(), Direction::Upload);
+        assert!(MsgKind::DeltaTableDown.is_delta());
+        assert!(MsgKind::DeltaDown.is_delta());
+        assert!(MsgKind::DeltaUp.is_delta());
+        assert!(!MsgKind::ModelDown.is_delta());
+        assert!(!MsgKind::ControlDown.is_delta());
+    }
+
+    #[test]
+    fn broadcast_delivery_filters_delivered() {
+        let bd = BroadcastDelivery {
+            data: vec![1.0],
+            links: vec![
+                LinkOutcome::perfect(),
+                LinkOutcome {
+                    delivered: false,
+                    attempts: 2,
+                    reason: Some(DropReason::Loss),
+                },
+                LinkOutcome::perfect(),
+            ],
+        };
+        assert_eq!(bd.delivered_clients(&[3, 5, 9]), vec![3, 9]);
+        assert_eq!(bd.dropped(), 1);
+    }
+
+    #[test]
+    fn fault_stats_since() {
+        let a = FaultStats {
+            dropped: 5,
+            retries: 7,
+            deadline_drops: 2,
+        };
+        let b = FaultStats {
+            dropped: 2,
+            retries: 3,
+            deadline_drops: 1,
+        };
+        assert_eq!(
+            a.since(&b),
+            FaultStats {
+                dropped: 3,
+                retries: 4,
+                deadline_drops: 1,
+            }
+        );
+    }
+}

@@ -1,7 +1,22 @@
 //! Byte-accurate communication simulation.
+//!
+//! The layer is split in two: [`Channel`]/[`CommStats`] meter bytes with the
+//! real wire codec, and the [`Transport`] trait decides *delivery* — typed
+//! envelopes ([`MsgKind`]) go in, [`Delivery`]/[`BroadcastDelivery`] outcomes
+//! come out. [`PerfectTransport`] is the lossless default (byte-identical to
+//! the bare channel); [`FaultyTransport`] injects seeded per-link drops,
+//! virtual latency, bounded retries, and per-round deadlines.
 
 mod channel;
+mod faulty;
+mod message;
 mod stats;
+mod transport;
+
+pub(crate) use faulty::mix64;
 
 pub use channel::Channel;
+pub use faulty::{FaultConfig, FaultyTransport, LatencyModel};
+pub use message::{BroadcastDelivery, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind};
 pub use stats::{CommStats, Direction};
+pub use transport::{PerfectTransport, Transport};

@@ -1,0 +1,172 @@
+//! The pluggable transport abstraction.
+//!
+//! Algorithms and the [`crate::Federation`] round plumbing send typed
+//! envelopes ([`MsgKind`] + payload) and consume [`Delivery`] outcomes; the
+//! *delivery semantics* — perfect, lossy, delayed — live entirely behind
+//! this trait. [`PerfectTransport`] wraps the metered [`Channel`] and is
+//! bit- and byte-identical to the pre-transport code path;
+//! [`crate::comm::FaultyTransport`] adds seeded per-link faults.
+
+use super::channel::Channel;
+use super::message::{BroadcastDelivery, Delivery, FaultStats, LinkOutcome, MsgKind};
+use super::stats::{CommStats, Direction};
+
+/// A simulated network between the server and its clients.
+///
+/// All sends are synchronous from the caller's perspective (this is a
+/// simulation — "latency" is virtual time used by fault models, not a real
+/// delay). Implementations must be deterministic: the same construction
+/// parameters and call sequence must produce the same outcomes regardless
+/// of thread budget or wall clock.
+pub trait Transport: Send {
+    /// Marks the start of communication round `round`. Fault models use
+    /// this to reset per-round state (virtual clocks, deadlines).
+    fn begin_round(&mut self, round: u64);
+
+    /// Sends `payload` on the link of `client`; direction and accounting
+    /// plane follow from `kind`. Returns the received copy on delivery.
+    fn send(&mut self, kind: MsgKind, client: usize, payload: &[f32]) -> Delivery;
+
+    /// Sends the same `payload` to every client in `clients` (byte cost is
+    /// charged per receiver; content is decoded once and shared).
+    fn broadcast(&mut self, kind: MsgKind, clients: &[usize], payload: &[f32])
+        -> BroadcastDelivery;
+
+    /// Charges a message of `wire_bytes` whose payload carries its own wire
+    /// format (compressed uploads); no scalar payload crosses here.
+    fn send_raw(&mut self, kind: MsgKind, client: usize, wire_bytes: u64) -> LinkOutcome;
+
+    /// The byte/message ledger.
+    fn stats(&self) -> &CommStats;
+
+    /// Message-level fault counters (all zeros for a perfect transport).
+    fn fault_stats(&self) -> FaultStats;
+}
+
+/// The lossless, zero-latency transport: every send is delivered on the
+/// first attempt, and the byte accounting is exactly the metered
+/// [`Channel`]'s — the default, and the baseline every fault model is
+/// validated against.
+#[derive(Default)]
+pub struct PerfectTransport {
+    channel: Channel,
+}
+
+impl PerfectTransport {
+    pub fn new() -> Self {
+        PerfectTransport::default()
+    }
+}
+
+impl Transport for PerfectTransport {
+    fn begin_round(&mut self, _round: u64) {}
+
+    fn send(&mut self, kind: MsgKind, _client: usize, payload: &[f32]) -> Delivery {
+        let dir = kind.direction();
+        let data = if kind.is_delta() {
+            self.channel.transfer_delta(dir, payload)
+        } else {
+            self.channel.transfer(dir, payload)
+        };
+        Delivery {
+            data: Some(data),
+            attempts: 1,
+            reason: None,
+        }
+    }
+
+    fn broadcast(
+        &mut self,
+        kind: MsgKind,
+        clients: &[usize],
+        payload: &[f32],
+    ) -> BroadcastDelivery {
+        debug_assert_eq!(kind.direction(), Direction::Download, "broadcasts go down");
+        let data = if kind.is_delta() {
+            self.channel.broadcast_delta(clients.len(), payload)
+        } else {
+            self.channel.broadcast(clients.len(), payload)
+        };
+        BroadcastDelivery {
+            data,
+            links: vec![LinkOutcome::perfect(); clients.len()],
+        }
+    }
+
+    fn send_raw(&mut self, kind: MsgKind, _client: usize, wire_bytes: u64) -> LinkOutcome {
+        self.channel.record_raw(kind.direction(), wire_bytes);
+        LinkOutcome::perfect()
+    }
+
+    fn stats(&self) -> &CommStats {
+        self.channel.stats()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_matches_channel_accounting() {
+        let mut t = PerfectTransport::new();
+        let mut ch = Channel::new();
+        let v = vec![1.0f32, -2.0, 3.5];
+        let d = t.send(MsgKind::ModelUp, 0, &v);
+        let expect = ch.transfer(Direction::Upload, &v);
+        assert_eq!(d.data.as_deref(), Some(expect.as_slice()));
+        assert_eq!(d.attempts, 1);
+        assert_eq!(t.stats().upload_bytes(), ch.stats().upload_bytes());
+        assert_eq!(t.stats().messages(), ch.stats().messages());
+    }
+
+    #[test]
+    fn delta_kinds_charge_the_delta_plane() {
+        let mut t = PerfectTransport::new();
+        t.send(MsgKind::DeltaUp, 2, &[1.0; 16]);
+        t.broadcast(MsgKind::DeltaTableDown, &[0, 1, 2], &[0.5; 32]);
+        assert_eq!(t.stats().delta_upload_bytes(), 4 + 64);
+        assert_eq!(t.stats().delta_download_bytes(), 3 * (4 + 128));
+        assert_eq!(t.stats().total_bytes(), t.stats().delta_bytes());
+    }
+
+    #[test]
+    fn broadcast_charges_per_receiver_and_delivers_everywhere() {
+        let mut t = PerfectTransport::new();
+        let bd = t.broadcast(MsgKind::ModelDown, &[0, 3, 7], &[2.0; 10]);
+        assert_eq!(bd.data, vec![2.0; 10]);
+        assert_eq!(bd.delivered_clients(&[0, 3, 7]), vec![0, 3, 7]);
+        assert_eq!(t.stats().download_bytes(), 3 * (4 + 40));
+        // A broadcast is one logical message regardless of fan-out.
+        assert_eq!(t.stats().messages(), 1);
+    }
+
+    #[test]
+    fn control_kinds_are_model_plane() {
+        let mut t = PerfectTransport::new();
+        t.send(MsgKind::ControlUp, 0, &[1.0; 8]);
+        t.broadcast(MsgKind::ControlDown, &[0, 1], &[1.0; 8]);
+        assert_eq!(t.stats().delta_bytes(), 0);
+        assert_eq!(t.stats().upload_bytes(), 4 + 32);
+        assert_eq!(t.stats().download_bytes(), 2 * (4 + 32));
+    }
+
+    #[test]
+    fn raw_sends_charge_without_payload() {
+        let mut t = PerfectTransport::new();
+        let out = t.send_raw(MsgKind::ModelUp, 1, 123);
+        assert!(out.delivered);
+        assert_eq!(t.stats().upload_bytes(), 123);
+    }
+
+    #[test]
+    fn fault_stats_are_zero() {
+        let mut t = PerfectTransport::new();
+        t.send(MsgKind::ModelDown, 0, &[1.0]);
+        assert_eq!(t.fault_stats(), FaultStats::default());
+    }
+}

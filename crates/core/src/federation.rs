@@ -1,8 +1,13 @@
-//! The federation: clients, global parameters, metered channel, and the
+//! The federation: clients, global parameters, pluggable transport, and the
 //! shared round plumbing used by every algorithm.
 
 use crate::client::{Client, LocalReport};
-use crate::comm::{Channel, Direction};
+use crate::comm::{
+    BroadcastDelivery, CommStats, Delivery, FaultStats, LinkOutcome, MsgKind, PerfectTransport,
+    Transport,
+};
+use crate::delta::DeltaTable;
+use crate::dp::{privatize_delta, DpConfig};
 use crate::eval::{evaluate, EvalResult};
 use crate::rules::LocalRule;
 use rand::rngs::StdRng;
@@ -35,6 +40,12 @@ pub struct FlConfig {
     /// learning rates, but prevents SCAFFOLD's runaway feedback loop on
     /// high-variance synthetic data.
     pub clip_grad_norm: Option<f32>,
+    /// Batch size of the δ probe — the forward passes estimating a client's
+    /// mean feature embedding `δ_k` for the regularizer sync. `None` uses
+    /// the historical default `batch_size.max(32)`: probing is a pure
+    /// forward pass, so it benefits from larger batches than training, and
+    /// small training batch sizes are floored at 32.
+    pub delta_probe_batch: Option<usize>,
     /// Server RNG seed (client RNGs derive from the federation seed).
     pub seed: u64,
 }
@@ -50,6 +61,7 @@ impl FlConfig {
             eval_every: 1,
             parallel: true,
             clip_grad_norm: Some(10.0),
+            delta_probe_batch: None,
             seed: 0,
         }
     }
@@ -64,8 +76,15 @@ impl FlConfig {
             eval_every: 1,
             parallel: true,
             clip_grad_norm: Some(10.0),
+            delta_probe_batch: None,
             seed: 0,
         }
+    }
+
+    /// The effective δ-probe batch size (see
+    /// [`FlConfig::delta_probe_batch`]).
+    pub fn probe_batch(&self) -> usize {
+        self.delta_probe_batch.unwrap_or(self.batch_size.max(32))
     }
 }
 
@@ -193,17 +212,65 @@ impl OptimizerFactory {
     }
 }
 
+/// System heterogeneity: when installed on a [`Federation`], every
+/// uniform-step training call ([`Federation::train_selected`]) draws each
+/// client's local step count from `[min_steps, steps]` with a seeded hash of
+/// `(seed, round, client)` — stragglers complete fewer local epochs. The
+/// draw is stateless, so it is bit-reproducible at any thread budget and
+/// identical across algorithms sharing a seed.
+#[derive(Clone, Copy, Debug)]
+pub struct StragglerModel {
+    /// Seed of the per-round step draws.
+    pub seed: u64,
+    /// Minimum local steps a straggler completes (≥ 1).
+    pub min_steps: usize,
+}
+
+impl StragglerModel {
+    pub fn new(seed: u64, min_steps: usize) -> Self {
+        assert!(min_steps >= 1, "stragglers still take at least one step");
+        StragglerModel { seed, min_steps }
+    }
+
+    /// The step count client `k` completes in `round` when the nominal
+    /// budget is `steps`.
+    pub fn steps_for(&self, round: u64, client: usize, steps: usize) -> usize {
+        if steps <= self.min_steps {
+            return steps;
+        }
+        let mut h = crate::comm::mix64(self.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = crate::comm::mix64(h ^ (client as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        self.min_steps + (h as usize) % (steps - self.min_steps + 1)
+    }
+}
+
+/// Attaches drop/retry/deadline counters to a span — only when nonzero, so
+/// perfect-transport span shapes are unchanged.
+pub(crate) fn fault_counters(span: &mut rfl_trace::Span, faults: &FaultStats) {
+    if faults.dropped > 0 {
+        span.counter("dropped", faults.dropped);
+    }
+    if faults.retries > 0 {
+        span.counter("retries", faults.retries);
+    }
+    if faults.deadline_drops > 0 {
+        span.counter("deadline_drops", faults.deadline_drops);
+    }
+}
+
 /// The simulated federated system.
 pub struct Federation {
     clients: Vec<Client>,
     weights: Vec<f32>,
     global: Vec<f32>,
-    channel: Channel,
+    transport: Box<dyn Transport>,
     test: Dataset,
     eval_model: Box<dyn Model>,
     parallel: bool,
     eval_batch: usize,
     tracer: Tracer,
+    current_round: u64,
+    straggler: Option<StragglerModel>,
 }
 
 impl Federation {
@@ -237,13 +304,39 @@ impl Federation {
             clients,
             weights: data.client_weights(),
             global,
-            channel: Channel::new(),
+            transport: Box::new(PerfectTransport::new()),
             test: data.test.clone(),
             eval_model,
             parallel: cfg.parallel,
             eval_batch: 64,
             tracer: Tracer::disabled(),
+            current_round: 0,
+            straggler: None,
         }
+    }
+
+    /// Swaps the network backend. The default is [`PerfectTransport`]
+    /// (lossless, zero-latency); install a
+    /// [`crate::comm::FaultyTransport`] to simulate drops, retries, and
+    /// deadline dropouts. Must be called before training starts — the byte
+    /// ledger starts over with the new transport.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// Installs a system-heterogeneity model: subsequent uniform-step
+    /// training calls draw per-client step counts from it.
+    pub fn set_straggler_model(&mut self, model: Option<StragglerModel>) {
+        self.straggler = model;
+    }
+
+    /// Marks the start of communication round `round`: resets the
+    /// transport's per-round fault state (virtual clocks, deadlines) and
+    /// pins the round index used by the straggler model. [`crate::Trainer`]
+    /// calls this automatically.
+    pub fn begin_round(&mut self, round: u64) {
+        self.current_round = round;
+        self.transport.begin_round(round);
     }
 
     /// Installs an observability sink; all subsequent channel operations,
@@ -288,12 +381,43 @@ impl Federation {
         self.global = params;
     }
 
-    pub fn channel(&self) -> &Channel {
-        &self.channel
+    /// The transport's byte/message ledger.
+    pub fn comm_stats(&self) -> &CommStats {
+        self.transport.stats()
     }
 
-    pub fn channel_mut(&mut self) -> &mut Channel {
-        &mut self.channel
+    /// A copy of the ledger (for `since`-style per-phase accounting).
+    pub fn comm_snapshot(&self) -> CommStats {
+        self.transport.stats().clone()
+    }
+
+    /// Message-level fault counters (all zeros under [`PerfectTransport`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.transport.fault_stats()
+    }
+
+    /// Sends `payload` to `client` as a `kind` message through the
+    /// transport. Algorithm code uses this for its custom traffic (control
+    /// variates, δ targets); the plumbing below covers model sync.
+    pub fn send(&mut self, kind: MsgKind, client: usize, payload: &[f32]) -> Delivery {
+        self.transport.send(kind, client, payload)
+    }
+
+    /// Sends `payload` to every client in `clients` (byte cost charged per
+    /// receiver, content decoded once).
+    pub fn broadcast(
+        &mut self,
+        kind: MsgKind,
+        clients: &[usize],
+        payload: &[f32],
+    ) -> BroadcastDelivery {
+        self.transport.broadcast(kind, clients, payload)
+    }
+
+    /// Charges a `kind` message of `wire_bytes` whose payload carries its
+    /// own wire format (compressed uploads).
+    pub fn send_raw(&mut self, kind: MsgKind, client: usize, wire_bytes: u64) -> LinkOutcome {
+        self.transport.send_raw(kind, client, wire_bytes)
     }
 
     pub fn client(&self, k: usize) -> &Client {
@@ -304,46 +428,105 @@ impl Federation {
         &mut self.clients[k]
     }
 
-    /// Sends the current global parameters to every selected client
-    /// (metered broadcast), installing them into the client models.
-    pub fn broadcast_params(&mut self, selected: &[usize]) {
+    /// Sends the current global parameters to every selected client as a
+    /// metered [`MsgKind::ModelDown`] broadcast, installing them into the
+    /// client models whose link delivered. Returns the delivered subset (==
+    /// `selected` under the perfect transport) — clients that missed the
+    /// download sit the round out.
+    pub fn broadcast_params(&mut self, selected: &[usize]) -> Vec<usize> {
         let mut span = self.tracer.span(SpanKind::Broadcast);
-        let before = self.channel.snapshot();
-        let received = self.channel.broadcast(selected.len(), &self.global);
-        for &k in selected {
-            self.clients[k].write_params(&received);
+        let before = self.comm_snapshot();
+        let fbefore = self.fault_stats();
+        let bd = self
+            .transport
+            .broadcast(MsgKind::ModelDown, selected, &self.global);
+        let delivered = bd.delivered_clients(selected);
+        for &k in &delivered {
+            self.clients[k].write_params(&bd.data);
         }
-        span.counter(
-            "bytes",
-            self.channel.stats().since(&before).download_bytes(),
-        );
+        span.counter("bytes", self.comm_stats().since(&before).download_bytes());
         span.counter("clients", selected.len() as u64);
+        fault_counters(&mut span, &self.fault_stats().since(&fbefore));
+        delivered
     }
 
-    /// Uploads the selected clients' parameters to the server (metered).
-    pub fn collect_params(&mut self, selected: &[usize]) -> Vec<Vec<f32>> {
+    /// Uploads the selected clients' parameters to the server as metered
+    /// [`MsgKind::ModelUp`] messages. Returns `(client, params)` for the
+    /// uploads that arrived — a dropped upload removes the client from the
+    /// round's aggregation.
+    pub fn collect_params(&mut self, selected: &[usize]) -> Vec<(usize, Vec<f32>)> {
         let mut span = self.tracer.span(SpanKind::Upload);
-        let before = self.channel.snapshot();
+        let before = self.comm_snapshot();
+        let fbefore = self.fault_stats();
         let mut out = Vec::with_capacity(selected.len());
         let mut buf = Vec::new();
         for &k in selected {
             self.clients[k].read_params(&mut buf);
-            out.push(self.channel.transfer(Direction::Upload, &buf));
+            if let Some(params) = self.transport.send(MsgKind::ModelUp, k, &buf).data {
+                out.push((k, params));
+            }
         }
-        span.counter("bytes", self.channel.stats().since(&before).upload_bytes());
+        span.counter("bytes", self.comm_stats().since(&before).upload_bytes());
         span.counter("clients", selected.len() as u64);
+        fault_counters(&mut span, &self.fault_stats().since(&fbefore));
         out
     }
 
+    /// The shared δ synchronization of the regularized algorithms
+    /// (rFedAvg Alg. 1 line 10, rFedAvg+ second sync): every client in
+    /// `selected` recomputes its δ map with a `probe_batch`-sized probe,
+    /// optionally privatizes it with the Gaussian mechanism, and uploads it
+    /// as a metered [`MsgKind::DeltaUp`]; delivered maps replace the
+    /// server's table rows. Wrapped in a `delta_sync` span.
+    pub fn sync_deltas(
+        &mut self,
+        selected: &[usize],
+        table: &mut DeltaTable,
+        probe_batch: usize,
+        dp: Option<DpConfig>,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mut span = self.tracer.span(SpanKind::DeltaSync);
+        let before = self.comm_snapshot();
+        let fbefore = self.fault_stats();
+        let mut delivered = 0usize;
+        for &k in selected {
+            let mut delta = self.clients[k].compute_delta(probe_batch);
+            if let Some(dp) = dp {
+                privatize_delta(&mut delta, dp, rng);
+            }
+            if let Some(received) = self.transport.send(MsgKind::DeltaUp, k, &delta).data {
+                table.set(k, received);
+                delivered += 1;
+            }
+        }
+        span.counter(
+            "bytes",
+            self.comm_stats().since(&before).delta_upload_bytes(),
+        );
+        span.counter("dims", table.dim() as u64);
+        span.counter("clients", selected.len() as u64);
+        fault_counters(&mut span, &self.fault_stats().since(&fbefore));
+        delivered
+    }
+
     /// Runs local training on the selected clients (in parallel when
-    /// configured); `rules[i]` applies to `selected[i]`.
+    /// configured); `rules[i]` applies to `selected[i]`. When a
+    /// [`StragglerModel`] is installed, each client's step count is drawn
+    /// from it instead of the uniform `steps`.
     pub fn train_selected(
         &mut self,
         selected: &[usize],
         rules: &[LocalRule],
         steps: usize,
     ) -> Vec<LocalReport> {
-        let per_client = vec![steps; selected.len()];
+        let per_client: Vec<usize> = match self.straggler {
+            Some(m) => selected
+                .iter()
+                .map(|&k| m.steps_for(self.current_round, k, steps))
+                .collect(),
+            None => vec![steps; selected.len()],
+        };
         self.train_selected_steps(selected, rules, &per_client)
     }
 
@@ -539,9 +722,10 @@ mod tests {
     fn broadcast_meters_per_receiver() {
         let mut fed = small_fed(false, 1);
         let n_params = fed.num_params();
-        fed.broadcast_params(&[0, 2]);
+        let delivered = fed.broadcast_params(&[0, 2]);
+        assert_eq!(delivered, vec![0, 2], "perfect transport delivers all");
         assert_eq!(
-            fed.channel().stats().download_bytes(),
+            fed.comm_stats().download_bytes(),
             2 * (4 + 4 * n_params as u64)
         );
     }
@@ -591,7 +775,11 @@ mod tests {
             fed.broadcast_params(&selected);
             let rules = vec![LocalRule::Plain; 4];
             fed.train_selected(&selected, &rules, 5);
-            let params = fed.collect_params(&selected);
+            let params: Vec<Vec<f32>> = fed
+                .collect_params(&selected)
+                .into_iter()
+                .map(|(_, p)| p)
+                .collect();
             let w = crate::sampling::renormalized_weights(fed.weights(), &selected);
             let avg = Federation::weighted_average(&params, &w);
             fed.set_global(avg);
@@ -617,7 +805,11 @@ mod tests {
             for _ in 0..3 {
                 fed.broadcast_params(&selected);
                 fed.train_selected(&selected, &vec![LocalRule::Plain; 4], 5);
-                let params = fed.collect_params(&selected);
+                let params: Vec<Vec<f32>> = fed
+                    .collect_params(&selected)
+                    .into_iter()
+                    .map(|(_, p)| p)
+                    .collect();
                 let w = crate::sampling::renormalized_weights(fed.weights(), &selected);
                 fed.set_global(Federation::weighted_average(&params, &w));
             }
@@ -645,8 +837,8 @@ mod tests {
                 .filter_map(|r| r.counter("bytes"))
                 .sum()
         };
-        assert_eq!(sum("broadcast"), fed.channel().stats().download_bytes());
-        assert_eq!(sum("upload"), fed.channel().stats().upload_bytes());
+        assert_eq!(sum("broadcast"), fed.comm_stats().download_bytes());
+        assert_eq!(sum("upload"), fed.comm_stats().upload_bytes());
     }
 
     #[test]
@@ -677,7 +869,10 @@ mod tests {
         fed.broadcast_params(&[0, 1]);
         fed.train_selected(&[0, 1], &[LocalRule::Plain, LocalRule::Plain], 1);
         let params = fed.collect_params(&[0, 1]);
-        assert_ne!(params[0], params[1], "clients sampled identical batches");
+        assert_ne!(
+            params[0].1, params[1].1,
+            "clients sampled identical batches"
+        );
         let _ = rng.gen::<f32>();
     }
 }
@@ -751,5 +946,151 @@ mod straggler_tests {
             fed_s.collect_params(&selected),
             fed_p.collect_params(&selected)
         );
+    }
+
+    #[test]
+    fn straggler_model_draws_bounded_deterministic_steps() {
+        let m = StragglerModel::new(7, 2);
+        for round in 0..5u64 {
+            for k in 0..20 {
+                let s = m.steps_for(round, k, 10);
+                assert!((2..=10).contains(&s));
+                assert_eq!(s, m.steps_for(round, k, 10), "stateless draw");
+            }
+        }
+        // Different rounds reshuffle who straggles.
+        let r0: Vec<usize> = (0..20).map(|k| m.steps_for(0, k, 10)).collect();
+        let r1: Vec<usize> = (0..20).map(|k| m.steps_for(1, k, 10)).collect();
+        assert_ne!(r0, r1);
+        // A budget at or below the floor is returned untouched.
+        assert_eq!(m.steps_for(0, 0, 2), 2);
+        assert_eq!(m.steps_for(0, 0, 1), 1);
+    }
+
+    #[test]
+    fn probe_batch_defaults_to_floored_batch_size() {
+        let mut cfg = FlConfig::cross_silo();
+        cfg.batch_size = 10;
+        assert_eq!(cfg.probe_batch(), 32);
+        cfg.batch_size = 64;
+        assert_eq!(cfg.probe_batch(), 64);
+        cfg.delta_probe_batch = Some(16);
+        assert_eq!(cfg.probe_batch(), 16);
+    }
+}
+
+#[cfg(test)]
+mod transport_tests {
+    use super::*;
+    use crate::comm::{FaultConfig, FaultyTransport};
+    use crate::rules::LocalRule;
+    use rfl_data::synth::gaussian::GaussianMixtureSpec;
+
+    fn fed_with(transport: Option<Box<dyn Transport>>, seed: u64) -> Federation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = GaussianMixtureSpec::default_spec();
+        let pool = spec.generate(80, None, &mut rng);
+        let parts = rfl_data::partition::iid(80, 4, &mut rng);
+        let test = spec.generate(20, None, &mut rng);
+        let data = FederatedData::from_partition(&pool, &parts, test);
+        let cfg = FlConfig {
+            parallel: false,
+            batch_size: 10,
+            ..FlConfig::cross_silo()
+        };
+        let mut fed = Federation::new(
+            &data,
+            ModelFactory::logistic(10, 4, 0.0),
+            OptimizerFactory::sgd(0.1),
+            &cfg,
+            seed,
+        );
+        if let Some(t) = transport {
+            fed.set_transport(t);
+        }
+        fed
+    }
+
+    #[test]
+    fn dropped_model_download_skips_param_install() {
+        // Certain loss: nothing is installed and nobody participates.
+        let t = FaultyTransport::new(FaultConfig::lossy(1, 1.0, 0));
+        let mut fed = fed_with(Some(Box::new(t)), 40);
+        let mut before = Vec::new();
+        fed.client(0).read_params(&mut before);
+        fed.client_mut(0).write_params(&vec![0.5; before.len()]);
+        let delivered = fed.broadcast_params(&[0, 1, 2, 3]);
+        assert!(delivered.is_empty());
+        let mut after = Vec::new();
+        fed.client(0).read_params(&mut after);
+        assert_eq!(after, vec![0.5; after.len()], "params must stay untouched");
+        assert_eq!(fed.fault_stats().dropped, 4);
+        // Bytes were still charged for the failed attempts.
+        assert!(fed.comm_stats().download_bytes() > 0);
+    }
+
+    #[test]
+    fn dropped_uploads_are_excluded_from_collection() {
+        let t = FaultyTransport::new(FaultConfig::lossy(3, 0.5, 0));
+        let mut fed = fed_with(Some(Box::new(t)), 41);
+        let all = vec![0, 1, 2, 3];
+        let active = fed.broadcast_params(&all);
+        fed.train_selected(&active, &vec![LocalRule::Plain; active.len()], 1);
+        let before = fed.fault_stats();
+        let uploads = fed.collect_params(&active);
+        let dropped_uploads = fed.fault_stats().since(&before).dropped as usize;
+        assert_eq!(uploads.len() + dropped_uploads, active.len());
+        for (k, p) in &uploads {
+            assert!(active.contains(k));
+            assert_eq!(p.len(), fed.num_params());
+        }
+    }
+
+    #[test]
+    fn lossless_faulty_matches_perfect_plumbing() {
+        let mut perfect = fed_with(None, 42);
+        let mut faulty = fed_with(
+            Some(Box::new(FaultyTransport::new(FaultConfig::lossless(9)))),
+            42,
+        );
+        for round in 0..3 {
+            for fed in [&mut perfect, &mut faulty] {
+                fed.begin_round(round);
+                let selected = vec![0, 1, 2, 3];
+                let active = fed.broadcast_params(&selected);
+                assert_eq!(active, selected);
+                fed.train_selected(&active, &vec![LocalRule::Plain; 4], 2);
+                let uploads = fed.collect_params(&active);
+                let (ids, params): (Vec<usize>, Vec<Vec<f32>>) = uploads.into_iter().unzip();
+                let w = crate::sampling::renormalized_weights(fed.weights(), &ids);
+                let avg = Federation::weighted_average(&params, &w);
+                fed.set_global(avg);
+            }
+        }
+        assert_eq!(
+            perfect.global(),
+            faulty.global(),
+            "bit-identical trajectories"
+        );
+        let (p, f) = (perfect.comm_stats(), faulty.comm_stats());
+        assert_eq!(p.total_bytes(), f.total_bytes());
+        assert_eq!(p.messages(), f.messages());
+        assert_eq!(faulty.fault_stats(), crate::comm::FaultStats::default());
+    }
+
+    #[test]
+    fn straggler_model_reduces_steps_through_train_selected() {
+        let mut fed = fed_with(None, 43);
+        fed.set_straggler_model(Some(StragglerModel::new(5, 1)));
+        fed.begin_round(0);
+        let selected = vec![0, 1, 2, 3];
+        fed.broadcast_params(&selected);
+        let reports = fed.train_selected(&selected, &vec![LocalRule::Plain; 4], 50);
+        let steps: Vec<usize> = reports.iter().map(|r| r.steps).collect();
+        assert!(steps.iter().all(|&s| (1..=50).contains(&s)));
+        assert!(steps.iter().any(|&s| s < 50), "someone should straggle");
+        // The draw is pinned to the round: same round, same steps.
+        let again = fed.train_selected(&selected, &vec![LocalRule::Plain; 4], 50);
+        assert_eq!(steps, again.iter().map(|r| r.steps).collect::<Vec<_>>());
     }
 }

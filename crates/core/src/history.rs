@@ -22,8 +22,15 @@ pub struct RoundRecord {
     pub up_bytes: u64,
     /// δ-plane bytes this round (Table III).
     pub delta_bytes: u64,
-    /// Number of participating clients.
+    /// Number of clients selected for the round.
     pub participants: usize,
+    /// Clients whose upload reached the aggregation (== `participants` on a
+    /// perfect transport).
+    pub delivered: usize,
+    /// Messages dropped by the transport this round (loss or deadline).
+    pub dropped_msgs: u64,
+    /// Retransmissions the transport performed this round.
+    pub retries: u64,
 }
 
 /// A completed run.
@@ -101,6 +108,32 @@ impl History {
         self.records.iter().map(|r| r.delta_bytes).sum()
     }
 
+    /// Total messages dropped by the transport across the run.
+    pub fn total_dropped(&self) -> u64 {
+        self.records.iter().map(|r| r.dropped_msgs).sum()
+    }
+
+    /// Total retransmissions across the run.
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| r.retries).sum()
+    }
+
+    /// Mean delivered-participant fraction (`delivered / participants`)
+    /// over rounds with at least one selected client — 1.0 on a perfect
+    /// transport.
+    pub fn mean_delivery_rate(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.participants > 0)
+            .map(|r| r.delivered as f64 / r.participants as f64)
+            .collect();
+        if rates.is_empty() {
+            return 1.0;
+        }
+        rates.iter().sum::<f64>() / rates.len() as f64
+    }
+
     /// Mean wall-clock seconds per round.
     pub fn mean_round_seconds(&self) -> f64 {
         if self.records.is_empty() {
@@ -112,14 +145,14 @@ impl History {
     /// CSV dump: one row per round.
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
-            "round,train_loss,reg_loss,test_loss,test_acc,seconds,down_bytes,up_bytes,delta_bytes,participants\n",
+            "round,train_loss,reg_loss,test_loss,test_acc,seconds,down_bytes,up_bytes,delta_bytes,participants,delivered,dropped_msgs,retries\n",
         );
         for r in &self.records {
             let tl = r.test_loss.map_or(String::new(), |v| format!("{v:.6}"));
             let ta = r.test_acc.map_or(String::new(), |v| format!("{v:.6}"));
             let _ = writeln!(
                 s,
-                "{},{:.6},{:.6},{},{},{:.4},{},{},{},{}",
+                "{},{:.6},{:.6},{},{},{:.4},{},{},{},{},{},{},{}",
                 r.round,
                 r.train_loss,
                 r.reg_loss,
@@ -129,7 +162,10 @@ impl History {
                 r.down_bytes,
                 r.up_bytes,
                 r.delta_bytes,
-                r.participants
+                r.participants,
+                r.delivered,
+                r.dropped_msgs,
+                r.retries
             );
         }
         s
@@ -152,6 +188,9 @@ mod tests {
             up_bytes: 50,
             delta_bytes: 10,
             participants: 4,
+            delivered: 4,
+            dropped_msgs: 0,
+            retries: 0,
         }
     }
 
@@ -185,6 +224,22 @@ mod tests {
         assert_eq!(h.total_bytes(), 300);
         assert_eq!(h.total_delta_bytes(), 20);
         assert!((h.mean_round_seconds() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_totals_and_delivery_rate() {
+        let mut h = History::new();
+        assert_eq!(h.mean_delivery_rate(), 1.0, "empty history is perfect");
+        let mut a = rec(0, None);
+        a.delivered = 2;
+        a.dropped_msgs = 3;
+        a.retries = 5;
+        let b = rec(1, None);
+        h.push(a);
+        h.push(b);
+        assert_eq!(h.total_dropped(), 3);
+        assert_eq!(h.total_retries(), 5);
+        assert!((h.mean_delivery_rate() - 0.75).abs() < 1e-12, "(0.5 + 1)/2");
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! The crate simulates a synchronous FL system: a [`Federation`] of clients
 //! (each with a private [`rfl_data::Dataset`], its own model replica, local
 //! optimizer state, and seeded RNG), a flat-parameter server, and a
-//! byte-accurate communication [`comm::Channel`].
+//! byte-accurate [`comm::Transport`] carrying typed message envelopes
+//! ([`comm::MsgKind`]). Two backends ship: [`comm::PerfectTransport`]
+//! (every message delivered, the default) and [`comm::FaultyTransport`]
+//! (seeded per-link drops, a latency model, bounded retries, and a
+//! per-round deadline that turns slow clients into dropouts).
 //!
 //! ## Algorithms
 //!
@@ -66,7 +70,10 @@ pub(crate) mod testutil;
 pub mod trainer;
 
 pub use client::Client;
-pub use federation::{Federation, FlConfig, ModelFactory, OptimizerFactory};
+pub use comm::{
+    FaultConfig, FaultStats, FaultyTransport, LatencyModel, MsgKind, PerfectTransport, Transport,
+};
+pub use federation::{Federation, FlConfig, ModelFactory, OptimizerFactory, StragglerModel};
 pub use history::{History, RoundRecord};
 pub use rules::LocalRule;
 pub use trainer::{Algorithm, RoundOutcome, Trainer};
@@ -77,8 +84,13 @@ pub mod prelude {
         FedAvg, FedAvgM, FedPer, FedProx, PowerOfChoice, QFedAvg, RFedAvg, RFedAvgPlus, Scaffold,
     };
     pub use crate::client::Client;
-    pub use crate::comm::CommStats;
-    pub use crate::federation::{Federation, FlConfig, ModelFactory, OptimizerFactory};
+    pub use crate::comm::{
+        CommStats, FaultConfig, FaultStats, FaultyTransport, LatencyModel, MsgKind,
+        PerfectTransport, Transport,
+    };
+    pub use crate::federation::{
+        Federation, FlConfig, ModelFactory, OptimizerFactory, StragglerModel,
+    };
     pub use crate::history::{History, RoundRecord};
     pub use crate::trainer::{Algorithm, Trainer};
 }

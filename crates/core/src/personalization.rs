@@ -35,9 +35,10 @@ pub fn personalize_all(
     eval_batch: usize,
 ) -> Vec<PersonalizationResult> {
     let selected: Vec<usize> = (0..fed.num_clients()).collect();
-    fed.broadcast_params(&selected);
-    let mut out = Vec::with_capacity(selected.len());
-    for &k in &selected {
+    // Fine-tune only the clients that actually received the final model.
+    let delivered = fed.broadcast_params(&selected);
+    let mut out = Vec::with_capacity(delivered.len());
+    for &k in &delivered {
         let global = fed.client_mut(k).evaluate_local(eval_batch);
         fed.client_mut(k).train_local(steps, &LocalRule::Plain);
         let personalized = fed.client_mut(k).evaluate_local(eval_batch);

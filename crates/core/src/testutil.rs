@@ -25,6 +25,7 @@ pub(crate) fn convex_fed(similarity: f64, seed: u64, n_clients: usize) -> (Feder
         eval_every: 1,
         parallel: false,
         clip_grad_norm: Some(10.0),
+        delta_probe_batch: None,
         seed,
     };
     let fed = Federation::new(

@@ -13,8 +13,11 @@ pub struct RoundOutcome {
     pub train_loss: f32,
     /// Mean regularizer loss across participants (0 if not applicable).
     pub reg_loss: f32,
-    /// Participating client indices.
+    /// Client indices the server selected for the round.
     pub selected: Vec<usize>,
+    /// Clients whose upload made it into the round's aggregation — equal to
+    /// `selected` on a perfect transport, a subset under faults.
+    pub delivered: Vec<usize>,
 }
 
 /// A federated optimization algorithm. One call to `round` is one
@@ -84,11 +87,14 @@ impl Trainer {
                 }
             }
             let mut round_span = fed.tracer().begin_round(round);
-            let snap = fed.channel().snapshot();
+            fed.begin_round(round as u64);
+            let snap = fed.comm_snapshot();
+            let fsnap = fed.fault_stats();
             let sw = Stopwatch::start();
             let outcome = algo.round(fed, &self.cfg, round, &mut rng);
             let seconds = sw.elapsed_secs();
-            let comm = fed.channel().stats().since(&snap);
+            let comm = fed.comm_stats().since(&snap);
+            let faults = fed.fault_stats().since(&fsnap);
 
             let do_eval = (round + 1) % self.cfg.eval_every == 0 || round + 1 == self.cfg.rounds;
             let eval = do_eval.then(|| fed.evaluate_global());
@@ -97,6 +103,7 @@ impl Trainer {
             round_span.counter("bytes_up", comm.upload_bytes());
             round_span.counter("bytes_delta", comm.delta_bytes());
             round_span.counter("participants", outcome.selected.len() as u64);
+            crate::federation::fault_counters(&mut round_span, &faults);
             drop(round_span);
 
             let record = RoundRecord {
@@ -110,6 +117,9 @@ impl Trainer {
                 up_bytes: comm.upload_bytes(),
                 delta_bytes: comm.delta_bytes(),
                 participants: outcome.selected.len(),
+                delivered: outcome.delivered.len(),
+                dropped_msgs: faults.dropped,
+                retries: faults.retries,
             };
             if let Some(obs) = &mut self.on_round {
                 obs(&record);
@@ -145,6 +155,7 @@ mod tests {
                 train_loss: 1.0 / (round + 1) as f32,
                 reg_loss: 0.0,
                 selected: vec![0, 1],
+                delivered: vec![0, 1],
             }
         }
     }

@@ -30,6 +30,7 @@ fn run_cnn_rounds(seed: u64) -> (Vec<f32>, Vec<f32>) {
         parallel: true,
         clip_grad_norm: Some(10.0),
         seed,
+        delta_probe_batch: None,
     };
     let mut fed = Federation::new(
         &data,

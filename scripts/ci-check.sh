@@ -16,4 +16,11 @@ cargo build --release --workspace
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== RFL_THREADS=4 cargo test -q --workspace (determinism contract)"
+RFL_THREADS=4 cargo test -q --workspace
+
+echo "== ext_lossy --scale quick smoke"
+cargo build --release -p rfl-bench --bin ext_lossy
+./target/release/ext_lossy --scale quick --seeds 1 --out none > /dev/null
+
 echo "== all CI checks passed"

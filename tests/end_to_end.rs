@@ -23,6 +23,7 @@ fn quick_cfg(rounds: usize, seed: u64) -> FlConfig {
         parallel: false,
         clip_grad_norm: Some(10.0),
         seed,
+        delta_probe_batch: None,
     }
 }
 
@@ -132,14 +133,14 @@ fn partial_participation_regularized() {
     assert!(h.final_accuracy().unwrap() > 0.3);
 }
 
-/// The channel's ledger is consistent with the history records.
+/// The transport's ledger is consistent with the history records.
 #[test]
 fn history_bytes_match_channel_totals() {
     let cfg = quick_cfg(5, 5);
     let mut fed = gaussian_fed(5, &cfg);
     let mut algo = RFedAvg::new(1e-3);
     let h = Trainer::new(cfg).run(&mut algo, &mut fed);
-    let ledger = fed.channel().stats();
+    let ledger = fed.comm_stats();
     assert_eq!(
         h.total_bytes(),
         ledger.total_bytes(),

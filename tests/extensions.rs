@@ -22,6 +22,7 @@ fn cfg(rounds: usize, seed: u64) -> FlConfig {
         parallel: false,
         clip_grad_norm: Some(10.0),
         seed,
+        delta_probe_batch: None,
     }
 }
 
@@ -81,7 +82,11 @@ fn secure_aggregation_reproduces_plain_average() {
     f.broadcast_params(&selected);
     let rules = vec![rfedavg::core::LocalRule::Plain; selected.len()];
     f.train_selected(&selected, &rules, 5);
-    let params = f.collect_params(&selected);
+    let params: Vec<Vec<f32>> = f
+        .collect_params(&selected)
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect();
 
     let masked: Vec<Vec<f32>> = params
         .iter()

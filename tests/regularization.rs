@@ -40,6 +40,7 @@ fn cfg(rounds: usize, seed: u64) -> FlConfig {
         parallel: false,
         clip_grad_norm: Some(10.0),
         seed,
+        delta_probe_batch: None,
     }
 }
 

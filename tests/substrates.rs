@@ -100,6 +100,7 @@ fn trained_features_beat_raw_pixels_under_pca() {
         parallel: false,
         clip_grad_norm: Some(10.0),
         seed: 51,
+        delta_probe_batch: None,
     };
     let mut fed = Federation::new(
         &data,
@@ -190,6 +191,7 @@ fn confusion_matrix_agrees_with_evaluator() {
         parallel: false,
         clip_grad_norm: Some(10.0),
         seed: 52,
+        delta_probe_batch: None,
     };
     let mut fed = Federation::new(
         &data,
@@ -237,6 +239,7 @@ fn self_comparison_is_not_significant() {
                     parallel: false,
                     clip_grad_norm: Some(10.0),
                     seed: offset + rep,
+                    delta_probe_batch: None,
                 };
                 let mut fed = Federation::new(
                     &data,
