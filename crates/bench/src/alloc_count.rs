@@ -1,0 +1,76 @@
+//! A counting global allocator for the allocation-regression gate.
+//!
+//! Wraps [`std::alloc::System`] and counts every `alloc`/`realloc` call and
+//! the bytes they request (frees are not charged — the gate is about
+//! allocator *traffic* on the hot path, and every steady-state alloc has a
+//! matching free). Compiled only under the `alloc-count` feature so the
+//! regular experiment binaries keep the stock allocator.
+//!
+//! Register it in a binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: rfl_bench::alloc_count::CountingAlloc = CountingAlloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative allocator-traffic counters at one point in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of `alloc` + `realloc` calls since process start.
+    pub allocs: u64,
+    /// Bytes requested by those calls.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Traffic between `earlier` and `self`.
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs - earlier.allocs,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Reads the counters (cheap; two relaxed loads).
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// The counting wrapper around the system allocator.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to `System`; the counters are
+// plain atomics and cannot affect allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

@@ -1,0 +1,173 @@
+//! Allocation-regression gate for the zero-allocation hot path
+//! (`bench_alloc --out BENCH_PR4.json` writes the committed report).
+//!
+//! Counts heap-allocator calls per CNN training step with the counting
+//! global allocator, comparing the *cold* first step (every workspace,
+//! cache, and batch buffer filled for the first time — the per-step cost
+//! the pre-workspace code paid on every step) against the *warm*
+//! steady-state, and re-checks the pinned round-loop loss so the speedup
+//! provably did not change the arithmetic.
+//!
+//! Usage: `bench_alloc [--quick] [--out <path>]`
+//!
+//! `--quick` shrinks the measured step count for CI; the gates below are
+//! enforced in both modes and the binary exits non-zero on regression.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfl_bench::alloc_count::{snapshot, CountingAlloc};
+use rfl_core::prelude::*;
+use rfl_core::{Client, Federation, FlConfig, LocalRule, ModelFactory, OptimizerFactory, Trainer};
+use rfl_data::synth::image::SynthImageSpec;
+use rfl_data::{partition, FederatedData};
+use rfl_nn::{CnnClassifier, CnnConfig, Sgd};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Committed thresholds of the regression gate. The steady state is fully
+/// allocation-free today; the ceiling leaves a little headroom for benign
+/// drift (e.g. a rare capacity regrow) while still failing loudly on any
+/// real per-step allocation creeping back in. The ratio floor is the
+/// ISSUE's ≥ 10× reduction requirement.
+const WARM_ALLOC_CEILING: u64 = 4;
+const MIN_COLD_WARM_RATIO: f64 = 10.0;
+/// Round-loop loss pinned since PR 2 (`BENCH_PR2.json`): the hot-path
+/// rewrite must reproduce it bit-for-bit.
+const PINNED_ROUND_LOSS: f64 = 1.604142427;
+
+fn cnn_client(seed: u64) -> Client {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = SynthImageSpec::mnist_like().generate(64, &mut rng);
+    let model = Box::new(CnnClassifier::new(CnnConfig::mnist_like(), &mut rng));
+    Client::new(0, model, data, Box::new(Sgd::new(0.05)), 16, seed)
+}
+
+/// The same federated CNN round loop as `bench_kernels`, pinned to the same
+/// seed so the final train loss must reproduce `PINNED_ROUND_LOSS`.
+fn round_loop(seed: u64, rounds: usize) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SynthImageSpec::mnist_like();
+    let pool = spec.generate(4 * 40, &mut rng);
+    let parts = partition::similarity(pool.labels(), 4, 0.5, &mut rng);
+    let test = spec.generate(64, &mut rng);
+    let data = FederatedData::from_partition(&pool, &parts, test);
+    let cfg = FlConfig {
+        rounds,
+        local_steps: 2,
+        batch_size: 16,
+        sample_ratio: 1.0,
+        eval_every: 100,
+        parallel: true,
+        clip_grad_norm: Some(10.0),
+        seed,
+        delta_probe_batch: None,
+    };
+    let t0 = Instant::now();
+    let mut fed = Federation::new(
+        &data,
+        ModelFactory::cnn(CnnConfig::mnist_like()),
+        OptimizerFactory::sgd(0.05),
+        &cfg,
+        seed,
+    );
+    let mut algo = RFedAvgPlus::new(1e-3);
+    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    (
+        t0.elapsed().as_secs_f64(),
+        h.records().last().unwrap().train_loss as f64,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let warm_steps = if quick { 16 } else { 64 };
+
+    // Single-thread so worker-pool startup does not pollute the counters.
+    rfl_tensor::set_thread_budget(1);
+
+    let mut client = cnn_client(7);
+    // Cold step: every workspace buffer, layer cache, and batch buffer is
+    // allocated here — the cost the pre-workspace hot path paid per step.
+    let s0 = snapshot();
+    client.train_local(1, &LocalRule::Plain);
+    let cold = snapshot().since(&s0);
+    // Settle remaining lazily-grown capacities (epoch reshuffle boundary,
+    // workspace high-water marks) before measuring the steady state.
+    client.train_local(8, &LocalRule::Plain);
+
+    let s1 = snapshot();
+    let t0 = Instant::now();
+    client.train_local(warm_steps, &LocalRule::Plain);
+    let warm_secs = t0.elapsed().as_secs_f64() / warm_steps as f64;
+    let warm = snapshot().since(&s1);
+    let warm_allocs_per_step = warm.allocs as f64 / warm_steps as f64;
+    let warm_bytes_per_step = warm.bytes as f64 / warm_steps as f64;
+    // Denominator floored at one alloc/step so a fully allocation-free
+    // steady state (the current reality) yields a finite, JSON-valid ratio.
+    let ratio = cold.allocs as f64 / warm_allocs_per_step.max(1.0);
+
+    // The pinned provenance: same round loop as bench_kernels, exact loss.
+    let (round_secs, round_loss) = round_loop(7, 2);
+    // The recorded loss is an f32; compare at f32 precision (the f64 JSON
+    // literal is not exactly representable).
+    let loss_pinned = round_loss as f32 == PINNED_ROUND_LOSS as f32;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"warm_steps_measured\": {warm_steps},");
+    let _ = writeln!(json, "  \"cold_step_allocs\": {},", cold.allocs);
+    let _ = writeln!(json, "  \"cold_step_bytes\": {},", cold.bytes);
+    let _ = writeln!(
+        json,
+        "  \"warm_allocs_per_step\": {warm_allocs_per_step:.2},"
+    );
+    let _ = writeln!(json, "  \"warm_bytes_per_step\": {warm_bytes_per_step:.1},");
+    let _ = writeln!(json, "  \"cold_over_warm_alloc_ratio\": {ratio:.1},");
+    let _ = writeln!(json, "  \"warm_secs_per_step\": {warm_secs:.6},");
+    let _ = writeln!(json, "  \"warm_alloc_ceiling\": {WARM_ALLOC_CEILING},");
+    let _ = writeln!(json, "  \"min_cold_warm_ratio\": {MIN_COLD_WARM_RATIO},");
+    let _ = writeln!(json, "  \"round_loop_secs\": {round_secs:.6},");
+    let _ = writeln!(json, "  \"round_loop_final_loss\": {round_loss:.9},");
+    let _ = writeln!(json, "  \"round_loop_loss_pinned\": {loss_pinned}");
+    json.push_str("}\n");
+
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write report");
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+
+    let mut failed = false;
+    if warm_allocs_per_step > WARM_ALLOC_CEILING as f64 {
+        eprintln!(
+            "ERROR: {warm_allocs_per_step:.2} allocs per warm step exceeds the \
+             committed ceiling of {WARM_ALLOC_CEILING}"
+        );
+        failed = true;
+    }
+    if ratio < MIN_COLD_WARM_RATIO {
+        eprintln!(
+            "ERROR: cold/warm allocation ratio {ratio:.1} is below the required \
+             {MIN_COLD_WARM_RATIO}x"
+        );
+        failed = true;
+    }
+    if !loss_pinned {
+        eprintln!("ERROR: round-loop loss {round_loss:.9} != pinned {PINNED_ROUND_LOSS}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,8 @@
 //! finishes in seconds; full uses larger federations closer to the paper's
 //! sizes — see EXPERIMENTS.md).
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 pub mod args;
 pub mod runner;
 pub mod setup;

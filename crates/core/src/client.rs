@@ -1,13 +1,13 @@
 //! A federated client: private data, a model replica, persistent local
 //! optimizer state, and a private RNG.
 
-use crate::eval::{evaluate, to_input, EvalResult};
+use crate::eval::{evaluate, gather_batch, to_input, EvalResult};
 use crate::mmd;
 use crate::rules::LocalRule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfl_data::{BatchSampler, Dataset};
-use rfl_nn::{cross_entropy, Model, Optimizer};
+use rfl_nn::{cross_entropy_into, Input, Model, ModelOutput, Optimizer};
 use rfl_tensor::Tensor;
 
 /// Result of one local training phase.
@@ -35,6 +35,17 @@ pub struct Client {
     clip_grad_norm: Option<f32>,
     flat: Vec<f32>,
     grads: Vec<f32>,
+    // Reusable mini-batch buffers: once warm, a local SGD step touches the
+    // allocator only through the model's own (workspace-backed) forward.
+    batch_idx: Vec<usize>,
+    batch_input: Option<Input>,
+    batch_labels: Vec<usize>,
+    out: ModelOutput,
+    log_p: Tensor,
+    dlogits: Tensor,
+    mu: Tensor,
+    dfeatures: Tensor,
+    feat_sum: Tensor,
 }
 
 impl Client {
@@ -59,6 +70,15 @@ impl Client {
             clip_grad_norm: None,
             flat: Vec::new(),
             grads: Vec::new(),
+            batch_idx: Vec::new(),
+            batch_input: None,
+            batch_labels: Vec::new(),
+            out: ModelOutput::scratch(),
+            log_p: Tensor::scratch(),
+            dlogits: Tensor::scratch(),
+            mu: Tensor::scratch(),
+            dfeatures: Tensor::scratch(),
+            feat_sum: Tensor::scratch(),
         }
     }
 
@@ -116,23 +136,49 @@ impl Client {
         let mut reg_sum = 0.0f32;
         let mut examples = 0usize;
         for _ in 0..steps {
-            let idx = self.sampler.next_batch(&mut self.rng);
-            examples += idx.len();
-            let batch = self.data.select(&idx);
-            let input = to_input(batch.examples());
+            self.sampler
+                .next_batch_into(&mut self.rng, &mut self.batch_idx);
+            examples += self.batch_idx.len();
+            gather_batch(
+                &self.data,
+                &self.batch_idx,
+                &mut self.batch_input,
+                &mut self.batch_labels,
+            );
             self.model.zero_grads();
-            let out = self.model.forward(&input, true);
-            let (loss, dlogits) = cross_entropy(&out.logits, batch.labels());
+            self.model.forward_into(
+                self.batch_input.as_ref().expect("batch gathered"),
+                &mut self.out,
+                true,
+            );
+            let loss = cross_entropy_into(
+                &self.out.logits,
+                &self.batch_labels,
+                &mut self.log_p,
+                &mut self.dlogits,
+            );
             loss_sum += loss;
 
             let dfeatures = match rule {
                 LocalRule::Mmd { lambda, target } => {
-                    reg_sum += mmd::regularizer_loss(&out.features, target, *lambda);
-                    Some(mmd::feature_gradient(&out.features, target, *lambda))
+                    reg_sum += mmd::regularizer_loss_into(
+                        &self.out.features,
+                        target,
+                        *lambda,
+                        &mut self.mu,
+                    );
+                    mmd::feature_gradient_into(
+                        &self.out.features,
+                        target,
+                        *lambda,
+                        &mut self.mu,
+                        &mut self.dfeatures,
+                    );
+                    Some(&self.dfeatures)
                 }
                 _ => None,
             };
-            self.model.backward(&dlogits, dfeatures.as_ref());
+            self.model.backward(&self.dlogits, dfeatures);
 
             self.model.read_params(&mut self.flat);
             self.model.read_grads(&mut self.grads);
@@ -181,11 +227,21 @@ impl Client {
         let mut lo = 0usize;
         while lo < n {
             let hi = (lo + batch).min(n);
-            let idx: Vec<usize> = (lo..hi).collect();
-            let sub = self.data.select(&idx);
-            let out = self.model.forward(&to_input(sub.examples()), false);
-            let part = out.features.sum_axis0();
-            for (s, &v) in sum.iter_mut().zip(part.data()) {
+            self.batch_idx.clear();
+            self.batch_idx.extend(lo..hi);
+            gather_batch(
+                &self.data,
+                &self.batch_idx,
+                &mut self.batch_input,
+                &mut self.batch_labels,
+            );
+            self.model.forward_into(
+                self.batch_input.as_ref().expect("batch gathered"),
+                &mut self.out,
+                false,
+            );
+            self.out.features.sum_axis0_into(&mut self.feat_sum);
+            for (s, &v) in sum.iter_mut().zip(self.feat_sum.data()) {
                 *s += v;
             }
             lo = hi;

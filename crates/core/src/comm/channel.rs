@@ -7,12 +7,18 @@
 //! evaluation are measured, not estimated.
 
 use super::stats::{CommStats, Direction};
-use rfl_tensor::{decode_f32_slice, encode_f32_slice};
+use rfl_tensor::{decode_f32_into, encode_f32_into};
 
 /// A lossless, metered channel.
+///
+/// The wire buffer is owned by the channel and reused for every message
+/// ([`rfl_tensor::encode_f32_into`] produces bytes identical to
+/// `encode_f32_slice`, so the ledger cannot tell the difference); only the
+/// received `Vec<f32>` copy handed to the caller is allocated per transfer.
 #[derive(Default)]
 pub struct Channel {
     stats: CommStats,
+    wire: Vec<u8>,
 }
 
 impl Channel {
@@ -20,36 +26,43 @@ impl Channel {
         Channel::default()
     }
 
+    fn encode(&mut self, payload: &[f32]) -> Vec<f32> {
+        encode_f32_into(&mut self.wire, payload);
+        let mut out = Vec::with_capacity(payload.len());
+        decode_f32_into(&self.wire, &mut out).expect("codec round-trip cannot fail");
+        out
+    }
+
     /// Sends `payload` across the wire; returns the received copy.
     pub fn transfer(&mut self, dir: Direction, payload: &[f32]) -> Vec<f32> {
-        let encoded = encode_f32_slice(payload);
-        self.stats.record(dir, encoded.len() as u64);
-        decode_f32_slice(encoded).expect("codec round-trip cannot fail")
+        let out = self.encode(payload);
+        self.stats.record(dir, self.wire.len() as u64);
+        out
     }
 
     /// Sends a δ map (regularizer state) — byte-counted separately so the
     /// Table III numbers can be extracted.
     pub fn transfer_delta(&mut self, dir: Direction, payload: &[f32]) -> Vec<f32> {
-        let encoded = encode_f32_slice(payload);
-        self.stats.record_delta(dir, encoded.len() as u64);
-        decode_f32_slice(encoded).expect("codec round-trip cannot fail")
+        let out = self.encode(payload);
+        self.stats.record_delta(dir, self.wire.len() as u64);
+        out
     }
 
     /// Charges the cost of a broadcast to `n` receivers without materializing
     /// `n` copies (the content is identical for every receiver).
     pub fn broadcast(&mut self, n: usize, payload: &[f32]) -> Vec<f32> {
-        let encoded = encode_f32_slice(payload);
+        let out = self.encode(payload);
         self.stats
-            .record(Direction::Download, encoded.len() as u64 * n as u64);
-        decode_f32_slice(encoded).expect("codec round-trip cannot fail")
+            .record(Direction::Download, self.wire.len() as u64 * n as u64);
+        out
     }
 
     /// δ-plane broadcast to `n` receivers.
     pub fn broadcast_delta(&mut self, n: usize, payload: &[f32]) -> Vec<f32> {
-        let encoded = encode_f32_slice(payload);
+        let out = self.encode(payload);
         self.stats
-            .record_delta(Direction::Download, encoded.len() as u64 * n as u64);
-        decode_f32_slice(encoded).expect("codec round-trip cannot fail")
+            .record_delta(Direction::Download, self.wire.len() as u64 * n as u64);
+        out
     }
 
     /// Records a transfer whose payload is not a plain f32 slice

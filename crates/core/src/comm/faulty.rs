@@ -11,7 +11,7 @@
 use super::message::{BroadcastDelivery, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind};
 use super::stats::{CommStats, Direction};
 use super::transport::Transport;
-use rfl_tensor::{decode_f32_slice, encode_f32_slice};
+use rfl_tensor::{decode_f32_into, encode_f32_into};
 
 /// Virtual per-message latency on a link, in simulated milliseconds:
 /// `base + per_kb·(bytes/1024) + jitter·U[0,1)`.
@@ -142,6 +142,8 @@ pub struct FaultyTransport {
     clocks: Vec<f64>,
     /// Per-client logical-message sequence number within the current round.
     seqs: Vec<u64>,
+    /// Reusable wire buffer (bytes identical to the one-shot encoder).
+    wire: Vec<u8>,
 }
 
 impl FaultyTransport {
@@ -153,6 +155,7 @@ impl FaultyTransport {
             round: 0,
             clocks: Vec::new(),
             seqs: Vec::new(),
+            wire: Vec::new(),
         }
     }
 
@@ -242,8 +245,8 @@ impl Transport for FaultyTransport {
     }
 
     fn send(&mut self, kind: MsgKind, client: usize, payload: &[f32]) -> Delivery {
-        let encoded = encode_f32_slice(payload);
-        let wire = encoded.len() as u64;
+        encode_f32_into(&mut self.wire, payload);
+        let wire = self.wire.len() as u64;
         let out = self.simulate_link(client, wire);
         let dir = kind.direction();
         let bytes = wire * u64::from(out.attempts);
@@ -252,9 +255,11 @@ impl Transport for FaultyTransport {
         } else {
             self.stats.record(dir, bytes);
         }
-        let data = out
-            .delivered
-            .then(|| decode_f32_slice(encoded).expect("codec round-trip cannot fail"));
+        let data = out.delivered.then(|| {
+            let mut v = Vec::with_capacity(payload.len());
+            decode_f32_into(&self.wire, &mut v).expect("codec round-trip cannot fail");
+            v
+        });
         Delivery {
             data,
             attempts: out.attempts,
@@ -269,8 +274,8 @@ impl Transport for FaultyTransport {
         payload: &[f32],
     ) -> BroadcastDelivery {
         debug_assert_eq!(kind.direction(), Direction::Download, "broadcasts go down");
-        let encoded = encode_f32_slice(payload);
-        let wire = encoded.len() as u64;
+        encode_f32_into(&mut self.wire, payload);
+        let wire = self.wire.len() as u64;
         let mut links = Vec::with_capacity(clients.len());
         let mut attempts_total = 0u64;
         for &k in clients {
@@ -286,7 +291,8 @@ impl Transport for FaultyTransport {
         } else {
             self.stats.record(Direction::Download, bytes);
         }
-        let data = decode_f32_slice(encoded).expect("codec round-trip cannot fail");
+        let mut data = Vec::with_capacity(payload.len());
+        decode_f32_into(&self.wire, &mut data).expect("codec round-trip cannot fail");
         BroadcastDelivery { data, links }
     }
 

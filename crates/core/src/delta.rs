@@ -38,8 +38,15 @@ impl DeltaTable {
 
     /// Updates client `k`'s entry.
     pub fn set(&mut self, k: usize, delta: Vec<f32>) {
+        self.set_from_slice(k, &delta);
+    }
+
+    /// Updates client `k`'s entry by copying into its existing row, so the
+    /// table's storage is reused across rounds instead of reallocated.
+    pub fn set_from_slice(&mut self, k: usize, delta: &[f32]) {
         assert_eq!(delta.len(), self.dim, "δ dim mismatch");
-        self.deltas[k] = delta;
+        self.deltas[k].clear();
+        self.deltas[k].extend_from_slice(delta);
         self.initialized[k] = true;
     }
 
@@ -55,10 +62,18 @@ impl DeltaTable {
     /// The full table flattened (what rFedAvg broadcasts): `N·d` scalars.
     pub fn flattened(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.deltas.len() * self.dim);
+        self.flattened_into(&mut out);
+        out
+    }
+
+    /// [`Self::flattened`] into a caller-provided buffer (cleared first; its
+    /// allocation is reused across rounds).
+    pub fn flattened_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.deltas.len() * self.dim);
         for d in &self.deltas {
             out.extend_from_slice(d);
         }
-        out
     }
 
     /// Leave-one-out average `δ̄^{−k}` (what rFedAvg+ sends to client `k`):

@@ -1,7 +1,8 @@
 //! Model evaluation on datasets.
 
-use rfl_data::{Dataset, Examples};
-use rfl_nn::{cross_entropy, Input, Model};
+use rfl_data::{gather_rows_into, Dataset, Examples};
+use rfl_nn::{cross_entropy_into, Input, Model, ModelOutput};
+use rfl_tensor::Tensor;
 
 /// Evaluation outcome on one dataset.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,27 +21,77 @@ pub fn to_input(ex: &Examples) -> Input {
     }
 }
 
+/// Gathers the examples and labels at `indices` into a reusable
+/// input/label buffer pair. The first call populates the slot; warm calls
+/// copy into the existing buffers without touching the allocator (the
+/// mini-batch inner loops of training and evaluation all go through here).
+pub(crate) fn gather_batch(
+    data: &Dataset,
+    indices: &[usize],
+    input: &mut Option<Input>,
+    labels: &mut Vec<usize>,
+) {
+    labels.clear();
+    labels.extend(indices.iter().map(|&i| data.labels()[i]));
+    match (data.examples(), &mut *input) {
+        (Examples::Images(t), Some(Input::Images(buf))) => gather_rows_into(t, indices, buf),
+        (Examples::Dense(t), Some(Input::Dense(buf))) => gather_rows_into(t, indices, buf),
+        (Examples::Tokens(s), Some(Input::Tokens(buf))) => {
+            buf.resize(indices.len(), Vec::new());
+            for (dst, &i) in buf.iter_mut().zip(indices) {
+                dst.clear();
+                dst.extend_from_slice(&s[i]);
+            }
+        }
+        (ex, slot) => {
+            *slot = Some(match ex {
+                Examples::Images(t) => {
+                    let mut b = Tensor::scratch();
+                    gather_rows_into(t, indices, &mut b);
+                    Input::Images(b)
+                }
+                Examples::Dense(t) => {
+                    let mut b = Tensor::scratch();
+                    gather_rows_into(t, indices, &mut b);
+                    Input::Dense(b)
+                }
+                Examples::Tokens(s) => {
+                    Input::Tokens(indices.iter().map(|&i| s[i].clone()).collect())
+                }
+            });
+        }
+    }
+}
+
 /// Evaluates `model` (eval mode) on `data` in mini-batches of `batch`.
+///
+/// One input/label buffer pair is gathered into across all mini-batches, so
+/// the loop is allocation-free after the first batch; the values seen by
+/// the model are identical to slicing fresh sub-datasets (the batch-size
+/// invariance test pins this).
 pub fn evaluate(model: &mut dyn Model, data: &Dataset, batch: usize) -> EvalResult {
     assert!(batch > 0);
     let n = data.len();
     assert!(n > 0, "empty evaluation set");
     let mut correct = 0usize;
     let mut loss_sum = 0.0f64;
+    let mut input: Option<Input> = None;
+    let mut labels: Vec<usize> = Vec::new();
+    let mut idx: Vec<usize> = Vec::with_capacity(batch.min(n));
+    let mut pred: Vec<usize> = Vec::new();
+    let mut out = ModelOutput::scratch();
+    let (mut log_p, mut dlogits) = (Tensor::scratch(), Tensor::scratch());
     let mut lo = 0usize;
     while lo < n {
         let hi = (lo + batch).min(n);
-        let idx: Vec<usize> = (lo..hi).collect();
-        let sub = data.select(&idx);
-        let out = model.forward(&to_input(sub.examples()), false);
-        let (loss, _) = cross_entropy(&out.logits, sub.labels());
+        idx.clear();
+        idx.extend(lo..hi);
+        gather_batch(data, &idx, &mut input, &mut labels);
+        model.forward_into(input.as_ref().expect("batch gathered"), &mut out, false);
+        let loss = cross_entropy_into(&out.logits, &labels, &mut log_p, &mut dlogits);
         loss_sum += loss as f64 * (hi - lo) as f64;
-        let pred = out.logits.argmax_rows();
-        correct += pred
-            .iter()
-            .zip(sub.labels())
-            .filter(|(p, y)| p == y)
-            .count();
+        out.logits.argmax_rows_into(&mut pred);
+        correct += pred.iter().zip(&labels).filter(|(p, y)| p == y).count();
         lo = hi;
     }
     EvalResult {

@@ -149,28 +149,54 @@ pub fn mean_excluding(k: usize, deltas: &[Vec<f32>]) -> Vec<f32> {
 /// `2λ(μ_B − δ_target)/B`. This is the `dfeatures` tensor injected into the
 /// model's backward pass during regularized local SGD.
 pub fn feature_gradient(batch_features: &Tensor, target: &[f32], lambda: f32) -> Tensor {
+    let mut mu = Tensor::scratch();
+    let mut out = Tensor::scratch();
+    feature_gradient_into(batch_features, target, lambda, &mut mu, &mut out);
+    out
+}
+
+/// [`feature_gradient`] into caller-provided buffers: `mu` is scratch for
+/// the batch mean, `out` receives the `[B, d]` gradient. Bit-identical to
+/// the allocating form and allocation-free once the buffers are warm.
+pub fn feature_gradient_into(
+    batch_features: &Tensor,
+    target: &[f32],
+    lambda: f32,
+    mu: &mut Tensor,
+    out: &mut Tensor,
+) {
     assert_eq!(batch_features.ndim(), 2);
     let (b, d) = (batch_features.dims()[0], batch_features.dims()[1]);
     assert_eq!(target.len(), d, "target dim mismatch");
-    let mu = batch_features.mean_axis0();
+    batch_features.mean_axis0_into(mu);
     let scale = 2.0 * lambda / b as f32;
-    let row: Vec<f32> = mu
-        .data()
-        .iter()
-        .zip(target)
-        .map(|(&m, &t)| scale * (m - t))
-        .collect();
-    let mut out = Tensor::zeros(&[b, d]);
-    for r in out.data_mut().chunks_exact_mut(d) {
-        r.copy_from_slice(&row);
+    out.resize(&[b, d]);
+    let (first, rest) = out.data_mut().split_at_mut(d);
+    for ((o, &m), &t) in first.iter_mut().zip(mu.data()).zip(target) {
+        *o = scale * (m - t);
     }
-    out
+    for r in rest.chunks_exact_mut(d) {
+        r.copy_from_slice(first);
+    }
 }
 
 /// The regularizer loss `λ·‖μ_B − δ_target‖²` for monitoring.
 pub fn regularizer_loss(batch_features: &Tensor, target: &[f32], lambda: f32) -> f32 {
-    let mu = delta_of(batch_features);
-    lambda * mmd_sq(&mu, target)
+    let mut mu = Tensor::scratch();
+    regularizer_loss_into(batch_features, target, lambda, &mut mu)
+}
+
+/// [`regularizer_loss`] with a caller-provided scratch for the batch mean.
+pub fn regularizer_loss_into(
+    batch_features: &Tensor,
+    target: &[f32],
+    lambda: f32,
+    mu: &mut Tensor,
+) -> f32 {
+    assert_eq!(batch_features.ndim(), 2, "expected a feature matrix");
+    batch_features.mean_axis0_into(mu);
+    assert_eq!(mu.numel(), target.len(), "embedding dims differ");
+    lambda * sq_dist_slices(mu.data(), target)
 }
 
 #[cfg(test)]

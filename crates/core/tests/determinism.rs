@@ -63,3 +63,25 @@ fn training_is_bit_identical_across_thread_budgets() {
     );
     assert!(losses_1.iter().all(|l| l.is_finite()));
 }
+
+/// Running the identical federation twice in one process must be
+/// bit-identical: the second run executes with every process-global cache
+/// warm (worker pool spun up, allocator reuse patterns primed), so any
+/// state leaking across runs through the reusable workspaces or `_into`
+/// scratch buffers would surface here as a diverging loss or parameter.
+#[test]
+fn warm_rerun_is_bit_identical_to_fresh_run() {
+    rfl_tensor::set_thread_budget(2);
+    let (losses_fresh, params_fresh) = run_cnn_rounds(11);
+    let (losses_warm, params_warm) = run_cnn_rounds(11);
+    rfl_tensor::set_thread_budget(1);
+
+    assert_eq!(
+        losses_fresh, losses_warm,
+        "a warm re-run must reproduce the fresh run's losses exactly"
+    );
+    assert_eq!(
+        params_fresh, params_warm,
+        "a warm re-run must reproduce the fresh run's parameters exactly"
+    );
+}

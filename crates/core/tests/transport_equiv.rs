@@ -97,6 +97,42 @@ fn lossless_faulty_is_bit_and_byte_identical_to_perfect() {
     }
 }
 
+/// The buffer-reusing encoder both transports now use must put the exact
+/// same bytes on the wire as the one-shot encoder, for every payload —
+/// otherwise the comm ledger (and Table III) would silently change meaning.
+#[test]
+fn reused_wire_buffers_are_byte_identical_to_one_shot_encoding() {
+    use rfl_core::comm::{Channel, Direction};
+    use rfl_tensor::{encode_f32_into, encode_f32_slice};
+    let payloads: Vec<Vec<f32>> = vec![
+        vec![],
+        vec![0.0],
+        vec![f32::NAN, f32::INFINITY, -0.0, f32::MIN_POSITIVE],
+        (0..257).map(|i| (i as f32).sin() * 1e3).collect(),
+        vec![1.0; 8],
+    ];
+    let mut buf = Vec::new();
+    for p in &payloads {
+        encode_f32_into(&mut buf, p);
+        assert_eq!(&buf[..], &encode_f32_slice(p)[..], "wire bytes diverged");
+    }
+    // And the metered channel path built on it delivers the same values and
+    // charges the same per-message byte cost as a fresh channel (no state
+    // leaking between transfers through the reused buffer).
+    let mut reused = Channel::new();
+    let mut prev = 0u64;
+    for p in &payloads {
+        let mut fresh = Channel::new();
+        let a = reused.transfer(Direction::Upload, p);
+        let b = fresh.transfer(Direction::Upload, p);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&a), bits(&b));
+        let cost = reused.stats().upload_bytes() - prev;
+        prev = reused.stats().upload_bytes();
+        assert_eq!(cost, fresh.stats().upload_bytes());
+    }
+}
+
 /// The fault schedule is seeded hashing, not RNG state: the same lossy
 /// config must drop the same messages and produce the same model at any
 /// worker-pool thread budget.

@@ -35,13 +35,22 @@ impl BatchSampler {
 
     /// Next batch of indices; reshuffles when the epoch is exhausted.
     pub fn next_batch<R: Rng>(&mut self, rng: &mut R) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.batch_size);
+        self.next_batch_into(rng, &mut out);
+        out
+    }
+
+    /// [`Self::next_batch`] into a caller-provided buffer (cleared first;
+    /// its allocation is reused across steps). Draws from the same RNG
+    /// stream, so the index sequence is identical to `next_batch`.
+    pub fn next_batch_into<R: Rng>(&mut self, rng: &mut R, out: &mut Vec<usize>) {
         if self.cursor + self.batch_size > self.n {
             self.order.shuffle(rng);
             self.cursor = 0;
         }
-        let batch = self.order[self.cursor..self.cursor + self.batch_size].to_vec();
+        out.clear();
+        out.extend_from_slice(&self.order[self.cursor..self.cursor + self.batch_size]);
         self.cursor += self.batch_size;
-        batch
     }
 }
 

@@ -52,16 +52,28 @@ fn concat_rows(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Gathers rows (dim-0 slices) of a tensor.
 fn gather_rows(t: &Tensor, indices: &[usize]) -> Tensor {
+    let mut out = Tensor::scratch();
+    gather_rows_into(t, indices, &mut out);
+    out
+}
+
+/// Gathers rows (dim-0 slices) of a tensor into a caller-provided
+/// destination. The destination is resized (a no-op when the shape already
+/// matches, so warm mini-batch loops gather without allocating) and every
+/// element is overwritten.
+pub fn gather_rows_into(t: &Tensor, indices: &[usize], out: &mut Tensor) {
     let row = t.numel() / t.dims()[0];
-    let mut dims = t.dims().to_vec();
+    let nd = t.ndim();
+    assert!(nd <= 8, "gather_rows_into supports up to 8 dims");
+    let mut dims = [0usize; 8];
+    dims[..nd].copy_from_slice(t.dims());
     dims[0] = indices.len();
-    let mut out = Tensor::zeros(&dims);
+    out.resize(&dims[..nd]);
     let src = t.data();
     let dst = out.data_mut();
     for (o, &i) in indices.iter().enumerate() {
         dst[o * row..(o + 1) * row].copy_from_slice(&src[i * row..(i + 1) * row]);
     }
-    out
 }
 
 /// A labelled dataset.

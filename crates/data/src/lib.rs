@@ -37,4 +37,4 @@ pub mod stats;
 pub mod synth;
 
 pub use batch::BatchSampler;
-pub use dataset::{Dataset, Examples, FederatedData};
+pub use dataset::{gather_rows_into, Dataset, Examples, FederatedData};

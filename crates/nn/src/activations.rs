@@ -17,23 +17,32 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let mask: Vec<bool> = input.data().iter().map(|&v| v > 0.0).collect();
-        let out = input.map(|v| v.max(0.0));
-        self.mask = Some(mask);
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(input.data().iter().map(|&v| v > 0.0));
+        input.map_into(out, |v| v.max(0.0));
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
         let mask = self.mask.as_ref().expect("Relu::backward before forward");
         assert_eq!(mask.len(), dout.numel());
-        let data = dout
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(data, dout.dims())
+        dinput.resize(dout.dims());
+        for ((d, &g), &m) in dinput.data_mut().iter_mut().zip(dout.data()).zip(mask) {
+            *d = if m { g } else { 0.0 };
+        }
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -58,18 +67,32 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(|v| v.tanh());
-        self.cached_output = Some(out.clone());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        input.map_into(out, |v| v.tanh());
+        match &mut self.cached_output {
+            Some(t) => t.assign(out),
+            None => self.cached_output = Some(out.clone()),
+        }
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
         let y = self
             .cached_output
             .as_ref()
             .expect("Tanh::backward before forward");
-        dout.zip_map(y, |g, yv| g * (1.0 - yv * yv))
+        dout.zip_map_into(y, dinput, |g, yv| g * (1.0 - yv * yv));
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -105,18 +128,32 @@ pub fn sigmoid(v: f32) -> f32 {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(sigmoid);
-        self.cached_output = Some(out.clone());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        input.map_into(out, sigmoid);
+        match &mut self.cached_output {
+            Some(t) => t.assign(out),
+            None => self.cached_output = Some(out.clone()),
+        }
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
         let y = self
             .cached_output
             .as_ref()
             .expect("Sigmoid::backward before forward");
-        dout.zip_map(y, |g, yv| g * yv * (1.0 - yv))
+        dout.zip_map_into(y, dinput, |g, yv| g * yv * (1.0 - yv));
     }
 
     fn params(&self) -> Vec<&Param> {

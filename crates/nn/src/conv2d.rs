@@ -3,14 +3,20 @@
 use crate::layer::Layer;
 use crate::param::Param;
 use rand::Rng;
-use rfl_tensor::{conv2d, conv2d_backward, ConvSpec, Initializer, Tensor};
+use rfl_tensor::{conv2d_backward_into, conv2d_into, Conv2dGrads, ConvSpec, Initializer, Tensor};
 
 /// 2-D convolution over NCHW inputs with Kaiming-initialized weights.
+///
+/// Owns its activation cache and backward scratch buffers (`grads_buf`,
+/// `dw_scratch`), so warm `forward_into`/`backward_into` steps allocate
+/// nothing.
 pub struct Conv2d {
     pub weight: Param, // [out_ch, in_ch, k, k]
     pub bias: Param,   // [out_ch]
     spec: ConvSpec,
     cached_input: Option<Tensor>,
+    grads_buf: Conv2dGrads,
+    dw_scratch: Vec<f32>,
 }
 
 impl Conv2d {
@@ -34,6 +40,8 @@ impl Conv2d {
                 pad,
             },
             cached_input: None,
+            grads_buf: Conv2dGrads::scratch(),
+            dw_scratch: Vec::new(),
         }
     }
 
@@ -49,21 +57,44 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = conv2d(input, &self.weight.value, &self.bias.value, self.spec);
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        conv2d_into(input, &self.weight.value, &self.bias.value, self.spec, out);
+        match &mut self.cached_input {
+            Some(t) => t.assign(input),
+            None => self.cached_input = Some(input.clone()),
+        }
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
         let x = self
             .cached_input
             .as_ref()
             .expect("Conv2d::backward before forward");
-        let grads = conv2d_backward(x, &self.weight.value, dout, self.spec);
-        self.weight.grad.add_assign(&grads.dweight);
-        self.bias.grad.add_assign(&grads.dbias);
-        grads.dinput
+        conv2d_backward_into(
+            x,
+            &self.weight.value,
+            dout,
+            self.spec,
+            &mut self.grads_buf,
+            &mut self.dw_scratch,
+        );
+        self.weight.grad.add_assign(&self.grads_buf.dweight);
+        self.bias.grad.add_assign(&self.grads_buf.dbias);
+        // Hand the freshly computed dinput to the caller and keep their old
+        // buffer as next call's scratch — no copy, no allocation.
+        std::mem::swap(&mut self.grads_buf.dinput, dinput);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -72,6 +103,16 @@ impl Layer for Conv2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 

@@ -17,18 +17,33 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.input_dims = input.dims().to_vec();
-        let n = input.dims()[0];
-        input.reshape(&[n, input.numel() / n])
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
+        out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.dims());
+        let n = input.dims()[0];
+        out.assign(input);
+        out.reshape_in_place(&[n, input.numel() / n]);
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
         assert!(
             !self.input_dims.is_empty(),
             "Flatten::backward before forward"
         );
-        dout.reshape(&self.input_dims)
+        dinput.assign(dout);
+        dinput.reshape_in_place(&self.input_dims);
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -24,6 +24,59 @@ struct StepCache {
     hn_pre: Tensor, // h·Whn + bhn, [N, H]
 }
 
+impl StepCache {
+    fn scratch() -> Self {
+        StepCache {
+            h_prev: Tensor::scratch(),
+            z: Tensor::scratch(),
+            r: Tensor::scratch(),
+            n: Tensor::scratch(),
+            hn_pre: Tensor::scratch(),
+        }
+    }
+}
+
+/// Per-layer scratch buffers hoisted out of the timestep loops.
+struct GruScratch {
+    x_t: Tensor,     // [N, D] current timestep slice
+    xg: Tensor,      // [N, 3H] x-side gate pre-activations
+    hg: Tensor,      // [N, 3H] h-side gate pre-activations
+    h: Tensor,       // [N, H] running hidden state
+    dh: Tensor,      // [N, H]
+    dxg: Tensor,     // [N, 3H]
+    dhg: Tensor,     // [N, 3H]
+    dh_prev: Tensor, // [N, H]
+    dh_next: Tensor, // [N, H]
+    dhw: Tensor,     // [N, H] dhg·Whᵀ product
+    dx_t: Tensor,    // [N, D]
+    dwx: Tensor,     // [D, 3H] per-step dWx, accumulated into the grad
+    dwh: Tensor,     // [H, 3H]
+    dbx: Tensor,     // [3H]
+    dbh: Tensor,     // [3H]
+}
+
+impl GruScratch {
+    fn new() -> Self {
+        GruScratch {
+            x_t: Tensor::scratch(),
+            xg: Tensor::scratch(),
+            hg: Tensor::scratch(),
+            h: Tensor::scratch(),
+            dh: Tensor::scratch(),
+            dxg: Tensor::scratch(),
+            dhg: Tensor::scratch(),
+            dh_prev: Tensor::scratch(),
+            dh_next: Tensor::scratch(),
+            dhw: Tensor::scratch(),
+            dx_t: Tensor::scratch(),
+            dwx: Tensor::scratch(),
+            dwh: Tensor::scratch(),
+            dbx: Tensor::scratch(),
+            dbh: Tensor::scratch(),
+        }
+    }
+}
+
 /// One GRU layer; hidden state starts at zero per batch.
 pub struct Gru {
     pub wx: Param, // [D, 3H]
@@ -34,6 +87,7 @@ pub struct Gru {
     hidden: usize,
     cache: Vec<StepCache>,
     cached_input: Option<Tensor>,
+    scratch: GruScratch,
 }
 
 impl Gru {
@@ -57,6 +111,7 @@ impl Gru {
             hidden,
             cache: Vec::new(),
             cached_input: None,
+            scratch: GruScratch::new(),
         }
     }
 
@@ -66,30 +121,51 @@ impl Gru {
 
     /// Runs the sequence, returning all hidden states `[T, N, H]`.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// [`forward`](Gru::forward) into a caller-provided buffer; a warm call
+    /// (shapes seen before) allocates nothing.
+    pub fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.ndim(), 3, "Gru expects [T, N, D]");
         let (t_len, batch, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
         assert_eq!(d, self.in_dim, "Gru input dim mismatch");
         let hd = self.hidden;
 
-        let mut out = Tensor::zeros(&[t_len, batch, hd]);
-        let mut h = Tensor::zeros(&[batch, hd]);
-        self.cache.clear();
-        for t in 0..t_len {
-            let x_t = Tensor::from_vec(
-                input.data()[t * batch * d..(t + 1) * batch * d].to_vec(),
-                &[batch, d],
-            );
-            let xg = x_t.matmul(&self.wx.value).add_row_bias(&self.bx.value); // [N, 3H]
-            let hg = h.matmul(&self.wh.value).add_row_bias(&self.bh.value); // [N, 3H]
+        out.resize(&[t_len, batch, hd]); // every timestep slice overwritten below
+        while self.cache.len() < t_len {
+            self.cache.push(StepCache::scratch());
+        }
+        let s = &mut self.scratch;
+        s.h.resize(&[batch, hd]);
+        s.h.fill(0.0);
 
-            let mut z = Tensor::zeros(&[batch, hd]);
-            let mut r = Tensor::zeros(&[batch, hd]);
-            let mut n = Tensor::zeros(&[batch, hd]);
-            let mut hn_pre = Tensor::zeros(&[batch, hd]);
+        for t in 0..t_len {
+            s.x_t.resize(&[batch, d]);
+            s.x_t
+                .data_mut()
+                .copy_from_slice(&input.data()[t * batch * d..(t + 1) * batch * d]);
+            s.x_t.matmul_into(&self.wx.value, &mut s.xg); // [N, 3H]
+            s.xg.add_row_bias_assign(&self.bx.value);
+            s.h.matmul_into(&self.wh.value, &mut s.hg); // [N, 3H]
+            s.hg.add_row_bias_assign(&self.bh.value);
+
+            let step = &mut self.cache[t];
+            // z/r/n/hn_pre are fully overwritten below.
+            step.z.resize(&[batch, hd]);
+            step.r.resize(&[batch, hd]);
+            step.n.resize(&[batch, hd]);
+            step.hn_pre.resize(&[batch, hd]);
             {
-                let (xd, hdta) = (xg.data(), hg.data());
-                let (zd, rd, nd, hnp) =
-                    (z.data_mut(), r.data_mut(), n.data_mut(), hn_pre.data_mut());
+                let (xd, hdta) = (s.xg.data(), s.hg.data());
+                let (zd, rd, nd, hnp) = (
+                    step.z.data_mut(),
+                    step.r.data_mut(),
+                    step.n.data_mut(),
+                    step.hn_pre.data_mut(),
+                );
                 for b in 0..batch {
                     let (xrow, hrow) = (
                         &xd[b * 3 * hd..(b + 1) * 3 * hd],
@@ -107,53 +183,65 @@ impl Gru {
                     }
                 }
             }
-            let h_prev = h.clone();
+            step.h_prev.assign(&s.h);
             {
-                let (zd, nd, hp) = (z.data(), n.data(), h_prev.data());
-                for (i, hv) in h.data_mut().iter_mut().enumerate() {
+                let (zd, nd, hp) = (step.z.data(), step.n.data(), step.h_prev.data());
+                for (i, hv) in s.h.data_mut().iter_mut().enumerate() {
                     *hv = (1.0 - zd[i]) * nd[i] + zd[i] * hp[i];
                 }
             }
-            out.data_mut()[t * batch * hd..(t + 1) * batch * hd].copy_from_slice(h.data());
-            self.cache.push(StepCache {
-                h_prev,
-                z,
-                r,
-                n,
-                hn_pre,
-            });
+            out.data_mut()[t * batch * hd..(t + 1) * batch * hd].copy_from_slice(s.h.data());
         }
-        self.cached_input = Some(input.clone());
-        out
+        match &mut self.cached_input {
+            Some(t) => t.assign(input),
+            None => self.cached_input = Some(input.clone()),
+        }
     }
 
     /// BPTT; `dout` is `[T, N, H]`, returns `d input` `[T, N, D]`.
     pub fn backward(&mut self, dout: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Gru::backward before forward")
-            .clone();
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    /// [`backward`](Gru::backward) into a caller-provided buffer; a warm
+    /// call allocates nothing.
+    pub fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
+        let Gru {
+            wx,
+            wh,
+            bx,
+            bh,
+            hidden,
+            cache: caches,
+            cached_input,
+            scratch: s,
+            ..
+        } = self;
+        let input = cached_input.as_ref().expect("Gru::backward before forward");
         let (t_len, batch, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-        let hd = self.hidden;
+        let hd = *hidden;
         assert_eq!(dout.dims(), &[t_len, batch, hd]);
 
-        let mut dinput = Tensor::zeros(&[t_len, batch, d]);
-        let mut dh_next = Tensor::zeros(&[batch, hd]);
+        dinput.resize(&[t_len, batch, d]); // every timestep slice overwritten below
+        s.dh_next.resize(&[batch, hd]);
+        s.dh_next.fill(0.0);
 
         for t in (0..t_len).rev() {
-            let c = &self.cache[t];
-            let mut dh = Tensor::from_vec(
-                dout.data()[t * batch * hd..(t + 1) * batch * hd].to_vec(),
-                &[batch, hd],
-            );
-            dh.add_assign(&dh_next);
+            let c = &caches[t];
+            s.dh.resize(&[batch, hd]);
+            s.dh.data_mut()
+                .copy_from_slice(&dout.data()[t * batch * hd..(t + 1) * batch * hd]);
+            s.dh.add_assign(&s.dh_next);
 
             // Gate pre-activation grads packed as [N, 3H] for x-side and
-            // h-side separately.
-            let mut dxg = Tensor::zeros(&[batch, 3 * hd]);
-            let mut dhg = Tensor::zeros(&[batch, 3 * hd]);
-            let mut dh_prev = Tensor::zeros(&[batch, hd]);
+            // h-side separately. dxg/dhg are fully overwritten; dh_prev is
+            // accumulated into and must start from zero.
+            s.dxg.resize(&[batch, 3 * hd]);
+            s.dhg.resize(&[batch, 3 * hd]);
+            s.dh_prev.resize(&[batch, hd]);
+            s.dh_prev.fill(0.0);
             {
                 let (zd, rd, nd, hnp, hp) = (
                     c.z.data(),
@@ -162,8 +250,8 @@ impl Gru {
                     c.hn_pre.data(),
                     c.h_prev.data(),
                 );
-                let dhd = dh.data();
-                let (dxd, dhgd, dhp) = (dxg.data_mut(), dhg.data_mut(), dh_prev.data_mut());
+                let dhd = s.dh.data();
+                let (dxd, dhgd, dhp) = (s.dxg.data_mut(), s.dhg.data_mut(), s.dh_prev.data_mut());
                 for b in 0..batch {
                     for j in 0..hd {
                         let i = b * hd + j;
@@ -191,21 +279,27 @@ impl Gru {
                 }
             }
 
-            let x_t = Tensor::from_vec(
-                input.data()[t * batch * d..(t + 1) * batch * d].to_vec(),
-                &[batch, d],
-            );
-            self.wx.grad.add_assign(&x_t.matmul_transa(&dxg));
-            self.wh.grad.add_assign(&c.h_prev.matmul_transa(&dhg));
-            self.bx.grad.add_assign(&dxg.sum_axis0());
-            self.bh.grad.add_assign(&dhg.sum_axis0());
+            s.x_t.resize(&[batch, d]);
+            s.x_t
+                .data_mut()
+                .copy_from_slice(&input.data()[t * batch * d..(t + 1) * batch * d]);
+            // Per-step products land in scratch, then accumulate — matching
+            // the allocating implementation's summation order exactly.
+            s.x_t.matmul_transa_into(&s.dxg, &mut s.dwx);
+            wx.grad.add_assign(&s.dwx);
+            c.h_prev.matmul_transa_into(&s.dhg, &mut s.dwh);
+            wh.grad.add_assign(&s.dwh);
+            s.dxg.sum_axis0_into(&mut s.dbx);
+            bx.grad.add_assign(&s.dbx);
+            s.dhg.sum_axis0_into(&mut s.dbh);
+            bh.grad.add_assign(&s.dbh);
 
-            let dx_t = dxg.matmul_transb(&self.wx.value);
-            dinput.data_mut()[t * batch * d..(t + 1) * batch * d].copy_from_slice(dx_t.data());
-            dh_prev.add_assign(&dhg.matmul_transb(&self.wh.value));
-            dh_next = dh_prev;
+            s.dxg.matmul_transb_into(&wx.value, &mut s.dx_t);
+            dinput.data_mut()[t * batch * d..(t + 1) * batch * d].copy_from_slice(s.dx_t.data());
+            s.dhg.matmul_transb_into(&wh.value, &mut s.dhw);
+            s.dh_prev.add_assign(&s.dhw);
+            std::mem::swap(&mut s.dh_next, &mut s.dh_prev);
         }
-        dinput
     }
 
     pub fn params(&self) -> Vec<&Param> {

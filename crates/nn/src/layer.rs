@@ -17,21 +17,56 @@ pub trait Layer {
     /// Backward pass for the most recent `forward` call.
     fn backward(&mut self, dout: &Tensor) -> Tensor;
 
+    /// [`forward`](Layer::forward) writing into a caller-provided buffer.
+    ///
+    /// The hot-path layers override this with a zero-allocation
+    /// implementation that is bit-identical to `forward` (the `_into`
+    /// kernels fully overwrite their destinations); this default keeps
+    /// rarely-used layers correct without converting them.
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        let r = self.forward(input, train);
+        out.assign(&r);
+    }
+
+    /// [`backward`](Layer::backward) writing the input gradient into a
+    /// caller-provided buffer. Same override contract as
+    /// [`forward_into`](Layer::forward_into).
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
+        let r = self.backward(dout);
+        dinput.assign(&r);
+    }
+
     /// Immutable views of this layer's parameters (possibly empty).
     fn params(&self) -> Vec<&Param>;
 
     /// Mutable views of this layer's parameters (possibly empty).
     fn params_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Visits every parameter in the same order as [`params`](Layer::params)
+    /// without materializing a `Vec`. Hot-path layers override this (and the
+    /// `_mut` twin) so per-step parameter walks stay allocation-free.
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
+    /// Mutable twin of [`for_each_param`](Layer::for_each_param).
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Zeroes all parameter gradients.
     fn zero_grads(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.for_each_param_mut(&mut |p| p.zero_grad());
     }
 
     /// Total scalar parameter count.
     fn num_params(&self) -> usize {
-        self.params().iter().map(|p| p.numel()).sum()
+        let mut n = 0;
+        self.for_each_param(&mut |p| n += p.numel());
+        n
     }
 }

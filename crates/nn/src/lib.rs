@@ -65,14 +65,14 @@ pub use groupnorm::GroupNorm;
 pub use gru::Gru;
 pub use layer::Layer;
 pub use linear::Linear;
-pub use loss::{cross_entropy, mse, nll_from_log_softmax};
+pub use loss::{cross_entropy, cross_entropy_into, mse, nll_from_log_softmax};
 pub use lstm::Lstm;
 pub use models::{
     CnnClassifier, CnnConfig, Input, LinearNet, LogisticRegression, LstmClassifier, LstmConfig,
     MlpClassifier, Model, ModelOutput,
 };
 pub use optim::{Optimizer, RmsProp, Sgd};
-pub use param::Param;
+pub use param::{read_grads_flat, read_params_flat, write_params_flat, Param};
 pub use pooling::MaxPool2d;
 pub use schedule::LrSchedule;
 pub use sequential::Sequential;

@@ -6,10 +6,15 @@ use rand::Rng;
 use rfl_tensor::{Initializer, Tensor};
 
 /// A dense layer with weight `[in, out]` and bias `[out]`.
+///
+/// The layer owns its activation cache and gradient scratch buffers, so a
+/// warm `forward_into`/`backward_into` step performs no heap allocation.
 pub struct Linear {
     pub weight: Param,
     pub bias: Param,
     cached_input: Option<Tensor>,
+    dw: Tensor, // scratch for xᵀ·dY, kept so dW accumulation order matches PR 3
+    db: Tensor, // scratch for column-sums of dY
 }
 
 impl Linear {
@@ -24,6 +29,8 @@ impl Linear {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_dim])),
             cached_input: None,
+            dw: Tensor::scratch(),
+            db: Tensor::scratch(),
         }
     }
 
@@ -39,25 +46,42 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.ndim(), 2, "Linear expects [batch, in] input");
-        assert_eq!(input.dims()[1], self.in_dim(), "Linear input dim mismatch");
-        let out = input
-            .matmul(&self.weight.value)
-            .add_row_bias(&self.bias.value);
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        assert_eq!(input.ndim(), 2, "Linear expects [batch, in] input");
+        assert_eq!(input.dims()[1], self.in_dim(), "Linear input dim mismatch");
+        input.matmul_into(&self.weight.value, out);
+        out.add_row_bias_assign(&self.bias.value);
+        match &mut self.cached_input {
+            Some(t) => t.assign(input),
+            None => self.cached_input = Some(input.clone()),
+        }
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
         let x = self
             .cached_input
             .as_ref()
             .expect("Linear::backward called before forward");
-        // dW += xᵀ·dY ; db += column-sums of dY ; dX = dY·Wᵀ
-        self.weight.grad.add_assign(&x.matmul_transa(dout));
-        self.bias.grad.add_assign(&dout.sum_axis0());
-        dout.matmul_transb(&self.weight.value)
+        // dW += xᵀ·dY ; db += column-sums of dY ; dX = dY·Wᵀ. The per-call
+        // products land in scratch tensors before being accumulated so the
+        // summation order matches the allocating implementation exactly.
+        x.matmul_transa_into(dout, &mut self.dw);
+        self.weight.grad.add_assign(&self.dw);
+        dout.sum_axis0_into(&mut self.db);
+        self.bias.grad.add_assign(&self.db);
+        dout.matmul_transb_into(&self.weight.value, dinput);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -66,6 +90,16 @@ impl Layer for Linear {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 

@@ -6,12 +6,26 @@ use rfl_tensor::Tensor;
 ///
 /// Returns the batch-mean loss and `dL/dlogits` (already divided by `N`).
 pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let mut log_p = Tensor::scratch();
+    let mut dlogits = Tensor::scratch();
+    let loss = cross_entropy_into(logits, labels, &mut log_p, &mut dlogits);
+    (loss, dlogits)
+}
+
+/// [`cross_entropy`] into caller-provided buffers (`log_p` scratch and the
+/// gradient destination), bit-identical and allocation-free when warm.
+pub fn cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    log_p: &mut Tensor,
+    dlogits: &mut Tensor,
+) -> f32 {
     assert_eq!(logits.ndim(), 2, "cross_entropy expects [N, K] logits");
     let (n, k) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(labels.len(), n, "label count mismatch");
-    let log_p = logits.log_softmax_rows();
+    logits.log_softmax_rows_into(log_p);
     let mut loss = 0.0f32;
-    let mut dlogits = log_p.map(|v| v.exp()); // softmax probabilities
+    log_p.map_into(dlogits, |v| v.exp()); // softmax probabilities
     let inv_n = 1.0 / n as f32;
     for (r, &y) in labels.iter().enumerate() {
         assert!(y < k, "label {y} out of range for {k} classes");
@@ -22,7 +36,7 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
             *v *= inv_n;
         }
     }
-    (loss * inv_n, dlogits)
+    loss * inv_n
 }
 
 /// Negative log-likelihood when log-probabilities are already available.

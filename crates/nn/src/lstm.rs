@@ -9,12 +9,61 @@ use crate::param::Param;
 use rand::Rng;
 use rfl_tensor::{Initializer, Tensor};
 
-/// Per-timestep cache for BPTT.
+/// Per-timestep cache for BPTT. Entries are reused across forward calls, so
+/// a warm pass writes into existing buffers instead of allocating.
 struct StepCache {
     h_prev: Tensor, // [N, H]
     c_prev: Tensor, // [N, H]
     gates: Tensor,  // [N, 4H] post-activation (i, f, g, o)
     tanh_c: Tensor, // [N, H]
+}
+
+impl StepCache {
+    fn scratch() -> Self {
+        StepCache {
+            h_prev: Tensor::scratch(),
+            c_prev: Tensor::scratch(),
+            gates: Tensor::scratch(),
+            tanh_c: Tensor::scratch(),
+        }
+    }
+}
+
+/// Per-layer scratch buffers hoisted out of the timestep loops.
+struct LstmScratch {
+    x_t: Tensor,     // [N, D] current timestep slice
+    zh: Tensor,      // [N, 4H] h·Wh product
+    h: Tensor,       // [N, H] running hidden state
+    c: Tensor,       // [N, H] running cell state
+    dh: Tensor,      // [N, H]
+    dz: Tensor,      // [N, 4H]
+    dc_prev: Tensor, // [N, H]
+    dh_next: Tensor, // [N, H]
+    dc_next: Tensor, // [N, H]
+    dx_t: Tensor,    // [N, D]
+    dwx: Tensor,     // [D, 4H] per-step dWx, accumulated into the grad
+    dwh: Tensor,     // [H, 4H]
+    db: Tensor,      // [4H]
+}
+
+impl LstmScratch {
+    fn new() -> Self {
+        LstmScratch {
+            x_t: Tensor::scratch(),
+            zh: Tensor::scratch(),
+            h: Tensor::scratch(),
+            c: Tensor::scratch(),
+            dh: Tensor::scratch(),
+            dz: Tensor::scratch(),
+            dc_prev: Tensor::scratch(),
+            dh_next: Tensor::scratch(),
+            dc_next: Tensor::scratch(),
+            dx_t: Tensor::scratch(),
+            dwx: Tensor::scratch(),
+            dwh: Tensor::scratch(),
+            db: Tensor::scratch(),
+        }
+    }
 }
 
 /// One LSTM layer. Hidden and cell states start at zero each sequence batch.
@@ -26,6 +75,7 @@ pub struct Lstm {
     hidden: usize,
     cache: Vec<StepCache>,
     cached_input: Option<Tensor>,
+    scratch: LstmScratch,
 }
 
 impl Lstm {
@@ -54,6 +104,7 @@ impl Lstm {
             hidden,
             cache: Vec::new(),
             cached_input: None,
+            scratch: LstmScratch::new(),
         }
     }
 
@@ -67,26 +118,42 @@ impl Lstm {
 
     /// Runs the whole sequence, returning all hidden states `[T, N, H]`.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// [`forward`](Lstm::forward) into a caller-provided buffer; a warm call
+    /// (shapes seen before) allocates nothing.
+    pub fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.ndim(), 3, "Lstm expects [T, N, D]");
         let (t_len, n, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
         assert_eq!(d, self.in_dim, "Lstm input dim mismatch");
         let h_dim = self.hidden;
 
-        let mut out = Tensor::zeros(&[t_len, n, h_dim]);
-        let mut h = Tensor::zeros(&[n, h_dim]);
-        let mut c = Tensor::zeros(&[n, h_dim]);
-        self.cache.clear();
-        self.cache.reserve(t_len);
+        out.resize(&[t_len, n, h_dim]); // every timestep slice overwritten below
+        while self.cache.len() < t_len {
+            self.cache.push(StepCache::scratch());
+        }
+        let s = &mut self.scratch;
+        s.h.resize(&[n, h_dim]);
+        s.h.fill(0.0);
+        s.c.resize(&[n, h_dim]);
+        s.c.fill(0.0);
 
         for t in 0..t_len {
-            let x_t = Tensor::from_vec(input.data()[t * n * d..(t + 1) * n * d].to_vec(), &[n, d]);
+            s.x_t.resize(&[n, d]);
+            s.x_t
+                .data_mut()
+                .copy_from_slice(&input.data()[t * n * d..(t + 1) * n * d]);
+            let step = &mut self.cache[t];
             // Pre-activations for all four gates at once: [N, 4H].
-            let mut z = x_t
-                .matmul(&self.wx.value)
-                .add(&h.matmul(&self.wh.value))
-                .add_row_bias(&self.b.value);
+            s.x_t.matmul_into(&self.wx.value, &mut step.gates);
+            s.h.matmul_into(&self.wh.value, &mut s.zh);
+            step.gates.add_assign(&s.zh);
+            step.gates.add_row_bias_assign(&self.b.value);
             // Apply gate nonlinearities in place.
-            for row in z.data_mut().chunks_exact_mut(4 * h_dim) {
+            for row in step.gates.data_mut().chunks_exact_mut(4 * h_dim) {
                 for v in &mut row[0..h_dim] {
                     *v = sigmoid(*v); // i
                 }
@@ -100,13 +167,13 @@ impl Lstm {
                     *v = sigmoid(*v); // o
                 }
             }
-            let c_prev = c.clone();
-            let h_prev = h.clone();
+            step.c_prev.assign(&s.c);
+            step.h_prev.assign(&s.h);
             // c = f ⊙ c_prev + i ⊙ g ;  h = o ⊙ tanh(c)
-            let mut tanh_c = Tensor::zeros(&[n, h_dim]);
+            step.tanh_c.resize(&[n, h_dim]); // fully overwritten below
             {
-                let zd = z.data();
-                let cd = c.data_mut();
+                let zd = step.gates.data();
+                let cd = s.c.data_mut();
                 for r in 0..n {
                     let g_row = &zd[r * 4 * h_dim..(r + 1) * 4 * h_dim];
                     for j in 0..h_dim {
@@ -117,11 +184,11 @@ impl Lstm {
                     }
                 }
                 let cdr = &*cd;
-                let tc = tanh_c.data_mut();
+                let tc = step.tanh_c.data_mut();
                 for (tv, &cv) in tc.iter_mut().zip(cdr.iter()) {
                     *tv = cv.tanh();
                 }
-                let hd = h.data_mut();
+                let hd = s.h.data_mut();
                 for r in 0..n {
                     let g_row = &zd[r * 4 * h_dim..(r + 1) * 4 * h_dim];
                     for j in 0..h_dim {
@@ -129,53 +196,66 @@ impl Lstm {
                     }
                 }
             }
-            out.data_mut()[t * n * h_dim..(t + 1) * n * h_dim].copy_from_slice(h.data());
-            self.cache.push(StepCache {
-                h_prev,
-                c_prev,
-                gates: z,
-                tanh_c,
-            });
+            out.data_mut()[t * n * h_dim..(t + 1) * n * h_dim].copy_from_slice(s.h.data());
         }
-        self.cached_input = Some(input.clone());
-        out
+        match &mut self.cached_input {
+            Some(t) => t.assign(input),
+            None => self.cached_input = Some(input.clone()),
+        }
     }
 
     /// BPTT: `dout` is the gradient w.r.t. every hidden state `[T, N, H]`;
     /// returns the gradient w.r.t. the input `[T, N, D]`.
     pub fn backward(&mut self, dout: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    /// [`backward`](Lstm::backward) into a caller-provided buffer; a warm
+    /// call allocates nothing.
+    pub fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
+        let Lstm {
+            wx,
+            wh,
+            b,
+            hidden,
+            cache: caches,
+            cached_input,
+            scratch: s,
+            ..
+        } = self;
+        let input = cached_input
             .as_ref()
-            .expect("Lstm::backward before forward")
-            .clone();
+            .expect("Lstm::backward before forward");
         let (t_len, n, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-        let h_dim = self.hidden;
+        let h_dim = *hidden;
         assert_eq!(dout.dims(), &[t_len, n, h_dim], "Lstm dout shape mismatch");
 
-        let mut dinput = Tensor::zeros(&[t_len, n, d]);
-        let mut dh_next = Tensor::zeros(&[n, h_dim]);
-        let mut dc_next = Tensor::zeros(&[n, h_dim]);
+        dinput.resize(&[t_len, n, d]); // every timestep slice overwritten below
+        s.dh_next.resize(&[n, h_dim]);
+        s.dh_next.fill(0.0);
+        s.dc_next.resize(&[n, h_dim]);
+        s.dc_next.fill(0.0);
 
         for t in (0..t_len).rev() {
-            let cache = &self.cache[t];
+            let cache = &caches[t];
             // dh = upstream for this step + carry from step t+1.
-            let mut dh = Tensor::from_vec(
-                dout.data()[t * n * h_dim..(t + 1) * n * h_dim].to_vec(),
-                &[n, h_dim],
-            );
-            dh.add_assign(&dh_next);
+            s.dh.resize(&[n, h_dim]);
+            s.dh.data_mut()
+                .copy_from_slice(&dout.data()[t * n * h_dim..(t + 1) * n * h_dim]);
+            s.dh.add_assign(&s.dh_next);
 
-            let mut dz = Tensor::zeros(&[n, 4 * h_dim]);
-            let mut dc_prev = Tensor::zeros(&[n, h_dim]);
+            s.dz.resize(&[n, 4 * h_dim]); // fully overwritten below
+            s.dc_prev.resize(&[n, h_dim]); // fully overwritten below
             {
                 let gd = cache.gates.data();
                 let tc = cache.tanh_c.data();
                 let cp = cache.c_prev.data();
-                let dhd = dh.data();
-                let dcn = dc_next.data();
-                let dzd = dz.data_mut();
-                let dcp = dc_prev.data_mut();
+                let dhd = s.dh.data();
+                let dcn = s.dc_next.data();
+                let dzd = s.dz.data_mut();
+                let dcp = s.dc_prev.data_mut();
                 for r in 0..n {
                     let g_row = &gd[r * 4 * h_dim..(r + 1) * 4 * h_dim];
                     for j in 0..h_dim {
@@ -201,17 +281,24 @@ impl Lstm {
                 }
             }
 
-            let x_t = Tensor::from_vec(input.data()[t * n * d..(t + 1) * n * d].to_vec(), &[n, d]);
-            self.wx.grad.add_assign(&x_t.matmul_transa(&dz));
-            self.wh.grad.add_assign(&cache.h_prev.matmul_transa(&dz));
-            self.b.grad.add_assign(&dz.sum_axis0());
+            s.x_t.resize(&[n, d]);
+            s.x_t
+                .data_mut()
+                .copy_from_slice(&input.data()[t * n * d..(t + 1) * n * d]);
+            // Per-step products land in scratch, then accumulate — matching
+            // the allocating implementation's summation order exactly.
+            s.x_t.matmul_transa_into(&s.dz, &mut s.dwx);
+            wx.grad.add_assign(&s.dwx);
+            cache.h_prev.matmul_transa_into(&s.dz, &mut s.dwh);
+            wh.grad.add_assign(&s.dwh);
+            s.dz.sum_axis0_into(&mut s.db);
+            b.grad.add_assign(&s.db);
 
-            let dx_t = dz.matmul_transb(&self.wx.value);
-            dinput.data_mut()[t * n * d..(t + 1) * n * d].copy_from_slice(dx_t.data());
-            dh_next = dz.matmul_transb(&self.wh.value);
-            dc_next = dc_prev;
+            s.dz.matmul_transb_into(&wx.value, &mut s.dx_t);
+            dinput.data_mut()[t * n * d..(t + 1) * n * d].copy_from_slice(s.dx_t.data());
+            s.dz.matmul_transb_into(&wh.value, &mut s.dh_next);
+            std::mem::swap(&mut s.dc_next, &mut s.dc_prev);
         }
-        dinput
     }
 
     pub fn params(&self) -> Vec<&Param> {

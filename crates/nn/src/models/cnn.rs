@@ -15,7 +15,7 @@ use crate::linear::Linear;
 use crate::param::Param;
 use crate::pooling::MaxPool2d;
 use rand::Rng;
-use rfl_tensor::Tensor;
+use rfl_tensor::{Tensor, Workspace};
 
 /// Hyper-parameters of [`CnnClassifier`].
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +92,7 @@ pub struct CnnClassifier {
     fc1: Linear,
     relu3: Relu,
     fc2: Linear,
+    ws: Workspace,
 }
 
 impl CnnClassifier {
@@ -117,6 +118,7 @@ impl CnnClassifier {
             fc1: Linear::new(flat, cfg.feature_dim, rng),
             relu3: Relu::new(),
             fc2: Linear::new(cfg.feature_dim, cfg.num_classes, rng),
+            ws: Workspace::new(),
         }
     }
 
@@ -127,51 +129,73 @@ impl CnnClassifier {
 
 impl Model for CnnClassifier {
     fn forward(&mut self, input: &Input, train: bool) -> ModelOutput {
+        let mut out = ModelOutput::scratch();
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Input, out: &mut ModelOutput, train: bool) {
         let x = match input {
             Input::Images(t) => t,
             _ => panic!("CnnClassifier expects Input::Images"),
         };
         assert_eq!(x.dims()[1], self.cfg.in_channels, "channel mismatch");
         assert_eq!(x.dims()[2], self.cfg.image_size, "image size mismatch");
-        let mut h = self.conv1.forward(x, train);
+        // Activations ping-pong between two recycled workspace buffers;
+        // features/logits land directly in the caller's reusable output.
+        let mut a = self.ws.take(&[1]);
+        let mut b = self.ws.take(&[1]);
+        self.conv1.forward_into(x, &mut a, train);
         if let Some(n) = &mut self.norm1 {
-            h = n.forward(&h, train);
+            n.forward_into(&a, &mut b, train);
+            std::mem::swap(&mut a, &mut b);
         }
-        let h = self.relu1.forward(&h, train);
-        let h = self.pool1.forward(&h, train);
-        let mut h = self.conv2.forward(&h, train);
+        self.relu1.forward_into(&a, &mut b, train);
+        self.pool1.forward_into(&b, &mut a, train);
+        self.conv2.forward_into(&a, &mut b, train);
+        std::mem::swap(&mut a, &mut b);
         if let Some(n) = &mut self.norm2 {
-            h = n.forward(&h, train);
+            n.forward_into(&a, &mut b, train);
+            std::mem::swap(&mut a, &mut b);
         }
-        let h = self.relu2.forward(&h, train);
-        let h = self.pool2.forward(&h, train);
-        let h = self.flatten.forward(&h, train);
-        let h = self.fc1.forward(&h, train);
-        let features = self.relu3.forward(&h, train);
-        let logits = self.fc2.forward(&features, train);
-        ModelOutput { features, logits }
+        self.relu2.forward_into(&a, &mut b, train);
+        self.pool2.forward_into(&b, &mut a, train);
+        self.flatten.forward_into(&a, &mut b, train);
+        self.fc1.forward_into(&b, &mut a, train);
+        self.relu3.forward_into(&a, &mut out.features, train);
+        self.fc2.forward_into(&out.features, &mut out.logits, train);
+        self.ws.give(b);
+        self.ws.give(a);
     }
 
     fn backward(&mut self, dlogits: &Tensor, dfeatures: Option<&Tensor>) {
-        let mut d = self.fc2.backward(dlogits);
+        let mut a = self.ws.take(&[1]);
+        let mut b = self.ws.take(&[1]);
+        self.fc2.backward_into(dlogits, &mut a);
         if let Some(df) = dfeatures {
-            d.add_assign(df);
+            a.add_assign(df);
         }
-        let d = self.relu3.backward(&d);
-        let d = self.fc1.backward(&d);
-        let d = self.flatten.backward(&d);
-        let d = self.pool2.backward(&d);
-        let mut d = self.relu2.backward(&d);
+        self.relu3.backward_into(&a, &mut b);
+        self.fc1.backward_into(&b, &mut a);
+        self.flatten.backward_into(&a, &mut b);
+        self.pool2.backward_into(&b, &mut a);
+        self.relu2.backward_into(&a, &mut b);
+        std::mem::swap(&mut a, &mut b);
         if let Some(n) = &mut self.norm2 {
-            d = n.backward(&d);
+            n.backward_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
         }
-        let d = self.conv2.backward(&d);
-        let d = self.pool1.backward(&d);
-        let mut d = self.relu1.backward(&d);
+        self.conv2.backward_into(&a, &mut b);
+        self.pool1.backward_into(&b, &mut a);
+        self.relu1.backward_into(&a, &mut b);
+        std::mem::swap(&mut a, &mut b);
         if let Some(n) = &mut self.norm1 {
-            d = n.backward(&d);
+            n.backward_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
         }
-        let _ = self.conv1.backward(&d);
+        self.conv1.backward_into(&a, &mut b); // final dinput is discarded
+        self.ws.give(b);
+        self.ws.give(a);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -202,6 +226,32 @@ impl Model for CnnClassifier {
         v.extend(self.fc1.params_mut());
         v.extend(self.fc2.params_mut());
         v
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        self.conv1.for_each_param(f);
+        if let Some(n) = &self.norm1 {
+            n.for_each_param(f);
+        }
+        self.conv2.for_each_param(f);
+        if let Some(n) = &self.norm2 {
+            n.for_each_param(f);
+        }
+        self.fc1.for_each_param(f);
+        self.fc2.for_each_param(f);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.for_each_param_mut(f);
+        if let Some(n) = &mut self.norm1 {
+            n.for_each_param_mut(f);
+        }
+        self.conv2.for_each_param_mut(f);
+        if let Some(n) = &mut self.norm2 {
+            n.for_each_param_mut(f);
+        }
+        self.fc1.for_each_param_mut(f);
+        self.fc2.for_each_param_mut(f);
     }
 
     fn feature_dim(&self) -> usize {
@@ -367,6 +417,23 @@ mod tests {
         let plain = sensitivity(false);
         let gn = sensitivity(true);
         assert!(gn < plain * 0.5, "GroupNorm {gn} vs plain {plain}");
+    }
+
+    #[test]
+    fn warm_buffers_match_fresh_model_after_batch_size_change() {
+        // Shrinking then regrowing the reusable buffers (a smaller batch
+        // after a larger one) must be bit-identical to a fresh model that
+        // never saw the large batch.
+        let mut warm = model(12);
+        let mut fresh = model(12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let big = Initializer::Normal(1.0).init(&[16, 1, 16, 16], &mut rng);
+        let small = Initializer::Normal(1.0).init(&[7, 1, 16, 16], &mut rng);
+        let _ = warm.forward(&Input::Images(big), true);
+        let w = warm.forward(&Input::Images(small.clone()), true);
+        let f = fresh.forward(&Input::Images(small), true);
+        assert_eq!(w.logits.data(), f.logits.data());
+        assert_eq!(w.features.data(), f.features.data());
     }
 
     /// End-to-end training sanity: loss decreases on a tiny fixed batch.

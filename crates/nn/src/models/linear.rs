@@ -42,16 +42,23 @@ impl LogisticRegression {
 
 impl Model for LogisticRegression {
     fn forward(&mut self, input: &Input, train: bool) -> ModelOutput {
+        let mut out = ModelOutput::scratch();
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Input, out: &mut ModelOutput, train: bool) {
         let x = match input {
             Input::Dense(t) => t,
             _ => panic!("LogisticRegression expects Input::Dense"),
         };
-        let logits = self.head.forward(x, train);
-        self.cached_input = Some(x.clone());
-        ModelOutput {
-            features: x.clone(),
-            logits,
+        self.head.forward_into(x, &mut out.logits, train);
+        match &mut self.cached_input {
+            Some(t) => t.assign(x),
+            None => self.cached_input = Some(x.clone()),
         }
+        // φ is the identity: the features *are* the input.
+        out.features.assign(x);
     }
 
     fn backward(&mut self, dlogits: &Tensor, _dfeatures: Option<&Tensor>) {
@@ -60,10 +67,8 @@ impl Model for LogisticRegression {
         let _ = self.head.backward(dlogits);
         if self.l2 > 0.0 {
             let l2 = self.l2;
-            let wv = self.head.weight.value.clone();
-            self.head.weight.grad.axpy(l2, &wv);
-            let bv = self.head.bias.value.clone();
-            self.head.bias.grad.axpy(l2, &bv);
+            self.head.weight.grad.axpy(l2, &self.head.weight.value);
+            self.head.bias.grad.axpy(l2, &self.head.bias.value);
         }
     }
 
@@ -73,6 +78,14 @@ impl Model for LogisticRegression {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.head.params_mut()
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        self.head.for_each_param(f);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.head.for_each_param_mut(f);
     }
 
     fn feature_dim(&self) -> usize {
@@ -118,13 +131,19 @@ impl LinearNet {
 
 impl Model for LinearNet {
     fn forward(&mut self, input: &Input, train: bool) -> ModelOutput {
+        let mut out = ModelOutput::scratch();
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Input, out: &mut ModelOutput, train: bool) {
         let x = match input {
             Input::Dense(t) => t,
             _ => panic!("LinearNet expects Input::Dense"),
         };
-        let features = self.feat.forward(x, train);
-        let logits = self.head.forward(&features, train);
-        ModelOutput { features, logits }
+        self.feat.forward_into(x, &mut out.features, train);
+        self.head
+            .forward_into(&out.features, &mut out.logits, train);
     }
 
     fn backward(&mut self, dlogits: &Tensor, dfeatures: Option<&Tensor>) {
@@ -136,8 +155,7 @@ impl Model for LinearNet {
         if self.l2 > 0.0 {
             let l2 = self.l2;
             for p in self.params_mut() {
-                let v = p.value.clone();
-                p.grad.axpy(l2, &v);
+                p.grad.axpy(l2, &p.value);
             }
         }
     }
@@ -152,6 +170,16 @@ impl Model for LinearNet {
         let mut v = self.feat.params_mut();
         v.extend(self.head.params_mut());
         v
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        self.feat.for_each_param(f);
+        self.head.for_each_param(f);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.feat.for_each_param_mut(f);
+        self.head.for_each_param_mut(f);
     }
 
     fn feature_dim(&self) -> usize {

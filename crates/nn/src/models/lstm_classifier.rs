@@ -14,7 +14,7 @@ use crate::linear::Linear;
 use crate::lstm::Lstm;
 use crate::param::Param;
 use rand::Rng;
-use rfl_tensor::Tensor;
+use rfl_tensor::{Tensor, Workspace};
 
 /// Hyper-parameters of [`LstmClassifier`].
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +50,7 @@ pub struct LstmClassifier {
     fc_out: Linear,
     cached_steps: usize,
     cached_batch: usize,
+    ws: Workspace,
 }
 
 impl LstmClassifier {
@@ -64,6 +65,7 @@ impl LstmClassifier {
             fc_out: Linear::new(cfg.feature_dim, cfg.num_classes, rng),
             cached_steps: 0,
             cached_batch: 0,
+            ws: Workspace::new(),
         }
     }
 
@@ -74,39 +76,65 @@ impl LstmClassifier {
 
 impl Model for LstmClassifier {
     fn forward(&mut self, input: &Input, train: bool) -> ModelOutput {
+        let mut out = ModelOutput::scratch();
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Input, out: &mut ModelOutput, train: bool) {
         let tokens = match input {
             Input::Tokens(t) => t,
             _ => panic!("LstmClassifier expects Input::Tokens"),
         };
         let emb = self.embed.forward(tokens); // [T, N, D]
-        let h1 = self.lstm1.forward(&emb); // [T, N, H]
-        let h2 = self.lstm2.forward(&h1); // [T, N, H]
+        let mut h1 = self.ws.take(&[1]);
+        self.lstm1.forward_into(&emb, &mut h1); // [T, N, H]
+        let mut h2 = self.ws.take(&[1]);
+        self.lstm2.forward_into(&h1, &mut h2); // [T, N, H]
         let (t_len, n, h_dim) = (h2.dims()[0], h2.dims()[1], h2.dims()[2]);
         self.cached_steps = t_len;
         self.cached_batch = n;
         // Final hidden state of the top layer.
-        let last = Tensor::from_vec(h2.data()[(t_len - 1) * n * h_dim..].to_vec(), &[n, h_dim]);
-        let f = self.fc_feat.forward(&last, train);
-        let features = self.tanh.forward(&f, train);
-        let logits = self.fc_out.forward(&features, train);
-        ModelOutput { features, logits }
+        let mut last = self.ws.take(&[n, h_dim]);
+        last.data_mut()
+            .copy_from_slice(&h2.data()[(t_len - 1) * n * h_dim..]);
+        let mut f = self.ws.take(&[1]);
+        self.fc_feat.forward_into(&last, &mut f, train);
+        self.tanh.forward_into(&f, &mut out.features, train);
+        self.fc_out
+            .forward_into(&out.features, &mut out.logits, train);
+        self.ws.give(f);
+        self.ws.give(last);
+        self.ws.give(h2);
+        self.ws.give(h1);
     }
 
     fn backward(&mut self, dlogits: &Tensor, dfeatures: Option<&Tensor>) {
-        let mut d = self.fc_out.backward(dlogits);
+        let mut a = self.ws.take(&[1]);
+        let mut b = self.ws.take(&[1]);
+        self.fc_out.backward_into(dlogits, &mut a);
         if let Some(df) = dfeatures {
-            d.add_assign(df);
+            a.add_assign(df);
         }
-        let d = self.tanh.backward(&d);
-        let d_last = self.fc_feat.backward(&d); // [N, H]
-                                                // Expand to [T, N, H] with gradient only at the final step.
+        self.tanh.backward_into(&a, &mut b);
+        self.fc_feat.backward_into(&b, &mut a);
+        // `a` is d_last [N, H]; expand to [T, N, H] with gradient only at
+        // the final step.
         let (t_len, n) = (self.cached_steps, self.cached_batch);
         let h_dim = self.lstm2.hidden();
-        let mut dh2 = Tensor::zeros(&[t_len, n, h_dim]);
-        dh2.data_mut()[(t_len - 1) * n * h_dim..].copy_from_slice(d_last.data());
-        let dh1 = self.lstm2.backward(&dh2);
-        let demb = self.lstm1.backward(&dh1);
+        let mut dh2 = self.ws.take(&[t_len, n, h_dim]);
+        dh2.fill(0.0);
+        dh2.data_mut()[(t_len - 1) * n * h_dim..].copy_from_slice(a.data());
+        let mut dh1 = self.ws.take(&[1]);
+        self.lstm2.backward_into(&dh2, &mut dh1);
+        let mut demb = self.ws.take(&[1]);
+        self.lstm1.backward_into(&dh1, &mut demb);
         self.embed.backward(&demb);
+        self.ws.give(demb);
+        self.ws.give(dh1);
+        self.ws.give(dh2);
+        self.ws.give(b);
+        self.ws.give(a);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -127,6 +155,28 @@ impl Model for LstmClassifier {
         v.extend(self.fc_feat.params_mut());
         v.extend(self.fc_out.params_mut());
         v
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.embed.table);
+        for l in [&self.lstm1, &self.lstm2] {
+            f(&l.wx);
+            f(&l.wh);
+            f(&l.b);
+        }
+        self.fc_feat.for_each_param(f);
+        self.fc_out.for_each_param(f);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.embed.table);
+        for l in [&mut self.lstm1, &mut self.lstm2] {
+            f(&mut l.wx);
+            f(&mut l.wh);
+            f(&mut l.b);
+        }
+        self.fc_feat.for_each_param_mut(f);
+        self.fc_out.for_each_param_mut(f);
     }
 
     fn feature_dim(&self) -> usize {

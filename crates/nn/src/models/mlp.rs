@@ -8,7 +8,7 @@ use crate::layer::Layer;
 use crate::linear::Linear;
 use crate::param::Param;
 use rand::Rng;
-use rfl_tensor::Tensor;
+use rfl_tensor::{Tensor, Workspace};
 
 /// MLP: `in → hidden[0] → … → hidden[last] (= φ) → classes`, with ReLU
 /// between layers. The post-ReLU output of the last hidden layer is the
@@ -18,6 +18,7 @@ pub struct MlpClassifier {
     head: Linear,
     feature_dim: usize,
     classes: usize,
+    ws: Workspace,
 }
 
 impl MlpClassifier {
@@ -36,37 +37,53 @@ impl MlpClassifier {
             feature_dim: prev,
             classes,
             layers,
+            ws: Workspace::new(),
         }
     }
 }
 
 impl Model for MlpClassifier {
     fn forward(&mut self, input: &Input, train: bool) -> ModelOutput {
+        let mut out = ModelOutput::scratch();
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Input, out: &mut ModelOutput, train: bool) {
         let x = match input {
             Input::Dense(t) => t,
             _ => panic!("MlpClassifier expects Input::Dense"),
         };
-        let mut h = x.clone();
-        for (lin, relu) in &mut self.layers {
-            h = lin.forward(&h, train);
-            h = relu.forward(&h, train);
+        let mut a = self.ws.take(&[1]);
+        let mut b = self.ws.take(&[1]);
+        self.layers[0].0.forward_into(x, &mut a, train);
+        self.layers[0].1.forward_into(&a, &mut b, train);
+        std::mem::swap(&mut a, &mut b);
+        for (lin, relu) in self.layers.iter_mut().skip(1) {
+            lin.forward_into(&a, &mut b, train);
+            relu.forward_into(&b, &mut a, train);
         }
-        let logits = self.head.forward(&h, train);
-        ModelOutput {
-            features: h,
-            logits,
-        }
+        // `a` holds the post-ReLU feature embedding.
+        out.features.assign(&a);
+        self.head
+            .forward_into(&out.features, &mut out.logits, train);
+        self.ws.give(b);
+        self.ws.give(a);
     }
 
     fn backward(&mut self, dlogits: &Tensor, dfeatures: Option<&Tensor>) {
-        let mut d = self.head.backward(dlogits);
+        let mut a = self.ws.take(&[1]);
+        let mut b = self.ws.take(&[1]);
+        self.head.backward_into(dlogits, &mut a);
         if let Some(df) = dfeatures {
-            d.add_assign(df);
+            a.add_assign(df);
         }
         for (lin, relu) in self.layers.iter_mut().rev() {
-            d = relu.backward(&d);
-            d = lin.backward(&d);
+            relu.backward_into(&a, &mut b);
+            lin.backward_into(&b, &mut a);
         }
+        self.ws.give(b);
+        self.ws.give(a);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -85,6 +102,20 @@ impl Model for MlpClassifier {
         }
         v.extend(self.head.params_mut());
         v
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        for (lin, _) in &self.layers {
+            lin.for_each_param(f);
+        }
+        self.head.for_each_param(f);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for (lin, _) in &mut self.layers {
+            lin.for_each_param_mut(f);
+        }
+        self.head.for_each_param_mut(f);
     }
 
     fn feature_dim(&self) -> usize {

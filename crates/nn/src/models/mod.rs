@@ -16,7 +16,7 @@ pub use linear::{LinearNet, LogisticRegression};
 pub use lstm_classifier::{LstmClassifier, LstmConfig};
 pub use mlp::MlpClassifier;
 
-use crate::param::{self, Param};
+use crate::param::Param;
 use rfl_tensor::Tensor;
 
 /// A batch of model inputs.
@@ -46,10 +46,30 @@ pub struct ModelOutput {
     pub logits: Tensor,
 }
 
+impl ModelOutput {
+    /// Placeholder output for use as a reusable [`Model::forward_into`]
+    /// destination; resized (and fully overwritten) on first use.
+    pub fn scratch() -> Self {
+        ModelOutput {
+            features: Tensor::scratch(),
+            logits: Tensor::scratch(),
+        }
+    }
+}
+
 /// A trainable classifier exposing flat-parameter I/O and the feature hook.
 pub trait Model: Send {
     /// Forward pass.
     fn forward(&mut self, input: &Input, train: bool) -> ModelOutput;
+
+    /// [`forward`](Model::forward) into a caller-owned [`ModelOutput`],
+    /// reusing its buffers. Hot-path models override this with a
+    /// zero-allocation implementation (and implement `forward` by delegating
+    /// here); this default keeps other models correct without converting
+    /// them.
+    fn forward_into(&mut self, input: &Input, out: &mut ModelOutput, train: bool) {
+        *out = self.forward(input, train);
+    }
 
     /// Backward pass for the most recent forward.
     ///
@@ -75,31 +95,63 @@ pub trait Model: Send {
     /// size and the theory checks can reason about `w̃` vs `w̿`.
     fn phi_param_range(&self) -> std::ops::Range<usize>;
 
+    /// Visits every parameter in the same canonical order as
+    /// [`params`](Model::params) without materializing a `Vec<&Param>`.
+    /// Hot-path models override this (and the `_mut` twin) so the flat
+    /// parameter walks below are allocation-free on warm steps.
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
+    /// Mutable twin of [`for_each_param`](Model::for_each_param).
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Total scalar parameter count.
     fn num_params(&self) -> usize {
-        self.params().iter().map(|p| p.numel()).sum()
+        let mut n = 0;
+        self.for_each_param(&mut |p| n += p.numel());
+        n
     }
 
     /// Copies all parameters, flattened, into `out`.
     fn read_params(&self, out: &mut Vec<f32>) {
-        param::read_params_flat(&self.params(), out);
+        out.clear();
+        self.for_each_param(&mut |p| out.extend_from_slice(p.value.data()));
     }
 
     /// Writes a flat parameter vector into the model.
+    ///
+    /// # Panics
+    /// Panics if `src` length differs from the total parameter count.
     fn write_params(&mut self, src: &[f32]) {
-        param::write_params_flat(&mut self.params_mut(), src);
+        assert_eq!(
+            src.len(),
+            self.num_params(),
+            "flat parameter length mismatch"
+        );
+        let mut off = 0;
+        self.for_each_param_mut(&mut |p| {
+            let n = p.numel();
+            p.value.data_mut().copy_from_slice(&src[off..off + n]);
+            off += n;
+        });
     }
 
     /// Copies all gradients, flattened, into `out`.
     fn read_grads(&self, out: &mut Vec<f32>) {
-        param::read_grads_flat(&self.params(), out);
+        out.clear();
+        self.for_each_param(&mut |p| out.extend_from_slice(p.grad.data()));
     }
 
     /// Zeroes all gradient accumulators.
     fn zero_grads(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.for_each_param_mut(&mut |p| p.zero_grad());
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::param::Param;
-use rfl_tensor::{maxpool2d, maxpool2d_backward, PoolSpec, Tensor};
+use rfl_tensor::{maxpool2d_backward_into, maxpool2d_into, PoolSpec, Tensor};
 
 /// Non-overlapping (by default) 2-D max pooling over NCHW inputs.
 pub struct MaxPool2d {
@@ -28,19 +28,30 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let (out, argmax) = maxpool2d(input, self.spec);
-        self.input_dims = input.dims().to_vec();
-        self.argmax = argmax;
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        maxpool2d_into(input, self.spec, out, &mut self.argmax);
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.dims());
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
         assert!(
             !self.argmax.is_empty(),
             "MaxPool2d::backward before forward"
         );
-        maxpool2d_backward(&self.input_dims, dout, &self.argmax)
+        maxpool2d_backward_into(&self.input_dims, dout, &self.argmax, dinput);
     }
 
     fn params(&self) -> Vec<&Param> {

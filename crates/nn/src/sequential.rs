@@ -2,17 +2,22 @@
 
 use crate::layer::Layer;
 use crate::param::Param;
-use rfl_tensor::Tensor;
+use rfl_tensor::{Tensor, Workspace};
 
 /// Runs layers in order on forward, in reverse on backward.
+///
+/// Intermediate activations ping-pong between two workspace buffers, so a
+/// warm `forward_into`/`backward_into` pass through converted layers
+/// allocates nothing.
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer + Send>>,
+    ws: Workspace,
 }
 
 impl Sequential {
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
     }
 
     /// Appends a layer (builder style).
@@ -32,19 +37,55 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
-        for l in &mut self.layers {
-            x = l.forward(&x, train);
-        }
-        x
+        let mut out = Tensor::scratch();
+        self.forward_into(input, &mut out, train);
+        out
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
-        let mut g = dout.clone();
-        for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+        let mut dinput = Tensor::scratch();
+        self.backward_into(dout, &mut dinput);
+        dinput
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        let n = self.layers.len();
+        match n {
+            0 => out.assign(input),
+            1 => self.layers[0].forward_into(input, out, train),
+            _ => {
+                let mut a = self.ws.take(&[1]);
+                let mut b = self.ws.take(&[1]);
+                self.layers[0].forward_into(input, &mut a, train);
+                for i in 1..n - 1 {
+                    self.layers[i].forward_into(&a, &mut b, train);
+                    std::mem::swap(&mut a, &mut b);
+                }
+                self.layers[n - 1].forward_into(&a, out, train);
+                self.ws.give(b);
+                self.ws.give(a);
+            }
         }
-        g
+    }
+
+    fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
+        let n = self.layers.len();
+        match n {
+            0 => dinput.assign(dout),
+            1 => self.layers[0].backward_into(dout, dinput),
+            _ => {
+                let mut a = self.ws.take(&[1]);
+                let mut b = self.ws.take(&[1]);
+                self.layers[n - 1].backward_into(dout, &mut a);
+                for i in (1..n - 1).rev() {
+                    self.layers[i].backward_into(&a, &mut b);
+                    std::mem::swap(&mut a, &mut b);
+                }
+                self.layers[0].backward_into(&a, dinput);
+                self.ws.give(b);
+                self.ws.give(a);
+            }
+        }
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -40,6 +40,45 @@ pub fn encode_f32_slice(values: &[f32]) -> Bytes {
     buf.freeze()
 }
 
+/// Encodes into a caller-provided byte buffer (cleared first; its allocation
+/// is reused across calls). The bytes produced are identical to
+/// [`encode_f32_slice`] — same header, same little-endian payload — so the
+/// comm ledger cannot tell which path produced a message.
+pub fn encode_f32_into(buf: &mut Vec<u8>, values: &[f32]) {
+    buf.clear();
+    buf.reserve(wire_size(values.len()));
+    buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for &v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes a wire buffer into a caller-provided vector (cleared first; its
+/// allocation is reused across calls). Accepts the same format as
+/// [`decode_f32_slice`] and returns the same values.
+pub fn decode_f32_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::MissingHeader);
+    }
+    let n = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let payload = &bytes[4..];
+    if payload.len() < n * 4 {
+        return Err(CodecError::Truncated {
+            expected: n * 4,
+            got: payload.len(),
+        });
+    }
+    out.clear();
+    out.reserve(n);
+    out.extend(
+        payload
+            .chunks_exact(4)
+            .take(n)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+    Ok(())
+}
+
 /// Decodes a buffer produced by [`encode_f32_slice`].
 pub fn decode_f32_slice(mut bytes: Bytes) -> Result<Vec<f32>, CodecError> {
     if bytes.remaining() < 4 {
@@ -109,5 +148,43 @@ mod tests {
     fn nan_survives_round_trip() {
         let enc = encode_f32_slice(&[f32::NAN]);
         assert!(decode_f32_slice(enc).unwrap()[0].is_nan());
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_and_reuses_buffer() {
+        let mut buf = Vec::new();
+        for vals in [
+            vec![1.0f32, -2.5, f32::MIN_POSITIVE, 1e30, f32::NEG_INFINITY],
+            vec![0.25f32; 3],
+            vec![],
+        ] {
+            encode_f32_into(&mut buf, &vals);
+            assert_eq!(&buf[..], &encode_f32_slice(&vals)[..]);
+        }
+        // Warm reuse: a second encode of the same payload must not grow.
+        encode_f32_into(&mut buf, &[9.0; 8]);
+        let cap = buf.capacity();
+        encode_f32_into(&mut buf, &[3.0; 8]);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn decode_into_matches_decode_and_reports_errors() {
+        let vals = vec![1.5f32, -0.25, 4096.0];
+        let enc = encode_f32_slice(&vals);
+        let mut out = vec![99.0f32; 1];
+        decode_f32_into(&enc, &mut out).unwrap();
+        assert_eq!(out, vals);
+        assert_eq!(
+            decode_f32_into(&enc[..enc.len() - 3], &mut out),
+            Err(CodecError::Truncated {
+                expected: 12,
+                got: 9
+            })
+        );
+        assert_eq!(
+            decode_f32_into(&[1, 2], &mut out),
+            Err(CodecError::MissingHeader)
+        );
     }
 }

@@ -35,11 +35,36 @@ pub struct Conv2dGrads {
     pub dbias: Tensor,
 }
 
+impl Conv2dGrads {
+    /// Placeholder gradients for use as a reusable [`conv2d_backward_into`]
+    /// destination; resized (and fully overwritten) on first use.
+    pub fn scratch() -> Self {
+        Conv2dGrads {
+            dinput: Tensor::scratch(),
+            dweight: Tensor::scratch(),
+            dbias: Tensor::scratch(),
+        }
+    }
+}
+
 /// Forward convolution: `input [N,C,H,W]`, `weight [O,C,kh,kw]`, `bias [O]`.
 ///
 /// Parallel over the batch dimension: each worker-pool task owns one image's
 /// output slab, so results are bit-identical at any thread count.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
+    let mut out = Tensor::scratch();
+    conv2d_into(input, weight, bias, spec, &mut out);
+    out
+}
+
+/// [`conv2d`] into a caller-provided buffer (every output cell overwritten).
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: ConvSpec,
+    out: &mut Tensor,
+) {
     let (n, c, h, w) = nchw(input);
     let (o, c2, kh, kw) = nchw(weight);
     assert_eq!(c, c2, "conv2d channel mismatch");
@@ -47,7 +72,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) ->
     assert_eq!(kw, spec.kernel);
     assert_eq!(bias.numel(), o, "conv2d bias mismatch");
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
-    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    out.resize(&[n, o, oh, ow]);
 
     let x = input.data();
     let wt = weight.data();
@@ -86,7 +111,6 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) ->
             }
         }
     });
-    out
 }
 
 /// Backward convolution: given `dout = dL/dy`, produce gradients w.r.t.
@@ -105,15 +129,36 @@ pub fn conv2d_backward(
     dout: &Tensor,
     spec: ConvSpec,
 ) -> Conv2dGrads {
+    let mut grads = Conv2dGrads::scratch();
+    let mut dw_scratch = Vec::new();
+    conv2d_backward_into(input, weight, dout, spec, &mut grads, &mut dw_scratch);
+    grads
+}
+
+/// [`conv2d_backward`] into caller-provided gradient buffers. `dw_scratch`
+/// holds the per-image weight-gradient partials (`n × weight.numel()`
+/// floats) and is zeroed before use, so reusing it across calls is
+/// bit-identical to allocating fresh.
+pub fn conv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    spec: ConvSpec,
+    grads: &mut Conv2dGrads,
+    dw_scratch: &mut Vec<f32>,
+) {
     let (n, c, h, w) = nchw(input);
     let (o, _, kh, kw) = nchw(weight);
     let (n2, o2, oh, ow) = nchw(dout);
     assert_eq!(n, n2);
     assert_eq!(o, o2);
 
-    let mut dinput = Tensor::zeros(&[n, c, h, w]);
-    let mut dweight = Tensor::zeros(weight.dims());
-    let mut dbias = Tensor::zeros(&[o]);
+    grads.dinput.resize(&[n, c, h, w]);
+    grads.dinput.fill(0.0);
+    grads.dweight.resize(weight.dims());
+    grads.dweight.fill(0.0);
+    grads.dbias.resize(&[o]);
+    grads.dbias.fill(0.0);
 
     let x = input.data();
     let wt = weight.data();
@@ -121,7 +166,7 @@ pub fn conv2d_backward(
     let (s, p) = (spec.stride as isize, spec.pad as isize);
 
     {
-        let db = dbias.data_mut();
+        let db = grads.dbias.data_mut();
         #[allow(clippy::needless_range_loop)]
         for img in 0..n {
             for oc in 0..o {
@@ -132,11 +177,12 @@ pub fn conv2d_backward(
     }
 
     let wlen = o * c * kh * kw;
-    let mut dw_parts = vec![0.0f32; n * wlen];
+    dw_scratch.clear();
+    dw_scratch.resize(n * wlen, 0.0);
     crate::threads::parallel_for_chunks2(
-        dinput.data_mut(),
+        grads.dinput.data_mut(),
         c * h * w,
-        &mut dw_parts,
+        dw_scratch.as_mut_slice(),
         wlen,
         |img, dx, dw| {
             for oc in 0..o {
@@ -177,17 +223,11 @@ pub fn conv2d_backward(
             }
         },
     );
-    let dw = dweight.data_mut();
-    for part in dw_parts.chunks_exact(wlen) {
+    let dw = grads.dweight.data_mut();
+    for part in dw_scratch.chunks_exact(wlen) {
         for (d, s) in dw.iter_mut().zip(part) {
             *d += *s;
         }
-    }
-
-    Conv2dGrads {
-        dinput,
-        dweight,
-        dbias,
     }
 }
 

@@ -8,13 +8,24 @@ use crate::tensor::Tensor;
 
 /// Unfolds NCHW input into the im2col matrix `[N·OH·OW, C·K·K]`.
 pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
+    let mut out = Tensor::scratch();
+    im2col_into(input, spec, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-provided buffer. The unfold loop only writes
+/// in-bounds cells (padding positions stay zero), so the whole destination
+/// is zeroed first — a reused dirty buffer produces the same bytes as a
+/// fresh one.
+pub fn im2col_into(input: &Tensor, spec: ConvSpec, out: &mut Tensor) {
     assert_eq!(input.ndim(), 4, "expected NCHW");
     let d = input.dims();
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let k = spec.kernel;
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let cols = c * k * k;
-    let mut out = Tensor::zeros(&[n * oh * ow, cols]);
+    out.resize(&[n * oh * ow, cols]);
+    out.fill(0.0);
     let x = input.data();
     let (s, p) = (spec.stride as isize, spec.pad as isize);
     // One worker-pool task per image: each owns the `oh·ow` unfolded rows of
@@ -43,7 +54,6 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
             }
         }
     });
-    out
 }
 
 /// Convolution via im2col + GEMM. Same contract as [`crate::conv2d`].

@@ -32,15 +32,19 @@ mod reduce;
 mod shape;
 mod tensor;
 mod threads;
+mod workspace;
 
-pub use codec::{decode_f32_slice, encode_f32_slice, wire_size, CodecError};
-pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
-pub use im2col::{conv2d_im2col, im2col};
+pub use codec::{
+    decode_f32_into, decode_f32_slice, encode_f32_into, encode_f32_slice, wire_size, CodecError,
+};
+pub use conv::{conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, Conv2dGrads, ConvSpec};
+pub use im2col::{conv2d_im2col, im2col, im2col_into};
 pub use init::{normal_sample, Initializer};
 pub use ops::{axpy4_slices, axpy_slices, dot4_slices, dot_slices, sq_dist_slices};
-pub use pool::{maxpool2d, maxpool2d_backward, PoolSpec};
+pub use pool::{maxpool2d, maxpool2d_backward, maxpool2d_backward_into, maxpool2d_into, PoolSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use threads::{
     parallel_for, parallel_for_chunks, parallel_for_chunks2, set_thread_budget, thread_budget,
 };
+pub use workspace::Workspace;

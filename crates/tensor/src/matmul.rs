@@ -38,20 +38,39 @@ fn row_block(m: usize, work: usize) -> usize {
 impl Tensor {
     /// `self (m×k) × other (k×n) → (m×n)`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul`](Tensor::matmul) writing into a caller-provided buffer
+    /// (resized as needed; previous contents ignored). Bit-identical to the
+    /// allocating version: the destination is zeroed and the identical
+    /// kernel accumulates into it.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = mat_dims(self);
         let (k2, n) = mat_dims(other);
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
-        let mut out = Tensor::zeros(&[m, n]);
+        out.resize(&[m, n]);
+        out.fill(0.0);
         gemm(self.data(), other.data(), out.data_mut(), m, k, n);
-        out
     }
 
     /// `self (m×k) × otherᵀ (n×k) → (m×n)`; avoids materializing a transpose.
     pub fn matmul_transb(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.matmul_transb_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul_transb`](Tensor::matmul_transb) writing into a caller-provided
+    /// buffer. Every output element is overwritten, so stale contents never
+    /// leak and the arithmetic is identical to the allocating version.
+    pub fn matmul_transb_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = mat_dims(self);
         let (n, k2) = mat_dims(other);
         assert_eq!(k, k2, "matmul_transb inner dims: {k} vs {k2}");
-        let mut out = Tensor::zeros(&[m, n]);
+        out.resize(&[m, n]);
         let a = self.data();
         let b = other.data();
         let rb = row_block(m, m * k * n);
@@ -77,16 +96,24 @@ impl Tensor {
                 }
             }
         });
-        out
     }
 
     /// `selfᵀ (k×m viewed as m-major) × other (k×n) → (m×n)` where
     /// `self` is stored as (k×m). Used for weight gradients `Xᵀ·dY`.
     pub fn matmul_transa(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.matmul_transa_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul_transa`](Tensor::matmul_transa) writing into a
+    /// caller-provided buffer (zeroed first — the kernel accumulates).
+    pub fn matmul_transa_into(&self, other: &Tensor, out: &mut Tensor) {
         let (k, m) = mat_dims(self);
         let (k2, n) = mat_dims(other);
         assert_eq!(k, k2, "matmul_transa inner dims: {k} vs {k2}");
-        let mut out = Tensor::zeros(&[m, n]);
+        out.resize(&[m, n]);
+        out.fill(0.0);
         let a = self.data();
         let b = other.data();
         let rb = row_block(m, m * k * n);
@@ -104,14 +131,21 @@ impl Tensor {
                 }
             }
         });
-        out
     }
 
     /// Matrix-vector product: `self (m×n) × v (n) → (m)`.
     pub fn matvec(&self, v: &Tensor) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// [`matvec`](Tensor::matvec) writing into a caller-provided buffer
+    /// (every element overwritten).
+    pub fn matvec_into(&self, v: &Tensor, out: &mut Tensor) {
         let (m, n) = mat_dims(self);
         assert_eq!(v.numel(), n, "matvec length mismatch");
-        let mut out = Tensor::zeros(&[m]);
+        out.resize(&[m]);
         let a = self.data();
         let x = v.data();
         let rb = row_block(m, m * n);
@@ -121,7 +155,6 @@ impl Tensor {
                 *ov = crate::ops::dot_slices(&a[(i0 + i) * n..(i0 + i + 1) * n], x);
             }
         });
-        out
     }
 }
 
@@ -129,6 +162,27 @@ impl Tensor {
 fn mat_dims(t: &Tensor) -> (usize, usize) {
     assert_eq!(t.ndim(), 2, "expected a matrix, got shape {}", t.shape());
     (t.dims()[0], t.dims()[1])
+}
+
+thread_local! {
+    /// Packed B panel, reused across gemm calls on this thread. Safe because
+    /// gemm never nests (kernels do not call kernels), so at most one borrow
+    /// is live per thread; pool workers are persistent, so the buffer stays
+    /// warm across training steps.
+    static PACK_B: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Packed A block, borrowed inside each parallel task (tasks on one
+    /// thread run sequentially, and the panel packing below borrows `PACK_B`,
+    /// a different key).
+    static PACK_A: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Resizes a pack buffer without caring about prior contents (they are fully
+/// overwritten by the pack loop before use).
+#[inline]
+fn ensure_len(v: &mut Vec<f32>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
 }
 
 /// `C += A(m×k) × B(k×n)` with C pre-zeroed.
@@ -151,28 +205,34 @@ pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
         }
         return;
     }
-    let mut bp = vec![0.0f32; KC.min(k) * NC.min(n)];
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            for (p, dst) in bp.chunks_exact_mut(nc).take(kc).enumerate() {
-                let row = (pc + p) * n + jc;
-                dst.copy_from_slice(&b[row..row + nc]);
-            }
-            let bpanel = &bp[..kc * nc];
-            crate::threads::parallel_for_chunks(c, MC * n, |blk, cchunk| {
-                let i0 = blk * MC;
-                let rows = cchunk.len() / n;
-                let mut ap = vec![0.0f32; rows * kc];
-                for (i, dst) in ap.chunks_exact_mut(kc).enumerate() {
-                    let row = (i0 + i) * k + pc;
-                    dst.copy_from_slice(&a[row..row + kc]);
+    PACK_B.with(|cell| {
+        let mut bp = cell.borrow_mut();
+        ensure_len(&mut bp, KC.min(k) * NC.min(n));
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                for (p, dst) in bp.chunks_exact_mut(nc).take(kc).enumerate() {
+                    let row = (pc + p) * n + jc;
+                    dst.copy_from_slice(&b[row..row + nc]);
                 }
-                block_kernel(&ap, bpanel, cchunk, rows, kc, nc, n, jc);
-            });
+                let bpanel = &bp[..kc * nc];
+                crate::threads::parallel_for_chunks(c, MC * n, |blk, cchunk| {
+                    let i0 = blk * MC;
+                    let rows = cchunk.len() / n;
+                    PACK_A.with(|acell| {
+                        let mut ap = acell.borrow_mut();
+                        ensure_len(&mut ap, rows * kc);
+                        for (i, dst) in ap.chunks_exact_mut(kc).take(rows).enumerate() {
+                            let row = (i0 + i) * k + pc;
+                            dst.copy_from_slice(&a[row..row + kc]);
+                        }
+                        block_kernel(&ap[..rows * kc], bpanel, cchunk, rows, kc, nc, n, jc);
+                    });
+                });
+            }
         }
-    }
+    });
 }
 
 /// Micro-kernel: `C[0..rows, col_off..col_off+nc] += Ap(rows×kc) × Bp(kc×nc)`

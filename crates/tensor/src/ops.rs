@@ -8,14 +8,29 @@ impl Tensor {
         self.zip_map(other, |a, b| a + b)
     }
 
+    /// [`add`](Tensor::add) into a caller-provided buffer.
+    pub fn add_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_map_into(other, out, |a, b| a + b);
+    }
+
     /// Element-wise difference.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         self.zip_map(other, |a, b| a - b)
     }
 
+    /// [`sub`](Tensor::sub) into a caller-provided buffer.
+    pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_map_into(other, out, |a, b| a - b);
+    }
+
     /// Element-wise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         self.zip_map(other, |a, b| a * b)
+    }
+
+    /// [`mul`](Tensor::mul) into a caller-provided buffer.
+    pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_map_into(other, out, |a, b| a * b);
     }
 
     /// `self + scalar`.
@@ -26,6 +41,11 @@ impl Tensor {
     /// `self * scalar`.
     pub fn scale(&self, s: f32) -> Tensor {
         self.map(|v| v * s)
+    }
+
+    /// [`scale`](Tensor::scale) into a caller-provided buffer.
+    pub fn scale_into(&self, s: f32, out: &mut Tensor) {
+        self.map_into(out, |v| v * s);
     }
 
     /// In-place `self *= s`.
@@ -55,8 +75,18 @@ impl Tensor {
 
     /// Applies `f` element-wise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data().iter().map(|&v| f(v)).collect();
-        Tensor::from_vec(data, self.dims())
+        let mut out = Tensor::scratch();
+        self.map_into(&mut out, f);
+        out
+    }
+
+    /// Applies `f` element-wise into a caller-provided buffer (resized as
+    /// needed; every element overwritten).
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32) {
+        out.resize(self.dims());
+        for (o, &v) in out.data_mut().iter_mut().zip(self.data()) {
+            *o = f(v);
+        }
     }
 
     /// Applies `f` element-wise in place.
@@ -68,14 +98,18 @@ impl Tensor {
 
     /// Applies `f` pairwise with `other` (shapes must match).
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.zip_map_into(other, &mut out, f);
+        out
+    }
+
+    /// Applies `f` pairwise with `other` into a caller-provided buffer.
+    pub fn zip_map_into(&self, other: &Tensor, out: &mut Tensor, f: impl Fn(f32, f32) -> f32) {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Tensor::from_vec(data, self.dims())
+        out.resize(self.dims());
+        for ((o, &a), &b) in out.data_mut().iter_mut().zip(self.data()).zip(other.data()) {
+            *o = f(a, b);
+        }
     }
 
     /// Dot product of two tensors viewed as flat vectors.
@@ -96,17 +130,28 @@ impl Tensor {
 
     /// Adds `bias` (length = last dim) to every row of a 2-D tensor.
     pub fn add_row_bias(&self, bias: &Tensor) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.add_row_bias_into(bias, &mut out);
+        out
+    }
+
+    /// [`add_row_bias`](Tensor::add_row_bias) into a caller-provided buffer.
+    pub fn add_row_bias_into(&self, bias: &Tensor, out: &mut Tensor) {
+        out.assign(self);
+        out.add_row_bias_assign(bias);
+    }
+
+    /// In-place `self[r] += bias` for every row of a 2-D tensor.
+    pub fn add_row_bias_assign(&mut self, bias: &Tensor) {
         assert_eq!(self.ndim(), 2, "add_row_bias requires a matrix");
         let cols = self.dims()[1];
         assert_eq!(bias.numel(), cols, "bias length mismatch");
-        let mut out = self.clone();
         let b = bias.data();
-        for row in out.data_mut().chunks_exact_mut(cols) {
+        for row in self.data_mut().chunks_exact_mut(cols) {
             for (v, bv) in row.iter_mut().zip(b) {
                 *v += *bv;
             }
         }
-        out
     }
 }
 

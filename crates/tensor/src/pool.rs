@@ -28,12 +28,22 @@ impl PoolSpec {
 /// Max-pools an NCHW tensor. Returns the pooled tensor and the flat indices
 /// (into the input buffer) of each selected maximum, used by the backward pass.
 pub fn maxpool2d(input: &Tensor, spec: PoolSpec) -> (Tensor, Vec<u32>) {
+    let mut out = Tensor::scratch();
+    let mut argmax = Vec::new();
+    maxpool2d_into(input, spec, &mut out, &mut argmax);
+    (out, argmax)
+}
+
+/// [`maxpool2d`] into caller-provided buffers (every cell of both
+/// overwritten).
+pub fn maxpool2d_into(input: &Tensor, spec: PoolSpec, out: &mut Tensor, argmax: &mut Vec<u32>) {
     assert_eq!(input.ndim(), 4, "maxpool2d expects NCHW");
     let d = input.dims();
     let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let mut argmax = vec![0u32; n * c * oh * ow];
+    out.resize(&[n, c, oh, ow]);
+    argmax.clear();
+    argmax.resize(n * c * oh * ow, 0);
 
     let x = input.data();
     let y = out.data_mut();
@@ -62,18 +72,30 @@ pub fn maxpool2d(input: &Tensor, spec: PoolSpec) -> (Tensor, Vec<u32>) {
             }
         }
     }
-    (out, argmax)
 }
 
 /// Scatters `dout` back through the argmax indices recorded by [`maxpool2d`].
 pub fn maxpool2d_backward(input_dims: &[usize], dout: &Tensor, argmax: &[u32]) -> Tensor {
+    let mut dinput = Tensor::scratch();
+    maxpool2d_backward_into(input_dims, dout, argmax, &mut dinput);
+    dinput
+}
+
+/// [`maxpool2d_backward`] into a caller-provided buffer (zeroed first, then
+/// scattered into in the identical order).
+pub fn maxpool2d_backward_into(
+    input_dims: &[usize],
+    dout: &Tensor,
+    argmax: &[u32],
+    dinput: &mut Tensor,
+) {
     assert_eq!(dout.numel(), argmax.len(), "argmax length mismatch");
-    let mut dinput = Tensor::zeros(input_dims);
+    dinput.resize(input_dims);
+    dinput.fill(0.0);
     let dx = dinput.data_mut();
     for (g, &i) in dout.data().iter().zip(argmax) {
         dx[i as usize] += g;
     }
-    dinput
 }
 
 #[cfg(test)]

@@ -28,16 +28,24 @@ impl Tensor {
 
     /// Column sums of a 2-D tensor: `[m, n] → [n]`. Used for bias gradients.
     pub fn sum_axis0(&self) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.sum_axis0_into(&mut out);
+        out
+    }
+
+    /// [`sum_axis0`](Tensor::sum_axis0) into a caller-provided buffer
+    /// (zeroed first, then accumulated in the identical row order).
+    pub fn sum_axis0_into(&self, out: &mut Tensor) {
         assert_eq!(self.ndim(), 2, "sum_axis0 requires a matrix");
         let n = self.dims()[1];
-        let mut out = Tensor::zeros(&[n]);
+        out.resize(&[n]);
+        out.fill(0.0);
         let o = out.data_mut();
         for row in self.data().chunks_exact(n) {
             for (ov, &v) in o.iter_mut().zip(row) {
                 *ov += v;
             }
         }
-        out
     }
 
     /// Column means of a 2-D tensor: `[m, n] → [n]`.
@@ -45,33 +53,52 @@ impl Tensor {
     /// This is the local mapping operator `δ = (1/n) Σ φ(x)` of the paper
     /// when applied to a feature matrix.
     pub fn mean_axis0(&self) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.mean_axis0_into(&mut out);
+        out
+    }
+
+    /// [`mean_axis0`](Tensor::mean_axis0) into a caller-provided buffer.
+    pub fn mean_axis0_into(&self, out: &mut Tensor) {
         let m = self.dims()[0] as f32;
-        let mut s = self.sum_axis0();
-        s.scale_in_place(1.0 / m);
-        s
+        self.sum_axis0_into(out);
+        out.scale_in_place(1.0 / m);
     }
 
     /// Index of the maximum in each row of a 2-D tensor.
     pub fn argmax_rows(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.argmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`argmax_rows`](Tensor::argmax_rows) into a caller-provided vector
+    /// (cleared first; reuses its allocation).
+    pub fn argmax_rows_into(&self, out: &mut Vec<usize>) {
         assert_eq!(self.ndim(), 2, "argmax_rows requires a matrix");
         let n = self.dims()[1];
-        self.data()
-            .chunks_exact(n)
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
-            .collect()
+        out.clear();
+        out.extend(self.data().chunks_exact(n).map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        }));
     }
 
     /// Numerically stable row-wise softmax of a 2-D tensor.
     pub fn softmax_rows(&self) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.softmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`softmax_rows`](Tensor::softmax_rows) into a caller-provided buffer.
+    pub fn softmax_rows_into(&self, out: &mut Tensor) {
         assert_eq!(self.ndim(), 2, "softmax_rows requires a matrix");
         let n = self.dims()[1];
-        let mut out = self.clone();
+        out.assign(self);
         for row in out.data_mut().chunks_exact_mut(n) {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut z = 0.0f32;
@@ -84,14 +111,21 @@ impl Tensor {
                 *v *= inv;
             }
         }
-        out
     }
 
     /// Numerically stable row-wise log-softmax of a 2-D tensor.
     pub fn log_softmax_rows(&self) -> Tensor {
+        let mut out = Tensor::scratch();
+        self.log_softmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`log_softmax_rows`](Tensor::log_softmax_rows) into a caller-provided
+    /// buffer.
+    pub fn log_softmax_rows_into(&self, out: &mut Tensor) {
         assert_eq!(self.ndim(), 2, "log_softmax_rows requires a matrix");
         let n = self.dims()[1];
-        let mut out = self.clone();
+        out.assign(self);
         for row in out.data_mut().chunks_exact_mut(n) {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
@@ -100,7 +134,6 @@ impl Tensor {
                 *v -= lz;
             }
         }
-        out
     }
 }
 

@@ -21,6 +21,22 @@ impl Shape {
         Shape(dims.to_vec())
     }
 
+    /// Replaces the extents in place, reusing the existing allocation when
+    /// capacity allows. [`Tensor::resize`](crate::Tensor::resize) calls this
+    /// on every shape change, so warm reusable buffers never touch the
+    /// allocator for their shape either.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero (same contract as [`Shape::new`]).
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
+
     /// The dimension extents, outermost first.
     #[inline]
     pub fn dims(&self) -> &[usize] {

@@ -41,6 +41,18 @@ impl Tensor {
         t
     }
 
+    /// The cheapest valid tensor: a single zero. Intended as the initial
+    /// value of reusable output buffers that `_into` kernels [`resize`]
+    /// (and then fully overwrite) on first use.
+    ///
+    /// [`resize`]: Tensor::resize
+    pub fn scratch() -> Self {
+        Tensor {
+            shape: Shape::new(&[1]),
+            data: vec![0.0],
+        }
+    }
+
     /// Builds a tensor from an existing buffer.
     ///
     /// # Panics
@@ -133,11 +145,11 @@ impl Tensor {
         }
     }
 
-    /// In-place reshape (no copy).
+    /// In-place reshape (no copy, and no allocation when the shape's
+    /// existing capacity suffices).
     pub fn reshape_in_place(&mut self, dims: &[usize]) {
-        let shape = Shape::new(dims);
-        assert_eq!(shape.numel(), self.numel());
-        self.shape = shape;
+        assert_eq!(dims.iter().product::<usize>(), self.numel());
+        self.shape.set_dims(dims);
     }
 
     /// Row `r` of a 2-D tensor as a slice.
@@ -183,6 +195,28 @@ impl Tensor {
     /// Copies values from `src` (shapes must match).
     pub fn copy_from(&mut self, src: &Tensor) {
         assert_eq!(self.shape, src.shape, "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Reshapes to `dims`, reusing the existing allocation when capacity
+    /// allows. Contents are **unspecified** afterwards (the old values are
+    /// neither preserved in any particular layout nor cleared) — callers
+    /// must fully overwrite the buffer, which every `_into` kernel does.
+    ///
+    /// When the shape already matches this is a no-op, so warm reusable
+    /// buffers never touch the allocator.
+    pub fn resize(&mut self, dims: &[usize]) {
+        if self.shape.dims() == dims {
+            return;
+        }
+        self.shape.set_dims(dims);
+        self.data.resize(self.shape.numel(), 0.0);
+    }
+
+    /// Makes this tensor an exact copy of `src` (shape and data), reusing
+    /// the existing allocation when capacity allows.
+    pub fn assign(&mut self, src: &Tensor) {
+        self.resize(src.dims());
         self.data.copy_from_slice(&src.data);
     }
 }
@@ -241,6 +275,21 @@ mod tests {
     fn rows_are_contiguous() {
         let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_assign_copies() {
+        let mut t = Tensor::scratch();
+        t.resize(&[2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        let cap_ptr = t.data().as_ptr();
+        t.resize(&[3, 2]); // same numel: no reallocation, same buffer
+        assert_eq!(t.data().as_ptr(), cap_ptr);
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        t.assign(&src);
+        assert_eq!(t.dims(), &[2, 2]);
+        assert_eq!(t.data(), src.data());
     }
 
     #[test]

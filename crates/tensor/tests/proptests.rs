@@ -1,7 +1,11 @@
 //! Property-based tests of tensor algebra invariants.
 
 use proptest::prelude::*;
-use rfl_tensor::{decode_f32_slice, encode_f32_slice, Tensor};
+use rfl_tensor::{
+    conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, decode_f32_into, decode_f32_slice,
+    encode_f32_into, encode_f32_slice, im2col, im2col_into, maxpool2d, maxpool2d_backward,
+    maxpool2d_backward_into, maxpool2d_into, Conv2dGrads, ConvSpec, PoolSpec, Tensor,
+};
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-100.0f32..100.0, len)
@@ -183,5 +187,144 @@ proptest! {
         // element's accumulation order depend only on the problem shape.
         prop_assert_eq!(serial.data(), parallel.data());
         prop_assert_eq!(serial_t.data(), parallel_t.data());
+    }
+}
+
+/// A deliberately dirty destination: wrong shape, garbage contents. Every
+/// `_into` kernel must produce the same bytes into this as its allocating
+/// counterpart returns fresh — that equivalence is what makes workspace
+/// reuse bit-identical by construction.
+fn dirty() -> Tensor {
+    let mut t = Tensor::scratch();
+    t.resize(&[3, 7]);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        *v = (i as f32).sin() * 1e6 + f32::NAN * ((i % 3) as f32);
+    }
+    t
+}
+
+fn det_vec(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|v| ((v * 2654435761 + salt * 97) % 89) as f32 * 0.023 - 1.0)
+        .collect()
+}
+
+proptest! {
+    /// Matrix-product `_into` kernels are bit-identical to the allocating
+    /// versions on ragged shapes, even into dirty reused buffers.
+    #[test]
+    fn matmul_into_bit_identical(dims in ragged_dims()) {
+        let (m, k, n) = dims;
+        let ta = Tensor::from_vec(det_vec(m * k, 1), &[m, k]);
+        let tb = Tensor::from_vec(det_vec(k * n, 2), &[k, n]);
+        let mut out = dirty();
+        ta.matmul_into(&tb, &mut out);
+        prop_assert_eq!(out.data(), ta.matmul(&tb).data());
+        let tbt = tb.transpose();
+        ta.matmul_transb_into(&tbt, &mut out);
+        prop_assert_eq!(out.data(), ta.matmul_transb(&tbt).data());
+        let tat = ta.transpose();
+        tat.matmul_transa_into(&tb, &mut out);
+        prop_assert_eq!(out.data(), tat.matmul_transa(&tb).data());
+        let v = Tensor::from_vec(det_vec(k, 3), &[k]);
+        ta.matvec_into(&v, &mut out);
+        prop_assert_eq!(out.data(), ta.matvec(&v).data());
+    }
+
+    /// Element-wise and reduction `_into` kernels match their allocating
+    /// counterparts bit-for-bit.
+    #[test]
+    fn elementwise_and_reduce_into_bit_identical(rows in 1usize..9, cols in 1usize..13) {
+        let ta = Tensor::from_vec(det_vec(rows * cols, 4), &[rows, cols]);
+        let tb = Tensor::from_vec(det_vec(rows * cols, 5), &[rows, cols]);
+        let bias = Tensor::from_vec(det_vec(cols, 6), &[cols]);
+        let mut out = dirty();
+        ta.add_into(&tb, &mut out);
+        prop_assert_eq!(out.data(), ta.add(&tb).data());
+        ta.sub_into(&tb, &mut out);
+        prop_assert_eq!(out.data(), ta.sub(&tb).data());
+        ta.mul_into(&tb, &mut out);
+        prop_assert_eq!(out.data(), ta.mul(&tb).data());
+        ta.scale_into(-1.75, &mut out);
+        prop_assert_eq!(out.data(), ta.scale(-1.75).data());
+        ta.map_into(&mut out, |v| v.max(0.0));
+        prop_assert_eq!(out.data(), ta.map(|v| v.max(0.0)).data());
+        ta.add_row_bias_into(&bias, &mut out);
+        prop_assert_eq!(out.data(), ta.add_row_bias(&bias).data());
+        let mut assigned = ta.clone();
+        assigned.add_row_bias_assign(&bias);
+        prop_assert_eq!(assigned.data(), ta.add_row_bias(&bias).data());
+        ta.sum_axis0_into(&mut out);
+        prop_assert_eq!(out.data(), ta.sum_axis0().data());
+        ta.mean_axis0_into(&mut out);
+        prop_assert_eq!(out.data(), ta.mean_axis0().data());
+        ta.softmax_rows_into(&mut out);
+        prop_assert_eq!(out.data(), ta.softmax_rows().data());
+        ta.log_softmax_rows_into(&mut out);
+        prop_assert_eq!(out.data(), ta.log_softmax_rows().data());
+        let mut idx = vec![777usize; 2];
+        ta.argmax_rows_into(&mut idx);
+        prop_assert_eq!(idx, ta.argmax_rows());
+    }
+
+    /// Convolution / pooling `_into` kernels (including backward and the
+    /// reusable weight-gradient scratch) are bit-identical into dirty
+    /// buffers on ragged image shapes.
+    #[test]
+    fn conv_and_pool_into_bit_identical(
+        n in 1usize..3, c in 1usize..3, hw in 4usize..9, o in 1usize..4, pad in 0usize..2
+    ) {
+        let spec = ConvSpec { kernel: 3, stride: 1, pad };
+        let x = Tensor::from_vec(det_vec(n * c * hw * hw, 7), &[n, c, hw, hw]);
+        let w = Tensor::from_vec(det_vec(o * c * 9, 8), &[o, c, 3, 3]);
+        let b = Tensor::from_vec(det_vec(o, 9), &[o]);
+        let mut out = dirty();
+        conv2d_into(&x, &w, &b, spec, &mut out);
+        let fresh = conv2d(&x, &w, &b, spec);
+        prop_assert_eq!(out.data(), fresh.data());
+        prop_assert_eq!(out.dims(), fresh.dims());
+
+        im2col_into(&x, spec, &mut out);
+        prop_assert_eq!(out.data(), im2col(&x, spec).data());
+
+        let dy = Tensor::from_vec(det_vec(fresh.numel(), 10), fresh.dims());
+        let mut grads = Conv2dGrads {
+            dinput: dirty(),
+            dweight: dirty(),
+            dbias: dirty(),
+        };
+        let mut scratch = vec![f32::NAN; 5];
+        conv2d_backward_into(&x, &w, &dy, spec, &mut grads, &mut scratch);
+        let fresh_g = conv2d_backward(&x, &w, &dy, spec);
+        prop_assert_eq!(grads.dinput.data(), fresh_g.dinput.data());
+        prop_assert_eq!(grads.dweight.data(), fresh_g.dweight.data());
+        prop_assert_eq!(grads.dbias.data(), fresh_g.dbias.data());
+
+        if hw >= 2 {
+            let pspec = PoolSpec::square(2);
+            let mut arg = vec![42u32; 3];
+            maxpool2d_into(&x, pspec, &mut out, &mut arg);
+            let (py, parg) = maxpool2d(&x, pspec);
+            prop_assert_eq!(out.data(), py.data());
+            prop_assert_eq!(&arg, &parg);
+            let pdy = Tensor::from_vec(det_vec(py.numel(), 11), py.dims());
+            let mut dx = dirty();
+            maxpool2d_backward_into(x.dims(), &pdy, &arg, &mut dx);
+            prop_assert_eq!(dx.data(), maxpool2d_backward(x.dims(), &pdy, &parg).data());
+        }
+    }
+
+    /// `encode_f32_into` produces the same bytes as `encode_f32_slice`, and
+    /// `decode_f32_into` recovers the same values as `decode_f32_slice`,
+    /// through a reused (non-empty) buffer.
+    #[test]
+    fn codec_into_byte_identical(a in finite_vec(33)) {
+        let mut buf = vec![0xAAu8; 7];
+        encode_f32_into(&mut buf, &a);
+        let reference = encode_f32_slice(&a);
+        prop_assert_eq!(&buf[..], &reference[..]);
+        let mut vals = vec![f32::NAN; 2];
+        decode_f32_into(&buf, &mut vals).unwrap();
+        prop_assert_eq!(vals, decode_f32_slice(reference).unwrap());
     }
 }

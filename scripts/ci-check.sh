@@ -23,4 +23,7 @@ echo "== ext_lossy --scale quick smoke"
 cargo build --release -p rfl-bench --bin ext_lossy
 ./target/release/ext_lossy --scale quick --seeds 1 --out none > /dev/null
 
+echo "== bench_alloc --quick (allocation-regression gate)"
+cargo run --release -p rfl-bench --features alloc-count --bin bench_alloc -- --quick
+
 echo "== all CI checks passed"
