@@ -34,9 +34,12 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// ISSUE's ≥ 10× reduction requirement.
 const WARM_ALLOC_CEILING: u64 = 4;
 const MIN_COLD_WARM_RATIO: f64 = 10.0;
-/// Round-loop loss pinned since PR 2 (`BENCH_PR2.json`): the hot-path
-/// rewrite must reproduce it bit-for-bit.
-const PINNED_ROUND_LOSS: f64 = 1.604142427;
+/// Round-loop loss pinned at the SIMD-kernel PR (`BENCH_PR5.json`): every
+/// later change must reproduce it bit-for-bit. Re-pinned once from the
+/// PR 2–4 value 1.604142427 when the canonical 8-lane accumulation order
+/// and polynomial `exp` replaced the sequential libm kernels (provenance in
+/// EXPERIMENTS.md); it is identical under SIMD on/off and any thread count.
+const PINNED_ROUND_LOSS: f64 = 1.604142189;
 
 fn cnn_client(seed: u64) -> Client {
     let mut rng = StdRng::seed_from_u64(seed);

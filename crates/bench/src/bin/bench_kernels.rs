@@ -1,12 +1,15 @@
-//! Kernel benchmark report for the blocked-GEMM / parallel-conv work:
-//! measures the shipped kernels against naive references and across thread
-//! budgets, and emits a JSON report (`BENCH_PR2.json` via
-//! `scripts/bench-report.sh`).
+//! Kernel benchmark report for the blocked-GEMM / parallel-conv / SIMD work:
+//! measures the shipped kernels against naive references, across thread
+//! budgets, and across SIMD dispatch modes, and emits a JSON report
+//! (`BENCH_PR5.json` via `scripts/bench-report.sh`).
 //!
-//! Usage: `bench_kernels [--smoke] [--out <path>]`
+//! Usage: `bench_kernels [--smoke] [--simd off|on|both] [--out <path>]`
 //!
 //! `--smoke` shrinks repetition counts so CI can verify the harness runs
 //! end-to-end in seconds; timings from a smoke run are not meaningful.
+//! `--simd off|on` restricts the micro-kernel legs to one dispatch mode
+//! (`both`, the default, measures scalar-vs-SIMD ratios in one process via
+//! `set_simd_enabled`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,7 +19,8 @@ use rfl_data::synth::image::SynthImageSpec;
 use rfl_data::{partition, FederatedData};
 use rfl_nn::CnnConfig;
 use rfl_tensor::{
-    conv2d, conv2d_backward, set_thread_budget, thread_budget, ConvSpec, Initializer, Tensor,
+    axpy_slices, conv2d, conv2d_backward, dot_slices, exp_slices, set_simd_enabled,
+    set_thread_budget, simd_enabled, sq_dist_slices, thread_budget, ConvSpec, Initializer, Tensor,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -106,6 +110,16 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let simd_mode = args
+        .iter()
+        .position(|a| a == "--simd")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "both".into());
+    if !matches!(simd_mode.as_str(), "off" | "on" | "both") {
+        eprintln!("--simd takes off|on|both, got {simd_mode:?}");
+        std::process::exit(2);
+    }
     let reps = if smoke { 1 } else { 7 };
     let default_budget = thread_budget();
     // The multi-thread arm: the machine default, or 2 workers when the
@@ -187,6 +201,102 @@ fn main() {
     }
     set_thread_budget(default_budget);
 
+    // SIMD micro-kernels: the same dispatched entry points timed with the
+    // dispatch forced off (canonical scalar) and on (AVX2 where detected).
+    // On scalar-only hardware both legs run the fallback and the ratio is
+    // honestly ~1.0.
+    let simd_initially = simd_enabled();
+    let n = 4096usize;
+    let iters = if smoke { 50 } else { 2000 };
+    let xs: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let ys: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.11).cos()).collect();
+    let mut legs: Vec<(&str, bool)> = Vec::new();
+    if simd_mode != "on" {
+        legs.push(("scalar", false));
+    }
+    if simd_mode != "off" {
+        legs.push(("simd", true));
+    }
+    for (label, on) in &legs {
+        set_simd_enabled(*on);
+        let t = median_secs(
+            || {
+                let mut acc = 0.0f32;
+                for _ in 0..iters {
+                    acc += dot_slices(&xs, &ys);
+                }
+                std::hint::black_box(acc);
+            },
+            reps,
+        );
+        entries.push((format!("dot_4096_{label}"), t));
+        let mut ybuf = ys.clone();
+        let t = median_secs(
+            || {
+                for _ in 0..iters {
+                    axpy_slices(&mut ybuf, 1e-6, &xs);
+                }
+                std::hint::black_box(&ybuf);
+            },
+            reps,
+        );
+        entries.push((format!("axpy_4096_{label}"), t));
+        let t = median_secs(
+            || {
+                let mut acc = 0.0f32;
+                for _ in 0..iters {
+                    acc += sq_dist_slices(&xs, &ys);
+                }
+                std::hint::black_box(acc);
+            },
+            reps,
+        );
+        entries.push((format!("sq_dist_4096_{label}"), t));
+        let mut ebuf = vec![0.0f32; n];
+        let t = median_secs(
+            || {
+                for _ in 0..iters / 4 {
+                    ebuf.copy_from_slice(&xs);
+                    exp_slices(&mut ebuf, 0.5, 0.0);
+                }
+                std::hint::black_box(&ebuf);
+            },
+            reps,
+        );
+        entries.push((format!("exp_4096_{label}"), t));
+        // GEMM at one thread so the comparison isolates the micro-kernel.
+        set_thread_budget(1);
+        let t = median_secs(
+            || {
+                std::hint::black_box(a.matmul(&b));
+            },
+            reps,
+        );
+        entries.push((format!("gemm_256_{label}"), t));
+        set_thread_budget(default_budget);
+    }
+    set_simd_enabled(simd_initially);
+    let mut simd_ratios: Vec<(&str, f64)> = Vec::new();
+    if legs.len() == 2 {
+        for k in [
+            "dot_4096",
+            "axpy_4096",
+            "sq_dist_4096",
+            "exp_4096",
+            "gemm_256",
+        ] {
+            let find = |suffix: &str| {
+                entries
+                    .iter()
+                    .find(|(name, _)| *name == format!("{k}_{suffix}"))
+                    .map(|(_, v)| *v)
+            };
+            if let (Some(s), Some(v)) = (find("scalar"), find("simd")) {
+                simd_ratios.push((k, s / v));
+            }
+        }
+    }
+
     // MMD: pairwise O(N²·d) vs. batch O(N·d) over N=200 clients, d=64.
     let deltas: Vec<Vec<f32>> = (0..200)
         .map(|k| (0..64).map(|i| ((k * 31 + i) as f32).sin()).collect())
@@ -220,11 +330,31 @@ fn main() {
     entries.push((format!("round_loop_{multi}t"), tn));
     let round_bit_identical = loss1 == lossn;
 
+    // The determinism contract's second axis: the whole round loop must be
+    // bit-identical with dispatch forced to the scalar fallback.
+    set_thread_budget(1);
+    set_simd_enabled(false);
+    let (_, loss_scalar) = round_loop(7, rounds);
+    set_simd_enabled(simd_initially);
+    set_thread_budget(default_budget);
+    let simd_bit_identical = loss_scalar == loss1;
+
+    #[cfg(target_arch = "x86_64")]
+    let avx2_detected = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx2_detected = false;
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"machine_cores\": {cores},");
     let _ = writeln!(json, "  \"default_thread_budget\": {default_budget},");
     let _ = writeln!(json, "  \"seed_commit\": \"14b076e\",");
+    let _ = writeln!(json, "  \"avx2_detected\": {avx2_detected},");
+    let _ = writeln!(
+        json,
+        "  \"simd_backend\": \"{}\",",
+        rfl_tensor::simd_backend()
+    );
     let _ = writeln!(
         json,
         "  \"gemm_bit_identical_across_budgets\": {gemm_bit_identical},"
@@ -233,7 +363,21 @@ fn main() {
         json,
         "  \"round_loop_bit_identical_across_budgets\": {round_bit_identical},"
     );
+    let _ = writeln!(
+        json,
+        "  \"round_loop_bit_identical_simd_off_vs_on\": {simd_bit_identical},"
+    );
     let _ = writeln!(json, "  \"round_loop_final_loss\": {loss1:.9},");
+    let _ = writeln!(
+        json,
+        "  \"round_loss_note\": \"re-pinned for the canonical 8-lane kernels; the PR 4 pin predates them (see EXPERIMENTS.md)\","
+    );
+    json.push_str("  \"simd_speedup_scalar_over_simd\": {\n");
+    for (i, (k, v)) in simd_ratios.iter().enumerate() {
+        let comma = if i + 1 < simd_ratios.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{k}\": {v:.3}{comma}");
+    }
+    json.push_str("  },\n");
     json.push_str("  \"seed_baselines_secs\": {\n");
     for (i, (k, v)) in SEED_BASELINES.iter().enumerate() {
         let comma = if i + 1 < SEED_BASELINES.len() {
@@ -251,8 +395,8 @@ fn main() {
     }
     json.push_str("  }\n}\n");
 
-    if !gemm_bit_identical || !round_bit_identical {
-        eprintln!("ERROR: results differ across thread budgets");
+    if !gemm_bit_identical || !round_bit_identical || !simd_bit_identical {
+        eprintln!("ERROR: results differ across thread budgets or SIMD modes");
         std::process::exit(1);
     }
     match out_path {

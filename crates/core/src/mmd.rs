@@ -6,7 +6,7 @@
 //! linear, so the squared MMD between clients `i` and `j` reduces to
 //! `‖δ_i − δ_j‖²` with `δ_k = (1/n_k) Σ φ(x_{k,·})` (Eq. 2).
 
-use rfl_tensor::{dot_slices, sq_dist_slices, Tensor};
+use rfl_tensor::{add_assign_slices, dot_slices, scale_slices, sq_dist_slices, sum_slices, Tensor};
 
 /// The local mapping operator `δ = (1/n) Σ_r φ(x_r)`: the column mean of a
 /// feature matrix `[n, d]`.
@@ -66,12 +66,10 @@ impl<'a> MmdStats<'a> {
         let mut total = vec![0.0f32; d];
         for dj in deltas {
             assert_eq!(dj.len(), d, "embedding dims differ");
-            for (t, &v) in total.iter_mut().zip(dj) {
-                *t += v;
-            }
+            add_assign_slices(&mut total, dj);
         }
         let norms: Vec<f32> = deltas.iter().map(|dj| dot_slices(dj, dj)).collect();
-        let sum_norms = norms.iter().sum();
+        let sum_norms = sum_slices(&norms);
         let dots = deltas.iter().map(|dj| dot_slices(dj, &total)).collect();
         MmdStats {
             deltas,
@@ -133,14 +131,9 @@ pub fn mean_excluding(k: usize, deltas: &[Vec<f32>]) -> Vec<f32> {
             continue;
         }
         assert_eq!(dj.len(), d, "embedding dims differ");
-        for (o, &v) in out.iter_mut().zip(dj) {
-            *o += v;
-        }
+        add_assign_slices(&mut out, dj);
     }
-    let inv = 1.0 / (n - 1) as f32;
-    for o in &mut out {
-        *o *= inv;
-    }
+    scale_slices(&mut out, 1.0 / (n - 1) as f32);
     out
 }
 

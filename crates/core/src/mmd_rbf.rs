@@ -6,10 +6,36 @@
 //! `k(x, y) = exp(−γ‖x − y‖²)` for diagnostics and the kernel ablation:
 //! it detects distribution differences beyond the first moment.
 
-use rfl_tensor::{sq_dist_slices, Tensor};
+use rfl_tensor::{exp_slices, sq_dist_slices, sq_dists_to_rows, sum_slices, Tensor};
 
 /// `k(x, y) = exp(−γ‖x − y‖²)` summed over all pairs of rows of `a`, `b`.
+///
+/// The inner `j` loop is batched: one [`sq_dists_to_rows`] pass per row of
+/// `a`, then a single vectorized `exp(−γ·d)` over the whole distance row —
+/// the `−γ` multiply is hoisted into the kernel's `scale` operand instead of
+/// being applied per pair. Row sums are accumulated in f64 to keep the
+/// O(N²)-term statistic stable; [`mean_kernel_pairwise_f64`] is the
+/// per-pair f64 oracle.
 fn mean_kernel(a: &Tensor, b: &Tensor, gamma: f32) -> f64 {
+    let (na, d) = (a.dims()[0], a.dims()[1]);
+    let nb = b.dims()[0];
+    let ad = a.data();
+    let bd = b.data();
+    let mut row = vec![0.0f32; nb];
+    let mut sum = 0.0f64;
+    for i in 0..na {
+        let ai = &ad[i * d..(i + 1) * d];
+        sq_dists_to_rows(ai, bd, d, &mut row);
+        exp_slices(&mut row, -gamma, 0.0);
+        sum += sum_slices(&row) as f64;
+    }
+    sum / (na as f64 * nb as f64)
+}
+
+/// Reference implementation of [`mean_kernel`]: per-pair `exp` in f64, no
+/// batching. Kept as the oracle for the kernel ablation and the equivalence
+/// test below.
+pub fn mean_kernel_pairwise_f64(a: &Tensor, b: &Tensor, gamma: f32) -> f64 {
     let (na, d) = (a.dims()[0], a.dims()[1]);
     let nb = b.dims()[0];
     let ad = a.data();
@@ -19,7 +45,7 @@ fn mean_kernel(a: &Tensor, b: &Tensor, gamma: f32) -> f64 {
         let ai = &ad[i * d..(i + 1) * d];
         for j in 0..nb {
             let bj = &bd[j * d..(j + 1) * d];
-            sum += (-gamma * sq_dist_slices(ai, bj)).exp() as f64;
+            sum += (-gamma as f64 * sq_dist_slices(ai, bj) as f64).exp();
         }
     }
     sum / (na as f64 * nb as f64)
@@ -40,21 +66,29 @@ pub fn rbf_mmd_sq(x: &Tensor, y: &Tensor, gamma: f32) -> f64 {
 pub fn median_heuristic_gamma(x: &Tensor, y: &Tensor) -> f32 {
     let d = x.dims()[1];
     assert_eq!(y.dims()[1], d);
-    let mut pooled: Vec<&[f32]> = Vec::new();
-    for i in 0..x.dims()[0] {
-        pooled.push(&x.data()[i * d..(i + 1) * d]);
-    }
-    for i in 0..y.dims()[0] {
-        pooled.push(&y.data()[i * d..(i + 1) * d]);
-    }
+    let (nx, ny) = (x.dims()[0], y.dims()[0]);
+    let (xd, yd) = (x.data(), y.data());
     let mut dists = Vec::new();
-    for i in 0..pooled.len() {
-        for j in (i + 1)..pooled.len() {
-            let v = sq_dist_slices(pooled[i], pooled[j]);
-            if v > 0.0 {
-                dists.push(v);
-            }
-        }
+    let mut row = vec![0.0f32; nx.max(ny)];
+    // All unordered pairs of the pooled rows, one batched distance pass per
+    // query row: x_i vs the x rows after it, x_i vs all of y, y_i vs the y
+    // rows after it.
+    let push = |row: &[f32], dists: &mut Vec<f32>| {
+        dists.extend(row.iter().copied().filter(|&v| v > 0.0));
+    };
+    for i in 0..nx {
+        let xi = &xd[i * d..(i + 1) * d];
+        let rest = nx - i - 1;
+        sq_dists_to_rows(xi, &xd[(i + 1) * d..], d, &mut row[..rest]);
+        push(&row[..rest], &mut dists);
+        sq_dists_to_rows(xi, yd, d, &mut row[..ny]);
+        push(&row[..ny], &mut dists);
+    }
+    for i in 0..ny {
+        let yi = &yd[i * d..(i + 1) * d];
+        let rest = ny - i - 1;
+        sq_dists_to_rows(yi, &yd[(i + 1) * d..], d, &mut row[..rest]);
+        push(&row[..rest], &mut dists);
     }
     if dists.is_empty() {
         return 1.0;
@@ -124,8 +158,28 @@ mod tests {
         let y = gaussian(17, 4, 1.0, 1.5, 7);
         let a = rbf_mmd_sq(&x, &y, 0.3);
         let b = rbf_mmd_sq(&y, &x, 0.3);
-        assert!((a - b).abs() < 1e-9);
-        assert!(a >= -1e-9);
+        // The batched f32 exp sums kxy and kyx with different row groupings,
+        // so symmetry holds to f32 rounding, not f64 exactness.
+        assert!((a - b).abs() < 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+        assert!(a >= -1e-5);
+    }
+
+    /// The batched kernel-mean must agree with the per-pair f64 oracle —
+    /// the accuracy pin for the hoisted-γ vectorized `exp` path.
+    #[test]
+    fn batched_mean_kernel_matches_f64_pairwise_oracle() {
+        let x = gaussian(19, 5, 0.0, 1.0, 9);
+        let y = gaussian(23, 5, 0.5, 1.2, 10);
+        for gamma in [0.05f32, 0.3, 2.0] {
+            let fast = rbf_mmd_sq(&x, &y, gamma);
+            let oracle = mean_kernel_pairwise_f64(&x, &x, gamma)
+                + mean_kernel_pairwise_f64(&y, &y, gamma)
+                - 2.0 * mean_kernel_pairwise_f64(&x, &y, gamma);
+            assert!(
+                (fast - oracle).abs() < 1e-4 * oracle.abs().max(1e-3),
+                "γ={gamma}: {fast} vs {oracle}"
+            );
+        }
     }
 
     #[test]

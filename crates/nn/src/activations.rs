@@ -1,8 +1,11 @@
 //! Parameter-free activation layers.
+//!
+//! Forward passes run on the dispatched `rfl_tensor` SIMD kernels; backward
+//! passes use only cached forward values, so they stay scalar `zip_map`s.
 
 use crate::layer::Layer;
 use crate::param::Param;
-use rfl_tensor::Tensor;
+use rfl_tensor::{relu_slices, sigmoid_slices, tanh_slices, Tensor};
 
 /// Rectified linear unit: `max(0, x)`.
 #[derive(Default)]
@@ -33,7 +36,8 @@ impl Layer for Relu {
         let mask = self.mask.get_or_insert_with(Vec::new);
         mask.clear();
         mask.extend(input.data().iter().map(|&v| v > 0.0));
-        input.map_into(out, |v| v.max(0.0));
+        out.assign(input);
+        relu_slices(out.data_mut());
     }
 
     fn backward_into(&mut self, dout: &Tensor, dinput: &mut Tensor) {
@@ -80,7 +84,8 @@ impl Layer for Tanh {
     }
 
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
-        input.map_into(out, |v| v.tanh());
+        out.assign(input);
+        tanh_slices(out.data_mut());
         match &mut self.cached_output {
             Some(t) => t.assign(out),
             None => self.cached_output = Some(out.clone()),
@@ -116,15 +121,12 @@ impl Sigmoid {
     }
 }
 
-/// Numerically stable scalar sigmoid; shared with the LSTM gates.
+/// Scalar sigmoid with the canonical polynomial-`exp` semantics of the SIMD
+/// layer; shared with the LSTM/GRU gates. The clamped `exp` makes the single
+/// expression stable at both extremes (no sign branch needed).
 #[inline]
 pub fn sigmoid(v: f32) -> f32 {
-    if v >= 0.0 {
-        1.0 / (1.0 + (-v).exp())
-    } else {
-        let e = v.exp();
-        e / (1.0 + e)
-    }
+    rfl_tensor::sigmoid_f32(v)
 }
 
 impl Layer for Sigmoid {
@@ -141,7 +143,8 @@ impl Layer for Sigmoid {
     }
 
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
-        input.map_into(out, sigmoid);
+        out.assign(input);
+        sigmoid_slices(out.data_mut());
         match &mut self.cached_output {
             Some(t) => t.assign(out),
             None => self.cached_output = Some(out.clone()),

@@ -175,7 +175,10 @@ impl Gru {
                         let zv = sigmoid(xrow[j] + hrow[j]);
                         let rv = sigmoid(xrow[hd + j] + hrow[hd + j]);
                         let hn = hrow[2 * hd + j];
-                        let nv = (xrow[2 * hd + j] + rv * hn).tanh();
+                        // Canonical polynomial tanh: the GRU's mixed-stride
+                        // gate math stays scalar, but rounds identically to
+                        // the batch kernels used elsewhere.
+                        let nv = rfl_tensor::tanh_f32(xrow[2 * hd + j] + rv * hn);
                         zd[b * hd + j] = zv;
                         rd[b * hd + j] = rv;
                         nd[b * hd + j] = nv;

@@ -25,7 +25,9 @@ pub fn cross_entropy_into(
     assert_eq!(labels.len(), n, "label count mismatch");
     logits.log_softmax_rows_into(log_p);
     let mut loss = 0.0f32;
-    log_p.map_into(dlogits, |v| v.exp()); // softmax probabilities
+    // Softmax probabilities via the dispatched batch-exp kernel.
+    dlogits.assign(log_p);
+    rfl_tensor::exp_slices(dlogits.data_mut(), 1.0, 0.0);
     let inv_n = 1.0 / n as f32;
     for (r, &y) in labels.iter().enumerate() {
         assert!(y < k, "label {y} out of range for {k} classes");

@@ -4,10 +4,9 @@
 //! `Lstm`s reproduces the paper's 2-layer Sent140 model. Gate order in the
 //! packed weight matrices is `i, f, g, o`.
 
-use crate::activations::sigmoid;
 use crate::param::Param;
 use rand::Rng;
-use rfl_tensor::{Initializer, Tensor};
+use rfl_tensor::{sigmoid_slices, tanh_slices, Initializer, Tensor};
 
 /// Per-timestep cache for BPTT. Entries are reused across forward calls, so
 /// a warm pass writes into existing buffers instead of allocating.
@@ -152,20 +151,16 @@ impl Lstm {
             s.h.matmul_into(&self.wh.value, &mut s.zh);
             step.gates.add_assign(&s.zh);
             step.gates.add_row_bias_assign(&self.b.value);
-            // Apply gate nonlinearities in place.
+            // Apply gate nonlinearities in place: each gate occupies a
+            // contiguous sub-row, so the batch kernels run directly on it.
             for row in step.gates.data_mut().chunks_exact_mut(4 * h_dim) {
-                for v in &mut row[0..h_dim] {
-                    *v = sigmoid(*v); // i
-                }
-                for v in &mut row[h_dim..2 * h_dim] {
-                    *v = sigmoid(*v); // f
-                }
-                for v in &mut row[2 * h_dim..3 * h_dim] {
-                    *v = v.tanh(); // g
-                }
-                for v in &mut row[3 * h_dim..4 * h_dim] {
-                    *v = sigmoid(*v); // o
-                }
+                let (ifg, o) = row.split_at_mut(3 * h_dim);
+                let (i, fg) = ifg.split_at_mut(h_dim);
+                let (f, g) = fg.split_at_mut(h_dim);
+                sigmoid_slices(i);
+                sigmoid_slices(f);
+                tanh_slices(g);
+                sigmoid_slices(o);
             }
             step.c_prev.assign(&s.c);
             step.h_prev.assign(&s.h);
@@ -183,11 +178,9 @@ impl Lstm {
                         cd[r * h_dim + j] = f_g * cd[r * h_dim + j] + i_g * g_g;
                     }
                 }
-                let cdr = &*cd;
                 let tc = step.tanh_c.data_mut();
-                for (tv, &cv) in tc.iter_mut().zip(cdr.iter()) {
-                    *tv = cv.tanh();
-                }
+                tc.copy_from_slice(cd);
+                tanh_slices(tc);
                 let hd = s.h.data_mut();
                 for r in 0..n {
                     let g_row = &zd[r * 4 * h_dim..(r + 1) * 4 * h_dim];

@@ -87,23 +87,28 @@ pub fn conv2d_into(
                     let mut acc = bias_v;
                     let iy0 = oy as isize * s - p;
                     let ix0 = ox as isize * s - p;
+                    // Clip the kernel row to the valid input columns once,
+                    // then reduce it with the canonical dot kernel.
+                    let kx_lo = (-ix0).clamp(0, kw as isize) as usize;
+                    let kx_hi = (w as isize - ix0).clamp(0, kw as isize) as usize;
                     for ic in 0..c {
                         let xbase = ((img * c + ic) * h) as isize;
                         let wbase = ((oc * c + ic) * kh) as isize;
                         for ky in 0..kh as isize {
                             let iy = iy0 + ky;
-                            if iy < 0 || iy >= h as isize {
+                            if iy < 0 || iy >= h as isize || kx_lo >= kx_hi {
                                 continue;
                             }
-                            let xrow = ((xbase + iy) * w as isize) as usize;
+                            // ix0 can be negative; kx_lo ≥ −ix0 keeps the
+                            // clipped start in bounds, so add it while still
+                            // signed.
+                            let xrow = (xbase + iy) * w as isize + ix0;
+                            let x_lo = (xrow + kx_lo as isize) as usize;
                             let wrow = ((wbase + ky) * kw as isize) as usize;
-                            for kx in 0..kw as isize {
-                                let ix = ix0 + kx;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                acc += x[xrow + ix as usize] * wt[wrow + kx as usize];
-                            }
+                            acc += crate::simd::dot_slices(
+                                &x[x_lo..x_lo + (kx_hi - kx_lo)],
+                                &wt[wrow + kx_lo..wrow + kx_hi],
+                            );
                         }
                     }
                     y[(oc * oh + oy) * ow + ox] = acc;
@@ -171,7 +176,7 @@ pub fn conv2d_backward_into(
         for img in 0..n {
             for oc in 0..o {
                 let base = (img * o + oc) * oh * ow;
-                db[oc] += dy[base..base + oh * ow].iter().sum::<f32>();
+                db[oc] += crate::simd::sum_slices(&dy[base..base + oh * ow]);
             }
         }
     }
@@ -194,28 +199,32 @@ pub fn conv2d_backward_into(
                         }
                         let iy0 = oy as isize * s - p;
                         let ix0 = ox as isize * s - p;
+                        // Same column clipping as the forward pass; the two
+                        // scatter/gather updates become clipped-row axpys
+                        // (element-wise, so the rewiring is bit-identical).
+                        let kx_lo = (-ix0).clamp(0, kw as isize) as usize;
+                        let kx_hi = (w as isize - ix0).clamp(0, kw as isize) as usize;
                         for ic in 0..c {
                             let xbase = (img * c + ic) * h;
                             let dxbase = ic * h;
                             let wbase = (oc * c + ic) * kh;
                             for ky in 0..kh as isize {
                                 let iy = iy0 + ky;
-                                if iy < 0 || iy >= h as isize {
+                                if iy < 0 || iy >= h as isize || kx_lo >= kx_hi {
                                     continue;
                                 }
-                                let xrow = (xbase + iy as usize) * w;
-                                let dxrow = (dxbase + iy as usize) * w;
+                                // Add kx_lo while signed: ix0 may be negative.
+                                let xrow = ((xbase + iy as usize) * w) as isize + ix0;
+                                let dxrow = ((dxbase + iy as usize) * w) as isize + ix0;
+                                let x_lo = (xrow + kx_lo as isize) as usize;
+                                let dx_lo = (dxrow + kx_lo as isize) as usize;
+                                let len = kx_hi - kx_lo;
                                 let wrow = (wbase + ky as usize) * kw;
-                                for kx in 0..kw as isize {
-                                    let ix = ix0 + kx;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = xrow + ix as usize;
-                                    let wi = wrow + kx as usize;
-                                    dx[dxrow + ix as usize] += g * wt[wi];
-                                    dw[wi] += g * x[xi];
-                                }
+                                let xr = x_lo..x_lo + len;
+                                let dxr = dx_lo..dx_lo + len;
+                                let wr = (wrow + kx_lo)..(wrow + kx_hi);
+                                crate::simd::axpy_slices(&mut dx[dxr], g, &wt[wr.clone()]);
+                                crate::simd::axpy_slices(&mut dw[wr], g, &x[xr]);
                             }
                         }
                     }
@@ -225,9 +234,7 @@ pub fn conv2d_backward_into(
     );
     let dw = grads.dweight.data_mut();
     for part in dw_scratch.chunks_exact(wlen) {
-        for (d, s) in dw.iter_mut().zip(part) {
-            *d += *s;
-        }
+        crate::simd::add_assign_slices(dw, part);
     }
 }
 

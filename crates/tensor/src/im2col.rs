@@ -2,6 +2,11 @@
 //! kernels in [`crate::conv`]. Exposed so users (and the ablation bench)
 //! can pick the faster path for their shapes; both implementations are
 //! equivalence-tested against each other.
+//!
+//! The unfold itself is pure data movement; all arithmetic happens in the
+//! `matmul_transb` call, which runs on the dispatched [`crate::simd`] dot
+//! kernels — so this path vectorizes (and keeps the determinism contract)
+//! without any code of its own changing shape.
 
 use crate::conv::ConvSpec;
 use crate::tensor::Tensor;

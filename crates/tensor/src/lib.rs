@@ -30,6 +30,7 @@ mod ops;
 mod pool;
 mod reduce;
 mod shape;
+pub mod simd;
 mod tensor;
 mod threads;
 mod workspace;
@@ -40,9 +41,14 @@ pub use codec::{
 pub use conv::{conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, Conv2dGrads, ConvSpec};
 pub use im2col::{conv2d_im2col, im2col, im2col_into};
 pub use init::{normal_sample, Initializer};
-pub use ops::{axpy4_slices, axpy_slices, dot4_slices, dot_slices, sq_dist_slices};
 pub use pool::{maxpool2d, maxpool2d_backward, maxpool2d_backward_into, maxpool2d_into, PoolSpec};
 pub use shape::Shape;
+pub use simd::{
+    add_assign_slices, axpy4_slices, axpy_slices, dot4_slices, dot_slices, exp_f32, exp_slices,
+    relu_slices, scale_add_slices, scale_slices, set_simd_enabled, sigmoid_f32, sigmoid_slices,
+    simd_backend, simd_enabled, sq_dist_slices, sq_dists_to_rows, sum_slices, tanh_f32,
+    tanh_slices,
+};
 pub use tensor::Tensor;
 pub use threads::{
     parallel_for, parallel_for_chunks, parallel_for_chunks2, set_thread_budget, thread_budget,

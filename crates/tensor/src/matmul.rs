@@ -3,9 +3,11 @@
 //! All four products run on the shared worker pool (see [`crate::threads`]):
 //! the task grid depends only on the operand shapes and every task owns a
 //! disjoint block of output rows, so results are bit-identical at any thread
-//! count. Per output element the reduction over the shared dimension is
-//! always ascending — the blocked, packed GEMM tiles only *reorder memory
-//! traffic*, never the accumulation.
+//! count. Per output element the reduction over the shared dimension follows
+//! the canonical order of the [`crate::simd`] kernels — ascending for the
+//! axpy-based products (`matmul`/`matmul_transa`), the 8-lane strided dot
+//! order for `matmul_transb`/`matvec` — on both dispatch paths. The blocked,
+//! packed GEMM tiles only *reorder memory traffic*, never the accumulation.
 //!
 //! There is deliberately no `a == 0.0` fast path: `0 · NaN` must stay `NaN`
 //! (IEEE semantics the old kernels silently broke), and on the dense
@@ -81,7 +83,7 @@ impl Tensor {
                 // Four B rows share one pass over `arow`.
                 let mut j = 0;
                 while j + 4 <= n {
-                    let d = crate::ops::dot4_slices(
+                    let d = crate::simd::dot4_slices(
                         arow,
                         &b[j * k..(j + 1) * k],
                         &b[(j + 1) * k..(j + 2) * k],
@@ -92,7 +94,7 @@ impl Tensor {
                     j += 4;
                 }
                 for (jj, ov) in orow.iter_mut().enumerate().skip(j) {
-                    *ov = crate::ops::dot_slices(arow, &b[jj * k..(jj + 1) * k]);
+                    *ov = crate::simd::dot_slices(arow, &b[jj * k..(jj + 1) * k]);
                 }
             }
         });
@@ -127,7 +129,7 @@ impl Tensor {
                 let arow = &a[p * m + i0..p * m + i0 + rows];
                 let brow = &b[p * n..(p + 1) * n];
                 for (i, &av) in arow.iter().enumerate() {
-                    crate::ops::axpy_slices(&mut ochunk[i * n..(i + 1) * n], av, brow);
+                    crate::simd::axpy_slices(&mut ochunk[i * n..(i + 1) * n], av, brow);
                 }
             }
         });
@@ -152,7 +154,7 @@ impl Tensor {
         crate::threads::parallel_for_chunks(out.data_mut(), rb, |blk, ochunk| {
             let i0 = blk * rb;
             for (i, ov) in ochunk.iter_mut().enumerate() {
-                *ov = crate::ops::dot_slices(&a[(i0 + i) * n..(i0 + i + 1) * n], x);
+                *ov = crate::simd::dot_slices(&a[(i0 + i) * n..(i0 + i + 1) * n], x);
             }
         });
     }
@@ -189,7 +191,7 @@ fn ensure_len(v: &mut Vec<f32>, len: usize) {
 ///
 /// Cache-blocked with packed panels: B is packed per `(KC, NC)` tile, A per
 /// `(MC, KC)` block inside each parallel task, and the 4-row unrolled
-/// micro-kernel streams packed B rows through [`crate::ops::axpy4_slices`].
+/// micro-kernel streams packed B rows through [`crate::simd::axpy4_slices`].
 /// Every element of C accumulates over `p` in ascending order regardless of
 /// tiling or thread count.
 pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
@@ -200,7 +202,7 @@ pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
         // Plain i-k-j: the inner loop is a sequential axpy over rows of B.
         for (i, crow) in c.chunks_exact_mut(n).enumerate() {
             for p in 0..k {
-                crate::ops::axpy_slices(crow, a[i * k + p], &b[p * n..(p + 1) * n]);
+                crate::simd::axpy_slices(crow, a[i * k + p], &b[p * n..(p + 1) * n]);
             }
         }
         return;
@@ -262,7 +264,7 @@ fn block_kernel(
         let c3 = &mut r3[col_off..col_off + nc];
         for p in 0..kc {
             let x = &bp[p * nc..(p + 1) * nc];
-            crate::ops::axpy4_slices(
+            crate::simd::axpy4_slices(
                 c0,
                 c1,
                 c2,
@@ -283,7 +285,7 @@ fn block_kernel(
         rest = tail;
         let crow = &mut row[col_off..col_off + nc];
         for p in 0..kc {
-            crate::ops::axpy_slices(crow, ap[r * kc + p], &bp[p * nc..(p + 1) * nc]);
+            crate::simd::axpy_slices(crow, ap[r * kc + p], &bp[p * nc..(p + 1) * nc]);
         }
         r += 1;
     }

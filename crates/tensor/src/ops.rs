@@ -1,5 +1,10 @@
 //! Element-wise arithmetic and BLAS-1 style helpers.
+//!
+//! The BLAS-1 kernels themselves live in [`crate::simd`] (runtime-dispatched
+//! AVX2 with a bit-exact scalar fallback); this module wires them into the
+//! [`Tensor`] API.
 
+use crate::simd;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -50,27 +55,19 @@ impl Tensor {
 
     /// In-place `self *= s`.
     pub fn scale_in_place(&mut self, s: f32) {
-        for v in self.data_mut() {
-            *v *= s;
-        }
+        simd::scale_slices(self.data_mut(), s);
     }
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        let src = other.data();
-        for (d, s) in self.data_mut().iter_mut().zip(src) {
-            *d += *s;
-        }
+        simd::add_assign_slices(self.data_mut(), other.data());
     }
 
     /// In-place `self += a * other` (axpy).
     pub fn axpy(&mut self, a: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        let src = other.data();
-        for (d, s) in self.data_mut().iter_mut().zip(src) {
-            *d += a * *s;
-        }
+        simd::axpy_slices(self.data_mut(), a, other.data());
     }
 
     /// Applies `f` element-wise, returning a new tensor.
@@ -115,12 +112,12 @@ impl Tensor {
     /// Dot product of two tensors viewed as flat vectors.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.numel(), other.numel(), "dot length mismatch");
-        dot_slices(self.data(), other.data())
+        simd::dot_slices(self.data(), other.data())
     }
 
     /// Squared Euclidean norm of the flattened tensor.
     pub fn norm_sq(&self) -> f32 {
-        dot_slices(self.data(), self.data())
+        simd::dot_slices(self.data(), self.data())
     }
 
     /// Euclidean norm of the flattened tensor.
@@ -148,105 +145,15 @@ impl Tensor {
         assert_eq!(bias.numel(), cols, "bias length mismatch");
         let b = bias.data();
         for row in self.data_mut().chunks_exact_mut(cols) {
-            for (v, bv) in row.iter_mut().zip(b) {
-                *v += *bv;
-            }
+            simd::add_assign_slices(row, b);
         }
     }
-}
-
-/// Dot product of two equal-length slices.
-///
-/// Written with an explicit 4-way unroll so LLVM vectorizes it reliably; this
-/// is on the hot path of MMD and aggregation computations.
-#[inline]
-pub fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for i in 0..chunks {
-        let j = i * 4;
-        s0 += a[j] * b[j];
-        s1 += a[j + 1] * b[j + 1];
-        s2 += a[j + 2] * b[j + 2];
-        s3 += a[j + 3] * b[j + 3];
-    }
-    let mut s = s0 + s1 + s2 + s3;
-    for i in chunks * 4..a.len() {
-        s += a[i] * b[i];
-    }
-    s
-}
-
-/// `y += a * x` over raw slices (used by the flattened FL parameter plane).
-#[inline]
-pub fn axpy_slices(y: &mut [f32], a: f32, x: &[f32]) {
-    debug_assert_eq!(y.len(), x.len());
-    for (yv, xv) in y.iter_mut().zip(x) {
-        *yv += a * *xv;
-    }
-}
-
-/// Four simultaneous axpys sharing one pass over `x`: `yᵢ += aᵢ·x`. The
-/// 4-row unrolled micro-kernel of the blocked GEMM — `x` (a packed B row)
-/// is loaded once per four output rows instead of once per row.
-#[inline]
-pub fn axpy4_slices(
-    y0: &mut [f32],
-    y1: &mut [f32],
-    y2: &mut [f32],
-    y3: &mut [f32],
-    a: [f32; 4],
-    x: &[f32],
-) {
-    debug_assert!(y0.len() == x.len() && y1.len() == x.len());
-    debug_assert!(y2.len() == x.len() && y3.len() == x.len());
-    for ((((v0, v1), v2), v3), xv) in y0
-        .iter_mut()
-        .zip(y1.iter_mut())
-        .zip(y2.iter_mut())
-        .zip(y3.iter_mut())
-        .zip(x)
-    {
-        *v0 += a[0] * *xv;
-        *v1 += a[1] * *xv;
-        *v2 += a[2] * *xv;
-        *v3 += a[3] * *xv;
-    }
-}
-
-/// Four simultaneous dot products sharing one pass over `a`: returns
-/// `[a·b0, a·b1, a·b2, a·b3]`. Used by `matmul_transb` so a row of A is
-/// read once per four output columns.
-#[inline]
-pub fn dot4_slices(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
-    debug_assert!(b0.len() == a.len() && b1.len() == a.len());
-    debug_assert!(b2.len() == a.len() && b3.len() == a.len());
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for ((((av, v0), v1), v2), v3) in a.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-        s0 += *av * *v0;
-        s1 += *av * *v1;
-        s2 += *av * *v2;
-        s3 += *av * *v3;
-    }
-    [s0, s1, s2, s3]
-}
-
-/// Squared Euclidean distance between two equal-length slices.
-#[inline]
-pub fn sq_dist_slices(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut s = 0.0f32;
-    for (av, bv) in a.iter().zip(b) {
-        let d = av - bv;
-        s += d * d;
-    }
-    s
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::{dot_slices, sq_dist_slices};
 
     fn t(v: &[f32]) -> Tensor {
         Tensor::from_slice(v)

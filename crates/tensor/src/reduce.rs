@@ -1,11 +1,16 @@
 //! Reductions, row-wise softmax, and argmax helpers.
+//!
+//! Sums and the softmax `exp`/normalize passes run on the [`crate::simd`]
+//! kernels, so their accumulation order is the canonical 8-lane stride on
+//! both dispatch paths.
 
+use crate::simd;
 use crate::tensor::Tensor;
 
 impl Tensor {
-    /// Sum of all elements.
+    /// Sum of all elements (canonical 8-lane strided order).
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        simd::sum_slices(self.data())
     }
 
     /// Mean of all elements.
@@ -42,9 +47,7 @@ impl Tensor {
         out.fill(0.0);
         let o = out.data_mut();
         for row in self.data().chunks_exact(n) {
-            for (ov, &v) in o.iter_mut().zip(row) {
-                *ov += v;
-            }
+            simd::add_assign_slices(o, row);
         }
     }
 
@@ -101,15 +104,9 @@ impl Tensor {
         out.assign(self);
         for row in out.data_mut().chunks_exact_mut(n) {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - m).exp();
-                z += *v;
-            }
-            let inv = 1.0 / z;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            simd::exp_slices(row, 1.0, -m);
+            let z = simd::sum_slices(row);
+            simd::scale_slices(row, 1.0 / z);
         }
     }
 
@@ -126,15 +123,30 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "log_softmax_rows requires a matrix");
         let n = self.dims()[1];
         out.assign(self);
-        for row in out.data_mut().chunks_exact_mut(n) {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
-            let lz = m + z.ln();
-            for v in row.iter_mut() {
-                *v -= lz;
+        // Scratch row for the exp pass; grows once per thread, so the warm
+        // training path stays allocation-free (PR 4 contract).
+        LOG_SOFTMAX_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            if scratch.len() < n {
+                scratch.resize(n, 0.0);
             }
-        }
+            let ex = &mut scratch[..n];
+            for row in out.data_mut().chunks_exact_mut(n) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                ex.copy_from_slice(row);
+                simd::exp_slices(ex, 1.0, -m);
+                let z = simd::sum_slices(ex);
+                let lz = m + z.ln();
+                simd::scale_add_slices(row, 1.0, -lz);
+            }
+        });
     }
+}
+
+thread_local! {
+    /// Row-sized scratch for [`Tensor::log_softmax_rows_into`]'s exp pass.
+    static LOG_SOFTMAX_SCRATCH: std::cell::RefCell<Vec<f32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[cfg(test)]

@@ -1,0 +1,929 @@
+//! 8-lane `f32` SIMD kernels with runtime dispatch and a bit-exact scalar
+//! fallback.
+//!
+//! ## Determinism contract
+//!
+//! The **lane-strided accumulation order is the canonical semantics** of
+//! every kernel here, for both dispatch paths:
+//!
+//! - Reductions (`dot`, `sq_dist`, `sum`) keep [`LANES`] independent
+//!   accumulators, lane `l` summing elements `l, l+8, l+16, …` of the full
+//!   8-element chunks; the accumulators are then combined in the fixed tree
+//!   `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` (the order an AVX2 horizontal
+//!   add produces), and the ragged tail is folded in sequentially.
+//! - Element-wise kernels (`axpy`, `scale_add`, `exp`, `tanh`, `sigmoid`,
+//!   `relu`) perform the identical scalar operation sequence per element —
+//!   separate multiply and add, **never a fused multiply-add** (FMA contracts
+//!   the intermediate rounding and would break bit-identity with the scalar
+//!   path; the `avx2` target feature deliberately does not enable `fma`).
+//! - The transcendental kernels use a shared Cephes-style polynomial
+//!   ([`scalar::exp_core`]) instead of libm, so the vector path can replay
+//!   it exactly: same range clamp, same round-to-nearest-even via the
+//!   `1.5·2²³` magic constant, same Cody–Waite reduction, same Horner steps.
+//!
+//! The scalar module below *is* that canonical algorithm; the AVX2 module is
+//! an 8-wide transcription of it, instruction for instruction. Consequently
+//! `RFL_SIMD=0` and `RFL_SIMD=1` produce bit-identical results at any thread
+//! count, which CI gates the same way as the `RFL_THREADS` contract.
+//!
+//! ## Dispatch
+//!
+//! The backend is selected once per process via [`OnceLock`]: AVX2 when the
+//! CPU supports it (runtime `is_x86_feature_detected!`), scalar otherwise.
+//! `RFL_SIMD=0` forces the scalar path; `RFL_SIMD=1` requests SIMD (a no-op
+//! without AVX2 — the scalar path is the same function either way).
+//! [`set_simd_enabled`] flips the choice programmatically for benchmarks and
+//! equivalence tests; results never depend on it — only wall-clock does.
+//!
+//! ## Saturation semantics of the polynomial `exp`
+//!
+//! Inputs are clamped to `[-87.33, 88.02]` (chosen so the `2ⁿ` exponent-bit
+//! scaling stays in the normal range): `exp` of anything above saturates at
+//! ≈ 2.4·10³⁸ instead of `+inf`, anything below at ≈ 1.2·10⁻³⁸ instead of a
+//! subnormal/zero, and a NaN input clamps like an ordinary large value
+//! (MINPS/MAXPS semantics). `tanh` additionally clamps its input to ±9.0,
+//! where the f32 result is already saturated at ±1.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Vector width of the kernel set: 8 × f32 = one AVX2 `__m256` register.
+pub const LANES: usize = 8;
+
+static SIMD_ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+
+#[inline]
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn simd_cell() -> &'static AtomicBool {
+    SIMD_ENABLED.get_or_init(|| {
+        let requested = match std::env::var("RFL_SIMD").ok().as_deref().map(str::trim) {
+            Some("0") => false,
+            _ => true, // default and RFL_SIMD=1: use SIMD when available
+        };
+        AtomicBool::new(requested && avx2_available())
+    })
+}
+
+/// Whether kernels currently dispatch to the AVX2 path.
+#[inline]
+pub fn simd_enabled() -> bool {
+    simd_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the dispatch choice (ignored when the CPU lacks AVX2). Results
+/// never depend on this — both paths share the canonical semantics — so this
+/// only exists for benchmarks and equivalence tests.
+pub fn set_simd_enabled(on: bool) {
+    simd_cell().store(on && avx2_available(), Ordering::Relaxed);
+}
+
+/// Human-readable backend name for reports: `"avx2"` or `"scalar"`.
+pub fn simd_backend() -> &'static str {
+    if simd_enabled() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch wrappers — the public kernel set.
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        if simd_enabled() {
+            // SAFETY: `simd_enabled()` is only true after a runtime AVX2 check.
+            return unsafe { avx2::$name($($arg),*) };
+        }
+        scalar::$name($($arg),*)
+    }};
+}
+
+/// Dot product of two equal-length slices (canonical 8-lane stride).
+#[inline]
+pub fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    dispatch!(dot(a, b))
+}
+
+/// Four simultaneous dot products sharing one pass over `a`: returns
+/// `[a·b0, a·b1, a·b2, a·b3]`, each bit-identical to [`dot_slices`] of the
+/// same pair. Used by `matmul_transb` so a row of A is read once per four
+/// output columns.
+#[inline]
+pub fn dot4_slices(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    debug_assert!(b0.len() == a.len() && b1.len() == a.len());
+    debug_assert!(b2.len() == a.len() && b3.len() == a.len());
+    dispatch!(dot4(a, b0, b1, b2, b3))
+}
+
+/// `y += a * x` over raw slices (element-wise; both paths round identically).
+#[inline]
+pub fn axpy_slices(y: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    dispatch!(axpy(y, a, x))
+}
+
+/// Four simultaneous axpys sharing one pass over `x`: `yᵢ += aᵢ·x`. The
+/// 4-row unrolled micro-kernel of the blocked GEMM — `x` (a packed B row)
+/// is loaded once per four output rows instead of once per row.
+#[inline]
+pub fn axpy4_slices(
+    y0: &mut [f32],
+    y1: &mut [f32],
+    y2: &mut [f32],
+    y3: &mut [f32],
+    a: [f32; 4],
+    x: &[f32],
+) {
+    debug_assert!(y0.len() == x.len() && y1.len() == x.len());
+    debug_assert!(y2.len() == x.len() && y3.len() == x.len());
+    dispatch!(axpy4(y0, y1, y2, y3, a, x))
+}
+
+/// Squared Euclidean distance between two equal-length slices (canonical
+/// 8-lane stride).
+#[inline]
+pub fn sq_dist_slices(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    dispatch!(sq_dist(a, b))
+}
+
+/// Squared distances from `x` to every `d`-length row of `rows`:
+/// `out[j] = ‖x − rows[j·d..(j+1)·d]‖²`. The shared row-pair distance helper
+/// of the MMD modules; each entry is bit-identical to [`sq_dist_slices`].
+pub fn sq_dists_to_rows(x: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
+    assert_eq!(x.len(), d, "query length must equal the row width");
+    assert_eq!(rows.len(), out.len() * d, "rows/out length mismatch");
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
+        *o = sq_dist_slices(x, row);
+    }
+}
+
+/// Sum of a slice (canonical 8-lane stride).
+#[inline]
+pub fn sum_slices(a: &[f32]) -> f32 {
+    dispatch!(sum(a))
+}
+
+/// `y += x` element-wise.
+#[inline]
+pub fn add_assign_slices(y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    dispatch!(add_assign(y, x))
+}
+
+/// `y *= a` element-wise.
+#[inline]
+pub fn scale_slices(y: &mut [f32], a: f32) {
+    dispatch!(scale(y, a))
+}
+
+/// `y = a·y + b` element-wise (separate multiply and add, never FMA).
+#[inline]
+pub fn scale_add_slices(y: &mut [f32], a: f32, b: f32) {
+    dispatch!(scale_add(y, a, b))
+}
+
+/// `xs[i] = exp(scale·xs[i] + bias)` via the canonical polynomial. The
+/// `scale` operand hoists multiplies like the RBF kernel's `−γ` out of the
+/// caller's loop; the `bias` operand folds in softmax's `−max` shift.
+#[inline]
+pub fn exp_slices(xs: &mut [f32], scale: f32, bias: f32) {
+    dispatch!(exp(xs, scale, bias))
+}
+
+/// `xs[i] = tanh(xs[i])` via the canonical polynomial `exp`.
+#[inline]
+pub fn tanh_slices(xs: &mut [f32]) {
+    dispatch!(tanh(xs))
+}
+
+/// `xs[i] = σ(xs[i]) = 1/(1+exp(−xs[i]))` via the canonical polynomial.
+#[inline]
+pub fn sigmoid_slices(xs: &mut [f32]) {
+    dispatch!(sigmoid(xs))
+}
+
+/// `xs[i] = max(xs[i], 0)` with MAXPS semantics (`x > 0 ? x : 0`; NaN ↦ 0).
+#[inline]
+pub fn relu_slices(xs: &mut [f32]) {
+    dispatch!(relu(xs))
+}
+
+/// Scalar `exp` with the canonical polynomial semantics — exactly what
+/// [`exp_slices`] computes per element. Shared with per-element consumers
+/// (GRU gates) so every `exp` in the workspace rounds identically.
+#[inline]
+pub fn exp_f32(x: f32) -> f32 {
+    scalar::exp_core(x)
+}
+
+/// Scalar `tanh` with the canonical polynomial semantics of [`tanh_slices`].
+#[inline]
+pub fn tanh_f32(x: f32) -> f32 {
+    scalar::tanh_core(x)
+}
+
+/// Scalar sigmoid with the canonical polynomial semantics of
+/// [`sigmoid_slices`].
+#[inline]
+pub fn sigmoid_f32(x: f32) -> f32 {
+    scalar::sigmoid_core(x)
+}
+
+// ---------------------------------------------------------------------------
+// Shared constants of the polynomial exp (Cephes expf coefficients).
+// ---------------------------------------------------------------------------
+
+/// Upper input clamp: `127·ln2` rounded down so `2ⁿ` never needs exponent 255.
+const EXP_HI: f32 = 88.02;
+/// Lower input clamp: `−126·ln2` rounded up so `2ⁿ` stays a normal number.
+const EXP_LO: f32 = -87.33;
+const LOG2EF: f32 = std::f32::consts::LOG2_E;
+/// `ln2` split for Cody–Waite reduction: `x − n·C1 − n·C2` is exact-ish.
+/// All 9 digits are load-bearing: C1 is the exactly-representable hi part.
+#[allow(clippy::excessive_precision)]
+const EXP_C1: f32 = 0.693359375;
+#[allow(clippy::excessive_precision)]
+const EXP_C2: f32 = -2.12194440e-4;
+#[allow(clippy::excessive_precision)]
+const EXP_P0: f32 = 1.9875691500e-4;
+#[allow(clippy::excessive_precision)]
+const EXP_P1: f32 = 1.3981999507e-3;
+#[allow(clippy::excessive_precision)]
+const EXP_P2: f32 = 8.3334519073e-3;
+#[allow(clippy::excessive_precision)]
+const EXP_P3: f32 = 4.1665795894e-2;
+#[allow(clippy::excessive_precision)]
+const EXP_P4: f32 = 1.6666665459e-1;
+#[allow(clippy::excessive_precision)]
+const EXP_P5: f32 = 5.0000001201e-1;
+/// `1.5·2²³`: adding and subtracting rounds to the nearest integer (ties to
+/// even) in the default FP rounding mode — on both scalar and vector paths.
+const ROUND_MAGIC: f32 = 12582912.0;
+/// Beyond ±9 the f32 `tanh` is saturated at ±1; clamping keeps `exp(2x)`
+/// finite so `(e−1)/(e+1)` never hits `inf/inf = NaN`.
+const TANH_CLAMP: f32 = 9.0;
+
+// ---------------------------------------------------------------------------
+// Scalar canonical implementation (also the RFL_SIMD=0 fallback).
+// ---------------------------------------------------------------------------
+
+/// The canonical algorithm, written in scalar Rust. This module defines the
+/// semantics; `avx2` below transcribes it 8-wide. Public so equivalence
+/// tests and oracles can pin `dispatched ≡ scalar` bit-for-bit.
+pub mod scalar {
+    use super::*;
+
+    /// The fixed reduction tree of the 8 lane accumulators — the order an
+    /// AVX2 `extractf128 + movehl + shuffle` horizontal add produces.
+    #[inline]
+    fn hsum8(acc: &[f32; LANES]) -> f32 {
+        ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+    }
+
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut ac = a.chunks_exact(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            for ((l, &x), &y) in acc.iter_mut().zip(ca).zip(cb) {
+                *l += x * y;
+            }
+        }
+        let mut s = hsum8(&acc);
+        for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+            s += x * y;
+        }
+        s
+    }
+
+    pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        [dot(a, b0), dot(a, b1), dot(a, b2), dot(a, b3)]
+    }
+
+    pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+        for (yv, &xv) in y.iter_mut().zip(x) {
+            *yv += a * xv;
+        }
+    }
+
+    pub fn axpy4(
+        y0: &mut [f32],
+        y1: &mut [f32],
+        y2: &mut [f32],
+        y3: &mut [f32],
+        a: [f32; 4],
+        x: &[f32],
+    ) {
+        for ((((v0, v1), v2), v3), &xv) in y0
+            .iter_mut()
+            .zip(y1.iter_mut())
+            .zip(y2.iter_mut())
+            .zip(y3.iter_mut())
+            .zip(x)
+        {
+            *v0 += a[0] * xv;
+            *v1 += a[1] * xv;
+            *v2 += a[2] * xv;
+            *v3 += a[3] * xv;
+        }
+    }
+
+    pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut ac = a.chunks_exact(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            for ((l, &x), &y) in acc.iter_mut().zip(ca).zip(cb) {
+                let d = x - y;
+                *l += d * d;
+            }
+        }
+        let mut s = hsum8(&acc);
+        for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+            let d = x - y;
+            s += d * d;
+        }
+        s
+    }
+
+    pub fn sum(a: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut ac = a.chunks_exact(LANES);
+        for ca in &mut ac {
+            for (l, &x) in acc.iter_mut().zip(ca) {
+                *l += x;
+            }
+        }
+        let mut s = hsum8(&acc);
+        for &x in ac.remainder() {
+            s += x;
+        }
+        s
+    }
+
+    pub fn add_assign(y: &mut [f32], x: &[f32]) {
+        for (yv, &xv) in y.iter_mut().zip(x) {
+            *yv += xv;
+        }
+    }
+
+    pub fn scale(y: &mut [f32], a: f32) {
+        for yv in y.iter_mut() {
+            *yv *= a;
+        }
+    }
+
+    pub fn scale_add(y: &mut [f32], a: f32, b: f32) {
+        for yv in y.iter_mut() {
+            *yv = a * *yv + b;
+        }
+    }
+
+    /// Cephes-style polynomial `expf`: clamp, magic-constant rounding,
+    /// two-step Cody–Waite reduction, degree-5 Horner polynomial, exponent
+    /// bit scaling. Every step is a plain f32 multiply/add the vector path
+    /// replays with MULPS/ADDPS.
+    #[inline]
+    pub fn exp_core(x: f32) -> f32 {
+        // MINPS/MAXPS semantics: `a OP b ? a : b`, so a NaN input clamps.
+        let x = if x < EXP_HI { x } else { EXP_HI };
+        let x = if x > EXP_LO { x } else { EXP_LO };
+        // n = round-to-nearest-even(x / ln2)
+        let fx = (x * LOG2EF + ROUND_MAGIC) - ROUND_MAGIC;
+        let r = x - fx * EXP_C1;
+        let r = r - fx * EXP_C2;
+        let z = r * r;
+        let mut y = EXP_P0;
+        y = y * r + EXP_P1;
+        y = y * r + EXP_P2;
+        y = y * r + EXP_P3;
+        y = y * r + EXP_P4;
+        y = y * r + EXP_P5;
+        y = y * z + r;
+        y += 1.0;
+        // 2ⁿ via exponent bits; the clamps keep n in [-126, 127].
+        let pow2 = f32::from_bits((((fx as i32) + 127) as u32) << 23);
+        y * pow2
+    }
+
+    #[inline]
+    pub fn tanh_core(x: f32) -> f32 {
+        let x = if x < TANH_CLAMP { x } else { TANH_CLAMP };
+        let x = if x > -TANH_CLAMP { x } else { -TANH_CLAMP };
+        let e = exp_core(x * 2.0 + 0.0);
+        (e - 1.0) / (e + 1.0)
+    }
+
+    #[inline]
+    pub fn sigmoid_core(x: f32) -> f32 {
+        let e = exp_core(-x);
+        1.0 / (1.0 + e)
+    }
+
+    pub fn exp(xs: &mut [f32], scale: f32, bias: f32) {
+        for v in xs.iter_mut() {
+            *v = exp_core(*v * scale + bias);
+        }
+    }
+
+    pub fn tanh(xs: &mut [f32]) {
+        for v in xs.iter_mut() {
+            *v = tanh_core(*v);
+        }
+    }
+
+    pub fn sigmoid(xs: &mut [f32]) {
+        for v in xs.iter_mut() {
+            *v = sigmoid_core(*v);
+        }
+    }
+
+    pub fn relu(xs: &mut [f32]) {
+        for v in xs.iter_mut() {
+            // MAXPS(x, 0) semantics: NaN and -0.0 both map to +0.0.
+            *v = if *v > 0.0 { *v } else { 0.0 };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 transcription.
+// ---------------------------------------------------------------------------
+
+/// 8-wide transcription of [`scalar`]. Every function is `unsafe` because it
+/// requires AVX2; the dispatch wrappers only call in here after the runtime
+/// feature check. `fma` is deliberately NOT enabled: contraction would break
+/// bit-identity with the scalar path.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum in the canonical tree order
+    /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s4 = _mm_add_ps(lo, hi); // [l0+l4, l1+l5, l2+l6, l3+l7]
+        let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4)); // [(l0+l4)+(l2+l6), (l1+l5)+(l3+l7), ..]
+        let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0b01));
+        _mm_cvtss_f32(s1)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / LANES;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(ap.add(c * LANES));
+            let vb = _mm256_loadu_ps(bp.add(c * LANES));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        let mut s = hsum(acc);
+        for i in chunks * LANES..n {
+            s += a[i] * b[i];
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        let n = a.len();
+        let chunks = n / LANES;
+        let ap = a.as_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(ap.add(c * LANES));
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(va, _mm256_loadu_ps(p0.add(c * LANES))));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(va, _mm256_loadu_ps(p1.add(c * LANES))));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(va, _mm256_loadu_ps(p2.add(c * LANES))));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(va, _mm256_loadu_ps(p3.add(c * LANES))));
+        }
+        let mut out = [hsum(a0), hsum(a1), hsum(a2), hsum(a3)];
+        for i in chunks * LANES..n {
+            out[0] += a[i] * b0[i];
+            out[1] += a[i] * b1[i];
+            out[2] += a[i] * b2[i];
+            out[3] += a[i] * b3[i];
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+        let n = y.len();
+        let chunks = n / LANES;
+        let va = _mm256_set1_ps(a);
+        let (yp, xp) = (y.as_mut_ptr(), x.as_ptr());
+        for c in 0..chunks {
+            let vy = _mm256_loadu_ps(yp.add(c * LANES));
+            let vx = _mm256_loadu_ps(xp.add(c * LANES));
+            _mm256_storeu_ps(yp.add(c * LANES), _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+        }
+        for i in chunks * LANES..n {
+            y[i] += a * x[i];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy4(
+        y0: &mut [f32],
+        y1: &mut [f32],
+        y2: &mut [f32],
+        y3: &mut [f32],
+        a: [f32; 4],
+        x: &[f32],
+    ) {
+        let n = x.len();
+        let chunks = n / LANES;
+        let va0 = _mm256_set1_ps(a[0]);
+        let va1 = _mm256_set1_ps(a[1]);
+        let va2 = _mm256_set1_ps(a[2]);
+        let va3 = _mm256_set1_ps(a[3]);
+        let xp = x.as_ptr();
+        let (q0, q1, q2, q3) = (
+            y0.as_mut_ptr(),
+            y1.as_mut_ptr(),
+            y2.as_mut_ptr(),
+            y3.as_mut_ptr(),
+        );
+        for c in 0..chunks {
+            let vx = _mm256_loadu_ps(xp.add(c * LANES));
+            let o = c * LANES;
+            _mm256_storeu_ps(
+                q0.add(o),
+                _mm256_add_ps(_mm256_loadu_ps(q0.add(o)), _mm256_mul_ps(va0, vx)),
+            );
+            _mm256_storeu_ps(
+                q1.add(o),
+                _mm256_add_ps(_mm256_loadu_ps(q1.add(o)), _mm256_mul_ps(va1, vx)),
+            );
+            _mm256_storeu_ps(
+                q2.add(o),
+                _mm256_add_ps(_mm256_loadu_ps(q2.add(o)), _mm256_mul_ps(va2, vx)),
+            );
+            _mm256_storeu_ps(
+                q3.add(o),
+                _mm256_add_ps(_mm256_loadu_ps(q3.add(o)), _mm256_mul_ps(va3, vx)),
+            );
+        }
+        for i in chunks * LANES..n {
+            y0[i] += a[0] * x[i];
+            y1[i] += a[1] * x[i];
+            y2[i] += a[2] * x[i];
+            y3[i] += a[3] * x[i];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / LANES;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let d = _mm256_sub_ps(
+                _mm256_loadu_ps(ap.add(c * LANES)),
+                _mm256_loadu_ps(bp.add(c * LANES)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        let mut s = hsum(acc);
+        for i in chunks * LANES..n {
+            let d = a[i] - b[i];
+            s += d * d;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum(a: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / LANES;
+        let ap = a.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(ap.add(c * LANES)));
+        }
+        let mut s = hsum(acc);
+        for &x in &a[chunks * LANES..] {
+            s += x;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
+        let n = y.len();
+        let chunks = n / LANES;
+        let (yp, xp) = (y.as_mut_ptr(), x.as_ptr());
+        for c in 0..chunks {
+            let o = c * LANES;
+            _mm256_storeu_ps(
+                yp.add(o),
+                _mm256_add_ps(_mm256_loadu_ps(yp.add(o)), _mm256_loadu_ps(xp.add(o))),
+            );
+        }
+        for i in chunks * LANES..n {
+            y[i] += x[i];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(y: &mut [f32], a: f32) {
+        let n = y.len();
+        let chunks = n / LANES;
+        let va = _mm256_set1_ps(a);
+        let yp = y.as_mut_ptr();
+        for c in 0..chunks {
+            let o = c * LANES;
+            _mm256_storeu_ps(yp.add(o), _mm256_mul_ps(_mm256_loadu_ps(yp.add(o)), va));
+        }
+        for v in &mut y[chunks * LANES..] {
+            *v *= a;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_add(y: &mut [f32], a: f32, b: f32) {
+        let n = y.len();
+        let chunks = n / LANES;
+        let va = _mm256_set1_ps(a);
+        let vb = _mm256_set1_ps(b);
+        let yp = y.as_mut_ptr();
+        for c in 0..chunks {
+            let o = c * LANES;
+            _mm256_storeu_ps(
+                yp.add(o),
+                _mm256_add_ps(_mm256_mul_ps(va, _mm256_loadu_ps(yp.add(o))), vb),
+            );
+        }
+        for v in &mut y[chunks * LANES..] {
+            *v = a * *v + b;
+        }
+    }
+
+    /// 8-wide transcription of [`scalar::exp_core`], step for step.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn exp_v(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(x, _mm256_set1_ps(EXP_HI));
+        let x = _mm256_max_ps(x, _mm256_set1_ps(EXP_LO));
+        let magic = _mm256_set1_ps(ROUND_MAGIC);
+        let fx = _mm256_sub_ps(
+            _mm256_add_ps(_mm256_mul_ps(x, _mm256_set1_ps(LOG2EF)), magic),
+            magic,
+        );
+        let r = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(EXP_C1)));
+        let r = _mm256_sub_ps(r, _mm256_mul_ps(fx, _mm256_set1_ps(EXP_C2)));
+        let z = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(EXP_P0);
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P1));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P2));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P4));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P5));
+        y = _mm256_add_ps(_mm256_mul_ps(y, z), r);
+        y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        // fx is integral: truncation matches the scalar `as i32` exactly.
+        let n = _mm256_cvttps_epi32(fx);
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            n,
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, pow2)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn exp(xs: &mut [f32], scale: f32, bias: f32) {
+        let n = xs.len();
+        let chunks = n / LANES;
+        let vs = _mm256_set1_ps(scale);
+        let vb = _mm256_set1_ps(bias);
+        let p = xs.as_mut_ptr();
+        for c in 0..chunks {
+            let o = c * LANES;
+            let t = _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(p.add(o)), vs), vb);
+            _mm256_storeu_ps(p.add(o), exp_v(t));
+        }
+        for v in &mut xs[chunks * LANES..] {
+            *v = scalar::exp_core(*v * scale + bias);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn tanh(xs: &mut [f32]) {
+        let n = xs.len();
+        let chunks = n / LANES;
+        let hi = _mm256_set1_ps(TANH_CLAMP);
+        let lo = _mm256_set1_ps(-TANH_CLAMP);
+        let one = _mm256_set1_ps(1.0);
+        let two = _mm256_set1_ps(2.0);
+        let zero = _mm256_set1_ps(0.0);
+        let p = xs.as_mut_ptr();
+        for c in 0..chunks {
+            let o = c * LANES;
+            let x = _mm256_loadu_ps(p.add(o));
+            let x = _mm256_min_ps(x, hi);
+            let x = _mm256_max_ps(x, lo);
+            let e = exp_v(_mm256_add_ps(_mm256_mul_ps(x, two), zero));
+            let t = _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+            _mm256_storeu_ps(p.add(o), t);
+        }
+        for v in &mut xs[chunks * LANES..] {
+            *v = scalar::tanh_core(*v);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sigmoid(xs: &mut [f32]) {
+        let n = xs.len();
+        let chunks = n / LANES;
+        let one = _mm256_set1_ps(1.0);
+        let sign = _mm256_set1_ps(-0.0);
+        let p = xs.as_mut_ptr();
+        for c in 0..chunks {
+            let o = c * LANES;
+            let x = _mm256_loadu_ps(p.add(o));
+            // -x via sign-bit flip, exactly like the scalar negation.
+            let e = exp_v(_mm256_xor_ps(x, sign));
+            _mm256_storeu_ps(p.add(o), _mm256_div_ps(one, _mm256_add_ps(one, e)));
+        }
+        for v in &mut xs[chunks * LANES..] {
+            *v = scalar::sigmoid_core(*v);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn relu(xs: &mut [f32]) {
+        let n = xs.len();
+        let chunks = n / LANES;
+        let zero = _mm256_setzero_ps();
+        let p = xs.as_mut_ptr();
+        for c in 0..chunks {
+            let o = c * LANES;
+            _mm256_storeu_ps(p.add(o), _mm256_max_ps(_mm256_loadu_ps(p.add(o)), zero));
+        }
+        for v in &mut xs[chunks * LANES..] {
+            *v = if *v > 0.0 { *v } else { 0.0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n)
+            .map(|i| ((i * 37 + 11) % 23) as f32 * 0.31 - 3.0)
+            .collect();
+        let b: Vec<f32> = (0..n)
+            .map(|i| ((i * 53 + 7) % 19) as f32 * 0.17 - 1.5)
+            .collect();
+        (a, b)
+    }
+
+    /// The ragged lengths every kernel is checked on (0, 1, tail-only,
+    /// exactly one vector, vector+tail, …).
+    const LENS: &[usize] = &[0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100];
+
+    #[test]
+    fn dispatched_dot_matches_scalar_bitwise() {
+        for &n in LENS {
+            let (a, b) = vecs(n);
+            assert_eq!(dot_slices(&a, &b).to_bits(), scalar::dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive_within_tolerance() {
+        let (a, b) = vecs(100);
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot_slices(&a, &b) - naive).abs() < 1e-3 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot4_matches_four_dots_bitwise() {
+        for &n in LENS {
+            let (a, b0) = vecs(n);
+            let b1: Vec<f32> = b0.iter().map(|v| v * 0.7 + 0.1).collect();
+            let b2: Vec<f32> = b0.iter().map(|v| -v).collect();
+            let b3: Vec<f32> = b0.iter().rev().copied().collect();
+            let quad = dot4_slices(&a, &b0, &b1, &b2, &b3);
+            for (q, bi) in quad.iter().zip([&b0, &b1, &b2, &b3]) {
+                assert_eq!(q.to_bits(), dot_slices(&a, bi).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn exp_matches_libm_closely() {
+        for i in -860..880 {
+            let x = i as f32 * 0.1;
+            let want = x.exp();
+            let got = exp_f32(x);
+            let rel = (got - want).abs() / want.max(f32::MIN_POSITIVE);
+            assert!(rel < 5e-6, "exp({x}): {got} vs {want}");
+        }
+        assert_eq!(exp_f32(0.0), 1.0);
+    }
+
+    #[test]
+    fn exp_saturates_instead_of_overflowing() {
+        assert!(exp_f32(1000.0).is_finite());
+        assert!(exp_f32(f32::INFINITY).is_finite());
+        assert!(exp_f32(-1000.0) > 0.0);
+        assert!(exp_f32(f32::NEG_INFINITY) > 0.0);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_match_libm_closely() {
+        for i in -120..=120 {
+            let x = i as f32 * 0.1;
+            let t = tanh_f32(x);
+            assert!((t - x.tanh()).abs() < 3e-6, "tanh({x}): {t}");
+            let s = sigmoid_f32(x);
+            let want = 1.0 / (1.0 + (-x).exp());
+            assert!((s - want).abs() < 3e-6, "sigmoid({x}): {s}");
+        }
+        assert!(tanh_f32(100.0) <= 1.0 && tanh_f32(100.0) > 0.9999);
+        assert!(tanh_f32(-100.0) >= -1.0 && tanh_f32(-100.0) < -0.9999);
+        assert_eq!(sigmoid_f32(0.0), 0.5);
+    }
+
+    #[test]
+    fn elementwise_kernels_match_scalar_bitwise() {
+        for &n in LENS {
+            let (mut a, b) = vecs(n);
+            let mut a2 = a.clone();
+            axpy_slices(&mut a, 0.37, &b);
+            scalar::axpy(&mut a2, 0.37, &b);
+            assert_eq!(a, a2);
+            exp_slices(&mut a, -0.2, 0.5);
+            scalar::exp(&mut a2, -0.2, 0.5);
+            assert!(a.iter().zip(&a2).all(|(x, y)| x.to_bits() == y.to_bits()));
+            tanh_slices(&mut a);
+            scalar::tanh(&mut a2);
+            assert!(a.iter().zip(&a2).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn sq_dists_to_rows_matches_pairwise() {
+        let d = 13;
+        let (x, rows_a) = vecs(d);
+        let mut rows = rows_a;
+        let (more, _) = vecs(d * 4);
+        rows.extend_from_slice(&more[..d * 3]);
+        let mut out = vec![0.0f32; 4];
+        sq_dists_to_rows(&x, &rows, d, &mut out);
+        for (j, o) in out.iter().enumerate() {
+            assert_eq!(
+                o.to_bits(),
+                sq_dist_slices(&x, &rows[j * d..(j + 1) * d]).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn relu_maps_nan_and_negatives_to_zero() {
+        let mut xs = vec![-1.0, 0.0, -0.0, 2.5, f32::NAN, -7.0, 3.0, 4.0, -0.5];
+        relu_slices(&mut xs);
+        assert_eq!(xs, vec![0.0, 0.0, 0.0, 2.5, 0.0, 0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_is_canonical_and_close_to_sequential() {
+        for &n in LENS {
+            let (a, _) = vecs(n);
+            let seq: f32 = a.iter().sum();
+            let s = sum_slices(&a);
+            assert_eq!(s.to_bits(), scalar::sum(&a).to_bits());
+            assert!((s - seq).abs() < 1e-3 * seq.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Bit-exact equivalence of the dispatched SIMD kernels and the canonical
+//! scalar reference, for every kernel in `rfl_tensor::simd`.
+//!
+//! The dispatched path (AVX2 where the CPU has it, scalar otherwise) is
+//! compared against `simd::scalar::*` directly — not by flipping the global
+//! dispatch switch, which would race with sibling tests. On AVX2 hardware
+//! this pins vector ≡ scalar bit-for-bit; on scalar-only hardware it
+//! degenerates to scalar ≡ scalar, and the `RFL_SIMD=0` CI leg covers the
+//! other direction by running the whole suite on the fallback.
+//!
+//! Lengths cover the ragged cases (0, 1, tail-only, exactly one vector,
+//! vector ± 1, many vectors) and every slice is additionally re-checked at
+//! unaligned offsets, since `loadu`/`storeu` must not care about alignment.
+
+use proptest::prelude::*;
+use rfl_tensor::simd::{self, scalar};
+
+/// Ragged lengths: empty, sub-vector, exact multiples of the 8 lanes, and
+/// off-by-one around them.
+const LENS: &[usize] = &[0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100];
+
+/// Offsets into an over-allocated buffer; 1 and 3 floats break 32-byte
+/// (and even 16-byte) alignment.
+const OFFSETS: &[usize] = &[0, 1, 3];
+
+fn ragged_len() -> impl Strategy<Value = usize> {
+    (0usize..LENS.len()).prop_map(|i| LENS[i])
+}
+
+fn offset() -> impl Strategy<Value = usize> {
+    (0usize..OFFSETS.len()).prop_map(|i| OFFSETS[i])
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic pseudo-random vector (LCG), so failures are reproducible
+/// from the generated `seed` printed by the harness.
+fn det_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 40) as f32 / (1u64 << 24) as f32;
+            u * 100.0 - 50.0
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn dot_dispatched_eq_scalar(
+        len in ragged_len(),
+        off in offset(),
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+    ) {
+        let a = det_vec(len + off, seed_a);
+        let b = det_vec(len + off, seed_b);
+        prop_assert_eq!(
+            simd::dot_slices(&a[off..], &b[off..]).to_bits(),
+            scalar::dot(&a[off..], &b[off..]).to_bits()
+        );
+    }
+
+    #[test]
+    fn dot4_dispatched_eq_scalar(len in ragged_len(), off in offset(), seed in 0u64..1_000_000) {
+        let a = det_vec(len + off, seed);
+        let b0 = det_vec(len + off, seed ^ 1);
+        let b1 = det_vec(len + off, seed ^ 2);
+        let b2 = det_vec(len + off, seed ^ 3);
+        let b3 = det_vec(len + off, seed ^ 4);
+        let got = simd::dot4_slices(&a[off..], &b0[off..], &b1[off..], &b2[off..], &b3[off..]);
+        let want = scalar::dot4(&a[off..], &b0[off..], &b1[off..], &b2[off..], &b3[off..]);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+        // dot4 must also agree with four independent dots.
+        for (g, bi) in got.iter().zip([&b0, &b1, &b2, &b3]) {
+            prop_assert_eq!(g.to_bits(), simd::dot_slices(&a[off..], &bi[off..]).to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_dispatched_eq_scalar(
+        len in ragged_len(),
+        off in offset(),
+        a in -4.0f32..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let x = det_vec(len + off, seed);
+        let mut y1 = det_vec(len, seed ^ 5);
+        let mut y2 = y1.clone();
+        simd::axpy_slices(&mut y1, a, &x[off..]);
+        scalar::axpy(&mut y2, a, &x[off..]);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+    }
+
+    #[test]
+    fn axpy4_dispatched_eq_scalar(len in ragged_len(), off in offset(), seed in 0u64..1_000_000) {
+        let x = det_vec(len + off, seed);
+        let mut rows1: Vec<Vec<f32>> = (0..4).map(|i| det_vec(len, seed ^ (10 + i))).collect();
+        let mut rows2 = rows1.clone();
+        let coef = [0.5f32, -1.25, 2.0, 0.33];
+        {
+            let (r0, rest) = rows1.split_at_mut(1);
+            let (r1, rest) = rest.split_at_mut(1);
+            let (r2, r3) = rest.split_at_mut(1);
+            simd::axpy4_slices(&mut r0[0], &mut r1[0], &mut r2[0], &mut r3[0], coef, &x[off..]);
+        }
+        {
+            let (r0, rest) = rows2.split_at_mut(1);
+            let (r1, rest) = rest.split_at_mut(1);
+            let (r2, r3) = rest.split_at_mut(1);
+            scalar::axpy4(&mut r0[0], &mut r1[0], &mut r2[0], &mut r3[0], coef, &x[off..]);
+        }
+        for (y1, y2) in rows1.iter().zip(&rows2) {
+            prop_assert_eq!(bits(y1), bits(y2));
+        }
+    }
+
+    #[test]
+    fn sq_dist_dispatched_eq_scalar(
+        len in ragged_len(),
+        off in offset(),
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+    ) {
+        let a = det_vec(len + off, seed_a);
+        let b = det_vec(len + off, seed_b);
+        prop_assert_eq!(
+            simd::sq_dist_slices(&a[off..], &b[off..]).to_bits(),
+            scalar::sq_dist(&a[off..], &b[off..]).to_bits()
+        );
+    }
+
+    #[test]
+    fn sum_dispatched_eq_scalar(len in ragged_len(), off in offset(), seed in 0u64..1_000_000) {
+        let a = det_vec(len + off, seed);
+        prop_assert_eq!(
+            simd::sum_slices(&a[off..]).to_bits(),
+            scalar::sum(&a[off..]).to_bits()
+        );
+    }
+
+    #[test]
+    fn add_assign_dispatched_eq_scalar(
+        len in ragged_len(),
+        off in offset(),
+        seed in 0u64..1_000_000,
+    ) {
+        let x = det_vec(len + off, seed);
+        let mut y1 = det_vec(len, seed ^ 7);
+        let mut y2 = y1.clone();
+        simd::add_assign_slices(&mut y1, &x[off..]);
+        scalar::add_assign(&mut y2, &x[off..]);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+    }
+
+    #[test]
+    fn scale_and_scale_add_dispatched_eq_scalar(
+        len in ragged_len(),
+        off in offset(),
+        a in -4.0f32..4.0,
+        b in -4.0f32..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let src = det_vec(len + off, seed);
+        let mut y1 = src[off..].to_vec();
+        let mut y2 = y1.clone();
+        simd::scale_slices(&mut y1, a);
+        scalar::scale(&mut y2, a);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+        simd::scale_add_slices(&mut y1, a, b);
+        scalar::scale_add(&mut y2, a, b);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+    }
+
+    #[test]
+    fn exp_dispatched_eq_scalar(
+        len in ragged_len(),
+        off in offset(),
+        scale in -3.0f32..3.0,
+        bias in -3.0f32..3.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let src = det_vec(len + off, seed);
+        let mut y1 = src[off..].to_vec();
+        let mut y2 = y1.clone();
+        simd::exp_slices(&mut y1, scale, bias);
+        scalar::exp(&mut y2, scale, bias);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+    }
+
+    #[test]
+    fn tanh_sigmoid_relu_dispatched_eq_scalar(
+        len in ragged_len(),
+        off in offset(),
+        seed in 0u64..1_000_000,
+    ) {
+        let src = det_vec(len + off, seed);
+        let mut y1 = src[off..].to_vec();
+        let mut y2 = y1.clone();
+        simd::tanh_slices(&mut y1);
+        scalar::tanh(&mut y2);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+        simd::sigmoid_slices(&mut y1);
+        scalar::sigmoid(&mut y2);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+        simd::relu_slices(&mut y1);
+        scalar::relu(&mut y2);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+    }
+
+    #[test]
+    fn sq_dists_to_rows_eq_per_row_sq_dist(
+        rows in 1usize..6,
+        di in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let d = [1usize, 7, 8, 9, 33][di];
+        let x = det_vec(d, seed);
+        let mat = det_vec(rows * d, seed ^ 99);
+        let mut out = vec![0.0f32; rows];
+        simd::sq_dists_to_rows(&x, &mat, d, &mut out);
+        for (j, o) in out.iter().enumerate() {
+            prop_assert_eq!(
+                o.to_bits(),
+                simd::sq_dist_slices(&x, &mat[j * d..(j + 1) * d]).to_bits()
+            );
+        }
+    }
+
+    /// Extreme exp inputs (overflow/underflow region, ±inf, NaN) must clamp
+    /// identically on both paths and never produce an infinity.
+    #[test]
+    fn exp_extremes_dispatched_eq_scalar(off in offset(), pad in -1.0f32..1.0) {
+        let mut extremes = vec![pad; off];
+        extremes.extend_from_slice(&[
+            1000.0, -1000.0, 88.02, -87.33, 89.0, -89.0, 127.5 * std::f32::consts::LN_2,
+            f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 0.0, -0.0, 1.0, -1.0, 700.0, -700.0,
+        ]);
+        let mut y1 = extremes[off..].to_vec();
+        let mut y2 = y1.clone();
+        simd::exp_slices(&mut y1, 1.0, 0.0);
+        scalar::exp(&mut y2, 1.0, 0.0);
+        prop_assert_eq!(bits(&y1), bits(&y2));
+        prop_assert!(y1.iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Non-proptest smoke check that on this machine's hardware the dispatched
+/// path actually *is* AVX2 when available — otherwise the whole file only
+/// proves scalar ≡ scalar.
+#[test]
+fn dispatch_reports_a_backend() {
+    let backend = rfl_tensor::simd_backend();
+    assert!(backend == "avx2" || backend == "scalar", "{backend}");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::env::var("RFL_SIMD").as_deref() != Ok("0")
+        {
+            assert_eq!(backend, "avx2");
+        }
+    }
+}

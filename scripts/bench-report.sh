@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Builds the micro-benchmarks and emits the kernel benchmark report
-# (BENCH_PR2.json) via the bench_kernels binary.
+# (BENCH_PR5.json) via the bench_kernels binary, including scalar-vs-SIMD
+# ratios for the hot kernels.
 #
 # Usage:
-#   scripts/bench-report.sh            # full run, writes BENCH_PR2.json
+#   scripts/bench-report.sh            # full run, writes BENCH_PR5.json
 #   scripts/bench-report.sh --smoke    # CI smoke: compile benches + 1-rep run
 #   scripts/bench-report.sh --out F    # full run, write report to F
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=0
-OUT="BENCH_PR2.json"
+OUT="BENCH_PR5.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1; shift ;;
