@@ -16,10 +16,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfl_bench::alloc_count::{snapshot, CountingAlloc};
-use rfl_core::prelude::*;
-use rfl_core::{Client, Federation, FlConfig, LocalRule, ModelFactory, OptimizerFactory, Trainer};
+use rfl_core::{Client, LocalRule};
 use rfl_data::synth::image::SynthImageSpec;
-use rfl_data::{partition, FederatedData};
 use rfl_nn::{CnnClassifier, CnnConfig, Sgd};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -34,12 +32,8 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// ISSUE's ≥ 10× reduction requirement.
 const WARM_ALLOC_CEILING: u64 = 4;
 const MIN_COLD_WARM_RATIO: f64 = 10.0;
-/// Round-loop loss pinned at the SIMD-kernel PR (`BENCH_PR5.json`): every
-/// later change must reproduce it bit-for-bit. Re-pinned once from the
-/// PR 2–4 value 1.604142427 when the canonical 8-lane accumulation order
-/// and polynomial `exp` replaced the sequential libm kernels (provenance in
-/// EXPERIMENTS.md); it is identical under SIMD on/off and any thread count.
-const PINNED_ROUND_LOSS: f64 = 1.604142189;
+/// The pin now lives next to the canonical run definition it gates.
+const PINNED_ROUND_LOSS: f64 = rfl_core::canonical::PINNED_ROUND_LOSS;
 
 fn cnn_client(seed: u64) -> Client {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -48,36 +42,13 @@ fn cnn_client(seed: u64) -> Client {
     Client::new(0, model, data, Box::new(Sgd::new(0.05)), 16, seed)
 }
 
-/// The same federated CNN round loop as `bench_kernels`, pinned to the same
-/// seed so the final train loss must reproduce `PINNED_ROUND_LOSS`.
+/// The same federated CNN round loop as `bench_kernels` and the
+/// distributed binaries — the single canonical definition in
+/// [`rfl_core::canonical`] — so the final train loss must reproduce
+/// `PINNED_ROUND_LOSS`.
 fn round_loop(seed: u64, rounds: usize) -> (f64, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let spec = SynthImageSpec::mnist_like();
-    let pool = spec.generate(4 * 40, &mut rng);
-    let parts = partition::similarity(pool.labels(), 4, 0.5, &mut rng);
-    let test = spec.generate(64, &mut rng);
-    let data = FederatedData::from_partition(&pool, &parts, test);
-    let cfg = FlConfig {
-        rounds,
-        local_steps: 2,
-        batch_size: 16,
-        sample_ratio: 1.0,
-        eval_every: 100,
-        parallel: true,
-        clip_grad_norm: Some(10.0),
-        seed,
-        delta_probe_batch: None,
-    };
     let t0 = Instant::now();
-    let mut fed = Federation::new(
-        &data,
-        ModelFactory::cnn(CnnConfig::mnist_like()),
-        OptimizerFactory::sgd(0.05),
-        &cfg,
-        seed,
-    );
-    let mut algo = RFedAvgPlus::new(1e-3);
-    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    let h = rfl_core::canonical::run_in_process(seed, rounds);
     (
         t0.elapsed().as_secs_f64(),
         h.records().last().unwrap().train_loss as f64,

@@ -13,11 +13,6 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rfl_core::prelude::*;
-use rfl_core::{Federation, FlConfig, ModelFactory, OptimizerFactory, Trainer};
-use rfl_data::synth::image::SynthImageSpec;
-use rfl_data::{partition, FederatedData};
-use rfl_nn::CnnConfig;
 use rfl_tensor::{
     axpy_slices, conv2d, conv2d_backward, dot_slices, exp_slices, set_simd_enabled,
     set_thread_budget, simd_enabled, sq_dist_slices, thread_budget, ConvSpec, Initializer, Tensor,
@@ -68,34 +63,12 @@ fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// One small CNN federated run; returns (seconds, final train loss).
+/// Delegates to the canonical pinned loop ([`rfl_core::canonical`]) shared
+/// with the distributed binaries and the loopback integration tests, so
+/// there is exactly one definition of the run this gate pins.
 fn round_loop(seed: u64, rounds: usize) -> (f64, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let spec = SynthImageSpec::mnist_like();
-    let pool = spec.generate(4 * 40, &mut rng);
-    let parts = partition::similarity(pool.labels(), 4, 0.5, &mut rng);
-    let test = spec.generate(64, &mut rng);
-    let data = FederatedData::from_partition(&pool, &parts, test);
-    let cfg = FlConfig {
-        rounds,
-        local_steps: 2,
-        batch_size: 16,
-        sample_ratio: 1.0,
-        eval_every: 100,
-        parallel: true,
-        clip_grad_norm: Some(10.0),
-        seed,
-        delta_probe_batch: None,
-    };
     let t0 = Instant::now();
-    let mut fed = Federation::new(
-        &data,
-        ModelFactory::cnn(CnnConfig::mnist_like()),
-        OptimizerFactory::sgd(0.05),
-        &cfg,
-        seed,
-    );
-    let mut algo = RFedAvgPlus::new(1e-3);
-    let h = Trainer::new(cfg).run(&mut algo, &mut fed);
+    let h = rfl_core::canonical::run_in_process(seed, rounds);
     (
         t0.elapsed().as_secs_f64(),
         h.records().last().unwrap().train_loss as f64,

@@ -63,6 +63,304 @@ impl MsgKind {
             MsgKind::ControlUp => "control_up",
         }
     }
+
+    /// Stable one-byte wire tag (the socket framing layer's frame type).
+    pub fn tag(self) -> u8 {
+        match self {
+            MsgKind::ModelDown => 0x01,
+            MsgKind::ModelUp => 0x02,
+            MsgKind::DeltaTableDown => 0x03,
+            MsgKind::DeltaDown => 0x04,
+            MsgKind::DeltaUp => 0x05,
+            MsgKind::ControlDown => 0x06,
+            MsgKind::ControlUp => 0x07,
+        }
+    }
+
+    /// Inverse of [`MsgKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<MsgKind> {
+        Some(match tag {
+            0x01 => MsgKind::ModelDown,
+            0x02 => MsgKind::ModelUp,
+            0x03 => MsgKind::DeltaTableDown,
+            0x04 => MsgKind::DeltaDown,
+            0x05 => MsgKind::DeltaUp,
+            0x06 => MsgKind::ControlDown,
+            0x07 => MsgKind::ControlUp,
+            _ => return None,
+        })
+    }
+}
+
+/// Protocol magic of the socket handshake (`b"rFL1"`, little-endian).
+pub const PROTO_MAGIC: u32 = u32::from_le_bytes(*b"rFL1");
+
+/// Wire protocol version; bumped on any framing or control-layer change.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Control frames of the socket protocol — the session/handshake vocabulary
+/// that exists *next to* the [`MsgKind`] payload planes. In the in-process
+/// simulation these never occur; over a real socket they carry registration,
+/// round orchestration, and graceful-churn signalling.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControlMsg {
+    /// Client → server registration: first frame on every (re)connection.
+    Hello {
+        /// Must equal [`PROTO_MAGIC`]; rejects stray connections early.
+        magic: u32,
+        /// Must equal [`PROTO_VERSION`].
+        version: u16,
+        /// The federation-wide client index (0-based).
+        client_id: u32,
+        /// The run seed the client derived its data/model/RNG from; the
+        /// server rejects a mismatch instead of silently diverging.
+        seed: u64,
+    },
+    /// Server → client handshake reply: the full run configuration, so a
+    /// client needs nothing beyond `(endpoint, id, seed)` to participate.
+    Welcome {
+        num_clients: u32,
+        rounds: u32,
+        local_steps: u32,
+        batch_size: u32,
+        probe_batch: u32,
+        /// Regularization weight λ of the rFedAvg+ MMD rule.
+        lambda: f32,
+        /// Local SGD learning rate.
+        lr: f32,
+        /// Global-norm gradient clip; `NaN` encodes `None`.
+        clip_grad_norm: f32,
+        seed: u64,
+    },
+    /// Server → client: train `steps` local steps for `round` now, with the
+    /// δ target received this round (if any), then upload report + params.
+    TrainStart { round: u64, steps: u32 },
+    /// Server → client: recompute δ over the full local set with a
+    /// `probe_batch`-sized probe and upload it as a `DeltaUp`.
+    DeltaProbe { round: u64, probe_batch: u32 },
+    /// Client → server: the [`crate::client::LocalReport`] of a completed
+    /// `TrainStart` (precedes the `ModelUp` payload frame).
+    Report {
+        loss: f32,
+        reg_loss: f32,
+        steps: u32,
+        examples: u32,
+    },
+    /// Client → server: graceful departure — the session drains and every
+    /// later message on the link counts as a deterministic drop.
+    Goodbye,
+    /// Server → client: the run is over; disconnect and exit cleanly.
+    Shutdown,
+}
+
+impl ControlMsg {
+    /// Stable one-byte wire tag. Control tags live above 0x0F so they can
+    /// never collide with [`MsgKind::tag`] payload tags.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ControlMsg::Hello { .. } => 0x10,
+            ControlMsg::Welcome { .. } => 0x11,
+            ControlMsg::TrainStart { .. } => 0x12,
+            ControlMsg::DeltaProbe { .. } => 0x13,
+            ControlMsg::Report { .. } => 0x14,
+            ControlMsg::Goodbye => 0x15,
+            ControlMsg::Shutdown => 0x16,
+        }
+    }
+
+    /// Stable wire name (trace labels, error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlMsg::Hello { .. } => "hello",
+            ControlMsg::Welcome { .. } => "welcome",
+            ControlMsg::TrainStart { .. } => "train_start",
+            ControlMsg::DeltaProbe { .. } => "delta_probe",
+            ControlMsg::Report { .. } => "report",
+            ControlMsg::Goodbye => "goodbye",
+            ControlMsg::Shutdown => "shutdown",
+        }
+    }
+
+    /// Accounting direction of the control frame (control frames are
+    /// metered on the model plane, like [`MsgKind::ControlDown`]/`Up`).
+    pub fn direction(&self) -> Direction {
+        match self {
+            ControlMsg::Hello { .. } | ControlMsg::Report { .. } | ControlMsg::Goodbye => {
+                Direction::Upload
+            }
+            ControlMsg::Welcome { .. }
+            | ControlMsg::TrainStart { .. }
+            | ControlMsg::DeltaProbe { .. }
+            | ControlMsg::Shutdown => Direction::Download,
+        }
+    }
+
+    /// Serializes the control body (everything after the frame tag) as
+    /// fixed-width little-endian fields.
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match *self {
+            ControlMsg::Hello {
+                magic,
+                version,
+                client_id,
+                seed,
+            } => {
+                out.extend_from_slice(&magic.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&client_id.to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ControlMsg::Welcome {
+                num_clients,
+                rounds,
+                local_steps,
+                batch_size,
+                probe_batch,
+                lambda,
+                lr,
+                clip_grad_norm,
+                seed,
+            } => {
+                out.extend_from_slice(&num_clients.to_le_bytes());
+                out.extend_from_slice(&rounds.to_le_bytes());
+                out.extend_from_slice(&local_steps.to_le_bytes());
+                out.extend_from_slice(&batch_size.to_le_bytes());
+                out.extend_from_slice(&probe_batch.to_le_bytes());
+                out.extend_from_slice(&lambda.to_le_bytes());
+                out.extend_from_slice(&lr.to_le_bytes());
+                out.extend_from_slice(&clip_grad_norm.to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ControlMsg::TrainStart { round, steps } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&steps.to_le_bytes());
+            }
+            ControlMsg::DeltaProbe { round, probe_batch } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&probe_batch.to_le_bytes());
+            }
+            ControlMsg::Report {
+                loss,
+                reg_loss,
+                steps,
+                examples,
+            } => {
+                out.extend_from_slice(&loss.to_le_bytes());
+                out.extend_from_slice(&reg_loss.to_le_bytes());
+                out.extend_from_slice(&steps.to_le_bytes());
+                out.extend_from_slice(&examples.to_le_bytes());
+            }
+            ControlMsg::Goodbye | ControlMsg::Shutdown => {}
+        }
+    }
+
+    /// Inverse of [`ControlMsg::encode_body`] for a frame of type `tag`.
+    pub fn decode_body(tag: u8, body: &[u8]) -> Result<ControlMsg, WireError> {
+        let mut r = FieldReader::new(body);
+        let msg = match tag {
+            0x10 => ControlMsg::Hello {
+                magic: r.u32()?,
+                version: r.u16()?,
+                client_id: r.u32()?,
+                seed: r.u64()?,
+            },
+            0x11 => ControlMsg::Welcome {
+                num_clients: r.u32()?,
+                rounds: r.u32()?,
+                local_steps: r.u32()?,
+                batch_size: r.u32()?,
+                probe_batch: r.u32()?,
+                lambda: r.f32()?,
+                lr: r.f32()?,
+                clip_grad_norm: r.f32()?,
+                seed: r.u64()?,
+            },
+            0x12 => ControlMsg::TrainStart {
+                round: r.u64()?,
+                steps: r.u32()?,
+            },
+            0x13 => ControlMsg::DeltaProbe {
+                round: r.u64()?,
+                probe_batch: r.u32()?,
+            },
+            0x14 => ControlMsg::Report {
+                loss: r.f32()?,
+                reg_loss: r.f32()?,
+                steps: r.u32()?,
+                examples: r.u32()?,
+            },
+            0x15 => ControlMsg::Goodbye,
+            0x16 => ControlMsg::Shutdown,
+            _ => return Err(WireError::UnknownTag(tag)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// A malformed frame or control body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame tag names no known payload or control message.
+    UnknownTag(u8),
+    /// The body ended before (or after) its fixed-width fields.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownTag(t) => write!(f, "unknown frame tag 0x{t:02x}"),
+            WireError::BadLength => write!(f, "control body length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian fixed-width field cursor over a control body.
+struct FieldReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> FieldReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        FieldReader { buf }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        if self.buf.len() < N {
+            return Err(WireError::BadLength);
+        }
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        Ok(head.try_into().expect("split_at guarantees length"))
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take()?))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::BadLength)
+        }
+    }
 }
 
 /// Why a message did not arrive.
@@ -208,6 +506,105 @@ mod tests {
         };
         assert_eq!(bd.delivered_clients(&[3, 5, 9]), vec![3, 9]);
         assert_eq!(bd.dropped(), 1);
+    }
+
+    #[test]
+    fn msg_kind_tags_round_trip() {
+        for kind in [
+            MsgKind::ModelDown,
+            MsgKind::ModelUp,
+            MsgKind::DeltaTableDown,
+            MsgKind::DeltaDown,
+            MsgKind::DeltaUp,
+            MsgKind::ControlDown,
+            MsgKind::ControlUp,
+        ] {
+            assert_eq!(MsgKind::from_tag(kind.tag()), Some(kind));
+            assert!(kind.tag() < 0x10, "payload tags stay below control tags");
+        }
+        assert_eq!(MsgKind::from_tag(0x00), None);
+        assert_eq!(MsgKind::from_tag(0x10), None);
+    }
+
+    #[test]
+    fn control_msgs_round_trip() {
+        let msgs = [
+            ControlMsg::Hello {
+                magic: PROTO_MAGIC,
+                version: PROTO_VERSION,
+                client_id: 3,
+                seed: 7,
+            },
+            ControlMsg::Welcome {
+                num_clients: 4,
+                rounds: 2,
+                local_steps: 2,
+                batch_size: 16,
+                probe_batch: 32,
+                lambda: 1e-3,
+                lr: 0.05,
+                clip_grad_norm: 10.0,
+                seed: 7,
+            },
+            ControlMsg::TrainStart { round: 1, steps: 2 },
+            ControlMsg::DeltaProbe {
+                round: 1,
+                probe_batch: 32,
+            },
+            ControlMsg::Report {
+                loss: 1.5,
+                reg_loss: 0.25,
+                steps: 2,
+                examples: 32,
+            },
+            ControlMsg::Goodbye,
+            ControlMsg::Shutdown,
+        ];
+        let mut body = Vec::new();
+        for msg in msgs {
+            msg.encode_body(&mut body);
+            let back = ControlMsg::decode_body(msg.tag(), &body).expect("round trip");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn control_decode_rejects_garbage() {
+        assert_eq!(
+            ControlMsg::decode_body(0xFF, &[]),
+            Err(WireError::UnknownTag(0xFF))
+        );
+        // Truncated TrainStart body.
+        assert_eq!(
+            ControlMsg::decode_body(0x12, &[0; 4]),
+            Err(WireError::BadLength)
+        );
+        // Trailing bytes are an error, not silently ignored.
+        assert_eq!(
+            ControlMsg::decode_body(0x15, &[0]),
+            Err(WireError::BadLength)
+        );
+    }
+
+    #[test]
+    fn nan_clip_encodes_none() {
+        let mut body = Vec::new();
+        ControlMsg::Welcome {
+            num_clients: 1,
+            rounds: 1,
+            local_steps: 1,
+            batch_size: 1,
+            probe_batch: 1,
+            lambda: 0.0,
+            lr: 0.1,
+            clip_grad_norm: f32::NAN,
+            seed: 0,
+        }
+        .encode_body(&mut body);
+        match ControlMsg::decode_body(0x11, &body).unwrap() {
+            ControlMsg::Welcome { clip_grad_norm, .. } => assert!(clip_grad_norm.is_nan()),
+            other => panic!("wrong decode: {other:?}"),
+        }
     }
 
     #[test]

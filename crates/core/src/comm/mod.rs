@@ -1,15 +1,20 @@
-//! Byte-accurate communication simulation.
+//! Byte-accurate communication: simulated and real.
 //!
-//! The layer is split in two: [`Channel`]/[`CommStats`] meter bytes with the
-//! real wire codec, and the [`Transport`] trait decides *delivery* — typed
+//! The layer is split in three: [`Channel`]/[`CommStats`] meter bytes with
+//! the real wire codec, the [`Transport`] trait decides *delivery* — typed
 //! envelopes ([`MsgKind`]) go in, [`Delivery`]/[`BroadcastDelivery`] outcomes
-//! come out. [`PerfectTransport`] is the lossless default (byte-identical to
-//! the bare channel); [`FaultyTransport`] injects seeded per-link drops,
-//! virtual latency, bounded retries, and per-round deadlines.
+//! come out — and the socket layer moves the same frames over a real wire.
+//! [`PerfectTransport`] is the lossless default (byte-identical to the bare
+//! channel); [`FaultyTransport`] injects seeded per-link drops, virtual
+//! latency, bounded retries, and per-round deadlines; [`SocketTransport`]
+//! runs the server end of a multi-process federation over TCP or Unix-domain
+//! sockets and reproduces the perfect transport bit-exactly on a loopback.
 
 mod channel;
 mod faulty;
 mod message;
+mod session;
+mod socket;
 mod stats;
 mod transport;
 
@@ -17,6 +22,15 @@ pub(crate) use faulty::mix64;
 
 pub use channel::Channel;
 pub use faulty::{FaultConfig, FaultyTransport, LatencyModel};
-pub use message::{BroadcastDelivery, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind};
+pub use message::{
+    BroadcastDelivery, ControlMsg, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind,
+    WireError, PROTO_MAGIC, PROTO_VERSION,
+};
+pub use session::SessionState;
+pub use socket::run_client_loop;
+pub use socket::{
+    read_frame, write_frame, ClientConn, ClientEvent, ClientLoopOpts, ClientOutcome, Endpoint,
+    SocketTransport, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
 pub use stats::{CommStats, Direction};
-pub use transport::{PerfectTransport, Transport};
+pub use transport::{PerfectTransport, RemoteTransport, Transport};

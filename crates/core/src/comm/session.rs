@@ -1,0 +1,237 @@
+//! Per-connection server-side session: a small state machine over one
+//! client's socket.
+//!
+//! Every accepted connection walks `Handshake → Registered`, oscillates
+//! `Registered ↔ InRound` while the round loop runs, and ends in `Draining`
+//! — either gracefully (the client sent [`ControlMsg::Goodbye`]) or because
+//! the link died. A draining session never delivers again: every later send
+//! or receive on it reports a deterministic [`DropReason::Loss`], which is
+//! exactly how the in-memory fault models describe a lost client, so the
+//! round loop's churn handling is identical across backends.
+//!
+//! Each live session owns a reader thread that drains the socket into a
+//! tag-indexed frame queue; the transport's blocking receives pop from the
+//! queue under a bounded wait, so a hung client can never wedge the server.
+
+use super::message::ControlMsg;
+use super::socket::{read_frame, write_frame, WireStream, FRAME_HEADER_BYTES};
+use std::collections::VecDeque;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Lifecycle of one client connection, as seen by the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Connected, `Hello` not yet validated.
+    Handshake,
+    /// Registered and idle between rounds.
+    Registered,
+    /// A `TrainStart` is outstanding; the client owes a report + upload.
+    InRound,
+    /// The client left (goodbye, error, or replacement); terminal.
+    Draining,
+}
+
+impl SessionState {
+    /// Whether the machine may move from `self` to `to`. `Draining` is
+    /// terminal: a reconnect creates a *new* session rather than reviving
+    /// the drained one.
+    pub fn can_transition(self, to: SessionState) -> bool {
+        use SessionState::*;
+        matches!(
+            (self, to),
+            (Handshake, Registered)
+                | (Registered, InRound)
+                | (InRound, Registered)
+                | (Handshake, Draining)
+                | (Registered, Draining)
+                | (InRound, Draining)
+        )
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Handshake => "handshake",
+            SessionState::Registered => "registered",
+            SessionState::InRound => "in_round",
+            SessionState::Draining => "draining",
+        }
+    }
+}
+
+/// Why a blocking receive returned no frame.
+#[derive(Debug)]
+pub(crate) enum RecvError {
+    /// The session is draining (goodbye, dead link, or replaced).
+    Closed,
+    /// No matching frame arrived within the wait bound.
+    TimedOut,
+}
+
+struct SessionInner {
+    state: Mutex<SessionState>,
+    /// Received frames, newest last, not yet claimed by the round loop.
+    queue: Mutex<VecDeque<(u8, Vec<u8>)>>,
+    cv: Condvar,
+}
+
+/// One registered client connection. The writer half lives behind a mutex
+/// (the round loop and shutdown may race); the reader half is owned by the
+/// session's reader thread.
+pub(crate) struct Session {
+    writer: Mutex<Box<dyn WireStream>>,
+    inner: Arc<SessionInner>,
+    /// Raw handle used to force-close the socket on shutdown so the reader
+    /// thread unblocks.
+    closer: Box<dyn WireStream>,
+}
+
+impl Session {
+    /// Wraps an already-handshaken stream in a `Registered` session and
+    /// spawns its reader thread.
+    pub(crate) fn spawn(id: usize, stream: Box<dyn WireStream>) -> io::Result<Arc<Session>> {
+        let writer = stream.try_clone_stream()?;
+        let closer = stream.try_clone_stream()?;
+        let inner = Arc::new(SessionInner {
+            state: Mutex::new(SessionState::Registered),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        let session = Arc::new(Session {
+            writer: Mutex::new(writer),
+            inner: inner.clone(),
+            closer,
+        });
+        let mut reader = stream;
+        std::thread::Builder::new()
+            .name(format!("rfl-session-{id}"))
+            .spawn(move || {
+                loop {
+                    match read_frame(&mut reader) {
+                        Ok((tag, body)) => {
+                            if tag == ControlMsg::Goodbye.tag() {
+                                Session::drain_inner(&inner);
+                                break;
+                            }
+                            let mut q = inner.queue.lock().expect("session queue poisoned");
+                            q.push_back((tag, body));
+                            inner.cv.notify_all();
+                        }
+                        Err(_) => {
+                            // EOF, reset, or garbage: the link is gone.
+                            Session::drain_inner(&inner);
+                            break;
+                        }
+                    }
+                }
+            })?;
+        Ok(session)
+    }
+
+    fn drain_inner(inner: &SessionInner) {
+        *inner.state.lock().expect("session state poisoned") = SessionState::Draining;
+        inner.cv.notify_all();
+    }
+
+    pub(crate) fn state(&self) -> SessionState {
+        *self.inner.state.lock().expect("session state poisoned")
+    }
+
+    /// Moves the machine to `to` if the transition is legal; draining wins
+    /// every race (a goodbye observed mid-transition sticks).
+    pub(crate) fn set_state(&self, to: SessionState) {
+        let mut st = self.inner.state.lock().expect("session state poisoned");
+        if st.can_transition(to) {
+            *st = to;
+        }
+    }
+
+    /// Whether the session can still carry traffic.
+    pub(crate) fn is_live(&self) -> bool {
+        self.state() != SessionState::Draining
+    }
+
+    /// Writes one frame; returns the wire bytes. A failed write drains the
+    /// session (the link is dead — everything after it is dropped too).
+    pub(crate) fn send_frame(&self, tag: u8, body: &[u8]) -> io::Result<u64> {
+        if !self.is_live() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "session draining",
+            ));
+        }
+        let mut w = self.writer.lock().expect("session writer poisoned");
+        match write_frame(&mut **w, tag, body) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                Session::drain_inner(&self.inner);
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until a frame with `tag` arrives (earlier frames of other
+    /// tags stay queued), the session drains, or `timeout` passes. Returns
+    /// the frame body and its wire size.
+    pub(crate) fn recv_frame(
+        &self,
+        tag: u8,
+        timeout: Duration,
+    ) -> Result<(Vec<u8>, u64), RecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock().expect("session queue poisoned");
+        loop {
+            if let Some(pos) = q.iter().position(|(t, _)| *t == tag) {
+                let (_, body) = q.remove(pos).expect("position just found");
+                let wire = FRAME_HEADER_BYTES + body.len() as u64;
+                return Ok((body, wire));
+            }
+            if !self.is_live() {
+                return Err(RecvError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvError::TimedOut);
+            }
+            let (guard, _) = self
+                .inner
+                .cv
+                .wait_timeout(q, deadline - now)
+                .expect("session queue poisoned");
+            q = guard;
+        }
+    }
+
+    /// Force-closes the socket (shutdown paths); the reader thread drains
+    /// the session on the resulting EOF.
+    pub(crate) fn close(&self) {
+        Session::drain_inner(&self.inner);
+        self.closer.shutdown_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_table() {
+        use SessionState::*;
+        assert!(Handshake.can_transition(Registered));
+        assert!(Registered.can_transition(InRound));
+        assert!(InRound.can_transition(Registered));
+        for s in [Handshake, Registered, InRound] {
+            assert!(s.can_transition(Draining), "{} must drain", s.name());
+        }
+        // Draining is terminal, and no state re-enters handshake.
+        for s in [Handshake, Registered, InRound, Draining] {
+            assert!(!Draining.can_transition(s));
+            assert!(!s.can_transition(Handshake));
+        }
+        assert!(
+            !Handshake.can_transition(InRound),
+            "no training unregistered"
+        );
+    }
+}

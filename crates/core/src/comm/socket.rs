@@ -1,0 +1,1024 @@
+//! Real multi-process federation over sockets.
+//!
+//! This module promotes the [`Transport`] abstraction from in-memory
+//! delivery to an actual wire: a length-prefixed framing layer over TCP or
+//! Unix-domain sockets, speaking the *same* hand-rolled `bytes` codec as
+//! the in-memory channel ([`rfl_tensor::encode_f32_into`]), so a payload's
+//! bytes on the wire are exactly the bytes the simulation meters.
+//!
+//! Three pieces:
+//!
+//! * **Framing** — `[u32 le body_len][u8 tag][body]`. Payload frames carry
+//!   a [`MsgKind`] tag and a codec-encoded `f32` vector; control frames
+//!   carry a [`ControlMsg`] (handshake, round orchestration, churn).
+//! * **[`SocketTransport`]** — the server backend. Implements [`Transport`]
+//!   for downloads (frames written to per-client [`Session`]s) and
+//!   [`RemoteTransport`] for the client-originated half (uploads, reports)
+//!   that the in-memory simulation fakes locally. [`crate::Federation`]'s
+//!   round plumbing routes through both, so `Trainer::run` drives real
+//!   client processes unchanged.
+//! * **[`ClientConn`] / [`run_client_loop`]** — the client side: connect
+//!   (with bounded backoff), register via `Hello`/`Welcome`, then an
+//!   event-driven loop that installs broadcast parameters, trains on
+//!   `TrainStart`, uploads, and answers δ probes, until `Shutdown`.
+//!
+//! Determinism contract: a loopback run of the canonical round loop
+//! reproduces the [`PerfectTransport`] loss bit-exactly — the wire moves
+//! raw little-endian `f32` bits through the same codec, every numeric
+//! operation stays on exactly one side of the wire, and per-client frame
+//! streams are consumed in the deterministic order the round loop fixes.
+//!
+//! [`PerfectTransport`]: super::transport::PerfectTransport
+
+use super::message::{
+    BroadcastDelivery, ControlMsg, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind,
+    WireError, PROTO_MAGIC, PROTO_VERSION,
+};
+use super::session::{RecvError, Session, SessionState};
+use super::stats::{CommStats, Direction};
+use super::transport::{RemoteTransport, Transport};
+use crate::client::{Client, LocalReport};
+use crate::rules::LocalRule;
+use rfl_tensor::{decode_f32_into, encode_f32_into};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Framing overhead per frame: 4-byte body length + 1-byte tag.
+pub const FRAME_HEADER_BYTES: u64 = 5;
+
+/// Upper bound on a frame body — rejects garbage lengths before allocating.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Writes one `[len][tag][body]` frame; returns its wire size.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, tag: u8, body: &[u8]) -> io::Result<u64> {
+    assert!(body.len() <= MAX_FRAME_BYTES, "frame body too large");
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    header[4] = tag;
+    w.write_all(&header)?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(FRAME_HEADER_BYTES + body.len() as u64)
+}
+
+/// Reads one frame, tolerating arbitrarily split reads (`read_exact`
+/// loops). Returns `(tag, body)`.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {len} bytes exceeds the {MAX_FRAME_BYTES} cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((header[4], body))
+}
+
+/// A connectable/listenable address: `tcp://host:port` or `unix:/path`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP, `host:port` (port 0 binds an ephemeral port).
+    Tcp(String),
+    /// Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp://host:port`, `unix:/path`, or `unix:///path`.
+    pub fn parse(s: &str) -> io::Result<Endpoint> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        #[cfg(unix)]
+        if let Some(path) = s
+            .strip_prefix("unix://")
+            .or_else(|| s.strip_prefix("unix:"))
+        {
+            return Ok(Endpoint::Unix(std::path::PathBuf::from(path)));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("endpoint {s:?} is neither tcp://host:port nor unix:/path"),
+        ))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// The stream capabilities the framing layer needs, factored over
+/// `TcpStream`/`UnixStream`.
+pub(crate) trait WireStream: Read + Write + Send + Sync {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>>;
+    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+    /// Force-closes both halves (unblocks a blocked reader).
+    fn shutdown_now(&self);
+}
+
+impl WireStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+
+    fn shutdown_now(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(unix)]
+impl WireStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+
+    fn shutdown_now(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, std::path::PathBuf),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> io::Result<(Listener, Endpoint)> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let actual = Endpoint::Tcp(l.local_addr()?.to_string());
+                l.set_nonblocking(true)?;
+                Ok((Listener::Tcp(l), actual))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // A stale socket file from a dead server would fail the
+                // bind; replacing it is the conventional daemon behavior.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok((Listener::Unix(l, path.clone()), endpoint.clone()))
+            }
+        }
+    }
+
+    /// Non-blocking accept (the accept loop polls the stop flag between
+    /// attempts).
+    fn try_accept(&self) -> io::Result<Option<Box<dyn WireStream>>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_nodelay(true)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+struct ServerShared {
+    /// `sessions[k]` is client `k`'s live session, if any.
+    sessions: Mutex<Vec<Option<Arc<Session>>>>,
+    registration: Condvar,
+    /// Reconnects observed by the accept loop — reported as
+    /// [`FaultStats::retries`], the same History/CSV column the in-memory
+    /// fault model uses for retransmissions.
+    reconnects: AtomicU64,
+    stop: AtomicBool,
+    /// Handshake wire bytes, folded into [`CommStats`] at the next round
+    /// boundary (the accept thread cannot touch the ledger directly).
+    pending_up: AtomicU64,
+    pending_down: AtomicU64,
+    pending_msgs: AtomicU64,
+    welcome_tag: u8,
+    welcome_body: Vec<u8>,
+    n_clients: usize,
+    seed: u64,
+}
+
+/// The socket-backed server transport (TCP or Unix-domain).
+///
+/// Downloads implement [`Transport`] by writing real frames; the
+/// client-originated half (uploads, reports) arrives through the
+/// [`RemoteTransport`] receives that [`crate::Federation`]'s remote mode
+/// calls in place of the simulation's local loopback. Delivery outcomes map
+/// onto the same [`Delivery`]/[`LinkOutcome`] vocabulary as the in-memory
+/// backends: a drained session is a [`DropReason::Loss`], a receive that
+/// outwaits [`SocketTransport::set_recv_timeout`] is a
+/// [`DropReason::Deadline`], and reconnects count as retries.
+pub struct SocketTransport {
+    shared: Arc<ServerShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    local: Endpoint,
+    stats: CommStats,
+    dropped: u64,
+    deadline_drops: u64,
+    timeout: Duration,
+    /// Codec scratch (payload encode) and control scratch.
+    wire: Vec<u8>,
+    body: Vec<u8>,
+}
+
+impl SocketTransport {
+    /// Binds `endpoint` and starts accepting registrations. `welcome` must
+    /// be the [`ControlMsg::Welcome`] run configuration; its `num_clients`
+    /// and `seed` validate incoming `Hello`s.
+    pub fn bind(endpoint: &Endpoint, welcome: &ControlMsg) -> io::Result<SocketTransport> {
+        let (n_clients, seed) = match *welcome {
+            ControlMsg::Welcome {
+                num_clients, seed, ..
+            } => (num_clients as usize, seed),
+            ref other => panic!(
+                "SocketTransport::bind needs a Welcome, got {}",
+                other.name()
+            ),
+        };
+        let (listener, local) = Listener::bind(endpoint)?;
+        let mut welcome_body = Vec::new();
+        welcome.encode_body(&mut welcome_body);
+        let shared = Arc::new(ServerShared {
+            sessions: Mutex::new(vec![None; n_clients]),
+            registration: Condvar::new(),
+            reconnects: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            pending_up: AtomicU64::new(0),
+            pending_down: AtomicU64::new(0),
+            pending_msgs: AtomicU64::new(0),
+            welcome_tag: welcome.tag(),
+            welcome_body,
+            n_clients,
+            seed,
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("rfl-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(SocketTransport {
+            shared,
+            accept_thread: Some(accept_thread),
+            local,
+            stats: CommStats::new(),
+            dropped: 0,
+            deadline_drops: 0,
+            timeout: recv_timeout_from_env(),
+            wire: Vec::new(),
+            body: Vec::new(),
+        })
+    }
+
+    /// The actually bound endpoint (resolves an ephemeral TCP port 0).
+    pub fn local_endpoint(&self) -> &Endpoint {
+        &self.local
+    }
+
+    /// Bounds every blocking receive; a client that stays silent longer is
+    /// dropped from the round as a [`DropReason::Deadline`]. Defaults to
+    /// 120 s (`RFL_SOCKET_TIMEOUT_SECS` overrides).
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Blocks until all expected clients hold a live registered session, or
+    /// `timeout` passes.
+    pub fn wait_for_clients(&self, timeout: Duration) -> io::Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut sessions = self.shared.sessions.lock().expect("sessions poisoned");
+        loop {
+            let live = sessions.iter().flatten().filter(|s| s.is_live()).count();
+            if live == self.shared.n_clients {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("{live}/{} clients registered", self.shared.n_clients),
+                ));
+            }
+            let (guard, _) = self
+                .shared
+                .registration
+                .wait_timeout(sessions, deadline - now)
+                .expect("sessions poisoned");
+            sessions = guard;
+        }
+    }
+
+    /// Number of currently live (non-draining) sessions.
+    pub fn live_clients(&self) -> usize {
+        let sessions = self.shared.sessions.lock().expect("sessions poisoned");
+        sessions.iter().flatten().filter(|s| s.is_live()).count()
+    }
+
+    fn session(&self, client: usize) -> Option<Arc<Session>> {
+        let sessions = self.shared.sessions.lock().expect("sessions poisoned");
+        sessions.get(client).and_then(|s| s.clone())
+    }
+
+    /// Folds handshake traffic metered by the accept thread into the
+    /// ledger. Handshakes come in hello/welcome pairs, so half the pending
+    /// messages went up and half came down; the first record on each side
+    /// carries the accumulated bytes, the rest only bump the message count.
+    fn fold_pending(&mut self) {
+        let up = self.shared.pending_up.swap(0, Ordering::Relaxed);
+        let down = self.shared.pending_down.swap(0, Ordering::Relaxed);
+        let msgs = self.shared.pending_msgs.swap(0, Ordering::Relaxed);
+        for i in 0..msgs / 2 {
+            self.stats
+                .record(Direction::Upload, if i == 0 { up } else { 0 });
+            self.stats
+                .record(Direction::Download, if i == 0 { down } else { 0 });
+        }
+    }
+
+    /// Encodes `payload` with the wire codec into the scratch buffer and
+    /// returns the round-tripped copy (the receiver-side bytes).
+    fn codec_round_trip(&mut self, payload: &[f32]) -> Vec<f32> {
+        encode_f32_into(&mut self.wire, payload);
+        let mut out = Vec::with_capacity(payload.len());
+        decode_f32_into(&self.wire, &mut out).expect("codec round-trip cannot fail");
+        out
+    }
+
+    fn charge(&mut self, kind: MsgKind, bytes: u64) {
+        if kind.is_delta() {
+            self.stats.record_delta(kind.direction(), bytes);
+        } else {
+            self.stats.record(kind.direction(), bytes);
+        }
+    }
+
+    fn charge_control(&mut self, dir: Direction, bytes: u64) {
+        self.stats.record(dir, bytes);
+    }
+
+    fn send_control(&mut self, client: usize, msg: &ControlMsg) -> LinkOutcome {
+        let Some(session) = self.session(client) else {
+            self.dropped += 1;
+            return LinkOutcome {
+                delivered: false,
+                attempts: 1,
+                reason: Some(DropReason::Loss),
+            };
+        };
+        msg.encode_body(&mut self.body);
+        match session.send_frame(msg.tag(), &self.body) {
+            Ok(n) => {
+                self.charge_control(msg.direction(), n);
+                LinkOutcome::perfect()
+            }
+            Err(_) => {
+                self.dropped += 1;
+                LinkOutcome {
+                    delivered: false,
+                    attempts: 1,
+                    reason: Some(DropReason::Loss),
+                }
+            }
+        }
+    }
+
+    fn recv_frame(&mut self, client: usize, tag: u8) -> Result<Vec<u8>, DropReason> {
+        let Some(session) = self.session(client) else {
+            return Err(DropReason::Loss);
+        };
+        match session.recv_frame(tag, self.timeout) {
+            // The caller charges the wire bytes (plane depends on the kind).
+            Ok((body, _wire)) => Ok(body),
+            Err(RecvError::Closed) => Err(DropReason::Loss),
+            Err(RecvError::TimedOut) => {
+                // A silent client is dropped from the round, exactly like
+                // the in-memory deadline model; drain so later phases fail
+                // fast instead of re-waiting the full timeout.
+                session.close();
+                Err(DropReason::Deadline)
+            }
+        }
+    }
+}
+
+fn recv_timeout_from_env() -> Duration {
+    std::env::var("RFL_SOCKET_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(120))
+}
+
+fn accept_loop(listener: Listener, shared: Arc<ServerShared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.try_accept() {
+            Ok(Some(stream)) => {
+                // Handshake inline: one frame in, one frame out, bounded.
+                let _ = handshake(stream, &shared);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Validates a `Hello`, replies `Welcome`, and registers the session.
+fn handshake(mut stream: Box<dyn WireStream>, shared: &Arc<ServerShared>) -> io::Result<()> {
+    stream.set_stream_read_timeout(Some(Duration::from_secs(10)))?;
+    let (tag, body) = read_frame(&mut stream)?;
+    let hello = ControlMsg::decode_body(tag, &body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let ControlMsg::Hello {
+        magic,
+        version,
+        client_id,
+        seed,
+    } = hello
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "first frame was not a hello",
+        ));
+    };
+    let id = client_id as usize;
+    if magic != PROTO_MAGIC || version != PROTO_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "protocol magic/version mismatch",
+        ));
+    }
+    if id >= shared.n_clients || seed != shared.seed {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "client id out of range or seed mismatch",
+        ));
+    }
+    let hello_bytes = FRAME_HEADER_BYTES + body.len() as u64;
+    stream.set_stream_read_timeout(None)?;
+    // Register the session *before* sending the welcome: a client that
+    // holds its Welcome must already be visible to wait_for_clients.
+    let session = Session::spawn(id, stream)?;
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    if let Some(old) = sessions[id].replace(session.clone()) {
+        // A returning client: the old link is superseded. Count it as a
+        // retry (the reconnect IS the retransmission budget of this
+        // backend) and force the stale reader out.
+        shared.reconnects.fetch_add(1, Ordering::Relaxed);
+        old.close();
+    }
+    drop(sessions);
+    let welcome_bytes = session.send_frame(shared.welcome_tag, &shared.welcome_body)?;
+    shared.pending_up.fetch_add(hello_bytes, Ordering::Relaxed);
+    shared
+        .pending_down
+        .fetch_add(welcome_bytes, Ordering::Relaxed);
+    shared.pending_msgs.fetch_add(2, Ordering::Relaxed);
+    shared.registration.notify_all();
+    Ok(())
+}
+
+impl Transport for SocketTransport {
+    fn begin_round(&mut self, _round: u64) {
+        self.fold_pending();
+    }
+
+    fn send(&mut self, kind: MsgKind, client: usize, payload: &[f32]) -> Delivery {
+        assert_eq!(
+            kind.direction(),
+            Direction::Download,
+            "server-originated sends go down; uploads arrive via RemoteTransport::recv"
+        );
+        let data = self.codec_round_trip(payload);
+        let outcome = match self.session(client) {
+            Some(session) => match session.send_frame(kind.tag(), &self.wire) {
+                Ok(n) => {
+                    self.charge(kind, n);
+                    LinkOutcome::perfect()
+                }
+                Err(_) => {
+                    self.dropped += 1;
+                    LinkOutcome {
+                        delivered: false,
+                        attempts: 1,
+                        reason: Some(DropReason::Loss),
+                    }
+                }
+            },
+            None => {
+                self.dropped += 1;
+                LinkOutcome {
+                    delivered: false,
+                    attempts: 1,
+                    reason: Some(DropReason::Loss),
+                }
+            }
+        };
+        Delivery {
+            data: outcome.delivered.then_some(data),
+            attempts: outcome.attempts,
+            reason: outcome.reason,
+        }
+    }
+
+    fn broadcast(
+        &mut self,
+        kind: MsgKind,
+        clients: &[usize],
+        payload: &[f32],
+    ) -> BroadcastDelivery {
+        debug_assert_eq!(kind.direction(), Direction::Download, "broadcasts go down");
+        let data = self.codec_round_trip(payload);
+        let mut links = Vec::with_capacity(clients.len());
+        let mut delivered_bytes = 0u64;
+        for &k in clients {
+            let outcome = match self.session(k) {
+                Some(session) => match session.send_frame(kind.tag(), &self.wire) {
+                    Ok(n) => {
+                        delivered_bytes += n;
+                        LinkOutcome::perfect()
+                    }
+                    Err(_) => {
+                        self.dropped += 1;
+                        LinkOutcome {
+                            delivered: false,
+                            attempts: 1,
+                            reason: Some(DropReason::Loss),
+                        }
+                    }
+                },
+                None => {
+                    self.dropped += 1;
+                    LinkOutcome {
+                        delivered: false,
+                        attempts: 1,
+                        reason: Some(DropReason::Loss),
+                    }
+                }
+            };
+            links.push(outcome);
+        }
+        if delivered_bytes > 0 {
+            self.charge(kind, delivered_bytes);
+        }
+        BroadcastDelivery { data, links }
+    }
+
+    fn send_raw(&mut self, kind: MsgKind, _client: usize, wire_bytes: u64) -> LinkOutcome {
+        // No compressed-payload frames exist on the socket protocol yet;
+        // keep the ledger semantics so byte accounting stays total.
+        self.charge(kind, wire_bytes);
+        LinkOutcome::perfect()
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped,
+            retries: self.shared.reconnects.load(Ordering::Relaxed),
+            deadline_drops: self.deadline_drops,
+        }
+    }
+
+    fn as_remote(&mut self) -> Option<&mut dyn RemoteTransport> {
+        Some(self)
+    }
+}
+
+impl RemoteTransport for SocketTransport {
+    fn recv(&mut self, kind: MsgKind, client: usize) -> Delivery {
+        assert_eq!(
+            kind.direction(),
+            Direction::Upload,
+            "remote receives are client-originated uploads"
+        );
+        match self.recv_frame(client, kind.tag()) {
+            Ok(body) => {
+                let mut data = Vec::new();
+                match decode_f32_into(&body, &mut data) {
+                    Ok(()) => {
+                        self.charge(kind, FRAME_HEADER_BYTES + body.len() as u64);
+                        Delivery {
+                            data: Some(data),
+                            attempts: 1,
+                            reason: None,
+                        }
+                    }
+                    Err(_) => {
+                        self.dropped += 1;
+                        Delivery {
+                            data: None,
+                            attempts: 1,
+                            reason: Some(DropReason::Loss),
+                        }
+                    }
+                }
+            }
+            Err(reason) => {
+                self.dropped += 1;
+                if reason == DropReason::Deadline {
+                    self.deadline_drops += 1;
+                }
+                Delivery {
+                    data: None,
+                    attempts: 1,
+                    reason: Some(reason),
+                }
+            }
+        }
+    }
+
+    fn start_training(&mut self, client: usize, round: u64, steps: usize) -> LinkOutcome {
+        let out = self.send_control(
+            client,
+            &ControlMsg::TrainStart {
+                round,
+                steps: steps as u32,
+            },
+        );
+        if out.delivered {
+            if let Some(s) = self.session(client) {
+                s.set_state(SessionState::InRound);
+            }
+        }
+        out
+    }
+
+    fn recv_report(&mut self, client: usize) -> Option<LocalReport> {
+        let tag = ControlMsg::Report {
+            loss: 0.0,
+            reg_loss: 0.0,
+            steps: 0,
+            examples: 0,
+        }
+        .tag();
+        match self.recv_frame(client, tag) {
+            Ok(body) => {
+                self.charge_control(Direction::Upload, FRAME_HEADER_BYTES + body.len() as u64);
+                if let Some(s) = self.session(client) {
+                    s.set_state(SessionState::Registered);
+                }
+                match ControlMsg::decode_body(tag, &body) {
+                    Ok(ControlMsg::Report {
+                        loss,
+                        reg_loss,
+                        steps,
+                        examples,
+                    }) => Some(LocalReport {
+                        loss,
+                        reg_loss,
+                        steps: steps as usize,
+                        examples: examples as usize,
+                    }),
+                    _ => None,
+                }
+            }
+            Err(reason) => {
+                self.dropped += 1;
+                if reason == DropReason::Deadline {
+                    self.deadline_drops += 1;
+                }
+                None
+            }
+        }
+    }
+
+    fn request_delta(&mut self, client: usize, round: u64, probe_batch: usize) -> LinkOutcome {
+        self.send_control(
+            client,
+            &ControlMsg::DeltaProbe {
+                round,
+                probe_batch: probe_batch as u32,
+            },
+        )
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        let sessions: Vec<Arc<Session>> = {
+            let guard = self.shared.sessions.lock().expect("sessions poisoned");
+            guard.iter().flatten().cloned().collect()
+        };
+        self.body.clear();
+        for session in sessions {
+            if session.is_live() {
+                let msg = ControlMsg::Shutdown;
+                msg.encode_body(&mut self.body);
+                if let Ok(n) = session.send_frame(msg.tag(), &self.body) {
+                    self.charge_control(Direction::Download, n);
+                }
+            }
+            session.close();
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.fold_pending();
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A client's framed connection to an [`SocketTransport`] server.
+pub struct ClientConn {
+    stream: Box<dyn WireStream>,
+    body: Vec<u8>,
+    wire: Vec<u8>,
+}
+
+/// One frame from the server, decoded.
+#[derive(Debug)]
+pub enum ClientEvent {
+    /// A payload frame: an `f32` vector on a [`MsgKind`] plane.
+    Payload(MsgKind, Vec<f32>),
+    /// A control frame.
+    Control(ControlMsg),
+}
+
+impl ClientConn {
+    /// Connects once.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<ClientConn> {
+        let stream: Box<dyn WireStream> = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                s.set_nodelay(true)?;
+                Box::new(s)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Box::new(UnixStream::connect(path)?),
+        };
+        Ok(ClientConn {
+            stream,
+            body: Vec::new(),
+            wire: Vec::new(),
+        })
+    }
+
+    /// Connects with bounded linear backoff: attempt `i` (0-based) sleeps
+    /// `i × base_delay` first. Gives a client started before its server a
+    /// registration window, and bounds how long a partitioned client spins.
+    pub fn connect_with_backoff(
+        endpoint: &Endpoint,
+        attempts: u32,
+        base_delay: Duration,
+    ) -> io::Result<ClientConn> {
+        assert!(attempts >= 1, "need at least one attempt");
+        let mut last = None;
+        for i in 0..attempts {
+            std::thread::sleep(base_delay * i);
+            match ClientConn::connect(endpoint) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt failed"))
+    }
+
+    /// Registers with the server; returns the `Welcome` run configuration.
+    pub fn hello(&mut self, client_id: u32, seed: u64) -> io::Result<ControlMsg> {
+        self.send_control(&ControlMsg::Hello {
+            magic: PROTO_MAGIC,
+            version: PROTO_VERSION,
+            client_id,
+            seed,
+        })?;
+        match self.read_event()? {
+            ClientEvent::Control(welcome @ ControlMsg::Welcome { .. }) => Ok(welcome),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected welcome, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends a control frame.
+    pub fn send_control(&mut self, msg: &ControlMsg) -> io::Result<()> {
+        msg.encode_body(&mut self.body);
+        write_frame(&mut self.stream, msg.tag(), &self.body)?;
+        Ok(())
+    }
+
+    /// Sends an `f32` payload on `kind`'s plane (codec-encoded).
+    pub fn send_payload(&mut self, kind: MsgKind, data: &[f32]) -> io::Result<()> {
+        encode_f32_into(&mut self.wire, data);
+        write_frame(&mut self.stream, kind.tag(), &self.wire)?;
+        Ok(())
+    }
+
+    /// Blocks for the next frame.
+    pub fn read_event(&mut self) -> io::Result<ClientEvent> {
+        let (tag, body) = read_frame(&mut self.stream)?;
+        if let Some(kind) = MsgKind::from_tag(tag) {
+            let mut data = Vec::new();
+            decode_f32_into(&body, &mut data)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad payload codec"))?;
+            return Ok(ClientEvent::Payload(kind, data));
+        }
+        let msg = ControlMsg::decode_body(tag, &body)
+            .map_err(|e: WireError| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(ClientEvent::Control(msg))
+    }
+}
+
+/// Client-loop tuning knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientLoopOpts {
+    /// Graceful churn: after completing round `r`'s training and upload,
+    /// answer its δ probe with a `Goodbye` and leave the federation.
+    pub leave_after_round: Option<u64>,
+}
+
+/// How a client loop ended.
+#[derive(Debug)]
+pub enum ClientOutcome {
+    /// The server ended the run; exit cleanly.
+    Shutdown,
+    /// This client left gracefully (`leave_after_round`).
+    Left,
+    /// The link died; the caller may reconnect and resume.
+    Disconnected(io::Error),
+}
+
+/// The event-driven client half of the protocol: installs broadcast
+/// parameters, trains on `TrainStart` (with the δ target received this
+/// round, if any), uploads report + parameters, and answers δ probes —
+/// until `Shutdown`, a graceful departure, or a dead link.
+///
+/// The numeric call sequence on `client` is exactly the one the in-process
+/// simulation makes on its local replica, so the client's RNG stream and
+/// parameter trajectory are bit-identical to the oracle's.
+pub fn run_client_loop(
+    conn: &mut ClientConn,
+    client: &mut Client,
+    lambda: f32,
+    opts: &ClientLoopOpts,
+) -> ClientOutcome {
+    let mut pending_target: Option<Vec<f32>> = None;
+    let mut flat = Vec::new();
+    loop {
+        let event = match conn.read_event() {
+            Ok(ev) => ev,
+            Err(e) => return ClientOutcome::Disconnected(e),
+        };
+        let io_result = match event {
+            ClientEvent::Payload(MsgKind::ModelDown, params) => {
+                client.write_params(&params);
+                Ok(())
+            }
+            ClientEvent::Payload(MsgKind::DeltaDown, target) => {
+                pending_target = Some(target);
+                Ok(())
+            }
+            ClientEvent::Control(ControlMsg::TrainStart { steps, .. }) => {
+                let rule = match pending_target.take() {
+                    Some(target) => LocalRule::Mmd {
+                        lambda,
+                        target: Arc::new(target),
+                    },
+                    None => LocalRule::Plain,
+                };
+                let report = client.train_local(steps as usize, &rule);
+                conn.send_control(&ControlMsg::Report {
+                    loss: report.loss,
+                    reg_loss: report.reg_loss,
+                    steps: report.steps as u32,
+                    examples: report.examples as u32,
+                })
+                .and_then(|()| {
+                    client.read_params(&mut flat);
+                    conn.send_payload(MsgKind::ModelUp, &flat)
+                })
+            }
+            ClientEvent::Control(ControlMsg::DeltaProbe { round, probe_batch }) => {
+                if opts.leave_after_round == Some(round) {
+                    let _ = conn.send_control(&ControlMsg::Goodbye);
+                    return ClientOutcome::Left;
+                }
+                let delta = client.compute_delta(probe_batch as usize);
+                conn.send_payload(MsgKind::DeltaUp, &delta)
+            }
+            ClientEvent::Control(ControlMsg::Shutdown) => return ClientOutcome::Shutdown,
+            // Unknown-but-valid frames (e.g. a future DeltaTableDown) are
+            // ignored rather than fatal; the server's deadline handles a
+            // client that ignores something it needed to answer.
+            _ => Ok(()),
+        };
+        if let Err(e) = io_result {
+            return ClientOutcome::Disconnected(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, 0x42, b"hello").unwrap();
+        assert_eq!(n, 5 + 5);
+        assert_eq!(buf.len() as u64, n);
+        let (tag, body) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(tag, 0x42);
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn empty_body_frames_work() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ControlMsg::Goodbye.tag(), &[]).unwrap();
+        let (tag, body) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(tag, ControlMsg::Goodbye.tag());
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(0x01);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x01, &[1, 2, 3, 4]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:7070").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7070".to_string())
+        );
+        #[cfg(unix)]
+        {
+            assert_eq!(
+                Endpoint::parse("unix:/tmp/x.sock").unwrap(),
+                Endpoint::Unix("/tmp/x.sock".into())
+            );
+            assert_eq!(
+                Endpoint::parse("unix:///tmp/x.sock").unwrap(),
+                Endpoint::Unix("/tmp/x.sock".into())
+            );
+        }
+        assert!(Endpoint::parse("http://nope").is_err());
+        // Display round-trips through parse.
+        let e = Endpoint::parse("tcp://0.0.0.0:0").unwrap();
+        assert_eq!(Endpoint::parse(&e.to_string()).unwrap(), e);
+    }
+}

@@ -10,6 +10,7 @@
 use super::channel::Channel;
 use super::message::{BroadcastDelivery, Delivery, FaultStats, LinkOutcome, MsgKind};
 use super::stats::{CommStats, Direction};
+use crate::client::LocalReport;
 
 /// A simulated network between the server and its clients.
 ///
@@ -41,6 +42,44 @@ pub trait Transport: Send {
 
     /// Message-level fault counters (all zeros for a perfect transport).
     fn fault_stats(&self) -> FaultStats;
+
+    /// The remote half of a distributed backend, when this transport moves
+    /// traffic to real client processes instead of simulating them.
+    /// In-memory backends return `None` (the default); a
+    /// [`crate::Federation`] in remote mode requires `Some`.
+    fn as_remote(&mut self) -> Option<&mut dyn RemoteTransport> {
+        None
+    }
+}
+
+/// The server-side operations a *distributed* deployment needs beyond
+/// [`Transport`]: in the simulation, uploads and training are faked locally
+/// (`send(ModelUp, ..)` already knows the payload), but with real client
+/// processes the server must *ask* for work and *wait* for the bytes. The
+/// round plumbing calls these instead of touching local [`crate::Client`]s
+/// when the federation runs in remote mode, so algorithms are oblivious to
+/// which side of the wire their peers live on.
+pub trait RemoteTransport {
+    /// Blocks for `client`'s next upload on `kind`'s plane (an
+    /// upload-direction [`MsgKind`]); meters the received wire bytes. A
+    /// dead link maps to [`super::DropReason::Loss`], a receive timeout to
+    /// [`super::DropReason::Deadline`] — the same vocabulary the in-memory
+    /// fault models emit, so churn handling is backend-agnostic.
+    fn recv(&mut self, kind: MsgKind, client: usize) -> Delivery;
+
+    /// Tells `client` to run `steps` local steps for `round`.
+    fn start_training(&mut self, client: usize, round: u64, steps: usize) -> LinkOutcome;
+
+    /// Blocks for `client`'s training report; `None` if the link died or
+    /// timed out (the client sits the aggregation out).
+    fn recv_report(&mut self, client: usize) -> Option<LocalReport>;
+
+    /// Tells `client` to probe its δ map with `probe_batch`-sized batches
+    /// and upload it.
+    fn request_delta(&mut self, client: usize, round: u64, probe_batch: usize) -> LinkOutcome;
+
+    /// Ends the run: notifies clients, closes links, stops accepting.
+    fn shutdown(&mut self);
 }
 
 /// The lossless, zero-latency transport: every send is delivered on the

@@ -4,7 +4,7 @@
 use crate::client::{Client, LocalReport};
 use crate::comm::{
     BroadcastDelivery, CommStats, Delivery, FaultStats, LinkOutcome, MsgKind, PerfectTransport,
-    Transport,
+    RemoteTransport, Transport,
 };
 use crate::delta::DeltaTable;
 use crate::dp::{privatize_delta, DpConfig};
@@ -258,9 +258,16 @@ pub(crate) fn fault_counters(span: &mut rfl_trace::Span, faults: &FaultStats) {
     }
 }
 
-/// The simulated federated system.
+/// The federated system — simulated (local [`Client`] replicas) or
+/// distributed (remote mode: clients are real processes behind a
+/// [`RemoteTransport`], and the same round plumbing asks the wire instead
+/// of the local replicas).
 pub struct Federation {
     clients: Vec<Client>,
+    /// Remote mode: `clients` is empty and every client-side operation is
+    /// routed through the transport's [`RemoteTransport`] half.
+    remote: bool,
+    n_clients: usize,
     weights: Vec<f32>,
     global: Vec<f32>,
     transport: Box<dyn Transport>,
@@ -302,6 +309,8 @@ impl Federation {
             .collect();
         Federation {
             clients,
+            remote: false,
+            n_clients: data.num_clients(),
             weights: data.client_weights(),
             global,
             transport: Box::new(PerfectTransport::new()),
@@ -312,6 +321,64 @@ impl Federation {
             tracer: Tracer::disabled(),
             current_round: 0,
             straggler: None,
+        }
+    }
+
+    /// Builds a *remote-mode* federation: no local client replicas — the
+    /// clients are real processes reachable through `transport`'s
+    /// [`RemoteTransport`] half. The server still owns the canonical
+    /// `data` (for aggregation weights and the held-out test set), the
+    /// global model, and the evaluation; every training/upload step is
+    /// asked of the wire instead of computed locally. Algorithms and
+    /// [`crate::Trainer::run`] are unchanged.
+    pub fn remote(
+        data: &FederatedData,
+        model: ModelFactory,
+        cfg: &FlConfig,
+        seed: u64,
+        mut transport: Box<dyn Transport>,
+    ) -> Self {
+        assert!(data.num_clients() >= 2, "need at least two clients");
+        assert!(
+            transport.as_remote().is_some(),
+            "remote federation needs a transport with a RemoteTransport half"
+        );
+        let eval_model = model.build(seed);
+        let mut global = Vec::new();
+        eval_model.read_params(&mut global);
+        Federation {
+            clients: Vec::new(),
+            remote: true,
+            n_clients: data.num_clients(),
+            weights: data.client_weights(),
+            global,
+            transport,
+            test: data.test.clone(),
+            eval_model,
+            parallel: cfg.parallel,
+            eval_batch: 64,
+            tracer: Tracer::disabled(),
+            current_round: 0,
+            straggler: None,
+        }
+    }
+
+    /// Whether this federation drives remote client processes.
+    pub fn is_remote(&self) -> bool {
+        self.remote
+    }
+
+    fn remote_transport(&mut self) -> &mut dyn RemoteTransport {
+        self.transport
+            .as_remote()
+            .expect("remote federation lost its RemoteTransport half")
+    }
+
+    /// Ends a remote run: tells every client process to shut down and
+    /// closes the links. No-op in simulation mode.
+    pub fn shutdown_remote(&mut self) {
+        if self.remote {
+            self.remote_transport().shutdown();
         }
     }
 
@@ -351,7 +418,7 @@ impl Federation {
     }
 
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.n_clients
     }
 
     pub fn num_params(&self) -> usize {
@@ -441,8 +508,12 @@ impl Federation {
             .transport
             .broadcast(MsgKind::ModelDown, selected, &self.global);
         let delivered = bd.delivered_clients(selected);
-        for &k in &delivered {
-            self.clients[k].write_params(&bd.data);
+        if !self.remote {
+            // Remote clients install the parameters from the frame they
+            // received; the local install is the simulation's stand-in.
+            for &k in &delivered {
+                self.clients[k].write_params(&bd.data);
+            }
         }
         span.counter("bytes", self.comm_stats().since(&before).download_bytes());
         span.counter("clients", selected.len() as u64);
@@ -459,11 +530,21 @@ impl Federation {
         let before = self.comm_snapshot();
         let fbefore = self.fault_stats();
         let mut out = Vec::with_capacity(selected.len());
-        let mut buf = Vec::new();
-        for &k in selected {
-            self.clients[k].read_params(&mut buf);
-            if let Some(params) = self.transport.send(MsgKind::ModelUp, k, &buf).data {
-                out.push((k, params));
+        if self.remote {
+            // The clients already pushed their parameters after training;
+            // claim each upload off its session queue in selection order.
+            for &k in selected {
+                if let Some(params) = self.remote_transport().recv(MsgKind::ModelUp, k).data {
+                    out.push((k, params));
+                }
+            }
+        } else {
+            let mut buf = Vec::new();
+            for &k in selected {
+                self.clients[k].read_params(&mut buf);
+                if let Some(params) = self.transport.send(MsgKind::ModelUp, k, &buf).data {
+                    out.push((k, params));
+                }
             }
         }
         span.counter("bytes", self.comm_stats().since(&before).upload_bytes());
@@ -490,14 +571,33 @@ impl Federation {
         let before = self.comm_snapshot();
         let fbefore = self.fault_stats();
         let mut delivered = 0usize;
-        for &k in selected {
-            let mut delta = self.clients[k].compute_delta(probe_batch);
-            if let Some(dp) = dp {
-                privatize_delta(&mut delta, dp, rng);
+        if self.remote {
+            assert!(
+                dp.is_none(),
+                "DP δ privatization runs client-side and is not wired over the socket protocol yet"
+            );
+            let round = self.current_round;
+            // Fan the probe requests out first so clients compute their δ
+            // maps concurrently, then claim the uploads in selection order.
+            for &k in selected {
+                self.remote_transport().request_delta(k, round, probe_batch);
             }
-            if let Some(received) = self.transport.send(MsgKind::DeltaUp, k, &delta).data {
-                table.set(k, received);
-                delivered += 1;
+            for &k in selected {
+                if let Some(received) = self.remote_transport().recv(MsgKind::DeltaUp, k).data {
+                    table.set(k, received);
+                    delivered += 1;
+                }
+            }
+        } else {
+            for &k in selected {
+                let mut delta = self.clients[k].compute_delta(probe_batch);
+                if let Some(dp) = dp {
+                    privatize_delta(&mut delta, dp, rng);
+                }
+                if let Some(received) = self.transport.send(MsgKind::DeltaUp, k, &delta).data {
+                    table.set(k, received);
+                    delivered += 1;
+                }
             }
         }
         span.counter(
@@ -541,6 +641,34 @@ impl Federation {
     ) -> Vec<LocalReport> {
         assert_eq!(selected.len(), rules.len(), "one rule per selected client");
         assert_eq!(selected.len(), steps.len(), "one step count per client");
+        if self.remote {
+            // The rule each client applies is decided on the client from
+            // the frames it received (a delivered δ target ⇒ MMD); the
+            // server-side `rules` agree by construction, because both sides
+            // key off the same delivery outcome.
+            let round = self.current_round;
+            for (&k, &e) in selected.iter().zip(steps) {
+                self.remote_transport().start_training(k, round, e);
+            }
+            let tracer = self.tracer.clone();
+            let mut reports = Vec::with_capacity(selected.len());
+            for &k in selected {
+                let mut span = tracer.client_span(SpanKind::LocalTrain, k);
+                let report = self
+                    .remote_transport()
+                    .recv_report(k)
+                    .unwrap_or(LocalReport {
+                        loss: 0.0,
+                        reg_loss: 0.0,
+                        steps: 0,
+                        examples: 0,
+                    });
+                span.counter("batches", report.steps as u64);
+                span.counter("examples", report.examples as u64);
+                reports.push(report);
+            }
+            return reports;
+        }
         if !self.parallel || selected.len() == 1 {
             return selected
                 .iter()

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod canonical;
 pub mod client;
 pub mod comm;
 pub mod compress;

@@ -1,0 +1,424 @@
+//! Socket-transport integration tests: the canonical round loop over real
+//! loopback sockets (TCP and Unix-domain) must be *bit-exact* against the
+//! in-process `PerfectTransport` oracle, and churn — graceful departures
+//! and hard mid-round kills — must degrade exactly like the in-memory
+//! fault model's deterministic drops.
+//!
+//! These run server and clients as threads inside one process (the CI
+//! `distributed-smoke` job repeats the same contract with real separate
+//! processes); the protocol, framing, and state machine are the same.
+
+use rfl_core::canonical;
+use rfl_core::comm::{
+    run_client_loop, BroadcastDelivery, ClientConn, ClientLoopOpts, ClientOutcome, CommStats,
+    ControlMsg, Delivery, DropReason, Endpoint, FaultStats, LinkOutcome, MsgKind, PerfectTransport,
+    SocketTransport, Transport,
+};
+use rfl_core::{Federation, History};
+use std::time::Duration;
+
+fn welcome(seed: u64, rounds: usize) -> ControlMsg {
+    let cfg = canonical::config(seed, rounds);
+    ControlMsg::Welcome {
+        num_clients: canonical::NUM_CLIENTS as u32,
+        rounds: rounds as u32,
+        local_steps: cfg.local_steps as u32,
+        batch_size: cfg.batch_size as u32,
+        probe_batch: cfg.probe_batch() as u32,
+        lambda: canonical::LAMBDA,
+        lr: canonical::LR,
+        clip_grad_norm: cfg.clip_grad_norm.unwrap_or(f32::NAN),
+        seed,
+    }
+}
+
+/// Runs a well-behaved canonical client against `endpoint` until shutdown.
+fn client_thread(endpoint: Endpoint, k: usize, seed: u64, opts: ClientLoopOpts) -> ClientOutcome {
+    let mut conn = ClientConn::connect_with_backoff(&endpoint, 40, Duration::from_millis(25))
+        .expect("client connect");
+    let w = conn.hello(k as u32, seed).expect("hello");
+    let ControlMsg::Welcome { rounds, lambda, .. } = w else {
+        panic!("expected welcome");
+    };
+    let cfg = canonical::config(seed, rounds as usize);
+    let data = canonical::data(seed);
+    let mut client = canonical::client(k, &data, &cfg, seed);
+    run_client_loop(&mut conn, &mut client, lambda, &opts)
+}
+
+/// Full server run over `endpoint`: binds, waits for the cohort, runs the
+/// canonical loop in remote mode, returns (history, global, faults).
+fn server_run(
+    endpoint: &Endpoint,
+    seed: u64,
+    rounds: usize,
+    recv_timeout: Duration,
+) -> (SocketHandle, Endpoint) {
+    let mut transport =
+        SocketTransport::bind(endpoint, &welcome(seed, rounds)).expect("bind server");
+    transport.set_recv_timeout(recv_timeout);
+    let actual = transport.local_endpoint().clone();
+    let handle = std::thread::spawn(move || {
+        transport
+            .wait_for_clients(Duration::from_secs(30))
+            .expect("clients register");
+        let data = canonical::data(seed);
+        let cfg = canonical::config(seed, rounds);
+        let mut fed =
+            Federation::remote(&data, canonical::model(), &cfg, seed, Box::new(transport));
+        let history = canonical::run(&mut fed, seed, rounds);
+        let faults = fed.fault_stats();
+        let stats = fed.comm_snapshot();
+        let global = fed.global().to_vec();
+        fed.shutdown_remote();
+        (history, global, faults, stats)
+    });
+    (handle, actual)
+}
+
+type SocketHandle = std::thread::JoinHandle<(History, Vec<f32>, FaultStats, CommStats)>;
+
+/// The in-process oracle on the perfect transport.
+fn oracle(seed: u64, rounds: usize) -> (History, Vec<f32>) {
+    let data = canonical::data(seed);
+    let cfg = canonical::config(seed, rounds);
+    let mut fed = Federation::new(
+        &data,
+        canonical::model(),
+        canonical::optimizer(),
+        &cfg,
+        seed,
+    );
+    let h = canonical::run(&mut fed, seed, rounds);
+    let g = fed.global().to_vec();
+    (h, g)
+}
+
+fn socket_run_matches_oracle(endpoint: &Endpoint) {
+    let (seed, rounds) = (canonical::SEED, canonical::ROUNDS);
+    let (server, actual) = server_run(endpoint, seed, rounds, Duration::from_secs(60));
+    let clients: Vec<_> = (0..canonical::NUM_CLIENTS)
+        .map(|k| {
+            let ep = actual.clone();
+            std::thread::spawn(move || client_thread(ep, k, seed, ClientLoopOpts::default()))
+        })
+        .collect();
+    let (history, global, faults, stats) = server.join().expect("server thread");
+    for c in clients {
+        assert!(matches!(c.join().expect("client"), ClientOutcome::Shutdown));
+    }
+    let (oracle_h, oracle_g) = oracle(seed, rounds);
+
+    // The non-negotiable contract: bit-exact losses and parameters.
+    let socket_losses: Vec<u32> = history
+        .records()
+        .iter()
+        .map(|r| r.train_loss.to_bits())
+        .collect();
+    let oracle_losses: Vec<u32> = oracle_h
+        .records()
+        .iter()
+        .map(|r| r.train_loss.to_bits())
+        .collect();
+    assert_eq!(socket_losses, oracle_losses, "per-round loss diverged");
+    assert_eq!(global, oracle_g, "global parameters diverged");
+    let final_loss = history.records().last().unwrap().train_loss as f64;
+    assert!(
+        canonical::loss_matches_pin(final_loss),
+        "socket run missed the pin: {final_loss:.9}"
+    );
+    assert_eq!(faults, FaultStats::default(), "clean run reported faults");
+    // Real wire bytes were metered (handshakes + frames), never zero.
+    assert!(stats.total_bytes() > 0 && stats.messages() > 0);
+}
+
+#[test]
+fn loopback_tcp_is_bit_exact_against_perfect_transport() {
+    socket_run_matches_oracle(&Endpoint::Tcp("127.0.0.1:0".to_string()));
+}
+
+#[cfg(unix)]
+#[test]
+fn loopback_unix_socket_is_bit_exact_against_perfect_transport() {
+    let path = std::env::temp_dir().join(format!("rfl-test-{}.sock", std::process::id()));
+    socket_run_matches_oracle(&Endpoint::Unix(path.clone()));
+    let _ = std::fs::remove_file(path);
+}
+
+/// The deterministic churn oracle: a perfect transport that drops the
+/// victim's traffic from a chosen point on — exactly what a departed
+/// socket client looks like to the server.
+struct VictimDrops {
+    inner: PerfectTransport,
+    victim: usize,
+    /// Round of the departure.
+    round_of_loss: u64,
+    /// Message kinds of `round_of_loss` that already miss the victim
+    /// (later rounds drop everything on its links).
+    lost_kinds: Vec<MsgKind>,
+    /// Downward broadcasts of `round_of_loss` that still reach the victim
+    /// (the first is the pre-training sync; a graceful leaver also gets
+    /// the resync, a killed one does not).
+    delivered_broadcasts: u32,
+    round: u64,
+    bcasts_this_round: u32,
+    dropped: u64,
+}
+
+impl VictimDrops {
+    fn lost(&self, kind: MsgKind, client: usize) -> bool {
+        client == self.victim
+            && (self.round > self.round_of_loss
+                || (self.round == self.round_of_loss && self.lost_kinds.contains(&kind)))
+    }
+}
+
+impl Transport for VictimDrops {
+    fn begin_round(&mut self, round: u64) {
+        self.round = round;
+        self.bcasts_this_round = 0;
+        self.inner.begin_round(round);
+    }
+
+    fn send(&mut self, kind: MsgKind, client: usize, payload: &[f32]) -> Delivery {
+        let mut d = self.inner.send(kind, client, payload);
+        if self.lost(kind, client) {
+            self.dropped += 1;
+            d.data = None;
+            d.reason = Some(DropReason::Loss);
+        }
+        d
+    }
+
+    fn broadcast(
+        &mut self,
+        kind: MsgKind,
+        clients: &[usize],
+        payload: &[f32],
+    ) -> BroadcastDelivery {
+        let mut bd = self.inner.broadcast(kind, clients, payload);
+        let gone = self.round > self.round_of_loss
+            || (self.round == self.round_of_loss
+                && self.bcasts_this_round >= self.delivered_broadcasts);
+        self.bcasts_this_round += 1;
+        if gone {
+            if let Some(i) = clients.iter().position(|&c| c == self.victim) {
+                self.dropped += 1;
+                bd.links[i] = LinkOutcome {
+                    delivered: false,
+                    attempts: 1,
+                    reason: Some(DropReason::Loss),
+                };
+            }
+        }
+        bd
+    }
+
+    fn send_raw(&mut self, kind: MsgKind, client: usize, wire_bytes: u64) -> LinkOutcome {
+        self.inner.send_raw(kind, client, wire_bytes)
+    }
+
+    fn stats(&self) -> &CommStats {
+        self.inner.stats()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped,
+            ..FaultStats::default()
+        }
+    }
+}
+
+fn churn_oracle(
+    seed: u64,
+    rounds: usize,
+    victim: usize,
+    round_of_loss: u64,
+    lost_kinds: Vec<MsgKind>,
+    delivered_broadcasts: u32,
+) -> (History, Vec<f32>) {
+    let data = canonical::data(seed);
+    let cfg = canonical::config(seed, rounds);
+    let mut fed = Federation::new(
+        &data,
+        canonical::model(),
+        canonical::optimizer(),
+        &cfg,
+        seed,
+    );
+    fed.set_transport(Box::new(VictimDrops {
+        inner: PerfectTransport::new(),
+        victim,
+        round_of_loss,
+        lost_kinds,
+        delivered_broadcasts,
+        round: 0,
+        bcasts_this_round: 0,
+        dropped: 0,
+    }));
+    let h = canonical::run(&mut fed, seed, rounds);
+    let g = fed.global().to_vec();
+    (h, g)
+}
+
+#[test]
+fn graceful_mid_round_departure_matches_deterministic_drops_bit_exactly() {
+    // Client 2 answers round 0's δ probe with a goodbye: its round-0
+    // training and upload still count, its δ never arrives, and from
+    // round 1 it is a dead link. The in-memory oracle drops exactly that
+    // message set — losses and parameters must agree bit-for-bit.
+    let (seed, rounds, victim) = (canonical::SEED, canonical::ROUNDS, 2usize);
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let (server, actual) = server_run(&endpoint, seed, rounds, Duration::from_secs(60));
+    let clients: Vec<_> = (0..canonical::NUM_CLIENTS)
+        .map(|k| {
+            let ep = actual.clone();
+            let opts = ClientLoopOpts {
+                leave_after_round: (k == victim).then_some(0),
+            };
+            std::thread::spawn(move || client_thread(ep, k, seed, opts))
+        })
+        .collect();
+    let (history, global, faults, _) = server.join().expect("server thread");
+    for (k, c) in clients.into_iter().enumerate() {
+        let outcome = c.join().expect("client");
+        if k == victim {
+            assert!(matches!(outcome, ClientOutcome::Left), "victim outcome");
+        } else {
+            assert!(matches!(outcome, ClientOutcome::Shutdown));
+        }
+    }
+    // Graceful leave: both round-0 broadcasts reached the victim; only its
+    // δ upload is missing, then everything from round 1.
+    let (oracle_h, oracle_g) = churn_oracle(seed, rounds, victim, 0, vec![MsgKind::DeltaUp], 2);
+    let a: Vec<u32> = history
+        .records()
+        .iter()
+        .map(|r| r.train_loss.to_bits())
+        .collect();
+    let b: Vec<u32> = oracle_h
+        .records()
+        .iter()
+        .map(|r| r.train_loss.to_bits())
+        .collect();
+    assert_eq!(a, b, "churn losses diverged from the drop oracle");
+    assert_eq!(global, oracle_g, "churn parameters diverged");
+    assert!(faults.dropped > 0, "the departure must surface as drops");
+}
+
+#[test]
+fn hard_mid_round_kill_renormalizes_over_survivors() {
+    // Client 1 dies the moment training starts in round 0 — no report, no
+    // upload, no goodbye. The server must stay live, renormalize round 0
+    // over the survivors, exclude the corpse from round 1, and produce the
+    // same *global parameters* as the in-memory oracle dropping the same
+    // message set. (Losses legitimately differ: the simulation still sees
+    // the dead client's local report, a real server cannot.)
+    let (seed, rounds, victim) = (canonical::SEED, canonical::ROUNDS, 1usize);
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let (server, actual) = server_run(&endpoint, seed, rounds, Duration::from_secs(30));
+    let mut threads = Vec::new();
+    for k in 0..canonical::NUM_CLIENTS {
+        let ep = actual.clone();
+        if k == victim {
+            threads.push(std::thread::spawn(move || {
+                let mut conn = ClientConn::connect_with_backoff(&ep, 40, Duration::from_millis(25))
+                    .expect("victim connect");
+                conn.hello(victim as u32, seed).expect("victim hello");
+                // Participate right up to the kill: install the broadcast,
+                // then die on the training order.
+                loop {
+                    match conn.read_event().expect("victim read") {
+                        rfl_core::comm::ClientEvent::Control(ControlMsg::TrainStart { .. }) => {
+                            return ClientOutcome::Left
+                        } // dropping conn = the kill
+                        _ => continue,
+                    }
+                }
+            }));
+        } else {
+            threads.push(std::thread::spawn(move || {
+                client_thread(ep, k, seed, ClientLoopOpts::default())
+            }));
+        }
+    }
+    let (history, global, faults, _) = server.join().expect("server survived the kill");
+    for (k, t) in threads.into_iter().enumerate() {
+        let outcome = t.join().expect("client");
+        if k != victim {
+            assert!(matches!(outcome, ClientOutcome::Shutdown));
+        }
+    }
+    assert_eq!(history.records().len(), rounds, "all rounds completed");
+    assert!(faults.dropped > 0, "the kill must surface as drops");
+    // Only the pre-training broadcast of round 0 reached the victim; its
+    // report, upload, resync, and δ all went missing.
+    let (_, oracle_g) = churn_oracle(
+        seed,
+        rounds,
+        victim,
+        0,
+        vec![MsgKind::ModelUp, MsgKind::DeltaUp],
+        1,
+    );
+    assert_eq!(
+        global, oracle_g,
+        "survivor aggregation diverged from the drop oracle"
+    );
+}
+
+#[test]
+fn reconnect_replaces_the_session_and_counts_as_a_retry() {
+    let seed = canonical::SEED;
+    let transport = SocketTransport::bind(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        &welcome(seed, canonical::ROUNDS),
+    )
+    .expect("bind");
+    let ep = transport.local_endpoint().clone();
+    let mut first = ClientConn::connect(&ep).expect("first connect");
+    first.hello(0, seed).expect("first hello");
+    let mut second = ClientConn::connect(&ep).expect("second connect");
+    second.hello(0, seed).expect("second hello");
+    // The reconnect lands asynchronously in the accept thread; the retry
+    // must appear in the standard FaultStats (→ History/CSV `retries`
+    // column), not in some side channel.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while transport.fault_stats().retries == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reconnect never counted as a retry"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(transport.fault_stats().retries, 1);
+    assert_eq!(transport.live_clients(), 1, "one live session for the id");
+    // The superseded link is dead: the first connection sees EOF.
+    assert!(first.read_event().is_err(), "stale session must be closed");
+}
+
+#[test]
+fn handshake_rejects_wrong_seed_and_bad_id() {
+    let seed = canonical::SEED;
+    let transport = SocketTransport::bind(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        &welcome(seed, canonical::ROUNDS),
+    )
+    .expect("bind");
+    let ep = transport.local_endpoint().clone();
+    // Wrong seed: the server must refuse instead of silently diverging.
+    let mut c = ClientConn::connect(&ep).expect("connect");
+    assert!(c.hello(0, seed ^ 1).is_err(), "seed mismatch accepted");
+    // Out-of-range id.
+    let mut c = ClientConn::connect(&ep).expect("connect");
+    assert!(
+        c.hello(canonical::NUM_CLIENTS as u32, seed).is_err(),
+        "bad id accepted"
+    );
+    // A valid registration still works afterwards.
+    let mut c = ClientConn::connect(&ep).expect("connect");
+    let w = c.hello(0, seed).expect("valid hello");
+    assert!(matches!(w, ControlMsg::Welcome { .. }));
+    assert_eq!(transport.live_clients(), 1);
+}

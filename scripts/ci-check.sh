@@ -22,6 +22,9 @@ RFL_THREADS=4 cargo test -q --workspace
 echo "== RFL_SIMD=0 cargo test -q --workspace (scalar-fallback contract)"
 RFL_SIMD=0 cargo test -q --workspace
 
+echo "== distributed smoke (multi-process federation over sockets)"
+scripts/distributed-smoke.sh
+
 echo "== ext_lossy --scale quick smoke"
 cargo build --release -p rfl-bench --bin ext_lossy
 ./target/release/ext_lossy --scale quick --seeds 1 --out none > /dev/null

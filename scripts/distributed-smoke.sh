@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Real multi-process federation smoke: one rfl-server plus four rfl-client
+# processes over loopback TCP *and* over a Unix-domain socket must each
+# reproduce the pinned in-process round-loop loss bit-exactly
+# (--expect-loss makes the server's exit code the assertion).
+#
+# Usage: scripts/distributed-smoke.sh [--trace-dir DIR]
+#
+# --trace-dir keeps the per-leg JSONL round traces in DIR (CI uploads them
+# as an artifact when the job fails); by default they land in a temp dir.
+# A watchdog hard-kills everything after $TIMEOUT_SECS so a wedged run
+# fails the job instead of hanging it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXPECT_LOSS=1.604142189
+NUM_CLIENTS=4
+TIMEOUT_SECS="${RFL_SMOKE_TIMEOUT_SECS:-180}"
+
+TRACE_DIR=""
+if [ "${1:-}" = "--trace-dir" ]; then
+    TRACE_DIR="${2:?--trace-dir needs a directory}"
+    mkdir -p "$TRACE_DIR"
+fi
+
+echo "== building rfl-server / rfl-client (release)"
+cargo build --release -p rfl-fed --bins
+
+run_leg() {
+    local name="$1" listen="$2"
+    local dir ready trace endpoint server_pid watchdog_pid rc
+    dir=$(mktemp -d)
+    ready="$dir/endpoint"
+    trace="${TRACE_DIR:-$dir}/distributed-smoke-$name.jsonl"
+    echo "== distributed smoke ($name): $listen"
+
+    ./target/release/rfl-server \
+        --listen "$listen" --ready-file "$ready" \
+        --expect-loss "$EXPECT_LOSS" --trace "$trace" &
+    server_pid=$!
+
+    # Watchdog: if the leg wedges, kill the whole process group hard.
+    (
+        sleep "$TIMEOUT_SECS"
+        echo "ERROR: distributed smoke ($name) timed out after ${TIMEOUT_SECS}s" >&2
+        kill -9 "$server_pid" 2>/dev/null || true
+        pkill -9 -f "target/release/rfl-client" 2>/dev/null || true
+    ) &
+    watchdog_pid=$!
+
+    # The server publishes its actual endpoint (resolving port 0) once bound.
+    for _ in $(seq 1 200); do
+        [ -f "$ready" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "ERROR: server exited before binding" >&2
+            kill "$watchdog_pid" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.1
+    done
+    if [ ! -f "$ready" ]; then
+        echo "ERROR: server never published its endpoint" >&2
+        kill -9 "$server_pid" 2>/dev/null || true
+        kill "$watchdog_pid" 2>/dev/null || true
+        return 1
+    fi
+    endpoint=$(cat "$ready")
+
+    local client_pids=()
+    for id in $(seq 0 $((NUM_CLIENTS - 1))); do
+        ./target/release/rfl-client --connect "$endpoint" --id "$id" &
+        client_pids+=("$!")
+    done
+
+    rc=0
+    wait "$server_pid" || rc=$?
+    for pid in "${client_pids[@]}"; do
+        wait "$pid" || rc=$?
+    done
+    kill "$watchdog_pid" 2>/dev/null || true
+    wait "$watchdog_pid" 2>/dev/null || true
+
+    if [ "$rc" -ne 0 ]; then
+        echo "ERROR: distributed smoke ($name) failed (rc=$rc); trace: $trace" >&2
+        return "$rc"
+    fi
+    echo "== distributed smoke ($name) passed (loss == $EXPECT_LOSS bit-exactly)"
+}
+
+run_leg tcp "tcp://127.0.0.1:0"
+run_leg unix "unix:$(mktemp -u /tmp/rfl-smoke-XXXXXX.sock)"
+
+echo "== distributed smoke passed on both transports"

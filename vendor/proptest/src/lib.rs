@@ -5,7 +5,10 @@
 //! * the [`proptest!`] macro with `name in strategy` bindings,
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
 //! * range strategies (`0usize..10`, `-1.0f32..1.0`, …), tuples of
-//!   strategies, [`prop::collection::vec`], `Just`, and `prop_flat_map`.
+//!   strategies, [`prop::collection::vec`], `Just`, full-domain
+//!   `any::<T>()` for primitives (floats draw raw bit patterns, so NaNs
+//!   and infinities occur), [`prop_oneof!`], `prop_map`, `prop_filter`,
+//!   and `prop_flat_map`.
 //!
 //! Unlike full proptest there is no shrinking: a failing case panics with the
 //! generated inputs in the message (every strategy value is `Debug`), which
@@ -26,8 +29,10 @@ pub mod prop {
 
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::strategy::{Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Outcome of one generated case (used by the macro expansion).
@@ -71,6 +76,17 @@ macro_rules! proptest {
             }
         )*
     };
+}
+
+/// Uniform choice between strategies producing the same value type
+/// (upstream's unweighted `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let u = $crate::strategy::Union::empty();
+        $(let u = u.or($strat);)+
+        u
+    }};
 }
 
 #[macro_export]
@@ -146,6 +162,37 @@ mod tests {
         fn just_is_constant(x in Just(42)) {
             prop_assert_eq!(x, 42);
         }
+
+        #[test]
+        fn any_covers_the_full_domain(x in any::<u8>(), b in any::<bool>()) {
+            // Full-domain draws stay in the primitive's range once widened
+            // (coverage of special values is checked in the test below).
+            prop_assert!((x as u16) < 256);
+            prop_assert!(b as u8 <= 1);
+        }
+
+        #[test]
+        fn oneof_picks_only_listed_arms(x in prop_oneof![Just(1u32), Just(2), 10u32..20]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+        }
+
+        #[test]
+        fn filter_keeps_only_accepted(x in any::<f32>().prop_filter("finite", |v| v.is_finite())) {
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn any_f32_produces_non_finite_values() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_test("nonfinite");
+        let s = crate::strategy::any::<f32>();
+        let non_finite = (0..2000)
+            .filter(|_| !s.generate(&mut rng).is_finite())
+            .count();
+        // ~0.8% of u32 bit patterns are NaN/inf; 2000 draws make a miss
+        // astronomically unlikely (and the stream is deterministic anyway).
+        assert!(non_finite > 0, "bit-pattern floats must cover NaN/inf");
     }
 
     #[test]

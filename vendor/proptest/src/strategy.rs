@@ -27,6 +27,20 @@ pub trait Strategy {
     {
         Map { base: self, f }
     }
+
+    /// Keeps only values the predicate accepts (upstream's `prop_filter`);
+    /// `whence` names the filter in the panic if it rejects everything.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
+    }
 }
 
 /// A constant strategy.
@@ -58,6 +72,7 @@ where
     }
 }
 
+#[derive(Clone)]
 pub struct Map<B, F> {
     base: B,
     f: F,
@@ -72,6 +87,120 @@ where
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         (self.f)(self.base.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<B, F> {
+    base: B,
+    whence: &'static str,
+    f: F,
+}
+
+impl<B, F> Strategy for Filter<B, F>
+where
+    B: Strategy,
+    F: Fn(&B::Value) -> bool,
+{
+    type Value = B::Value;
+    fn generate(&self, rng: &mut TestRng) -> B::Value {
+        // Local redraws instead of upstream's whole-case rejection, so a
+        // filtered sub-strategy cannot starve the macro's assume budget.
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 draws in a row", self.whence);
+    }
+}
+
+/// Upstream's `any::<T>()`: the full value domain of a primitive. Integers
+/// draw uniform raw bits; floats reinterpret raw bits, so NaNs, infinities,
+/// subnormals, and negative zero all occur.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// Primitives with a full-domain default strategy (a minimal stand-in for
+/// upstream's `Arbitrary` trait).
+pub trait Arbitrary: std::fmt::Debug {
+    fn from_rng(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A> Clone for Any<A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<A> Copy for Any<A> {}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::from_rng(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn from_rng(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn from_rng(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn from_rng(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn from_rng(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// A type-erased strategy arm of a [`Union`].
+type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice between heterogeneous strategies of one value type —
+/// the engine behind [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+        self.arms.push(Box::new(move |rng| s.generate(rng)));
+        self
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
     }
 }
 
@@ -133,7 +262,17 @@ macro_rules! tuple_strategy {
         }
     )+};
 }
-tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, G),
+    (A, B, C, D, E, G, H),
+    (A, B, C, D, E, G, H, I),
+    (A, B, C, D, E, G, H, I, J),
+    (A, B, C, D, E, G, H, I, J, K),
+);
 
 /// Lengths accepted by [`vec`]: a fixed size or a half-open range.
 pub trait IntoSizeRange {
