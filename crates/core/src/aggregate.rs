@@ -1,0 +1,377 @@
+//! Streaming O(d) aggregation: fold each arriving upload into a fixed
+//! running-sum accumulator instead of materializing every sampled client's
+//! parameter vector and averaging at the end.
+//!
+//! The server's old path was materialize-then-average:
+//! [`crate::Federation::collect_params`] buffered `O(sampled·d)` floats and
+//! [`crate::Federation::weighted_average`] re-walked the whole set. With a
+//! million registered clients and 1% sampling that is 10,000 live parameter
+//! vectors held simultaneously. The [`StreamingAggregator`] replaces the
+//! buffer with one flat `d`-float accumulator plus a folded-weight scalar:
+//! each upload is folded with [`rfl_tensor::axpy_slices`] the moment it
+//! arrives and its payload is dropped.
+//!
+//! # Determinism
+//!
+//! Floating-point addition does not commute, so fold order is part of the
+//! result. The aggregator therefore folds uploads in **selection-index
+//! order** (`slot` = the client's index within the round's selection)
+//! regardless of arrival order: an upload arriving ahead of a lower,
+//! still-pending slot is stashed and folded only once every earlier slot has
+//! either arrived or been marked dropped. PerfectTransport,
+//! FaultyTransport, and SocketTransport runs — where frames genuinely
+//! complete out of order — all execute the identical axpy sequence, so the
+//! canonical pinned loss reproduces bit-exactly over the wire.
+//!
+//! # Bit-compatibility with the oracle
+//!
+//! The weights handed to the aggregator are prenormalized over the *whole
+//! selection* ([`crate::sampling::renormalized_weights`]). When every
+//! selected upload arrives (the common, pinned case) the fold sequence is
+//! exactly `zeros; axpy(w_0, θ_0); axpy(w_1, θ_1); …` — bit-identical to
+//! `weighted_average(params, renormalized_weights(..))`, which stays in the
+//! codebase as the oracle. When uploads drop, the accumulator is rescaled
+//! once by `1/Σ(folded weights)` — the same renormalize-over-survivors
+//! semantics, applied as a single deterministic correction instead of a
+//! re-walk of buffered vectors.
+
+use std::collections::BTreeMap;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Not yet arrived and not known-dropped.
+    Pending,
+    /// Arrived out of order; payload parked in the stash.
+    Stashed,
+    /// Folded into the accumulator.
+    Folded,
+    /// The transport reported the upload lost; the slot will never arrive.
+    Dropped,
+}
+
+/// Fold-on-arrival weighted-average accumulator. See the module docs.
+///
+/// All buffers (accumulator, weights, slot states) are retained across
+/// [`StreamingAggregator::reset_for_selection`] calls, so a federation that
+/// keeps one aggregator per run performs zero steady-state allocations per
+/// round on the no-drop path.
+#[derive(Debug, Default)]
+pub struct StreamingAggregator {
+    dim: usize,
+    acc: Vec<f32>,
+    /// Per-slot weights, prenormalized over the selection.
+    weights: Vec<f32>,
+    state: Vec<SlotState>,
+    /// Out-of-order arrivals, keyed by slot. Empty on in-order paths.
+    stash: BTreeMap<usize, Vec<f32>>,
+    /// Lowest slot not yet folded or skipped.
+    next_slot: usize,
+    folded: usize,
+    resolved: usize,
+    /// Σ weights of folded slots, accumulated in fold (slot) order.
+    folded_weight: f32,
+    /// Donated buffer (e.g. the previous global) reused as the next `acc`.
+    spare: Option<Vec<f32>>,
+}
+
+impl StreamingAggregator {
+    /// A fresh aggregator for one round: `dim`-float accumulator, one
+    /// prenormalized weight per selection slot.
+    pub fn new(dim: usize, weights: Vec<f32>) -> Self {
+        let mut agg = StreamingAggregator {
+            weights,
+            ..StreamingAggregator::default()
+        };
+        agg.rearm(dim);
+        agg
+    }
+
+    /// Re-arms the aggregator for a new round over `selected`, computing the
+    /// prenormalized weights in place (bit-identical to
+    /// [`crate::sampling::renormalized_weights`]) and reusing every buffer.
+    pub fn reset_for_selection(&mut self, dim: usize, all_weights: &[f32], selected: &[usize]) {
+        let total: f32 = selected.iter().map(|&k| all_weights[k]).sum();
+        assert!(total > 0.0, "selected clients have zero total weight");
+        self.weights.clear();
+        self.weights
+            .extend(selected.iter().map(|&k| all_weights[k] / total));
+        self.rearm(dim);
+    }
+
+    /// Zeroes the accumulator (recycling a donated buffer when the current
+    /// one was taken by `finish`) and resets all per-round state; the weight
+    /// vector is left as-is.
+    fn rearm(&mut self, dim: usize) {
+        self.dim = dim;
+        if self.acc.is_empty() {
+            if let Some(spare) = self.spare.take() {
+                self.acc = spare;
+            }
+        }
+        self.acc.clear();
+        self.acc.resize(dim, 0.0);
+        self.state.clear();
+        self.state.resize(self.weights.len(), SlotState::Pending);
+        self.stash.clear();
+        self.next_slot = 0;
+        self.folded = 0;
+        self.resolved = 0;
+        self.folded_weight = 0.0;
+    }
+
+    /// Number of slots in the selection.
+    pub fn expected(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Uploads folded so far.
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    fn fold(&mut self, slot: usize, params: &[f32]) {
+        assert_eq!(params.len(), self.dim, "upload dim mismatch at slot {slot}");
+        let w = self.weights[slot];
+        rfl_tensor::axpy_slices(&mut self.acc, w, params);
+        self.folded_weight += w;
+        self.folded += 1;
+    }
+
+    /// Folds stashed arrivals and skips dropped slots until the next
+    /// still-pending slot.
+    fn drain(&mut self) {
+        while self.next_slot < self.state.len() {
+            match self.state[self.next_slot] {
+                SlotState::Pending => break,
+                SlotState::Dropped | SlotState::Folded => self.next_slot += 1,
+                SlotState::Stashed => {
+                    let slot = self.next_slot;
+                    let params = self.stash.remove(&slot).expect("stashed payload missing");
+                    self.fold(slot, &params);
+                    self.state[slot] = SlotState::Folded;
+                    self.next_slot += 1;
+                }
+            }
+        }
+    }
+
+    /// Accepts the upload for `slot`. In-order arrivals fold immediately;
+    /// out-of-order arrivals are stashed until every earlier slot resolves.
+    pub fn push(&mut self, slot: usize, params: &[f32]) {
+        assert!(slot < self.state.len(), "slot {slot} out of range");
+        assert_eq!(
+            self.state[slot],
+            SlotState::Pending,
+            "slot {slot} resolved twice"
+        );
+        self.resolved += 1;
+        if slot == self.next_slot {
+            self.fold(slot, params);
+            self.state[slot] = SlotState::Folded;
+            self.next_slot += 1;
+            self.drain();
+        } else {
+            self.stash.insert(slot, params.to_vec());
+            self.state[slot] = SlotState::Stashed;
+        }
+    }
+
+    /// Records that `slot`'s upload was lost in transit, unblocking any
+    /// stashed later arrivals.
+    pub fn mark_dropped(&mut self, slot: usize) {
+        assert!(slot < self.state.len(), "slot {slot} out of range");
+        assert_eq!(
+            self.state[slot],
+            SlotState::Pending,
+            "slot {slot} resolved twice"
+        );
+        self.resolved += 1;
+        self.state[slot] = SlotState::Dropped;
+        if slot == self.next_slot {
+            self.drain();
+        }
+    }
+
+    /// Finishes the round and returns the aggregate, or `None` when every
+    /// upload dropped (the round leaves the global untouched, matching the
+    /// empty-delivery guards in the algorithms). With partial delivery the
+    /// accumulator is rescaled once by `1/Σ(folded weights)` —
+    /// renormalization over the survivors.
+    ///
+    /// # Panics
+    /// Panics if any slot is still unresolved (neither arrived nor marked
+    /// dropped) — the caller must account for every selected client.
+    pub fn finish(&mut self) -> Option<Vec<f32>> {
+        assert_eq!(
+            self.resolved,
+            self.state.len(),
+            "finish() with unresolved slots"
+        );
+        debug_assert!(self.stash.is_empty());
+        if self.folded == 0 {
+            return None;
+        }
+        let mut acc = std::mem::take(&mut self.acc);
+        if self.folded < self.state.len() {
+            assert!(
+                self.folded_weight > 0.0,
+                "surviving uploads have zero total weight"
+            );
+            rfl_tensor::scale_slices(&mut acc, 1.0 / self.folded_weight);
+        }
+        Some(acc)
+    }
+
+    /// Donates a spent `d`-float buffer (typically the previous global
+    /// parameters) to be recycled as the next round's accumulator.
+    pub fn donate(&mut self, buf: Vec<f32>) {
+        if self
+            .spare
+            .as_ref()
+            .is_none_or(|s| s.capacity() < buf.capacity())
+        {
+            self.spare = Some(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::renormalized_weights;
+    use crate::Federation;
+
+    fn params(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..d).map(|j| (i * d + j) as f32 * 0.37 - 1.5).collect())
+            .collect()
+    }
+
+    #[test]
+    fn in_order_fold_matches_weighted_average_bitwise() {
+        let p = params(5, 17);
+        let w = renormalized_weights(&[0.2, 0.1, 0.4, 0.05, 0.25], &[0, 1, 2, 3, 4]);
+        let mut agg = StreamingAggregator::new(17, w.clone());
+        for (slot, pi) in p.iter().enumerate() {
+            agg.push(slot, pi);
+        }
+        let got = agg.finish().unwrap();
+        assert_eq!(got, Federation::weighted_average(&p, &w));
+    }
+
+    #[test]
+    fn arrival_order_is_irrelevant() {
+        let p = params(6, 9);
+        let w = vec![0.3, 0.1, 0.15, 0.2, 0.05, 0.2];
+        let mut in_order = StreamingAggregator::new(9, w.clone());
+        for (slot, pi) in p.iter().enumerate() {
+            in_order.push(slot, pi);
+        }
+        let want = in_order.finish().unwrap();
+        for perm in [[5, 0, 3, 1, 4, 2], [2, 1, 0, 5, 4, 3], [0, 5, 1, 4, 2, 3]] {
+            let mut agg = StreamingAggregator::new(9, w.clone());
+            for &slot in &perm {
+                agg.push(slot, &p[slot]);
+            }
+            assert_eq!(agg.finish().unwrap(), want, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn drops_renormalize_over_survivors() {
+        let p = params(4, 5);
+        let w = vec![0.4, 0.1, 0.3, 0.2];
+        let mut agg = StreamingAggregator::new(5, w.clone());
+        agg.push(0, &p[0]);
+        agg.mark_dropped(1);
+        agg.push(2, &p[2]);
+        agg.mark_dropped(3);
+        let got = agg.finish().unwrap();
+        // Oracle: fold survivors in slot order, then one rescale.
+        let mut want = vec![0.0f32; 5];
+        rfl_tensor::axpy_slices(&mut want, w[0], &p[0]);
+        rfl_tensor::axpy_slices(&mut want, w[2], &p[2]);
+        rfl_tensor::scale_slices(&mut want, 1.0 / (w[0] + w[2]));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn late_drop_unblocks_stashed_arrivals() {
+        let p = params(3, 4);
+        let w = vec![0.5, 0.25, 0.25];
+        let mut agg = StreamingAggregator::new(4, w.clone());
+        agg.push(2, &p[2]); // stashed: slots 0 and 1 unresolved
+        agg.push(0, &p[0]); // folds 0; 2 still blocked behind 1
+        assert_eq!(agg.folded(), 1);
+        agg.mark_dropped(1); // unblocks 2
+        assert_eq!(agg.folded(), 2);
+        let got = agg.finish().unwrap();
+        let mut want = vec![0.0f32; 4];
+        rfl_tensor::axpy_slices(&mut want, w[0], &p[0]);
+        rfl_tensor::axpy_slices(&mut want, w[2], &p[2]);
+        rfl_tensor::scale_slices(&mut want, 1.0 / (w[0] + w[2]));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_dropped_returns_none() {
+        let mut agg = StreamingAggregator::new(3, vec![0.5, 0.5]);
+        agg.mark_dropped(0);
+        agg.mark_dropped(1);
+        assert!(agg.finish().is_none());
+    }
+
+    #[test]
+    fn single_survivor_recovers_its_params_up_to_rescale() {
+        let p = params(3, 6);
+        let w = vec![0.25, 0.5, 0.25];
+        let mut agg = StreamingAggregator::new(6, w.clone());
+        agg.mark_dropped(0);
+        agg.push(1, &p[1]);
+        agg.mark_dropped(2);
+        let got = agg.finish().unwrap();
+        for (g, x) in got.iter().zip(&p[1]) {
+            assert!((g - x).abs() <= x.abs() * 1e-6 + 1e-6, "{g} vs {x}");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_matches_fresh() {
+        let all_w = vec![0.1f32, 0.2, 0.3, 0.4];
+        let sel = vec![0usize, 2, 3];
+        let p = params(3, 8);
+        let run = |agg: &mut StreamingAggregator| {
+            agg.reset_for_selection(8, &all_w, &sel);
+            for (slot, pi) in p.iter().enumerate() {
+                agg.push(slot, pi);
+            }
+            agg.finish().unwrap()
+        };
+        let mut agg = StreamingAggregator::default();
+        let first = run(&mut agg);
+        agg.donate(first.clone());
+        let second = run(&mut agg);
+        assert_eq!(first, second);
+        assert_eq!(
+            first,
+            Federation::weighted_average(&p, &renormalized_weights(&all_w, &sel))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved twice")]
+    fn double_push_panics() {
+        let p = params(2, 2);
+        let mut agg = StreamingAggregator::new(2, vec![0.5, 0.5]);
+        agg.push(0, &p[0]);
+        agg.push(0, &p[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved slots")]
+    fn finish_with_pending_slot_panics() {
+        let mut agg = StreamingAggregator::new(2, vec![0.5, 0.5]);
+        agg.push(0, &[1.0, 2.0]);
+        let _ = agg.finish();
+    }
+}

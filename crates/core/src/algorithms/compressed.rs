@@ -4,11 +4,11 @@
 //! asymmetry: device uplink is the scarce resource).
 
 use super::{active_mean_losses, traced_select};
+use crate::aggregate::StreamingAggregator;
 use crate::comm::MsgKind;
 use crate::compress::Compressor;
 use crate::federation::{fault_counters, Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
@@ -51,15 +51,18 @@ impl Algorithm for CompressedFedAvg {
         // `collect_params`, so it carries its own `upload` span. The payload
         // is not a plain f32 slice, so only the wire byte count crosses the
         // transport (`send_raw`); the server reconstructs from the payload
-        // when the link delivers.
+        // when the link delivers, folding each reconstructed update straight
+        // into the O(d) streaming accumulator instead of materializing the
+        // delivered set.
         let mut delivered = Vec::with_capacity(active.len());
-        let mut updates = Vec::with_capacity(active.len());
+        let mut agg = StreamingAggregator::default();
+        agg.reset_for_selection(fed.num_params(), fed.weights(), &active);
         {
             let mut span = tracer.span(SpanKind::Upload);
             let before = fed.comm_snapshot();
             let fbefore = fed.fault_stats();
             let mut buf = Vec::new();
-            for &k in &active {
+            for (slot, &k) in active.iter().enumerate() {
                 fed.client(k).read_params(&mut buf);
                 let update: Vec<f32> = buf.iter().zip(&global).map(|(w, g)| w - g).collect();
                 let payload = self.compressor.compress(&update);
@@ -67,7 +70,9 @@ impl Algorithm for CompressedFedAvg {
                 let out = fed.send_raw(MsgKind::ModelUp, k, payload.wire_bytes() as u64);
                 if out.delivered {
                     delivered.push(k);
-                    updates.push(self.compressor.decompress(&payload, update.len()));
+                    agg.push(slot, &self.compressor.decompress(&payload, update.len()));
+                } else {
+                    agg.mark_dropped(slot);
                 }
             }
             span.counter("bytes", fed.comm_stats().since(&before).upload_bytes());
@@ -76,13 +81,9 @@ impl Algorithm for CompressedFedAvg {
         }
         let mut span = tracer.span(SpanKind::Aggregate);
         span.counter("clients", delivered.len() as u64);
-        if !delivered.is_empty() {
-            let w = renormalized_weights(fed.weights(), &delivered);
-            let mean_update = Federation::weighted_average(&updates, &w);
+        if let Some(mean_update) = agg.finish() {
             let mut new_global = global;
-            for (g, u) in new_global.iter_mut().zip(&mean_update) {
-                *g += u;
-            }
+            rfl_tensor::add_assign_slices(&mut new_global, &mean_update);
             fed.set_global(new_global);
         }
         drop(span);

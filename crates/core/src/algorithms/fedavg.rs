@@ -1,6 +1,6 @@
 //! Vanilla Federated Averaging (McMahan et al., AISTATS 2017).
 
-use super::{active_mean_losses, aggregate_delivered, traced_select};
+use super::{active_mean_losses, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::trainer::{Algorithm, RoundOutcome};
@@ -33,8 +33,9 @@ impl Algorithm for FedAvg {
         let active = fed.broadcast_params(&selected);
         let rules = vec![LocalRule::Plain; active.len()];
         let reports = fed.train_selected(&active, &rules, cfg.local_steps);
-        let uploads = fed.collect_params(&active);
-        let delivered = aggregate_delivered(fed, uploads);
+        // Streaming aggregation: each upload folds into the O(d)
+        // accumulator as it arrives; nothing is materialized server-side.
+        let delivered = fed.collect_aggregate(&active);
         let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,

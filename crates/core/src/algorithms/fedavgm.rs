@@ -2,10 +2,9 @@
 //! extension baseline beyond the paper's comparison set, often used to
 //! stabilize non-IID training.
 
-use super::{active_mean_losses, split_uploads, traced_select};
+use super::{active_mean_losses, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
@@ -51,13 +50,13 @@ impl Algorithm for FedAvgM {
         let active = fed.broadcast_params(&selected);
         let rules = vec![LocalRule::Plain; active.len()];
         let reports = fed.train_selected(&active, &rules, cfg.local_steps);
-        let (delivered, params) = split_uploads(fed.collect_params(&active));
+        // The weighted mean update streams out of the O(d) aggregator; only
+        // the velocity applies server-side state on top of it.
+        let (delivered, avg) = fed.collect_average(&active);
 
         let mut span = fed.tracer().span(SpanKind::Aggregate);
         span.counter("clients", delivered.len() as u64);
-        if !delivered.is_empty() {
-            let w = renormalized_weights(fed.weights(), &delivered);
-            let avg = Federation::weighted_average(&params, &w);
+        if let Some(avg) = avg {
             let mut new_global = fed.global().to_vec();
             for ((v, g), a) in self.velocity.iter_mut().zip(&mut new_global).zip(&avg) {
                 let delta = a - *g;

@@ -8,10 +8,10 @@
 //! per-client decision layers.
 
 use super::{active_mean_losses, traced_select};
+use crate::aggregate::StreamingAggregator;
 use crate::comm::MsgKind;
 use crate::federation::{fault_counters, Federation, FlConfig};
 use crate::rules::LocalRule;
-use crate::sampling::renormalized_weights;
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
@@ -86,32 +86,33 @@ impl Algorithm for FedPer {
         let rules = vec![LocalRule::Plain; active.len()];
         let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
-        // Upload only φ; average the delivered slices into the global body.
-        let mut phi_uploads: Vec<(usize, Vec<f32>)> = Vec::new();
+        // Upload only φ; each delivered slice folds straight into an O(|φ|)
+        // streaming accumulator instead of materializing the upload set.
+        let mut delivered = Vec::with_capacity(active.len());
+        let mut agg = StreamingAggregator::default();
+        agg.reset_for_selection(phi.len(), fed.weights(), &active);
         {
             let mut span = tracer.span(SpanKind::Upload);
             let before = fed.comm_snapshot();
             let fbefore = fed.fault_stats();
-            for &k in &active {
+            for (slot, &k) in active.iter().enumerate() {
                 fed.client(k).read_params(&mut buf);
-                if let Some(sent) = fed.send(MsgKind::ModelUp, k, &buf[phi.clone()]).data {
-                    phi_uploads.push((k, sent));
+                match fed.send(MsgKind::ModelUp, k, &buf[phi.clone()]).data {
+                    Some(sent) => {
+                        agg.push(slot, &sent);
+                        delivered.push(k);
+                    }
+                    None => agg.mark_dropped(slot),
                 }
             }
             span.counter("bytes", fed.comm_stats().since(&before).upload_bytes());
             span.counter("clients", active.len() as u64);
             fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
         }
-        let delivered: Vec<usize> = phi_uploads.iter().map(|(k, _)| *k).collect();
         {
             let mut span = tracer.span(SpanKind::Aggregate);
             span.counter("clients", delivered.len() as u64);
-            if !delivered.is_empty() {
-                let w = renormalized_weights(fed.weights(), &delivered);
-                let mut phi_avg = vec![0.0f32; phi.len()];
-                for ((_, sent), &wk) in phi_uploads.iter().zip(&w) {
-                    rfl_tensor::axpy_slices(&mut phi_avg, wk, sent);
-                }
+            if let Some(phi_avg) = agg.finish() {
                 let mut new_global = fed.global().to_vec();
                 new_global[phi].copy_from_slice(&phi_avg);
                 fed.set_global(new_global);

@@ -1,7 +1,7 @@
 //! FedProx (Li et al., MLSys 2020): FedAvg with a proximal term
 //! `μ/2·‖w − w_global‖²` in every local objective.
 
-use super::{active_mean_losses, aggregate_delivered, traced_select};
+use super::{active_mean_losses, traced_select};
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::trainer::{Algorithm, RoundOutcome};
@@ -48,8 +48,7 @@ impl Algorithm for FedProx {
             active.len()
         ];
         let reports = fed.train_selected(&active, &rules, cfg.local_steps);
-        let uploads = fed.collect_params(&active);
-        let delivered = aggregate_delivered(fed, uploads);
+        let delivered = fed.collect_aggregate(&active);
         let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {
             train_loss,

@@ -48,41 +48,6 @@ pub(crate) fn traced_select(fed: &Federation, ratio: f32, rng: &mut StdRng) -> V
     selected
 }
 
-/// Weighted-average aggregation into the global model, wrapped in an
-/// `aggregate` span. With no delivered uploads (`params` empty) the global
-/// model is left unchanged — the round is a no-op for the server.
-pub(crate) fn traced_aggregate(fed: &mut Federation, params: &[Vec<f32>], weights: &[f32]) {
-    let mut span = fed.tracer().span(SpanKind::Aggregate);
-    span.counter("clients", params.len() as u64);
-    if params.is_empty() {
-        return;
-    }
-    fed.set_global(Federation::weighted_average(params, weights));
-}
-
-/// Splits delivered `(client, params)` uploads into parallel id/param lists.
-pub(crate) fn split_uploads(uploads: Vec<(usize, Vec<f32>)>) -> (Vec<usize>, Vec<Vec<f32>>) {
-    uploads.into_iter().unzip()
-}
-
-/// The standard FedAvg-style aggregation over whatever uploads actually
-/// arrived: weights renormalize over the *delivered* clients only, so a
-/// dropped upload redistributes its mass instead of shrinking the update.
-/// Returns the delivered client ids.
-pub(crate) fn aggregate_delivered(
-    fed: &mut Federation,
-    uploads: Vec<(usize, Vec<f32>)>,
-) -> Vec<usize> {
-    let (delivered, params) = split_uploads(uploads);
-    let w = if delivered.is_empty() {
-        Vec::new()
-    } else {
-        renormalized_weights(fed.weights(), &delivered)
-    };
-    traced_aggregate(fed, &params, &w);
-    delivered
-}
-
 /// Participant-weighted mean losses over the clients that actually trained
 /// this round; `(0, 0)` when nobody did.
 pub(crate) fn active_mean_losses(

@@ -7,7 +7,7 @@
 //! model, and keeps the `m` highest-loss candidates. Biasing participation
 //! toward struggling clients speeds convergence on heterogeneous data.
 
-use super::{active_mean_losses, aggregate_delivered};
+use super::active_mean_losses;
 use crate::federation::{Federation, FlConfig};
 use crate::rules::LocalRule;
 use crate::sampling::sample_clients;
@@ -90,15 +90,16 @@ impl Algorithm for PowerOfChoice {
         select_span.counter("clients", selected.len() as u64);
         drop(select_span);
 
-        // rFedAvg+ style regularized local training on the selection.
-        let mut targets = table.means_excluding_initialized();
-        let rules: Vec<LocalRule> = selected
-            .iter()
-            .map(|&k| {
+        // rFedAvg+ style regularized local training on the selection. Only
+        // the selected clients' broadcast targets are materialized —
+        // O(m·d), not O(N·d).
+        let mut targets = table.means_excluding_initialized_for(&selected);
+        let rules: Vec<LocalRule> = (0..selected.len())
+            .map(|i| {
                 if self.lambda == 0.0 {
                     return LocalRule::Plain;
                 }
-                match targets[k].take() {
+                match targets[i].take() {
                     Some(target) => LocalRule::Mmd {
                         lambda: self.lambda,
                         target: Arc::new(target),
@@ -108,8 +109,7 @@ impl Algorithm for PowerOfChoice {
             })
             .collect();
         let reports = fed.train_selected(&selected, &rules, cfg.local_steps);
-        let uploads = fed.collect_params(&selected);
-        let delivered = aggregate_delivered(fed, uploads);
+        let delivered = fed.collect_aggregate(&selected);
 
         if self.lambda > 0.0 {
             let resynced = fed.broadcast_params(&selected);

@@ -50,31 +50,34 @@ impl Algorithm for QFedAvg {
 
         let rules = vec![LocalRule::Plain; active.len()];
         let reports = fed.train_selected(&active, &rules, cfg.local_steps);
-        let uploads = fed.collect_params(&active);
-        let delivered: Vec<usize> = uploads.iter().map(|(k, _)| *k).collect();
+
+        // The q-fair sums `Σ Δ_k` and `Σ h_k` are already per-upload
+        // accumulations, so each upload folds into them as it arrives and
+        // is dropped — O(d) server state, never the full upload set. The
+        // per-client state the fold needs (global snapshot, learning rates)
+        // is captured before the walk because the visitor cannot borrow the
+        // federation.
+        let global = fed.global().to_vec();
+        let lrs: Vec<f32> = active.iter().map(|&k| fed.client(k).lr()).collect();
+        let mut delta_sum = vec![0.0f32; global.len()];
+        let mut h_sum = 0.0f32;
+        let q = self.q;
+        let delivered = fed.fold_uploads(&active, |slot, _, params| {
+            let lipschitz = 1.0 / lrs[slot];
+            let f_k = losses[slot].max(1e-10);
+            let fq = f_k.powf(q);
+            let mut grad_sq = 0.0f32;
+            for (j, d) in delta_sum.iter_mut().enumerate() {
+                let g = lipschitz * (global[j] - params[j]);
+                *d += fq * g;
+                grad_sq += g * g;
+            }
+            h_sum += q * f_k.powf(q - 1.0) * grad_sq + lipschitz * fq;
+        });
 
         let mut agg_span = fed.tracer().span(SpanKind::Aggregate);
         agg_span.counter("clients", delivered.len() as u64);
-        if !uploads.is_empty() {
-            let global = fed.global().to_vec();
-            let n_params = global.len();
-            let mut delta_sum = vec![0.0f32; n_params];
-            let mut h_sum = 0.0f32;
-            for (k, params) in &uploads {
-                let i = active
-                    .binary_search(k)
-                    .expect("upload from an active client");
-                let lipschitz = 1.0 / fed.client(*k).lr();
-                let f_k = losses[i].max(1e-10);
-                let fq = f_k.powf(self.q);
-                let mut grad_sq = 0.0f32;
-                for (j, d) in delta_sum.iter_mut().enumerate() {
-                    let g = lipschitz * (global[j] - params[j]);
-                    *d += fq * g;
-                    grad_sq += g * g;
-                }
-                h_sum += self.q * f_k.powf(self.q - 1.0) * grad_sq + lipschitz * fq;
-            }
+        if !delivered.is_empty() {
             assert!(h_sum > 0.0, "degenerate q-FedAvg denominator");
             let mut new_global = global;
             for (g, d) in new_global.iter_mut().zip(&delta_sum) {

@@ -8,7 +8,7 @@
 //! local model parameters** (the inconsistency that rFedAvg+ later removes)
 //! and uploads it.
 
-use super::{active_mean_losses, aggregate_delivered};
+use super::active_mean_losses;
 use crate::comm::MsgKind;
 use crate::delta::DeltaTable;
 use crate::dp::DpConfig;
@@ -24,6 +24,9 @@ pub struct RFedAvg {
     lambda: f32,
     table: Option<DeltaTable>,
     dp: Option<DpConfig>,
+    /// Scratch for the flattened table broadcast, reused across rounds so
+    /// the O(N·d) payload is encoded from one stable allocation.
+    flat_buf: Vec<f32>,
 }
 
 impl RFedAvg {
@@ -33,6 +36,7 @@ impl RFedAvg {
             lambda,
             table: None,
             dp: None,
+            flat_buf: Vec::new(),
         }
     }
 
@@ -80,8 +84,8 @@ impl Algorithm for RFedAvg {
             let mut span = tracer.span(SpanKind::DeltaBroadcast);
             let before = fed.comm_snapshot();
             let fbefore = fed.fault_stats();
-            let flat = table.flattened();
-            let bd = fed.broadcast(MsgKind::DeltaTableDown, &active, &flat);
+            table.flattened_into(&mut self.flat_buf);
+            let bd = fed.broadcast(MsgKind::DeltaTableDown, &active, &self.flat_buf);
             let diff = fed.comm_stats().since(&before);
             span.counter("bytes", diff.delta_download_bytes());
             span.counter("dims", (n * d) as u64);
@@ -93,14 +97,15 @@ impl Algorithm for RFedAvg {
         // Each client's regularization target is the mean of the other
         // (already-reported) delayed maps; until another client has reported,
         // the client trains unregularized (δ₀ is uninformative).
-        let mut targets = table.means_excluding_initialized();
+        let mut targets = table.means_excluding_initialized_for(&active);
         let rules: Vec<LocalRule> = active
             .iter()
-            .map(|&k| {
+            .enumerate()
+            .map(|(i, &k)| {
                 if table_ok.binary_search(&k).is_err() {
                     return LocalRule::Plain;
                 }
-                match targets[k].take() {
+                match targets[i].take() {
                     Some(target) => LocalRule::Mmd {
                         lambda: self.lambda,
                         target: Arc::new(target),
@@ -117,8 +122,7 @@ impl Algorithm for RFedAvg {
         // historical RNG order.
         fed.sync_deltas(&active, table, cfg.probe_batch(), self.dp, rng);
 
-        let uploads = fed.collect_params(&active);
-        let delivered = aggregate_delivered(fed, uploads);
+        let delivered = fed.collect_aggregate(&active);
 
         let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
         RoundOutcome {

@@ -12,7 +12,7 @@
 //!    The surrogate `r̃_k = ‖δ_k − δ̄^{−k}‖²` has the same gradient in
 //!    `δ_k` as the exact pairwise regularizer.
 
-use super::{active_mean_losses, aggregate_delivered};
+use super::active_mean_losses;
 use crate::comm::MsgKind;
 use crate::delta::DeltaTable;
 use crate::dp::DpConfig;
@@ -84,10 +84,11 @@ impl Algorithm for RFedAvgPlus {
             let mut span = tracer.span(SpanKind::DeltaBroadcast);
             let before = fed.comm_snapshot();
             let fbefore = fed.fault_stats();
-            let mut targets = table.means_excluding_initialized();
+            let mut targets = table.means_excluding_initialized_for(&active);
             let rules = active
                 .iter()
-                .map(|&k| match targets[k].take() {
+                .enumerate()
+                .map(|(i, &k)| match targets[i].take() {
                     Some(target) => match fed.send(MsgKind::DeltaDown, k, &target).data {
                         Some(received) => LocalRule::Mmd {
                             lambda: self.lambda,
@@ -107,9 +108,9 @@ impl Algorithm for RFedAvgPlus {
         };
         let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
-        // Upload local models; aggregate over the delivered ones.
-        let uploads = fed.collect_params(&active);
-        let delivered = aggregate_delivered(fed, uploads);
+        // Upload local models; each one folds into the O(d) streaming
+        // accumulator as it arrives, renormalized over the delivered set.
+        let delivered = fed.collect_aggregate(&active);
 
         // Second sync: consistent global model down; δ computed with it.
         // Only clients that receive the re-broadcast report a fresh δ.

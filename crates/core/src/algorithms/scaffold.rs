@@ -99,37 +99,49 @@ impl Algorithm for Scaffold {
         let reports = fed.train_selected(&active, &rules, cfg.local_steps);
 
         let global_before = fed.global().to_vec();
-        let uploads = fed.collect_params(&active);
-        let delivered: Vec<usize> = uploads.iter().map(|(k, _)| *k).collect();
+        // Stream the model uploads: each one folds `w_k − w` into the O(d)
+        // update sum and yields its client's control-variate update, then
+        // is dropped. The control uploads are buffered (not sent inside the
+        // fold) so the wire keeps its historical order — every ModelUp
+        // before the first ControlUp. Per-client state the fold needs is
+        // captured up front; the visitor cannot borrow the federation.
+        let lrs: Vec<f32> = active.iter().map(|&k| fed.client(k).lr()).collect();
+        let mut update_sum = vec![0.0f32; global_before.len()];
+        let mut ctrl_uploads: Vec<(usize, Vec<f32>)> = Vec::with_capacity(active.len());
+        let c = &self.c;
+        let c_k = &self.c_k;
+        let local_steps = cfg.local_steps as f32;
+        let delivered = fed.fold_uploads(&active, |slot, k, params| {
+            rfl_tensor::add_assign_slices(&mut update_sum, params);
+            rfl_tensor::axpy_slices(&mut update_sum, -1.0, &global_before);
+            let scale = 1.0 / (local_steps * lrs[slot]);
+            let c_k_new: Vec<f32> = c_k[k]
+                .iter()
+                .zip(c)
+                .zip(global_before.iter().zip(params))
+                .map(|((ck, c), (g, w))| ck - c + scale * (g - w))
+                .collect();
+            ctrl_uploads.push((k, c_k_new));
+        });
 
-        // Control-variate updates (option II) + uploads. A client whose
-        // model upload dropped skips its control upload too (the link is
-        // dead for the round), so `c` only absorbs delivered updates.
+        // Control-variate uploads (option II). A client whose model upload
+        // dropped skips its control upload too (the link is dead for the
+        // round), so `c` only absorbs delivered updates.
         let mut c_delta_sum = vec![0.0f32; fed.num_params()];
         {
             let mut span = tracer.span(SpanKind::Upload);
             let before = fed.comm_snapshot();
             let fbefore = fed.fault_stats();
-            for (k, params) in &uploads {
-                let eta_l = fed.client(*k).lr();
-                let scale = 1.0 / (cfg.local_steps as f32 * eta_l);
-                let c_k_new: Vec<f32> = self.c_k[*k]
-                    .iter()
-                    .zip(&self.c)
-                    .zip(global_before.iter().zip(params))
-                    .map(|((ck, c), (g, w))| ck - c + scale * (g - w))
-                    .collect();
-                // Client uploads its control-variate update alongside the model.
-                if let Some(received) = fed.send(MsgKind::ControlUp, *k, &c_k_new).data {
-                    for ((s, new), old) in c_delta_sum.iter_mut().zip(&received).zip(&self.c_k[*k])
-                    {
+            for (k, c_k_new) in ctrl_uploads {
+                if let Some(received) = fed.send(MsgKind::ControlUp, k, &c_k_new).data {
+                    for ((s, new), old) in c_delta_sum.iter_mut().zip(&received).zip(&self.c_k[k]) {
                         *s += new - old;
                     }
-                    self.c_k[*k] = received;
+                    self.c_k[k] = received;
                 }
             }
             span.counter("bytes", fed.comm_stats().since(&before).upload_bytes());
-            span.counter("clients", uploads.len() as u64);
+            span.counter("clients", delivered.len() as u64);
             fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
         }
         // c ← c + (|S|/N)·mean_S(c_k⁺ − c_k)  ==  c + (1/N)·Σ_S(c_k⁺ − c_k)
@@ -138,17 +150,13 @@ impl Algorithm for Scaffold {
         }
 
         // Server update: w ← w + η_g · mean_D (w_k − w) over the delivered
-        // uploads.
+        // uploads, applied from the folded sum.
         let mut span = tracer.span(SpanKind::Aggregate);
         span.counter("clients", delivered.len() as u64);
-        if !uploads.is_empty() {
-            let m = uploads.len() as f32;
-            let mut new_global = global_before.clone();
-            for (_, p) in &uploads {
-                for ((g, w), base) in new_global.iter_mut().zip(p).zip(&global_before) {
-                    *g += self.eta_g / m * (w - base);
-                }
-            }
+        if !delivered.is_empty() {
+            let step = self.eta_g / delivered.len() as f32;
+            let mut new_global = global_before;
+            rfl_tensor::axpy_slices(&mut new_global, step, &update_sum);
             fed.set_global(new_global);
         }
         drop(span);

@@ -24,6 +24,21 @@ pub struct LocalReport {
     pub examples: usize,
 }
 
+/// The durable slice of a client's state, retained while the heavyweight
+/// simulation objects (model replica, dataset, scratch buffers) are evicted
+/// between rounds. Moving these four fields out on
+/// [`Client::hibernate`] and back in on [`Client::wake`] round-trips the
+/// client bit-exactly: the RNG stream position, the epoch-shuffle cursor,
+/// the optimizer state (momentum/Adam moments, learning rate), and the
+/// flat parameters are everything local training reads besides the data
+/// itself, which the registry regenerates deterministically.
+pub struct ClientPersist {
+    pub(crate) rng: StdRng,
+    pub(crate) sampler: BatchSampler,
+    pub(crate) optimizer: Box<dyn Optimizer>,
+    pub(crate) params: Vec<f32>,
+}
+
 /// One client in the federation.
 pub struct Client {
     id: usize,
@@ -69,6 +84,55 @@ impl Client {
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             clip_grad_norm: None,
             flat: Vec::new(),
+            grads: Vec::new(),
+            batch_idx: Vec::new(),
+            batch_input: None,
+            batch_labels: Vec::new(),
+            out: ModelOutput::scratch(),
+            log_p: Tensor::scratch(),
+            dlogits: Tensor::scratch(),
+            mu: Tensor::scratch(),
+            dfeatures: Tensor::scratch(),
+            feat_sum: Tensor::scratch(),
+        }
+    }
+
+    /// Tears the client down to its durable state ([`ClientPersist`]),
+    /// dropping the model replica, the dataset, and every scratch buffer.
+    /// The lazy registry calls this when evicting a client after its round.
+    pub fn hibernate(mut self) -> ClientPersist {
+        let mut params = std::mem::take(&mut self.flat);
+        self.model.read_params(&mut params);
+        ClientPersist {
+            rng: self.rng,
+            sampler: self.sampler,
+            optimizer: self.optimizer,
+            params,
+        }
+    }
+
+    /// Rebuilds a hibernated client around a freshly constructed model and a
+    /// regenerated dataset. Bit-exact inverse of [`Client::hibernate`]: the
+    /// persisted parameters overwrite the model's fresh initialization, and
+    /// the RNG/sampler/optimizer resume exactly where they stopped.
+    pub fn wake(
+        id: usize,
+        mut model: Box<dyn Model>,
+        data: Dataset,
+        persist: ClientPersist,
+        clip_grad_norm: Option<f32>,
+    ) -> Self {
+        assert!(!data.is_empty(), "client {id} has no data");
+        model.write_params(&persist.params);
+        Client {
+            id,
+            model,
+            data,
+            optimizer: persist.optimizer,
+            sampler: persist.sampler,
+            rng: persist.rng,
+            clip_grad_norm,
+            flat: persist.params,
             grads: Vec::new(),
             batch_idx: Vec::new(),
             batch_input: None,
@@ -401,6 +465,27 @@ mod tests {
         assert_eq!(r.examples, 7 * 8, "32 samples / batch 8 → full batches");
         assert!(r.loss > 0.0);
         assert_eq!(r.reg_loss, 0.0);
+    }
+
+    #[test]
+    fn hibernate_wake_roundtrip_is_bit_exact() {
+        // A client evicted mid-run and revived around a fresh model + a
+        // regenerated dataset must continue training bit-identically to one
+        // that stayed live the whole time.
+        let mut live = make_client(7);
+        let mut cycled = make_client(7);
+        live.train_local(3, &LocalRule::Plain);
+        cycled.train_local(3, &LocalRule::Plain);
+        let persist = cycled.hibernate();
+        let mut rng = StdRng::seed_from_u64(7);
+        let fresh_model = Box::new(LogisticRegression::new(4, 2, 0.0, &mut rng));
+        let mut cycled = Client::wake(0, fresh_model, dense_data(32, 7), persist, None);
+        live.train_local(5, &LocalRule::Plain);
+        cycled.train_local(5, &LocalRule::Plain);
+        let (mut wa, mut wb) = (Vec::new(), Vec::new());
+        live.read_params(&mut wa);
+        cycled.read_params(&mut wb);
+        assert_eq!(wa, wb, "eviction round-trip diverged");
     }
 
     #[test]

@@ -631,6 +631,13 @@ impl Transport for SocketTransport {
 }
 
 impl RemoteTransport for SocketTransport {
+    /// Claims one client-originated upload frame. The aggregation path
+    /// (`Federation::fold_uploads`) calls this per selected client *in
+    /// selection order* and folds each payload into the streaming
+    /// accumulator as soon as its frame completes, dropping the buffer
+    /// before claiming the next — the server never holds more than one
+    /// decoded upload, and the fold order is pinned by the claim order, not
+    /// by whichever socket happened to finish first.
     fn recv(&mut self, kind: MsgKind, client: usize) -> Delivery {
         assert_eq!(
             kind.direction(),

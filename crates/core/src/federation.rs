@@ -1,6 +1,7 @@
 //! The federation: clients, global parameters, pluggable transport, and the
 //! shared round plumbing used by every algorithm.
 
+use crate::aggregate::StreamingAggregator;
 use crate::client::{Client, LocalReport};
 use crate::comm::{
     BroadcastDelivery, CommStats, Delivery, FaultStats, LinkOutcome, MsgKind, PerfectTransport,
@@ -9,6 +10,7 @@ use crate::comm::{
 use crate::delta::DeltaTable;
 use crate::dp::{privatize_delta, DpConfig};
 use crate::eval::{evaluate, EvalResult};
+use crate::registry::{ClientDataSource, ClientRegistry};
 use crate::rules::LocalRule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,6 +20,7 @@ use rfl_nn::{
     MlpClassifier, Model, Optimizer, RmsProp, Sgd,
 };
 use rfl_trace::{SpanKind, Tracer};
+use std::sync::Arc;
 
 /// Run-level hyper-parameters shared by all algorithms.
 #[derive(Clone, Copy, Debug)]
@@ -263,10 +266,15 @@ pub(crate) fn fault_counters(span: &mut rfl_trace::Span, faults: &FaultStats) {
 /// [`RemoteTransport`], and the same round plumbing asks the wire instead
 /// of the local replicas).
 pub struct Federation {
+    /// Eager mode: all `N` replicas, indexed by client id. Lazy mode: only
+    /// the round's *active* clients, kept sorted by id (see `local_idx`).
     clients: Vec<Client>,
     /// Remote mode: `clients` is empty and every client-side operation is
     /// routed through the transport's [`RemoteTransport`] half.
     remote: bool,
+    /// Lazy mode: the sharded descriptor/persist store that materializes
+    /// clients on demand ([`Federation::lazy`]). `None` in eager/remote mode.
+    registry: Option<ClientRegistry>,
     n_clients: usize,
     weights: Vec<f32>,
     global: Vec<f32>,
@@ -278,6 +286,11 @@ pub struct Federation {
     tracer: Tracer,
     current_round: u64,
     straggler: Option<StragglerModel>,
+    /// Per-run streaming aggregation state; buffers are reused across
+    /// rounds so the aggregate step allocates nothing once warm.
+    agg: StreamingAggregator,
+    /// Reused upload read buffer (local-mode `collect_*`).
+    upload_buf: Vec<f32>,
 }
 
 impl Federation {
@@ -310,6 +323,7 @@ impl Federation {
         Federation {
             clients,
             remote: false,
+            registry: None,
             n_clients: data.num_clients(),
             weights: data.client_weights(),
             global,
@@ -321,6 +335,57 @@ impl Federation {
             tracer: Tracer::disabled(),
             current_round: 0,
             straggler: None,
+            agg: StreamingAggregator::default(),
+            upload_buf: Vec::new(),
+        }
+    }
+
+    /// Builds a *lazy-mode* federation for cross-device scale: registered
+    /// clients are descriptors in a sharded [`ClientRegistry`], materialized
+    /// (dataset + model replica) only when sampled and evicted back to their
+    /// durable state when the next round starts. Server memory is
+    /// `O(d + active·d)` instead of `O(N·d)`, so a million registered
+    /// clients at 1% sampling fit comfortably. Training is bit-identical to
+    /// an eager [`Federation::new`] over the same data — client RNG streams
+    /// are keyed on `(seed, id)`, never on construction order.
+    pub fn lazy(
+        source: Arc<dyn ClientDataSource>,
+        test: Dataset,
+        model: ModelFactory,
+        optimizer: OptimizerFactory,
+        cfg: &FlConfig,
+        seed: u64,
+    ) -> Self {
+        let n = source.num_clients();
+        assert!(n >= 2, "need at least two clients");
+        let eval_model = model.build(seed);
+        let mut global = Vec::new();
+        eval_model.read_params(&mut global);
+        // Same arithmetic as `FederatedData::client_weights`, bit for bit,
+        // without materializing any dataset.
+        let total: usize = (0..n).map(|k| source.num_samples(k)).sum();
+        assert!(total > 0, "no training data");
+        let weights = (0..n)
+            .map(|k| source.num_samples(k) as f32 / total as f32)
+            .collect();
+        let registry = ClientRegistry::new(source, model, optimizer, cfg, seed, global.clone());
+        Federation {
+            clients: Vec::new(),
+            remote: false,
+            registry: Some(registry),
+            n_clients: n,
+            weights,
+            global,
+            transport: Box::new(PerfectTransport::new()),
+            test,
+            eval_model,
+            parallel: cfg.parallel,
+            eval_batch: 64,
+            tracer: Tracer::disabled(),
+            current_round: 0,
+            straggler: None,
+            agg: StreamingAggregator::default(),
+            upload_buf: Vec::new(),
         }
     }
 
@@ -349,6 +414,7 @@ impl Federation {
         Federation {
             clients: Vec::new(),
             remote: true,
+            registry: None,
             n_clients: data.num_clients(),
             weights: data.client_weights(),
             global,
@@ -360,6 +426,8 @@ impl Federation {
             tracer: Tracer::disabled(),
             current_round: 0,
             straggler: None,
+            agg: StreamingAggregator::default(),
+            upload_buf: Vec::new(),
         }
     }
 
@@ -398,12 +466,122 @@ impl Federation {
     }
 
     /// Marks the start of communication round `round`: resets the
-    /// transport's per-round fault state (virtual clocks, deadlines) and
-    /// pins the round index used by the straggler model. [`crate::Trainer`]
-    /// calls this automatically.
+    /// transport's per-round fault state (virtual clocks, deadlines), pins
+    /// the round index used by the straggler model, and — in lazy mode —
+    /// evicts the previous round's active clients back to the registry.
+    /// [`crate::Trainer`] calls this automatically.
     pub fn begin_round(&mut self, round: u64) {
         self.current_round = round;
+        self.evict_active();
         self.transport.begin_round(round);
+    }
+
+    /// Lazy mode only (no-op otherwise): hibernates every active client
+    /// back into the registry shards, dropping the heavyweight simulation
+    /// objects. Called automatically by [`Federation::begin_round`];
+    /// wave-style drivers (`bench_scale`) call it between waves so peak
+    /// memory is bounded by the wave size, not the sampled count.
+    pub fn evict_active(&mut self) {
+        if let Some(reg) = &self.registry {
+            for c in self.clients.drain(..) {
+                reg.hibernate(c);
+            }
+        }
+    }
+
+    /// Whether this federation materializes clients lazily.
+    pub fn is_lazy(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Lazy mode: clients currently hibernated in the registry (previously
+    /// sampled, not active). 0 in eager/remote mode.
+    pub fn num_persisted(&self) -> usize {
+        self.registry.as_ref().map_or(0, |r| r.num_persisted())
+    }
+
+    /// Number of currently materialized (active) clients. In eager mode
+    /// this is all of them.
+    pub fn num_active(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Applies a learning-rate schedule step to the whole federation.
+    /// Eager mode sets every replica's optimizer; lazy mode records the
+    /// rate in the registry (applied whenever a client materializes) and
+    /// updates the currently active set; remote mode is a no-op — real
+    /// client processes own their optimizer, and the schedule is not part
+    /// of the socket protocol.
+    pub fn apply_lr_schedule(&mut self, lr: f32) {
+        if self.remote {
+            return;
+        }
+        if let Some(reg) = &mut self.registry {
+            reg.set_pending_lr(lr);
+        }
+        for c in &mut self.clients {
+            c.set_lr(lr);
+        }
+    }
+
+    /// Resolves a client id to its slot in `self.clients`. Eager mode is
+    /// the identity; lazy mode binary-searches the id-sorted active set.
+    fn local_idx(&self, k: usize) -> usize {
+        if self.registry.is_none() {
+            k
+        } else {
+            self.clients
+                .binary_search_by_key(&k, |c| c.id())
+                .unwrap_or_else(|_| panic!("client {k} is not active this round"))
+        }
+    }
+
+    /// Lazy mode: materializes every client in `ids` (sorted) that is not
+    /// already active, fanning construction across the worker budget, and
+    /// merges them into the id-sorted active set. No-op in eager/remote
+    /// mode.
+    fn ensure_active(&mut self, ids: &[usize]) {
+        let Some(reg) = &self.registry else { return };
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        let missing: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&k| self.clients.binary_search_by_key(&k, |c| c.id()).is_err())
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let threads = rfl_tensor::thread_budget().min(missing.len());
+        let mut built: Vec<Option<Client>> = (0..missing.len()).map(|_| None).collect();
+        if threads <= 1 {
+            for (slot, &k) in missing.iter().enumerate() {
+                built[slot] = Some(reg.materialize(k));
+            }
+        } else {
+            // Index-addressed slots + an atomic work queue: the result is
+            // independent of which worker builds which client.
+            let slots: Vec<std::sync::Mutex<&mut Option<Client>>> =
+                built.iter_mut().map(std::sync::Mutex::new).collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let work = |_: usize| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= missing.len() {
+                    break;
+                }
+                let client = reg.materialize(missing[i]);
+                **slots[i].lock().expect("slot poisoned") = Some(client);
+            };
+            std::thread::scope(|s| {
+                for t in 1..threads {
+                    let work = &work;
+                    s.spawn(move || work(t));
+                }
+                work(0);
+            });
+        }
+        self.clients
+            .extend(built.into_iter().map(|c| c.expect("client not built")));
+        self.clients.sort_by_key(|c| c.id());
     }
 
     /// Installs an observability sink; all subsequent channel operations,
@@ -487,12 +665,20 @@ impl Federation {
         self.transport.send_raw(kind, client, wire_bytes)
     }
 
+    /// Borrows client `k`. Lazy mode: `k` must be active this round
+    /// (materialized by a broadcast or [`Federation::client_mut`]).
     pub fn client(&self, k: usize) -> &Client {
-        &self.clients[k]
+        let idx = self.local_idx(k);
+        &self.clients[idx]
     }
 
+    /// Mutably borrows client `k`, materializing it first in lazy mode.
     pub fn client_mut(&mut self, k: usize) -> &mut Client {
-        &mut self.clients[k]
+        if self.registry.is_some() && self.clients.binary_search_by_key(&k, |c| c.id()).is_err() {
+            self.ensure_active(&[k]);
+        }
+        let idx = self.local_idx(k);
+        &mut self.clients[idx]
     }
 
     /// Sends the current global parameters to every selected client as a
@@ -501,6 +687,7 @@ impl Federation {
     /// `selected` under the perfect transport) — clients that missed the
     /// download sit the round out.
     pub fn broadcast_params(&mut self, selected: &[usize]) -> Vec<usize> {
+        self.ensure_active(selected);
         let mut span = self.tracer.span(SpanKind::Broadcast);
         let before = self.comm_snapshot();
         let fbefore = self.fault_stats();
@@ -512,7 +699,8 @@ impl Federation {
             // Remote clients install the parameters from the frame they
             // received; the local install is the simulation's stand-in.
             for &k in &delivered {
-                self.clients[k].write_params(&bd.data);
+                let idx = self.local_idx(k);
+                self.clients[idx].write_params(&bd.data);
             }
         }
         span.counter("bytes", self.comm_stats().since(&before).download_bytes());
@@ -525,32 +713,106 @@ impl Federation {
     /// [`MsgKind::ModelUp`] messages. Returns `(client, params)` for the
     /// uploads that arrived — a dropped upload removes the client from the
     /// round's aggregation.
+    ///
+    /// This is the *materializing* collection path — `O(delivered·d)`
+    /// server memory — kept for algorithms that need every vector at once
+    /// (momentum, fairness reweighting) and as the oracle the streaming
+    /// path is pinned against. Round loops that only need the weighted
+    /// average use [`Federation::collect_aggregate`], which folds each
+    /// upload on arrival in O(d).
     pub fn collect_params(&mut self, selected: &[usize]) -> Vec<(usize, Vec<f32>)> {
+        let mut out = Vec::with_capacity(selected.len());
+        self.fold_uploads(selected, |_, k, params| out.push((k, params.to_vec())));
+        out
+    }
+
+    /// The streaming upload walk shared by every collection flavor: claims
+    /// each selected client's [`MsgKind::ModelUp`] upload in **selection
+    /// order** (local mode sends it through the transport; remote mode
+    /// claims the frame off the client's session queue) and hands delivered
+    /// payloads to `visit(slot, client, params)` one at a time — each
+    /// payload is dropped before the next is claimed, so the server never
+    /// holds more than one upload unless the visitor keeps it. Returns the
+    /// delivered client ids.
+    pub fn fold_uploads(
+        &mut self,
+        selected: &[usize],
+        mut visit: impl FnMut(usize, usize, &[f32]),
+    ) -> Vec<usize> {
         let mut span = self.tracer.span(SpanKind::Upload);
         let before = self.comm_snapshot();
         let fbefore = self.fault_stats();
-        let mut out = Vec::with_capacity(selected.len());
+        let mut delivered = Vec::with_capacity(selected.len());
         if self.remote {
             // The clients already pushed their parameters after training;
-            // claim each upload off its session queue in selection order.
-            for &k in selected {
+            // the server folds each upload as its frame completes, claiming
+            // them in selection order so aggregation is deterministic no
+            // matter the arrival order on the wire.
+            for (slot, &k) in selected.iter().enumerate() {
                 if let Some(params) = self.remote_transport().recv(MsgKind::ModelUp, k).data {
-                    out.push((k, params));
+                    visit(slot, k, &params);
+                    delivered.push(k);
                 }
             }
         } else {
-            let mut buf = Vec::new();
-            for &k in selected {
-                self.clients[k].read_params(&mut buf);
+            let mut buf = std::mem::take(&mut self.upload_buf);
+            for (slot, &k) in selected.iter().enumerate() {
+                let idx = self.local_idx(k);
+                self.clients[idx].read_params(&mut buf);
                 if let Some(params) = self.transport.send(MsgKind::ModelUp, k, &buf).data {
-                    out.push((k, params));
+                    visit(slot, k, &params);
+                    delivered.push(k);
                 }
             }
+            self.upload_buf = buf;
         }
         span.counter("bytes", self.comm_stats().since(&before).upload_bytes());
         span.counter("clients", selected.len() as u64);
         fault_counters(&mut span, &self.fault_stats().since(&fbefore));
-        out
+        delivered
+    }
+
+    /// Streaming collect-and-average *without* installing the result:
+    /// returns the delivered ids and the weighted average over them (with
+    /// weights renormalized over the survivors), or `None` when every
+    /// upload dropped. Bit-identical to
+    /// `weighted_average(params, renormalized_weights(weights, delivered))`
+    /// when all uploads arrive.
+    pub fn collect_average(&mut self, selected: &[usize]) -> (Vec<usize>, Option<Vec<f32>>) {
+        let dim = self.global.len();
+        let mut agg = std::mem::take(&mut self.agg);
+        agg.reset_for_selection(dim, &self.weights, selected);
+        let delivered = self.fold_uploads(selected, |slot, _, params| agg.push(slot, params));
+        // Resolve the slots whose uploads were lost.
+        let mut di = 0usize;
+        for (slot, &k) in selected.iter().enumerate() {
+            if di < delivered.len() && delivered[di] == k {
+                di += 1;
+            } else {
+                agg.mark_dropped(slot);
+            }
+        }
+        let avg = agg.finish();
+        self.agg = agg;
+        (delivered, avg)
+    }
+
+    /// The standard FedAvg-style round tail in O(d) server memory: claims
+    /// the selected clients' uploads in selection order, folds each one
+    /// into the [`StreamingAggregator`] on arrival, and installs the
+    /// aggregate as the new global (uploads all lost ⇒ the global is left
+    /// untouched). Emits the same Upload and Aggregate spans as the
+    /// materializing `collect_params` + `weighted_average` pair and charges
+    /// identical bytes. Returns the delivered ids.
+    pub fn collect_aggregate(&mut self, selected: &[usize]) -> Vec<usize> {
+        let (delivered, avg) = self.collect_average(selected);
+        let mut span = self.tracer.span(SpanKind::Aggregate);
+        span.counter("clients", delivered.len() as u64);
+        if let Some(avg) = avg {
+            let old = std::mem::replace(&mut self.global, avg);
+            self.agg.donate(old);
+        }
+        delivered
     }
 
     /// The shared δ synchronization of the regularized algorithms
@@ -589,8 +851,10 @@ impl Federation {
                 }
             }
         } else {
+            self.ensure_active(selected);
             for &k in selected {
-                let mut delta = self.clients[k].compute_delta(probe_batch);
+                let idx = self.local_idx(k);
+                let mut delta = self.clients[idx].compute_delta(probe_batch);
                 if let Some(dp) = dp {
                     privatize_delta(&mut delta, dp, rng);
                 }
@@ -669,6 +933,7 @@ impl Federation {
             }
             return reports;
         }
+        self.ensure_active(selected);
         if !self.parallel || selected.len() == 1 {
             return selected
                 .iter()
@@ -676,7 +941,8 @@ impl Federation {
                 .zip(steps)
                 .map(|((&k, rule), &e)| {
                     let mut span = self.tracer.client_span(SpanKind::LocalTrain, k);
-                    let report = self.clients[k].train_local(e, rule);
+                    let idx = self.local_idx(k);
+                    let report = self.clients[idx].train_local(e, rule);
                     span.counter("batches", report.steps as u64);
                     span.counter("examples", report.examples as u64);
                     report
@@ -684,13 +950,15 @@ impl Federation {
                 .collect();
         }
         // Parallel path: take disjoint &mut Client views of the selected
-        // subset (selected indices are sorted and unique).
+        // subset (selected ids are sorted and unique, so their positions in
+        // the id-sorted active vec are strictly increasing too).
         debug_assert!(selected.windows(2).all(|w| w[0] < w[1]));
-        let mut refs: Vec<&mut Client> = Vec::with_capacity(selected.len());
+        let idxs: Vec<usize> = selected.iter().map(|&k| self.local_idx(k)).collect();
+        let mut refs: Vec<&mut Client> = Vec::with_capacity(idxs.len());
         {
             let mut rest: &mut [Client] = &mut self.clients;
             let mut offset = 0usize;
-            for &k in selected {
+            for &k in &idxs {
                 let (_, tail) = rest.split_at_mut(k - offset);
                 let (head, tail) = tail.split_at_mut(1);
                 refs.push(&mut head[0]);
@@ -753,16 +1021,27 @@ impl Federation {
         reports
     }
 
-    /// Weighted average of parameter vectors (`Σ w_i θ_i`).
-    pub fn weighted_average(params: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    /// Weighted average of parameter vectors (`Σ w_i θ_i`), written into a
+    /// caller-provided buffer — the allocation-free form the materializing
+    /// call sites use so the average doesn't get built twice.
+    pub fn weighted_average_into(out: &mut Vec<f32>, params: &[Vec<f32>], weights: &[f32]) {
         assert_eq!(params.len(), weights.len());
         assert!(!params.is_empty());
         let n = params[0].len();
-        let mut out = vec![0.0f32; n];
+        out.clear();
+        out.resize(n, 0.0);
         for (p, &w) in params.iter().zip(weights) {
             assert_eq!(p.len(), n);
-            rfl_tensor::axpy_slices(&mut out, w, p);
+            rfl_tensor::axpy_slices(out, w, p);
         }
+    }
+
+    /// Weighted average of parameter vectors (`Σ w_i θ_i`). This is the
+    /// materialize-everything oracle the [`StreamingAggregator`] is pinned
+    /// against (see the aggregator proptests).
+    pub fn weighted_average(params: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        Self::weighted_average_into(&mut out, params, weights);
         out
     }
 
@@ -781,6 +1060,15 @@ impl Federation {
         self.eval_model.write_params(&self.global);
         let model = self.eval_model.as_mut();
         let batch = self.eval_batch;
+        if let Some(reg) = &self.registry {
+            // Lazy mode: evaluation only needs each client's *dataset*, so
+            // regenerate shards transiently from the source instead of
+            // materializing whole clients.
+            let source = Arc::clone(reg.source());
+            return (0..source.num_clients())
+                .map(|k| evaluate(model, &source.dataset(k), batch))
+                .collect();
+        }
         self.clients
             .iter()
             .map(|c| evaluate(model, c.data(), batch))
@@ -791,9 +1079,14 @@ impl Federation {
     /// data (used by q-FedAvg's fair aggregation).
     pub fn local_losses_at_global(&mut self, selected: &[usize]) -> Vec<f32> {
         // Clients already hold the broadcast global parameters.
+        self.ensure_active(selected);
         selected
             .iter()
-            .map(|&k| self.clients[k].evaluate_local(self.eval_batch).loss)
+            .map(|&k| {
+                let idx = self.local_idx(k);
+                self.clients[idx].evaluate_local(self.eval_batch)
+            })
+            .map(|r| r.loss)
             .collect()
     }
 }

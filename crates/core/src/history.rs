@@ -31,6 +31,12 @@ pub struct RoundRecord {
     pub dropped_msgs: u64,
     /// Retransmissions the transport performed this round.
     pub retries: u64,
+    /// Server-process resident bytes at the end of the round (0 when the
+    /// platform exposes no RSS counter).
+    pub rss_bytes: u64,
+    /// Server-process peak resident bytes observed so far in the run (0
+    /// when unavailable) — the memory ceiling the scaling work tracks.
+    pub peak_rss_bytes: u64,
 }
 
 /// A completed run.
@@ -145,14 +151,14 @@ impl History {
     /// CSV dump: one row per round.
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
-            "round,train_loss,reg_loss,test_loss,test_acc,seconds,down_bytes,up_bytes,delta_bytes,participants,delivered,dropped_msgs,retries\n",
+            "round,train_loss,reg_loss,test_loss,test_acc,seconds,down_bytes,up_bytes,delta_bytes,participants,delivered,dropped_msgs,retries,rss_bytes,peak_rss_bytes\n",
         );
         for r in &self.records {
             let tl = r.test_loss.map_or(String::new(), |v| format!("{v:.6}"));
             let ta = r.test_acc.map_or(String::new(), |v| format!("{v:.6}"));
             let _ = writeln!(
                 s,
-                "{},{:.6},{:.6},{},{},{:.4},{},{},{},{},{},{},{}",
+                "{},{:.6},{:.6},{},{},{:.4},{},{},{},{},{},{},{},{},{}",
                 r.round,
                 r.train_loss,
                 r.reg_loss,
@@ -165,7 +171,9 @@ impl History {
                 r.participants,
                 r.delivered,
                 r.dropped_msgs,
-                r.retries
+                r.retries,
+                r.rss_bytes,
+                r.peak_rss_bytes
             );
         }
         s
@@ -191,6 +199,8 @@ mod tests {
             delivered: 4,
             dropped_msgs: 0,
             retries: 0,
+            rss_bytes: 0,
+            peak_rss_bytes: 0,
         }
     }
 
@@ -250,5 +260,12 @@ mod tests {
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("round,"));
         assert!(csv.contains("0.500000"));
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with("rss_bytes,peak_rss_bytes"));
+        assert_eq!(
+            header.split(',').count(),
+            csv.lines().nth(1).unwrap().split(',').count(),
+            "every row matches the header arity"
+        );
     }
 }

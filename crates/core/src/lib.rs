@@ -49,6 +49,7 @@
 //! assert_eq!(history.len(), 3);
 //! ```
 
+pub mod aggregate;
 pub mod algorithms;
 pub mod canonical;
 pub mod client;
@@ -60,9 +61,11 @@ pub mod dp;
 pub mod eval;
 pub mod federation;
 pub mod history;
+pub mod mem;
 pub mod mmd;
 pub mod mmd_rbf;
 pub mod personalization;
+pub mod registry;
 pub mod rules;
 pub mod sampling;
 pub mod secagg;
@@ -70,12 +73,14 @@ pub mod secagg;
 pub(crate) mod testutil;
 pub mod trainer;
 
+pub use aggregate::StreamingAggregator;
 pub use client::Client;
 pub use comm::{
     FaultConfig, FaultStats, FaultyTransport, LatencyModel, MsgKind, PerfectTransport, Transport,
 };
 pub use federation::{Federation, FlConfig, ModelFactory, OptimizerFactory, StragglerModel};
 pub use history::{History, RoundRecord};
+pub use registry::{ClientDataSource, ClientRegistry, MaterializedSource};
 pub use rules::LocalRule;
 pub use trainer::{Algorithm, RoundOutcome, Trainer};
 

@@ -1,0 +1,78 @@
+//! Process memory introspection for the scaling benchmarks and per-round
+//! History columns.
+//!
+//! Linux-only in substance: resident-set figures come from
+//! `/proc/self/status` (`VmRSS` = current resident bytes, `VmHWM` = the
+//! high-water mark since the last peak reset). On other platforms every
+//! query returns 0 — the CSV columns and bench gates degrade to no-ops
+//! rather than breaking the build.
+
+/// Current resident set size in bytes (0 when unavailable).
+pub fn current_rss_bytes() -> u64 {
+    read_status_kib("VmRSS:") * 1024
+}
+
+/// Peak resident set size in bytes since process start or the last
+/// [`reset_peak_rss`] (0 when unavailable).
+pub fn peak_rss_bytes() -> u64 {
+    read_status_kib("VmHWM:") * 1024
+}
+
+/// Resets the kernel's peak-RSS watermark (`VmHWM`) so per-leg peaks can be
+/// measured inside one process. Returns `false` when unsupported; callers
+/// must then treat `peak_rss_bytes` as a whole-process maximum.
+pub fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        // Writing "5" to clear_refs resets VmHWM (Linux >= 4.0).
+        std::fs::write("/proc/self/clear_refs", "5\n").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn read_status_kib(key: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            // "VmRSS:      123456 kB"
+            return rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+#[cfg(not(target_os = "linux"))]
+fn read_status_kib(_key: &str) -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(not(target_os = "linux"), ignore)]
+    fn rss_and_peak_parse_on_linux() {
+        // Note: no `peak >= rss` assertion — a concurrent test calling
+        // `reset_peak_rss` would make that racy within one process.
+        assert!(current_rss_bytes() > 0, "VmRSS should parse on Linux");
+        assert!(peak_rss_bytes() > 0, "VmHWM should parse on Linux");
+    }
+
+    #[test]
+    fn queries_never_panic() {
+        let _ = current_rss_bytes();
+        let _ = peak_rss_bytes();
+        let _ = reset_peak_rss();
+    }
+}

@@ -1,0 +1,295 @@
+//! Sharded, lazily materialized client registry for cross-device scale.
+//!
+//! A simulated federation used to hold every client — model replica,
+//! dataset shard, scratch buffers — live for the whole run: `O(N·d)` server
+//! memory, which at a million registered clients is absurd when only 1% of
+//! them participate per round. In lazy mode, a registered client is nothing
+//! but a *descriptor*: its id plus the deterministic recipes (federation
+//! seed, model/optimizer factories, data source) that rebuild it on demand.
+//! The heavyweight objects exist only while the client is **active** in the
+//! current round; eviction keeps just the durable
+//! [`crate::client::ClientPersist`] (RNG position, epoch-shuffle cursor,
+//! optimizer state, flat parameters) in an index-hashed shard map.
+//!
+//! # Determinism
+//!
+//! Nothing about a client's state may depend on *when* it is first
+//! materialized. Client `k`'s RNG stream is keyed on `(seed, k)` (the same
+//! `seed ^ k·φ64` offset [`crate::client::Client::new`] always used — never
+//! on construction order), the model's init weights come from the shared
+//! federation seed, and a fresh client starts from the *initial* global
+//! parameters exactly as an eagerly built one does. Hibernate → wake
+//! round-trips bit-exactly, so an eager run and a lazy run of the same
+//! federation produce identical losses and parameters (pinned by the
+//! `eager ≡ lazy` e2e test).
+//!
+//! # Sharding
+//!
+//! Persisted state lives in `thread_budget()` shards behind per-shard
+//! mutexes, hashed by client index (`k % shards`). Materialization of a
+//! round's selection fans out across the worker budget; each worker only
+//! contends on the shard owning its current client, and results land in
+//! index-addressed slots so the active set is independent of scheduling.
+
+use crate::client::{Client, ClientPersist};
+use crate::federation::{FlConfig, ModelFactory, OptimizerFactory};
+use rfl_data::{Dataset, FederatedData};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Deterministic, thread-safe recipe for client datasets. Implementations
+/// must return bit-identical datasets for repeated calls with the same `k` —
+/// lazy clients regenerate their shard on every wake.
+pub trait ClientDataSource: Send + Sync {
+    /// Number of registered clients.
+    fn num_clients(&self) -> usize;
+    /// `n_k` — sample count of client `k`'s shard, *without* materializing
+    /// it (aggregation weights for a million clients must stay O(N) ints).
+    fn num_samples(&self, k: usize) -> usize;
+    /// Materializes client `k`'s dataset.
+    fn dataset(&self, k: usize) -> Dataset;
+}
+
+/// A [`ClientDataSource`] over pre-materialized datasets (the classic
+/// [`FederatedData`] layout) — used to run existing federations in lazy
+/// mode and to pin eager ≡ lazy equivalence.
+pub struct MaterializedSource {
+    clients: Arc<Vec<Dataset>>,
+}
+
+impl MaterializedSource {
+    pub fn new(clients: Vec<Dataset>) -> Self {
+        MaterializedSource {
+            clients: Arc::new(clients),
+        }
+    }
+
+    /// Borrows the client datasets out of a [`FederatedData`] (cloned once;
+    /// the test set stays with the caller).
+    pub fn from_federated(data: &FederatedData) -> Self {
+        MaterializedSource::new(data.clients.clone())
+    }
+}
+
+impl ClientDataSource for MaterializedSource {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn num_samples(&self, k: usize) -> usize {
+        self.clients[k].len()
+    }
+
+    fn dataset(&self, k: usize) -> Dataset {
+        self.clients[k].clone()
+    }
+}
+
+/// The lazy-mode backing store: construction recipes plus the sharded
+/// persist map. See the module docs.
+pub struct ClientRegistry {
+    source: Arc<dyn ClientDataSource>,
+    model: ModelFactory,
+    optimizer: OptimizerFactory,
+    batch_size: usize,
+    clip_grad_norm: Option<f32>,
+    seed: u64,
+    /// The global initialization every client starts from — a client first
+    /// sampled in round 40 must begin exactly where an eager replica would
+    /// have: at the round-0 global, not the current one (its download
+    /// installs the current global only if the link delivers).
+    init_global: Vec<f32>,
+    /// Latest learning-rate schedule value; applied on materialization so a
+    /// woken client matches an eager one (which is overwritten every round).
+    pending_lr: Option<f32>,
+    shards: Vec<Mutex<HashMap<usize, ClientPersist>>>,
+}
+
+impl ClientRegistry {
+    pub fn new(
+        source: Arc<dyn ClientDataSource>,
+        model: ModelFactory,
+        optimizer: OptimizerFactory,
+        cfg: &FlConfig,
+        seed: u64,
+        init_global: Vec<f32>,
+    ) -> Self {
+        let n_shards = rfl_tensor::thread_budget().max(1);
+        ClientRegistry {
+            source,
+            model,
+            optimizer,
+            batch_size: cfg.batch_size,
+            clip_grad_norm: cfg.clip_grad_norm,
+            seed,
+            init_global,
+            pending_lr: None,
+            shards: (0..n_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    pub fn num_clients(&self) -> usize {
+        self.source.num_clients()
+    }
+
+    pub fn source(&self) -> &Arc<dyn ClientDataSource> {
+        &self.source
+    }
+
+    /// Records the schedule's current learning rate; every client
+    /// materialized from now on gets it applied.
+    pub fn set_pending_lr(&mut self, lr: f32) {
+        self.pending_lr = Some(lr);
+    }
+
+    /// Clients currently hibernated (previously sampled, not active).
+    pub fn num_persisted(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("registry shard poisoned").len())
+            .sum()
+    }
+
+    fn shard_of(&self, k: usize) -> usize {
+        k % self.shards.len()
+    }
+
+    /// Builds the live simulation object for client `k`: either woken from
+    /// its persisted state or constructed fresh from the deterministic
+    /// recipes. Takes `&self` — materialization of a selection runs on the
+    /// worker pool, contending only on the per-shard locks.
+    pub fn materialize(&self, k: usize) -> Client {
+        let persist = self.shards[self.shard_of(k)]
+            .lock()
+            .expect("registry shard poisoned")
+            .remove(&k);
+        let mut model = self.model.build(self.seed);
+        let data = self.source.dataset(k);
+        let mut client = match persist {
+            Some(p) => Client::wake(k, model, data, p, self.clip_grad_norm),
+            None => {
+                model.write_params(&self.init_global);
+                let mut c = Client::new(
+                    k,
+                    model,
+                    data,
+                    self.optimizer.build(),
+                    self.batch_size,
+                    self.seed,
+                );
+                c.set_clip_grad_norm(self.clip_grad_norm);
+                c
+            }
+        };
+        if let Some(lr) = self.pending_lr {
+            client.set_lr(lr);
+        }
+        client
+    }
+
+    /// Evicts a client, keeping only its durable state.
+    pub fn hibernate(&self, client: Client) {
+        let k = client.id();
+        self.shards[self.shard_of(k)]
+            .lock()
+            .expect("registry shard poisoned")
+            .insert(k, client.hibernate());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::LocalRule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfl_data::synth::gaussian::GaussianMixtureSpec;
+
+    fn source(n_clients: usize, seed: u64) -> (MaterializedSource, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = GaussianMixtureSpec::default_spec();
+        let pool = spec.generate(20 * n_clients, None, &mut rng);
+        let parts = rfl_data::partition::iid(20 * n_clients, n_clients, &mut rng);
+        let test = spec.generate(20, None, &mut rng);
+        let data = FederatedData::from_partition(&pool, &parts, test);
+        (MaterializedSource::from_federated(&data), data.test.clone())
+    }
+
+    fn registry(seed: u64) -> ClientRegistry {
+        let (src, _) = source(4, seed);
+        let model = ModelFactory::logistic(10, 4, 0.0);
+        let init = model.build(seed);
+        let mut init_global = Vec::new();
+        init.read_params(&mut init_global);
+        let mut cfg = FlConfig::cross_silo();
+        cfg.batch_size = 5;
+        ClientRegistry::new(
+            Arc::new(src),
+            model,
+            OptimizerFactory::sgd(0.1),
+            &cfg,
+            seed,
+            init_global,
+        )
+    }
+
+    #[test]
+    fn materialization_order_does_not_change_clients() {
+        let reg_a = registry(3);
+        let reg_b = registry(3);
+        // Build in opposite orders; every client must be bit-identical.
+        let mut a: Vec<Client> = (0..4).map(|k| reg_a.materialize(k)).collect();
+        let mut b: Vec<Client> = (0..4).rev().map(|k| reg_b.materialize(k)).collect();
+        b.reverse();
+        for (ca, cb) in a.iter_mut().zip(b.iter_mut()) {
+            let ra = ca.train_local(3, &LocalRule::Plain);
+            let rb = cb.train_local(3, &LocalRule::Plain);
+            assert_eq!(ra.loss, rb.loss, "client {} diverged", ca.id());
+        }
+    }
+
+    #[test]
+    fn hibernate_then_materialize_resumes_training() {
+        // Two identical registries: one client stays live, its twin is
+        // evicted and revived mid-run; both must train bit-identically.
+        let reg = registry(5);
+        let reg2 = registry(5);
+        let mut live = reg.materialize(2);
+        let mut cycled = reg2.materialize(2);
+
+        live.train_local(2, &LocalRule::Plain);
+        cycled.train_local(2, &LocalRule::Plain);
+        reg2.hibernate(cycled);
+        assert_eq!(reg2.num_persisted(), 1);
+        let mut cycled = reg2.materialize(2);
+        assert_eq!(reg2.num_persisted(), 0);
+        let ra = live.train_local(4, &LocalRule::Plain);
+        let rb = cycled.train_local(4, &LocalRule::Plain);
+        assert_eq!(ra.loss, rb.loss);
+        let (mut wa, mut wb) = (Vec::new(), Vec::new());
+        live.read_params(&mut wa);
+        cycled.read_params(&mut wb);
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn fresh_clients_start_at_the_initial_global() {
+        let reg = registry(7);
+        let c = reg.materialize(3);
+        let mut params = Vec::new();
+        c.read_params(&mut params);
+        assert_eq!(params, reg.init_global);
+    }
+
+    #[test]
+    fn pending_lr_is_applied_on_materialization() {
+        let mut reg = registry(9);
+        reg.set_pending_lr(0.025);
+        let fresh = reg.materialize(0);
+        assert_eq!(fresh.lr(), 0.025);
+        reg.hibernate(fresh);
+        reg.set_pending_lr(0.0125);
+        let woken = reg.materialize(0);
+        assert_eq!(woken.lr(), 0.0125);
+    }
+}

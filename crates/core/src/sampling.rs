@@ -2,16 +2,40 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::HashSet;
+
+/// Above this population the shuffle path's `O(N)` scratch vector starts to
+/// matter (a million-client registry would allocate 8 MB just to pick 10k
+/// ids), so sparse selections switch to rejection sampling.
+const SPARSE_N_MIN: usize = 65_536;
 
 /// Samples `⌈SR·N⌉` distinct clients uniformly without replacement.
 /// `sr = 1.0` is full participation. The returned indices are sorted so the
 /// downstream iteration order is deterministic.
+///
+/// Small populations (or dense selections) shuffle an index vector — the
+/// historical path, kept bit-for-bit so every pinned run reproduces. Huge
+/// sparse selections (`n > 65536`, `m < n/8`) draw ids by rejection
+/// sampling instead: `O(m)` memory and expected `O(m)` draws, never
+/// materializing the population.
 pub fn sample_clients<R: Rng>(n: usize, sr: f32, rng: &mut R) -> Vec<usize> {
     assert!(n > 0, "no clients");
     assert!((0.0..=1.0).contains(&sr), "sample ratio in [0, 1]");
     let m = ((n as f32 * sr).ceil() as usize).clamp(1, n);
     if m == n {
         return (0..n).collect();
+    }
+    if n > SPARSE_N_MIN && m < n / 8 {
+        let mut chosen = HashSet::with_capacity(m);
+        let mut selected = Vec::with_capacity(m);
+        while selected.len() < m {
+            let k = rng.gen_range(0..n);
+            if chosen.insert(k) {
+                selected.push(k);
+            }
+        }
+        selected.sort_unstable();
+        return selected;
     }
     let mut all: Vec<usize> = (0..n).collect();
     all.shuffle(rng);
@@ -67,6 +91,27 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&b| b), "every client eventually sampled");
+    }
+
+    #[test]
+    fn sparse_path_draws_distinct_sorted_ids() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = SPARSE_N_MIN * 2;
+        let s = sample_clients(n, 0.01, &mut rng);
+        assert_eq!(s.len(), (n as f32 * 0.01).ceil() as usize);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(s.iter().all(|&k| k < n));
+    }
+
+    #[test]
+    fn dense_selection_on_large_n_keeps_the_shuffle_path() {
+        // m ≥ n/8 must not switch algorithms even above the size gate —
+        // the rejection loop would degenerate as m → n.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = SPARSE_N_MIN + 1;
+        let s = sample_clients(n, 0.5, &mut rng);
+        assert_eq!(s.len(), n.div_ceil(2));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -81,10 +81,10 @@ impl Trainer {
         let run_span = fed.tracer().begin_run(algo.name());
         for round in 0..self.cfg.rounds {
             if let Some(schedule) = &self.lr_schedule {
-                let lr = schedule(round);
-                for k in 0..fed.num_clients() {
-                    fed.client_mut(k).set_lr(lr);
-                }
+                // Applied through the federation so lazy mode records the
+                // rate for clients that are not materialized (an O(N) loop
+                // over client handles would wake every registered client).
+                fed.apply_lr_schedule(schedule(round));
             }
             let mut round_span = fed.tracer().begin_round(round);
             fed.begin_round(round as u64);
@@ -99,10 +99,15 @@ impl Trainer {
             let do_eval = (round + 1) % self.cfg.eval_every == 0 || round + 1 == self.cfg.rounds;
             let eval = do_eval.then(|| fed.evaluate_global());
 
+            let rss_bytes = crate::mem::current_rss_bytes();
+            let peak_rss_bytes = crate::mem::peak_rss_bytes();
             round_span.counter("bytes_down", comm.download_bytes());
             round_span.counter("bytes_up", comm.upload_bytes());
             round_span.counter("bytes_delta", comm.delta_bytes());
             round_span.counter("participants", outcome.selected.len() as u64);
+            if rss_bytes > 0 {
+                round_span.counter("rss_bytes", rss_bytes);
+            }
             crate::federation::fault_counters(&mut round_span, &faults);
             drop(round_span);
 
@@ -120,6 +125,8 @@ impl Trainer {
                 delivered: outcome.delivered.len(),
                 dropped_msgs: faults.dropped,
                 retries: faults.retries,
+                rss_bytes,
+                peak_rss_bytes,
             };
             if let Some(obs) = &mut self.on_round {
                 obs(&record);

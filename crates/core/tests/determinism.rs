@@ -6,15 +6,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfl_core::prelude::*;
-use rfl_core::{Federation, FlConfig, ModelFactory, OptimizerFactory, Trainer};
+use rfl_core::{
+    canonical, Federation, FlConfig, MaterializedSource, ModelFactory, OptimizerFactory, Trainer,
+};
 use rfl_data::synth::image::SynthImageSpec;
 use rfl_data::{partition, FederatedData};
 use rfl_nn::CnnConfig;
+use std::sync::Arc;
 
-/// Two rounds of rFedAvg+ on a small CNN federation: convolutions, GEMMs,
-/// the MMD regularizer, and the parallel client work-queue all on the hot
-/// path.
-fn run_cnn_rounds(seed: u64) -> (Vec<f32>, Vec<f32>) {
+/// The small CNN federation behind every run in this suite.
+fn cnn_data(seed: u64) -> (FederatedData, FlConfig) {
     let mut rng = StdRng::seed_from_u64(seed);
     let spec = SynthImageSpec::mnist_like();
     let pool = spec.generate(4 * 24, &mut rng);
@@ -32,17 +33,46 @@ fn run_cnn_rounds(seed: u64) -> (Vec<f32>, Vec<f32>) {
         seed,
         delta_probe_batch: None,
     };
-    let mut fed = Federation::new(
+    (data, cfg)
+}
+
+fn run_rounds(mut fed: Federation, cfg: FlConfig) -> (Vec<f32>, Vec<f32>) {
+    let mut algo = RFedAvgPlus::new(1e-3);
+    let history = Trainer::new(cfg).run(&mut algo, &mut fed);
+    let losses = history.records().iter().map(|r| r.train_loss).collect();
+    (losses, fed.global().to_vec())
+}
+
+/// Two rounds of rFedAvg+ on a small CNN federation: convolutions, GEMMs,
+/// the MMD regularizer, and the parallel client work-queue all on the hot
+/// path.
+fn run_cnn_rounds(seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let (data, cfg) = cnn_data(seed);
+    let fed = Federation::new(
         &data,
         ModelFactory::cnn(CnnConfig::mnist_like()),
         OptimizerFactory::sgd(0.05),
         &cfg,
         seed,
     );
-    let mut algo = RFedAvgPlus::new(1e-3);
-    let history = Trainer::new(cfg).run(&mut algo, &mut fed);
-    let losses = history.records().iter().map(|r| r.train_loss).collect();
-    (losses, fed.global().to_vec())
+    run_rounds(fed, cfg)
+}
+
+/// The same run through lazy client management: clients live in the sharded
+/// registry as hibernated state and are materialized only for the rounds
+/// that sample them.
+fn run_cnn_rounds_lazy(seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let (data, cfg) = cnn_data(seed);
+    let source = Arc::new(MaterializedSource::from_federated(&data));
+    let fed = Federation::lazy(
+        source,
+        data.test.clone(),
+        ModelFactory::cnn(CnnConfig::mnist_like()),
+        OptimizerFactory::sgd(0.05),
+        &cfg,
+        seed,
+    );
+    run_rounds(fed, cfg)
 }
 
 #[test]
@@ -84,4 +114,52 @@ fn warm_rerun_is_bit_identical_to_fresh_run() {
         params_fresh, params_warm,
         "a warm re-run must reproduce the fresh run's parameters exactly"
     );
+}
+
+/// Lazy client management is a pure memory optimization: hibernating
+/// clients between rounds and rebuilding them on selection must not perturb
+/// a single bit of the training trajectory. Client RNG streams are keyed on
+/// `(seed, client id)`, not construction order, so materialization order is
+/// free to differ.
+#[test]
+fn lazy_mode_is_bit_identical_to_eager() {
+    let (losses_eager, params_eager) = run_cnn_rounds(13);
+    let (losses_lazy, params_lazy) = run_cnn_rounds_lazy(13);
+
+    assert_eq!(
+        losses_eager, losses_lazy,
+        "lazy client materialization must not change per-round losses"
+    );
+    assert_eq!(
+        params_eager, params_lazy,
+        "lazy client materialization must not change the global parameters"
+    );
+}
+
+/// The canonical pinned loss must reproduce through the streaming
+/// aggregator AND the lazy registry path at any thread budget — the
+/// end-to-end gate on the million-client round machinery.
+#[test]
+fn lazy_mode_reproduces_the_canonical_pin() {
+    let data = canonical::data(canonical::SEED);
+    let cfg = canonical::config(canonical::SEED, canonical::ROUNDS);
+    for budget in [1, 4] {
+        rfl_tensor::set_thread_budget(budget);
+        let source = Arc::new(MaterializedSource::from_federated(&data));
+        let mut fed = Federation::lazy(
+            source,
+            data.test.clone(),
+            canonical::model(),
+            canonical::optimizer(),
+            &cfg,
+            canonical::SEED,
+        );
+        let h = canonical::run(&mut fed, canonical::SEED, canonical::ROUNDS);
+        let loss = h.records().last().unwrap().train_loss as f64;
+        rfl_tensor::set_thread_budget(1);
+        assert!(
+            canonical::loss_matches_pin(loss),
+            "lazy canonical run drifted from the pin at {budget} threads: {loss:.9}"
+        );
+    }
 }

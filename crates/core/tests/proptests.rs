@@ -2,11 +2,12 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rfl_core::dp::{clip_l2, privatize_delta, DpConfig};
 use rfl_core::mmd;
 use rfl_core::sampling::{renormalized_weights, sample_clients};
-use rfl_core::Federation;
+use rfl_core::{Federation, StreamingAggregator};
 use rfl_tensor::Tensor;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -133,5 +134,82 @@ proptest! {
             let hi = a[i].max(b[i]) + 1e-4;
             prop_assert!(avg[i] >= lo && avg[i] <= hi);
         }
+    }
+
+    /// The streaming fold-on-arrival aggregator is **bitwise** identical to
+    /// the materializing oracle `weighted_average(params,
+    /// renormalized_weights(..))` for any parameter dimension, any sampled
+    /// subset of the registry (including zero-weight members, as long as the
+    /// selection's total weight is positive), and any arrival permutation —
+    /// out-of-order arrivals must not change the fold sequence.
+    #[test]
+    fn streaming_aggregator_matches_oracle_bitwise(
+        dim in 1usize..24,
+        flat in finite_vec(8 * 24),
+        raw_w in prop::collection::vec(0.0f32..1.0, 8),
+        sr in 0.1f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let sel = sample_clients(8, sr, &mut StdRng::seed_from_u64(seed));
+        let n = sel.len();
+        prop_assume!(sel.iter().map(|&k| raw_w[k]).sum::<f32>() > 0.0);
+        let params: Vec<Vec<f32>> =
+            (0..n).map(|i| flat[i * dim..(i + 1) * dim].to_vec()).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xA11));
+        let mut agg = StreamingAggregator::default();
+        agg.reset_for_selection(dim, &raw_w, &sel);
+        for &slot in &order {
+            agg.push(slot, &params[slot]);
+        }
+        let got = agg.finish().unwrap();
+        let want =
+            Federation::weighted_average(&params, &renormalized_weights(&raw_w, &sel));
+        prop_assert_eq!(got, want);
+    }
+
+    /// Under drops — any loss pattern down to a single survivor — the
+    /// streaming result equals folding the survivors in slot order and
+    /// rescaling once by the surviving weight mass, regardless of the order
+    /// in which arrivals and drop notices resolve.
+    #[test]
+    fn streaming_aggregator_drop_renormalization_is_order_free(
+        n in 2usize..8,
+        dim in 1usize..24,
+        flat in finite_vec(8 * 24),
+        raw_w in prop::collection::vec(0.01f32..1.0, 8),
+        drop_bits in 0usize..255,
+        seed in 0u64..1000,
+    ) {
+        let dropped: Vec<bool> = (0..n).map(|i| drop_bits >> i & 1 == 1).collect();
+        prop_assume!(dropped.iter().any(|&d| !d));
+        let params: Vec<Vec<f32>> =
+            (0..n).map(|i| flat[i * dim..(i + 1) * dim].to_vec()).collect();
+        let sel: Vec<usize> = (0..n).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut agg = StreamingAggregator::default();
+        agg.reset_for_selection(dim, &raw_w[..n], &sel);
+        for &slot in &order {
+            if dropped[slot] {
+                agg.mark_dropped(slot);
+            } else {
+                agg.push(slot, &params[slot]);
+            }
+        }
+        let got = agg.finish().unwrap();
+        let norm = renormalized_weights(&raw_w[..n], &sel);
+        let mut want = vec![0.0f32; dim];
+        let mut survivor_weight = 0.0f32;
+        for slot in 0..n {
+            if !dropped[slot] {
+                rfl_tensor::axpy_slices(&mut want, norm[slot], &params[slot]);
+                survivor_weight += norm[slot];
+            }
+        }
+        if dropped.iter().any(|&d| d) {
+            rfl_tensor::scale_slices(&mut want, 1.0 / survivor_weight);
+        }
+        prop_assert_eq!(got, want);
     }
 }

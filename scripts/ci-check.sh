@@ -32,4 +32,7 @@ cargo build --release -p rfl-bench --bin ext_lossy
 echo "== bench_alloc --quick (allocation-regression gate)"
 cargo run --release -p rfl-bench --features alloc-count --bin bench_alloc -- --quick
 
+echo "== bench_scale --quick (peak-RSS scaling gate, 100k registered / 1% sampled)"
+cargo run --release -p rfl-bench --bin bench_scale -- --quick > /dev/null
+
 echo "== all CI checks passed"
