@@ -36,6 +36,7 @@ fn bench_round(c: &mut Criterion) {
         clip_grad_norm: Some(10.0),
         seed: 0,
         delta_probe_batch: None,
+        compression: rfl_core::compress::Compression::None,
     };
     let mut g = c.benchmark_group("round");
     g.sample_size(20);

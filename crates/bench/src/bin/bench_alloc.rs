@@ -16,7 +16,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfl_bench::alloc_count::{snapshot, CountingAlloc};
-use rfl_core::{Client, LocalRule};
+use rfl_core::algorithms::FedAvg;
+use rfl_core::compress::Compression;
+use rfl_core::{canonical, Algorithm, Client, Federation, LocalRule};
 use rfl_data::synth::image::SynthImageSpec;
 use rfl_nn::{CnnClassifier, CnnConfig, Sgd};
 use std::fmt::Write as _;
@@ -32,6 +34,11 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// ISSUE's ≥ 10× reduction requirement.
 const WARM_ALLOC_CEILING: u64 = 4;
 const MIN_COLD_WARM_RATIO: f64 = 10.0;
+/// Extra heap allocations a warm *compressed* federated round may make over
+/// a dense one. The error-feedback buffers, payload sections, and fold
+/// workspaces are all pooled, so the steady-state overhead is zero; the
+/// allowance covers a rare capacity regrow without hiding a real leak.
+const COMPRESSION_ROUND_ALLOC_OVERHEAD: f64 = 4.0;
 /// The pin now lives next to the canonical run definition it gates.
 const PINNED_ROUND_LOSS: f64 = rfl_core::canonical::PINNED_ROUND_LOSS;
 
@@ -53,6 +60,34 @@ fn round_loop(seed: u64, rounds: usize) -> (f64, f64) {
         t0.elapsed().as_secs_f64(),
         h.records().last().unwrap().train_loss as f64,
     )
+}
+
+/// Warm steady-state allocations per federated round of the canonical
+/// federation under `policy`. The first round fills the compression
+/// workspaces (`comp_*` buffers, client residuals, payload sections); after
+/// settling, every further round must reuse them — the `decompress_into`
+/// fold path is O(d) workspace memory, not O(clients · d) fresh vectors.
+fn warm_round_allocs(seed: u64, policy: Compression, warm_rounds: usize) -> f64 {
+    let data = canonical::data(seed);
+    let mut cfg = canonical::config(seed, 4 + warm_rounds);
+    cfg.compression = policy;
+    let mut fed = Federation::new(
+        &data,
+        canonical::model(),
+        canonical::optimizer(),
+        &cfg,
+        seed,
+    );
+    let mut algo = FedAvg::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..4 {
+        algo.round(&mut fed, &cfg, round, &mut rng);
+    }
+    let s = snapshot();
+    for round in 4..4 + warm_rounds {
+        algo.round(&mut fed, &cfg, round, &mut rng);
+    }
+    snapshot().since(&s).allocs as f64 / warm_rounds as f64
 }
 
 fn main() {
@@ -89,6 +124,16 @@ fn main() {
     // steady state (the current reality) yields a finite, JSON-valid ratio.
     let ratio = cold.allocs as f64 / warm_allocs_per_step.max(1.0);
 
+    // Compression must not reopen the per-round allocation leak: once the
+    // `comp_*` workspaces and client residuals are warm, a quantized round
+    // allocates no more than a dense one (plus the committed overhead
+    // allowance for rare capacity regrows).
+    let warm_fed_rounds = if quick { 8 } else { 24 };
+    let dense_round_allocs = warm_round_allocs(7, Compression::None, warm_fed_rounds);
+    let compressed_round_allocs =
+        warm_round_allocs(7, Compression::Quantize { bits: 4 }, warm_fed_rounds);
+    let compression_overhead = compressed_round_allocs - dense_round_allocs;
+
     // The pinned provenance: same round loop as bench_kernels, exact loss.
     let (round_secs, round_loss) = round_loop(7, 2);
     // The recorded loss is an f32; compare at f32 precision (the f64 JSON
@@ -109,6 +154,22 @@ fn main() {
     let _ = writeln!(json, "  \"warm_secs_per_step\": {warm_secs:.6},");
     let _ = writeln!(json, "  \"warm_alloc_ceiling\": {WARM_ALLOC_CEILING},");
     let _ = writeln!(json, "  \"min_cold_warm_ratio\": {MIN_COLD_WARM_RATIO},");
+    let _ = writeln!(
+        json,
+        "  \"dense_round_allocs_warm\": {dense_round_allocs:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"compressed_round_allocs_warm\": {compressed_round_allocs:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"compression_alloc_overhead_per_round\": {compression_overhead:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"compression_alloc_overhead_ceiling\": {COMPRESSION_ROUND_ALLOC_OVERHEAD},"
+    );
     let _ = writeln!(json, "  \"round_loop_secs\": {round_secs:.6},");
     let _ = writeln!(json, "  \"round_loop_final_loss\": {round_loss:.9},");
     let _ = writeln!(json, "  \"round_loop_loss_pinned\": {loss_pinned}");
@@ -134,6 +195,14 @@ fn main() {
         eprintln!(
             "ERROR: cold/warm allocation ratio {ratio:.1} is below the required \
              {MIN_COLD_WARM_RATIO}x"
+        );
+        failed = true;
+    }
+    if compression_overhead > COMPRESSION_ROUND_ALLOC_OVERHEAD {
+        eprintln!(
+            "ERROR: compression adds {compression_overhead:.2} allocs per warm round \
+             (dense {dense_round_allocs:.2} -> compressed {compressed_round_allocs:.2}); \
+             ceiling is {COMPRESSION_ROUND_ALLOC_OVERHEAD}"
         );
         failed = true;
     }

@@ -159,6 +159,7 @@ fn run_leg(leg: Leg) -> LegReport {
         clip_grad_norm: None,
         seed: SEED,
         delta_probe_batch: None,
+        compression: rfl_core::compress::Compression::None,
     };
     let source = Arc::new(GaussianSource {
         spec,

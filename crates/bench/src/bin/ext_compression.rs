@@ -10,10 +10,9 @@ use rfl_bench::runner::AlgoFactory;
 use rfl_bench::setup::silo_config;
 use rfl_bench::{mnist_scenario, parse_args, run_suite};
 use rfl_core::algorithms::CompressedFedAvg;
-use rfl_core::compress::{CountSketch, TopK, UniformQuantizer};
+use rfl_core::compress::Compression;
 use rfl_core::prelude::*;
 use rfl_metrics::{mean_std, TextTable};
-use std::sync::Arc;
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
@@ -31,28 +30,32 @@ fn main() {
         (
             "8-bit quantized",
             Box::new(|| {
-                Box::new(CompressedFedAvg::new(Arc::new(UniformQuantizer::new(8))))
+                Box::new(CompressedFedAvg::new(Compression::Quantize { bits: 8 }))
                     as Box<dyn Algorithm>
             }),
         ),
         (
             "4-bit quantized",
             Box::new(|| {
-                Box::new(CompressedFedAvg::new(Arc::new(UniformQuantizer::new(4))))
+                Box::new(CompressedFedAvg::new(Compression::Quantize { bits: 4 }))
                     as Box<dyn Algorithm>
             }),
         ),
         (
             "top-10%",
             Box::new(|| {
-                Box::new(CompressedFedAvg::new(Arc::new(TopK::new(3200)))) as Box<dyn Algorithm>
+                Box::new(CompressedFedAvg::new(Compression::TopK { ratio: 0.1 }))
+                    as Box<dyn Algorithm>
             }),
         ),
         (
             "count-sketch 5x401",
             Box::new(|| {
-                Box::new(CompressedFedAvg::new(Arc::new(CountSketch::new(5, 401, 1))))
-                    as Box<dyn Algorithm>
+                Box::new(CompressedFedAvg::new(Compression::Sketch {
+                    rows: 5,
+                    cols: 401,
+                    seed: 1,
+                })) as Box<dyn Algorithm>
             }),
         ),
     ];

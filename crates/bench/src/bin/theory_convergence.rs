@@ -58,6 +58,7 @@ fn run_curve(algo: &mut dyn Algorithm, rounds: usize) -> Vec<(f64, f64)> {
         clip_grad_norm: Some(10.0),
         seed: 7,
         delta_probe_batch: None,
+        compression: rfl_core::compress::Compression::None,
     };
     let mut fed = convex_fed(7, &cfg);
     // μ ≈ the L2 coefficient scale, κ chosen moderately; the theory only

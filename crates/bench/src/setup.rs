@@ -117,6 +117,7 @@ pub fn silo_config(scale: Scale, seed: u64) -> FlConfig {
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: rfl_core::compress::Compression::None,
     }
 }
 
@@ -133,6 +134,7 @@ pub fn device_config(scale: Scale, seed: u64) -> FlConfig {
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: rfl_core::compress::Compression::None,
     }
 }
 

@@ -2,29 +2,46 @@
 //! with the compression strategies of its related work (Konečný et al.,
 //! FetchSGD). Only the *upload* direction is compressed (the standard
 //! asymmetry: device uplink is the scarce resource).
+//!
+//! Since the wire refactor the compression stage lives in the communication
+//! plane itself: [`Federation::fold_uploads`] encodes each update with the
+//! configured [`Compression`] policy (error feedback included), ships the
+//! real frame through the transport, and decompresses straight into the
+//! O(d) streaming accumulator over reused workspaces. This algorithm is
+//! therefore a thin policy override on top of vanilla [`FedAvg`] — *any*
+//! stock algorithm gets the same wire stage by setting
+//! [`crate::FlConfig::compression`].
 
-use super::{active_mean_losses, traced_select};
-use crate::aggregate::StreamingAggregator;
-use crate::comm::MsgKind;
-use crate::compress::Compressor;
-use crate::federation::{fault_counters, Federation, FlConfig};
-use crate::rules::LocalRule;
+use super::FedAvg;
+use crate::compress::Compression;
+use crate::federation::{Federation, FlConfig};
 use crate::trainer::{Algorithm, RoundOutcome};
 use rand::rngs::StdRng;
-use rfl_trace::SpanKind;
-use std::sync::Arc;
 
-/// FedAvg whose clients upload a compressed *update* `w_k − w_global`
-/// (updates compress far better than raw weights). The server decompresses,
-/// applies the weighted average of the reconstructed updates, and the
-/// channel is charged the compressed byte count.
+/// FedAvg whose clients upload a compressed *update* `w_k − w_global` with
+/// error feedback (updates compress far better than raw weights, and the
+/// residual of each round is folded into the next). The server decompresses
+/// into pooled workspaces feeding the streaming aggregator, and the channel
+/// is charged the exact encoded frame length.
 pub struct CompressedFedAvg {
-    compressor: Arc<dyn Compressor>,
+    policy: Compression,
+    inner: FedAvg,
 }
 
 impl CompressedFedAvg {
-    pub fn new(compressor: Arc<dyn Compressor>) -> Self {
-        CompressedFedAvg { compressor }
+    /// Panics on a policy that would not survive the wire (invalid bit
+    /// widths, ratios, or sketch shapes) — the same validation the socket
+    /// handshake applies.
+    pub fn new(policy: Compression) -> Self {
+        let (mode, bits, ratio, rows, cols, seed) = policy.to_wire();
+        assert!(
+            Compression::from_wire(mode, bits, ratio, rows, cols, seed).is_some(),
+            "invalid compression policy: {policy:?}"
+        );
+        CompressedFedAvg {
+            policy,
+            inner: FedAvg::new(),
+        }
     }
 }
 
@@ -37,64 +54,14 @@ impl Algorithm for CompressedFedAvg {
         &mut self,
         fed: &mut Federation,
         cfg: &FlConfig,
-        _round: usize,
+        round: usize,
         rng: &mut StdRng,
     ) -> RoundOutcome {
-        let tracer = fed.tracer().clone();
-        let selected = traced_select(fed, cfg.sample_ratio, rng);
-        let active = fed.broadcast_params(&selected);
-        let global = fed.global().to_vec();
-        let rules = vec![LocalRule::Plain; active.len()];
-        let reports = fed.train_selected(&active, &rules, cfg.local_steps);
-
-        // Compressed upload of each client's update. This bypasses
-        // `collect_params`, so it carries its own `upload` span. The payload
-        // is not a plain f32 slice, so only the wire byte count crosses the
-        // transport (`send_raw`); the server reconstructs from the payload
-        // when the link delivers, folding each reconstructed update straight
-        // into the O(d) streaming accumulator instead of materializing the
-        // delivered set.
-        let mut delivered = Vec::with_capacity(active.len());
-        let mut agg = StreamingAggregator::default();
-        agg.reset_for_selection(fed.num_params(), fed.weights(), &active);
-        {
-            let mut span = tracer.span(SpanKind::Upload);
-            let before = fed.comm_snapshot();
-            let fbefore = fed.fault_stats();
-            let mut buf = Vec::new();
-            for (slot, &k) in active.iter().enumerate() {
-                fed.client(k).read_params(&mut buf);
-                let update: Vec<f32> = buf.iter().zip(&global).map(|(w, g)| w - g).collect();
-                let payload = self.compressor.compress(&update);
-                // Charge the compressed size; reconstruct server-side.
-                let out = fed.send_raw(MsgKind::ModelUp, k, payload.wire_bytes() as u64);
-                if out.delivered {
-                    delivered.push(k);
-                    agg.push(slot, &self.compressor.decompress(&payload, update.len()));
-                } else {
-                    agg.mark_dropped(slot);
-                }
-            }
-            span.counter("bytes", fed.comm_stats().since(&before).upload_bytes());
-            span.counter("clients", active.len() as u64);
-            fault_counters(&mut span, &fed.fault_stats().since(&fbefore));
+        // Install the override before any traffic; idempotent after round 0.
+        if fed.compression() != self.policy {
+            fed.set_compression(self.policy);
         }
-        let mut span = tracer.span(SpanKind::Aggregate);
-        span.counter("clients", delivered.len() as u64);
-        if let Some(mean_update) = agg.finish() {
-            let mut new_global = global;
-            rfl_tensor::add_assign_slices(&mut new_global, &mean_update);
-            fed.set_global(new_global);
-        }
-        drop(span);
-
-        let (train_loss, reg_loss) = active_mean_losses(fed, &reports, &active);
-        RoundOutcome {
-            train_loss,
-            reg_loss,
-            selected,
-            delivered,
-        }
+        self.inner.round(fed, cfg, round, rng)
     }
 }
 
@@ -102,18 +69,23 @@ impl Algorithm for CompressedFedAvg {
 mod tests {
     use super::*;
     use crate::algorithms::FedAvg;
-    use crate::compress::{TopK, UniformQuantizer};
+    use crate::history::History;
     use crate::testutil::{convex_fed, run_rounds};
+
+    fn up(h: &History) -> u64 {
+        h.records().iter().map(|r| r.up_bytes).sum()
+    }
 
     #[test]
     fn quantized_uploads_learn_nearly_as_well() {
         let (mut fed_a, cfg) = convex_fed(0.0, 100, 6);
         let (mut fed_b, _) = convex_fed(0.0, 100, 6);
         let ha = run_rounds(&mut FedAvg::new(), &mut fed_a, &cfg, 15);
-        let mut algo = CompressedFedAvg::new(Arc::new(UniformQuantizer::new(8)));
+        let mut algo = CompressedFedAvg::new(Compression::Quantize { bits: 8 });
         let hb = run_rounds(&mut algo, &mut fed_b, &cfg, 15);
         let (a, b) = (ha.final_accuracy().unwrap(), hb.final_accuracy().unwrap());
         assert!(b > a - 0.1, "8-bit quantization lost too much: {a} vs {b}");
+        assert!(up(&hb) < up(&ha) / 2, "{} vs {}", up(&hb), up(&ha));
     }
 
     #[test]
@@ -121,11 +93,8 @@ mod tests {
         let (mut fed_a, cfg) = convex_fed(0.0, 101, 4);
         let (mut fed_b, _) = convex_fed(0.0, 101, 4);
         let ha = run_rounds(&mut FedAvg::new(), &mut fed_a, &cfg, 2);
-        let n = fed_b.num_params();
-        let mut algo = CompressedFedAvg::new(Arc::new(TopK::with_ratio(n, 0.1)));
+        let mut algo = CompressedFedAvg::new(Compression::TopK { ratio: 0.1 });
         let hb = run_rounds(&mut algo, &mut fed_b, &cfg, 2);
-        let up =
-            |h: &crate::history::History| -> u64 { h.records().iter().map(|r| r.up_bytes).sum() };
         assert!(
             up(&hb) * 3 < up(&ha),
             "top-10% should cut uploads ≥3x: {} vs {}",
@@ -137,9 +106,30 @@ mod tests {
     #[test]
     fn topk_still_learns() {
         let (mut fed, cfg) = convex_fed(0.0, 102, 6);
-        let n = fed.num_params();
-        let mut algo = CompressedFedAvg::new(Arc::new(TopK::with_ratio(n, 0.25)));
+        let mut algo = CompressedFedAvg::new(Compression::TopK { ratio: 0.25 });
         let h = run_rounds(&mut algo, &mut fed, &cfg, 20);
         assert!(h.final_accuracy().unwrap() > 0.4);
+    }
+
+    /// The policy is a config knob, not a special algorithm: stock FedAvg
+    /// with `cfg.compression` set gets the identical compressed wire stage.
+    #[test]
+    fn stock_fedavg_honors_the_config_policy() {
+        let policy = Compression::Quantize { bits: 8 };
+        let (mut fed_a, mut cfg_a) = convex_fed(0.0, 103, 6);
+        cfg_a.compression = policy;
+        fed_a.set_compression(policy);
+        let (mut fed_b, cfg_b) = convex_fed(0.0, 103, 6);
+        let ha = run_rounds(&mut FedAvg::new(), &mut fed_a, &cfg_a, 10);
+        let hb = run_rounds(&mut CompressedFedAvg::new(policy), &mut fed_b, &cfg_b, 10);
+        // Same policy, same seed, same data → bit-identical trajectories.
+        assert_eq!(fed_a.global(), fed_b.global());
+        assert_eq!(up(&ha), up(&hb));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid compression policy")]
+    fn rejects_wire_invalid_policies() {
+        CompressedFedAvg::new(Compression::Quantize { bits: 9 });
     }
 }

@@ -69,6 +69,7 @@ pub fn config(seed: u64, rounds: usize) -> FlConfig {
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: crate::compress::Compression::None,
     }
 }
 

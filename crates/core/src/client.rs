@@ -37,6 +37,12 @@ pub struct ClientPersist {
     pub(crate) sampler: BatchSampler,
     pub(crate) optimizer: Box<dyn Optimizer>,
     pub(crate) params: Vec<f32>,
+    /// Error-feedback residual of the compression stage: what the last
+    /// compressed upload failed to carry, folded into the next update.
+    /// Empty (length 0) until the first compressed upload. Durable state —
+    /// dropping it on eviction would silently change the model trajectory
+    /// whenever uploads are compressed.
+    pub(crate) residual: Vec<f32>,
 }
 
 /// One client in the federation.
@@ -50,6 +56,7 @@ pub struct Client {
     clip_grad_norm: Option<f32>,
     flat: Vec<f32>,
     grads: Vec<f32>,
+    residual: Vec<f32>,
     // Reusable mini-batch buffers: once warm, a local SGD step touches the
     // allocator only through the model's own (workspace-backed) forward.
     batch_idx: Vec<usize>,
@@ -85,6 +92,7 @@ impl Client {
             clip_grad_norm: None,
             flat: Vec::new(),
             grads: Vec::new(),
+            residual: Vec::new(),
             batch_idx: Vec::new(),
             batch_input: None,
             batch_labels: Vec::new(),
@@ -108,6 +116,7 @@ impl Client {
             sampler: self.sampler,
             optimizer: self.optimizer,
             params,
+            residual: self.residual,
         }
     }
 
@@ -134,6 +143,7 @@ impl Client {
             clip_grad_norm,
             flat: persist.params,
             grads: Vec::new(),
+            residual: persist.residual,
             batch_idx: Vec::new(),
             batch_input: None,
             batch_labels: Vec::new(),
@@ -181,6 +191,18 @@ impl Client {
     /// Reads the client's current parameters.
     pub fn read_params(&self, out: &mut Vec<f32>) {
         self.model.read_params(out);
+    }
+
+    /// The error-feedback residual of the compressed-upload stage. The
+    /// compression helpers ([`crate::compress::ef_compress_update`]) size it
+    /// lazily on first use; it survives hibernation via [`ClientPersist`].
+    pub fn residual_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.residual
+    }
+
+    /// Read-only view of the error-feedback residual (tests, diagnostics).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
     }
 
     /// Learning rate of the local optimizer.
@@ -486,6 +508,17 @@ mod tests {
         live.read_params(&mut wa);
         cycled.read_params(&mut wb);
         assert_eq!(wa, wb, "eviction round-trip diverged");
+    }
+
+    #[test]
+    fn hibernate_preserves_the_compression_residual() {
+        let mut c = make_client(8);
+        c.residual_mut().extend_from_slice(&[0.25, -1.5, 3.0e-8]);
+        let persist = c.hibernate();
+        let mut rng = StdRng::seed_from_u64(8);
+        let fresh_model = Box::new(LogisticRegression::new(4, 2, 0.0, &mut rng));
+        let woken = Client::wake(0, fresh_model, dense_data(32, 8), persist, None);
+        assert_eq!(woken.residual(), &[0.25, -1.5, 3.0e-8]);
     }
 
     #[test]

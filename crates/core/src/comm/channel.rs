@@ -6,7 +6,9 @@
 //! [`CommStats`] counters. This guarantees the communication numbers in the
 //! evaluation are measured, not estimated.
 
+use super::message::MsgKind;
 use super::stats::{CommStats, Direction};
+use crate::compress::CompressedVec;
 use rfl_tensor::{decode_f32_into, encode_f32_into};
 
 /// A lossless, metered channel.
@@ -69,6 +71,31 @@ impl Channel {
     /// (compressed messages carry their own wire format).
     pub(crate) fn record_raw(&mut self, dir: Direction, bytes: u64) {
         self.stats.record(dir, bytes);
+    }
+
+    /// Sends a [`CompressedVec`] across the wire: encodes it with the exact
+    /// frame codec into the reused wire buffer, decodes the received copy
+    /// into `out` (bit-exact, buffers reused), and charges the *encoded*
+    /// byte count on `kind`'s plane. Returns the bytes charged.
+    pub(crate) fn transfer_compressed(
+        &mut self,
+        kind: MsgKind,
+        payload: &CompressedVec,
+        out: &mut CompressedVec,
+    ) -> u64 {
+        payload.encode_into(&mut self.wire);
+        let bytes = self.wire.len() as u64;
+        debug_assert_eq!(bytes as usize, payload.wire_bytes());
+        assert!(
+            out.decode_from(&self.wire),
+            "codec round-trip cannot fail on a well-formed payload"
+        );
+        if kind.is_delta() {
+            self.stats.record_delta(kind.direction(), bytes);
+        } else {
+            self.stats.record(kind.direction(), bytes);
+        }
+        bytes
     }
 
     pub fn stats(&self) -> &CommStats {

@@ -11,6 +11,7 @@
 use super::message::{BroadcastDelivery, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind};
 use super::stats::{CommStats, Direction};
 use super::transport::Transport;
+use crate::compress::CompressedVec;
 use rfl_tensor::{decode_f32_into, encode_f32_into};
 
 /// Virtual per-message latency on a link, in simulated milliseconds:
@@ -308,6 +309,33 @@ impl Transport for FaultyTransport {
         out
     }
 
+    fn send_compressed(
+        &mut self,
+        kind: MsgKind,
+        client: usize,
+        payload: &CompressedVec,
+        out: &mut CompressedVec,
+    ) -> LinkOutcome {
+        payload.encode_into(&mut self.wire);
+        let wire = self.wire.len() as u64;
+        debug_assert_eq!(wire as usize, payload.wire_bytes());
+        let link = self.simulate_link(client, wire);
+        // Every attempt carries the full encoded frame.
+        let bytes = wire * u64::from(link.attempts);
+        if kind.is_delta() {
+            self.stats.record_delta(kind.direction(), bytes);
+        } else {
+            self.stats.record(kind.direction(), bytes);
+        }
+        if link.delivered {
+            assert!(
+                out.decode_from(&self.wire),
+                "codec round-trip cannot fail on a well-formed payload"
+            );
+        }
+        link
+    }
+
     fn stats(&self) -> &CommStats {
         &self.stats
     }
@@ -431,6 +459,42 @@ mod tests {
         t.send(MsgKind::ModelUp, 0, &[1.0]);
         // 3 attempts: 5 + (5+3) + (5+6) = 24 ms on the clock.
         assert!((t.client_clock_ms(0) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compressed_sends_charge_exact_frame_bytes_per_attempt() {
+        use crate::compress::{Compressor, UniformQuantizer};
+        let payload = UniformQuantizer::new(4).compress(&[0.5f32; 33]);
+        let frame = payload.wire_bytes() as u64;
+
+        // Lossless: one attempt, exact frame bytes, bit-exact round trip.
+        let mut t = FaultyTransport::new(FaultConfig::lossless(3));
+        let mut out = CompressedVec::default();
+        let link = t.send_compressed(MsgKind::CompressedUp, 0, &payload, &mut out);
+        assert!(link.delivered && link.attempts == 1);
+        assert_eq!(t.stats().upload_bytes(), frame);
+        assert_eq!(out.bytes, payload.bytes);
+        assert_eq!(
+            out.words_f32
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            payload
+                .words_f32
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+
+        // Certain loss: every attempt charges the full encoded frame, the
+        // payload never arrives, and δ-plane kinds hit the δ counters.
+        let mut t = FaultyTransport::new(FaultConfig::lossy(0, 1.0, 2));
+        let link = t.send_compressed(MsgKind::CompressedDeltaUp, 1, &payload, &mut out);
+        assert!(!link.delivered);
+        assert_eq!(link.attempts, 3);
+        assert_eq!(t.stats().upload_bytes(), 3 * frame);
+        assert_eq!(t.stats().delta_upload_bytes(), 3 * frame);
+        assert_eq!(t.stats().messages(), 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! reaches into channel internals to pick counters.
 
 use super::stats::Direction;
+use crate::compress::Compression;
 
 /// The fixed vocabulary of messages the FL protocols exchange.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +29,12 @@ pub enum MsgKind {
     ControlDown,
     /// Algorithm control state (e.g. SCAFFOLD's `c_k⁺`), client → server.
     ControlUp,
+    /// A compressed model update (`CompressedVec` frame), client → server.
+    /// Model-plane accounting at the *encoded* byte count.
+    CompressedUp,
+    /// A compressed δ map (`CompressedVec` frame), client → server.
+    /// δ-plane accounting at the encoded byte count.
+    CompressedDeltaUp,
 }
 
 impl MsgKind {
@@ -38,7 +45,11 @@ impl MsgKind {
             | MsgKind::DeltaTableDown
             | MsgKind::DeltaDown
             | MsgKind::ControlDown => Direction::Download,
-            MsgKind::ModelUp | MsgKind::DeltaUp | MsgKind::ControlUp => Direction::Upload,
+            MsgKind::ModelUp
+            | MsgKind::DeltaUp
+            | MsgKind::ControlUp
+            | MsgKind::CompressedUp
+            | MsgKind::CompressedDeltaUp => Direction::Upload,
         }
     }
 
@@ -47,8 +58,17 @@ impl MsgKind {
     pub fn is_delta(self) -> bool {
         matches!(
             self,
-            MsgKind::DeltaTableDown | MsgKind::DeltaDown | MsgKind::DeltaUp
+            MsgKind::DeltaTableDown
+                | MsgKind::DeltaDown
+                | MsgKind::DeltaUp
+                | MsgKind::CompressedDeltaUp
         )
+    }
+
+    /// Whether the payload is a `CompressedVec` frame rather than a dense
+    /// f32 vector.
+    pub fn is_compressed(self) -> bool {
+        matches!(self, MsgKind::CompressedUp | MsgKind::CompressedDeltaUp)
     }
 
     /// Stable wire name (trace labels, debugging).
@@ -61,6 +81,8 @@ impl MsgKind {
             MsgKind::DeltaUp => "delta_up",
             MsgKind::ControlDown => "control_down",
             MsgKind::ControlUp => "control_up",
+            MsgKind::CompressedUp => "compressed_up",
+            MsgKind::CompressedDeltaUp => "compressed_delta_up",
         }
     }
 
@@ -74,6 +96,8 @@ impl MsgKind {
             MsgKind::DeltaUp => 0x05,
             MsgKind::ControlDown => 0x06,
             MsgKind::ControlUp => 0x07,
+            MsgKind::CompressedUp => 0x08,
+            MsgKind::CompressedDeltaUp => 0x09,
         }
     }
 
@@ -87,6 +111,8 @@ impl MsgKind {
             0x05 => MsgKind::DeltaUp,
             0x06 => MsgKind::ControlDown,
             0x07 => MsgKind::ControlUp,
+            0x08 => MsgKind::CompressedUp,
+            0x09 => MsgKind::CompressedDeltaUp,
             _ => return None,
         })
     }
@@ -96,7 +122,9 @@ impl MsgKind {
 pub const PROTO_MAGIC: u32 = u32::from_le_bytes(*b"rFL1");
 
 /// Wire protocol version; bumped on any framing or control-layer change.
-pub const PROTO_VERSION: u16 = 1;
+/// v2: `Welcome` carries the upload-compression policy and the payload
+/// plane gained `CompressedUp`/`CompressedDeltaUp` frames.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Control frames of the socket protocol — the session/handshake vocabulary
 /// that exists *next to* the [`MsgKind`] payload planes. In the in-process
@@ -131,6 +159,10 @@ pub enum ControlMsg {
         /// Global-norm gradient clip; `NaN` encodes `None`.
         clip_grad_norm: f32,
         seed: u64,
+        /// Upload-compression policy; clients compress `CompressedUp`/
+        /// `CompressedDeltaUp` frames with exactly this policy (see
+        /// [`Compression::to_wire`] for the field encoding).
+        compression: Compression,
     },
     /// Server → client: train `steps` local steps for `round` now, with the
     /// δ target received this round (if any), then upload report + params.
@@ -221,6 +253,7 @@ impl ControlMsg {
                 lr,
                 clip_grad_norm,
                 seed,
+                compression,
             } => {
                 out.extend_from_slice(&num_clients.to_le_bytes());
                 out.extend_from_slice(&rounds.to_le_bytes());
@@ -231,6 +264,13 @@ impl ControlMsg {
                 out.extend_from_slice(&lr.to_le_bytes());
                 out.extend_from_slice(&clip_grad_norm.to_le_bytes());
                 out.extend_from_slice(&seed.to_le_bytes());
+                let (mode, bits, ratio, rows, cols, comp_seed) = compression.to_wire();
+                out.extend_from_slice(&mode.to_le_bytes());
+                out.extend_from_slice(&bits.to_le_bytes());
+                out.extend_from_slice(&ratio.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&cols.to_le_bytes());
+                out.extend_from_slice(&comp_seed.to_le_bytes());
             }
             ControlMsg::TrainStart { round, steps } => {
                 out.extend_from_slice(&round.to_le_bytes());
@@ -265,17 +305,33 @@ impl ControlMsg {
                 client_id: r.u32()?,
                 seed: r.u64()?,
             },
-            0x11 => ControlMsg::Welcome {
-                num_clients: r.u32()?,
-                rounds: r.u32()?,
-                local_steps: r.u32()?,
-                batch_size: r.u32()?,
-                probe_batch: r.u32()?,
-                lambda: r.f32()?,
-                lr: r.f32()?,
-                clip_grad_norm: r.f32()?,
-                seed: r.u64()?,
-            },
+            0x11 => {
+                let num_clients = r.u32()?;
+                let rounds = r.u32()?;
+                let local_steps = r.u32()?;
+                let batch_size = r.u32()?;
+                let probe_batch = r.u32()?;
+                let lambda = r.f32()?;
+                let lr = r.f32()?;
+                let clip_grad_norm = r.f32()?;
+                let seed = r.u64()?;
+                let (mode, bits) = (r.u8()?, r.u8()?);
+                let (ratio, rows, cols, comp_seed) = (r.f32()?, r.u16()?, r.u32()?, r.u64()?);
+                let compression = Compression::from_wire(mode, bits, ratio, rows, cols, comp_seed)
+                    .ok_or(WireError::BadLength)?;
+                ControlMsg::Welcome {
+                    num_clients,
+                    rounds,
+                    local_steps,
+                    batch_size,
+                    probe_batch,
+                    lambda,
+                    lr,
+                    clip_grad_norm,
+                    seed,
+                    compression,
+                }
+            }
             0x12 => ControlMsg::TrainStart {
                 round: r.u64()?,
                 steps: r.u32()?,
@@ -336,6 +392,10 @@ impl<'a> FieldReader<'a> {
         let (head, tail) = self.buf.split_at(N);
         self.buf = tail;
         Ok(head.try_into().expect("split_at guarantees length"))
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(u8::from_le_bytes(self.take()?))
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
@@ -518,12 +578,25 @@ mod tests {
             MsgKind::DeltaUp,
             MsgKind::ControlDown,
             MsgKind::ControlUp,
+            MsgKind::CompressedUp,
+            MsgKind::CompressedDeltaUp,
         ] {
             assert_eq!(MsgKind::from_tag(kind.tag()), Some(kind));
             assert!(kind.tag() < 0x10, "payload tags stay below control tags");
         }
         assert_eq!(MsgKind::from_tag(0x00), None);
         assert_eq!(MsgKind::from_tag(0x10), None);
+    }
+
+    #[test]
+    fn compressed_kinds_keep_their_planes() {
+        assert_eq!(MsgKind::CompressedUp.direction(), Direction::Upload);
+        assert_eq!(MsgKind::CompressedDeltaUp.direction(), Direction::Upload);
+        assert!(!MsgKind::CompressedUp.is_delta());
+        assert!(MsgKind::CompressedDeltaUp.is_delta());
+        assert!(MsgKind::CompressedUp.is_compressed());
+        assert!(MsgKind::CompressedDeltaUp.is_compressed());
+        assert!(!MsgKind::ModelUp.is_compressed());
     }
 
     #[test]
@@ -545,6 +618,35 @@ mod tests {
                 lr: 0.05,
                 clip_grad_norm: 10.0,
                 seed: 7,
+                compression: Compression::None,
+            },
+            ControlMsg::Welcome {
+                num_clients: 4,
+                rounds: 2,
+                local_steps: 2,
+                batch_size: 16,
+                probe_batch: 32,
+                lambda: 1e-3,
+                lr: 0.05,
+                clip_grad_norm: 10.0,
+                seed: 7,
+                compression: Compression::Adaptive { max_bits: 8 },
+            },
+            ControlMsg::Welcome {
+                num_clients: 4,
+                rounds: 2,
+                local_steps: 2,
+                batch_size: 16,
+                probe_batch: 32,
+                lambda: 1e-3,
+                lr: 0.05,
+                clip_grad_norm: 10.0,
+                seed: 7,
+                compression: Compression::Sketch {
+                    rows: 5,
+                    cols: 401,
+                    seed: 11,
+                },
             },
             ControlMsg::TrainStart { round: 1, steps: 2 },
             ControlMsg::DeltaProbe {
@@ -599,6 +701,7 @@ mod tests {
             lr: 0.1,
             clip_grad_norm: f32::NAN,
             seed: 0,
+            compression: Compression::None,
         }
         .encode_body(&mut body);
         match ControlMsg::decode_body(0x11, &body).unwrap() {

@@ -38,6 +38,7 @@ use super::session::{RecvError, Session, SessionState};
 use super::stats::{CommStats, Direction};
 use super::transport::{RemoteTransport, Transport};
 use crate::client::{Client, LocalReport};
+use crate::compress::{compress_plain, ef_compress_update, CompressedVec, Compression};
 use crate::rules::LocalRule;
 use rfl_tensor::{decode_f32_into, encode_f32_into};
 use std::io::{self, Read, Write};
@@ -607,10 +608,52 @@ impl Transport for SocketTransport {
     }
 
     fn send_raw(&mut self, kind: MsgKind, _client: usize, wire_bytes: u64) -> LinkOutcome {
-        // No compressed-payload frames exist on the socket protocol yet;
-        // keep the ledger semantics so byte accounting stays total.
+        // Ledger-only charge for callers that pre-encode their own payload;
+        // compressed frames that actually cross the socket go through
+        // `send_compressed` / `recv_compressed` below.
         self.charge(kind, wire_bytes);
         LinkOutcome::perfect()
+    }
+
+    fn send_compressed(
+        &mut self,
+        kind: MsgKind,
+        client: usize,
+        payload: &CompressedVec,
+        out: &mut CompressedVec,
+    ) -> LinkOutcome {
+        payload.encode_into(&mut self.body);
+        let outcome = match self.session(client) {
+            Some(session) => match session.send_frame(kind.tag(), &self.body) {
+                Ok(n) => {
+                    self.charge(kind, n);
+                    LinkOutcome::perfect()
+                }
+                Err(_) => {
+                    self.dropped += 1;
+                    LinkOutcome {
+                        delivered: false,
+                        attempts: 1,
+                        reason: Some(DropReason::Loss),
+                    }
+                }
+            },
+            None => {
+                self.dropped += 1;
+                LinkOutcome {
+                    delivered: false,
+                    attempts: 1,
+                    reason: Some(DropReason::Loss),
+                }
+            }
+        };
+        if outcome.delivered {
+            assert!(
+                out.decode_from(&self.body),
+                "codec round-trip cannot fail on a well-formed payload"
+            );
+        }
+        outcome
     }
 
     fn stats(&self) -> &CommStats {
@@ -745,6 +788,48 @@ impl RemoteTransport for SocketTransport {
         )
     }
 
+    fn recv_compressed(
+        &mut self,
+        kind: MsgKind,
+        client: usize,
+        out: &mut CompressedVec,
+    ) -> LinkOutcome {
+        assert!(
+            kind.is_compressed() && kind.direction() == Direction::Upload,
+            "remote compressed receives are client-originated uploads"
+        );
+        match self.recv_frame(client, kind.tag()) {
+            Ok(body) => {
+                if out.decode_from(&body) {
+                    // The compressed frame body IS the `CompressedVec` wire
+                    // encoding: charge its true length (plus frame header),
+                    // never a modelled estimate.
+                    debug_assert_eq!(body.len(), out.wire_bytes());
+                    self.charge(kind, FRAME_HEADER_BYTES + body.len() as u64);
+                    LinkOutcome::perfect()
+                } else {
+                    self.dropped += 1;
+                    LinkOutcome {
+                        delivered: false,
+                        attempts: 1,
+                        reason: Some(DropReason::Loss),
+                    }
+                }
+            }
+            Err(reason) => {
+                self.dropped += 1;
+                if reason == DropReason::Deadline {
+                    self.deadline_drops += 1;
+                }
+                LinkOutcome {
+                    delivered: false,
+                    attempts: 1,
+                    reason: Some(reason),
+                }
+            }
+        }
+    }
+
     fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         let sessions: Vec<Arc<Session>> = {
@@ -787,6 +872,8 @@ pub struct ClientConn {
 pub enum ClientEvent {
     /// A payload frame: an `f32` vector on a [`MsgKind`] plane.
     Payload(MsgKind, Vec<f32>),
+    /// A compressed payload frame in the exact `CompressedVec` encoding.
+    Compressed(MsgKind, CompressedVec),
     /// A control frame.
     Control(ControlMsg),
 }
@@ -861,10 +948,25 @@ impl ClientConn {
         Ok(())
     }
 
+    /// Sends a compressed payload in its exact `CompressedVec` wire
+    /// encoding; the frame body length is `payload.wire_bytes()`.
+    pub fn send_compressed(&mut self, kind: MsgKind, payload: &CompressedVec) -> io::Result<()> {
+        debug_assert!(kind.is_compressed(), "kind must be a compressed plane");
+        payload.encode_into(&mut self.wire);
+        write_frame(&mut self.stream, kind.tag(), &self.wire)?;
+        Ok(())
+    }
+
     /// Blocks for the next frame.
     pub fn read_event(&mut self) -> io::Result<ClientEvent> {
         let (tag, body) = read_frame(&mut self.stream)?;
         if let Some(kind) = MsgKind::from_tag(tag) {
+            if kind.is_compressed() {
+                let payload = CompressedVec::decode(&body).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad compressed frame")
+                })?;
+                return Ok(ClientEvent::Compressed(kind, payload));
+            }
             let mut data = Vec::new();
             decode_f32_into(&body, &mut data)
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad payload codec"))?;
@@ -882,6 +984,10 @@ pub struct ClientLoopOpts {
     /// Graceful churn: after completing round `r`'s training and upload,
     /// answer its δ probe with a `Goodbye` and leave the federation.
     pub leave_after_round: Option<u64>,
+    /// Upload-compression policy (normally taken from the `Welcome` frame).
+    /// When enabled, model uploads go up as error-feedback-compressed
+    /// `CompressedUp` frames and δ syncs as `CompressedDeltaUp` frames.
+    pub compression: Compression,
 }
 
 /// How a client loop ended.
@@ -911,6 +1017,13 @@ pub fn run_client_loop(
 ) -> ClientOutcome {
     let mut pending_target: Option<Vec<f32>> = None;
     let mut flat = Vec::new();
+    // Compressed-upload state: the last broadcast parameters (the update is
+    // relative to them) and reused compression workspaces. The residual
+    // itself lives on the `Client` so hibernation persists it.
+    let mut last_global: Vec<f32> = Vec::new();
+    let mut update: Vec<f32> = Vec::new();
+    let mut recon: Vec<f32> = Vec::new();
+    let mut payload = CompressedVec::default();
     loop {
         let event = match conn.read_event() {
             Ok(ev) => ev,
@@ -919,6 +1032,7 @@ pub fn run_client_loop(
         let io_result = match event {
             ClientEvent::Payload(MsgKind::ModelDown, params) => {
                 client.write_params(&params);
+                last_global = params;
                 Ok(())
             }
             ClientEvent::Payload(MsgKind::DeltaDown, target) => {
@@ -942,7 +1056,23 @@ pub fn run_client_loop(
                 })
                 .and_then(|()| {
                     client.read_params(&mut flat);
-                    conn.send_payload(MsgKind::ModelUp, &flat)
+                    if opts.compression.is_enabled() {
+                        // Same arithmetic, same order, same residual fold as
+                        // the in-process `fold_uploads` oracle — the frame
+                        // that crosses the socket is bit-identical.
+                        ef_compress_update(
+                            opts.compression,
+                            &flat,
+                            &last_global,
+                            client.residual_mut(),
+                            &mut update,
+                            &mut recon,
+                            &mut payload,
+                        );
+                        conn.send_compressed(MsgKind::CompressedUp, &payload)
+                    } else {
+                        conn.send_payload(MsgKind::ModelUp, &flat)
+                    }
                 })
             }
             ClientEvent::Control(ControlMsg::DeltaProbe { round, probe_batch }) => {
@@ -951,7 +1081,12 @@ pub fn run_client_loop(
                     return ClientOutcome::Left;
                 }
                 let delta = client.compute_delta(probe_batch as usize);
-                conn.send_payload(MsgKind::DeltaUp, &delta)
+                if opts.compression.is_enabled() {
+                    compress_plain(opts.compression, &delta, &mut payload);
+                    conn.send_compressed(MsgKind::CompressedDeltaUp, &payload)
+                } else {
+                    conn.send_payload(MsgKind::DeltaUp, &delta)
+                }
             }
             ClientEvent::Control(ControlMsg::Shutdown) => return ClientOutcome::Shutdown,
             // Unknown-but-valid frames (e.g. a future DeltaTableDown) are

@@ -11,6 +11,7 @@ use super::channel::Channel;
 use super::message::{BroadcastDelivery, Delivery, FaultStats, LinkOutcome, MsgKind};
 use super::stats::{CommStats, Direction};
 use crate::client::LocalReport;
+use crate::compress::CompressedVec;
 
 /// A simulated network between the server and its clients.
 ///
@@ -36,6 +37,19 @@ pub trait Transport: Send {
     /// Charges a message of `wire_bytes` whose payload carries its own wire
     /// format (compressed uploads); no scalar payload crosses here.
     fn send_raw(&mut self, kind: MsgKind, client: usize, wire_bytes: u64) -> LinkOutcome;
+
+    /// Sends a compressed payload on the link of `client`. The payload is
+    /// framed with its exact `CompressedVec` encoding, the ledger is charged
+    /// the true encoded byte count (`payload.wire_bytes()` per attempt), and
+    /// on delivery the received copy is decoded bit-exactly into `out`,
+    /// reusing its section buffers.
+    fn send_compressed(
+        &mut self,
+        kind: MsgKind,
+        client: usize,
+        payload: &CompressedVec,
+        out: &mut CompressedVec,
+    ) -> LinkOutcome;
 
     /// The byte/message ledger.
     fn stats(&self) -> &CommStats;
@@ -77,6 +91,16 @@ pub trait RemoteTransport {
     /// Tells `client` to probe its δ map with `probe_batch`-sized batches
     /// and upload it.
     fn request_delta(&mut self, client: usize, round: u64, probe_batch: usize) -> LinkOutcome;
+
+    /// Blocks for `client`'s next *compressed* upload (`kind` must satisfy
+    /// [`MsgKind::is_compressed`]), decoding the frame into `out` and
+    /// metering the received wire bytes exactly as charged.
+    fn recv_compressed(
+        &mut self,
+        kind: MsgKind,
+        client: usize,
+        out: &mut CompressedVec,
+    ) -> LinkOutcome;
 
     /// Ends the run: notifies clients, closes links, stops accepting.
     fn shutdown(&mut self);
@@ -134,6 +158,17 @@ impl Transport for PerfectTransport {
 
     fn send_raw(&mut self, kind: MsgKind, _client: usize, wire_bytes: u64) -> LinkOutcome {
         self.channel.record_raw(kind.direction(), wire_bytes);
+        LinkOutcome::perfect()
+    }
+
+    fn send_compressed(
+        &mut self,
+        kind: MsgKind,
+        _client: usize,
+        payload: &CompressedVec,
+        out: &mut CompressedVec,
+    ) -> LinkOutcome {
+        self.channel.transfer_compressed(kind, payload, out);
         LinkOutcome::perfect()
     }
 
@@ -207,5 +242,48 @@ mod tests {
         let mut t = PerfectTransport::new();
         t.send(MsgKind::ModelDown, 0, &[1.0]);
         assert_eq!(t.fault_stats(), FaultStats::default());
+    }
+
+    /// Tentpole pin: the ledger charge for a compressed send is exactly the
+    /// payload's encoded frame length — `wire_bytes()` — and the received
+    /// copy is the bit-exact codec round trip.
+    #[test]
+    fn compressed_sends_charge_the_exact_encoded_length() {
+        use crate::compress::{Compressor, UniformQuantizer};
+        let mut t = PerfectTransport::new();
+        let payload = UniformQuantizer::new(8).compress(&[1.0f32, -2.0, 0.25, 7.5]);
+        let mut wire = Vec::new();
+        payload.encode_into(&mut wire);
+        assert_eq!(wire.len(), payload.wire_bytes());
+
+        let mut out = CompressedVec::default();
+        let link = t.send_compressed(MsgKind::CompressedUp, 0, &payload, &mut out);
+        assert!(link.delivered);
+        assert_eq!(t.stats().upload_bytes(), payload.wire_bytes() as u64);
+        assert_eq!(t.stats().delta_bytes(), 0);
+        assert_eq!(t.stats().messages(), 1);
+        assert_eq!(out.words_u32, payload.words_u32);
+        assert_eq!(
+            out.words_f32
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            payload
+                .words_f32
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(out.bytes, payload.bytes);
+
+        // δ-plane compressed uploads double-count into the δ counters,
+        // exactly like dense δ transfers.
+        let before = t.stats().upload_bytes();
+        t.send_compressed(MsgKind::CompressedDeltaUp, 1, &payload, &mut out);
+        assert_eq!(t.stats().delta_upload_bytes(), payload.wire_bytes() as u64);
+        assert_eq!(
+            t.stats().upload_bytes() - before,
+            payload.wire_bytes() as u64
+        );
     }
 }

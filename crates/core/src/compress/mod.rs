@@ -26,6 +26,22 @@ pub trait Compressor: Send + Sync {
     /// Reconstructs a length-`len` vector from a payload.
     fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32>;
 
+    /// Compresses `values` into a caller-owned payload, reusing its section
+    /// buffers. Implementations override this to be allocation-free in the
+    /// warm steady state.
+    fn compress_into(&self, values: &[f32], out: &mut CompressedVec) {
+        *out = self.compress(values);
+    }
+
+    /// Reconstructs a length-`len` vector into a caller-owned workspace.
+    /// Bit-identical to [`Compressor::decompress`]; implementations override
+    /// this to avoid the per-call `Vec` the boxed form returns.
+    fn decompress_into(&self, payload: &CompressedVec, len: usize, out: &mut Vec<f32>) {
+        let v = self.decompress(payload, len);
+        out.clear();
+        out.extend_from_slice(&v);
+    }
+
     /// Round-trips a vector, returning the reconstruction and its wire cost
     /// in bytes.
     fn round_trip(&self, values: &[f32]) -> (Vec<f32>, usize) {
@@ -37,7 +53,7 @@ pub trait Compressor: Send + Sync {
 
 /// A compressed payload: opaque scalar words plus structural metadata.
 /// Wire cost = 4 bytes per `u32` word + 4 bytes per `f32` word + header.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct CompressedVec {
     pub words_u32: Vec<u32>,
     pub words_f32: Vec<f32>,
@@ -46,10 +62,398 @@ pub struct CompressedVec {
 }
 
 impl CompressedVec {
-    /// Total bytes on the wire (header of 12 bytes: three section lengths).
+    /// Encoded-frame header: three little-endian `u32` section lengths.
+    pub const HEADER_BYTES: usize = 12;
+
+    /// Total bytes on the wire. Definitionally exact: this is the length
+    /// [`CompressedVec::encode_into`] produces, pinned by test.
     pub fn wire_bytes(&self) -> usize {
-        12 + self.words_u32.len() * 4 + self.words_f32.len() * 4 + self.bytes.len()
+        Self::HEADER_BYTES + self.words_u32.len() * 4 + self.words_f32.len() * 4 + self.bytes.len()
     }
+
+    /// Serializes the payload: `[u32 n_u32][u32 n_f32][u32 n_bytes]` followed
+    /// by the three sections, all little-endian. `f32` words are written via
+    /// `to_le_bytes`, so NaN/inf bit patterns survive exactly. Clears `out`
+    /// first; the encoded length always equals [`CompressedVec::wire_bytes`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.wire_bytes());
+        out.extend_from_slice(&(self.words_u32.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.words_f32.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.bytes.len() as u32).to_le_bytes());
+        for w in &self.words_u32 {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for w in &self.words_f32 {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.bytes);
+    }
+
+    /// Parses an encoded payload into `self`, reusing the section buffers.
+    /// Returns `false` (leaving `self` unspecified) unless `body` is exactly
+    /// one well-formed frame: header present, and the body length equal to
+    /// the sum the header promises — no trailing bytes tolerated.
+    pub fn decode_from(&mut self, body: &[u8]) -> bool {
+        if body.len() < Self::HEADER_BYTES {
+            return false;
+        }
+        let word = |i: usize| {
+            u32::from_le_bytes([
+                body[4 * i],
+                body[4 * i + 1],
+                body[4 * i + 2],
+                body[4 * i + 3],
+            ]) as usize
+        };
+        let (n_u32, n_f32, n_bytes) = (word(0), word(1), word(2));
+        let Some(expect) = 4usize
+            .checked_mul(n_u32 + n_f32)
+            .and_then(|w| w.checked_add(Self::HEADER_BYTES + n_bytes))
+        else {
+            return false;
+        };
+        if body.len() != expect {
+            return false;
+        }
+        let mut at = Self::HEADER_BYTES;
+        self.words_u32.clear();
+        self.words_u32.extend(
+            body[at..at + 4 * n_u32]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        at += 4 * n_u32;
+        self.words_f32.clear();
+        self.words_f32.extend(
+            body[at..at + 4 * n_f32]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        at += 4 * n_f32;
+        self.bytes.clear();
+        self.bytes.extend_from_slice(&body[at..]);
+        true
+    }
+
+    /// One-shot decode into a fresh payload.
+    pub fn decode(body: &[u8]) -> Option<CompressedVec> {
+        let mut out = CompressedVec::default();
+        out.decode_from(body).then_some(out)
+    }
+}
+
+/// Wire-compression policy for client uploads and δ syncs. `Copy` so it can
+/// ride inside [`crate::FlConfig`]; the default (`None`) leaves every byte
+/// pin and the canonical loss untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Compression {
+    /// Dense f32 uploads — the status quo.
+    #[default]
+    None,
+    /// Fixed-width uniform quantization (`1..=8` bits per coordinate).
+    Quantize { bits: u8 },
+    /// Top-k sparsification keeping `ceil(ratio·d)` coordinates.
+    TopK { ratio: f32 },
+    /// Count-sketch projection with a policy-level seed shared by both ends.
+    Sketch { rows: u16, cols: u32, seed: u64 },
+    /// Per-tensor bit-width: each upload picks its own quantizer width from
+    /// the tensor's norm and size (see [`adaptive_bits`]); the chosen width
+    /// is self-described by the payload so the receiver needs no side data.
+    Adaptive { max_bits: u8 },
+}
+
+impl Compression {
+    /// `true` when uploads are compressed.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, Compression::None)
+    }
+
+    /// Whether uploads under this policy carry an error-feedback residual.
+    /// Biased codecs (quantization, top-k) benefit: the residual re-injects
+    /// exactly what rounding discarded. The count sketch is an *unbiased*
+    /// estimator whose reconstruction error is zero-mean collision noise —
+    /// feeding that noise back correlates it across rounds and diverges,
+    /// so sketch uploads stay stateless.
+    pub fn uses_error_feedback(&self) -> bool {
+        !matches!(self, Compression::None | Compression::Sketch { .. })
+    }
+
+    /// The compressor the *sender* uses for this vector. `None` iff the
+    /// policy is `Compression::None`.
+    pub fn for_upload(&self, values: &[f32]) -> Option<AnyCompressor> {
+        match *self {
+            Compression::None => None,
+            Compression::Quantize { bits } => {
+                Some(AnyCompressor::Quantize(UniformQuantizer::new(bits)))
+            }
+            Compression::TopK { ratio } => {
+                Some(AnyCompressor::TopK(TopK::with_ratio(values.len(), ratio)))
+            }
+            Compression::Sketch { rows, cols, seed } => Some(AnyCompressor::Sketch(
+                CountSketch::new(rows as usize, cols as usize, seed),
+            )),
+            Compression::Adaptive { max_bits } => Some(AnyCompressor::Quantize(
+                UniformQuantizer::new(adaptive_bits(values, max_bits)),
+            )),
+        }
+    }
+
+    /// The compressor the *receiver* uses for a payload whose original
+    /// length was `len`. For `Adaptive` the bit-width is recovered from the
+    /// payload itself; `None` when the policy is off or the payload does not
+    /// self-describe a valid width.
+    pub fn for_payload(&self, payload: &CompressedVec, len: usize) -> Option<AnyCompressor> {
+        match *self {
+            Compression::Adaptive { .. } => {
+                UniformQuantizer::from_payload(payload).map(AnyCompressor::Quantize)
+            }
+            Compression::TopK { ratio } => Some(AnyCompressor::TopK(TopK::with_ratio(len, ratio))),
+            _ => self.for_upload(&[]),
+        }
+    }
+
+    /// Fixed-width wire form carried by the socket handshake's `Welcome`:
+    /// `(mode, bits, ratio, rows, cols, seed)`.
+    pub fn to_wire(self) -> (u8, u8, f32, u16, u32, u64) {
+        match self {
+            Compression::None => (0, 0, 0.0, 0, 0, 0),
+            Compression::Quantize { bits } => (1, bits, 0.0, 0, 0, 0),
+            Compression::TopK { ratio } => (2, 0, ratio, 0, 0, 0),
+            Compression::Sketch { rows, cols, seed } => (3, 0, 0.0, rows, cols, seed),
+            Compression::Adaptive { max_bits } => (4, max_bits, 0.0, 0, 0, 0),
+        }
+    }
+
+    /// Inverse of [`Compression::to_wire`]; `None` on an unknown mode or
+    /// out-of-range parameters.
+    pub fn from_wire(
+        mode: u8,
+        bits: u8,
+        ratio: f32,
+        rows: u16,
+        cols: u32,
+        seed: u64,
+    ) -> Option<Compression> {
+        match mode {
+            0 => Some(Compression::None),
+            1 if (1..=8).contains(&bits) => Some(Compression::Quantize { bits }),
+            2 if (0.0..=1.0).contains(&ratio) => Some(Compression::TopK { ratio }),
+            3 if rows % 2 == 1 && rows > 0 && cols > 0 => {
+                Some(Compression::Sketch { rows, cols, seed })
+            }
+            4 if (1..=8).contains(&bits) => Some(Compression::Adaptive { max_bits: bits }),
+            _ => None,
+        }
+    }
+
+    /// Parses the CLI/bench spelling of a policy: `none`,
+    /// `quantize:<bits>`, `topk:<ratio>`, `sketch:<rows>:<cols>:<seed>`, or
+    /// `adaptive:<max_bits>`. `None` on anything else (including
+    /// out-of-range parameters, via [`Compression::from_wire`] validation).
+    pub fn parse(spec: &str) -> Option<Compression> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let policy = match parts.as_slice() {
+            ["none"] => Compression::None,
+            ["quantize", bits] => Compression::Quantize {
+                bits: bits.parse().ok()?,
+            },
+            ["topk", ratio] => Compression::TopK {
+                ratio: ratio.parse().ok()?,
+            },
+            ["sketch", rows, cols, seed] => Compression::Sketch {
+                rows: rows.parse().ok()?,
+                cols: cols.parse().ok()?,
+                seed: seed.parse().ok()?,
+            },
+            ["adaptive", max_bits] => Compression::Adaptive {
+                max_bits: max_bits.parse().ok()?,
+            },
+            _ => return None,
+        };
+        // Round-trip through the wire validation so CLI specs and socket
+        // handshakes accept exactly the same parameter space.
+        let (m, b, r, rw, c, s) = policy.to_wire();
+        Compression::from_wire(m, b, r, rw, c, s)
+    }
+}
+
+/// Stack-allocated compressor dispatcher so policy resolution never boxes.
+#[derive(Clone, Copy, Debug)]
+pub enum AnyCompressor {
+    Quantize(UniformQuantizer),
+    TopK(TopK),
+    Sketch(CountSketch),
+}
+
+impl Compressor for AnyCompressor {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyCompressor::Quantize(c) => c.name(),
+            AnyCompressor::TopK(c) => c.name(),
+            AnyCompressor::Sketch(c) => c.name(),
+        }
+    }
+
+    fn compress(&self, values: &[f32]) -> CompressedVec {
+        match self {
+            AnyCompressor::Quantize(c) => c.compress(values),
+            AnyCompressor::TopK(c) => c.compress(values),
+            AnyCompressor::Sketch(c) => c.compress(values),
+        }
+    }
+
+    fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32> {
+        match self {
+            AnyCompressor::Quantize(c) => c.decompress(payload, len),
+            AnyCompressor::TopK(c) => c.decompress(payload, len),
+            AnyCompressor::Sketch(c) => c.decompress(payload, len),
+        }
+    }
+
+    fn compress_into(&self, values: &[f32], out: &mut CompressedVec) {
+        match self {
+            AnyCompressor::Quantize(c) => c.compress_into(values, out),
+            AnyCompressor::TopK(c) => c.compress_into(values, out),
+            AnyCompressor::Sketch(c) => c.compress_into(values, out),
+        }
+    }
+
+    fn decompress_into(&self, payload: &CompressedVec, len: usize, out: &mut Vec<f32>) {
+        match self {
+            AnyCompressor::Quantize(c) => c.decompress_into(payload, len, out),
+            AnyCompressor::TopK(c) => c.decompress_into(payload, len, out),
+            AnyCompressor::Sketch(c) => c.decompress_into(payload, len, out),
+        }
+    }
+}
+
+/// Per-tensor adaptive bit-width, keyed on the tensor's norm and size: the
+/// wider the dynamic range relative to the RMS magnitude, the more levels a
+/// uniform grid needs. Pure `f32` arithmetic in index order, so the sender
+/// and any replica derive the same width from the same values.
+pub fn adaptive_bits(values: &[f32], max_bits: u8) -> u8 {
+    assert!((1..=8).contains(&max_bits), "max_bits must be in 1..=8");
+    if values.len() <= 32 {
+        // Tiny tensors are cheap — keep the full precision budget.
+        return max_bits;
+    }
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut norm2 = 0.0f32;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        norm2 += v * v;
+    }
+    let range = max - min;
+    let rms = (norm2 / values.len() as f32).sqrt();
+    if !range.is_finite() || !rms.is_finite() {
+        return max_bits;
+    }
+    if range <= 0.0 {
+        return 1;
+    }
+    let bits = ((range / rms.max(1e-12)) + 1.0).log2().ceil() as i64;
+    bits.clamp(1, max_bits as i64) as u8
+}
+
+/// Error-feedback compression of a model upload. The residual left by the
+/// previous round is folded into this round's update before compression and
+/// replaced by the new quantization error:
+///
+/// ```text
+/// update   = (params − global) + residual
+/// payload  = compress(update)
+/// residual = update − decompress(payload)
+/// ```
+///
+/// All buffers are caller-owned workspaces; `residual` is (re)sized to `d`
+/// on first use. The exact loop shapes here are the bit-exactness contract
+/// between the in-process fold and the socket client loop — both call this
+/// one function.
+///
+/// Policies for which [`Compression::uses_error_feedback`] is `false`
+/// (the unbiased count sketch) keep the residual pinned at zero: the
+/// update is compressed statelessly and no reconstruction noise is
+/// carried into the next round.
+pub fn ef_compress_update(
+    policy: Compression,
+    params: &[f32],
+    global: &[f32],
+    residual: &mut Vec<f32>,
+    update: &mut Vec<f32>,
+    recon: &mut Vec<f32>,
+    payload: &mut CompressedVec,
+) -> AnyCompressor {
+    let d = params.len();
+    assert_eq!(global.len(), d, "global/params dimension mismatch");
+    let feedback = policy.uses_error_feedback();
+    if residual.len() != d || !feedback {
+        residual.clear();
+        residual.resize(d, 0.0);
+    }
+    update.clear();
+    update.extend(
+        params
+            .iter()
+            .zip(global)
+            .zip(residual.iter())
+            .map(|((&p, &g), &r)| p - g + r),
+    );
+    let comp = policy.for_upload(update).expect("compression enabled");
+    comp.compress_into(update, payload);
+    comp.decompress_into(payload, d, recon);
+    if feedback {
+        for (r, (&u, &c)) in residual.iter_mut().zip(update.iter().zip(recon.iter())) {
+            *r = u - c;
+        }
+    }
+    comp
+}
+
+/// Receiver side of [`ef_compress_update`]: decompress a received upload and
+/// rebuild absolute parameters by adding the broadcast global back in.
+/// Returns `false` when the payload does not resolve under `policy`.
+pub fn decode_upload_into(
+    policy: Compression,
+    payload: &CompressedVec,
+    global: &[f32],
+    out: &mut Vec<f32>,
+) -> bool {
+    let Some(comp) = policy.for_payload(payload, global.len()) else {
+        return false;
+    };
+    comp.decompress_into(payload, global.len(), out);
+    for (o, &g) in out.iter_mut().zip(global) {
+        *o += g;
+    }
+    true
+}
+
+/// Compress a δ-sync vector (no error feedback — δ maps are stateless).
+pub fn compress_plain(
+    policy: Compression,
+    values: &[f32],
+    payload: &mut CompressedVec,
+) -> AnyCompressor {
+    let comp = policy.for_upload(values).expect("compression enabled");
+    comp.compress_into(values, payload);
+    comp
+}
+
+/// Receiver side of [`compress_plain`].
+pub fn decode_plain_into(
+    policy: Compression,
+    payload: &CompressedVec,
+    len: usize,
+    out: &mut Vec<f32>,
+) -> bool {
+    let Some(comp) = policy.for_payload(payload, len) else {
+        return false;
+    };
+    comp.decompress_into(payload, len, out);
+    true
 }
 
 /// Relative L2 reconstruction error `‖x − x̂‖ / ‖x‖`.
@@ -87,5 +491,214 @@ mod tests {
             bytes: vec![0; 10],
         };
         assert_eq!(c.wire_bytes(), 12 + 8 + 4 + 10);
+    }
+
+    /// Satellite pin: `wire_bytes()` is the *real* encoded length, not a
+    /// notional estimate — encode and compare.
+    #[test]
+    fn wire_bytes_equals_encoded_length() {
+        let shapes = [
+            CompressedVec::default(),
+            CompressedVec {
+                words_u32: vec![7; 13],
+                words_f32: vec![f32::NAN, f32::NEG_INFINITY, -0.0],
+                bytes: vec![0xAB; 29],
+            },
+            UniformQuantizer::new(3).compress(&[1.0, -2.0, 0.5]),
+            TopK::new(2).compress(&[1.0, -2.0, 0.5, 9.0]),
+            CountSketch::new(3, 17, 42).compress(&[1.0; 100]),
+        ];
+        let mut wire = Vec::new();
+        for c in &shapes {
+            c.encode_into(&mut wire);
+            assert_eq!(wire.len(), c.wire_bytes());
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact() {
+        let c = CompressedVec {
+            words_u32: vec![0, u32::MAX, 12345],
+            words_f32: vec![f32::NAN, f32::INFINITY, -0.0, 1.5e-39],
+            bytes: vec![1, 2, 3, 4, 5],
+        };
+        let mut wire = Vec::new();
+        c.encode_into(&mut wire);
+        let d = CompressedVec::decode(&wire).unwrap();
+        assert_eq!(c.words_u32, d.words_u32);
+        assert_eq!(
+            c.words_f32.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            d.words_f32.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(c.bytes, d.bytes);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        let c = UniformQuantizer::new(8).compress(&[1.0, 2.0, 3.0]);
+        let mut wire = Vec::new();
+        c.encode_into(&mut wire);
+        assert!(CompressedVec::decode(&wire[..wire.len() - 1]).is_none());
+        assert!(CompressedVec::decode(&wire[..4]).is_none());
+        let mut extra = wire.clone();
+        extra.push(0);
+        assert!(CompressedVec::decode(&extra).is_none());
+        // Section lengths that overflow the length arithmetic.
+        let mut bogus = vec![0xFFu8; 12];
+        bogus.extend_from_slice(&[0; 16]);
+        assert!(CompressedVec::decode(&bogus).is_none());
+    }
+
+    #[test]
+    fn policy_wire_form_round_trips() {
+        let policies = [
+            Compression::None,
+            Compression::Quantize { bits: 4 },
+            Compression::TopK { ratio: 0.1 },
+            Compression::Sketch {
+                rows: 5,
+                cols: 401,
+                seed: 99,
+            },
+            Compression::Adaptive { max_bits: 8 },
+        ];
+        for p in policies {
+            let (mode, bits, ratio, rows, cols, seed) = p.to_wire();
+            assert_eq!(
+                Compression::from_wire(mode, bits, ratio, rows, cols, seed),
+                Some(p)
+            );
+        }
+        assert_eq!(Compression::from_wire(9, 0, 0.0, 0, 0, 0), None);
+        assert_eq!(Compression::from_wire(1, 0, 0.0, 0, 0, 0), None);
+        assert_eq!(Compression::from_wire(3, 0, 0.0, 4, 7, 0), None);
+    }
+
+    #[test]
+    fn policy_cli_specs_parse() {
+        assert_eq!(Compression::parse("none"), Some(Compression::None));
+        assert_eq!(
+            Compression::parse("quantize:8"),
+            Some(Compression::Quantize { bits: 8 })
+        );
+        assert_eq!(
+            Compression::parse("topk:0.05"),
+            Some(Compression::TopK { ratio: 0.05 })
+        );
+        assert_eq!(
+            Compression::parse("sketch:5:401:99"),
+            Some(Compression::Sketch {
+                rows: 5,
+                cols: 401,
+                seed: 99
+            })
+        );
+        assert_eq!(
+            Compression::parse("adaptive:6"),
+            Some(Compression::Adaptive { max_bits: 6 })
+        );
+        // Same validation surface as the wire form.
+        assert_eq!(Compression::parse("quantize:9"), None);
+        assert_eq!(Compression::parse("sketch:4:7:0"), None);
+        assert_eq!(Compression::parse("topk:1.5"), None);
+        assert_eq!(Compression::parse("gzip"), None);
+        assert_eq!(Compression::parse("quantize:8:extra"), None);
+    }
+
+    #[test]
+    fn adaptive_bits_tracks_norm_and_size() {
+        // Tiny tensors keep the full budget.
+        assert_eq!(adaptive_bits(&[1.0; 8], 8), 8);
+        // A constant vector needs a single level.
+        assert_eq!(adaptive_bits(&[2.5; 100], 8), 1);
+        // Wide dynamic range relative to RMS demands more bits than a
+        // narrow one, and the result never exceeds the budget.
+        let mut spiky = vec![0.01f32; 1000];
+        spiky[7] = 100.0;
+        let flat: Vec<f32> = (0..1000).map(|i| 1.0 + (i % 7) as f32 * 1e-3).collect();
+        let b_spiky = adaptive_bits(&spiky, 8);
+        let b_flat = adaptive_bits(&flat, 8);
+        assert!(b_spiky > b_flat, "{b_spiky} vs {b_flat}");
+        assert!(b_spiky <= 8);
+        assert_eq!(adaptive_bits(&spiky, 4), 4);
+        // The receiver can recover the width from the payload alone.
+        let bits = adaptive_bits(&spiky, 8);
+        let payload = UniformQuantizer::new(bits).compress(&spiky);
+        let q = UniformQuantizer::from_payload(&payload).unwrap();
+        assert_eq!(q.bits(), bits);
+    }
+
+    #[test]
+    fn error_feedback_reconstructs_params_via_decode_upload() {
+        let global = vec![0.5f32; 200];
+        let params: Vec<f32> = (0..200).map(|i| 0.5 + (i as f32 * 0.13).sin()).collect();
+        let policy = Compression::Quantize { bits: 8 };
+        let (mut residual, mut update, mut recon) = (Vec::new(), Vec::new(), Vec::new());
+        let mut payload = CompressedVec::default();
+        ef_compress_update(
+            policy,
+            &params,
+            &global,
+            &mut residual,
+            &mut update,
+            &mut recon,
+            &mut payload,
+        );
+        // Server-side reconstruction = global + decompressed update, and the
+        // client's residual is exactly the reconstruction error.
+        let mut rebuilt = Vec::new();
+        assert!(decode_upload_into(policy, &payload, &global, &mut rebuilt));
+        for ((&p, &w), &r) in params.iter().zip(&rebuilt).zip(&residual) {
+            assert!((p - w - r).abs() < 1e-5, "{p} {w} {r}");
+        }
+    }
+
+    #[test]
+    fn error_feedback_residual_vanishes_on_constant_updates() {
+        // Satellite invariant: a uniform quantizer represents a constant
+        // vector exactly, so EF drives the residual to zero.
+        let policy = Compression::Quantize { bits: 2 };
+        let global = vec![0.0f32; 64];
+        let params = vec![0.125f32; 64];
+        let (mut residual, mut update, mut recon) = (Vec::new(), Vec::new(), Vec::new());
+        let mut payload = CompressedVec::default();
+        for round in 0..4 {
+            ef_compress_update(
+                policy,
+                &params,
+                &global,
+                &mut residual,
+                &mut update,
+                &mut recon,
+                &mut payload,
+            );
+            let norm: f32 = residual.iter().map(|r| r * r).sum::<f32>().sqrt();
+            assert!(norm < 1e-6, "round {round}: residual norm {norm}");
+        }
+    }
+
+    #[test]
+    fn compress_into_matches_compress_for_each_backend() {
+        let x: Vec<f32> = (0..257).map(|i| (i as f32 * 0.21).sin()).collect();
+        let comps = [
+            AnyCompressor::Quantize(UniformQuantizer::new(4)),
+            AnyCompressor::TopK(TopK::new(17)),
+            AnyCompressor::Sketch(CountSketch::new(5, 31, 3)),
+        ];
+        let mut payload = CompressedVec::default();
+        let mut out = Vec::new();
+        for comp in comps {
+            let boxed = comp.compress(&x);
+            comp.compress_into(&x, &mut payload);
+            assert_eq!(boxed.words_u32, payload.words_u32);
+            assert_eq!(boxed.words_f32, payload.words_f32);
+            assert_eq!(boxed.bytes, payload.bytes);
+            let dense = comp.decompress(&payload, x.len());
+            comp.decompress_into(&payload, x.len(), &mut out);
+            assert_eq!(
+                dense.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 }

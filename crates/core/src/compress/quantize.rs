@@ -3,7 +3,9 @@
 use super::{CompressedVec, Compressor};
 
 /// Linear quantization into `2^bits` levels over the vector's `[min, max]`
-/// range. `bits ≤ 8`; for `bits ≤ 4` two codes are packed per byte.
+/// range. `bits ≤ 8`; codes are packed at true bit granularity (LSB-first
+/// within each byte), so a 2-bit payload really is a quarter of an 8-bit
+/// one — the wire cost the policy advertises is the cost that is charged.
 #[derive(Clone, Copy, Debug)]
 pub struct UniformQuantizer {
     bits: u8,
@@ -17,6 +19,21 @@ impl UniformQuantizer {
         UniformQuantizer { bits }
     }
 
+    /// Bit-width per coordinate.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Recovers the quantizer from a payload's self-described level count
+    /// (`words_f32[2]`). `None` unless it matches a width in `1..=8` — this
+    /// is how adaptive-width receivers decode without side information.
+    pub fn from_payload(payload: &CompressedVec) -> Option<UniformQuantizer> {
+        let levels = *payload.words_f32.get(2)?;
+        (1..=8u8)
+            .find(|&b| ((1u32 << b) - 1) as f32 == levels)
+            .map(UniformQuantizer::new)
+    }
+
     fn levels(&self) -> u32 {
         (1u32 << self.bits) - 1
     }
@@ -28,53 +45,77 @@ impl Compressor for UniformQuantizer {
     }
 
     fn compress(&self, values: &[f32]) -> CompressedVec {
+        let mut out = CompressedVec::default();
+        self.compress_into(values, &mut out);
+        out
+    }
+
+    fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(len);
+        self.decompress_into(payload, len, &mut out);
+        out
+    }
+
+    fn compress_into(&self, values: &[f32], out: &mut CompressedVec) {
         let min = values.iter().copied().fold(f32::INFINITY, f32::min);
         let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let range = (max - min).max(1e-12);
         let levels = self.levels() as f32;
-        let codes: Vec<u8> = values
-            .iter()
-            .map(|&v| (((v - min) / range) * levels).round() as u8)
-            .collect();
-        let bytes = if self.bits <= 4 {
-            // Two codes per byte: low nibble first.
-            codes
-                .chunks(2)
-                .map(|pair| pair[0] | (pair.get(1).copied().unwrap_or(0) << 4))
-                .collect()
-        } else {
-            codes
-        };
-        CompressedVec {
-            words_u32: Vec::new(),
-            words_f32: vec![min, max],
-            bytes,
+        let code = |v: f32| (((v - min) / range) * levels).round() as u16;
+        out.bytes.clear();
+        out.bytes
+            .reserve((values.len() * self.bits as usize).div_ceil(8));
+        // LSB-first bitstream: each code occupies exactly `bits` bits, with
+        // the final byte zero-padded. For 4 and 8 bits this degenerates to
+        // the familiar nibble / byte layouts.
+        let mut acc: u16 = 0;
+        let mut filled: u32 = 0;
+        for &v in values {
+            acc |= code(v) << filled;
+            filled += u32::from(self.bits);
+            while filled >= 8 {
+                out.bytes.push(acc as u8);
+                acc >>= 8;
+                filled -= 8;
+            }
         }
+        if filled > 0 {
+            out.bytes.push(acc as u8);
+        }
+        out.words_u32.clear();
+        out.words_f32.clear();
+        // The payload self-describes its level count so receivers (e.g. the
+        // adaptive-width policy) need no side channel.
+        out.words_f32.extend_from_slice(&[min, max, levels]);
     }
 
-    fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32> {
-        let codes: Vec<u8> = if self.bits <= 4 {
-            assert_eq!(payload.bytes.len(), len.div_ceil(2), "code length mismatch");
-            let mut out = Vec::with_capacity(len);
-            for &b in &payload.bytes {
-                out.push(b & 0x0F);
-                if out.len() < len {
-                    out.push(b >> 4);
-                }
-            }
-            out
-        } else {
-            assert_eq!(payload.bytes.len(), len, "code length mismatch");
-            payload.bytes.clone()
-        };
+    fn decompress_into(&self, payload: &CompressedVec, len: usize, out: &mut Vec<f32>) {
         let min = payload.words_f32[0];
         let max = payload.words_f32[1];
         let range = (max - min).max(1e-12);
         let levels = self.levels() as f32;
-        codes
-            .iter()
-            .map(|&c| min + (c as f32 / levels) * range)
-            .collect()
+        debug_assert_eq!(payload.words_f32.get(2).copied(), Some(levels));
+        let lift = |c: u16| min + (c as f32 / levels) * range;
+        out.clear();
+        assert_eq!(
+            payload.bytes.len(),
+            (len * self.bits as usize).div_ceil(8),
+            "code length mismatch"
+        );
+        out.reserve(len);
+        let mask: u16 = (1u16 << self.bits) - 1;
+        let mut acc: u16 = 0;
+        let mut filled: u32 = 0;
+        let mut feed = payload.bytes.iter();
+        for _ in 0..len {
+            while filled < u32::from(self.bits) {
+                acc |= u16::from(*feed.next().expect("code underrun")) << filled;
+                filled += 8;
+            }
+            out.push(lift(acc & mask));
+            acc >>= self.bits;
+            filled -= u32::from(self.bits);
+        }
     }
 }
 
@@ -107,6 +148,26 @@ mod tests {
         let q8 = UniformQuantizer::new(8).compress(&x);
         assert_eq!(q8.bytes.len(), 101);
         assert!(q4.wire_bytes() < q8.wire_bytes());
+    }
+
+    #[test]
+    fn low_bit_widths_pack_below_nibble_granularity() {
+        let x: Vec<f32> = (0..101).map(|i| (i as f32 * 0.3).sin()).collect();
+        for bits in 1u8..=8 {
+            let q = UniformQuantizer::new(bits);
+            let payload = q.compress(&x);
+            assert_eq!(
+                payload.bytes.len(),
+                (101 * bits as usize).div_ceil(8),
+                "bits={bits}"
+            );
+            assert_eq!(q.decompress(&payload, 101).len(), 101, "bits={bits}");
+        }
+        // 2-bit codes cost a quarter of 8-bit ones, not half.
+        let q2 = UniformQuantizer::new(2).compress(&x);
+        let q8 = UniformQuantizer::new(8).compress(&x);
+        assert_eq!(q2.bytes.len(), 26);
+        assert_eq!(q8.bytes.len(), 101);
     }
 
     #[test]

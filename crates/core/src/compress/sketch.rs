@@ -42,34 +42,48 @@ impl Compressor for CountSketch {
     }
 
     fn compress(&self, values: &[f32]) -> CompressedVec {
-        let mut table = vec![0.0f32; self.rows * self.cols];
-        for (i, &v) in values.iter().enumerate() {
-            for r in 0..self.rows {
-                let (c, s) = self.hash(r, i);
-                table[r * self.cols + c] += s * v;
-            }
-        }
-        CompressedVec {
-            words_u32: Vec::new(),
-            words_f32: table,
-            bytes: Vec::new(),
-        }
+        let mut out = CompressedVec::default();
+        self.compress_into(values, &mut out);
+        out
     }
 
     fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(len);
+        self.decompress_into(payload, len, &mut out);
+        out
+    }
+
+    fn compress_into(&self, values: &[f32], out: &mut CompressedVec) {
+        out.words_u32.clear();
+        out.bytes.clear();
+        out.words_f32.clear();
+        out.words_f32.resize(self.rows * self.cols, 0.0);
+        for (i, &v) in values.iter().enumerate() {
+            for r in 0..self.rows {
+                let (c, s) = self.hash(r, i);
+                out.words_f32[r * self.cols + c] += s * v;
+            }
+        }
+    }
+
+    fn decompress_into(&self, payload: &CompressedVec, len: usize, out: &mut Vec<f32>) {
         assert_eq!(payload.words_f32.len(), self.rows * self.cols);
+        // Median scratch lives on the stack; row counts this large would be
+        // absurd for a sketch, so the cap costs nothing in practice.
+        const MAX_ROWS: usize = 63;
+        assert!(self.rows <= MAX_ROWS, "sketch rows capped at {MAX_ROWS}");
         let table = &payload.words_f32;
-        let mut est = vec![0.0f32; len];
-        let mut cells = vec![0.0f32; self.rows];
-        for (i, e) in est.iter_mut().enumerate() {
-            for (r, cell) in cells.iter_mut().enumerate() {
+        let mut cells = [0.0f32; MAX_ROWS];
+        out.clear();
+        out.reserve(len);
+        for i in 0..len {
+            for (r, cell) in cells[..self.rows].iter_mut().enumerate() {
                 let (c, s) = self.hash(r, i);
                 *cell = s * table[r * self.cols + c];
             }
-            cells.sort_by(|a, b| a.total_cmp(b));
-            *e = cells[self.rows / 2]; // median
+            cells[..self.rows].sort_by(|a, b| a.total_cmp(b));
+            out.push(cells[self.rows / 2]); // median
         }
-        est
     }
 }
 

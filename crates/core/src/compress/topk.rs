@@ -29,26 +29,40 @@ impl Compressor for TopK {
     }
 
     fn compress(&self, values: &[f32]) -> CompressedVec {
+        let mut out = CompressedVec::default();
+        self.compress_into(values, &mut out);
+        out
+    }
+
+    fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(len);
+        self.decompress_into(payload, len, &mut out);
+        out
+    }
+
+    fn compress_into(&self, values: &[f32], out: &mut CompressedVec) {
         let k = self.k.min(values.len());
+        // The selection scratch still allocates; the payload sections reuse
+        // the caller's buffers.
         let mut order: Vec<usize> = (0..values.len()).collect();
         order.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
             values[b].abs().total_cmp(&values[a].abs())
         });
-        let mut kept: Vec<usize> = order[..k].to_vec();
+        let kept = &mut order[..k];
         kept.sort_unstable();
-        CompressedVec {
-            words_u32: kept.iter().map(|&i| i as u32).collect(),
-            words_f32: kept.iter().map(|&i| values[i]).collect(),
-            bytes: Vec::new(),
-        }
+        out.words_u32.clear();
+        out.words_u32.extend(kept.iter().map(|&i| i as u32));
+        out.words_f32.clear();
+        out.words_f32.extend(kept.iter().map(|&i| values[i]));
+        out.bytes.clear();
     }
 
-    fn decompress(&self, payload: &CompressedVec, len: usize) -> Vec<f32> {
-        let mut out = vec![0.0f32; len];
+    fn decompress_into(&self, payload: &CompressedVec, len: usize, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(len, 0.0);
         for (&i, &v) in payload.words_u32.iter().zip(&payload.words_f32) {
             out[i as usize] = v;
         }
-        out
     }
 }
 

@@ -7,6 +7,10 @@ use crate::comm::{
     BroadcastDelivery, CommStats, Delivery, FaultStats, LinkOutcome, MsgKind, PerfectTransport,
     RemoteTransport, Transport,
 };
+use crate::compress::{
+    compress_plain, decode_plain_into, decode_upload_into, ef_compress_update, CompressedVec,
+    Compression,
+};
 use crate::delta::DeltaTable;
 use crate::dp::{privatize_delta, DpConfig};
 use crate::eval::{evaluate, EvalResult};
@@ -51,6 +55,11 @@ pub struct FlConfig {
     pub delta_probe_batch: Option<usize>,
     /// Server RNG seed (client RNGs derive from the federation seed).
     pub seed: u64,
+    /// Upload-compression policy: model uploads and δ syncs cross the
+    /// transport as exact-framed [`CompressedVec`] messages with per-client
+    /// error feedback. [`Compression::None`] (the default in every preset)
+    /// keeps the dense wire path and its pinned byte accounting.
+    pub compression: Compression,
 }
 
 impl FlConfig {
@@ -66,6 +75,7 @@ impl FlConfig {
             clip_grad_norm: Some(10.0),
             delta_probe_batch: None,
             seed: 0,
+            compression: Compression::None,
         }
     }
 
@@ -81,6 +91,7 @@ impl FlConfig {
             clip_grad_norm: Some(10.0),
             delta_probe_batch: None,
             seed: 0,
+            compression: Compression::None,
         }
     }
 
@@ -291,6 +302,18 @@ pub struct Federation {
     agg: StreamingAggregator,
     /// Reused upload read buffer (local-mode `collect_*`).
     upload_buf: Vec<f32>,
+    /// Upload-compression policy ([`Compression::None`] = dense wire path).
+    compression: Compression,
+    /// Compression workspaces, reused across rounds: EF update / local
+    /// reconstruction scratch, the encoded payload, its round-tripped copy,
+    /// and the decoded parameter vector handed to the fold visitor. Keeping
+    /// these warm preserves the 0-allocs/step aggregation gate with
+    /// compression enabled.
+    comp_update: Vec<f32>,
+    comp_recon: Vec<f32>,
+    comp_payload: CompressedVec,
+    comp_rt: CompressedVec,
+    comp_decoded: Vec<f32>,
 }
 
 impl Federation {
@@ -337,6 +360,12 @@ impl Federation {
             straggler: None,
             agg: StreamingAggregator::default(),
             upload_buf: Vec::new(),
+            compression: cfg.compression,
+            comp_update: Vec::new(),
+            comp_recon: Vec::new(),
+            comp_payload: CompressedVec::default(),
+            comp_rt: CompressedVec::default(),
+            comp_decoded: Vec::new(),
         }
     }
 
@@ -386,6 +415,12 @@ impl Federation {
             straggler: None,
             agg: StreamingAggregator::default(),
             upload_buf: Vec::new(),
+            compression: cfg.compression,
+            comp_update: Vec::new(),
+            comp_recon: Vec::new(),
+            comp_payload: CompressedVec::default(),
+            comp_rt: CompressedVec::default(),
+            comp_decoded: Vec::new(),
         }
     }
 
@@ -428,6 +463,12 @@ impl Federation {
             straggler: None,
             agg: StreamingAggregator::default(),
             upload_buf: Vec::new(),
+            compression: cfg.compression,
+            comp_update: Vec::new(),
+            comp_recon: Vec::new(),
+            comp_payload: CompressedVec::default(),
+            comp_rt: CompressedVec::default(),
+            comp_decoded: Vec::new(),
         }
     }
 
@@ -463,6 +504,22 @@ impl Federation {
     /// training calls draw per-client step counts from it.
     pub fn set_straggler_model(&mut self, model: Option<StragglerModel>) {
         self.straggler = model;
+    }
+
+    /// The active upload-compression policy.
+    pub fn compression(&self) -> Compression {
+        self.compression
+    }
+
+    /// Switches the upload-compression policy. With anything but
+    /// [`Compression::None`], model uploads cross the transport as
+    /// [`MsgKind::CompressedUp`] frames (error-feedback compressed against
+    /// the last broadcast global) and δ syncs as
+    /// [`MsgKind::CompressedDeltaUp`] frames. In remote mode the clients
+    /// must run the same policy (it rides the `Welcome` frame), so flip it
+    /// before the first round, never mid-run.
+    pub fn set_compression(&mut self, policy: Compression) {
+        self.compression = policy;
     }
 
     /// Marks the start of communication round `round`: resets the
@@ -743,25 +800,85 @@ impl Federation {
         let before = self.comm_snapshot();
         let fbefore = self.fault_stats();
         let mut delivered = Vec::with_capacity(selected.len());
+        let policy = self.compression;
         if self.remote {
             // The clients already pushed their parameters after training;
             // the server folds each upload as its frame completes, claiming
             // them in selection order so aggregation is deterministic no
             // matter the arrival order on the wire.
-            for (slot, &k) in selected.iter().enumerate() {
-                if let Some(params) = self.remote_transport().recv(MsgKind::ModelUp, k).data {
-                    visit(slot, k, &params);
-                    delivered.push(k);
+            if policy.is_enabled() {
+                // Compressed frames decode straight into reused workspaces
+                // feeding the fold — still O(d) server memory.
+                let mut rt = std::mem::take(&mut self.comp_rt);
+                let mut decoded = std::mem::take(&mut self.comp_decoded);
+                for (slot, &k) in selected.iter().enumerate() {
+                    let link =
+                        self.remote_transport()
+                            .recv_compressed(MsgKind::CompressedUp, k, &mut rt);
+                    if link.delivered && decode_upload_into(policy, &rt, &self.global, &mut decoded)
+                    {
+                        visit(slot, k, &decoded);
+                        delivered.push(k);
+                    }
+                }
+                self.comp_rt = rt;
+                self.comp_decoded = decoded;
+            } else {
+                for (slot, &k) in selected.iter().enumerate() {
+                    if let Some(params) = self.remote_transport().recv(MsgKind::ModelUp, k).data {
+                        visit(slot, k, &params);
+                        delivered.push(k);
+                    }
                 }
             }
         } else {
             let mut buf = std::mem::take(&mut self.upload_buf);
-            for (slot, &k) in selected.iter().enumerate() {
-                let idx = self.local_idx(k);
-                self.clients[idx].read_params(&mut buf);
-                if let Some(params) = self.transport.send(MsgKind::ModelUp, k, &buf).data {
-                    visit(slot, k, &params);
-                    delivered.push(k);
+            if policy.is_enabled() {
+                // Simulate exactly what a remote client does: compress the
+                // update (params − last broadcast global) with error
+                // feedback, send the framed payload through the transport,
+                // and decode the received copy against the same global. The
+                // residual lives on the client so hibernation keeps the
+                // eager ≡ lazy trajectory bit-exact.
+                let mut update = std::mem::take(&mut self.comp_update);
+                let mut recon = std::mem::take(&mut self.comp_recon);
+                let mut payload = std::mem::take(&mut self.comp_payload);
+                let mut rt = std::mem::take(&mut self.comp_rt);
+                let mut decoded = std::mem::take(&mut self.comp_decoded);
+                for (slot, &k) in selected.iter().enumerate() {
+                    let idx = self.local_idx(k);
+                    self.clients[idx].read_params(&mut buf);
+                    ef_compress_update(
+                        policy,
+                        &buf,
+                        &self.global,
+                        self.clients[idx].residual_mut(),
+                        &mut update,
+                        &mut recon,
+                        &mut payload,
+                    );
+                    let link =
+                        self.transport
+                            .send_compressed(MsgKind::CompressedUp, k, &payload, &mut rt);
+                    if link.delivered && decode_upload_into(policy, &rt, &self.global, &mut decoded)
+                    {
+                        visit(slot, k, &decoded);
+                        delivered.push(k);
+                    }
+                }
+                self.comp_update = update;
+                self.comp_recon = recon;
+                self.comp_payload = payload;
+                self.comp_rt = rt;
+                self.comp_decoded = decoded;
+            } else {
+                for (slot, &k) in selected.iter().enumerate() {
+                    let idx = self.local_idx(k);
+                    self.clients[idx].read_params(&mut buf);
+                    if let Some(params) = self.transport.send(MsgKind::ModelUp, k, &buf).data {
+                        visit(slot, k, &params);
+                        delivered.push(k);
+                    }
                 }
             }
             self.upload_buf = buf;
@@ -839,26 +956,70 @@ impl Federation {
                 "DP δ privatization runs client-side and is not wired over the socket protocol yet"
             );
             let round = self.current_round;
+            let policy = self.compression;
             // Fan the probe requests out first so clients compute their δ
             // maps concurrently, then claim the uploads in selection order.
             for &k in selected {
                 self.remote_transport().request_delta(k, round, probe_batch);
             }
-            for &k in selected {
-                if let Some(received) = self.remote_transport().recv(MsgKind::DeltaUp, k).data {
-                    table.set(k, received);
-                    delivered += 1;
+            if policy.is_enabled() {
+                let dim = table.dim();
+                let mut rt = std::mem::take(&mut self.comp_rt);
+                let mut decoded = std::mem::take(&mut self.comp_decoded);
+                for &k in selected {
+                    let link = self.remote_transport().recv_compressed(
+                        MsgKind::CompressedDeltaUp,
+                        k,
+                        &mut rt,
+                    );
+                    if link.delivered && decode_plain_into(policy, &rt, dim, &mut decoded) {
+                        table.set(k, decoded.clone());
+                        delivered += 1;
+                    }
+                }
+                self.comp_rt = rt;
+                self.comp_decoded = decoded;
+            } else {
+                for &k in selected {
+                    if let Some(received) = self.remote_transport().recv(MsgKind::DeltaUp, k).data {
+                        table.set(k, received);
+                        delivered += 1;
+                    }
                 }
             }
         } else {
             self.ensure_active(selected);
+            let policy = self.compression;
             for &k in selected {
                 let idx = self.local_idx(k);
                 let mut delta = self.clients[idx].compute_delta(probe_batch);
                 if let Some(dp) = dp {
                     privatize_delta(&mut delta, dp, rng);
                 }
-                if let Some(received) = self.transport.send(MsgKind::DeltaUp, k, &delta).data {
+                if policy.is_enabled() {
+                    // δ syncs are stateless (no error feedback): the probe
+                    // recomputes the map from scratch each round, so a lossy
+                    // sync has nothing to carry over.
+                    compress_plain(policy, &delta, &mut self.comp_payload);
+                    let link = self.transport.send_compressed(
+                        MsgKind::CompressedDeltaUp,
+                        k,
+                        &self.comp_payload,
+                        &mut self.comp_rt,
+                    );
+                    if link.delivered
+                        && decode_plain_into(
+                            policy,
+                            &self.comp_rt,
+                            delta.len(),
+                            &mut self.comp_decoded,
+                        )
+                    {
+                        table.set(k, self.comp_decoded.clone());
+                        delivered += 1;
+                    }
+                } else if let Some(received) = self.transport.send(MsgKind::DeltaUp, k, &delta).data
+                {
                     table.set(k, received);
                     delivered += 1;
                 }

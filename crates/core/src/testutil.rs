@@ -27,6 +27,7 @@ pub(crate) fn convex_fed(similarity: f64, seed: u64, n_clients: usize) -> (Feder
         clip_grad_norm: Some(10.0),
         delta_probe_batch: None,
         seed,
+        compression: crate::compress::Compression::None,
     };
     let fed = Federation::new(
         &data,

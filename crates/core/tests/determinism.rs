@@ -32,6 +32,7 @@ fn cnn_data(seed: u64) -> (FederatedData, FlConfig) {
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: rfl_core::compress::Compression::None,
     };
     (data, cfg)
 }
@@ -47,7 +48,12 @@ fn run_rounds(mut fed: Federation, cfg: FlConfig) -> (Vec<f32>, Vec<f32>) {
 /// the MMD regularizer, and the parallel client work-queue all on the hot
 /// path.
 fn run_cnn_rounds(seed: u64) -> (Vec<f32>, Vec<f32>) {
-    let (data, cfg) = cnn_data(seed);
+    run_cnn_rounds_with(seed, rfl_core::compress::Compression::None)
+}
+
+fn run_cnn_rounds_with(seed: u64, policy: rfl_core::compress::Compression) -> (Vec<f32>, Vec<f32>) {
+    let (data, mut cfg) = cnn_data(seed);
+    cfg.compression = policy;
     let fed = Federation::new(
         &data,
         ModelFactory::cnn(CnnConfig::mnist_like()),
@@ -62,7 +68,15 @@ fn run_cnn_rounds(seed: u64) -> (Vec<f32>, Vec<f32>) {
 /// registry as hibernated state and are materialized only for the rounds
 /// that sample them.
 fn run_cnn_rounds_lazy(seed: u64) -> (Vec<f32>, Vec<f32>) {
-    let (data, cfg) = cnn_data(seed);
+    run_cnn_rounds_lazy_with(seed, rfl_core::compress::Compression::None)
+}
+
+fn run_cnn_rounds_lazy_with(
+    seed: u64,
+    policy: rfl_core::compress::Compression,
+) -> (Vec<f32>, Vec<f32>) {
+    let (data, mut cfg) = cnn_data(seed);
+    cfg.compression = policy;
     let source = Arc::new(MaterializedSource::from_federated(&data));
     let fed = Federation::lazy(
         source,
@@ -134,6 +148,31 @@ fn lazy_mode_is_bit_identical_to_eager() {
         params_eager, params_lazy,
         "lazy client materialization must not change the global parameters"
     );
+}
+
+/// With upload compression on, each client carries an error-feedback
+/// residual across rounds. The residual is part of `ClientPersist`, so
+/// hibernating a client between rounds and rebuilding it on selection must
+/// reproduce the eager trajectory bit-for-bit — the invariant that keeps
+/// lazy mode a pure memory optimization even under lossy uploads.
+#[test]
+fn lazy_mode_is_bit_identical_to_eager_with_compression() {
+    let policy = rfl_core::compress::Compression::Quantize { bits: 6 };
+    let (losses_eager, params_eager) = run_cnn_rounds_with(13, policy);
+    let (losses_lazy, params_lazy) = run_cnn_rounds_lazy_with(13, policy);
+
+    assert_eq!(
+        losses_eager, losses_lazy,
+        "hibernation must preserve the compression residual (losses diverged)"
+    );
+    assert_eq!(
+        params_eager, params_lazy,
+        "hibernation must preserve the compression residual (parameters diverged)"
+    );
+    // And the trajectory genuinely differs from the dense one — the policy
+    // was actually in force, not silently ignored.
+    let (dense_losses, _) = run_cnn_rounds(13);
+    assert_ne!(losses_eager, dense_losses, "compression had no effect");
 }
 
 /// The canonical pinned loss must reproduce through the streaming

@@ -14,10 +14,11 @@ use rfl_core::comm::{
     ControlMsg, Delivery, DropReason, Endpoint, FaultStats, LinkOutcome, MsgKind, PerfectTransport,
     SocketTransport, Transport,
 };
+use rfl_core::compress::{CompressedVec, Compression};
 use rfl_core::{Federation, History};
 use std::time::Duration;
 
-fn welcome(seed: u64, rounds: usize) -> ControlMsg {
+fn welcome(seed: u64, rounds: usize, compression: Compression) -> ControlMsg {
     let cfg = canonical::config(seed, rounds);
     ControlMsg::Welcome {
         num_clients: canonical::NUM_CLIENTS as u32,
@@ -29,16 +30,29 @@ fn welcome(seed: u64, rounds: usize) -> ControlMsg {
         lr: canonical::LR,
         clip_grad_norm: cfg.clip_grad_norm.unwrap_or(f32::NAN),
         seed,
+        compression,
     }
 }
 
 /// Runs a well-behaved canonical client against `endpoint` until shutdown.
+/// The upload-compression policy is taken from the Welcome, exactly like
+/// the real `rfl-client` binary.
 fn client_thread(endpoint: Endpoint, k: usize, seed: u64, opts: ClientLoopOpts) -> ClientOutcome {
     let mut conn = ClientConn::connect_with_backoff(&endpoint, 40, Duration::from_millis(25))
         .expect("client connect");
     let w = conn.hello(k as u32, seed).expect("hello");
-    let ControlMsg::Welcome { rounds, lambda, .. } = w else {
+    let ControlMsg::Welcome {
+        rounds,
+        lambda,
+        compression,
+        ..
+    } = w
+    else {
         panic!("expected welcome");
+    };
+    let opts = ClientLoopOpts {
+        compression,
+        ..opts
     };
     let cfg = canonical::config(seed, rounds as usize);
     let data = canonical::data(seed);
@@ -53,9 +67,10 @@ fn server_run(
     seed: u64,
     rounds: usize,
     recv_timeout: Duration,
+    compression: Compression,
 ) -> (SocketHandle, Endpoint) {
     let mut transport =
-        SocketTransport::bind(endpoint, &welcome(seed, rounds)).expect("bind server");
+        SocketTransport::bind(endpoint, &welcome(seed, rounds, compression)).expect("bind server");
     transport.set_recv_timeout(recv_timeout);
     let actual = transport.local_endpoint().clone();
     let handle = std::thread::spawn(move || {
@@ -63,7 +78,8 @@ fn server_run(
             .wait_for_clients(Duration::from_secs(30))
             .expect("clients register");
         let data = canonical::data(seed);
-        let cfg = canonical::config(seed, rounds);
+        let mut cfg = canonical::config(seed, rounds);
+        cfg.compression = compression;
         let mut fed =
             Federation::remote(&data, canonical::model(), &cfg, seed, Box::new(transport));
         let history = canonical::run(&mut fed, seed, rounds);
@@ -79,9 +95,10 @@ fn server_run(
 type SocketHandle = std::thread::JoinHandle<(History, Vec<f32>, FaultStats, CommStats)>;
 
 /// The in-process oracle on the perfect transport.
-fn oracle(seed: u64, rounds: usize) -> (History, Vec<f32>) {
+fn oracle(seed: u64, rounds: usize, compression: Compression) -> (History, Vec<f32>) {
     let data = canonical::data(seed);
-    let cfg = canonical::config(seed, rounds);
+    let mut cfg = canonical::config(seed, rounds);
+    cfg.compression = compression;
     let mut fed = Federation::new(
         &data,
         canonical::model(),
@@ -96,7 +113,13 @@ fn oracle(seed: u64, rounds: usize) -> (History, Vec<f32>) {
 
 fn socket_run_matches_oracle(endpoint: &Endpoint) {
     let (seed, rounds) = (canonical::SEED, canonical::ROUNDS);
-    let (server, actual) = server_run(endpoint, seed, rounds, Duration::from_secs(60));
+    let (server, actual) = server_run(
+        endpoint,
+        seed,
+        rounds,
+        Duration::from_secs(60),
+        Compression::None,
+    );
     let clients: Vec<_> = (0..canonical::NUM_CLIENTS)
         .map(|k| {
             let ep = actual.clone();
@@ -107,7 +130,7 @@ fn socket_run_matches_oracle(endpoint: &Endpoint) {
     for c in clients {
         assert!(matches!(c.join().expect("client"), ClientOutcome::Shutdown));
     }
-    let (oracle_h, oracle_g) = oracle(seed, rounds);
+    let (oracle_h, oracle_g) = oracle(seed, rounds, Compression::None);
 
     // The non-negotiable contract: bit-exact losses and parameters.
     let socket_losses: Vec<u32> = history
@@ -143,6 +166,81 @@ fn loopback_unix_socket_is_bit_exact_against_perfect_transport() {
     let path = std::env::temp_dir().join(format!("rfl-test-{}.sock", std::process::id()));
     socket_run_matches_oracle(&Endpoint::Unix(path.clone()));
     let _ = std::fs::remove_file(path);
+}
+
+/// The tentpole contract for compressed communication: with a lossy upload
+/// policy in force, a run whose compressed frames actually cross a loopback
+/// socket reproduces the in-process compressed run bit-for-bit — losses,
+/// parameters, and the error-feedback residual evolution behind them.
+fn compressed_socket_matches_in_process(policy: Compression) {
+    let (seed, rounds) = (canonical::SEED, canonical::ROUNDS);
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let (server, actual) = server_run(&endpoint, seed, rounds, Duration::from_secs(60), policy);
+    let clients: Vec<_> = (0..canonical::NUM_CLIENTS)
+        .map(|k| {
+            let ep = actual.clone();
+            // The policy is deliberately NOT passed here — the client must
+            // learn it from the Welcome, like the production binary.
+            std::thread::spawn(move || client_thread(ep, k, seed, ClientLoopOpts::default()))
+        })
+        .collect();
+    let (history, global, faults, stats) = server.join().expect("server thread");
+    for c in clients {
+        assert!(matches!(c.join().expect("client"), ClientOutcome::Shutdown));
+    }
+    let (oracle_h, oracle_g) = oracle(seed, rounds, policy);
+    let socket_losses: Vec<u32> = history
+        .records()
+        .iter()
+        .map(|r| r.train_loss.to_bits())
+        .collect();
+    let oracle_losses: Vec<u32> = oracle_h
+        .records()
+        .iter()
+        .map(|r| r.train_loss.to_bits())
+        .collect();
+    assert_eq!(
+        socket_losses, oracle_losses,
+        "compressed per-round loss diverged"
+    );
+    assert_eq!(global, oracle_g, "compressed global parameters diverged");
+    assert_eq!(faults, FaultStats::default(), "clean run reported faults");
+    assert!(stats.total_bytes() > 0 && stats.messages() > 0);
+    // Compression must actually shrink the wire: the same round count over
+    // the same socket with dense uploads costs strictly more bytes.
+    let (dense_server, dense_actual) = server_run(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        seed,
+        rounds,
+        Duration::from_secs(60),
+        Compression::None,
+    );
+    let dense_clients: Vec<_> = (0..canonical::NUM_CLIENTS)
+        .map(|k| {
+            let ep = dense_actual.clone();
+            std::thread::spawn(move || client_thread(ep, k, seed, ClientLoopOpts::default()))
+        })
+        .collect();
+    let (_, _, _, dense_stats) = dense_server.join().expect("dense server thread");
+    for c in dense_clients {
+        assert!(matches!(c.join().expect("client"), ClientOutcome::Shutdown));
+    }
+    assert!(
+        stats.total_bytes() < dense_stats.total_bytes(),
+        "compressed run ({} B) not smaller than dense ({} B)",
+        stats.total_bytes(),
+        dense_stats.total_bytes()
+    );
+}
+
+#[test]
+fn compressed_uploads_over_tcp_are_bit_exact_against_in_process() {
+    compressed_socket_matches_in_process(Compression::Quantize { bits: 8 });
+}
+
+#[test]
+fn adaptive_compressed_uploads_over_tcp_are_bit_exact_against_in_process() {
+    compressed_socket_matches_in_process(Compression::Adaptive { max_bits: 8 });
 }
 
 /// The deterministic churn oracle: a perfect transport that drops the
@@ -218,6 +316,22 @@ impl Transport for VictimDrops {
         self.inner.send_raw(kind, client, wire_bytes)
     }
 
+    fn send_compressed(
+        &mut self,
+        kind: MsgKind,
+        client: usize,
+        payload: &CompressedVec,
+        out: &mut CompressedVec,
+    ) -> LinkOutcome {
+        let mut link = self.inner.send_compressed(kind, client, payload, out);
+        if self.lost(kind, client) {
+            self.dropped += 1;
+            link.delivered = false;
+            link.reason = Some(DropReason::Loss);
+        }
+        link
+    }
+
     fn stats(&self) -> &CommStats {
         self.inner.stats()
     }
@@ -270,12 +384,19 @@ fn graceful_mid_round_departure_matches_deterministic_drops_bit_exactly() {
     // message set — losses and parameters must agree bit-for-bit.
     let (seed, rounds, victim) = (canonical::SEED, canonical::ROUNDS, 2usize);
     let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
-    let (server, actual) = server_run(&endpoint, seed, rounds, Duration::from_secs(60));
+    let (server, actual) = server_run(
+        &endpoint,
+        seed,
+        rounds,
+        Duration::from_secs(60),
+        Compression::None,
+    );
     let clients: Vec<_> = (0..canonical::NUM_CLIENTS)
         .map(|k| {
             let ep = actual.clone();
             let opts = ClientLoopOpts {
                 leave_after_round: (k == victim).then_some(0),
+                ..ClientLoopOpts::default()
             };
             std::thread::spawn(move || client_thread(ep, k, seed, opts))
         })
@@ -317,7 +438,13 @@ fn hard_mid_round_kill_renormalizes_over_survivors() {
     // the dead client's local report, a real server cannot.)
     let (seed, rounds, victim) = (canonical::SEED, canonical::ROUNDS, 1usize);
     let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
-    let (server, actual) = server_run(&endpoint, seed, rounds, Duration::from_secs(30));
+    let (server, actual) = server_run(
+        &endpoint,
+        seed,
+        rounds,
+        Duration::from_secs(30),
+        Compression::None,
+    );
     let mut threads = Vec::new();
     for k in 0..canonical::NUM_CLIENTS {
         let ep = actual.clone();
@@ -373,7 +500,7 @@ fn reconnect_replaces_the_session_and_counts_as_a_retry() {
     let seed = canonical::SEED;
     let transport = SocketTransport::bind(
         &Endpoint::Tcp("127.0.0.1:0".to_string()),
-        &welcome(seed, canonical::ROUNDS),
+        &welcome(seed, canonical::ROUNDS, Compression::None),
     )
     .expect("bind");
     let ep = transport.local_endpoint().clone();
@@ -403,7 +530,7 @@ fn handshake_rejects_wrong_seed_and_bad_id() {
     let seed = canonical::SEED;
     let transport = SocketTransport::bind(
         &Endpoint::Tcp("127.0.0.1:0".to_string()),
-        &welcome(seed, canonical::ROUNDS),
+        &welcome(seed, canonical::ROUNDS, Compression::None),
     )
     .expect("bind");
     let ep = transport.local_endpoint().clone();

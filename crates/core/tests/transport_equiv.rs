@@ -27,6 +27,7 @@ fn quick_cfg(rounds: usize, seed: u64) -> FlConfig {
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: rfl_core::compress::Compression::None,
     }
 }
 

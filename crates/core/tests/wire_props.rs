@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use rfl_core::comm::{
     read_frame, write_frame, ControlMsg, MsgKind, FRAME_HEADER_BYTES, PROTO_MAGIC, PROTO_VERSION,
 };
+use rfl_core::compress::Compression;
 use rfl_tensor::{decode_f32_into, encode_f32_into};
 use std::io::Read;
 
@@ -41,6 +42,25 @@ impl Read for RaggedReader {
     }
 }
 
+/// Every *valid* compression policy — each variant constrained to the
+/// range `Compression::from_wire` accepts, so Welcome round-trips exercise
+/// the full policy wire encoding.
+fn policy_strategy() -> impl Strategy<Value = Compression> {
+    prop_oneof![
+        Just(Compression::None),
+        (1u8..=8).prop_map(|bits| Compression::Quantize { bits }),
+        (0u32..=1000).prop_map(|r| Compression::TopK {
+            ratio: r as f32 / 1000.0
+        }),
+        (0u16..8, 1u32..=4096, any::<u64>()).prop_map(|(r, cols, seed)| Compression::Sketch {
+            rows: 2 * r + 1,
+            cols,
+            seed,
+        }),
+        (1u8..=8).prop_map(|max_bits| Compression::Adaptive { max_bits }),
+    ]
+}
+
 fn control_msg() -> impl Strategy<Value = ControlMsg> {
     // Finite floats only: ControlMsg's PartialEq is IEEE equality, and the
     // NaN-encodes-None convention for clip_grad_norm is tested separately.
@@ -62,6 +82,7 @@ fn control_msg() -> impl Strategy<Value = ControlMsg> {
             finite.clone(),
             finite.clone(),
             any::<u64>(),
+            policy_strategy(),
         )
             .prop_map(
                 |(
@@ -74,6 +95,7 @@ fn control_msg() -> impl Strategy<Value = ControlMsg> {
                     lr,
                     clip,
                     seed,
+                    compression,
                 )| {
                     ControlMsg::Welcome {
                         num_clients,
@@ -85,6 +107,7 @@ fn control_msg() -> impl Strategy<Value = ControlMsg> {
                         lr,
                         clip_grad_norm: clip,
                         seed,
+                        compression,
                     }
                 }
             ),
@@ -219,6 +242,7 @@ fn nan_clip_round_trips_as_nan() {
         lr: 0.05,
         clip_grad_norm: f32::NAN,
         seed: 7,
+        compression: Compression::Quantize { bits: 4 },
     };
     let mut body = Vec::new();
     msg.encode_body(&mut body);

@@ -75,6 +75,7 @@ fn main() {
         lambda,
         clip_grad_norm,
         seed: server_seed,
+        compression,
         ..
     } = welcome
     else {
@@ -99,7 +100,10 @@ fn main() {
     let mut client = canonical::client(id as usize, &data, &cfg, seed);
     println!("client {id} registered ({num_clients} clients, {rounds} rounds)");
 
-    let opts = ClientLoopOpts { leave_after_round };
+    let opts = ClientLoopOpts {
+        leave_after_round,
+        compression,
+    };
     loop {
         match run_client_loop(&mut conn, &mut client, lambda, &opts) {
             ClientOutcome::Shutdown => {

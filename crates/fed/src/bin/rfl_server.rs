@@ -18,6 +18,7 @@
 
 use rfl_core::canonical;
 use rfl_core::comm::{ControlMsg, Endpoint, SocketTransport};
+use rfl_core::compress::Compression;
 use rfl_core::Federation;
 use rfl_fed::{arg_parse, arg_value};
 use rfl_trace::Tracer;
@@ -38,12 +39,27 @@ fn main() {
             std::process::exit(2);
         })
     });
+    // Upload-compression policy; rides the Welcome so clients follow suit.
+    let compression = arg_value(&args, "--compress").map_or(Compression::None, |v| {
+        Compression::parse(&v).unwrap_or_else(|| {
+            eprintln!(
+                "error: --compress wants none | quantize:<bits> | topk:<ratio> | \
+                 sketch:<rows>:<cols>:<seed> | adaptive:<max_bits>, got {v:?}"
+            );
+            std::process::exit(2);
+        })
+    });
+    // With compression on, the pinned dense loss no longer applies; the
+    // smoke harness instead asks the server to verify the wire run against
+    // the in-process compressed oracle.
+    let expect_oracle = args.iter().any(|a| a == "--expect-oracle");
 
     let endpoint = Endpoint::parse(&listen).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    let cfg = canonical::config(seed, rounds);
+    let mut cfg = canonical::config(seed, rounds);
+    cfg.compression = compression;
     let welcome = ControlMsg::Welcome {
         num_clients: canonical::NUM_CLIENTS as u32,
         rounds: rounds as u32,
@@ -54,6 +70,7 @@ fn main() {
         lr: canonical::LR,
         clip_grad_norm: cfg.clip_grad_norm.unwrap_or(f32::NAN),
         seed,
+        compression,
     };
     let mut transport = SocketTransport::bind(&endpoint, &welcome).unwrap_or_else(|e| {
         eprintln!("error: bind {endpoint}: {e}");
@@ -87,6 +104,7 @@ fn main() {
     let history = canonical::run(&mut fed, seed, rounds);
     let faults = fed.fault_stats();
     let stats = fed.comm_stats().clone();
+    let fed_global: Vec<f32> = fed.global().to_vec();
     fed.shutdown_remote();
 
     if let Some(path) = &trace_path {
@@ -113,5 +131,34 @@ fn main() {
             std::process::exit(1);
         }
         println!("loss matches expected {expect:.9} bit-exactly");
+    }
+    if expect_oracle {
+        // Re-run the identical round loop in-process (same cfg, same
+        // compression policy, perfect transport) and demand a bit-exact
+        // match — the production claim that compression is a real wire
+        // stage, not a divergent simulation.
+        let mut oracle = Federation::new(
+            &data,
+            canonical::model(),
+            canonical::optimizer(),
+            &cfg,
+            seed,
+        );
+        let oracle_h = canonical::run(&mut oracle, seed, rounds);
+        let wire: Vec<u32> = history
+            .records()
+            .iter()
+            .map(|r| r.train_loss.to_bits())
+            .collect();
+        let orac: Vec<u32> = oracle_h
+            .records()
+            .iter()
+            .map(|r| r.train_loss.to_bits())
+            .collect();
+        if wire != orac || fed_global.as_slice() != oracle.global() {
+            eprintln!("ERROR: wire run diverged from the in-process oracle");
+            std::process::exit(1);
+        }
+        println!("wire run matches the in-process oracle bit-exactly");
     }
 }

@@ -29,6 +29,9 @@ echo "== ext_lossy --scale quick smoke"
 cargo build --release -p rfl-bench --bin ext_lossy
 ./target/release/ext_lossy --scale quick --seeds 1 --out none > /dev/null
 
+echo "== ext_compress --quick (compression byte-honesty + trade-off gate)"
+cargo run --release -p rfl-bench --bin ext_compress -- --quick > /dev/null
+
 echo "== bench_alloc --quick (allocation-regression gate)"
 cargo run --release -p rfl-bench --features alloc-count --bin bench_alloc -- --quick
 

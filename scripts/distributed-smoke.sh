@@ -28,15 +28,19 @@ cargo build --release -p rfl-fed --bins
 
 run_leg() {
     local name="$1" listen="$2"
+    shift 2
     local dir ready trace endpoint server_pid watchdog_pid rc
     dir=$(mktemp -d)
     ready="$dir/endpoint"
     trace="${TRACE_DIR:-$dir}/distributed-smoke-$name.jsonl"
     echo "== distributed smoke ($name): $listen"
 
+    # Extra args select the leg's assertion: --expect-loss pins the dense
+    # run to the canonical loss; --compress + --expect-oracle pins a
+    # compressed run bit-exactly against the in-process oracle.
     ./target/release/rfl-server \
         --listen "$listen" --ready-file "$ready" \
-        --expect-loss "$EXPECT_LOSS" --trace "$trace" &
+        --trace "$trace" "$@" &
     server_pid=$!
 
     # Watchdog: if the leg wedges, kill the whole process group hard.
@@ -84,10 +88,13 @@ run_leg() {
         echo "ERROR: distributed smoke ($name) failed (rc=$rc); trace: $trace" >&2
         return "$rc"
     fi
-    echo "== distributed smoke ($name) passed (loss == $EXPECT_LOSS bit-exactly)"
+    echo "== distributed smoke ($name) passed"
 }
 
-run_leg tcp "tcp://127.0.0.1:0"
-run_leg unix "unix:$(mktemp -u /tmp/rfl-smoke-XXXXXX.sock)"
+run_leg tcp "tcp://127.0.0.1:0" --expect-loss "$EXPECT_LOSS"
+run_leg unix "unix:$(mktemp -u /tmp/rfl-smoke-XXXXXX.sock)" --expect-loss "$EXPECT_LOSS"
+# Compressed uploads over real sockets: 8-bit quantized frames with error
+# feedback must match the in-process compressed run bit-for-bit.
+run_leg tcp-compressed "tcp://127.0.0.1:0" --compress quantize:8 --expect-oracle
 
-echo "== distributed smoke passed on both transports"
+echo "== distributed smoke passed (dense tcp + unix bit-exact, compressed tcp == in-process oracle)"

@@ -4,13 +4,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfedavg::core::algorithms::CompressedFedAvg;
-use rfedavg::core::compress::{Compressor, CountSketch, TopK, UniformQuantizer};
+use rfedavg::core::compress::Compression;
 use rfedavg::core::personalization::{mean_gain, personalize_all};
 use rfedavg::core::{mmd_rbf, secagg};
 use rfedavg::data::synth::gaussian::GaussianMixtureSpec;
 use rfedavg::data::{partition, FederatedData};
 use rfedavg::prelude::*;
-use std::sync::Arc;
 
 fn cfg(rounds: usize, seed: u64) -> FlConfig {
     FlConfig {
@@ -23,6 +22,7 @@ fn cfg(rounds: usize, seed: u64) -> FlConfig {
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: Compression::None,
     }
 }
 
@@ -46,12 +46,12 @@ fn fed(seed: u64, cfg: &FlConfig) -> Federation {
 /// rank dense > 8-bit > top-10%.
 #[test]
 fn compressed_pipelines_learn_and_save_bytes() {
-    let run = |compressor: Option<Arc<dyn Compressor>>| -> (f32, u64) {
+    let run = |policy: Option<Compression>| -> (f32, u64) {
         let c = cfg(12, 40);
         let mut f = fed(40, &c);
-        let h = match compressor {
+        let h = match policy {
             None => Trainer::new(c).run(&mut FedAvg::new(), &mut f),
-            Some(cp) => Trainer::new(c).run(&mut CompressedFedAvg::new(cp), &mut f),
+            Some(p) => Trainer::new(c).run(&mut CompressedFedAvg::new(p), &mut f),
         };
         (
             h.final_accuracy().unwrap(),
@@ -59,10 +59,14 @@ fn compressed_pipelines_learn_and_save_bytes() {
         )
     };
     let (acc_dense, up_dense) = run(None);
-    let (acc_q8, up_q8) = run(Some(Arc::new(UniformQuantizer::new(8))));
+    let (acc_q8, up_q8) = run(Some(Compression::Quantize { bits: 8 }));
     let n = fed(40, &cfg(1, 40)).num_params();
-    let (acc_topk, up_topk) = run(Some(Arc::new(TopK::with_ratio(n, 0.1))));
-    let (acc_sketch, _) = run(Some(Arc::new(CountSketch::new(5, (n / 8) | 1, 3))));
+    let (acc_topk, up_topk) = run(Some(Compression::TopK { ratio: 0.1 }));
+    let (acc_sketch, _) = run(Some(Compression::Sketch {
+        rows: 5,
+        cols: ((n / 4) | 1) as u32,
+        seed: 3,
+    }));
 
     assert!(acc_dense > 0.4);
     assert!(acc_q8 > acc_dense - 0.1, "{acc_q8} vs {acc_dense}");

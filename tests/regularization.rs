@@ -41,6 +41,7 @@ fn cfg(rounds: usize, seed: u64) -> FlConfig {
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: rfedavg::core::compress::Compression::None,
     }
 }
 

@@ -101,6 +101,7 @@ fn trained_features_beat_raw_pixels_under_pca() {
         clip_grad_norm: Some(10.0),
         seed: 51,
         delta_probe_batch: None,
+        compression: rfedavg::core::compress::Compression::None,
     };
     let mut fed = Federation::new(
         &data,
@@ -192,6 +193,7 @@ fn confusion_matrix_agrees_with_evaluator() {
         clip_grad_norm: Some(10.0),
         seed: 52,
         delta_probe_batch: None,
+        compression: rfedavg::core::compress::Compression::None,
     };
     let mut fed = Federation::new(
         &data,
@@ -240,6 +242,7 @@ fn self_comparison_is_not_significant() {
                     clip_grad_norm: Some(10.0),
                     seed: offset + rep,
                     delta_probe_batch: None,
+                    compression: rfedavg::core::compress::Compression::None,
                 };
                 let mut fed = Federation::new(
                     &data,

@@ -37,6 +37,7 @@ fn run_with_schedule(algo: &mut dyn Algorithm, rounds: usize, seed: u64) -> Vec<
         clip_grad_norm: Some(10.0),
         seed,
         delta_probe_batch: None,
+        compression: rfedavg::core::compress::Compression::None,
     };
     let mut fed = convex_fed(seed, &cfg);
     let sched = theory_schedule(0.5, 4.0, cfg.local_steps);
