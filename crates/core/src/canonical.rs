@@ -78,10 +78,20 @@ pub fn config(seed: u64, rounds: usize) -> FlConfig {
 /// test set. One RNG stream, in this exact draw order — every consumer
 /// (server, clients, benches) must regenerate it identically.
 pub fn data(seed: u64) -> FederatedData {
+    data_for(seed, NUM_CLIENTS)
+}
+
+/// [`data`] generalized to any participant count: `40·n` pool examples
+/// split over `n` clients, same draw order, same hyper-parameters. With
+/// `n == NUM_CLIENTS` this is byte-identical to the pinned dataset (the
+/// RNG stream only depends on the counts, which scale together) — the
+/// 64-client smoke leg and `bench_connections` use larger `n` without
+/// forking the data recipe.
+pub fn data_for(seed: u64, n_clients: usize) -> FederatedData {
     let mut rng = StdRng::seed_from_u64(seed);
     let spec = SynthImageSpec::mnist_like();
-    let pool = spec.generate(NUM_CLIENTS * 40, &mut rng);
-    let parts = partition::similarity(pool.labels(), NUM_CLIENTS, 0.5, &mut rng);
+    let pool = spec.generate(n_clients * 40, &mut rng);
+    let parts = partition::similarity(pool.labels(), n_clients, 0.5, &mut rng);
     let test = spec.generate(64, &mut rng);
     FederatedData::from_partition(&pool, &parts, test)
 }

@@ -298,6 +298,10 @@ impl Transport for FaultyTransport {
     }
 
     fn send_raw(&mut self, kind: MsgKind, client: usize, wire_bytes: u64) -> LinkOutcome {
+        debug_assert!(
+            kind.is_compressed(),
+            "send_raw is for pre-encoded compressed payloads, got {kind:?}"
+        );
         let out = self.simulate_link(client, wire_bytes);
         let dir = kind.direction();
         let bytes = wire_bytes * u64::from(out.attempts);

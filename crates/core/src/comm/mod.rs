@@ -13,9 +13,11 @@
 mod channel;
 mod faulty;
 mod message;
+mod reactor;
 mod session;
 mod socket;
 mod stats;
+mod sys;
 mod transport;
 
 pub(crate) use faulty::mix64;
@@ -26,11 +28,12 @@ pub use message::{
     BroadcastDelivery, ControlMsg, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind,
     WireError, PROTO_MAGIC, PROTO_VERSION,
 };
+pub use reactor::WriteQueue;
 pub use session::SessionState;
 pub use socket::run_client_loop;
 pub use socket::{
-    read_frame, write_frame, ClientConn, ClientEvent, ClientLoopOpts, ClientOutcome, Endpoint,
-    SocketTransport, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+    encode_frame, read_frame, write_frame, ClientConn, ClientEvent, ClientLoopOpts, ClientOutcome,
+    Endpoint, SocketTransport, BACKOFF_CAP, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
 };
 pub use stats::{CommStats, Direction};
 pub use transport::{PerfectTransport, RemoteTransport, Transport};

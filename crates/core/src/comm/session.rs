@@ -9,12 +9,18 @@
 //! exactly how the in-memory fault models describe a lost client, so the
 //! round loop's churn handling is identical across backends.
 //!
-//! Each live session owns a reader thread that drains the socket into a
-//! tag-indexed frame queue; the transport's blocking receives pop from the
-//! queue under a bounded wait, so a hung client can never wedge the server.
+//! I/O is reactor-driven: the owning [`reactor`](super::reactor) shard
+//! drains the socket into this session's tag-indexed frame queue and
+//! flushes the connection's bounded write queue. A send here only *queues*
+//! a pre-encoded frame (blocking briefly under backpressure); a receive
+//! pops from the frame queue under a bounded condvar wait, so a hung client
+//! can never wedge the server.
+//!
+//! [`ControlMsg::Goodbye`]: super::message::ControlMsg::Goodbye
+//! [`DropReason::Loss`]: super::message::DropReason::Loss
 
-use super::message::ControlMsg;
-use super::socket::{read_frame, write_frame, WireStream, FRAME_HEADER_BYTES};
+use super::reactor::{ConnShared, EnqueueError};
+use super::socket::encode_frame;
 use std::collections::VecDeque;
 use std::io;
 use std::sync::{Arc, Condvar, Mutex};
@@ -69,79 +75,44 @@ pub(crate) enum RecvError {
     TimedOut,
 }
 
-struct SessionInner {
+/// One registered client connection: the round loop's handle onto a
+/// reactor-owned socket. Sends enqueue onto the connection's bounded write
+/// queue; receives pop from the frame queue the reactor fills.
+pub(crate) struct Session {
     state: Mutex<SessionState>,
     /// Received frames, newest last, not yet claimed by the round loop.
     queue: Mutex<VecDeque<(u8, Vec<u8>)>>,
     cv: Condvar,
-}
-
-/// One registered client connection. The writer half lives behind a mutex
-/// (the round loop and shutdown may race); the reader half is owned by the
-/// session's reader thread.
-pub(crate) struct Session {
-    writer: Mutex<Box<dyn WireStream>>,
-    inner: Arc<SessionInner>,
-    /// Raw handle used to force-close the socket on shutdown so the reader
-    /// thread unblocks.
-    closer: Box<dyn WireStream>,
+    conn: Arc<ConnShared>,
 }
 
 impl Session {
-    /// Wraps an already-handshaken stream in a `Registered` session and
-    /// spawns its reader thread.
-    pub(crate) fn spawn(id: usize, stream: Box<dyn WireStream>) -> io::Result<Arc<Session>> {
-        let writer = stream.try_clone_stream()?;
-        let closer = stream.try_clone_stream()?;
-        let inner = Arc::new(SessionInner {
+    /// Wraps an already-handshaken reactor connection in a `Registered`
+    /// session.
+    pub(crate) fn new(conn: Arc<ConnShared>) -> Arc<Session> {
+        Arc::new(Session {
             state: Mutex::new(SessionState::Registered),
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
-        });
-        let session = Arc::new(Session {
-            writer: Mutex::new(writer),
-            inner: inner.clone(),
-            closer,
-        });
-        let mut reader = stream;
-        std::thread::Builder::new()
-            .name(format!("rfl-session-{id}"))
-            .spawn(move || {
-                loop {
-                    match read_frame(&mut reader) {
-                        Ok((tag, body)) => {
-                            if tag == ControlMsg::Goodbye.tag() {
-                                Session::drain_inner(&inner);
-                                break;
-                            }
-                            let mut q = inner.queue.lock().expect("session queue poisoned");
-                            q.push_back((tag, body));
-                            inner.cv.notify_all();
-                        }
-                        Err(_) => {
-                            // EOF, reset, or garbage: the link is gone.
-                            Session::drain_inner(&inner);
-                            break;
-                        }
-                    }
-                }
-            })?;
-        Ok(session)
+            conn,
+        })
     }
 
-    fn drain_inner(inner: &SessionInner) {
-        *inner.state.lock().expect("session state poisoned") = SessionState::Draining;
-        inner.cv.notify_all();
+    /// Marks the session terminal and wakes blocked receivers. Reactor- and
+    /// transport-side close paths both funnel through here.
+    pub(crate) fn drain(&self) {
+        *self.state.lock().expect("session state poisoned") = SessionState::Draining;
+        self.cv.notify_all();
     }
 
     pub(crate) fn state(&self) -> SessionState {
-        *self.inner.state.lock().expect("session state poisoned")
+        *self.state.lock().expect("session state poisoned")
     }
 
     /// Moves the machine to `to` if the transition is legal; draining wins
     /// every race (a goodbye observed mid-transition sticks).
     pub(crate) fn set_state(&self, to: SessionState) {
-        let mut st = self.inner.state.lock().expect("session state poisoned");
+        let mut st = self.state.lock().expect("session state poisoned");
         if st.can_transition(to) {
             *st = to;
         }
@@ -152,21 +123,48 @@ impl Session {
         self.state() != SessionState::Draining
     }
 
-    /// Writes one frame; returns the wire bytes. A failed write drains the
-    /// session (the link is dead — everything after it is dropped too).
-    pub(crate) fn send_frame(&self, tag: u8, body: &[u8]) -> io::Result<u64> {
+    /// Reactor-side delivery of one received frame.
+    pub(crate) fn push_frame(&self, tag: u8, body: Vec<u8>) {
+        let mut q = self.queue.lock().expect("session queue poisoned");
+        q.push_back((tag, body));
+        self.cv.notify_all();
+    }
+
+    /// Encodes and queues one frame; returns its wire bytes. See
+    /// [`send_encoded`](Session::send_encoded) for the failure contract.
+    pub(crate) fn send_frame(&self, tag: u8, body: &[u8], deadline: Instant) -> io::Result<u64> {
+        self.send_encoded(&encode_frame(tag, body), deadline)
+    }
+
+    /// Queues one pre-encoded frame (the encode-once broadcast path shares
+    /// a single `Arc<[u8]>` across every recipient); returns its wire
+    /// bytes. Backpressure blocks until `deadline`; a queue that stays full
+    /// past it means the link is effectively wedged, so the session drains
+    /// and the connection closes — everything after a failed send is
+    /// dropped, exactly like a dead link.
+    pub(crate) fn send_encoded(&self, frame: &Arc<[u8]>, deadline: Instant) -> io::Result<u64> {
         if !self.is_live() {
             return Err(io::Error::new(
                 io::ErrorKind::NotConnected,
                 "session draining",
             ));
         }
-        let mut w = self.writer.lock().expect("session writer poisoned");
-        match write_frame(&mut **w, tag, body) {
+        match self.conn.enqueue(frame, Some(deadline)) {
             Ok(n) => Ok(n),
-            Err(e) => {
-                Session::drain_inner(&self.inner);
-                Err(e)
+            Err(EnqueueError::Closed) => {
+                self.drain();
+                Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "connection closed",
+                ))
+            }
+            Err(EnqueueError::TimedOut) => {
+                self.drain();
+                self.conn.close();
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "write queue full past the send deadline",
+                ))
             }
         }
     }
@@ -180,11 +178,11 @@ impl Session {
         timeout: Duration,
     ) -> Result<(Vec<u8>, u64), RecvError> {
         let deadline = Instant::now() + timeout;
-        let mut q = self.inner.queue.lock().expect("session queue poisoned");
+        let mut q = self.queue.lock().expect("session queue poisoned");
         loop {
             if let Some(pos) = q.iter().position(|(t, _)| *t == tag) {
                 let (_, body) = q.remove(pos).expect("position just found");
-                let wire = FRAME_HEADER_BYTES + body.len() as u64;
+                let wire = super::socket::FRAME_HEADER_BYTES + body.len() as u64;
                 return Ok((body, wire));
             }
             if !self.is_live() {
@@ -195,7 +193,6 @@ impl Session {
                 return Err(RecvError::TimedOut);
             }
             let (guard, _) = self
-                .inner
                 .cv
                 .wait_timeout(q, deadline - now)
                 .expect("session queue poisoned");
@@ -203,11 +200,20 @@ impl Session {
         }
     }
 
-    /// Force-closes the socket (shutdown paths); the reader thread drains
-    /// the session on the resulting EOF.
+    /// Hard close: drains the session and force-closes the socket (queued
+    /// frames are dropped). The reactor reaps the connection on the next
+    /// wakeup.
     pub(crate) fn close(&self) {
-        Session::drain_inner(&self.inner);
-        self.closer.shutdown_now();
+        self.drain();
+        self.conn.close();
+    }
+
+    /// Graceful close: drains the session but lets the reactor flush
+    /// already-queued frames (e.g. the `Shutdown` broadcast) before the
+    /// socket closes.
+    pub(crate) fn close_graceful(&self) {
+        self.drain();
+        self.conn.close_after_flush();
     }
 }
 

@@ -12,11 +12,15 @@
 //!   a [`MsgKind`] tag and a codec-encoded `f32` vector; control frames
 //!   carry a [`ControlMsg`] (handshake, round orchestration, churn).
 //! * **[`SocketTransport`]** — the server backend. Implements [`Transport`]
-//!   for downloads (frames written to per-client [`Session`]s) and
-//!   [`RemoteTransport`] for the client-originated half (uploads, reports)
-//!   that the in-memory simulation fakes locally. [`crate::Federation`]'s
-//!   round plumbing routes through both, so `Trainer::run` drives real
-//!   client processes unchanged.
+//!   for downloads (frames queued to per-client [`Session`]s and flushed by
+//!   the event-driven reactor in [`super::reactor`]: a fixed budget of
+//!   `poll(2)` shards owns every non-blocking socket, so connections scale
+//!   without threads) and [`RemoteTransport`] for the client-originated
+//!   half (uploads, reports) that the in-memory simulation fakes locally.
+//!   [`crate::Federation`]'s round plumbing routes through both, so
+//!   `Trainer::run` drives real client processes unchanged. Broadcasts
+//!   encode once into a shared `Arc<[u8]>` frame; fan-out costs refcount
+//!   bumps, not payload copies.
 //! * **[`ClientConn`] / [`run_client_loop`]** — the client side: connect
 //!   (with bounded backoff), register via `Hello`/`Welcome`, then an
 //!   event-driven loop that installs broadcast parameters, trains on
@@ -34,6 +38,7 @@ use super::message::{
     BroadcastDelivery, ControlMsg, Delivery, DropReason, FaultStats, LinkOutcome, MsgKind,
     WireError, PROTO_MAGIC, PROTO_VERSION,
 };
+use super::reactor::{self, NetConfig, ServerShared};
 use super::session::{RecvError, Session, SessionState};
 use super::stats::{CommStats, Direction};
 use super::transport::{RemoteTransport, Transport};
@@ -43,6 +48,7 @@ use crate::rules::LocalRule;
 use rfl_tensor::{decode_f32_into, encode_f32_into};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -55,6 +61,10 @@ pub const FRAME_HEADER_BYTES: u64 = 5;
 /// Upper bound on a frame body — rejects garbage lengths before allocating.
 pub const MAX_FRAME_BYTES: usize = 256 << 20;
 
+/// Ceiling on one reconnect-backoff delay (see
+/// [`ClientConn::connect_with_backoff`]).
+pub const BACKOFF_CAP: Duration = Duration::from_secs(1);
+
 /// Writes one `[len][tag][body]` frame; returns its wire size.
 pub fn write_frame<W: Write + ?Sized>(w: &mut W, tag: u8, body: &[u8]) -> io::Result<u64> {
     assert!(body.len() <= MAX_FRAME_BYTES, "frame body too large");
@@ -65,6 +75,18 @@ pub fn write_frame<W: Write + ?Sized>(w: &mut W, tag: u8, body: &[u8]) -> io::Re
     w.write_all(body)?;
     w.flush()?;
     Ok(FRAME_HEADER_BYTES + body.len() as u64)
+}
+
+/// Encodes one `[len][tag][body]` frame into a shared buffer — the
+/// encode-once broadcast path queues a single `Arc<[u8]>` to every
+/// recipient, so fan-out costs refcount bumps, not copies.
+pub fn encode_frame(tag: u8, body: &[u8]) -> Arc<[u8]> {
+    assert!(body.len() <= MAX_FRAME_BYTES, "frame body too large");
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES as usize + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(body);
+    Arc::from(buf)
 }
 
 /// Reads one frame, tolerating arbitrarily split reads (`read_exact`
@@ -128,9 +150,12 @@ impl std::fmt::Display for Endpoint {
 /// `TcpStream`/`UnixStream`.
 pub(crate) trait WireStream: Read + Write + Send + Sync {
     fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>>;
-    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
     /// Force-closes both halves (unblocks a blocked reader).
     fn shutdown_now(&self);
+    /// The underlying descriptor, for the reactor's `poll`/`writev` calls.
+    /// The stream object retains ownership; the fd is only valid while it
+    /// lives.
+    fn raw_fd(&self) -> RawFd;
 }
 
 impl WireStream for TcpStream {
@@ -138,12 +163,12 @@ impl WireStream for TcpStream {
         Ok(Box::new(self.try_clone()?))
     }
 
-    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
-        self.set_read_timeout(t)
-    }
-
     fn shutdown_now(&self) {
         let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
     }
 }
 
@@ -153,23 +178,23 @@ impl WireStream for UnixStream {
         Ok(Box::new(self.try_clone()?))
     }
 
-    fn set_stream_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
-        self.set_read_timeout(t)
-    }
-
     fn shutdown_now(&self) {
         let _ = self.shutdown(std::net::Shutdown::Both);
     }
+
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Tcp(TcpListener),
     #[cfg(unix)]
     Unix(UnixListener, std::path::PathBuf),
 }
 
 impl Listener {
-    fn bind(endpoint: &Endpoint) -> io::Result<(Listener, Endpoint)> {
+    pub(crate) fn bind(endpoint: &Endpoint) -> io::Result<(Listener, Endpoint)> {
         match endpoint {
             Endpoint::Tcp(addr) => {
                 let l = TcpListener::bind(addr.as_str())?;
@@ -189,13 +214,13 @@ impl Listener {
         }
     }
 
-    /// Non-blocking accept (the accept loop polls the stop flag between
-    /// attempts).
-    fn try_accept(&self) -> io::Result<Option<Box<dyn WireStream>>> {
+    /// Non-blocking accept. Accepted streams stay non-blocking — they are
+    /// handed straight to a reactor shard's poll set.
+    pub(crate) fn try_accept(&self) -> io::Result<Option<Box<dyn WireStream>>> {
         match self {
             Listener::Tcp(l) => match l.accept() {
                 Ok((s, _)) => {
-                    s.set_nonblocking(false)?;
+                    s.set_nonblocking(true)?;
                     s.set_nodelay(true)?;
                     Ok(Some(Box::new(s)))
                 }
@@ -205,12 +230,21 @@ impl Listener {
             #[cfg(unix)]
             Listener::Unix(l, _) => match l.accept() {
                 Ok((s, _)) => {
-                    s.set_nonblocking(false)?;
+                    s.set_nonblocking(true)?;
                     Ok(Some(Box::new(s)))
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
                 Err(e) => Err(e),
             },
+        }
+    }
+
+    /// The listening descriptor, for the accepting shard's poll set.
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.as_raw_fd(),
         }
     }
 }
@@ -222,26 +256,6 @@ impl Drop for Listener {
             let _ = std::fs::remove_file(path);
         }
     }
-}
-
-struct ServerShared {
-    /// `sessions[k]` is client `k`'s live session, if any.
-    sessions: Mutex<Vec<Option<Arc<Session>>>>,
-    registration: Condvar,
-    /// Reconnects observed by the accept loop — reported as
-    /// [`FaultStats::retries`], the same History/CSV column the in-memory
-    /// fault model uses for retransmissions.
-    reconnects: AtomicU64,
-    stop: AtomicBool,
-    /// Handshake wire bytes, folded into [`CommStats`] at the next round
-    /// boundary (the accept thread cannot touch the ledger directly).
-    pending_up: AtomicU64,
-    pending_down: AtomicU64,
-    pending_msgs: AtomicU64,
-    welcome_tag: u8,
-    welcome_body: Vec<u8>,
-    n_clients: usize,
-    seed: u64,
 }
 
 /// The socket-backed server transport (TCP or Unix-domain).
@@ -256,7 +270,7 @@ struct ServerShared {
 /// [`DropReason::Deadline`], and reconnects count as retries.
 pub struct SocketTransport {
     shared: Arc<ServerShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    net_threads: Vec<std::thread::JoinHandle<()>>,
     local: Endpoint,
     stats: CommStats,
     dropped: u64,
@@ -268,9 +282,10 @@ pub struct SocketTransport {
 }
 
 impl SocketTransport {
-    /// Binds `endpoint` and starts accepting registrations. `welcome` must
-    /// be the [`ControlMsg::Welcome`] run configuration; its `num_clients`
-    /// and `seed` validate incoming `Hello`s.
+    /// Binds `endpoint` and starts the reactor shards that accept
+    /// registrations. `welcome` must be the [`ControlMsg::Welcome`] run
+    /// configuration; its `num_clients` and `seed` validate incoming
+    /// `Hello`s.
     pub fn bind(endpoint: &Endpoint, welcome: &ControlMsg) -> io::Result<SocketTransport> {
         let (n_clients, seed) = match *welcome {
             ControlMsg::Welcome {
@@ -284,6 +299,8 @@ impl SocketTransport {
         let (listener, local) = Listener::bind(endpoint)?;
         let mut welcome_body = Vec::new();
         welcome.encode_body(&mut welcome_body);
+        let cfg = NetConfig::from_env();
+        let (shards, wake_rx_ends) = reactor::build_shards(cfg.threads)?;
         let shared = Arc::new(ServerShared {
             sessions: Mutex::new(vec![None; n_clients]),
             registration: Condvar::new(),
@@ -292,18 +309,16 @@ impl SocketTransport {
             pending_up: AtomicU64::new(0),
             pending_down: AtomicU64::new(0),
             pending_msgs: AtomicU64::new(0),
-            welcome_tag: welcome.tag(),
-            welcome_body,
+            welcome_frame: encode_frame(welcome.tag(), &welcome_body),
             n_clients,
             seed,
+            write_buf: cfg.write_buf,
+            shards,
         });
-        let accept_shared = shared.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("rfl-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let net_threads = reactor::spawn_shards(listener, &shared, wake_rx_ends)?;
         Ok(SocketTransport {
             shared,
-            accept_thread: Some(accept_thread),
+            net_threads,
             local,
             stats: CommStats::new(),
             dropped: 0,
@@ -363,20 +378,21 @@ impl SocketTransport {
         sessions.get(client).and_then(|s| s.clone())
     }
 
-    /// Folds handshake traffic metered by the accept thread into the
-    /// ledger. Handshakes come in hello/welcome pairs, so half the pending
-    /// messages went up and half came down; the first record on each side
-    /// carries the accumulated bytes, the rest only bump the message count.
+    /// Folds handshake traffic metered by the reactor shards into the
+    /// ledger (the pair-wise accounting itself lives in
+    /// [`CommStats::fold_handshakes`]).
     fn fold_pending(&mut self) {
         let up = self.shared.pending_up.swap(0, Ordering::Relaxed);
         let down = self.shared.pending_down.swap(0, Ordering::Relaxed);
         let msgs = self.shared.pending_msgs.swap(0, Ordering::Relaxed);
-        for i in 0..msgs / 2 {
-            self.stats
-                .record(Direction::Upload, if i == 0 { up } else { 0 });
-            self.stats
-                .record(Direction::Download, if i == 0 { down } else { 0 });
-        }
+        self.stats.fold_handshakes(up, down, msgs);
+    }
+
+    /// The per-send enqueue deadline: backpressure on a wedged client's
+    /// write queue is bounded by the same budget as a silent client's
+    /// receive.
+    fn send_deadline(&self) -> Instant {
+        Instant::now() + self.timeout
     }
 
     /// Encodes `payload` with the wire codec into the scratch buffer and
@@ -410,7 +426,7 @@ impl SocketTransport {
             };
         };
         msg.encode_body(&mut self.body);
-        match session.send_frame(msg.tag(), &self.body) {
+        match session.send_frame(msg.tag(), &self.body, self.send_deadline()) {
             Ok(n) => {
                 self.charge_control(msg.direction(), n);
                 LinkOutcome::perfect()
@@ -453,74 +469,6 @@ fn recv_timeout_from_env() -> Duration {
         .unwrap_or(Duration::from_secs(120))
 }
 
-fn accept_loop(listener: Listener, shared: Arc<ServerShared>) {
-    while !shared.stop.load(Ordering::Relaxed) {
-        match listener.try_accept() {
-            Ok(Some(stream)) => {
-                // Handshake inline: one frame in, one frame out, bounded.
-                let _ = handshake(stream, &shared);
-            }
-            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
-            Err(_) => break,
-        }
-    }
-}
-
-/// Validates a `Hello`, replies `Welcome`, and registers the session.
-fn handshake(mut stream: Box<dyn WireStream>, shared: &Arc<ServerShared>) -> io::Result<()> {
-    stream.set_stream_read_timeout(Some(Duration::from_secs(10)))?;
-    let (tag, body) = read_frame(&mut stream)?;
-    let hello = ControlMsg::decode_body(tag, &body)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let ControlMsg::Hello {
-        magic,
-        version,
-        client_id,
-        seed,
-    } = hello
-    else {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "first frame was not a hello",
-        ));
-    };
-    let id = client_id as usize;
-    if magic != PROTO_MAGIC || version != PROTO_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "protocol magic/version mismatch",
-        ));
-    }
-    if id >= shared.n_clients || seed != shared.seed {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "client id out of range or seed mismatch",
-        ));
-    }
-    let hello_bytes = FRAME_HEADER_BYTES + body.len() as u64;
-    stream.set_stream_read_timeout(None)?;
-    // Register the session *before* sending the welcome: a client that
-    // holds its Welcome must already be visible to wait_for_clients.
-    let session = Session::spawn(id, stream)?;
-    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
-    if let Some(old) = sessions[id].replace(session.clone()) {
-        // A returning client: the old link is superseded. Count it as a
-        // retry (the reconnect IS the retransmission budget of this
-        // backend) and force the stale reader out.
-        shared.reconnects.fetch_add(1, Ordering::Relaxed);
-        old.close();
-    }
-    drop(sessions);
-    let welcome_bytes = session.send_frame(shared.welcome_tag, &shared.welcome_body)?;
-    shared.pending_up.fetch_add(hello_bytes, Ordering::Relaxed);
-    shared
-        .pending_down
-        .fetch_add(welcome_bytes, Ordering::Relaxed);
-    shared.pending_msgs.fetch_add(2, Ordering::Relaxed);
-    shared.registration.notify_all();
-    Ok(())
-}
-
 impl Transport for SocketTransport {
     fn begin_round(&mut self, _round: u64) {
         self.fold_pending();
@@ -533,8 +481,9 @@ impl Transport for SocketTransport {
             "server-originated sends go down; uploads arrive via RemoteTransport::recv"
         );
         let data = self.codec_round_trip(payload);
+        let deadline = self.send_deadline();
         let outcome = match self.session(client) {
-            Some(session) => match session.send_frame(kind.tag(), &self.wire) {
+            Some(session) => match session.send_frame(kind.tag(), &self.wire, deadline) {
                 Ok(n) => {
                     self.charge(kind, n);
                     LinkOutcome::perfect()
@@ -572,11 +521,16 @@ impl Transport for SocketTransport {
     ) -> BroadcastDelivery {
         debug_assert_eq!(kind.direction(), Direction::Download, "broadcasts go down");
         let data = self.codec_round_trip(payload);
+        // Encode once: every recipient queues the same `Arc<[u8]>` frame —
+        // fan-out is N refcount bumps plus N queue pushes, never N copies
+        // of an O(d) model.
+        let frame = encode_frame(kind.tag(), &self.wire);
+        let deadline = self.send_deadline();
         let mut links = Vec::with_capacity(clients.len());
         let mut delivered_bytes = 0u64;
         for &k in clients {
             let outcome = match self.session(k) {
-                Some(session) => match session.send_frame(kind.tag(), &self.wire) {
+                Some(session) => match session.send_encoded(&frame, deadline) {
                     Ok(n) => {
                         delivered_bytes += n;
                         LinkOutcome::perfect()
@@ -610,7 +564,12 @@ impl Transport for SocketTransport {
     fn send_raw(&mut self, kind: MsgKind, _client: usize, wire_bytes: u64) -> LinkOutcome {
         // Ledger-only charge for callers that pre-encode their own payload;
         // compressed frames that actually cross the socket go through
-        // `send_compressed` / `recv_compressed` below.
+        // `send_compressed` / `recv_compressed` below. Only the compressed
+        // planes pre-encode, so any other kind here is a mischarge.
+        debug_assert!(
+            kind.is_compressed(),
+            "send_raw is for pre-encoded compressed payloads, got {kind:?}"
+        );
         self.charge(kind, wire_bytes);
         LinkOutcome::perfect()
     }
@@ -623,8 +582,9 @@ impl Transport for SocketTransport {
         out: &mut CompressedVec,
     ) -> LinkOutcome {
         payload.encode_into(&mut self.body);
+        let deadline = self.send_deadline();
         let outcome = match self.session(client) {
-            Some(session) => match session.send_frame(kind.tag(), &self.body) {
+            Some(session) => match session.send_frame(kind.tag(), &self.body, deadline) {
                 Ok(n) => {
                     self.charge(kind, n);
                     LinkOutcome::perfect()
@@ -831,23 +791,31 @@ impl RemoteTransport for SocketTransport {
     }
 
     fn shutdown(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
         let sessions: Vec<Arc<Session>> = {
             let guard = self.shared.sessions.lock().expect("sessions poisoned");
             guard.iter().flatten().cloned().collect()
         };
         self.body.clear();
+        let deadline = self.send_deadline();
         for session in sessions {
             if session.is_live() {
                 let msg = ControlMsg::Shutdown;
                 msg.encode_body(&mut self.body);
-                if let Ok(n) = session.send_frame(msg.tag(), &self.body) {
+                if let Ok(n) = session.send_frame(msg.tag(), &self.body, deadline) {
                     self.charge_control(Direction::Download, n);
                 }
+                // Let the reactor flush the queued Shutdown before the
+                // socket closes; a hard close here could drop it.
+                session.close_graceful();
+            } else {
+                session.close();
             }
-            session.close();
         }
-        if let Some(handle) = self.accept_thread.take() {
+        // Stop *after* queueing the shutdown frames so no shard starts its
+        // wind-down with an empty-looking queue it then ignores.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.wake_all();
+        for handle in self.net_threads.drain(..) {
             let _ = handle.join();
         }
         self.fold_pending();
@@ -897,8 +865,12 @@ impl ClientConn {
         })
     }
 
-    /// Connects with bounded linear backoff: attempt `i` (0-based) sleeps
-    /// `i × base_delay` first. Gives a client started before its server a
+    /// Connects with bounded exponential backoff: after a failed attempt
+    /// `i` (0-based) the delay doubles from `base_delay`, capped at
+    /// [`BACKOFF_CAP`]. The wait runs on a condvar with an absolute
+    /// deadline rather than `thread::sleep`, so churn/reconnect paths never
+    /// depend on sleep granularity and a wrapping runtime could cancel the
+    /// wait by notifying. Gives a client started before its server a
     /// registration window, and bounds how long a partitioned client spins.
     pub fn connect_with_backoff(
         endpoint: &Endpoint,
@@ -906,9 +878,28 @@ impl ClientConn {
         base_delay: Duration,
     ) -> io::Result<ClientConn> {
         assert!(attempts >= 1, "need at least one attempt");
+        let parked = (Mutex::new(()), Condvar::new());
         let mut last = None;
         for i in 0..attempts {
-            std::thread::sleep(base_delay * i);
+            if i > 0 {
+                let delay = base_delay
+                    .saturating_mul(1u32 << (i - 1).min(16))
+                    .min(BACKOFF_CAP);
+                let deadline = Instant::now() + delay;
+                let mut guard = parked.0.lock().expect("backoff mutex poisoned");
+                // Deadline loop: spurious wakeups re-check the clock.
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (g, _) = parked
+                        .1
+                        .wait_timeout(guard, deadline - now)
+                        .expect("backoff mutex poisoned");
+                    guard = g;
+                }
+            }
             match ClientConn::connect(endpoint) {
                 Ok(conn) => return Ok(conn),
                 Err(e) => last = Some(e),

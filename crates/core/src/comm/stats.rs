@@ -74,6 +74,19 @@ impl CommStats {
         self.messages
     }
 
+    /// Folds handshake traffic metered outside the round loop (by the
+    /// socket reactor) into the ledger. Handshakes come in hello/welcome
+    /// pairs, so half of `msgs` went up and half came down; the first
+    /// record on each side carries the accumulated bytes, the rest only
+    /// bump the message count. Byte-exact by construction: the counters
+    /// end up identical to charging each handshake frame individually.
+    pub fn fold_handshakes(&mut self, up_bytes: u64, down_bytes: u64, msgs: u64) {
+        for i in 0..msgs / 2 {
+            self.record(Direction::Upload, if i == 0 { up_bytes } else { 0 });
+            self.record(Direction::Download, if i == 0 { down_bytes } else { 0 });
+        }
+    }
+
     /// Difference against an earlier snapshot (per-round accounting).
     pub fn since(&self, snapshot: &CommStats) -> CommStats {
         CommStats {
@@ -151,6 +164,28 @@ mod tests {
         s.record_delta(Direction::Upload, 0);
         assert_eq!(s.total_bytes(), 0);
         assert_eq!(s.messages(), 2);
+    }
+
+    /// Folding N handshake pairs must equal charging each frame directly:
+    /// same bytes, same message count, byte totals carried by the first
+    /// record on each side.
+    #[test]
+    fn fold_handshakes_matches_per_frame_charging() {
+        let mut folded = CommStats::new();
+        folded.fold_handshakes(3 * 21, 3 * 64, 6);
+        let mut direct = CommStats::new();
+        for _ in 0..3 {
+            direct.record(Direction::Upload, 21);
+            direct.record(Direction::Download, 64);
+        }
+        assert_eq!(folded.upload_bytes(), direct.upload_bytes());
+        assert_eq!(folded.download_bytes(), direct.download_bytes());
+        assert_eq!(folded.messages(), direct.messages());
+        // An odd leftover message (handshake cut off mid-pair) folds nothing.
+        let mut odd = CommStats::new();
+        odd.fold_handshakes(10, 10, 1);
+        assert_eq!(odd.messages(), 0);
+        assert_eq!(odd.total_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Minimal `extern "C"` bindings to the POSIX primitives the event-driven
+//! socket reactor needs: `poll(2)` for readiness, `pipe(2)` + `fcntl(2)`
+//! for the self-pipe wakeup, and `writev(2)` for flushing queued frames
+//! with partial-write resume. std already links libc on every supported
+//! unix target, so no new crates are involved; everything here is a thin
+//! safe wrapper with `EINTR` retry and `WouldBlock` mapping, and the unsafe
+//! surface is confined to this module.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_short, c_ulong, c_void};
+
+/// `struct pollfd` of `poll(2)`, bit-identical to the C layout.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct PollFd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+impl PollFd {
+    pub(crate) fn new(fd: RawFd, events: c_short) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+pub(crate) const POLLIN: c_short = 0x001;
+pub(crate) const POLLOUT: c_short = 0x004;
+pub(crate) const POLLERR: c_short = 0x008;
+pub(crate) const POLLHUP: c_short = 0x010;
+pub(crate) const POLLNVAL: c_short = 0x020;
+
+/// `struct iovec` of `writev(2)`.
+#[repr(C)]
+struct IoVec {
+    base: *const c_void,
+    len: usize,
+}
+
+/// Keep gather lists well under every platform's `IOV_MAX` (≥ 16 per
+/// POSIX, 1024 on Linux).
+pub(crate) const MAX_IOV: usize = 64;
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: c_int = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: c_int = 0x0004;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    fn pipe(fds: *mut c_int) -> c_int;
+    // Declared with the `F_SETFL`/`F_GETFL` arity; the C ABI passes a
+    // trailing int to a variadic identically on every supported target.
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+}
+
+fn retry_on_eintr<F: FnMut() -> isize>(mut f: F) -> io::Result<usize> {
+    loop {
+        let r = f();
+        if r >= 0 {
+            return Ok(r as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Blocks until one of `fds` is ready or `timeout_ms` passes (`-1` waits
+/// forever). Returns the number of ready descriptors; retries `EINTR`.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `fds` is a live, exclusively borrowed slice of `#[repr(C)]`
+    // pollfd records; the kernel writes only to `revents` within bounds.
+    retry_on_eintr(|| unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) as isize })
+}
+
+/// One nonblocking `read(2)`: `Ok(0)` is EOF, `WouldBlock` means no bytes
+/// are ready.
+pub(crate) fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    // SAFETY: `buf` is a live, exclusively borrowed byte slice; the kernel
+    // writes at most `buf.len()` bytes into it.
+    retry_on_eintr(|| unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) })
+}
+
+/// One nonblocking `write(2)`; returns the bytes accepted.
+pub(crate) fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    // SAFETY: `buf` is a live byte slice the kernel only reads from.
+    retry_on_eintr(|| unsafe { write(fd, buf.as_ptr().cast::<c_void>(), buf.len()) })
+}
+
+/// Vectored write of up to [`MAX_IOV`] slices in one syscall; returns the
+/// bytes accepted (possibly a partial prefix — the caller resumes).
+pub(crate) fn writev_fd(fd: RawFd, slices: &[&[u8]]) -> io::Result<usize> {
+    let iovs: Vec<IoVec> = slices
+        .iter()
+        .take(MAX_IOV)
+        .map(|s| IoVec {
+            base: s.as_ptr().cast::<c_void>(),
+            len: s.len(),
+        })
+        .collect();
+    // SAFETY: every iovec points into a live borrowed slice, `iovcnt`
+    // matches the array length, and the kernel only reads the buffers.
+    retry_on_eintr(|| unsafe { writev(fd, iovs.as_ptr(), iovs.len() as c_int) })
+}
+
+/// Puts `fd` into nonblocking mode via `fcntl(2)`.
+pub(crate) fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: plain fcntl flag query/update on a descriptor we own.
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: as above; only adds O_NONBLOCK to the existing flags.
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// A nonblocking self-pipe: `(read_end, write_end)`. Writing a byte to the
+/// write end wakes a reactor blocked in [`poll_fds`]; the read end is
+/// drained on every wakeup.
+pub(crate) fn pipe_nonblocking() -> io::Result<(OwnedFd, OwnedFd)> {
+    let mut fds: [c_int; 2] = [-1, -1];
+    // SAFETY: `fds` is a live 2-element array `pipe(2)` fills on success.
+    if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: on success both descriptors are freshly created and owned by
+    // no other handle, so transferring ownership to OwnedFd is sound.
+    let (rx, tx) = unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) };
+    set_nonblocking(rx.as_raw_fd())?;
+    set_nonblocking(tx.as_raw_fd())?;
+    Ok((rx, tx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_wakes_poll_and_drains() {
+        let (rx, tx) = pipe_nonblocking().expect("pipe");
+        // Nothing pending: a zero-timeout poll reports no readiness.
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        // A wake byte makes the read end readable.
+        assert_eq!(write_fd(tx.as_raw_fd(), &[1]).unwrap(), 1);
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+        // Drain; the next read would block instead of returning garbage.
+        let mut buf = [0u8; 16];
+        assert_eq!(read_fd(rx.as_raw_fd(), &mut buf).unwrap(), 1);
+        assert_eq!(
+            read_fd(rx.as_raw_fd(), &mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+    }
+
+    #[test]
+    fn writev_gathers_in_order() {
+        let (rx, tx) = pipe_nonblocking().expect("pipe");
+        let n = writev_fd(tx.as_raw_fd(), &[b"ab", b"", b"cde"]).unwrap();
+        assert_eq!(n, 5);
+        let mut buf = [0u8; 16];
+        let got = read_fd(rx.as_raw_fd(), &mut buf).unwrap();
+        assert_eq!(&buf[..got], b"abcde");
+    }
+}

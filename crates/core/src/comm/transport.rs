@@ -35,7 +35,10 @@ pub trait Transport: Send {
         -> BroadcastDelivery;
 
     /// Charges a message of `wire_bytes` whose payload carries its own wire
-    /// format (compressed uploads); no scalar payload crosses here.
+    /// format; no scalar payload crosses here. Only the compressed-payload
+    /// kinds ([`MsgKind::is_compressed`]) pre-encode their own frames, so
+    /// implementations debug-assert that `kind` is one of them — a raw
+    /// charge under a dense kind would book bytes the codec never metered.
     fn send_raw(&mut self, kind: MsgKind, client: usize, wire_bytes: u64) -> LinkOutcome;
 
     /// Sends a compressed payload on the link of `client`. The payload is
@@ -157,6 +160,10 @@ impl Transport for PerfectTransport {
     }
 
     fn send_raw(&mut self, kind: MsgKind, _client: usize, wire_bytes: u64) -> LinkOutcome {
+        debug_assert!(
+            kind.is_compressed(),
+            "send_raw is for pre-encoded compressed payloads, got {kind:?}"
+        );
         self.channel.record_raw(kind.direction(), wire_bytes);
         LinkOutcome::perfect()
     }
@@ -232,9 +239,21 @@ mod tests {
     #[test]
     fn raw_sends_charge_without_payload() {
         let mut t = PerfectTransport::new();
-        let out = t.send_raw(MsgKind::ModelUp, 1, 123);
+        let out = t.send_raw(MsgKind::CompressedUp, 1, 123);
         assert!(out.delivered);
         assert_eq!(t.stats().upload_bytes(), 123);
+    }
+
+    /// `send_raw` is a ledger-only charge for payloads that carry their own
+    /// wire encoding — that is only ever the compressed kinds. Charging a
+    /// dense kind raw would book bytes the codec never produced, so debug
+    /// builds reject the mismatched tag outright.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pre-encoded compressed payloads")]
+    fn raw_sends_reject_uncompressed_kinds() {
+        let mut t = PerfectTransport::new();
+        let _ = t.send_raw(MsgKind::ModelUp, 1, 123);
     }
 
     #[test]

@@ -9,13 +9,62 @@
 
 /// Current resident set size in bytes (0 when unavailable).
 pub fn current_rss_bytes() -> u64 {
-    read_status_kib("VmRSS:") * 1024
+    read_status_field("VmRSS:") * 1024
 }
 
 /// Peak resident set size in bytes since process start or the last
 /// [`reset_peak_rss`] (0 when unavailable).
 pub fn peak_rss_bytes() -> u64 {
-    read_status_kib("VmHWM:") * 1024
+    read_status_field("VmHWM:") * 1024
+}
+
+/// Kernel threads in this process (`Threads:` in `/proc/self/status`;
+/// 0 when unavailable). The connection-scaling bench gates on this: an
+/// event-driven server holds a fixed thread budget at any connection
+/// count, where thread-per-connection grows linearly.
+pub fn thread_count() -> u64 {
+    read_status_field("Threads:")
+}
+
+/// Raises the soft open-file limit (`RLIMIT_NOFILE`) toward `want`,
+/// capped at the process's hard limit, and returns the resulting soft
+/// limit — `None` when the platform query fails or is unsupported. A
+/// 4096-connection bench leg holds both socket ends in one process, far
+/// past the conventional 1024-descriptor default.
+#[cfg(target_os = "linux")]
+pub fn raise_fd_limit(want: u64) -> Option<u64> {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a live, properly aligned `repr(C)` rlimit struct
+    // matching the kernel ABI on 64-bit Linux (`rlim_t` = u64).
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return None;
+    }
+    let target = want.min(lim.max);
+    if target > lim.cur {
+        lim.cur = target;
+        // SAFETY: `lim` stays valid for the duration of the call; the
+        // soft limit never exceeds the hard limit read above.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } != 0 {
+            return None;
+        }
+    }
+    Some(lim.cur)
+}
+
+/// Non-Linux stub: the limit cannot be queried portably without a crate.
+#[cfg(not(target_os = "linux"))]
+pub fn raise_fd_limit(_want: u64) -> Option<u64> {
+    None
 }
 
 /// Resets the kernel's peak-RSS watermark (`VmHWM`) so per-leg peaks can be
@@ -34,7 +83,7 @@ pub fn reset_peak_rss() -> bool {
 }
 
 #[cfg(target_os = "linux")]
-fn read_status_kib(key: &str) -> u64 {
+fn read_status_field(key: &str) -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
     };
@@ -52,7 +101,7 @@ fn read_status_kib(key: &str) -> u64 {
 }
 
 #[cfg(not(target_os = "linux"))]
-fn read_status_kib(_key: &str) -> u64 {
+fn read_status_field(_key: &str) -> u64 {
     0
 }
 
@@ -74,5 +123,22 @@ mod tests {
         let _ = current_rss_bytes();
         let _ = peak_rss_bytes();
         let _ = reset_peak_rss();
+        let _ = raise_fd_limit(0);
+    }
+
+    #[test]
+    #[cfg_attr(not(target_os = "linux"), ignore)]
+    fn thread_count_sees_this_thread() {
+        assert!(thread_count() >= 1, "Threads: should parse on Linux");
+    }
+
+    #[test]
+    #[cfg_attr(not(target_os = "linux"), ignore)]
+    fn fd_limit_raise_is_monotone() {
+        // `want=0` never lowers the limit; a modest raise either succeeds
+        // or reports the hard cap — both return the effective soft limit.
+        let before = raise_fd_limit(0).expect("getrlimit works on Linux");
+        let after = raise_fd_limit(before).expect("setrlimit works on Linux");
+        assert!(after >= before);
     }
 }

@@ -1,15 +1,16 @@
 //! Property tests for the socket wire format: framing must survive ragged
-//! split reads, payload f32 codecs must be bit-lossless, and every
-//! [`ControlMsg`] must round-trip through its wire body — the invariants
-//! the distributed bit-exactness contract stands on.
+//! split reads *and* ragged partial writes, payload f32 codecs must be
+//! bit-lossless, and every [`ControlMsg`] must round-trip through its wire
+//! body — the invariants the distributed bit-exactness contract stands on.
 
 use proptest::prelude::*;
 use rfl_core::comm::{
-    read_frame, write_frame, ControlMsg, MsgKind, FRAME_HEADER_BYTES, PROTO_MAGIC, PROTO_VERSION,
+    encode_frame, read_frame, write_frame, ControlMsg, MsgKind, WriteQueue, FRAME_HEADER_BYTES,
+    PROTO_MAGIC, PROTO_VERSION,
 };
 use rfl_core::compress::Compression;
 use rfl_tensor::{decode_f32_into, encode_f32_into};
-use std::io::Read;
+use std::io::{Read, Write};
 
 /// A reader that hands back the buffer in arbitrary small chunks, cycling
 /// through `chunks` — the torn-read behavior of a real TCP stream.
@@ -39,6 +40,40 @@ impl Read for RaggedReader {
         buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
         self.pos += n;
         Ok(n)
+    }
+}
+
+/// A writer that accepts at most a bounded number of bytes per call,
+/// cycling through `chunks` — the short-write behavior of a non-blocking
+/// socket with a nearly full kernel buffer. The reader-side mirror is
+/// [`RaggedReader`].
+struct RaggedWriter {
+    sink: Vec<u8>,
+    chunks: Vec<usize>,
+    next: usize,
+}
+
+impl RaggedWriter {
+    fn new(chunks: Vec<usize>) -> Self {
+        RaggedWriter {
+            sink: Vec::new(),
+            chunks,
+            next: 0,
+        }
+    }
+}
+
+impl Write for RaggedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let chunk = self.chunks[self.next % self.chunks.len()];
+        self.next += 1;
+        let n = chunk.min(buf.len());
+        self.sink.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -206,6 +241,113 @@ proptest! {
         let got: Vec<u32> = decoded.iter().map(|v| v.to_bits()).collect();
         let want: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// The write mirror of the ragged-read property: a frame written
+    /// through arbitrarily short accepted writes puts exactly the same
+    /// bytes on the wire as an unconstrained write, parseable at the far
+    /// end. (`write_frame`'s `write_all` loops absorb the short writes.)
+    #[test]
+    fn frames_survive_ragged_partial_writes(
+        tag in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..600),
+        chunks in prop::collection::vec(1usize..8, 1..10),
+    ) {
+        let mut ragged = RaggedWriter::new(chunks);
+        let written = write_frame(&mut ragged, tag, &body).unwrap();
+        prop_assert_eq!(written, FRAME_HEADER_BYTES + body.len() as u64);
+
+        let mut direct = Vec::new();
+        write_frame(&mut direct, tag, &body).unwrap();
+        prop_assert_eq!(&ragged.sink, &direct);
+
+        let (got_tag, got_body) = read_frame(&mut ragged.sink.as_slice()).unwrap();
+        prop_assert_eq!(got_tag, tag);
+        prop_assert_eq!(got_body, body);
+    }
+
+    /// The reactor's partial-write resume path: a queue of encoded frames
+    /// drained in arbitrary byte-sized steps (including splits *inside*
+    /// headers and across frame boundaries) emits exactly the
+    /// concatenation of the frames, with `pending_bytes` bookkeeping exact
+    /// at every step.
+    #[test]
+    fn write_queue_resumes_partial_writes_at_any_boundary(
+        frames in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)),
+            1..6,
+        ),
+        steps in prop::collection::vec(1usize..8, 1..10),
+        max_slices in 1usize..8,
+    ) {
+        let mut q = WriteQueue::new();
+        let mut want = Vec::new();
+        for (tag, body) in &frames {
+            let frame = encode_frame(*tag, body);
+            want.extend_from_slice(&frame);
+            q.push(frame);
+        }
+        prop_assert_eq!(q.pending_bytes(), want.len());
+
+        // Simulated kernel: accept `step` bytes of whatever the gather
+        // exposes, cycling through the step sizes until drained.
+        let mut wire = Vec::new();
+        let mut next = 0usize;
+        while !q.is_empty() {
+            let slices = q.gather(max_slices);
+            prop_assert!(!slices.is_empty());
+            let exposed: usize = slices.iter().map(|s| s.len()).sum();
+            let step = steps[next % steps.len()].min(exposed);
+            next += 1;
+            let mut take = step;
+            for s in &slices {
+                let n = take.min(s.len());
+                wire.extend_from_slice(&s[..n]);
+                take -= n;
+                if take == 0 {
+                    break;
+                }
+            }
+            let before = q.pending_bytes();
+            q.advance(step);
+            prop_assert_eq!(q.pending_bytes(), before - step);
+        }
+        prop_assert_eq!(&wire, &want);
+
+        // And the byte stream parses back into the original frames.
+        let mut reader = wire.as_slice();
+        for (tag, body) in &frames {
+            let (got_tag, got_body) = read_frame(&mut reader).unwrap();
+            prop_assert_eq!(got_tag, *tag);
+            prop_assert_eq!(&got_body, body);
+        }
+    }
+
+    /// A single frame split at *every* byte boundary: a two-step drain
+    /// (cut, rest) reproduces the frame for each possible cut point.
+    #[test]
+    fn write_queue_single_frame_splits_everywhere(
+        tag in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let frame = encode_frame(tag, &body);
+        for cut in 0..=frame.len() {
+            let mut q = WriteQueue::new();
+            q.push(frame.clone());
+            let mut wire = Vec::new();
+            for want in [cut, frame.len() - cut] {
+                let mut need = want;
+                while need > 0 {
+                    let slices = q.gather(4);
+                    let n = need.min(slices[0].len());
+                    wire.extend_from_slice(&slices[0][..n]);
+                    q.advance(n);
+                    need -= n;
+                }
+            }
+            prop_assert!(q.is_empty());
+            prop_assert_eq!(wire.as_slice(), &frame[..]);
+        }
     }
 
     /// Every control message round-trips through its wire body.

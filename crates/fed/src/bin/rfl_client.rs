@@ -96,7 +96,7 @@ fn main() {
     } else {
         Some(clip_grad_norm)
     };
-    let data = canonical::data(seed);
+    let data = canonical::data_for(seed, num_clients as usize);
     let mut client = canonical::client(id as usize, &data, &cfg, seed);
     println!("client {id} registered ({num_clients} clients, {rounds} rounds)");
 

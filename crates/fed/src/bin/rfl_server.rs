@@ -29,6 +29,14 @@ fn main() {
     let listen = arg_value(&args, "--listen").unwrap_or_else(|| "tcp://127.0.0.1:0".to_string());
     let seed = arg_parse(&args, "--seed", canonical::SEED);
     let rounds = arg_parse(&args, "--rounds", canonical::ROUNDS);
+    // Cohort size; the default is the pinned 4-client run. Larger cohorts
+    // reuse the same data recipe via `canonical::data_for` — the 64-client
+    // smoke leg pins its own loss in EXPERIMENTS.md.
+    let clients = arg_parse(&args, "--clients", canonical::NUM_CLIENTS);
+    if clients == 0 || clients > u32::MAX as usize {
+        eprintln!("error: --clients wants 1..=u32::MAX, got {clients}");
+        std::process::exit(2);
+    }
     let wait_secs = arg_parse(&args, "--wait-secs", 60u64);
     let timeout_secs = arg_parse(&args, "--timeout-secs", 120u64);
     let ready_file = arg_value(&args, "--ready-file");
@@ -61,7 +69,7 @@ fn main() {
     let mut cfg = canonical::config(seed, rounds);
     cfg.compression = compression;
     let welcome = ControlMsg::Welcome {
-        num_clients: canonical::NUM_CLIENTS as u32,
+        num_clients: clients as u32,
         rounds: rounds as u32,
         local_steps: cfg.local_steps as u32,
         batch_size: cfg.batch_size as u32,
@@ -90,9 +98,9 @@ fn main() {
         eprintln!("error: waiting for clients: {e}");
         std::process::exit(2);
     }
-    println!("all {} clients registered", canonical::NUM_CLIENTS);
+    println!("all {clients} clients registered");
 
-    let data = canonical::data(seed);
+    let data = canonical::data_for(seed, clients);
     let mut fed = Federation::remote(&data, canonical::model(), &cfg, seed, Box::new(transport));
     let tracer = if trace_path.is_some() {
         Tracer::enabled()

@@ -38,4 +38,7 @@ cargo run --release -p rfl-bench --features alloc-count --bin bench_alloc -- --q
 echo "== bench_scale --quick (peak-RSS scaling gate, 100k registered / 1% sampled)"
 cargo run --release -p rfl-bench --bin bench_scale -- --quick > /dev/null
 
+echo "== bench_connections --quick (reactor gate: fixed threads, exact bytes at 4096 conns)"
+cargo run --release -p rfl-bench --bin bench_connections -- --quick > /dev/null
+
 echo "== all CI checks passed"

@@ -14,6 +14,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 EXPECT_LOSS=1.604142189
+# 64-client cohort over the same recipe (`canonical::data_for(SEED, 64)`);
+# pin provenance in EXPERIMENTS.md. Exercises the reactor's fan-out path —
+# 64 concurrent connections multiplexed on a fixed shard budget.
+EXPECT_LOSS_64=2.115149736
 NUM_CLIENTS=4
 TIMEOUT_SECS="${RFL_SMOKE_TIMEOUT_SECS:-180}"
 
@@ -27,7 +31,9 @@ echo "== building rfl-server / rfl-client (release)"
 cargo build --release -p rfl-fed --bins
 
 run_leg() {
-    local name="$1" listen="$2"
+    # LEG_CLIENTS overrides the cohort size for one leg (the 64-client
+    # fan-out leg); every other leg runs the pinned 4-client cohort.
+    local name="$1" listen="$2" clients="${LEG_CLIENTS:-$NUM_CLIENTS}"
     shift 2
     local dir ready trace endpoint server_pid watchdog_pid rc
     dir=$(mktemp -d)
@@ -39,7 +45,7 @@ run_leg() {
     # run to the canonical loss; --compress + --expect-oracle pins a
     # compressed run bit-exactly against the in-process oracle.
     ./target/release/rfl-server \
-        --listen "$listen" --ready-file "$ready" \
+        --listen "$listen" --ready-file "$ready" --clients "$clients" \
         --trace "$trace" "$@" &
     server_pid=$!
 
@@ -71,7 +77,7 @@ run_leg() {
     endpoint=$(cat "$ready")
 
     local client_pids=()
-    for id in $(seq 0 $((NUM_CLIENTS - 1))); do
+    for id in $(seq 0 $((clients - 1))); do
         ./target/release/rfl-client --connect "$endpoint" --id "$id" &
         client_pids+=("$!")
     done
@@ -96,5 +102,9 @@ run_leg unix "unix:$(mktemp -u /tmp/rfl-smoke-XXXXXX.sock)" --expect-loss "$EXPE
 # Compressed uploads over real sockets: 8-bit quantized frames with error
 # feedback must match the in-process compressed run bit-for-bit.
 run_leg tcp-compressed "tcp://127.0.0.1:0" --compress quantize:8 --expect-oracle
+# 64 concurrent client processes on one TCP endpoint: the reactor multiplexes
+# all of them on its fixed shard budget, and the cohort's own pinned loss
+# gates the run bit-exactly (same watchdog hard-kills a wedged leg).
+LEG_CLIENTS=64 run_leg tcp-64 "tcp://127.0.0.1:0" --expect-loss "$EXPECT_LOSS_64"
 
-echo "== distributed smoke passed (dense tcp + unix bit-exact, compressed tcp == in-process oracle)"
+echo "== distributed smoke passed (dense tcp + unix + 64-client fan-out bit-exact, compressed tcp == in-process oracle)"
