@@ -1,27 +1,55 @@
-//! Streaming O(d) aggregation: fold each arriving upload into a fixed
-//! running-sum accumulator instead of materializing every sampled client's
-//! parameter vector and averaging at the end.
+//! Streaming O(d) aggregation as a fixed-shape reduction tree: every
+//! arriving upload is folded into its **leaf** the moment it arrives, and
+//! the leaves are combined along a spine whose shape depends only on the
+//! selection — never on arrival order or thread count.
 //!
 //! The server's old path was materialize-then-average:
 //! [`crate::Federation::collect_params`] buffered `O(sampled·d)` floats and
 //! [`crate::Federation::weighted_average`] re-walked the whole set. With a
 //! million registered clients and 1% sampling that is 10,000 live parameter
 //! vectors held simultaneously. The [`StreamingAggregator`] replaces the
-//! buffer with one flat `d`-float accumulator plus a folded-weight scalar:
-//! each upload is folded with [`rfl_tensor::axpy_slices`] the moment it
-//! arrives and its payload is dropped.
+//! buffer with one flat `d`-float accumulator plus a folded-weight scalar.
+//!
+//! # The reduction tree
+//!
+//! The aggregate `Σ wᵢ·θᵢ` is evaluated as a binary tree fixed by the
+//! selection slots:
+//!
+//! - **Leaves** are `fl(wᵢ·θᵢ)`, computed eagerly when slot `i`'s upload
+//!   arrives ([`rfl_tensor::scale_slices_into`] into a pooled buffer). Leaf
+//!   evaluation is embarrassingly parallel and order-free — an upload
+//!   arriving ahead of a lower, still-pending slot does its multiply work
+//!   immediately instead of parking raw bytes in a `BTreeMap` and re-reading
+//!   them later. Out-of-order arrivals therefore never block: by the time
+//!   the spine reaches a stashed slot, its scaling work is already done.
+//! - **Interior nodes** form a left comb: `acc ← acc + leafᵢ` in slot
+//!   order ([`rfl_tensor::add_assign_slices`]). A left comb is the one tree
+//!   shape whose per-element operation sequence is *identical* to the flat
+//!   sequential fold `zeros; acc += w₀·θ₀; acc += w₁·θ₁; …`, which is what
+//!   keeps the result bit-identical to the retained
+//!   [`crate::Federation::weighted_average`] oracle (f32 addition is not
+//!   associative, so any balanced shape would change the pinned losses).
+//!
+//! In-order arrivals skip the explicit leaf and fold straight into the spine
+//! with [`rfl_tensor::axpy_slices`] — bit-equal, because axpy performs the
+//! same separate multiply-then-add per element that `scale_into` +
+//! `add_assign` performs in two passes (no FMA contraction on either path;
+//! see the `rfl_tensor::simd` determinism contract).
+//!
+//! # Parallelism
+//!
+//! Both the leaf scaling and the spine combines are element-wise, so for
+//! large `d` they are chunked across the shared worker pool
+//! ([`rfl_tensor::parallel_for_chunks`]). Each chunk owns a disjoint region
+//! of the output and the per-element order within a chunk is fixed, so the
+//! result is bit-identical at any `RFL_THREADS` value.
 //!
 //! # Determinism
 //!
-//! Floating-point addition does not commute, so fold order is part of the
-//! result. The aggregator therefore folds uploads in **selection-index
-//! order** (`slot` = the client's index within the round's selection)
-//! regardless of arrival order: an upload arriving ahead of a lower,
-//! still-pending slot is stashed and folded only once every earlier slot has
-//! either arrived or been marked dropped. PerfectTransport,
-//! FaultyTransport, and SocketTransport runs — where frames genuinely
-//! complete out of order — all execute the identical axpy sequence, so the
-//! canonical pinned loss reproduces bit-exactly over the wire.
+//! PerfectTransport, FaultyTransport, and SocketTransport runs — where
+//! frames genuinely complete out of order — all execute the identical
+//! per-element operation sequence, so the canonical pinned loss reproduces
+//! bit-exactly over the wire.
 //!
 //! # Bit-compatibility with the oracle
 //!
@@ -35,26 +63,69 @@
 //! semantics, applied as a single deterministic correction instead of a
 //! re-walk of buffered vectors.
 
-use std::collections::BTreeMap;
+/// Dimension at which element-wise tree ops start chunking across the worker
+/// pool; below this the dispatch overhead exceeds the win.
+const PAR_MIN_DIM: usize = 1 << 16;
+/// Chunk length of the pool-parallel grid (fixed, so the grid depends only
+/// on `d` — never on the thread budget).
+const PAR_CHUNK: usize = 1 << 14;
+
+/// `y += a·x`, chunked across the pool for large `d`. Element-wise, so
+/// bit-identical to the single-threaded [`rfl_tensor::axpy_slices`].
+fn axpy_par(y: &mut [f32], a: f32, x: &[f32]) {
+    if y.len() < PAR_MIN_DIM {
+        rfl_tensor::axpy_slices(y, a, x);
+    } else {
+        rfl_tensor::parallel_for_chunks(y, PAR_CHUNK, |i, chunk| {
+            let s = i * PAR_CHUNK;
+            rfl_tensor::axpy_slices(chunk, a, &x[s..s + chunk.len()]);
+        });
+    }
+}
+
+/// `y += x`, chunked like [`axpy_par`].
+fn add_assign_par(y: &mut [f32], x: &[f32]) {
+    if y.len() < PAR_MIN_DIM {
+        rfl_tensor::add_assign_slices(y, x);
+    } else {
+        rfl_tensor::parallel_for_chunks(y, PAR_CHUNK, |i, chunk| {
+            let s = i * PAR_CHUNK;
+            rfl_tensor::add_assign_slices(chunk, &x[s..s + chunk.len()]);
+        });
+    }
+}
+
+/// `out = a·x`, chunked like [`axpy_par`].
+fn scale_into_par(out: &mut [f32], a: f32, x: &[f32]) {
+    if out.len() < PAR_MIN_DIM {
+        rfl_tensor::scale_slices_into(out, a, x);
+    } else {
+        rfl_tensor::parallel_for_chunks(out, PAR_CHUNK, |i, chunk| {
+            let s = i * PAR_CHUNK;
+            rfl_tensor::scale_slices_into(chunk, a, &x[s..s + chunk.len()]);
+        });
+    }
+}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum SlotState {
     /// Not yet arrived and not known-dropped.
     Pending,
-    /// Arrived out of order; payload parked in the stash.
-    Stashed,
-    /// Folded into the accumulator.
+    /// Arrived out of order; its leaf `fl(w·θ)` is already computed.
+    Leafed,
+    /// Combined into the spine accumulator.
     Folded,
     /// The transport reported the upload lost; the slot will never arrive.
     Dropped,
 }
 
-/// Fold-on-arrival weighted-average accumulator. See the module docs.
+/// Fold-on-arrival weighted-average accumulator built as a fixed-shape
+/// reduction tree. See the module docs.
 ///
-/// All buffers (accumulator, weights, slot states) are retained across
-/// [`StreamingAggregator::reset_for_selection`] calls, so a federation that
-/// keeps one aggregator per run performs zero steady-state allocations per
-/// round on the no-drop path.
+/// All buffers (accumulator, weights, slot states, leaf pool) are retained
+/// across [`StreamingAggregator::reset_for_selection`] calls, so a
+/// federation that keeps one aggregator per run performs zero steady-state
+/// allocations per round on the no-drop path.
 #[derive(Debug, Default)]
 pub struct StreamingAggregator {
     dim: usize,
@@ -62,8 +133,11 @@ pub struct StreamingAggregator {
     /// Per-slot weights, prenormalized over the selection.
     weights: Vec<f32>,
     state: Vec<SlotState>,
-    /// Out-of-order arrivals, keyed by slot. Empty on in-order paths.
-    stash: BTreeMap<usize, Vec<f32>>,
+    /// Scaled leaves of out-of-order arrivals, indexed by slot. `None` for
+    /// slots that folded straight into the spine. Empty on in-order paths.
+    leaves: Vec<Option<Vec<f32>>>,
+    /// Recycled leaf buffers (bounded by the worst observed reorder depth).
+    pool: Vec<Vec<f32>>,
     /// Lowest slot not yet folded or skipped.
     next_slot: usize,
     folded: usize,
@@ -99,8 +173,8 @@ impl StreamingAggregator {
     }
 
     /// Zeroes the accumulator (recycling a donated buffer when the current
-    /// one was taken by `finish`) and resets all per-round state; the weight
-    /// vector is left as-is.
+    /// one was taken by `finish`), returns stale leaves to the pool, and
+    /// resets all per-round state; the weight vector is left as-is.
     fn rearm(&mut self, dim: usize) {
         self.dim = dim;
         if self.acc.is_empty() {
@@ -112,7 +186,13 @@ impl StreamingAggregator {
         self.acc.resize(dim, 0.0);
         self.state.clear();
         self.state.resize(self.weights.len(), SlotState::Pending);
-        self.stash.clear();
+        for leaf in self.leaves.iter_mut() {
+            if let Some(buf) = leaf.take() {
+                self.pool.push(buf);
+            }
+        }
+        self.leaves.clear();
+        self.leaves.resize_with(self.weights.len(), || None);
         self.next_slot = 0;
         self.folded = 0;
         self.resolved = 0;
@@ -129,25 +209,20 @@ impl StreamingAggregator {
         self.folded
     }
 
-    fn fold(&mut self, slot: usize, params: &[f32]) {
-        assert_eq!(params.len(), self.dim, "upload dim mismatch at slot {slot}");
-        let w = self.weights[slot];
-        rfl_tensor::axpy_slices(&mut self.acc, w, params);
-        self.folded_weight += w;
-        self.folded += 1;
-    }
-
-    /// Folds stashed arrivals and skips dropped slots until the next
-    /// still-pending slot.
+    /// Advances the spine: combines ready leaves and skips dropped slots
+    /// until the next still-pending slot.
     fn drain(&mut self) {
         while self.next_slot < self.state.len() {
             match self.state[self.next_slot] {
                 SlotState::Pending => break,
                 SlotState::Dropped | SlotState::Folded => self.next_slot += 1,
-                SlotState::Stashed => {
+                SlotState::Leafed => {
                     let slot = self.next_slot;
-                    let params = self.stash.remove(&slot).expect("stashed payload missing");
-                    self.fold(slot, &params);
+                    let leaf = self.leaves[slot].take().expect("leaf payload missing");
+                    add_assign_par(&mut self.acc, &leaf);
+                    self.folded_weight += self.weights[slot];
+                    self.folded += 1;
+                    self.pool.push(leaf);
                     self.state[slot] = SlotState::Folded;
                     self.next_slot += 1;
                 }
@@ -155,8 +230,9 @@ impl StreamingAggregator {
         }
     }
 
-    /// Accepts the upload for `slot`. In-order arrivals fold immediately;
-    /// out-of-order arrivals are stashed until every earlier slot resolves.
+    /// Accepts the upload for `slot`. In-order arrivals combine straight
+    /// into the spine; out-of-order arrivals compute their leaf `fl(w·θ)`
+    /// immediately and are combined once every earlier slot resolves.
     pub fn push(&mut self, slot: usize, params: &[f32]) {
         assert!(slot < self.state.len(), "slot {slot} out of range");
         assert_eq!(
@@ -164,20 +240,29 @@ impl StreamingAggregator {
             SlotState::Pending,
             "slot {slot} resolved twice"
         );
+        assert_eq!(params.len(), self.dim, "upload dim mismatch at slot {slot}");
         self.resolved += 1;
+        let w = self.weights[slot];
         if slot == self.next_slot {
-            self.fold(slot, params);
+            // Spine fast path: one fused pass (axpy ≡ leaf + combine bitwise).
+            axpy_par(&mut self.acc, w, params);
+            self.folded_weight += w;
+            self.folded += 1;
             self.state[slot] = SlotState::Folded;
             self.next_slot += 1;
             self.drain();
         } else {
-            self.stash.insert(slot, params.to_vec());
-            self.state[slot] = SlotState::Stashed;
+            let mut leaf = self.pool.pop().unwrap_or_default();
+            leaf.clear();
+            leaf.resize(self.dim, 0.0);
+            scale_into_par(&mut leaf, w, params);
+            self.leaves[slot] = Some(leaf);
+            self.state[slot] = SlotState::Leafed;
         }
     }
 
     /// Records that `slot`'s upload was lost in transit, unblocking any
-    /// stashed later arrivals.
+    /// leafed later arrivals.
     pub fn mark_dropped(&mut self, slot: usize) {
         assert!(slot < self.state.len(), "slot {slot} out of range");
         assert_eq!(
@@ -207,7 +292,7 @@ impl StreamingAggregator {
             self.state.len(),
             "finish() with unresolved slots"
         );
-        debug_assert!(self.stash.is_empty());
+        debug_assert!(self.leaves.iter().all(Option::is_none));
         if self.folded == 0 {
             return None;
         }
@@ -278,6 +363,24 @@ mod tests {
     }
 
     #[test]
+    fn pool_parallel_dims_match_the_oracle_in_any_arrival_order() {
+        // Above PAR_MIN_DIM the leaf/spine ops chunk across the worker
+        // pool; the result must still be bit-identical to the sequential
+        // oracle, in order and fully reversed.
+        let d = PAR_MIN_DIM + 3;
+        let p = params(3, d);
+        let w = renormalized_weights(&[0.5, 0.2, 0.3], &[0, 1, 2]);
+        let want = Federation::weighted_average(&p, &w);
+        for order in [[0usize, 1, 2], [2, 1, 0]] {
+            let mut agg = StreamingAggregator::new(d, w.clone());
+            for &slot in &order {
+                agg.push(slot, &p[slot]);
+            }
+            assert_eq!(agg.finish().unwrap(), want, "order {order:?}");
+        }
+    }
+
+    #[test]
     fn drops_renormalize_over_survivors() {
         let p = params(4, 5);
         let w = vec![0.4, 0.1, 0.3, 0.2];
@@ -296,11 +399,11 @@ mod tests {
     }
 
     #[test]
-    fn late_drop_unblocks_stashed_arrivals() {
+    fn late_drop_unblocks_leafed_arrivals() {
         let p = params(3, 4);
         let w = vec![0.5, 0.25, 0.25];
         let mut agg = StreamingAggregator::new(4, w.clone());
-        agg.push(2, &p[2]); // stashed: slots 0 and 1 unresolved
+        agg.push(2, &p[2]); // leafed: slots 0 and 1 unresolved
         agg.push(0, &p[0]); // folds 0; 2 still blocked behind 1
         assert_eq!(agg.folded(), 1);
         agg.mark_dropped(1); // unblocks 2
@@ -356,6 +459,28 @@ mod tests {
             first,
             Federation::weighted_average(&p, &renormalized_weights(&all_w, &sel))
         );
+    }
+
+    #[test]
+    fn leaf_pool_recycles_across_rounds() {
+        let all_w = vec![0.25f32; 4];
+        let sel = vec![0usize, 1, 2, 3];
+        let p = params(4, 16);
+        let mut agg = StreamingAggregator::default();
+        let mut prev = None;
+        for _ in 0..3 {
+            agg.reset_for_selection(16, &all_w, &sel);
+            // Fully reversed arrival: every slot but the last goes through
+            // a leaf buffer, exercising pool reuse on later rounds.
+            for slot in (0..4).rev() {
+                agg.push(slot, &p[slot]);
+            }
+            let got = agg.finish().unwrap();
+            if let Some(prev) = &prev {
+                assert_eq!(&got, prev);
+            }
+            prev = Some(got);
+        }
     }
 
     #[test]

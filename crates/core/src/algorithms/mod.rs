@@ -24,7 +24,7 @@ pub use scaffold::Scaffold;
 
 use crate::client::LocalReport;
 use crate::federation::Federation;
-use crate::sampling::{renormalized_weights, sample_clients};
+use crate::sampling::renormalized_weights;
 use rand::rngs::StdRng;
 use rfl_trace::SpanKind;
 
@@ -40,10 +40,12 @@ pub(crate) fn mean_losses(reports: &[LocalReport], weights: &[f32]) -> (f32, f32
     (loss, reg)
 }
 
-/// Uniform client sampling wrapped in a `select` span.
+/// Uniform client sampling wrapped in a `select` span. Routed through the
+/// federation so the pipelined engine's round-addressable stream (when
+/// installed) supplies the same ids its prefetch wave predicted.
 pub(crate) fn traced_select(fed: &Federation, ratio: f32, rng: &mut StdRng) -> Vec<usize> {
     let mut span = fed.tracer().span(SpanKind::Select);
-    let selected = sample_clients(fed.num_clients(), ratio, rng);
+    let selected = fed.sample_selection(ratio, rng);
     span.counter("clients", selected.len() as u64);
     selected
 }

@@ -200,6 +200,24 @@ impl Session {
         }
     }
 
+    /// Non-blocking [`Session::recv_frame`]: claims a queued frame with
+    /// `tag` if one has already completed in the reactor, reports a drained
+    /// session as [`RecvError::Closed`], and otherwise returns `Ok(None)` —
+    /// nothing yet, link still live. Arrival-order collection sweeps this
+    /// across the round's sessions to fold whichever upload finished first.
+    pub(crate) fn try_recv_frame(&self, tag: u8) -> Result<Option<(Vec<u8>, u64)>, RecvError> {
+        let mut q = self.queue.lock().expect("session queue poisoned");
+        if let Some(pos) = q.iter().position(|(t, _)| *t == tag) {
+            let (_, body) = q.remove(pos).expect("position just found");
+            let wire = super::socket::FRAME_HEADER_BYTES + body.len() as u64;
+            return Ok(Some((body, wire)));
+        }
+        if !self.is_live() {
+            return Err(RecvError::Closed);
+        }
+        Ok(None)
+    }
+
     /// Hard close: drains the session and force-closes the socket (queued
     /// frames are dropped). The reactor reaps the connection on the next
     /// wakeup.

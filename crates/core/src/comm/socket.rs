@@ -634,13 +634,14 @@ impl Transport for SocketTransport {
 }
 
 impl RemoteTransport for SocketTransport {
-    /// Claims one client-originated upload frame. The aggregation path
-    /// (`Federation::fold_uploads`) calls this per selected client *in
-    /// selection order* and folds each payload into the streaming
-    /// accumulator as soon as its frame completes, dropping the buffer
-    /// before claiming the next — the server never holds more than one
-    /// decoded upload, and the fold order is pinned by the claim order, not
-    /// by whichever socket happened to finish first.
+    /// Claims one client-originated upload frame, blocking until it
+    /// completes. `Federation::fold_uploads` calls this per selected client
+    /// *in selection order* and folds each payload as its frame completes,
+    /// dropping the buffer before claiming the next — the server never
+    /// holds more than one decoded upload. The aggregation path instead
+    /// sweeps [`RemoteTransport::try_recv`] to claim frames in *arrival*
+    /// order (the reduction tree makes the fold order-free), falling back
+    /// to this blocking claim only when nothing is ready.
     fn recv(&mut self, kind: MsgKind, client: usize) -> Delivery {
         assert_eq!(
             kind.direction(),
@@ -679,6 +680,60 @@ impl RemoteTransport for SocketTransport {
                     attempts: 1,
                     reason: Some(reason),
                 }
+            }
+        }
+    }
+
+    /// Non-blocking readiness probe: resolves `client`'s upload right now
+    /// if its frame already completed in the reactor (identical decode and
+    /// byte accounting to [`RemoteTransport::recv`]) or if the session is
+    /// gone (a deterministic loss, like the blocking path); returns `None`
+    /// while the link is live with nothing queued. Never times a client
+    /// out — deadline enforcement stays with the blocking claim.
+    fn try_recv(&mut self, kind: MsgKind, client: usize) -> Option<Delivery> {
+        assert_eq!(
+            kind.direction(),
+            Direction::Upload,
+            "remote receives are client-originated uploads"
+        );
+        let Some(session) = self.session(client) else {
+            self.dropped += 1;
+            return Some(Delivery {
+                data: None,
+                attempts: 1,
+                reason: Some(DropReason::Loss),
+            });
+        };
+        match session.try_recv_frame(kind.tag()) {
+            Ok(Some((body, wire))) => {
+                let mut data = Vec::new();
+                match decode_f32_into(&body, &mut data) {
+                    Ok(()) => {
+                        self.charge(kind, wire);
+                        Some(Delivery {
+                            data: Some(data),
+                            attempts: 1,
+                            reason: None,
+                        })
+                    }
+                    Err(_) => {
+                        self.dropped += 1;
+                        Some(Delivery {
+                            data: None,
+                            attempts: 1,
+                            reason: Some(DropReason::Loss),
+                        })
+                    }
+                }
+            }
+            Ok(None) => None,
+            Err(_) => {
+                self.dropped += 1;
+                Some(Delivery {
+                    data: None,
+                    attempts: 1,
+                    reason: Some(DropReason::Loss),
+                })
             }
         }
     }

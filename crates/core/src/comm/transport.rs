@@ -84,6 +84,18 @@ pub trait RemoteTransport {
     /// fault models emit, so churn handling is backend-agnostic.
     fn recv(&mut self, kind: MsgKind, client: usize) -> Delivery;
 
+    /// Non-blocking readiness probe on `client`'s `kind` plane:
+    /// `Some(delivery)` resolves the upload *now* — a completed frame
+    /// claimed off the queue, or a dead link mapped to a loss — while
+    /// `None` means nothing has arrived yet and the link is still live.
+    /// Arrival-order collection (`Federation::fold_uploads_unordered`)
+    /// sweeps this across the selection so early finishers fold while
+    /// stragglers upload. The default resolves by blocking: a transport
+    /// with no readiness information degrades to in-order claiming.
+    fn try_recv(&mut self, kind: MsgKind, client: usize) -> Option<Delivery> {
+        Some(self.recv(kind, client))
+    }
+
     /// Tells `client` to run `steps` local steps for `round`.
     fn start_training(&mut self, client: usize, round: u64, steps: usize) -> LinkOutcome;
 

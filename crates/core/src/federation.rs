@@ -16,6 +16,7 @@ use crate::dp::{privatize_delta, DpConfig};
 use crate::eval::{evaluate, EvalResult};
 use crate::registry::{ClientDataSource, ClientRegistry};
 use crate::rules::LocalRule;
+use crate::sampling::{sample_clients, SelectionStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfl_data::{Dataset, FederatedData};
@@ -272,6 +273,20 @@ pub(crate) fn fault_counters(span: &mut rfl_trace::Span, faults: &FaultStats) {
     }
 }
 
+/// Round-addressable selection lookahead for the pipelined round engine
+/// (see [`Federation::enable_pipelined_rounds`]).
+struct Lookahead {
+    stream: SelectionStream,
+    sample_ratio: f32,
+    /// Total rounds of the run — no prefetch wave is launched past the
+    /// final round (it would strand persists in a wave nobody consumes).
+    rounds: usize,
+    /// `false` = streamed selection only, no background waves (the
+    /// degenerate form the pipelined ≡ serial equivalence tests compare
+    /// against).
+    overlap: bool,
+}
+
 /// The federated system — simulated (local [`Client`] replicas) or
 /// distributed (remote mode: clients are real processes behind a
 /// [`RemoteTransport`], and the same round plumbing asks the wire instead
@@ -284,8 +299,10 @@ pub struct Federation {
     /// routed through the transport's [`RemoteTransport`] half.
     remote: bool,
     /// Lazy mode: the sharded descriptor/persist store that materializes
-    /// clients on demand ([`Federation::lazy`]). `None` in eager/remote mode.
-    registry: Option<ClientRegistry>,
+    /// clients on demand ([`Federation::lazy`]). `None` in eager/remote
+    /// mode. Shared (`Arc`) with the pipelined engine's prefetch and
+    /// hibernate worker threads.
+    registry: Option<Arc<ClientRegistry>>,
     n_clients: usize,
     weights: Vec<f32>,
     global: Vec<f32>,
@@ -297,6 +314,23 @@ pub struct Federation {
     tracer: Tracer,
     current_round: u64,
     straggler: Option<StragglerModel>,
+    /// Pipelined round engine: round-addressable selection stream plus the
+    /// lookahead bounds ([`Federation::enable_pipelined_rounds`]).
+    lookahead: Option<Lookahead>,
+    /// In-flight prefetch wave: clients for a *predicted* future selection,
+    /// materializing on a spare thread while the current round trains. The
+    /// next `ensure_active` consumes it — merging the ids it wanted and
+    /// returning the rest to the registry shards.
+    prefetch: Option<std::thread::JoinHandle<Vec<Client>>>,
+    /// In-flight hibernate wave: the previous round's active clients being
+    /// persisted in the background. At most one wave is alive at a time,
+    /// and every materialization path joins it first, so a persist being
+    /// written can never race a wake of the same client.
+    hibernate_wave: Option<std::thread::JoinHandle<()>>,
+    /// When set, `evict_active` hibernates on a background thread instead
+    /// of inline (installed with the pipelined engine; wave-style drivers
+    /// can toggle it separately via `set_background_hibernate`).
+    background_hibernate: bool,
     /// Per-run streaming aggregation state; buffers are reused across
     /// rounds so the aggregate step allocates nothing once warm.
     agg: StreamingAggregator,
@@ -358,6 +392,10 @@ impl Federation {
             tracer: Tracer::disabled(),
             current_round: 0,
             straggler: None,
+            lookahead: None,
+            prefetch: None,
+            hibernate_wave: None,
+            background_hibernate: false,
             agg: StreamingAggregator::default(),
             upload_buf: Vec::new(),
             compression: cfg.compression,
@@ -401,7 +439,7 @@ impl Federation {
         Federation {
             clients: Vec::new(),
             remote: false,
-            registry: Some(registry),
+            registry: Some(Arc::new(registry)),
             n_clients: n,
             weights,
             global,
@@ -413,6 +451,10 @@ impl Federation {
             tracer: Tracer::disabled(),
             current_round: 0,
             straggler: None,
+            lookahead: None,
+            prefetch: None,
+            hibernate_wave: None,
+            background_hibernate: false,
             agg: StreamingAggregator::default(),
             upload_buf: Vec::new(),
             compression: cfg.compression,
@@ -461,6 +503,10 @@ impl Federation {
             tracer: Tracer::disabled(),
             current_round: 0,
             straggler: None,
+            lookahead: None,
+            prefetch: None,
+            hibernate_wave: None,
+            background_hibernate: false,
             agg: StreamingAggregator::default(),
             upload_buf: Vec::new(),
             compression: cfg.compression,
@@ -538,12 +584,59 @@ impl Federation {
     /// objects. Called automatically by [`Federation::begin_round`];
     /// wave-style drivers (`bench_scale`) call it between waves so peak
     /// memory is bounded by the wave size, not the sampled count.
+    ///
+    /// With background hibernation on, the persist writes happen on a
+    /// spare thread (one wave at a time) so the round loop moves straight
+    /// on to the next selection; every materialization path joins the wave
+    /// before touching the shards.
     pub fn evict_active(&mut self) {
-        if let Some(reg) = &self.registry {
+        if self.registry.is_none() || self.clients.is_empty() {
+            return;
+        }
+        if !self.background_hibernate {
+            let reg = self.registry.as_ref().expect("lazy mode");
             for c in self.clients.drain(..) {
                 reg.hibernate(c);
             }
+            return;
         }
+        self.join_hibernate_wave();
+        let reg = Arc::clone(self.registry.as_ref().expect("lazy mode"));
+        let batch: Vec<Client> = self.clients.drain(..).collect();
+        let tracer = self.tracer.clone();
+        self.hibernate_wave = Some(std::thread::spawn(move || {
+            let mut span = tracer.span(SpanKind::Hibernate);
+            span.counter("clients", batch.len() as u64);
+            for c in batch {
+                reg.hibernate(c);
+            }
+        }));
+    }
+
+    /// Switches [`Federation::evict_active`] between inline and
+    /// background hibernation (lazy mode). The pipelined engine turns this
+    /// on; wave-style drivers can opt in without installing a selection
+    /// stream.
+    pub fn set_background_hibernate(&mut self, on: bool) {
+        if !on {
+            self.join_hibernate_wave();
+        }
+        self.background_hibernate = on;
+    }
+
+    fn join_hibernate_wave(&mut self) {
+        if let Some(w) = self.hibernate_wave.take() {
+            w.join().expect("hibernate wave panicked");
+        }
+    }
+
+    /// Joins any in-flight prefetch/hibernate waves, returning prefetched
+    /// clients to the registry shards. After this the shard maps hold
+    /// every inactive client's persist — call before inspecting
+    /// [`Federation::num_persisted`] or tearing a pipelined run down.
+    pub fn quiesce(&mut self) {
+        self.join_hibernate_wave();
+        self.consume_prefetch(&[]);
     }
 
     /// Whether this federation materializes clients lazily.
@@ -573,7 +666,7 @@ impl Federation {
         if self.remote {
             return;
         }
-        if let Some(reg) = &mut self.registry {
+        if let Some(reg) = &self.registry {
             reg.set_pending_lr(lr);
         }
         for c in &mut self.clients {
@@ -598,8 +691,28 @@ impl Federation {
     /// merges them into the id-sorted active set. No-op in eager/remote
     /// mode.
     fn ensure_active(&mut self, ids: &[usize]) {
-        let Some(reg) = &self.registry else { return };
+        if self.registry.is_none() {
+            return;
+        }
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        // Fast path: everything requested is already active. Crucially this
+        // leaves in-flight waves untouched — training/eval calls for the
+        // *current* wave must not consume a prefetch carrying the *next*
+        // one (returning its builds to the shards un-merged would redo
+        // every materialization inline at the next broadcast).
+        if ids
+            .iter()
+            .all(|&k| self.clients.binary_search_by_key(&k, |c| c.id()).is_ok())
+        {
+            return;
+        }
+        // Any persist still being written must land before a wake can look
+        // for it, and the prefetch wave holds the persists of the clients
+        // it built — consume it (merge or return) before deciding what is
+        // still missing.
+        self.join_hibernate_wave();
+        self.consume_prefetch(ids);
+        let reg = self.registry.as_ref().expect("lazy mode");
         let missing: Vec<usize> = ids
             .iter()
             .copied()
@@ -639,6 +752,157 @@ impl Federation {
         self.clients
             .extend(built.into_iter().map(|c| c.expect("client not built")));
         self.clients.sort_by_key(|c| c.id());
+    }
+
+    /// Merges a finished prefetch wave into the active set: clients in
+    /// `ids` (and not already active) join the round, everything else —
+    /// mispredictions, or ids a custom driver never asked for — goes back
+    /// to the registry shards so the persist each build consumed returns
+    /// home. Merged clients are re-stamped with the *current* pending
+    /// learning rate: a schedule step may have landed after the wave
+    /// launched.
+    fn consume_prefetch(&mut self, ids: &[usize]) {
+        let Some(wave) = self.prefetch.take() else {
+            return;
+        };
+        let built = wave.join().expect("prefetch wave panicked");
+        let reg = self.registry.as_ref().expect("prefetch implies lazy mode");
+        let lr = reg.pending_lr();
+        let mut merged = false;
+        for mut c in built {
+            if ids.binary_search(&c.id()).is_ok()
+                && self
+                    .clients
+                    .binary_search_by_key(&c.id(), |c| c.id())
+                    .is_err()
+            {
+                if let Some(lr) = lr {
+                    c.set_lr(lr);
+                }
+                self.clients.push(c);
+                merged = true;
+            } else {
+                reg.hibernate(c);
+            }
+        }
+        if merged {
+            self.clients.sort_by_key(|c| c.id());
+        }
+    }
+
+    /// Spawns a prefetch wave materializing `ids` on a spare thread. The
+    /// previous hibernate wave (if any) is handed to the worker to join
+    /// first: the predicted selection may include clients whose persists
+    /// are still being written.
+    fn spawn_prefetch(&mut self, ids: Vec<usize>) {
+        let reg = Arc::clone(self.registry.as_ref().expect("lazy mode"));
+        let hibernating = self.hibernate_wave.take();
+        let tracer = self.tracer.clone();
+        self.prefetch = Some(std::thread::spawn(move || {
+            if let Some(w) = hibernating {
+                w.join().expect("hibernate wave panicked");
+            }
+            let mut span = tracer.span(SpanKind::Prefetch);
+            span.counter("clients", ids.len() as u64);
+            ids.iter().map(|&k| reg.materialize(k)).collect()
+        }));
+    }
+
+    /// Predicts round `current + 1`'s selection from the lookahead stream
+    /// and prefetches the clients that are not active right now. Active
+    /// ids are *never* prefetched — their authoritative state is the live
+    /// object, and a second build would fabricate a persist from the
+    /// initial global.
+    fn launch_prefetch(&mut self) {
+        let Some(la) = &self.lookahead else { return };
+        if !la.overlap || self.prefetch.is_some() || self.registry.is_none() {
+            return;
+        }
+        let next = self.current_round as usize + 1;
+        if next >= la.rounds {
+            return;
+        }
+        let predicted = la.stream.select(next, self.n_clients, la.sample_ratio);
+        let ids: Vec<usize> = predicted
+            .into_iter()
+            .filter(|&k| self.clients.binary_search_by_key(&k, |c| c.id()).is_err())
+            .collect();
+        if !ids.is_empty() {
+            self.spawn_prefetch(ids);
+        }
+    }
+
+    /// Manually schedules a prefetch wave for `ids` (sorted) — the hook
+    /// wave-style drivers use to double-buffer: while wave `i` trains, wave
+    /// `i+1` materializes. Already-active ids are skipped; a wave already
+    /// in flight wins (one at a time). The wave is consumed by the next
+    /// `ensure_active`-routed call (`broadcast_params`, `client_mut`, ...).
+    pub fn prefetch_hint(&mut self, ids: &[usize]) {
+        if self.registry.is_none() || self.prefetch.is_some() {
+            return;
+        }
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        let ids: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&k| self.clients.binary_search_by_key(&k, |c| c.id()).is_err())
+            .collect();
+        if !ids.is_empty() {
+            self.spawn_prefetch(ids);
+        }
+    }
+
+    /// Turns on the pipelined round engine (lazy mode only). Selections
+    /// come from a round-addressable [`SelectionStream`] seeded here
+    /// instead of the trainer's threaded RNG, so round `t+1`'s ids are
+    /// known while round `t` is still training: [`Federation::broadcast_params`]
+    /// launches a prefetch wave materializing them on a spare thread, and
+    /// [`Federation::begin_round`] hibernates the previous selection in
+    /// the background. `rounds` bounds the lookahead. Training results are
+    /// bit-identical to the same stream without overlap (pinned by the
+    /// pipeline tests); note the selection *sequence* differs from the
+    /// legacy threaded-RNG draw whenever `sample_ratio < 1`.
+    pub fn enable_pipelined_rounds(&mut self, seed: u64, sample_ratio: f32, rounds: usize) {
+        assert!(
+            self.registry.is_some(),
+            "pipelined rounds need a lazy-mode federation"
+        );
+        self.lookahead = Some(Lookahead {
+            stream: SelectionStream::new(seed),
+            sample_ratio,
+            rounds,
+            overlap: true,
+        });
+        self.background_hibernate = true;
+    }
+
+    /// The degenerate pipelined engine: same [`SelectionStream`] draws, no
+    /// background waves. Exists so determinism tests can A/B the overlap
+    /// machinery against a serial run with identical selections.
+    pub fn enable_streamed_selection(&mut self, seed: u64, sample_ratio: f32, rounds: usize) {
+        assert!(
+            self.registry.is_some(),
+            "streamed selection needs a lazy-mode federation"
+        );
+        self.lookahead = Some(Lookahead {
+            stream: SelectionStream::new(seed),
+            sample_ratio,
+            rounds,
+            overlap: false,
+        });
+    }
+
+    /// Draws the current round's selection: from the round-addressable
+    /// stream when the pipelined engine is installed (the same ids its
+    /// prefetch wave predicted), otherwise from the classic rng-threaded
+    /// sampler. `rng` is untouched in streamed mode.
+    pub fn sample_selection(&self, ratio: f32, rng: &mut StdRng) -> Vec<usize> {
+        match &self.lookahead {
+            Some(la) => la
+                .stream
+                .select(self.current_round as usize, self.n_clients, ratio),
+            None => sample_clients(self.n_clients, ratio, rng),
+        }
     }
 
     /// Installs an observability sink; all subsequent channel operations,
@@ -745,6 +1009,10 @@ impl Federation {
     /// download sit the round out.
     pub fn broadcast_params(&mut self, selected: &[usize]) -> Vec<usize> {
         self.ensure_active(selected);
+        // Pipelined engine: this round's actives are in place — start
+        // materializing the *next* round's predicted selection on a spare
+        // thread while this round trains and folds.
+        self.launch_prefetch();
         let mut span = self.tracer.span(SpanKind::Broadcast);
         let before = self.comm_snapshot();
         let fbefore = self.fault_stats();
@@ -889,6 +1157,68 @@ impl Federation {
         delivered
     }
 
+    /// [`Federation::fold_uploads`] with **arrival-order** claiming on the
+    /// dense remote path: each sweep resolves every selected client whose
+    /// upload frame has already completed in the reactor (non-blocking
+    /// probe), so early finishers fold into the aggregation tree while
+    /// stragglers are still uploading; only when nothing is ready does the
+    /// walk block — on the earliest still-pending client, with the
+    /// standard per-claim timeout. `visit` may therefore run in any order
+    /// (the reduction tree makes the fold order-free); call sites that
+    /// need visit order must use `fold_uploads`. Returned delivered ids
+    /// are in selection order either way, and the byte/fault accounting is
+    /// identical. Local and compressed paths delegate unchanged.
+    pub fn fold_uploads_unordered(
+        &mut self,
+        selected: &[usize],
+        mut visit: impl FnMut(usize, usize, &[f32]),
+    ) -> Vec<usize> {
+        if !self.remote || self.compression.is_enabled() {
+            return self.fold_uploads(selected, visit);
+        }
+        let mut span = self.tracer.span(SpanKind::Upload);
+        let before = self.comm_snapshot();
+        let fbefore = self.fault_stats();
+        let mut got = vec![false; selected.len()];
+        let mut pending: std::collections::VecDeque<usize> = (0..selected.len()).collect();
+        while !pending.is_empty() {
+            let mut progressed = false;
+            for _ in 0..pending.len() {
+                let slot = pending.pop_front().expect("pending non-empty");
+                let k = selected[slot];
+                match self.remote_transport().try_recv(MsgKind::ModelUp, k) {
+                    None => pending.push_back(slot),
+                    Some(d) => {
+                        progressed = true;
+                        if let Some(params) = d.data {
+                            visit(slot, k, &params);
+                            got[slot] = true;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                if let Some(slot) = pending.pop_front() {
+                    let k = selected[slot];
+                    if let Some(params) = self.remote_transport().recv(MsgKind::ModelUp, k).data {
+                        visit(slot, k, &params);
+                        got[slot] = true;
+                    }
+                }
+            }
+        }
+        let delivered: Vec<usize> = selected
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| got[slot])
+            .map(|(_, &k)| k)
+            .collect();
+        span.counter("bytes", self.comm_stats().since(&before).upload_bytes());
+        span.counter("clients", selected.len() as u64);
+        fault_counters(&mut span, &self.fault_stats().since(&fbefore));
+        delivered
+    }
+
     /// Streaming collect-and-average *without* installing the result:
     /// returns the delivered ids and the weighted average over them (with
     /// weights renormalized over the survivors), or `None` when every
@@ -897,9 +1227,11 @@ impl Federation {
     /// when all uploads arrive.
     pub fn collect_average(&mut self, selected: &[usize]) -> (Vec<usize>, Option<Vec<f32>>) {
         let dim = self.global.len();
+        let mut fold_span = self.tracer.span(SpanKind::Fold);
         let mut agg = std::mem::take(&mut self.agg);
         agg.reset_for_selection(dim, &self.weights, selected);
-        let delivered = self.fold_uploads(selected, |slot, _, params| agg.push(slot, params));
+        let delivered =
+            self.fold_uploads_unordered(selected, |slot, _, params| agg.push(slot, params));
         // Resolve the slots whose uploads were lost.
         let mut di = 0usize;
         for (slot, &k) in selected.iter().enumerate() {
@@ -911,6 +1243,9 @@ impl Federation {
         }
         let avg = agg.finish();
         self.agg = agg;
+        fold_span.counter("clients", delivered.len() as u64);
+        fold_span.counter("dims", dim as u64);
+        drop(fold_span);
         (delivered, avg)
     }
 

@@ -101,7 +101,9 @@ pub struct ClientRegistry {
     init_global: Vec<f32>,
     /// Latest learning-rate schedule value; applied on materialization so a
     /// woken client matches an eager one (which is overwritten every round).
-    pending_lr: Option<f32>,
+    /// Interior-mutable: the pipelined engine shares the registry across
+    /// prefetch/hibernate worker threads behind an `Arc`.
+    pending_lr: Mutex<Option<f32>>,
     shards: Vec<Mutex<HashMap<usize, ClientPersist>>>,
 }
 
@@ -123,7 +125,7 @@ impl ClientRegistry {
             clip_grad_norm: cfg.clip_grad_norm,
             seed,
             init_global,
-            pending_lr: None,
+            pending_lr: Mutex::new(None),
             shards: (0..n_shards).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
@@ -138,8 +140,16 @@ impl ClientRegistry {
 
     /// Records the schedule's current learning rate; every client
     /// materialized from now on gets it applied.
-    pub fn set_pending_lr(&mut self, lr: f32) {
-        self.pending_lr = Some(lr);
+    pub fn set_pending_lr(&self, lr: f32) {
+        *self.pending_lr.lock().expect("pending_lr poisoned") = Some(lr);
+    }
+
+    /// The learning rate a client materialized right now would receive.
+    /// Prefetched clients are stamped again at *consumption* time with the
+    /// then-current value, so a schedule step between prefetch and use
+    /// cannot leak a stale rate into the round.
+    pub fn pending_lr(&self) -> Option<f32> {
+        *self.pending_lr.lock().expect("pending_lr poisoned")
     }
 
     /// Clients currently hibernated (previously sampled, not active).
@@ -181,7 +191,7 @@ impl ClientRegistry {
                 c
             }
         };
-        if let Some(lr) = self.pending_lr {
+        if let Some(lr) = self.pending_lr() {
             client.set_lr(lr);
         }
         client
@@ -283,7 +293,7 @@ mod tests {
 
     #[test]
     fn pending_lr_is_applied_on_materialization() {
-        let mut reg = registry(9);
+        let reg = registry(9);
         reg.set_pending_lr(0.025);
         let fresh = reg.materialize(0);
         assert_eq!(fresh.lr(), 0.025);

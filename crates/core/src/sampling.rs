@@ -1,7 +1,8 @@
 //! Client sampling (the `SR` knob of FedAvg).
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Above this population the shuffle path's `O(N)` scratch vector starts to
@@ -42,6 +43,40 @@ pub fn sample_clients<R: Rng>(n: usize, sr: f32, rng: &mut R) -> Vec<usize> {
     let mut selected = all[..m].to_vec();
     selected.sort_unstable();
     selected
+}
+
+/// A deterministic per-round selection stream for the pipelined round
+/// engine.
+///
+/// The classic sampler threads one mutable RNG through the rounds, so round
+/// `t+1`'s selection cannot be known before round `t` has drawn. Pipelining
+/// needs lookahead: the prefetch wave materializes round `t+1`'s clients
+/// while round `t` is still training. `SelectionStream` makes every round's
+/// draw independently addressable by forking a fresh RNG per round from a
+/// fixed seed, so `select(t)` returns the same ids no matter when — or how
+/// many times — it is asked.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectionStream {
+    seed: u64,
+}
+
+impl SelectionStream {
+    pub fn new(seed: u64) -> Self {
+        SelectionStream { seed }
+    }
+
+    /// The RNG stream for `round`, decorrelated across rounds by a
+    /// golden-ratio multiplier on the (1-based) round index.
+    fn rng_for_round(&self, round: usize) -> StdRng {
+        let r = (round as u64).wrapping_add(1);
+        StdRng::seed_from_u64(self.seed ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Round `round`'s selection: `⌈sr·n⌉` distinct sorted ids, a pure
+    /// function of `(seed, round, n, sr)`.
+    pub fn select(&self, round: usize, n: usize, sr: f32) -> Vec<usize> {
+        sample_clients(n, sr, &mut self.rng_for_round(round))
+    }
 }
 
 /// Renormalized aggregation weights over the selected clients:
@@ -112,6 +147,51 @@ mod tests {
         let s = sample_clients(n, 0.5, &mut rng);
         assert_eq!(s.len(), n.div_ceil(2));
         assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn algorithm_boundary_is_deterministic_and_duplicate_free() {
+        // n = 65536 ± 1 with m = n/8 ± 1 straddles both gates of the sparse
+        // switch (`n > SPARSE_N_MIN && m < n / 8`). Each cell must pick one
+        // algorithm, return exactly m sorted distinct in-range ids, and
+        // replay bit-identically from the same seed.
+        for n in [SPARSE_N_MIN - 1, SPARSE_N_MIN, SPARSE_N_MIN + 1] {
+            for m in [n / 8 - 1, n / 8, n / 8 + 1] {
+                // sr chosen so ⌈sr·n⌉ lands exactly on m: the largest float
+                // at or below m/n keeps the ceil from overshooting.
+                let sr = (m as f32) / (n as f32);
+                let sr = if (sr * n as f32).ceil() as usize > m {
+                    f32::from_bits(sr.to_bits() - 1)
+                } else {
+                    sr
+                };
+                let a = sample_clients(n, sr, &mut StdRng::seed_from_u64(9));
+                let b = sample_clients(n, sr, &mut StdRng::seed_from_u64(9));
+                assert_eq!(a, b, "replay n={n} m={m}");
+                assert_eq!(a.len(), m, "size n={n} m={m}");
+                assert!(
+                    a.windows(2).all(|w| w[0] < w[1]),
+                    "sorted+distinct n={n} m={m}"
+                );
+                assert!(a.iter().all(|&k| k < n), "range n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_stream_is_stable_per_round_and_varies_across_rounds() {
+        let s = SelectionStream::new(7);
+        let r0 = s.select(0, 1000, 0.1);
+        assert_eq!(r0, s.select(0, 1000, 0.1), "same round replays");
+        assert_eq!(r0.len(), 100);
+        assert!(r0.windows(2).all(|w| w[0] < w[1]));
+        let r1 = s.select(1, 1000, 0.1);
+        assert_ne!(r0, r1, "rounds decorrelated");
+        // Lookahead is order-free: asking for round 5 before round 1 does
+        // not disturb either draw.
+        let r5 = s.select(5, 1000, 0.1);
+        assert_eq!(r1, s.select(1, 1000, 0.1));
+        assert_eq!(r5, s.select(5, 1000, 0.1));
     }
 
     #[test]

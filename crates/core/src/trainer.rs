@@ -51,6 +51,11 @@ pub struct Trainer {
     lr_schedule: Option<LrSchedule>,
     /// Per-round callback (progress reporting in experiment binaries).
     on_round: Option<RoundObserver>,
+    /// Opt-in pipelined round engine (lazy federations only): selections
+    /// come from a round-addressable stream so round `t+1`'s clients
+    /// prefetch while round `t` trains, and evictions hibernate in the
+    /// background.
+    pipelined: bool,
 }
 
 impl Trainer {
@@ -59,7 +64,17 @@ impl Trainer {
             cfg,
             lr_schedule: None,
             on_round: None,
+            pipelined: false,
         }
+    }
+
+    /// Enables the pipelined round engine on lazy-mode federations (no-op
+    /// otherwise). Losses are bit-identical to the same selection stream
+    /// without overlap; the selection *sequence* differs from the legacy
+    /// rng-threaded draw when `sample_ratio < 1`.
+    pub fn pipelined(mut self) -> Self {
+        self.pipelined = true;
+        self
     }
 
     /// Installs a learning-rate schedule.
@@ -78,6 +93,9 @@ impl Trainer {
     pub fn run(&mut self, algo: &mut dyn Algorithm, fed: &mut Federation) -> History {
         let mut history = History::new();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED_5EED);
+        if self.pipelined && fed.is_lazy() {
+            fed.enable_pipelined_rounds(self.cfg.seed, self.cfg.sample_ratio, self.cfg.rounds);
+        }
         let run_span = fed.tracer().begin_run(algo.name());
         for round in 0..self.cfg.rounds {
             if let Some(schedule) = &self.lr_schedule {
@@ -133,6 +151,9 @@ impl Trainer {
             }
             history.push(record);
         }
+        // Land any in-flight prefetch/hibernate waves so post-run registry
+        // inspection sees a settled shard map.
+        fed.quiesce();
         drop(run_span);
         history
     }

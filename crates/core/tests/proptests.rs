@@ -168,6 +168,87 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// The three aggregation formulations are one: the tree fold under an
+    /// arbitrary arrival permutation, the sequential fold (slot order —
+    /// the historical `StreamingAggregator` walk, now the tree's in-order
+    /// fast path), and the materializing `weighted_average` oracle are
+    /// pairwise **bitwise** equal, including zero-weight members.
+    #[test]
+    fn tree_fold_equals_sequential_fold_equals_oracle(
+        dim in 1usize..48,
+        flat in finite_vec(8 * 48),
+        raw_w in prop::collection::vec(0.0f32..1.0, 8),
+        sr in 0.1f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let sel = sample_clients(8, sr, &mut StdRng::seed_from_u64(seed));
+        let n = sel.len();
+        prop_assume!(sel.iter().map(|&k| raw_w[k]).sum::<f32>() > 0.0);
+        let params: Vec<Vec<f32>> =
+            (0..n).map(|i| flat[i * dim..(i + 1) * dim].to_vec()).collect();
+
+        // Sequential: arrivals in slot order (every push hits the in-order
+        // spine path).
+        let mut seq = StreamingAggregator::default();
+        seq.reset_for_selection(dim, &raw_w, &sel);
+        for (slot, p) in params.iter().enumerate() {
+            seq.push(slot, p);
+        }
+        let sequential = seq.finish().unwrap();
+
+        // Tree: the same uploads in a random arrival permutation (late
+        // slots land as scaled leaves, folded on the spine in slot order).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x7EE));
+        let mut tree = StreamingAggregator::default();
+        tree.reset_for_selection(dim, &raw_w, &sel);
+        for &slot in &order {
+            tree.push(slot, &params[slot]);
+        }
+        let treed = tree.finish().unwrap();
+
+        let oracle =
+            Federation::weighted_average(&params, &renormalized_weights(&raw_w, &sel));
+        prop_assert_eq!(&treed, &sequential);
+        prop_assert_eq!(&sequential, &oracle);
+    }
+
+    /// Drops down to a **single survivor**: whichever slot survives and in
+    /// whatever order the other slots' drop notices resolve around its
+    /// arrival, the result is the survivor's vector scaled by
+    /// `w·(1/w)` — exactly what the sequential walk produces.
+    #[test]
+    fn single_survivor_is_arrival_order_free(
+        n in 2usize..8,
+        dim in 1usize..32,
+        flat in finite_vec(8 * 32),
+        raw_w in prop::collection::vec(0.01f32..1.0, 8),
+        survivor_pick in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let survivor = survivor_pick % n;
+        let params: Vec<Vec<f32>> =
+            (0..n).map(|i| flat[i * dim..(i + 1) * dim].to_vec()).collect();
+        let sel: Vec<usize> = (0..n).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut agg = StreamingAggregator::default();
+        agg.reset_for_selection(dim, &raw_w[..n], &sel);
+        for &slot in &order {
+            if slot == survivor {
+                agg.push(slot, &params[slot]);
+            } else {
+                agg.mark_dropped(slot);
+            }
+        }
+        let got = agg.finish().unwrap();
+        let norm = renormalized_weights(&raw_w[..n], &sel);
+        let mut want = vec![0.0f32; dim];
+        rfl_tensor::axpy_slices(&mut want, norm[survivor], &params[survivor]);
+        rfl_tensor::scale_slices(&mut want, 1.0 / norm[survivor]);
+        prop_assert_eq!(got, want);
+    }
+
     /// Under drops — any loss pattern down to a single survivor — the
     /// streaming result equals folding the survivors in slot order and
     /// rescaling once by the surviving weight mass, regardless of the order

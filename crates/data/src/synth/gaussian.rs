@@ -4,7 +4,7 @@
 use crate::dataset::{Dataset, Examples};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rfl_tensor::{normal_sample, Tensor};
+use rfl_tensor::{normal_fill, Tensor};
 
 /// Specification of a Gaussian-mixture classification problem.
 #[derive(Clone, Copy, Debug)]
@@ -34,8 +34,10 @@ impl GaussianMixtureSpec {
     pub fn means(&self) -> Tensor {
         let mut rng = StdRng::seed_from_u64(self.mean_seed);
         let mut m = Tensor::zeros(&[self.classes, self.dim]);
+        normal_fill(&mut rng, m.data_mut());
+        let scale = (self.dim as f32).sqrt();
         for v in m.data_mut() {
-            *v = self.sep * normal_sample(&mut rng) / (self.dim as f32).sqrt();
+            *v = self.sep * *v / scale;
         }
         m
     }
@@ -44,19 +46,48 @@ impl GaussianMixtureSpec {
     /// shift (`shift` added to every sample — the non-IID mechanism for the
     /// convex experiments; pass `None` for the IID pool / test set).
     pub fn generate<R: Rng>(&self, n: usize, shift: Option<&[f32]>, rng: &mut R) -> Dataset {
+        self.generate_with_means(&self.means(), n, shift, rng)
+    }
+
+    /// [`Self::generate`] with the class means precomputed by the caller.
+    /// At registry scale the means are identical for every client of a
+    /// source, so callers materializing thousands of clients per round hoist
+    /// the `means()` recomputation out of the per-client path; passing
+    /// `self.means()` here is exactly `generate`.
+    pub fn generate_with_means<R: Rng>(
+        &self,
+        means: &Tensor,
+        n: usize,
+        shift: Option<&[f32]>,
+        rng: &mut R,
+    ) -> Dataset {
         if let Some(s) = shift {
             assert_eq!(s.len(), self.dim, "shift dimension mismatch");
         }
-        let means = self.means();
+        assert_eq!(means.dims(), &[self.classes, self.dim], "means shape");
         let mut x = Tensor::zeros(&[n, self.dim]);
         let mut labels = Vec::with_capacity(n);
+        // One batched draw for the whole matrix: the draw order matches the
+        // old per-element `normal_sample` loop exactly, and the per-element
+        // arithmetic below keeps the original rounding order, so every value
+        // is bit-identical to the scalar formulation.
+        normal_fill(rng, x.data_mut());
         for i in 0..n {
             let y = i % self.classes;
             labels.push(y);
             let mu = means.row(y);
             let dst = &mut x.data_mut()[i * self.dim..(i + 1) * self.dim];
-            for (j, d) in dst.iter_mut().enumerate() {
-                *d = mu[j] + self.noise * normal_sample(rng) + shift.map_or(0.0, |s| s[j]);
+            match shift {
+                Some(s) => {
+                    for (j, d) in dst.iter_mut().enumerate() {
+                        *d = mu[j] + self.noise * *d + s[j];
+                    }
+                }
+                None => {
+                    for (j, d) in dst.iter_mut().enumerate() {
+                        *d = mu[j] + self.noise * *d + 0.0;
+                    }
+                }
             }
         }
         Dataset::new(Examples::Dense(x), labels, self.classes)
@@ -64,7 +95,8 @@ impl GaussianMixtureSpec {
 
     /// A random feature-shift vector of norm `magnitude`.
     pub fn random_shift<R: Rng>(&self, magnitude: f32, rng: &mut R) -> Vec<f32> {
-        let mut v: Vec<f32> = (0..self.dim).map(|_| normal_sample(rng)).collect();
+        let mut v = vec![0.0f32; self.dim];
+        normal_fill(rng, &mut v);
         let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
         for x in &mut v {
             *x *= magnitude / norm;

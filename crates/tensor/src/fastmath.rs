@@ -1,0 +1,531 @@
+//! Bit-exact inlined ports of the libm `logf`/`cosf` kernels used by
+//! Box–Muller sampling.
+//!
+//! `normal_sample` spends most of its time in two PLT calls (`logf`, `cosf`).
+//! At million-client scale the synthetic data regenerated on every
+//! materialization makes those calls the single hottest instruction stream in
+//! a round, so this module ports the exact computation those calls perform —
+//! the ARM optimized-routines `logf` and `sincosf` kernels that glibc ships
+//! (unchanged since 2.28), in their FMA form — as inlinable Rust.
+//!
+//! Determinism contract: every arithmetic step is transcribed
+//! operation-for-operation (including which expressions are FMA-contracted)
+//! from the dispatched kernels, and the data tables are the published
+//! optimized-routines tables, so the ports return the same bits libm did when
+//! the canonical pins were minted. `f64::mul_add` guarantees fused
+//! (single-rounding) semantics on every platform — hardware `vfmadd` where
+//! available, exactly-rounded software fallback otherwise — so results do not
+//! depend on the CPU, unlike a direct libm call which switches algorithms on
+//! pre-FMA hardware. The `fastmath_matches_libm` tests in this file verify
+//! bit-equality against the system libm over the whole unit-interval /
+//! `[0, 2π)` domains (strided always; exhaustively under
+//! `RFL_FASTMATH_EXHAUSTIVE=1`).
+//!
+//! Out-of-domain inputs (zero, subnormal, negative, non-finite, huge) take
+//! the libm call they always took; no pinned path reaches them.
+
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// logf — optimized-routines table + degree-4 polynomial, f64 internals.
+// ---------------------------------------------------------------------------
+
+/// `(1/c, log c)` pairs, interleaved flat, for 16 reciprocal anchors
+/// covering one octave. Kept flat (not tuples) so the vector path can
+/// gather from it with a guaranteed layout.
+const LOGF_TAB: [f64; 32] = [
+    f64::from_bits(0x3FF661EC79F8F3BE),
+    f64::from_bits(0xBFD57BF7808CAADE),
+    f64::from_bits(0x3FF571ED4AAF883D),
+    f64::from_bits(0xBFD2BEF0A7C06DDB),
+    f64::from_bits(0x3FF49539F0F010B0),
+    f64::from_bits(0xBFD01EAE7F513A67),
+    f64::from_bits(0x3FF3C995B0B80385),
+    f64::from_bits(0xBFCB31D8A68224E9),
+    f64::from_bits(0x3FF30D190C8864A5),
+    f64::from_bits(0xBFC6574F0AC07758),
+    f64::from_bits(0x3FF25E227B0B8EA0),
+    f64::from_bits(0xBFC1AA2BC79C8100),
+    f64::from_bits(0x3FF1BB4A4A1A343F),
+    f64::from_bits(0xBFBA4E76CE8C0E5E),
+    f64::from_bits(0x3FF12358F08AE5BA),
+    f64::from_bits(0xBFB1973C5A611CCC),
+    f64::from_bits(0x3FF0953F419900A7),
+    f64::from_bits(0xBFA252F438E10C1E),
+    f64::from_bits(0x3FF0000000000000),
+    f64::from_bits(0x0000000000000000),
+    f64::from_bits(0x3FEE608CFD9A47AC),
+    f64::from_bits(0x3FAAA5AA5DF25984),
+    f64::from_bits(0x3FECA4B31F026AA0),
+    f64::from_bits(0x3FBC5E53AA362EB4),
+    f64::from_bits(0x3FEB2036576AFCE6),
+    f64::from_bits(0x3FC526E57720DB08),
+    f64::from_bits(0x3FE9C2D163A1AA2D),
+    f64::from_bits(0x3FCBC2860D224770),
+    f64::from_bits(0x3FE886E6037841ED),
+    f64::from_bits(0x3FD1058BC8A07EE1),
+    f64::from_bits(0x3FE767DCF5534862),
+    f64::from_bits(0x3FD4043057B6EE09),
+];
+
+const LOGF_LN2: f64 = f64::from_bits(0x3FE62E42FEFA39EF);
+const LOGF_A0: f64 = f64::from_bits(0xBFD00EA348B88334);
+const LOGF_A1: f64 = f64::from_bits(0x3FD5575B0BE00B6A);
+const LOGF_A2: f64 = f64::from_bits(0xBFDFFFFEF20A4123);
+
+/// `ln(x)` with bits identical to the libm `logf` for every finite normal
+/// positive `x`; delegates to libm outside that domain.
+#[inline]
+pub fn logf(x: f32) -> f32 {
+    let ix = x.to_bits();
+    if ix.wrapping_sub(0x0080_0000) >= 0x7f00_0000 {
+        // Zero, subnormal, negative, inf, NaN — the cold libm path.
+        return x.ln();
+    }
+    logf_core(ix)
+}
+
+/// Main-path kernel: one table lookup, five fused ops, all in f64.
+#[inline(always)]
+fn logf_core(ix: u32) -> f32 {
+    let tmp = ix.wrapping_sub(0x3f33_0000);
+    let i = ((tmp >> 19) & 0xf) as usize;
+    let k = (tmp as i32) >> 23;
+    let iz = ix.wrapping_sub(tmp & 0xff80_0000);
+    let (invc, logc) = (LOGF_TAB[2 * i], LOGF_TAB[2 * i + 1]);
+    let z = f32::from_bits(iz) as f64;
+    let r = z.mul_add(invc, -1.0);
+    let y0 = (k as f64).mul_add(LOGF_LN2, logc);
+    let r2 = r * r;
+    let y = LOGF_A1.mul_add(r, LOGF_A2);
+    let p = y0 + r;
+    let y = LOGF_A0.mul_add(r2, y);
+    r2.mul_add(y, p) as f32
+}
+
+// ---------------------------------------------------------------------------
+// cosf — optimized-routines sincosf reduction + hybrid polynomial blocks.
+// ---------------------------------------------------------------------------
+
+/// Quadrant sign pattern for the odd (sine-polynomial) branch.
+const SINCOS_SIGN: [f64; 4] = [1.0, -1.0, -1.0, 1.0];
+/// `4/π · 2²³` — prescaled so the quadrant lands in bits 24.. of the int.
+const HPI_INV: f64 = f64::from_bits(0x41645F306DC9C883);
+/// `π/2` rounded to double.
+const HPI: f64 = f64::from_bits(0x3FF921FB54442D18);
+
+/// One polynomial block: `[c0, c1, c2, c3, c4, s1, s2, s3]` in the layout of
+/// the sincosf table. Block 0 serves quadrants {0, 3}, block 1 (sign-flipped
+/// even coefficients) quadrants {1, 2}.
+const SINCOS_P0: [f64; 8] = [
+    f64::from_bits(0x3FF0000000000000),
+    f64::from_bits(0xBFDFFFFFFD0C621C),
+    f64::from_bits(0xBFC555545995A603),
+    f64::from_bits(0x3FA55553E1068F19),
+    f64::from_bits(0x3F81107605230BC4),
+    f64::from_bits(0xBF56C087E89A359D),
+    f64::from_bits(0xBF2994EB3774CF24),
+    f64::from_bits(0x3EF99343027BF8C3),
+];
+const SINCOS_P1: [f64; 8] = [
+    f64::from_bits(0xBFF0000000000000),
+    f64::from_bits(0x3FDFFFFFFD0C621C),
+    f64::from_bits(0xBFC555545995A603),
+    f64::from_bits(0xBFA55553E1068F19),
+    f64::from_bits(0x3F81107605230BC4),
+    f64::from_bits(0x3F56C087E89A359D),
+    f64::from_bits(0xBF2994EB3774CF24),
+    f64::from_bits(0xBEF99343027BF8C3),
+];
+
+/// Even-quadrant polynomial (cosine shape): depends on `s = r²` only.
+#[inline(always)]
+fn cos_poly_even(s: f64, p: &[f64; 8]) -> f64 {
+    let x4 = s * s;
+    let t = p[1].mul_add(s, p[0]);
+    let u = p[7].mul_add(s, p[5]);
+    let v = s * x4;
+    let w = x4.mul_add(p[3], t);
+    u.mul_add(v, w)
+}
+
+/// Odd-quadrant polynomial (sine shape) on the signed reduced argument `a`.
+#[inline(always)]
+fn sin_poly_odd(a: f64, s: f64, p: &[f64; 8]) -> f64 {
+    let t = p[6].mul_add(s, p[4]);
+    let u = s * a;
+    let v = s * u;
+    let w = u.mul_add(p[2], a);
+    t.mul_add(v, w)
+}
+
+/// `cos(x)` with bits identical to the libm `cosf` for every `|x| < 120`;
+/// delegates to libm for the huge-reduction and non-finite paths.
+#[inline]
+pub fn cosf(y: f32) -> f32 {
+    let top = (y.to_bits() >> 20) & 0x7ff;
+    if top <= 0x3f3 {
+        // |y| < 0.75: no reduction. Below the tiny cutoff the polynomial
+        // would land exactly on a rounding boundary; libm pins 1.0 there.
+        if top <= 0x397 {
+            return 1.0;
+        }
+        let x = y as f64;
+        return cos_poly_even(x * x, &SINCOS_P0) as f32;
+    }
+    if top <= 0x42e {
+        return cosf_reduced(y);
+    }
+    y.cos()
+}
+
+/// Fast reduction path for `0.75 ≤ |y| < 120`.
+#[inline(always)]
+fn cosf_reduced(y: f32) -> f32 {
+    let x = y as f64;
+    let n = ((x * HPI_INV) as i32).wrapping_add(0x0080_0000) >> 24;
+    let r = (n as f64).mul_add(-HPI, x);
+    let s = r * r;
+    let p = if n & 2 == 0 { &SINCOS_P0 } else { &SINCOS_P1 };
+    if n & 1 == 0 {
+        cos_poly_even(s, p) as f32
+    } else {
+        sin_poly_odd(r * SINCOS_SIGN[(n & 3) as usize], s, p) as f32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Box–Muller batch front-end.
+// ---------------------------------------------------------------------------
+
+/// One standard normal from the two unit draws of a Box–Muller step, bits
+/// identical to `(-2·ln u1)^½ · cos(2π·u2)` through libm.
+#[inline]
+pub fn normal_from_units(u1: f32, u2: f32) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: guarded by the runtime FMA check.
+        return unsafe { normal_from_units_fma(u1, u2) };
+    }
+    normal_from_units_generic(u1, u2)
+}
+
+#[inline(always)]
+fn normal_from_units_generic(u1: f32, u2: f32) -> f32 {
+    (-2.0 * logf(u1)).sqrt() * cosf(std::f32::consts::TAU * u2)
+}
+
+/// Single-sample front-end compiled with hardware FMA so the `mul_add`s in
+/// the kernels become `vfmadd` instructions instead of libm `fma()` calls.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn normal_from_units_fma(u1: f32, u2: f32) -> f32 {
+    normal_from_units_generic(u1, u2)
+}
+
+/// Fills `out` with standard normals, drawing `(u1, u2)` per element in the
+/// exact order `normal_sample` does, so the RNG stream — and therefore every
+/// downstream value — is unchanged. The unit draws are reconstructed from
+/// the raw 24-bit words exactly as the uniform sampler builds them
+/// (`lo + (hi−lo)·(k/2²⁴)`), then the transcendental kernels run four lanes
+/// wide under AVX2+FMA — where the speedup over per-element libm calls
+/// comes from — with a fused scalar path covering the tail and non-AVX2
+/// hosts bit-identically.
+pub fn normal_fill<R: Rng>(rng: &mut R, out: &mut [f32]) {
+    const B: usize = 64;
+    let mut k1 = [0u32; B];
+    let mut k2 = [0u32; B];
+    for chunk in out.chunks_mut(B) {
+        for i in 0..chunk.len() {
+            k1[i] = rng.next_u32() >> 8;
+            k2[i] = rng.next_u32() >> 8;
+        }
+        normal_batch(&k1[..chunk.len()], &k2[..chunk.len()], chunk);
+    }
+}
+
+/// Unit-interval value of a 24-bit draw, exactly as the uniform sampler
+/// computes it.
+#[inline(always)]
+fn unit_f32(k: u32) -> f32 {
+    k as f32 / (1u32 << 24) as f32
+}
+
+/// `gen_range(f32::EPSILON..1.0)` reconstructed from its raw draw.
+#[inline(always)]
+fn u1_from_bits(k: u32) -> f32 {
+    f32::EPSILON + (1.0 - f32::EPSILON) * unit_f32(k)
+}
+
+/// Batched Box–Muller over raw 24-bit unit draws.
+#[inline]
+fn normal_batch(k1: &[u32], k2: &[u32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: guarded by the runtime AVX2+FMA check.
+        unsafe { avx2::normal_batch(k1, k2, out) };
+        return;
+    }
+    for ((o, &a), &b) in out.iter_mut().zip(k1).zip(k2) {
+        *o = normal_from_units_generic(u1_from_bits(a), unit_f32(b));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    use std::sync::OnceLock;
+    static FMA: OnceLock<bool> = OnceLock::new();
+    *FMA.get_or_init(|| std::is_x86_feature_detected!("fma"))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma_available() -> bool {
+    use std::sync::OnceLock;
+    static OK: OnceLock<bool> = OnceLock::new();
+    *OK.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Four-lane AVX2+FMA transcription of the scalar kernels. Every lane
+/// performs the identical f64 operation sequence (`vfmaddpd` rounds each
+/// lane exactly like `vfmaddsd`), so the results are bit-equal to the scalar
+/// path at any batch size — the `quad_matches_scalar` test pins this over
+/// the full 24-bit draw lattice, strided.
+///
+/// Domain note: this path is only reachable from `normal_fill`, whose draws
+/// guarantee `u1 ∈ [ε, 1)` (always a normal positive float on the `logf`
+/// main path) and an angle in `[0, 2π)` (always on the `cosf` fast-reduce
+/// path, `n ∈ [0, 4]`), so the only per-lane branch left is the tiny-angle
+/// pin to 1.0, handled by a blend.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn normal_batch(k1: &[u32], k2: &[u32], out: &mut [f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let q = quad(
+                _mm_loadu_si128(k1.as_ptr().add(i) as *const __m128i),
+                _mm_loadu_si128(k2.as_ptr().add(i) as *const __m128i),
+            );
+            _mm_storeu_ps(out.as_mut_ptr().add(i), q);
+            i += 4;
+        }
+        for j in i..n {
+            out[j] = normal_from_units_generic(u1_from_bits(k1[j]), unit_f32(k2[j]));
+        }
+    }
+
+    /// Four Box–Muller normals from four raw draw pairs.
+    #[inline(always)]
+    unsafe fn quad(k1: __m128i, k2: __m128i) -> __m128 {
+        // Unit draws: k/2²⁴ exactly (k < 2²⁴ is exact in f32).
+        let inv = _mm_set1_ps(1.0 / (1u32 << 24) as f32);
+        let unit1 = _mm_mul_ps(_mm_cvtepi32_ps(k1), inv);
+        let unit2 = _mm_mul_ps(_mm_cvtepi32_ps(k2), inv);
+        let u1 = _mm_add_ps(
+            _mm_set1_ps(f32::EPSILON),
+            _mm_mul_ps(_mm_set1_ps(1.0 - f32::EPSILON), unit1),
+        );
+
+        // ---- logf(u1), four lanes ----
+        let ix = _mm_castps_si128(u1);
+        let tmp = _mm_sub_epi32(ix, _mm_set1_epi32(0x3f33_0000));
+        let idx = _mm_and_si128(_mm_srli_epi32::<19>(tmp), _mm_set1_epi32(0xf));
+        let idx2 = _mm_slli_epi32::<1>(idx);
+        let tab = LOGF_TAB.as_ptr();
+        let invc = _mm256_i32gather_pd::<8>(tab, idx2);
+        let logc = _mm256_i32gather_pd::<8>(tab.add(1), idx2);
+        let k = _mm_srai_epi32::<23>(tmp);
+        let iz = _mm_sub_epi32(
+            ix,
+            _mm_and_si128(tmp, _mm_set1_epi32(0xff80_0000u32 as i32)),
+        );
+        let z = _mm256_cvtps_pd(_mm_castsi128_ps(iz));
+        let kd = _mm256_cvtepi32_pd(k);
+        let r = _mm256_fmadd_pd(z, invc, _mm256_set1_pd(-1.0));
+        let y0 = _mm256_fmadd_pd(kd, _mm256_set1_pd(LOGF_LN2), logc);
+        let r2 = _mm256_mul_pd(r, r);
+        let y = _mm256_fmadd_pd(_mm256_set1_pd(LOGF_A1), r, _mm256_set1_pd(LOGF_A2));
+        let p = _mm256_add_pd(y0, r);
+        let y = _mm256_fmadd_pd(_mm256_set1_pd(LOGF_A0), r2, y);
+        let ln = _mm256_fmadd_pd(r2, y, p);
+        // (−2·ln u1)^½ in f32, exactly as the scalar front-end rounds it.
+        let mag = _mm_sqrt_ps(_mm_mul_ps(_mm256_cvtpd_ps(ln), _mm_set1_ps(-2.0)));
+
+        // ---- cosf(2π·u2), four lanes ----
+        let ang = _mm_mul_ps(_mm_set1_ps(std::f32::consts::TAU), unit2);
+        let top = _mm_and_si128(
+            _mm_srli_epi32::<20>(_mm_castps_si128(ang)),
+            _mm_set1_epi32(0x7ff),
+        );
+        let tiny = _mm_cmplt_epi32(top, _mm_set1_epi32(0x398));
+        let x = _mm256_cvtps_pd(ang);
+        let n0 = _mm256_cvttpd_epi32(_mm256_mul_pd(x, _mm256_set1_pd(HPI_INV)));
+        let n = _mm_srai_epi32::<24>(_mm_add_epi32(n0, _mm_set1_epi32(0x0080_0000)));
+        let nd = _mm256_cvtepi32_pd(n);
+        let rr = _mm256_fmadd_pd(nd, _mm256_set1_pd(-HPI), x);
+        let s = _mm256_mul_pd(rr, rr);
+        let n64 = _mm256_cvtepi32_epi64(n);
+        // Block select: quadrants {0,3} read P0, {1,2} read P1. The blocks
+        // differ only in the sign of coefficients 0, 1, 3, 5, 7.
+        let use_p0 = _mm256_cmpeq_epi64(
+            _mm256_and_si256(n64, _mm256_set1_epi64x(2)),
+            _mm256_setzero_si256(),
+        );
+        let sel = |j: usize| {
+            _mm256_blendv_pd(
+                _mm256_set1_pd(SINCOS_P1[j]),
+                _mm256_set1_pd(SINCOS_P0[j]),
+                _mm256_castsi256_pd(use_p0),
+            )
+        };
+        // Even-quadrant polynomial.
+        let x4 = _mm256_mul_pd(s, s);
+        let te = _mm256_fmadd_pd(sel(1), s, sel(0));
+        let ue = _mm256_fmadd_pd(sel(7), s, sel(5));
+        let ve = _mm256_mul_pd(s, x4);
+        let we = _mm256_fmadd_pd(x4, sel(3), te);
+        let even = _mm256_fmadd_pd(ue, ve, we);
+        // Odd-quadrant polynomial on the sign-adjusted argument:
+        // sign[n&3] < 0 exactly when (n+1) & 2 ≠ 0.
+        let negbit = _mm256_slli_epi64::<62>(_mm256_and_si256(
+            _mm256_add_epi64(n64, _mm256_set1_epi64x(1)),
+            _mm256_set1_epi64x(2),
+        ));
+        let a = _mm256_xor_pd(rr, _mm256_castsi256_pd(negbit));
+        let to = _mm256_fmadd_pd(
+            _mm256_set1_pd(SINCOS_P0[6]),
+            s,
+            _mm256_set1_pd(SINCOS_P0[4]),
+        );
+        let uo = _mm256_mul_pd(s, a);
+        let vo = _mm256_mul_pd(s, uo);
+        let wo = _mm256_fmadd_pd(uo, _mm256_set1_pd(SINCOS_P0[2]), a);
+        let odd = _mm256_fmadd_pd(to, vo, wo);
+        let evenq = _mm256_cmpeq_epi64(
+            _mm256_and_si256(n64, _mm256_set1_epi64x(1)),
+            _mm256_setzero_si256(),
+        );
+        let res = _mm256_blendv_pd(odd, even, _mm256_castsi256_pd(evenq));
+        let cosv = _mm_blendv_ps(
+            _mm256_cvtpd_ps(res),
+            _mm_set1_ps(1.0),
+            _mm_castsi128_ps(tiny),
+        );
+
+        _mm_mul_ps(mag, cosv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive() -> bool {
+        std::env::var("RFL_FASTMATH_EXHAUSTIVE").is_ok_and(|v| v == "1")
+    }
+
+    /// All f32 in `[lo, hi)` whose low bits match the stride mask.
+    fn sweep(lo: f32, hi: f32, stride: u32, mut f: impl FnMut(f32)) {
+        let mut bits = lo.to_bits();
+        let hi_bits = hi.to_bits();
+        while bits < hi_bits {
+            f(f32::from_bits(bits));
+            bits += stride;
+        }
+    }
+
+    #[test]
+    fn logf_matches_libm_on_unit_interval() {
+        // The Box–Muller u1 domain is [ε, 1); verify the whole positive
+        // normal unit interval so no sampler detail can escape coverage.
+        let stride = if exhaustive() { 1 } else { 251 };
+        let mut checked = 0u64;
+        sweep(f32::MIN_POSITIVE, 1.0, stride, |x| {
+            assert_eq!(
+                logf(x).to_bits(),
+                x.ln().to_bits(),
+                "logf mismatch at {x} ({:#010x})",
+                x.to_bits()
+            );
+            checked += 1;
+        });
+        assert!(checked > 1_000_000);
+    }
+
+    #[test]
+    fn cosf_matches_libm_on_two_pi() {
+        // The Box–Muller angle domain is [0, 2π); sweep a little past it.
+        let stride = if exhaustive() { 1 } else { 257 };
+        let mut checked = 0u64;
+        sweep(f32::MIN_POSITIVE, 7.0, stride, |x| {
+            assert_eq!(
+                cosf(x).to_bits(),
+                x.cos().to_bits(),
+                "cosf mismatch at {x} ({:#010x})",
+                x.to_bits()
+            );
+            checked += 1;
+        });
+        assert_eq!(cosf(0.0).to_bits(), 0.0f32.cos().to_bits());
+        assert!(checked > 1_000_000);
+    }
+
+    #[test]
+    fn cosf_matches_libm_on_exact_box_muller_angles() {
+        // The angles actually reachable from gen_range(0.0..1.0): 2^24
+        // lattice points scaled by 2π. Strided here; exhaustive under the
+        // env flag.
+        let stride = if exhaustive() { 1 } else { 127 };
+        let mut k = 0u32;
+        while k < 1 << 24 {
+            let u2 = k as f32 / (1u32 << 24) as f32;
+            let x = std::f32::consts::TAU * u2;
+            assert_eq!(cosf(x).to_bits(), x.cos().to_bits(), "angle {x} (k={k})");
+            k += stride;
+        }
+    }
+
+    #[test]
+    fn quad_matches_scalar_over_draw_lattice() {
+        // The AVX2 path and the generic path must agree bitwise for every
+        // raw 24-bit draw pair. Strided sweep over the lattice, plus the
+        // boundary draws (0, 1, 2²⁴−1) that hit the tiny-angle blend.
+        let mut k1s: Vec<u32> = (0..(1u32 << 24)).step_by(4099).collect();
+        k1s.extend_from_slice(&[0, 1, 2, (1 << 24) - 1]);
+        let k2s: Vec<u32> = k1s.iter().rev().copied().collect();
+        let mut out = vec![0.0f32; k1s.len()];
+        normal_batch(&k1s, &k2s, &mut out);
+        for i in 0..k1s.len() {
+            let want = normal_from_units_generic(u1_from_bits(k1s[i]), unit_f32(k2s[i]));
+            assert_eq!(
+                out[i].to_bits(),
+                want.to_bits(),
+                "draw pair ({}, {})",
+                k1s[i],
+                k2s[i]
+            );
+        }
+    }
+
+    #[test]
+    fn normal_fill_matches_normal_sample_stream() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = a.clone();
+        let mut batch = vec![0.0f32; 1000];
+        normal_fill(&mut a, &mut batch);
+        for (i, &v) in batch.iter().enumerate() {
+            let want = crate::init::normal_sample(&mut b);
+            assert_eq!(v.to_bits(), want.to_bits(), "element {i}");
+        }
+        // Streams stay aligned afterwards.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

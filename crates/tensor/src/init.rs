@@ -42,8 +42,9 @@ impl Initializer {
                 }
             }
             Initializer::Normal(std) => {
+                crate::fastmath::normal_fill(rng, t.data_mut());
                 for v in t.data_mut() {
-                    *v = std * normal_sample(rng);
+                    *v *= std;
                 }
             }
             Initializer::XavierUniform { fan_in, fan_out } => {
@@ -59,10 +60,12 @@ impl Initializer {
 }
 
 /// Standard normal sample via Box–Muller; avoids pulling in `rand_distr`.
+/// The transcendentals go through [`crate::fastmath`], whose kernels are
+/// bit-identical to the libm calls this function originally made.
 pub fn normal_sample<R: Rng>(rng: &mut R) -> f32 {
     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
     let u2: f32 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    crate::fastmath::normal_from_units(u1, u2)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 
 mod codec;
 mod conv;
+pub mod fastmath;
 mod im2col;
 mod init;
 mod matmul;
@@ -39,15 +40,16 @@ pub use codec::{
     decode_f32_into, decode_f32_slice, encode_f32_into, encode_f32_slice, wire_size, CodecError,
 };
 pub use conv::{conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, Conv2dGrads, ConvSpec};
+pub use fastmath::{normal_fill, normal_from_units};
 pub use im2col::{conv2d_im2col, im2col, im2col_into};
 pub use init::{normal_sample, Initializer};
 pub use pool::{maxpool2d, maxpool2d_backward, maxpool2d_backward_into, maxpool2d_into, PoolSpec};
 pub use shape::Shape;
 pub use simd::{
     add_assign_slices, axpy4_slices, axpy_slices, dot4_slices, dot_slices, exp_f32, exp_slices,
-    relu_slices, scale_add_slices, scale_slices, set_simd_enabled, sigmoid_f32, sigmoid_slices,
-    simd_backend, simd_enabled, sq_dist_slices, sq_dists_to_rows, sum_slices, tanh_f32,
-    tanh_slices,
+    relu_slices, scale_add_slices, scale_slices, scale_slices_into, set_simd_enabled, sigmoid_f32,
+    sigmoid_slices, simd_backend, simd_enabled, sq_dist_slices, sq_dists_to_rows, sum_slices,
+    tanh_f32, tanh_slices,
 };
 pub use tensor::Tensor;
 pub use threads::{

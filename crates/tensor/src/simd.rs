@@ -185,6 +185,16 @@ pub fn add_assign_slices(y: &mut [f32], x: &[f32]) {
     dispatch!(add_assign(y, x))
 }
 
+/// `out = a·x` element-wise into a separate destination. Each element rounds
+/// exactly like the multiply half of [`axpy_slices`], so
+/// `scale_into + add_assign` replays an axpy bit-for-bit in two passes — the
+/// leaf-then-combine decomposition of the aggregation reduction tree.
+#[inline]
+pub fn scale_slices_into(out: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    dispatch!(scale_into(out, a, x))
+}
+
 /// `y *= a` element-wise.
 #[inline]
 pub fn scale_slices(y: &mut [f32], a: f32) {
@@ -379,6 +389,12 @@ pub mod scalar {
     pub fn add_assign(y: &mut [f32], x: &[f32]) {
         for (yv, &xv) in y.iter_mut().zip(x) {
             *yv += xv;
+        }
+    }
+
+    pub fn scale_into(out: &mut [f32], a: f32, x: &[f32]) {
+        for (o, &xv) in out.iter_mut().zip(x) {
+            *o = a * xv;
         }
     }
 
@@ -653,6 +669,21 @@ mod avx2 {
     }
 
     #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_into(out: &mut [f32], a: f32, x: &[f32]) {
+        let n = out.len();
+        let chunks = n / LANES;
+        let va = _mm256_set1_ps(a);
+        let (op, xp) = (out.as_mut_ptr(), x.as_ptr());
+        for c in 0..chunks {
+            let o = c * LANES;
+            _mm256_storeu_ps(op.add(o), _mm256_mul_ps(va, _mm256_loadu_ps(xp.add(o))));
+        }
+        for i in chunks * LANES..n {
+            out[i] = a * x[i];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
     pub unsafe fn scale(y: &mut [f32], a: f32) {
         let n = y.len();
         let chunks = n / LANES;
@@ -889,6 +920,23 @@ mod tests {
             tanh_slices(&mut a);
             scalar::tanh(&mut a2);
             assert!(a.iter().zip(&a2).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn scale_into_then_add_replays_axpy_bitwise() {
+        for &n in LENS {
+            let (mut y, x) = vecs(n);
+            let mut y2 = y.clone();
+            let mut leaf = vec![0.0f32; n];
+            axpy_slices(&mut y, 0.73, &x);
+            scale_slices_into(&mut leaf, 0.73, &x);
+            add_assign_slices(&mut y2, &leaf);
+            assert!(y.iter().zip(&y2).all(|(a, b)| a.to_bits() == b.to_bits()));
+            // And the dispatched scale_into matches scalar bitwise.
+            let mut leaf2 = vec![0.0f32; n];
+            scalar::scale_into(&mut leaf2, 0.73, &x);
+            assert_eq!(leaf, leaf2);
         }
     }
 

@@ -27,6 +27,13 @@ pub enum SpanKind {
     Aggregate,
     /// Global-model evaluation on the held-out test set.
     Eval,
+    /// Speculative materialization of the *next* round's clients while the
+    /// current round is still training (pipelined round engine).
+    Prefetch,
+    /// Tree-fold of arriving uploads into the streaming aggregator.
+    Fold,
+    /// Background hibernation of the previous selection's client state.
+    Hibernate,
 }
 
 impl SpanKind {
@@ -43,6 +50,9 @@ impl SpanKind {
             SpanKind::Upload => "upload",
             SpanKind::Aggregate => "aggregate",
             SpanKind::Eval => "eval",
+            SpanKind::Prefetch => "prefetch",
+            SpanKind::Fold => "fold",
+            SpanKind::Hibernate => "hibernate",
         }
     }
 }

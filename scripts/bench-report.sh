@@ -4,21 +4,73 @@
 # ratios for the hot kernels.
 #
 # Usage:
-#   scripts/bench-report.sh            # full run, writes BENCH_PR5.json
-#   scripts/bench-report.sh --smoke    # CI smoke: compile benches + 1-rep run
-#   scripts/bench-report.sh --out F    # full run, write report to F
+#   scripts/bench-report.sh               # full run, writes BENCH_PR5.json
+#   scripts/bench-report.sh --smoke       # CI smoke: compile benches + 1-rep run
+#   scripts/bench-report.sh --out F       # full run, write report to F
+#   scripts/bench-report.sh --trajectory  # merge committed BENCH_PR*.json
+#                                         # into a markdown table appended
+#                                         # to EXPERIMENTS.md
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=0
+TRAJECTORY=0
 OUT="BENCH_PR5.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1; shift ;;
+    --trajectory) TRAJECTORY=1; shift ;;
     --out) OUT="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
+
+# --trajectory: fold every committed per-PR report into one table so the
+# performance history reads off EXPERIMENTS.md directly. Reports with a
+# `legs` array (scale/connection grids) contribute one row per leg;
+# kernel/alloc reports contribute their pinned round-loop loss. The
+# section is delimited by markers and regenerated in place.
+if [[ "$TRAJECTORY" == 1 ]]; then
+  command -v jq > /dev/null || { echo "--trajectory needs jq" >&2; exit 1; }
+  START='<!-- bench-trajectory:start -->'
+  END='<!-- bench-trajectory:end -->'
+  TMP=$(mktemp)
+  {
+    echo "$START"
+    echo "## Benchmark trajectory (generated: scripts/bench-report.sh --trajectory)"
+    echo
+    echo "One row per committed report leg; kernel/alloc reports carry no"
+    echo "legs and contribute their pinned round-loop loss only."
+    echo
+    echo "| report | leg | rounds/sec | peak RSS (MiB) | loss / acc |"
+    echo "|---|---|---:|---:|---:|"
+    for f in $(ls BENCH_PR*.json | sort -V); do
+      rep="${f%.json}"
+      jq -r --arg rep "$rep" '
+        def fmt: if . == null then "—" else tostring end;
+        def mib: if . == null then "—"
+                 else (. / 1048576 * 10 | round / 10 | tostring) end;
+        if (.legs // []) == [] then
+          [$rep, "—", "—", "—", (.round_loop_final_loss | fmt)]
+        else
+          .legs[] | [$rep,
+                     ((.name // ((.connections | tostring) + " conns")) | fmt),
+                     (.rounds_per_sec | fmt),
+                     (.peak_rss_bytes | mib),
+                     ((.final_loss // .final_accuracy) | fmt)]
+        end | "| " + join(" | ") + " |"' "$f"
+    done
+    echo "$END"
+  } > "$TMP"
+  # Drop any previous generated section, then append the fresh one.
+  sed -i "/^${START}$/,/^${END}$/d" EXPERIMENTS.md
+  # Trim trailing blank lines left by the removal so reruns are idempotent.
+  sed -i -e :a -e '/^\n*$/{$d;N;ba' -e '}' EXPERIMENTS.md
+  { echo; cat "$TMP"; } >> EXPERIMENTS.md
+  rm -f "$TMP"
+  echo "== trajectory table ($(grep -c '^| BENCH_PR' EXPERIMENTS.md) rows) appended to EXPERIMENTS.md"
+  exit 0
+fi
 
 echo "== compiling criterion benches (no run)"
 cargo bench -p rfl-bench --no-run

@@ -25,6 +25,10 @@ RFL_SIMD=0 cargo test -q --workspace
 echo "== distributed smoke (multi-process federation over sockets)"
 scripts/distributed-smoke.sh
 
+echo "== RFL_THREADS=4 RFL_NET_THREADS=2 distributed smoke + bench_scale --quick (threaded leg)"
+RFL_THREADS=4 RFL_NET_THREADS=2 scripts/distributed-smoke.sh
+RFL_THREADS=4 RFL_NET_THREADS=2 cargo run --release -p rfl-bench --bin bench_scale -- --quick > /dev/null
+
 echo "== ext_lossy --scale quick smoke"
 cargo build --release -p rfl-bench --bin ext_lossy
 ./target/release/ext_lossy --scale quick --seeds 1 --out none > /dev/null
